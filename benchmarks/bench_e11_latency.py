@@ -1,0 +1,31 @@
+"""E11 — observation latency: what decentralization costs.
+
+Not a claim in the paper, but the honest flip side of its headline: the
+centralized checker reacts the instant the cut's last snapshot arrives;
+the token algorithm must first route the token through the remaining red
+processes, and its latency grows with n.  Multi-token sits in between.
+"""
+
+from repro.analysis import run_e11_detection_latency
+
+
+def bench_e11_detection_latency(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e11_detection_latency,
+        kwargs={"ns": (4, 8, 16), "m": 10, "seeds": (0, 1, 2)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e11_latency.txt")
+
+    by_detector = {}
+    for row in result.rows:
+        by_detector.setdefault(row[0], []).append(row[2])
+    # The checker is effectively instantaneous.
+    assert max(by_detector["centralized"]) <= 1.0
+    # The single token pays a latency growing with n ...
+    token = by_detector["token_vc"]
+    assert token[-1] > token[0]
+    assert min(token) > 0
+    # ... and extra tokens reduce it.
+    multi = by_detector["token_vc_multi"]
+    assert all(m_ <= t for m_, t in zip(multi, token))

@@ -1,0 +1,26 @@
+"""E12 — the definitely(φ) extension: polynomial vs exhaustive.
+
+The strong-predicate detector agrees with the exhaustive
+state-lattice search everywhere the lattice is feasible, while its
+comparison count stays polynomial on runs where the lattice would have
+millions of states.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.experiments import run_e12_strong_predicates
+
+
+def bench_e12_strong_predicates(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e12_strong_predicates, rounds=1, iterations=1
+    )
+    emit(result, "e12_strong.txt")
+
+    assert all(row[3] for row in result.rows), "polynomial != exhaustive?!"
+    small = [r for r in result.rows if r[5] is not None]
+    # The exhaustive search space dwarfs the polynomial work already at
+    # toy sizes.
+    assert all(r[5] > 10 * r[4] for r in small)
+    big = [r for r in result.rows if r[5] is None]
+    # Polynomial work stays tame at sizes where the lattice is hopeless.
+    assert max(r[4] for r in big) < 10_000

@@ -1,0 +1,23 @@
+"""E13 — the linear-GCP online checker ([6]) vs the exhaustive lattice.
+
+Same first cut everywhere the lattice is feasible; polynomial comparison
+counts at sizes where the lattice is hopeless.  Workload: ring traffic
+with an empty-channel clause per ring edge (the quiescence/termination
+shape from the examples).
+"""
+
+from repro.analysis import run_e13_gcp_online
+
+
+def bench_e13_gcp_online(benchmark, emit):
+    result = benchmark.pedantic(run_e13_gcp_online, rounds=1, iterations=1)
+    emit(result, "e13_gcp_online.txt")
+
+    assert all(row[3] for row in result.rows), "online != lattice?!"
+    small = [r for r in result.rows if r[6] is not None]
+    assert small, "need at least one exhaustive row"
+    big = [r for r in result.rows if r[6] is None]
+    assert max(r[4] for r in big) < 100_000
+    # Channel clauses actually did eliminate states (the workload is
+    # not vacuous).
+    assert any(r[5] > 0 for r in result.rows)

@@ -1,0 +1,39 @@
+"""E1 — §3.4 complexity of the single-token vector-clock algorithm.
+
+Paper claims reproduced as measurements:
+
+* the token is sent at most ``nm`` times;
+* total monitor messages are at most ``2nm``;
+* total bits are ``O(n^2 m)`` (fit exponents ≈ (2, 1));
+* work per process is ``O(nm)`` (fit ≈ (1, 1)); total ``O(n^2 m)``;
+* space per process is ``O(nm)``.
+"""
+
+from repro.analysis import run_e1_token_vc
+
+NS = (4, 8, 16, 32)
+MS = (8, 16, 32, 64, 128)
+
+
+def bench_e1_token_vc_scaling(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e1_token_vc, kwargs={"ns": NS, "ms": MS, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e1_token_vc.txt")
+
+    # Hard bounds from §3.4.
+    assert all(row[-1] for row in result.rows), "every run must detect"
+    hops = result.column("token_hops")
+    hop_bounds = result.column("hop_bound(nm)")
+    assert all(h <= b for h, b in zip(hops, hop_bounds))
+    msgs = result.column("mon_msgs")
+    msg_bounds = result.column("msg_bound(2nm)")
+    assert all(x <= b for x, b in zip(msgs, msg_bounds))
+
+    # Shape: total work ~ n^2 m, per-process work ~ n m, bits ~ n^2 m.
+    assert 1.8 <= result.fits["total_work"].n_exponent <= 2.2
+    assert 0.8 <= result.fits["total_work"].m_exponent <= 1.2
+    assert 0.8 <= result.fits["max_work"].n_exponent <= 1.2
+    assert 1.8 <= result.fits["mon_bits"].n_exponent <= 2.3
+    assert result.fits["total_work"].r_squared > 0.98

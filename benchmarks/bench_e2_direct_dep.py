@@ -1,0 +1,39 @@
+"""E2 — §4.4 complexity of the direct-dependence algorithm.
+
+Paper claims reproduced as measurements:
+
+* at most ``3Nm`` monitor messages (polls + responses + token moves);
+* total bits ``O(Nm)`` (fit exponents ≈ (1, 1));
+* work and space per process ``O(m)`` — independent of ``N``.
+"""
+
+from repro.analysis import run_e2_direct_dep
+
+NS = (4, 8, 16, 32)
+MS = (8, 16, 32, 64, 128)
+
+
+def bench_e2_direct_dep_scaling(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e2_direct_dep, kwargs={"big_ns": NS, "ms": MS, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e2_direct_dep.txt")
+
+    assert all(row[-1] for row in result.rows)
+    msgs = result.column("mon_msgs")
+    bounds = result.column("msg_bound(3Nm)")
+    assert all(x <= b for x, b in zip(msgs, bounds))
+
+    # Shape: totals ~ N m; per-process work ~ m alone.
+    assert 0.8 <= result.fits["total_work"].n_exponent <= 1.2
+    assert 0.8 <= result.fits["total_work"].m_exponent <= 1.2
+    assert 0.8 <= result.fits["mon_bits"].n_exponent <= 1.2
+    assert 0.8 <= result.fits["max_work_vs_m"].exponent <= 1.2
+
+    # Per-process work must not grow with N (fixed m): compare extremes.
+    by_m: dict[int, list[int]] = {}
+    for row in result.rows:
+        by_m.setdefault(row[1], []).append(row[8])
+    for m_value, works in by_m.items():
+        assert max(works) <= 1.5 * min(works) + 4, f"m={m_value}: {works}"

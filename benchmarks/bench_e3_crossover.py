@@ -1,0 +1,65 @@
+"""E3 — the §1/§6 crossover between the two algorithms.
+
+With ``N`` fixed, the §3 vector-clock token algorithm (cost ~ n^2 m)
+must win for small predicate widths ``n`` and lose to the §4
+direct-dependence algorithm (cost ~ N m) for large ``n``.  Two sweeps:
+one over ``n`` at fixed ``N``, one over ``N`` at fixed ``n`` (where the
+vc algorithm's costs must stay flat while dd grows).
+"""
+
+from repro.analysis import run_e3_crossover
+from repro.analysis.experiments import _monitor_stats, _wcp_over
+from repro.detect import runner as detect_runner
+from repro.trace import worst_case_computation
+
+
+def bench_e3_sweep_n(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e3_crossover,
+        kwargs={"big_n": 24, "m": 12, "n_values": (2, 4, 8, 12, 16, 20, 24)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e3_crossover_sweep_n.txt")
+    # Direction: vc wins at the smallest n, dd at the largest.
+    assert result.rows[0][7] == "vc" and result.rows[0][8] == "vc"
+    assert result.rows[-1][7] == "dd" and result.rows[-1][8] == "dd"
+    # Monotone-ish: once dd wins on bits it keeps winning.
+    winners = result.column("bits_winner")
+    first_dd = winners.index("dd")
+    assert all(w == "dd" for w in winners[first_dd:])
+
+
+def bench_e3_sweep_big_n(benchmark, emit):
+    """Fixed n=4; growing N should leave vc costs flat and grow dd's."""
+
+    def sweep():
+        rows = []
+        for big_n in (6, 12, 24, 48):
+            comp = worst_case_computation(
+                big_n, 10, seed=1, predicate_pids=tuple(range(4))
+            )
+            wcp = _wcp_over(range(4))
+            vc = detect_runner.run_detector("token_vc", comp, wcp, seed=1)
+            dd = detect_runner.run_detector("direct_dep", comp, wcp, seed=1)
+            rows.append(
+                [
+                    big_n,
+                    _monitor_stats(vc)["mon_bits"],
+                    _monitor_stats(dd)["mon_bits"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.analysis import ExperimentResult
+
+    result = ExperimentResult(
+        "E3b fixed n=4, sweep N: vc flat, dd grows",
+        ["N", "vc_bits", "dd_bits"],
+        rows,
+    )
+    emit(result, "e3_crossover_sweep_N.txt")
+    vc_bits = [r[1] for r in rows]
+    dd_bits = [r[2] for r in rows]
+    assert max(vc_bits) <= 3 * min(vc_bits), "vc cost should not scale with N"
+    assert dd_bits[-1] > 3 * dd_bits[0], "dd cost should scale with N"

@@ -1,0 +1,26 @@
+"""E4 — §3.5 multi-token concurrency.
+
+With ``g`` tokens the makespan (simulated time to detection) should
+shrink roughly with ``g`` while total work stays in the single-token
+regime.  The ``g=0`` row is the plain single-token algorithm.
+"""
+
+from repro.analysis import run_e4_multi_token
+
+
+def bench_e4_multi_token(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e4_multi_token,
+        kwargs={"n": 16, "m": 12, "group_counts": (1, 2, 4, 8)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e4_multi_token.txt")
+
+    assert all(row[1] for row in result.rows), "every configuration detects"
+    makespans = {row[0]: row[2] for row in result.rows}
+    # Concurrency pays: 4 tokens at least 1.5x faster than one.
+    assert makespans[4] < makespans[1] / 1.5
+    assert makespans[8] <= makespans[2]
+    # Totals stay in the same regime (within 2x of single token).
+    works = {row[0]: row[5] for row in result.rows}
+    assert works[8] <= 2 * works[0]

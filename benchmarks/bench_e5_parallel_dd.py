@@ -1,0 +1,24 @@
+"""E5 — §4.5 parallel direct-dependence.
+
+Proactive candidate search overlaps with token travel: the makespan
+should drop substantially versus the base §4 algorithm while message
+totals stay comparable.
+"""
+
+from repro.analysis import run_e5_parallel_dd
+
+
+def bench_e5_parallel_dd(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e5_parallel_dd,
+        kwargs={"big_n": 16, "m": 12, "seeds": (0, 1, 2, 3)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e5_parallel_dd.txt")
+
+    speedups = result.column("speedup")
+    assert all(s > 1.5 for s in speedups), speedups
+    # Message cost does not blow up.
+    base_polls = result.column("base_polls")
+    par_polls = result.column("parallel_polls")
+    assert all(p <= 2 * b + 16 for b, p in zip(base_polls, par_polls))

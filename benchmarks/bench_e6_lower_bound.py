@@ -1,0 +1,25 @@
+"""E6 — Theorem 5.1's Ω(nm) lower bound, played out.
+
+Four different S1/S2-restricted strategies face the adaptive adversary;
+every one of them is forced to delete at least ``nm - n`` elements
+before it can soundly answer, and total steps scale linearly in ``nm``.
+"""
+
+from repro.analysis import run_e6_lower_bound
+
+
+def bench_e6_lower_bound(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e6_lower_bound,
+        kwargs={"ns": (4, 8, 16), "ms": (8, 16, 32, 64)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e6_lower_bound.txt")
+
+    assert all(result.column("ok")), "someone beat the adversary?!"
+    fit = result.fits["steps_vs_nm"]
+    assert 0.9 <= fit.exponent <= 1.1
+    assert fit.r_squared > 0.99
+    # The bound is tight-ish: deletions never exceed nm.
+    for row in result.rows:
+        assert row[3] <= row[1] * row[2]

@@ -1,0 +1,33 @@
+"""E7 — the headline comparison against the centralized checker [7].
+
+* Space: under the skewed workload the checker buffers ``O(n^2 m)`` bits
+  while the heaviest token monitor stays at ``O(nm)`` — the measured
+  ratio grows linearly with ``n``.
+* Work: on the elimination-heavy spiral workload the checker performs
+  everything itself, while the token algorithm spreads the same total
+  across monitors.
+* Both always agree on the detected cut (Table 1's equivalence).
+"""
+
+from repro.analysis import run_e7_vs_centralized
+
+
+def bench_e7_vs_centralized(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e7_vs_centralized,
+        kwargs={"ns": (4, 8, 16, 24), "m": 16},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e7_vs_centralized.txt")
+
+    assert all(result.column("same_cut"))
+    # The space ratio grows ~linearly with n on the skewed workload.
+    fit = result.fits["space_ratio_vs_n"]
+    assert 0.8 <= fit.exponent <= 1.2
+    # At the largest n the checker needs an order of magnitude more
+    # space than any single monitor.
+    skewed = [row for row in result.rows if row[0] == "skewed"]
+    assert skewed[-1][5] > 10
+    # Work ratio grows with n on the spiral workload.
+    spiral = [row for row in result.rows if row[0] == "spiral"]
+    assert spiral[-1][8] > spiral[0][8]

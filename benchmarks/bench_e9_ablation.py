@@ -1,0 +1,27 @@
+"""E9 — ablation of the §3 token-routing policy.
+
+The paper only requires the token to be sent to *some* red process.
+This bench quantifies the design choice left open: cyclic round-robin
+(the library default), lowest-index-first, and most-stale-candidate
+routing, on the elimination worst case and on random workloads.
+Correctness is routing-independent; costs differ by constants.
+"""
+
+from repro.analysis import run_e9_routing_ablation
+
+
+def bench_e9_routing_ablation(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e9_routing_ablation,
+        kwargs={"n": 16, "m": 12, "seeds": (0, 1, 2)},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e9_routing_ablation.txt")
+
+    assert all(row[-1] for row in result.rows), "every run detects"
+    # The ablation is informative: at least two policies take different
+    # routes on the spiral.
+    spiral_hops = {
+        row[0]: row[2] for row in result.rows if row[1] == "spiral"
+    }
+    assert len(set(spiral_hops.values())) >= 2, spiral_hops

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers: table emission to stdout and to disk."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import render_table
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def emit():
+    """Print an ExperimentResult and persist it under benchmarks/output/."""
+
+    def _emit(result, filename: str) -> None:
+        lines = [render_table(result.headers, result.rows, result.experiment)]
+        for name, fit in result.fits.items():
+            lines.append(f"fit[{name}]: {fit}")
+        for note in result.notes:
+            lines.append(f"note: {note}")
+        text = "\n".join(lines)
+        print("\n" + text)
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / filename).write_text(text + "\n", encoding="utf-8")
+
+    return _emit

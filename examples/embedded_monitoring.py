@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Embedding detection in your own event pipeline — no simulator.
+
+Suppose your system already produces an event feed (from logs, a tracing
+backend, a test harness).  :class:`IncrementalDetector` consumes such a
+feed directly and answers "has the predicate possibly held?" after every
+event — this is the library as an *online monitoring component* rather
+than a simulation testbed.
+
+The scenario: two replicas and a config service.  Each replica applies a
+config update when told; the invariant is "the replicas never run
+different config versions".  We monitor its violation
+``v1@replica0 ∧ v2@replica1`` — possible exactly while an update has
+reached one replica but not the other.
+
+Run:  python examples/embedded_monitoring.py
+"""
+
+from repro.detect.incremental import IncrementalDetector
+from repro.predicates import WeakConjunctivePredicate, var_equals
+
+CONFIG_SERVICE, REPLICA_A, REPLICA_B = 0, 1, 2
+
+
+def main():
+    wcp = WeakConjunctivePredicate(
+        {
+            REPLICA_A: var_equals("version", 1),
+            REPLICA_B: var_equals("version", 2),
+        }
+    )
+    det = IncrementalDetector(
+        3,
+        wcp,
+        initial_vars={
+            REPLICA_A: {"version": 1},
+            REPLICA_B: {"version": 1},
+        },
+    )
+
+    # The observed event feed, exactly as a tracing backend would see it.
+    print("feeding events ...")
+    det.observe_internal(CONFIG_SERVICE, {"next_version": 2})
+    det.observe_send(CONFIG_SERVICE, msg_id=1, dest=REPLICA_B)
+    print(f"  after publish to B only: verdict = {det.verdict()}")
+    det.observe_recv(REPLICA_B, msg_id=1, updates={"version": 2})
+    print(f"  B applied v2 (A still on v1): verdict = {det.verdict()}")
+    det.observe_send(CONFIG_SERVICE, msg_id=2, dest=REPLICA_A)
+    det.observe_recv(REPLICA_A, msg_id=2, updates={"version": 2})
+    print(f"  A applied v2: verdict = {det.verdict()}")
+
+    assert det.detected
+    print(f"\nmixed-version state was possible at cut {det.cut}")
+    print(
+        "interpretation: between B's upgrade and A's, a consistent global\n"
+        "state with version skew existed — any read spanning both replicas\n"
+        "in that window could observe it.  The detector pinpointed it from\n"
+        "the raw event feed, online, with no simulation involved."
+    )
+
+
+if __name__ == "__main__":
+    main()

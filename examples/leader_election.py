@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Catching transient split brain in a leader election.
+
+A bully-style election with an impatient failure-detection timeout: a
+campaigner that hears no ALIVE within its timeout crowns itself, even
+though the highest node also (correctly) crowns itself moments later in
+causal terms — two leaders in causally concurrent states.  The conflict
+resolves in real time when the true leader's VICTORY arrives, so
+end-state inspection would never see it; the WCP
+``leader@P0 ∧ leader@P3`` catches it at a consistent cut.
+
+Run:  python examples/leader_election.py
+"""
+
+from repro.apps import (
+    build_election_system,
+    run_live_token_vc,
+    split_brain_wcp,
+)
+
+
+def run(timeout: float, label: str) -> None:
+    wcp = split_brain_wcp(0, 3)
+    apps = build_election_system(4, alive_timeout=timeout, wcp=wcp, mode="vc")
+    report = run_live_token_vc(apps, wcp, seed=1)
+    print(f"--- {label} (alive_timeout={timeout}) ---")
+    print(f"  split brain detected: {report.detected}")
+    if report.detected:
+        print(f"  conflicting cut: {report.cut}")
+    final_leaders = [a.pid for a in apps if a.vars["leader"]]
+    print(f"  leaders at run end: {final_leaders}")
+    if report.detected and final_leaders == [3]:
+        print(
+            "  note: the end state looks healthy — the violation was\n"
+            "  transient and only causal detection caught it."
+        )
+    print()
+
+
+def main():
+    run(timeout=0.5, label="impatient timeout (bug)")
+    run(timeout=10.0, label="patient timeout (correct)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Paper example 1: catching a mutual-exclusion violation online.
+
+A coordinator-based mutex serves three clients.  The coordinator has a
+deterministic double-grant bug (every second grant is issued without
+waiting for the previous holder's release).  The WCP ``cs@P1 ∧ cs@P2``
+holds at a consistent cut exactly when mutual exclusion is violated
+*causally* — even if the two critical sections never overlap in real
+time.  Monitors run the §3 token algorithm live alongside the
+application (Fig. 1's two planes in one simulation).
+
+Run:  python examples/mutual_exclusion.py
+"""
+
+from repro.apps import build_mutex_system, mutex_wcp, run_live_token_vc
+
+
+def run(bug_every: int, label: str) -> None:
+    wcp = mutex_wcp(1, 2)
+    apps = build_mutex_system(
+        num_clients=3, rounds=3, bug_every=bug_every, wcp=wcp, mode="vc"
+    )
+    report = run_live_token_vc(apps, wcp, seed=7)
+    print(f"--- {label} ---")
+    print(f"  predicate: {wcp}")
+    print(f"  violation detected: {report.detected}")
+    if report.detected:
+        print(f"  first violating cut: {report.cut}")
+        print(f"  at simulated time:   {report.detection_time:.2f}")
+        print(
+            "  (the cut names the critical-section intervals of the two"
+            " clients that were causally concurrent)"
+        )
+    else:
+        print("  every pair of critical sections was causally ordered")
+    print(f"  snapshots emitted: {report.extras['snapshots']}")
+    print()
+
+
+def main():
+    run(bug_every=2, label="buggy coordinator (double-grant race)")
+    run(bug_every=0, label="correct coordinator")
+
+
+if __name__ == "__main__":
+    main()

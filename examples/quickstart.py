@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a weak conjunctive predicate three ways.
+
+Builds a small distributed computation by hand, defines the WCP
+``flag@P0 ∧ flag@P1 ∧ flag@P2``, and runs the paper's two distributed
+algorithms plus the offline reference on it, printing the detected first
+cut and the key cost counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ComputationBuilder, WeakConjunctivePredicate, run_detector
+
+
+def build_run():
+    """A 3-process run where the predicate holds only late.
+
+    P0 raises its flag immediately; P1 after hearing from P0; P2 only
+    after hearing from P1.  The first consistent cut with all three
+    flags up is therefore near the end of the run.
+    """
+    b = ComputationBuilder(3, initial_vars={p: {"flag": False} for p in range(3)})
+    b.internal(0, {"flag": True})
+    m01 = b.send(0, 1)
+    b.recv(1, m01)
+    b.internal(1, {"flag": True})
+    m12 = b.send(1, 2)
+    b.recv(2, m12)
+    b.internal(2, {"flag": True})
+    # A little extra traffic so the cut is not just "everyone's last state".
+    m20 = b.send(2, 0)
+    b.recv(0, m20)
+    return b.build()
+
+
+def main():
+    comp = build_run()
+    wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+    print(f"computation: {comp}")
+    print(f"predicate:   {wcp}\n")
+
+    for name in ("reference", "token_vc", "direct_dep"):
+        opts = {} if name == "reference" else {"seed": 42}
+        report = run_detector(name, comp, wcp, **opts)
+        print(f"[{name}]")
+        print(f"  detected: {report.detected}")
+        print(f"  first satisfying cut: {report.cut}")
+        if report.metrics is not None:
+            print(
+                f"  monitor messages: {report.metrics.total_messages('mon-')}"
+                f"  bits: {report.metrics.total_bits('mon-')}"
+            )
+        if "token_hops" in report.extras:
+            print(f"  token hops: {report.extras['token_hops']}")
+        print()
+
+    # All three find the same first cut — that is Theorem 3.2 / 4.3.
+    cuts = {
+        name: run_detector(
+            name, comp, wcp, **({} if name == "reference" else {"seed": 42})
+        ).cut
+        for name in ("reference", "token_vc", "direct_dep")
+    }
+    assert len(set(cuts.values())) == 1
+    print("all algorithms agree on the first satisfying cut ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quiescence detection on a worker ring — plus what a WCP cannot see.
+
+A WCP asserting "idle" on every worker detects a consistent cut with no
+busy worker.  That is *not* full termination: messages can still be in
+flight.  This example detects the quiescent cut online with the token
+algorithm, then uses the GCP channel-predicate extension offline to find
+the first cut that is quiescent AND has empty ring channels.
+
+Run:  python examples/quiescence_ring.py
+"""
+
+from repro.apps import build_ring_system, quiescence_wcp, run_live_token_vc
+from repro.detect.gcp import GeneralizedConjunctivePredicate, detect_gcp
+from repro.detect.gcp_online import detect_gcp_online
+from repro.predicates import empty_channel, linear_empty_channel
+from repro.trace import ComputationBuilder
+
+
+def live_detection():
+    workers = 4
+    wcp = quiescence_wcp(workers)
+    apps = build_ring_system(workers, jobs=[4, 3, 2], wcp=wcp, mode="vc")
+    report = run_live_token_vc(apps, wcp, seed=5)
+    print("--- live WCP quiescence detection ---")
+    print(f"  all-idle cut detected: {report.detected}")
+    print(f"  cut: {report.cut}")
+    print(f"  simulated time: {report.detection_time:.2f}")
+    print()
+
+
+def gcp_refinement():
+    """Offline: quiescent AND channels empty (true termination)."""
+    # A tiny hand-built ring trace: one job hops 0 -> 1 -> 2.
+    b = ComputationBuilder(3, initial_vars={p: {"idle": p != 0} for p in range(3)})
+    j1 = b.send(0, 1)
+    b.internal(0, {"idle": True})       # 0 idle, but the job is in flight!
+    b.recv(1, j1, {"idle": False})
+    j2 = b.send(1, 2)
+    b.internal(1, {"idle": True})       # 1 idle, job in flight to 2
+    b.recv(2, j2, {"idle": False})
+    b.internal(2, {"idle": True})
+    comp = b.build()
+
+    wcp = quiescence_wcp(3)
+    plain = detect_gcp(comp, GeneralizedConjunctivePredicate(wcp))
+    refined = detect_gcp(
+        comp,
+        GeneralizedConjunctivePredicate(
+            wcp,
+            [empty_channel(0, 1), empty_channel(1, 2), empty_channel(2, 0)],
+        ),
+    )
+    # The same predicate detected with [6]'s polynomial ONLINE checker
+    # (empty-channel is a linear predicate: only the receiver advancing
+    # can repair it).
+    online = detect_gcp_online(
+        comp,
+        wcp,
+        [
+            linear_empty_channel(0, 1),
+            linear_empty_channel(1, 2),
+            linear_empty_channel(2, 0),
+        ],
+    )
+    print("--- GCP refinement (hand-built 3-hop trace) ---")
+    print(f"  WCP-only quiescent cut:              {plain.cut}")
+    print(f"  quiescent + empty-channels (offline): {refined.cut}")
+    print(f"  quiescent + empty-channels (online):  {online.cut}")
+    assert refined.cut == online.cut
+    print(
+        "  the WCP cut fires while the job is still in flight; adding\n"
+        "  channel predicates ([6]'s GCP) postpones detection to true\n"
+        "  termination — and the linear online checker finds the same\n"
+        "  cut without enumerating the lattice."
+    )
+
+
+def main():
+    live_detection()
+    gcp_refinement()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""repro — Distributed detection of weak conjunctive predicates.
+
+A complete, from-scratch reproduction of
+
+    Vijay K. Garg and Craig M. Chase,
+    "Distributed Algorithms for Detecting Conjunctive Predicates",
+    ICDCS 1995.
+
+The library provides:
+
+* a deterministic discrete-event simulation of asynchronous
+  message-passing systems (:mod:`repro.simulation`);
+* a trace model of distributed computations with vector clocks,
+  communication intervals, consistent cuts and the global-state lattice
+  (:mod:`repro.trace`, :mod:`repro.clocks`);
+* weak conjunctive predicates and channel predicates
+  (:mod:`repro.predicates`);
+* the paper's detection algorithms — the §3 single-token vector-clock
+  algorithm, the §3.5 multi-token variant, the §4 direct-dependence
+  algorithm, the §4.5 parallel variant — plus the centralized checker
+  and Cooper–Marzullo lattice baselines (:mod:`repro.detect`);
+* live example applications with online detection attached
+  (:mod:`repro.apps`);
+* the §5 lower-bound game (:mod:`repro.lowerbound`);
+* the experiment harness reproducing every complexity claim
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        random_computation, WeakConjunctivePredicate, run_detector,
+    )
+
+    comp = random_computation(num_processes=4, sends_per_process=8,
+                              seed=7, plant_final_cut=True)
+    wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+    report = run_detector("token_vc", comp, wcp)
+    print(report.detected, report.cut)
+"""
+
+from repro.clocks import Dependence, DependenceList, IntervalCounter, VectorClock
+from repro.common import (
+    ClockError,
+    ConfigurationError,
+    CutError,
+    DeadlockError,
+    DetectionError,
+    InvalidComputationError,
+    LowerBoundError,
+    ProtocolError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+)
+from repro.detect import DetectionReport
+from repro.predicates import (
+    ChannelPredicate,
+    LocalPredicate,
+    WeakConjunctivePredicate,
+    brute_force_first_cut,
+    cut_satisfies,
+    empty_channel,
+    flag_predicate,
+    var_true,
+)
+from repro.trace import (
+    Computation,
+    ComputationBuilder,
+    Cut,
+    Event,
+    EventKind,
+    IntervalAnalysis,
+    ProcessTrace,
+    WorkloadSpec,
+    generate,
+    is_consistent_cut,
+    never_true_computation,
+    random_computation,
+    ring_computation,
+    worst_case_computation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidComputationError",
+    "ClockError",
+    "CutError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "DetectionError",
+    "ConfigurationError",
+    "SerializationError",
+    "LowerBoundError",
+    # clocks
+    "VectorClock",
+    "IntervalCounter",
+    "Dependence",
+    "DependenceList",
+    # trace
+    "Computation",
+    "ComputationBuilder",
+    "ProcessTrace",
+    "Event",
+    "EventKind",
+    "IntervalAnalysis",
+    "Cut",
+    "is_consistent_cut",
+    "WorkloadSpec",
+    "generate",
+    "random_computation",
+    "worst_case_computation",
+    "never_true_computation",
+    "ring_computation",
+    # predicates
+    "LocalPredicate",
+    "flag_predicate",
+    "var_true",
+    "WeakConjunctivePredicate",
+    "ChannelPredicate",
+    "empty_channel",
+    "cut_satisfies",
+    "brute_force_first_cut",
+    # detection
+    "DetectionReport",
+    "run_detector",
+    "DETECTORS",
+]
+
+
+def __getattr__(name: str):
+    # Loaded lazily: the runner imports every detector module.
+    if name in ("run_detector", "DETECTORS"):
+        from repro.detect import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

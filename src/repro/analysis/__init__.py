@@ -1,0 +1,50 @@
+"""Measurement and reporting: sweeps, power-law fits, tables."""
+
+from repro.analysis.complexity import (
+    BivariateFit,
+    PowerLawFit,
+    fit_bivariate,
+    fit_power_law,
+)
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_e1_token_vc,
+    run_e2_direct_dep,
+    run_e3_crossover,
+    run_e4_multi_token,
+    run_e5_parallel_dd,
+    run_e6_lower_bound,
+    run_e7_vs_centralized,
+    run_e8_agreement,
+    run_e9_routing_ablation,
+    run_e10_average_case,
+    run_e11_detection_latency,
+    run_e12_strong_predicates,
+    run_e13_gcp_online,
+    strip_times,
+)
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "PowerLawFit",
+    "BivariateFit",
+    "fit_power_law",
+    "fit_bivariate",
+    "ExperimentResult",
+    "strip_times",
+    "run_e1_token_vc",
+    "run_e2_direct_dep",
+    "run_e3_crossover",
+    "run_e4_multi_token",
+    "run_e5_parallel_dd",
+    "run_e6_lower_bound",
+    "run_e7_vs_centralized",
+    "run_e8_agreement",
+    "run_e9_routing_ablation",
+    "run_e10_average_case",
+    "run_e11_detection_latency",
+    "run_e12_strong_predicates",
+    "run_e13_gcp_online",
+    "render_table",
+    "format_value",
+]

@@ -1,0 +1,91 @@
+"""Empirical complexity fitting.
+
+The paper's evaluation is a set of asymptotic claims; to "reproduce"
+them we measure cost over parameter sweeps and fit power laws.  For a
+claim like *total work = O(n^2 m)* we fit
+
+    log y  =  a·log n + b·log m + c
+
+and check the recovered exponents ``(a, b)`` against the claim's
+``(2, 1)``.  Fitting uses ordinary least squares via numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "BivariateFit", "fit_bivariate"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """``y ≈ exp(intercept) * x^exponent`` with goodness of fit."""
+
+    exponent: float
+    intercept: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = exponent * log x + intercept``.
+
+    Requires at least two distinct positive x values and positive y.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need matching arrays with at least two points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    design = np.column_stack([lx, np.ones_like(lx)])
+    coef, *_ = np.linalg.lstsq(design, ly, rcond=None)
+    predicted = design @ coef
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=float(coef[0]), intercept=float(coef[1]), r_squared=r2)
+
+
+@dataclass(frozen=True, slots=True)
+class BivariateFit:
+    """``y ≈ exp(intercept) * n^n_exponent * m^m_exponent``."""
+
+    n_exponent: float
+    m_exponent: float
+    intercept: float
+    r_squared: float
+
+
+def fit_bivariate(
+    ns: Sequence[float], ms: Sequence[float], ys: Sequence[float]
+) -> BivariateFit:
+    """Fit ``log y = a·log n + b·log m + c`` by least squares.
+
+    The sweep must vary both n and m (a rank-deficient design raises).
+    """
+    n = np.asarray(ns, dtype=float)
+    m = np.asarray(ms, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if not (n.shape == m.shape == y.shape) or n.size < 3:
+        raise ValueError("need three matching arrays with at least three points")
+    if np.any(n <= 0) or np.any(m <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires positive data")
+    design = np.column_stack([np.log(n), np.log(m), np.ones(n.size)])
+    if np.linalg.matrix_rank(design) < 3:
+        raise ValueError("sweep must vary both n and m independently")
+    ly = np.log(y)
+    coef, *_ = np.linalg.lstsq(design, ly, rcond=None)
+    predicted = design @ coef
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return BivariateFit(
+        n_exponent=float(coef[0]),
+        m_exponent=float(coef[1]),
+        intercept=float(coef[2]),
+        r_squared=r2,
+    )

@@ -1,0 +1,816 @@
+"""The experiment harness: one function per DESIGN.md experiment row.
+
+Each ``run_eN`` function generates workloads, runs the relevant
+detectors with full instrumentation, and returns an
+:class:`ExperimentResult` — headers + rows (ready for
+:func:`repro.analysis.tables.render_table`) plus fitted scaling
+exponents and pass/fail notes against the paper's bounds.  The
+``benchmarks/`` tree wraps these in pytest-benchmark targets and prints
+the tables; EXPERIMENTS.md records paper-claim vs measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.complexity import fit_bivariate, fit_power_law
+from repro.detect import runner as detect_runner
+from repro.lowerbound import available_strategies, play_against_adversary
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.simulation.network import FixedLatency
+from repro.simulation.replay import CANDIDATE_KIND
+from repro.trace.computation import Computation
+from repro.trace.events import Event, ProcessTrace
+from repro.trace.generators import (
+    random_computation,
+    skewed_concurrent_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "strip_times",
+    "run_e1_token_vc",
+    "run_e2_direct_dep",
+    "run_e3_crossover",
+    "run_e4_multi_token",
+    "run_e5_parallel_dd",
+    "run_e6_lower_bound",
+    "run_e7_vs_centralized",
+    "run_e8_agreement",
+    "run_e9_routing_ablation",
+    "run_e10_average_case",
+    "run_e11_detection_latency",
+    "run_e12_strong_predicates",
+    "run_e13_gcp_online",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows, fits and notes for one experiment."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[Any]]
+    fits: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def strip_times(computation: Computation) -> Computation:
+    """A copy of the computation with all event timestamps removed.
+
+    Replay then feeds snapshots back-to-back (one spacing unit apart),
+    so the measured makespan is dominated by the detection protocol
+    itself rather than by waiting for the application to produce states
+    — the regime the concurrency experiments (E4/E5) care about.
+    """
+    traces = []
+    for trace in computation.processes:
+        events = tuple(
+            Event(e.kind, e.msg_id, e.peer, dict(e.updates), None)
+            for e in trace.events
+        )
+        traces.append(ProcessTrace(events, dict(trace.initial_vars)))
+    return Computation(traces)
+
+
+def _wcp_over(pids: Sequence[int]) -> WeakConjunctivePredicate:
+    return WeakConjunctivePredicate.of_flags(tuple(pids))
+
+
+def _monitor_stats(report) -> dict[str, int | float]:
+    board = report.metrics
+    return {
+        "mon_msgs": board.total_messages("mon-"),
+        "mon_bits": board.total_bits("mon-"),
+        "total_work": board.total_work("mon-"),
+        "max_work": board.max_work_per_actor("mon-"),
+        "max_space": board.max_space_per_actor("mon-"),
+        "candidates": board.messages_of_kind(CANDIDATE_KIND),
+    }
+
+
+# ----------------------------------------------------------------------
+# E1 — §3.4 bounds for the single-token vector-clock algorithm
+# ----------------------------------------------------------------------
+def run_e1_token_vc(
+    ns: Sequence[int] = (4, 8, 16),
+    ms: Sequence[int] = (8, 16, 32),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure token hops, messages, bits, work and space vs (n, m).
+
+    Paper claims: token sent <= nm times; monitor messages <= 2nm total;
+    bits O(n^2 m); work per process O(nm), total O(n^2 m); space per
+    process O(nm).
+    """
+    headers = [
+        "n", "m", "token_hops", "hop_bound(nm)", "mon_msgs",
+        "msg_bound(2nm)", "mon_bits", "total_work", "max_work",
+        "max_space_bits", "detected",
+    ]
+    rows: list[list[Any]] = []
+    for n in ns:
+        for m_target in ms:
+            comp = spiral_computation(n, rounds=max(1, m_target // 2))
+            m = comp.max_messages_per_process()
+            report = detect_runner.run_detector(
+                "token_vc", comp, _wcp_over(range(n)), seed=seed
+            )
+            stats = _monitor_stats(report)
+            hops = report.extras["token_hops"]
+            rows.append([
+                n, m, hops, n * (m + 1), stats["mon_msgs"], 2 * n * (m + 1),
+                stats["mon_bits"], stats["total_work"], stats["max_work"],
+                stats["max_space"], report.detected,
+            ])
+    result = ExperimentResult("E1 token_vc scaling (§3.4)", headers, rows)
+    if len(ns) >= 2 and len(ms) >= 2:
+        result.fits["total_work"] = fit_bivariate(
+            result.column("n"), result.column("m"), result.column("total_work")
+        )
+        result.fits["max_work"] = fit_bivariate(
+            result.column("n"), result.column("m"), result.column("max_work")
+        )
+        result.fits["mon_bits"] = fit_bivariate(
+            result.column("n"), result.column("m"), result.column("mon_bits")
+        )
+    hop_ok = all(r[2] <= r[3] for r in rows)
+    msg_ok = all(r[4] <= r[5] for r in rows)
+    result.notes.append(f"token hops within nm bound: {hop_ok}")
+    result.notes.append(f"monitor messages within 2nm bound: {msg_ok}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2 — §4.4 bounds for the direct-dependence algorithm
+# ----------------------------------------------------------------------
+def run_e2_direct_dep(
+    big_ns: Sequence[int] = (4, 8, 16),
+    ms: Sequence[int] = (8, 16, 32),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure polls, token hops, bits, work and space vs (N, m).
+
+    Paper claims: at most mN polls and mN token moves (3mN messages
+    total counting responses); O(Nm) bits; O(m) work and space on each
+    process.
+    """
+    headers = [
+        "N", "m", "polls", "token_hops", "mon_msgs", "msg_bound(3Nm)",
+        "mon_bits", "total_work", "max_work", "work_bound_per_proc",
+        "max_space_bits", "detected",
+    ]
+    rows: list[list[Any]] = []
+    for big_n in big_ns:
+        for m_target in ms:
+            comp = spiral_computation(big_n, rounds=max(1, m_target // 2))
+            m = comp.max_messages_per_process()
+            report = detect_runner.run_detector(
+                "direct_dep", comp, _wcp_over(range(big_n)), seed=seed
+            )
+            stats = _monitor_stats(report)
+            rows.append([
+                big_n, m, report.extras["polls"], report.extras["token_hops"],
+                stats["mon_msgs"], 3 * big_n * (m + 1), stats["mon_bits"],
+                stats["total_work"], stats["max_work"], 4 * (m + 1),
+                stats["max_space"], report.detected,
+            ])
+    result = ExperimentResult("E2 direct_dep scaling (§4.4)", headers, rows)
+    if len(big_ns) >= 2 and len(ms) >= 2:
+        result.fits["total_work"] = fit_bivariate(
+            result.column("N"), result.column("m"), result.column("total_work")
+        )
+        result.fits["mon_bits"] = fit_bivariate(
+            result.column("N"), result.column("m"), result.column("mon_bits")
+        )
+        # Per-process work should be O(m): fit against m alone.
+        result.fits["max_work_vs_m"] = fit_power_law(
+            result.column("m"), result.column("max_work")
+        )
+    msg_ok = all(r[4] <= r[5] for r in rows)
+    result.notes.append(f"monitor messages within 3Nm bound: {msg_ok}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3 — crossover between the two algorithms as n grows relative to N
+# ----------------------------------------------------------------------
+def run_e3_crossover(
+    big_n: int = 24,
+    m: int = 12,
+    n_values: Sequence[int] = (2, 4, 8, 16, 24),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fix N and m; sweep the predicate width n.
+
+    The paper (§1, §6): the vector-clock algorithm costs O(n^2 m) while
+    the direct-dependence algorithm costs O(Nm), so direct dependence
+    wins once n^2 is large relative to N.  We compare total monitor
+    bits and work and report the winner per row.
+    """
+    headers = [
+        "N", "n", "m", "vc_bits", "dd_bits", "vc_work", "dd_work",
+        "bits_winner", "work_winner",
+    ]
+    rows: list[list[Any]] = []
+    for n in n_values:
+        pred_pids = tuple(range(n))
+        comp = worst_case_computation(
+            big_n, m, seed=seed, predicate_pids=pred_pids
+        )
+        m_actual = comp.max_messages_per_process()
+        wcp = _wcp_over(pred_pids)
+        vc = detect_runner.run_detector("token_vc", comp, wcp, seed=seed)
+        dd = detect_runner.run_detector("direct_dep", comp, wcp, seed=seed)
+        vc_stats = _monitor_stats(vc)
+        dd_stats = _monitor_stats(dd)
+        rows.append([
+            big_n, n, m_actual,
+            vc_stats["mon_bits"], dd_stats["mon_bits"],
+            vc_stats["total_work"], dd_stats["total_work"],
+            "vc" if vc_stats["mon_bits"] <= dd_stats["mon_bits"] else "dd",
+            "vc" if vc_stats["total_work"] <= dd_stats["total_work"] else "dd",
+        ])
+    result = ExperimentResult("E3 crossover n vs N (§1/§6)", headers, rows)
+    small_n = rows[0]
+    large_n = rows[-1]
+    result.notes.append(
+        f"smallest n={small_n[1]}: bits winner {small_n[7]}; "
+        f"largest n={large_n[1]}: bits winner {large_n[7]}"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4 — §3.5 multi-token concurrency
+# ----------------------------------------------------------------------
+def run_e4_multi_token(
+    n: int = 12,
+    m: int = 10,
+    group_counts: Sequence[int] = (1, 2, 4, 6),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Makespan (simulated detection time) vs number of tokens g.
+
+    Times are stripped from the trace so the protocol's own latency
+    dominates; totals (hops, work) should stay in the same regime while
+    the makespan improves with concurrency.
+    """
+    comp = spiral_computation(n, rounds=max(1, m // 2))
+    wcp = _wcp_over(range(n))
+    channel = FixedLatency(1.0)
+    headers = ["g", "detected", "makespan", "token_hops", "rounds", "total_work"]
+    rows: list[list[Any]] = []
+    baseline = detect_runner.run_detector(
+        "token_vc", comp, wcp, seed=seed, channel_model=channel, spacing=0.01
+    )
+    rows.append([
+        0, baseline.detected, baseline.detection_time,
+        baseline.extras["token_hops"], 0,
+        _monitor_stats(baseline)["total_work"],
+    ])
+    for g in group_counts:
+        report = detect_runner.run_detector(
+            "token_vc_multi", comp, wcp, seed=seed,
+            channel_model=channel, spacing=0.01, groups=g,
+        )
+        rows.append([
+            g, report.detected, report.detection_time,
+            report.extras["token_hops"], report.extras["rounds"],
+            _monitor_stats(report)["total_work"],
+        ])
+    result = ExperimentResult(
+        "E4 multi-token makespan (§3.5); g=0 row is the single-token baseline",
+        headers,
+        rows,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5 — §4.5 parallel direct-dependence
+# ----------------------------------------------------------------------
+def run_e5_parallel_dd(
+    big_n: int = 12,
+    m: int = 10,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """Makespan of base vs parallel direct dependence on the same runs."""
+    headers = [
+        "seed", "base_makespan", "parallel_makespan", "speedup",
+        "base_polls", "parallel_polls",
+    ]
+    channel = FixedLatency(1.0)
+    rows: list[list[Any]] = []
+    for seed in seeds:
+        comp = spiral_computation(big_n, rounds=max(1, m // 2) + seed)
+        wcp = _wcp_over(range(big_n))
+        base = detect_runner.run_detector(
+            "direct_dep", comp, wcp, seed=seed,
+            channel_model=channel, spacing=0.01,
+        )
+        par = detect_runner.run_detector(
+            "direct_dep_parallel", comp, wcp, seed=seed,
+            channel_model=channel, spacing=0.01,
+        )
+        speedup = (
+            base.detection_time / par.detection_time
+            if base.detection_time and par.detection_time
+            else float("nan")
+        )
+        rows.append([
+            seed, base.detection_time, par.detection_time, speedup,
+            base.extras["polls"], par.extras["polls"],
+        ])
+    return ExperimentResult("E5 parallel direct-dependence (§4.5)", headers, rows)
+
+
+# ----------------------------------------------------------------------
+# E6 — §5 lower bound
+# ----------------------------------------------------------------------
+def run_e6_lower_bound(
+    ns: Sequence[int] = (4, 8, 16),
+    ms: Sequence[int] = (8, 16, 32),
+) -> ExperimentResult:
+    """Every S1/S2 strategy pays >= nm - n deletions vs the adversary."""
+    headers = ["strategy", "n", "m", "deletions", "bound(nm-n)", "steps", "ok"]
+    rows: list[list[Any]] = []
+    for strategy in available_strategies():
+        for n in ns:
+            for m in ms:
+                res = play_against_adversary(strategy, n, m)
+                rows.append([
+                    strategy.name, n, m, res.deletions, res.theorem_bound,
+                    res.total_steps, res.deletions >= res.theorem_bound,
+                ])
+    result = ExperimentResult("E6 lower bound (Theorem 5.1)", headers, rows)
+    result.notes.append(f"all within bound: {all(r[6] for r in rows)}")
+    greedy_rows = [r for r in rows if r[0] == "greedy"]
+    result.fits["steps_vs_nm"] = fit_power_law(
+        [r[1] * r[2] for r in greedy_rows], [r[5] for r in greedy_rows]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E7 — token algorithm vs centralized checker (space/work distribution)
+# ----------------------------------------------------------------------
+def run_e7_vs_centralized(
+    ns: Sequence[int] = (4, 8, 16),
+    m: int = 16,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The paper's headline comparison against the checker baseline [7].
+
+    Two workloads probe the two claims:
+
+    * ``spiral`` (elimination-heavy) shows the *work* story: the checker
+      performs all O(n^2 m) comparisons itself, while the token
+      algorithm caps any one monitor at O(nm).
+    * ``skewed`` (concurrent candidates, one delayed stream) shows the
+      *space* story: the checker must buffer O(n^2 m) bits; the token
+      algorithm buffers at most O(nm) bits on any monitor, so the
+      space ratio grows linearly with n.
+    """
+    headers = [
+        "workload", "n", "m", "checker_space", "token_max_space",
+        "space_ratio", "checker_work", "token_max_work", "work_ratio",
+        "same_cut",
+    ]
+    rows: list[list[Any]] = []
+    for workload in ("spiral", "skewed"):
+        for n in ns:
+            if workload == "spiral":
+                comp = spiral_computation(n, rounds=max(1, m // 2))
+            else:
+                comp = skewed_concurrent_computation(n, m)
+            m_actual = comp.max_messages_per_process()
+            wcp = _wcp_over(range(n))
+            cen = detect_runner.run_detector("centralized", comp, wcp, seed=seed)
+            tok = detect_runner.run_detector("token_vc", comp, wcp, seed=seed)
+            checker_space = cen.metrics.of("checker").buffered_bits_high_water
+            token_space = tok.metrics.max_space_per_actor("mon-")
+            checker_work = cen.metrics.of("checker").work_units
+            token_work = tok.metrics.max_work_per_actor("mon-")
+            rows.append([
+                workload, n, m_actual, checker_space, token_space,
+                checker_space / token_space if token_space else float("inf"),
+                checker_work, token_work,
+                checker_work / token_work if token_work else float("inf"),
+                cen.cut == tok.cut,
+            ])
+    result = ExperimentResult(
+        "E7 centralized checker vs token (§1/§6)", headers, rows
+    )
+    skewed_rows = [r for r in rows if r[0] == "skewed"]
+    result.fits["space_ratio_vs_n"] = fit_power_law(
+        [r[1] for r in skewed_rows], [r[5] for r in skewed_rows]
+    )
+    spiral_rows = [r for r in rows if r[0] == "spiral"]
+    result.fits["work_ratio_vs_n"] = fit_power_law(
+        [r[1] for r in spiral_rows], [r[8] for r in spiral_rows]
+    )
+    result.notes.append(f"cuts agree on every row: {all(r[9] for r in rows)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# E8 — cross-algorithm agreement + lattice blowup
+# ----------------------------------------------------------------------
+def run_e8_agreement(
+    seeds: Sequence[int] = tuple(range(8)),
+    num_processes: int = 4,
+    m: int = 5,
+) -> ExperimentResult:
+    """All detectors find the same first cut; the lattice baseline pays
+    exponentially many state visits to do so."""
+    detectors = [
+        "reference", "lattice", "centralized", "token_vc",
+        "token_vc_multi", "direct_dep", "direct_dep_parallel",
+    ]
+    headers = ["seed", "detected", "all_agree", "lattice_states", "token_work"]
+    rows: list[list[Any]] = []
+    for seed in seeds:
+        comp = random_computation(
+            num_processes, m, seed=seed, predicate_density=0.25,
+            plant_final_cut=(seed % 2 == 0),
+        )
+        wcp = _wcp_over(range(num_processes))
+        reports = {}
+        for name in detectors:
+            kwargs: dict[str, Any] = {}
+            if name not in ("reference", "lattice"):
+                kwargs["seed"] = seed
+            reports[name] = detect_runner.run_detector(name, comp, wcp, **kwargs)
+        ref = reports["reference"]
+        agree = all(
+            (r.detected, r.cut) == (ref.detected, ref.cut)
+            for r in reports.values()
+        )
+        rows.append([
+            seed, ref.detected, agree,
+            reports["lattice"].extras["states_explored"],
+            reports["token_vc"].metrics.total_work("mon-"),
+        ])
+    result = ExperimentResult("E8 agreement (Theorems 3.2/4.3/4.4)", headers, rows)
+    result.notes.append(f"all agree: {all(r[2] for r in rows)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E9 — ablation: token-routing policy in the §3 algorithm
+# ----------------------------------------------------------------------
+def run_e9_routing_ablation(
+    n: int = 12,
+    m: int = 12,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """The paper leaves the "send token to a red process" choice open;
+    compare three policies on hops, makespan and work.
+
+    Correctness is policy-independent (every run must detect the same
+    cut); the costs differ only by constants — which this table
+    quantifies.
+    """
+    headers = [
+        "routing", "workload", "token_hops", "makespan", "total_work",
+        "detected",
+    ]
+    rows: list[list[Any]] = []
+    workloads = {
+        "spiral": spiral_computation(n, rounds=max(1, m // 2)),
+    }
+    for seed in seeds:
+        workloads[f"random[{seed}]"] = strip_times(
+            worst_case_computation(n, m, seed=seed)
+        )
+    reference_cuts: dict[str, object] = {}
+    for routing in ("cyclic", "first", "most_stale"):
+        for label, comp in workloads.items():
+            wcp = _wcp_over(range(n))
+            report = detect_runner.run_detector(
+                "token_vc", comp, wcp, seed=0, routing=routing,
+                channel_model=FixedLatency(1.0), spacing=0.01,
+            )
+            key = label
+            if key in reference_cuts:
+                assert reference_cuts[key] == report.cut, (
+                    f"routing {routing} changed the detected cut"
+                )
+            else:
+                reference_cuts[key] = report.cut
+            rows.append([
+                routing, label, report.extras["token_hops"],
+                report.detection_time, _monitor_stats(report)["total_work"],
+                report.detected,
+            ])
+    result = ExperimentResult(
+        "E9 ablation: token routing policy (§3)", headers, rows
+    )
+    result.notes.append("all policies detect the same cut per workload")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E10 — average case vs the worst case (§6's closing remark)
+# ----------------------------------------------------------------------
+def run_e10_average_case(
+    n: int = 8,
+    m: int = 16,
+    densities: Sequence[float] = (0.05, 0.2, 0.5),
+    seeds: Sequence[int] = tuple(range(5)),
+) -> ExperimentResult:
+    """§6: "Although it is not possible to improve upon O(nm) steps in
+    the worst case, in the average case faster detection may be
+    possible."  Measure token hops as a fraction of the nm worst-case
+    budget across random workloads of varying predicate density, with
+    the spiral worst case as the anchor row.
+    """
+    from repro.trace.statistics import compute_stats
+
+    headers = [
+        "workload", "density", "mean_hops", "hop_budget(nm)",
+        "budget_used", "concurrency_ratio", "detected_runs",
+    ]
+    rows: list[list[Any]] = []
+    spiral = spiral_computation(n, rounds=max(1, m // 2))
+    wcp = _wcp_over(range(n))
+    spiral_m = spiral.max_messages_per_process()
+    spiral_rep = detect_runner.run_detector("token_vc", spiral, wcp, seed=0)
+    spiral_stats = compute_stats(spiral)
+    rows.append([
+        "spiral (worst case)", 1.0, spiral_rep.extras["token_hops"],
+        n * (spiral_m + 1),
+        spiral_rep.extras["token_hops"] / (n * (spiral_m + 1)),
+        spiral_stats.concurrency_ratio, 1,
+    ])
+    for density in densities:
+        hops: list[int] = []
+        budgets: list[int] = []
+        ratios: list[float] = []
+        detected = 0
+        for seed in seeds:
+            run_seed = seed * 1009 + int(density * 100)
+            comp = random_computation(
+                n, m, seed=run_seed, predicate_density=density,
+                plant_final_cut=True,
+            )
+            m_actual = comp.max_messages_per_process()
+            report = detect_runner.run_detector(
+                "token_vc", comp, wcp, seed=run_seed
+            )
+            hops.append(report.extras["token_hops"])
+            budgets.append(n * (m_actual + 1))
+            ratios.append(compute_stats(comp).concurrency_ratio)
+            detected += int(report.detected)
+        mean_hops = sum(hops) / len(hops)
+        mean_budget = sum(budgets) / len(budgets)
+        rows.append([
+            "random", density, mean_hops, mean_budget,
+            mean_hops / mean_budget, sum(ratios) / len(ratios), detected,
+        ])
+    result = ExperimentResult(
+        "E10 average case vs worst case (§6)", headers, rows
+    )
+    result.notes.append(
+        "higher predicate density => earlier satisfying cut => smaller "
+        "fraction of the nm budget spent"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E11 — detection latency: the price of decentralization
+# ----------------------------------------------------------------------
+def run_e11_detection_latency(
+    ns: Sequence[int] = (4, 8, 16),
+    m: int = 10,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """How long after the satisfying cut becomes *observable* does each
+    algorithm declare it?
+
+    Observation latency = detection time − the arrival time of the last
+    snapshot of the detected cut at its monitor.  The centralized
+    checker reacts as soon as that snapshot lands; the token algorithms
+    must first route the token to wherever work remains — the latency
+    the paper trades for its space/work distribution.  Not a claim made
+    by the paper; measured here to complete the comparison.
+    """
+    from repro.trace.snapshots import vc_snapshots
+
+    headers = ["detector", "n", "mean_latency", "max_latency", "runs"]
+    rows: list[list[Any]] = []
+    channel = FixedLatency(1.0)
+    configs = [
+        ("centralized", {}),
+        ("token_vc", {}),
+        ("token_vc_multi", {"groups": 4}),
+    ]
+    for detector, opts in configs:
+        for n in ns:
+            latencies: list[float] = []
+            for seed in seeds:
+                comp = strip_times(
+                    worst_case_computation(n, m, seed=seed)
+                )
+                wcp = _wcp_over(range(n))
+                report = detect_runner.run_detector(
+                    detector, comp, wcp, seed=seed,
+                    channel_model=channel, spacing=1.0, **opts,
+                )
+                if not report.detected or report.detection_time is None:
+                    continue
+                # Reconstruct when the cut's last snapshot reached its
+                # monitor: feeders emit one snapshot per spacing unit
+                # (times were stripped), plus one unit of channel latency.
+                streams = vc_snapshots(comp, wcp.predicate_map())
+                last_arrival = 0.0
+                for pid in wcp.pids:
+                    target = report.cut.component(pid)
+                    position = next(
+                        k for k, snap in enumerate(streams[pid])
+                        if snap.interval == target
+                    )
+                    arrival = (position + 1) * 1.0 + 1.0
+                    last_arrival = max(last_arrival, arrival)
+                latencies.append(report.detection_time - last_arrival)
+            rows.append([
+                detector, n,
+                sum(latencies) / len(latencies) if latencies else float("nan"),
+                max(latencies) if latencies else float("nan"),
+                len(latencies),
+            ])
+    result = ExperimentResult(
+        "E11 observation latency (cost of decentralization)", headers, rows
+    )
+    cen = [r[2] for r in rows if r[0] == "centralized"]
+    tok = [r[2] for r in rows if r[0] == "token_vc"]
+    result.notes.append(
+        f"centralized mean latency {min(cen):.2f}-{max(cen):.2f} vs "
+        f"token {min(tok):.2f}-{max(tok):.2f} time units"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E12 — strong predicates: polynomial definitely vs exhaustive search
+# ----------------------------------------------------------------------
+def run_e12_strong_predicates(
+    sizes: Sequence[tuple[int, int]] = ((2, 3), (3, 3), (3, 4), (4, 4)),
+    big_sizes: Sequence[tuple[int, int]] = ((8, 16), (16, 32), (24, 64)),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """The definitely(φ) extension's cost story.
+
+    Small runs: the polynomial detector agrees with the exhaustive
+    state-lattice search while doing orders of magnitude less work.
+    Large runs (exhaustive infeasible): the polynomial detector's
+    comparisons scale like the weak algorithm's O(n^2 * intervals).
+    """
+    from repro.detect.strong import detect_definitely
+    from repro.trace.state_lattice import (
+        StateLatticeAnalysis,
+        definitely_states,
+    )
+
+    headers = [
+        "n", "m", "runs", "agree", "poly_comparisons", "lattice_states",
+    ]
+    rows: list[list[Any]] = []
+    for n, m in sizes:
+        agree = True
+        comparisons = 0
+        lattice_states = 0
+        for seed in seeds:
+            comp = random_computation(
+                n, m, seed=seed, predicate_density=0.5,
+            )
+            wcp = _wcp_over(range(n))
+            fast = detect_definitely(comp, wcp)
+            slow = definitely_states(comp, wcp)
+            agree = agree and (fast.holds == slow)
+            comparisons += fast.comparisons
+            # Count the reachable state lattice (the search space).
+            analysis = StateLatticeAnalysis(comp)
+            frontier = {tuple([0] * n)}
+            seen = set(frontier)
+            while frontier:
+                nxt = set()
+                for cut in frontier:
+                    for succ in analysis.successors(cut):
+                        if succ not in seen:
+                            seen.add(succ)
+                            nxt.add(succ)
+                frontier = nxt
+            lattice_states += len(seen)
+        rows.append([
+            n, m, len(seeds), agree,
+            comparisons // len(seeds), lattice_states // len(seeds),
+        ])
+    for n, m in big_sizes:
+        comparisons = 0
+        for seed in seeds:
+            comp = random_computation(
+                n, m, seed=seed, predicate_density=0.5
+            )
+            wcp = _wcp_over(range(n))
+            comparisons += detect_definitely(comp, wcp).comparisons
+        rows.append([n, m, len(seeds), True, comparisons // len(seeds), None])
+    result = ExperimentResult(
+        "E12 strong predicates: polynomial definitely vs exhaustive",
+        headers,
+        rows,
+    )
+    result.notes.append(
+        "lattice_states is the exhaustive search space; None = infeasible "
+        "(only the polynomial detector ran)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E13 — linear GCP: the [6] checker vs the exhaustive lattice
+# ----------------------------------------------------------------------
+def run_e13_gcp_online(
+    small_sizes: Sequence[tuple[int, int]] = ((3, 4), (3, 6), (4, 4)),
+    big_sizes: Sequence[tuple[int, int]] = ((8, 16), (12, 32)),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentResult:
+    """The channel-predicate extension's cost story.
+
+    Small runs: the online linear-GCP checker returns the same first cut
+    as the exhaustive lattice search.  Large runs: the checker's
+    comparisons stay polynomial where the lattice is infeasible.
+    Workload: ring traffic with one quiescence-style clause per ring
+    channel ("channel empty").
+    """
+    from repro.detect.gcp import GeneralizedConjunctivePredicate, detect_gcp
+    from repro.detect.gcp_online import detect_gcp_online
+    from repro.predicates.channel import linear_empty_channel
+
+    headers = [
+        "n", "m", "runs", "agree", "checker_comparisons",
+        "channel_elims", "lattice_states",
+    ]
+    rows: list[list[Any]] = []
+
+    def channels(n: int):
+        return [linear_empty_channel(i, (i + 1) % n) for i in range(n)]
+
+    for n, m in small_sizes:
+        agree = True
+        comparisons = elims = states = 0
+        for seed in seeds:
+            comp = random_computation(
+                n, m, seed=seed, predicate_density=0.5, pattern="ring",
+                plant_final_cut=True,
+            )
+            wcp = _wcp_over(range(n))
+            chans = channels(n)
+            online = detect_gcp_online(comp, wcp, chans, seed=seed)
+            offline = detect_gcp(
+                comp, GeneralizedConjunctivePredicate(wcp, chans)
+            )
+            agree = agree and (
+                (online.detected, online.cut)
+                == (offline.detected, offline.cut)
+            )
+            comparisons += online.extras["comparisons"]
+            elims += online.extras["channel_eliminations"]
+            states += offline.extras["states_explored"]
+        k = len(seeds)
+        rows.append([n, m, k, agree, comparisons // k, elims // k, states // k])
+    for n, m in big_sizes:
+        comparisons = elims = 0
+        for seed in seeds:
+            comp = random_computation(
+                n, m, seed=seed, predicate_density=0.5, pattern="ring",
+                plant_final_cut=True,
+            )
+            wcp = _wcp_over(range(n))
+            online = detect_gcp_online(comp, wcp, channels(n), seed=seed)
+            comparisons += online.extras["comparisons"]
+            elims += online.extras["channel_eliminations"]
+        k = len(seeds)
+        rows.append([n, m, k, True, comparisons // k, elims // k, None])
+    result = ExperimentResult(
+        "E13 linear GCP: online checker vs exhaustive lattice",
+        headers,
+        rows,
+    )
+    result.notes.append(
+        "lattice_states = exhaustive search cost; None = infeasible "
+        "(only the online checker ran)"
+    )
+    return result

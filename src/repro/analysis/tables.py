@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Benchmarks print the rows the paper's analysis predicts (message counts,
+work, space) next to the measured values; this module renders them as
+aligned ASCII so the output is readable in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly formatting: floats to 3 significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned, text left-aligned; the result ends
+    without a trailing newline.
+    """
+    str_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], original: Sequence[object] | None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            right = original is not None and isinstance(
+                original[i], (int, float)
+            ) and not isinstance(original[i], bool)
+            parts.append(cell.rjust(widths[i]) if right else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers), None))
+    lines.append(sep)
+    original_rows = [list(r) for r in rows] if not isinstance(rows, list) else rows
+    for raw, rendered in zip(original_rows, str_rows):
+        lines.append(fmt_row(rendered, list(raw)))
+    return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Command-line interface: generate workloads, detect, run experiments.
+
+Installed as the ``repro`` console script::
+
+    repro generate --processes 4 --sends 8 --seed 7 --density 0.2 \
+                   --plant-final-cut --out trace.json
+    repro stats trace.json --pids 0,1,2,3
+    repro detect trace.json --detector token_vc --pids 0,1,2,3
+    repro experiments --only e1,e6
+
+``detect`` builds the WCP from a boolean flag variable (the workload
+generators' convention); bring your own predicates through the Python
+API for anything richer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.analysis import render_table
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import compute_stats, loads
+from repro.trace.generators import WorkloadSpec, generate
+from repro.trace.serialization import dumps
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "e1": ("run_e1_token_vc", {}),
+    "e2": ("run_e2_direct_dep", {}),
+    "e3": ("run_e3_crossover", {}),
+    "e4": ("run_e4_multi_token", {}),
+    "e5": ("run_e5_parallel_dd", {}),
+    "e6": ("run_e6_lower_bound", {}),
+    "e7": ("run_e7_vs_centralized", {}),
+    "e8": ("run_e8_agreement", {}),
+    "e9": ("run_e9_routing_ablation", {}),
+    "e10": ("run_e10_average_case", {}),
+    "e11": ("run_e11_detection_latency", {}),
+    "e12": ("run_e12_strong_predicates", {}),
+    "e13": ("run_e13_gcp_online", {}),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed detection of conjunctive predicates "
+            "(Garg & Chase, ICDCS 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload trace (JSON)")
+    gen.add_argument("--processes", type=int, required=True, help="N")
+    gen.add_argument("--sends", type=int, required=True, help="sends/process")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--density", type=float, default=0.1,
+                     help="predicate flag density")
+    gen.add_argument("--pattern", default="uniform",
+                     choices=("uniform", "ring", "client_server", "pairs"))
+    gen.add_argument("--plant-final-cut", action="store_true",
+                     help="guarantee the WCP holds at the final cut")
+    gen.add_argument("--out", type=pathlib.Path, default=None,
+                     help="output file (default: stdout)")
+
+    det = sub.add_parser("detect", help="run a detector on a trace file")
+    det.add_argument("trace", type=pathlib.Path)
+    det.add_argument("--detector", default="token_vc")
+    det.add_argument("--pids", default=None,
+                     help="comma-separated predicate pids (default: all)")
+    det.add_argument("--var", default="flag", help="flag variable name")
+    det.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="summarize a trace file")
+    stats.add_argument("trace", type=pathlib.Path)
+    stats.add_argument("--pids", default=None,
+                       help="also count predicate candidates for these pids")
+    stats.add_argument("--var", default="flag")
+
+    exp = sub.add_parser("experiments", help="run the paper's experiments")
+    exp.add_argument("--only", default=None,
+                     help=f"comma-separated subset of {sorted(_EXPERIMENTS)}")
+
+    show = sub.add_parser(
+        "show", help="render a trace as an ASCII space-time diagram"
+    )
+    show.add_argument("trace", type=pathlib.Path)
+    show.add_argument("--pids", default=None,
+                      help="mark snapshot emissions for these predicate pids")
+    show.add_argument("--var", default="flag")
+    show.add_argument("--cut", action="store_true",
+                      help="also detect and draw the first satisfying cut")
+
+    strong = sub.add_parser(
+        "definitely",
+        help="decide definitely(φ) for a conjunctive flag predicate",
+    )
+    strong.add_argument("trace", type=pathlib.Path)
+    strong.add_argument("--pids", default=None)
+    strong.add_argument("--var", default="flag")
+
+    imp = sub.add_parser(
+        "import-log",
+        help="convert a plain-text event log into a trace JSON file",
+    )
+    imp.add_argument("log", type=pathlib.Path)
+    imp.add_argument("--out", type=pathlib.Path, default=None,
+                     help="output trace file (default: stdout)")
+    imp.add_argument("--allow-unreceived", action="store_true",
+                     help="permit sends without a matching receive")
+    return parser
+
+
+def _parse_pids(text: str | None, num_processes: int) -> tuple[int, ...]:
+    if text is None:
+        return tuple(range(num_processes))
+    try:
+        pids = tuple(sorted({int(p) for p in text.split(",") if p.strip()}))
+    except ValueError:
+        raise SystemExit(f"error: --pids must be comma-separated ints: {text!r}")
+    if not pids:
+        raise SystemExit("error: --pids must name at least one process")
+    return pids
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_processes=args.processes,
+        sends_per_process=args.sends,
+        seed=args.seed,
+        predicate_density=args.density,
+        pattern=args.pattern,
+        plant_final_cut=args.plant_final_cut,
+    )
+    text = dumps(generate(spec), indent=2)
+    if args.out is None:
+        print(text)
+    else:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _load_trace(path: pathlib.Path):
+    if not path.exists():
+        raise SystemExit(f"error: no such trace file: {path}")
+    return loads(path.read_text(encoding="utf-8"))
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detect.runner import DETECTORS, run_detector
+
+    if args.detector not in DETECTORS:
+        raise SystemExit(
+            f"error: unknown detector {args.detector!r}; "
+            f"choose from {sorted(DETECTORS)}"
+        )
+    comp = _load_trace(args.trace)
+    pids = _parse_pids(args.pids, comp.num_processes)
+    wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
+    options = {} if args.detector in ("reference", "lattice") else {
+        "seed": args.seed
+    }
+    report = run_detector(args.detector, comp, wcp, **options)
+    print(f"detector:  {report.detector}")
+    print(f"predicate: {wcp}")
+    print(f"detected:  {report.detected}")
+    if report.detected:
+        print(f"first cut: {report.cut}")
+    if report.detection_time is not None:
+        print(f"simulated detection time: {report.detection_time:.3f}")
+    for key, value in sorted(report.extras.items()):
+        print(f"{key}: {value}")
+    return 0 if report.detected else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    comp = _load_trace(args.trace)
+    wcp = None
+    if args.pids is not None:
+        pids = _parse_pids(args.pids, comp.num_processes)
+        wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
+    stats = compute_stats(comp, wcp)
+    print(render_table(["statistic", "value"],
+                       [[k, str(v)] for k, v in stats.as_rows()]))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import repro.analysis as analysis
+
+    if args.only is None:
+        names = list(_EXPERIMENTS)
+    else:
+        names = [x.strip().lower() for x in args.only.split(",") if x.strip()]
+        unknown = [x for x in names if x not in _EXPERIMENTS]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown experiments {unknown}; "
+                f"choose from {sorted(_EXPERIMENTS)}"
+            )
+    for name in names:
+        fn_name, kwargs = _EXPERIMENTS[name]
+        result = getattr(analysis, fn_name)(**kwargs)
+        print(render_table(result.headers, result.rows, result.experiment))
+        for key, fit in result.fits.items():
+            print(f"fit[{key}]: {fit}")
+        for note in result.notes:
+            print(f"note: {note}")
+        print()
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.trace import render_spacetime
+
+    comp = _load_trace(args.trace)
+    wcp = None
+    cut = None
+    if args.pids is not None or args.cut:
+        pids = _parse_pids(args.pids, comp.num_processes)
+        wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
+    if args.cut:
+        from repro.detect.runner import run_detector
+
+        assert wcp is not None
+        report = run_detector("reference", comp, wcp)
+        if report.detected:
+            cut = report.cut
+        else:
+            print("(predicate never holds; no cut to draw)")
+    print(render_spacetime(comp, wcp, cut))
+    return 0
+
+
+def _cmd_definitely(args: argparse.Namespace) -> int:
+    from repro.detect.strong import detect_definitely
+
+    comp = _load_trace(args.trace)
+    pids = _parse_pids(args.pids, comp.num_processes)
+    wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
+    report = detect_definitely(comp, wcp)
+    print(f"predicate:  {wcp}")
+    print(f"definitely: {report.holds}")
+    if report.holds:
+        print(f"unavoidable box (local-state ranges): {report.box}")
+    elif report.reason:
+        print(f"reason: {report.reason}")
+    print(f"comparisons: {report.comparisons}")
+    return 0 if report.holds else 1
+
+
+def _cmd_import_log(args: argparse.Namespace) -> int:
+    from repro.common.errors import SerializationError
+    from repro.trace.import_log import parse_log
+
+    if not args.log.exists():
+        raise SystemExit(f"error: no such log file: {args.log}")
+    try:
+        comp = parse_log(
+            args.log.read_text(encoding="utf-8"),
+            allow_unreceived=args.allow_unreceived,
+        )
+    except SerializationError as exc:
+        raise SystemExit(f"error: {exc}")
+    text = dumps(comp, indent=2)
+    if args.out is None:
+        print(text)
+    else:
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out} (N={comp.num_processes}, "
+              f"events={comp.total_events()})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "detect": _cmd_detect,
+        "stats": _cmd_stats,
+        "experiments": _cmd_experiments,
+        "show": _cmd_show,
+        "definitely": _cmd_definitely,
+        "import-log": _cmd_import_log,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

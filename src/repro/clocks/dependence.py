@@ -1,0 +1,83 @@
+"""Direct-dependence records for the §4 algorithm.
+
+When application process ``P_i`` receives a message from ``P_j`` tagged
+with interval counter ``k``, it records the pair ``(j, k)`` as a *direct
+dependence*: every subsequent state of ``P_i`` causally depends on state
+``(j, k)``.  The paper accumulates these pairs in a linked list that is
+flushed into each local snapshot and then cleared.
+
+:class:`Dependence` is the ``(j, k)`` pair; :class:`DependenceList` is the
+accumulating container with the flush-on-snapshot behaviour of §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.common.errors import ClockError
+from repro.common.types import Pid
+
+__all__ = ["Dependence", "DependenceList"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Dependence:
+    """A direct dependence ``(source, clock)``: the receiver's states
+    depend on interval ``clock`` of process ``source``."""
+
+    source: Pid
+    clock: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0:
+            raise ClockError(f"dependence source must be >= 0, got {self.source}")
+        if self.clock < 1:
+            raise ClockError(f"dependence clock must be >= 1, got {self.clock}")
+
+    def size_words(self) -> int:
+        """A dependence is a pair of integers: two machine words."""
+        return 2
+
+
+class DependenceList:
+    """The per-process dependence accumulator of §4.1.
+
+    Dependences are recorded in receive order.  :meth:`flush` returns the
+    accumulated list and clears the container, matching the paper's "the
+    dependence list is reinitialized to be empty after generating the
+    local snapshot".
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Dependence] = ()) -> None:
+        self._items: list[Dependence] = list(items)
+
+    def record(self, source: Pid, clock: int) -> Dependence:
+        """Record a dependence on interval ``clock`` of ``source``."""
+        dep = Dependence(source, clock)
+        self._items.append(dep)
+        return dep
+
+    def flush(self) -> tuple[Dependence, ...]:
+        """Return all accumulated dependences and clear the list."""
+        items = tuple(self._items)
+        self._items.clear()
+        return items
+
+    def peek(self) -> tuple[Dependence, ...]:
+        """Return accumulated dependences without clearing."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Dependence]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        return f"DependenceList({self._items!r})"

@@ -1,0 +1,85 @@
+"""Logical (scalar) counters for the direct-dependence algorithm (§4.1).
+
+The direct-dependence algorithm replaces vector clocks with a per-process
+*logical counter* that is incremented on every send and receive and
+attached (as a single integer) to every application message.  Unlike a
+Lamport clock it performs **no** max-merge on receive: the counter only
+identifies local intervals, exactly as the paper specifies ("Each
+application process uses a logical counter to uniquely identify candidate
+states").
+
+:class:`IntervalCounter` implements that scheme.  :class:`LamportClock`
+(classic max-merge semantics) is provided as well because the trace layer
+and a few tests use it for sanity cross-checks.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ClockError
+
+__all__ = ["IntervalCounter", "LamportClock"]
+
+
+class IntervalCounter:
+    """Per-process interval counter per §4.1 of the paper.
+
+    Starts at 1 (the first interval) and increments after each
+    communication event.  The current value labels the interval the
+    process is presently executing in.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ClockError(f"interval counter starts at >= 1, got {start}")
+        self._value = start
+
+    @property
+    def value(self) -> int:
+        """The current interval index (1-based)."""
+        return self._value
+
+    def advance(self) -> int:
+        """Increment after a send/receive; return the *new* interval index."""
+        self._value += 1
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"IntervalCounter({self._value})"
+
+
+class LamportClock:
+    """A classic Lamport scalar clock (max-merge on receive).
+
+    Not used by the paper's algorithms directly; retained for test
+    cross-checks of the trace layer (a Lamport clock must respect any
+    topological order of the happened-before relation).
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ClockError(f"Lamport clock starts at >= 0, got {start}")
+        self._value = start
+
+    @property
+    def value(self) -> int:
+        """The current clock value."""
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local or send event; return the new value."""
+        self._value += 1
+        return self._value
+
+    def receive(self, message_clock: int) -> int:
+        """Merge with the timestamp of a received message; return new value."""
+        if message_clock < 0:
+            raise ClockError(f"message clock must be >= 0, got {message_clock}")
+        self._value = max(self._value, message_clock) + 1
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"LamportClock({self._value})"

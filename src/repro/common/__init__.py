@@ -1,0 +1,39 @@
+"""Cross-cutting utilities: errors, type aliases, RNG helpers, validation."""
+
+from repro.common.errors import (
+    ClockError,
+    ConfigurationError,
+    CutError,
+    DeadlockError,
+    DetectionError,
+    InvalidComputationError,
+    LowerBoundError,
+    ProtocolError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+)
+from repro.common.rng import derive_seed, make_rng, spawn_rng
+from repro.common.types import NO_STATE, WORD_BITS, IntervalIndex, Pid, StateRef
+
+__all__ = [
+    "ReproError",
+    "InvalidComputationError",
+    "ClockError",
+    "CutError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "DetectionError",
+    "ConfigurationError",
+    "SerializationError",
+    "LowerBoundError",
+    "make_rng",
+    "derive_seed",
+    "spawn_rng",
+    "Pid",
+    "IntervalIndex",
+    "StateRef",
+    "NO_STATE",
+    "WORD_BITS",
+]

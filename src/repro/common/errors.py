@@ -1,0 +1,86 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``ValueError``/``TypeError``
+subclasses) from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidComputationError",
+    "ClockError",
+    "CutError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "DetectionError",
+    "ConfigurationError",
+    "SerializationError",
+    "LowerBoundError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidComputationError(ReproError, ValueError):
+    """A recorded computation violates a structural invariant.
+
+    Examples: a receive event without a matching send, a message received
+    before it was sent on the same process, or per-process event indices
+    that are not contiguous.
+    """
+
+
+class ClockError(ReproError, ValueError):
+    """A logical clock operation was used incorrectly.
+
+    Examples: merging vector clocks of different widths, or comparing
+    clocks drawn from computations with different process sets.
+    """
+
+
+class CutError(ReproError, ValueError):
+    """A global cut is malformed (wrong width, out-of-range indices)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation kernel reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """All actors are blocked on receives and no messages are in flight.
+
+    Detection protocols deliberately block when the monitored predicate
+    never becomes true; the kernel reports this as a deadlock and the
+    detection runner translates it into a "not detected" outcome.  A
+    deadlock is therefore not always a bug — but it is always final.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A detection protocol violated one of its own invariants.
+
+    These errors indicate a bug in the implementation (or a corrupted
+    token), never a property of the monitored computation.
+    """
+
+
+class DetectionError(ReproError, RuntimeError):
+    """A detection run could not produce a verdict."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied configuration (bad group map, sizes, seeds)."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A computation or report could not be encoded or decoded."""
+
+
+class LowerBoundError(ReproError, RuntimeError):
+    """The lower-bound game was driven outside its legal move set."""

@@ -1,0 +1,61 @@
+"""Shared type aliases and small value types used across the library.
+
+The paper indexes processes ``P_1 .. P_N`` starting at 1; Python naturally
+indexes from 0.  Throughout this library a *process id* (``Pid``) is a
+0-based integer and an *interval index* (``IntervalIndex``) is the 1-based
+vector-clock component the paper calls ``k`` in the state label ``(i, k)``.
+The sentinel interval index ``0`` means "no state chosen yet", exactly as
+in the paper's token initialization ``G[i] = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+__all__ = [
+    "Pid",
+    "IntervalIndex",
+    "StateRef",
+    "LocalPredicateFn",
+    "NO_STATE",
+    "WORD_BITS",
+]
+
+# A process identifier: 0-based index into the process list.
+Pid = int
+
+# A 1-based interval (communication-free state block) index; 0 = "none yet".
+IntervalIndex = int
+
+# Sentinel interval index used for "no candidate selected yet" (paper: G[i]=0).
+NO_STATE: IntervalIndex = 0
+
+# Accounting convention for message-size measurements: one machine word.
+WORD_BITS: int = 32
+
+# A local predicate evaluated on a mapping of variable name -> value.
+LocalPredicateFn = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class StateRef:
+    """Reference to the paper's state label ``(i, k)``.
+
+    ``pid`` is the 0-based process index and ``interval`` the 1-based
+    interval index on that process.  ``StateRef`` is ordered (pid-major)
+    only so it can be used in sorted containers; the ordering carries no
+    causal meaning.
+    """
+
+    pid: Pid
+    interval: IntervalIndex
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError(f"pid must be >= 0, got {self.pid}")
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(P{self.pid}, {self.interval})"

@@ -1,0 +1,37 @@
+"""Detection algorithms: the paper's contributions and their baselines."""
+
+from repro.detect.base import (
+    GREEN,
+    HALT_KIND,
+    POLL_KIND,
+    POLL_RESPONSE_KIND,
+    RED,
+    TOKEN_KIND,
+    DetectionReport,
+    app_name,
+    monitor_name,
+)
+
+__all__ = [
+    "DetectionReport",
+    "TOKEN_KIND",
+    "POLL_KIND",
+    "POLL_RESPONSE_KIND",
+    "HALT_KIND",
+    "RED",
+    "GREEN",
+    "monitor_name",
+    "app_name",
+    "run_detector",
+    "DETECTORS",
+]
+
+
+def __getattr__(name: str):
+    # runner imports every algorithm module; loading it lazily keeps
+    # `import repro.detect` cheap and avoids import cycles.
+    if name in ("run_detector", "DETECTORS", "offline_detectors", "online_detectors"):
+        from repro.detect import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

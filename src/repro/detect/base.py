@@ -1,0 +1,101 @@
+"""Shared detection-protocol vocabulary and the report type.
+
+Every detector — offline baseline or simulated distributed protocol —
+produces a :class:`DetectionReport` so experiments can compare them
+uniformly.  The wire-kind constants name the message types exchanged by
+the simulated protocols; instrumentation filters on them (e.g. counting
+token hops is ``metrics.messages_of_kind(TOKEN_KIND)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simulation.instrumentation import MetricsBoard
+from repro.simulation.kernel import SimulationResult
+from repro.trace.cuts import Cut
+
+__all__ = [
+    "TOKEN_KIND",
+    "POLL_KIND",
+    "POLL_RESPONSE_KIND",
+    "HALT_KIND",
+    "RED",
+    "GREEN",
+    "DetectionReport",
+    "MONITOR_PREFIX",
+    "APP_PREFIX",
+    "monitor_name",
+    "app_name",
+]
+
+# Message kinds on monitor <-> monitor channels.
+TOKEN_KIND = "token"
+POLL_KIND = "poll"
+POLL_RESPONSE_KIND = "poll_response"
+HALT_KIND = "halt"
+
+# Candidate-state colors (paper §3.2).  Red: eliminated, must advance.
+# Green: live candidate, no known happened-before violation.
+RED = "red"
+GREEN = "green"
+
+# Actor naming conventions, used by metrics filtering.
+MONITOR_PREFIX = "mon-"
+APP_PREFIX = "app-"
+
+
+def monitor_name(pid: int) -> str:
+    """The canonical actor name of process ``pid``'s monitor."""
+    return f"{MONITOR_PREFIX}{pid}"
+
+
+def app_name(pid: int) -> str:
+    """The canonical actor name of process ``pid``'s snapshot feeder."""
+    return f"{APP_PREFIX}{pid}"
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionReport:
+    """Uniform outcome of one detection run.
+
+    Parameters
+    ----------
+    detector:
+        Registry name of the algorithm that produced this report.
+    detected:
+        Whether the WCP held at some consistent cut of the run.
+    cut:
+        The detected cut over the WCP's pids (``None`` when undetected).
+        All correct detectors return the unique *first* satisfying cut.
+    full_cut:
+        For algorithms that compute a cut over all ``N`` processes (the
+        direct-dependence family), that full cut; otherwise ``None``.
+    detection_time:
+        Simulated time at which detection was declared (``None`` for
+        offline detectors or undetected runs).
+    sim:
+        Kernel result for simulated protocols (``None`` offline).
+    metrics:
+        The kernel metrics board for simulated protocols (``None``
+        offline; offline detectors report costs in ``extras``).
+    extras:
+        Algorithm-specific measurements (token hops, comparisons,
+        lattice states explored, ...).
+    """
+
+    detector: str
+    detected: bool
+    cut: Cut | None = None
+    full_cut: Cut | None = None
+    detection_time: float | None = None
+    sim: SimulationResult | None = None
+    metrics: MetricsBoard | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.detected and self.cut is None:
+            raise ValueError("a detected report must carry the detected cut")
+        if not self.detected and self.cut is not None:
+            raise ValueError("an undetected report must not carry a cut")

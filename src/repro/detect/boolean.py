@@ -1,0 +1,72 @@
+"""Detection of arbitrary boolean global predicates via WCP reduction.
+
+Implements the reduction the paper cites from [7]: normalize the boolean
+expression to DNF, detect each disjunct as a WCP (with any registered
+WCP detector), and report "possibly(φ)" if any disjunct holds.  Among
+the detected disjunct cuts the minimal-*level* one is reported; unlike a
+single WCP, the satisfying cuts of a disjunction are not closed under
+componentwise minimum, so a unique "first cut" need not exist (ties are
+broken by lexicographic interval order for determinism).
+
+Cuts of different disjuncts may range over different process subsets;
+the reported cut keeps the winning disjunct's subset, and ``extras``
+records which disjunct won.
+"""
+
+from __future__ import annotations
+
+from repro.detect.base import DetectionReport
+from repro.predicates.boolexpr import BoolExpr
+from repro.trace.computation import Computation
+
+__all__ = ["detect_boolean"]
+
+
+def detect_boolean(
+    computation: Computation,
+    expression: BoolExpr,
+    detector: str = "reference",
+    **options: object,
+) -> DetectionReport:
+    """Detect a boolean global predicate by DNF-of-WCPs reduction.
+
+    Parameters
+    ----------
+    detector:
+        Any name from :data:`repro.detect.runner.DETECTORS`; every
+        disjunct runs through it.
+    options:
+        Forwarded to the underlying detector (seed, channel model, ...).
+    """
+    from repro.detect.runner import run_detector
+
+    wcps = expression.to_wcps()
+    best = None
+    best_key: tuple[int, tuple[int, ...]] | None = None
+    winner = -1
+    sub_reports = []
+    for index, wcp in enumerate(wcps):
+        report = run_detector(detector, computation, wcp, **options)
+        sub_reports.append(report)
+        if not report.detected:
+            continue
+        assert report.cut is not None
+        key = (sum(report.cut.intervals), report.cut.intervals)
+        if best_key is None or key < best_key:
+            best, best_key, winner = report, key, index
+    extras = {
+        "disjuncts": len(wcps),
+        "winning_disjunct": winner,
+        "disjuncts_detected": sum(1 for r in sub_reports if r.detected),
+    }
+    if best is None:
+        return DetectionReport(
+            detector=f"boolean[{detector}]", detected=False, extras=extras
+        )
+    return DetectionReport(
+        detector=f"boolean[{detector}]",
+        detected=True,
+        cut=best.cut,
+        detection_time=best.detection_time,
+        extras=extras,
+    )

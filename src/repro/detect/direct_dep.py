@@ -1,0 +1,278 @@
+"""§4: the direct-dependence WCP detection algorithm (Figs. 4 and 5).
+
+No vector clocks: application processes tag messages with a scalar
+interval counter and record each receive as a *direct dependence*
+``(source, clock)``.  All ``N`` processes participate (Lemma 4.1 only
+equates direct- and transitive-dependence consistency when the cut has
+a component on every process); processes without a local predicate run
+with the constant-true predicate.
+
+Monitor state is fully distributed — the token is empty:
+
+* ``G`` / ``color`` — this process's candidate clock and color (Table 1:
+  the distributed counterparts of the vector-clock token's fields);
+* ``next_red`` — the red-chain pointer.  All red monitors are linked in
+  a null-terminated chain whose head holds the token.
+
+The token holder (Fig. 4) consumes candidates until one has
+``clock > G``, accumulating their flushed dependence lists; turns green;
+then *polls* the source of every accumulated dependence.  A polled
+monitor (Fig. 5) whose candidate is dominated (``poll.clock >= G``)
+turns red, adopts the poll's ``next_red`` (splicing itself into the
+chain right after the holder), and answers "became red"; the holder then
+points its own ``next_red`` at it.  An empty chain after polling means
+every monitor is green: by Lemmas 4.1/4.2 the ``G`` values form the
+first consistent cut satisfying the WCP.
+
+Cost accounting (experiment E2): one work unit per candidate consumed,
+per dependence processed, and per poll handled; polls are two words,
+responses and the token one bit each; a snapshot is ``1 + 2·|deps|``
+words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import WORD_BITS
+from repro.detect.base import (
+    GREEN,
+    HALT_KIND,
+    POLL_KIND,
+    POLL_RESPONSE_KIND,
+    RED,
+    TOKEN_KIND,
+    DetectionReport,
+    app_name,
+    monitor_name,
+)
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.simulation.actors import Actor
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import ChannelModel
+from repro.simulation.replay import (
+    CANDIDATE_KIND,
+    END_OF_TRACE_KIND,
+    FeedItem,
+    SnapshotFeeder,
+)
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.snapshots import DDSnapshot, dd_snapshots
+
+__all__ = ["Poll", "PollResponse", "DirectDepMonitor", "detect"]
+
+POLL_BITS = 2 * WORD_BITS
+RESPONSE_BITS = 1
+TOKEN_BITS = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Poll:
+    """A poll message: the dependence clock and the sender's chain pointer."""
+
+    clock: int
+    next_red: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class PollResponse:
+    """Reply to a poll: did the polled monitor turn red just now?"""
+
+    became_red: bool
+
+
+def snapshot_bits(snapshot: DDSnapshot) -> int:
+    """Accounting size of a §4.1 local snapshot: clock + dependence pairs."""
+    return (1 + 2 * len(snapshot.deps)) * WORD_BITS
+
+
+class DirectDepMonitor(Actor):
+    """One §4 monitor process (there is one per system process).
+
+    Runner-visible attributes: ``G``, ``color``, ``detected`` (on the
+    declaring monitor), ``aborted``.
+    """
+
+    def __init__(
+        self, pid: int, num_processes: int, initial_next_red: int | None
+    ) -> None:
+        super().__init__(monitor_name(pid))
+        self._pid = pid
+        self._n = num_processes
+        self.G = 0
+        self.color = RED
+        self.next_red: int | None = initial_next_red
+        self.detected = False
+        self.detected_at: float | None = None
+        self.aborted = False
+        self.token_visits = 0
+
+    # ------------------------------------------------------------------
+    def run(self):
+        while True:
+            msg = yield self.receive(TOKEN_KIND, POLL_KIND, HALT_KIND)
+            if msg.kind == HALT_KIND:
+                return
+            if msg.kind == POLL_KIND:
+                yield from self._handle_poll(msg)
+                continue
+            finished = yield from self._handle_token()
+            if finished:
+                return
+
+    # ------------------------------------------------------------------
+    def _handle_poll(self, msg):
+        """Fig. 5: update (G, color), splice into the chain if newly red."""
+        poll: Poll = msg.payload
+        yield self.work(1)
+        old_color = self.color
+        if poll.clock >= self.G:
+            self.color = RED
+            self.G = poll.clock
+        if self.color == RED and old_color == GREEN:
+            self.next_red = poll.next_red
+            response = PollResponse(became_red=True)
+        else:
+            response = PollResponse(became_red=False)
+        yield self.send(
+            msg.src, response, kind=POLL_RESPONSE_KIND, size_bits=RESPONSE_BITS
+        )
+
+    # ------------------------------------------------------------------
+    def _handle_token(self):
+        """Fig. 4: find a fresh candidate, poll its dependences, pass on."""
+        self.token_visits += 1
+        deplist = []
+        # repeat ... until candidate.clock > G
+        while True:
+            cmsg = yield self.receive(CANDIDATE_KIND, END_OF_TRACE_KIND)
+            if cmsg.kind == END_OF_TRACE_KIND:
+                self.aborted = True
+                yield self._halt_others()
+                return True
+            yield self.work(1)
+            snapshot: DDSnapshot = cmsg.payload
+            deplist.extend(snapshot.deps)
+            if snapshot.clock > self.G:
+                self.G = snapshot.clock
+                break
+        self.color = GREEN
+        # Add dependence sources to the red chain.
+        for dep in deplist:
+            yield self.work(1)
+            yield self.send(
+                monitor_name(dep.source),
+                Poll(dep.clock, self.next_red),
+                kind=POLL_KIND,
+                size_bits=POLL_BITS,
+            )
+            rmsg = yield self.receive(POLL_RESPONSE_KIND)
+            if rmsg.payload.became_red:
+                self.next_red = dep.source
+        if self.next_red is None:
+            self.detected = True
+            self.detected_at = self.now
+            yield self._halt_others()
+            return True
+        target = self.next_red
+        yield self.send(
+            monitor_name(target), None, kind=TOKEN_KIND, size_bits=TOKEN_BITS
+        )
+        return False
+
+    def _halt_others(self):
+        others = [
+            monitor_name(p) for p in range(self._n) if p != self._pid
+        ]
+        return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
+
+
+class _TokenInjector(Actor):
+    """Starts the protocol: the empty token goes to the chain head."""
+
+    def __init__(self, first_monitor: str) -> None:
+        super().__init__("token-injector")
+        self._first = first_monitor
+
+    def run(self):
+        yield self.send(self._first, None, kind=TOKEN_KIND, size_bits=TOKEN_BITS)
+
+
+def build_monitors(num_processes: int) -> list[DirectDepMonitor]:
+    """Monitors with the initial red chain 0 -> 1 -> ... -> N-1 -> null."""
+    return [
+        DirectDepMonitor(
+            pid,
+            num_processes,
+            initial_next_red=(pid + 1 if pid + 1 < num_processes else None),
+        )
+        for pid in range(num_processes)
+    ]
+
+
+def detect(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+    *,
+    seed: int = 0,
+    channel_model: ChannelModel | None = None,
+    spacing: float = 1.0,
+    observers: list | None = None,
+) -> DetectionReport:
+    """Run the §4 algorithm on a recorded computation.
+
+    Every one of the ``N`` processes gets a feeder and a monitor; the
+    detected full cut is projected onto the WCP's pids for the report.
+    """
+    wcp.check_against(computation.num_processes)
+    big_n = computation.num_processes
+    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    monitors = build_monitors(big_n)
+    for mon in monitors:
+        kernel.add_actor(mon)
+    streams = dd_snapshots(computation, wcp.predicate_map())
+    for pid in range(big_n):
+        items = [
+            FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
+            for snap in streams[pid]
+        ]
+        kernel.add_actor(
+            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        )
+    kernel.add_actor(_TokenInjector(monitor_name(0)))
+    sim = kernel.run()
+
+    winner = next((m for m in monitors if m.detected), None)
+    actor_metrics = kernel.metrics.actors()
+    extras = {
+        "token_hops": sum(
+            m.sent_by_kind.get(TOKEN_KIND, 0)
+            for name, m in actor_metrics.items()
+            if name.startswith("mon-")
+        ),
+        "polls": kernel.metrics.messages_of_kind(POLL_KIND),
+        "token_visits": sum(m.token_visits for m in monitors),
+        "aborted": any(m.aborted for m in monitors),
+    }
+    if winner is not None:
+        full = Cut(
+            tuple(range(big_n)), tuple(monitors[p].G for p in range(big_n))
+        )
+        return DetectionReport(
+            detector="direct_dep",
+            detected=True,
+            cut=full.project(wcp.pids),
+            full_cut=full,
+            detection_time=winner.detected_at,
+            sim=sim,
+            metrics=kernel.metrics,
+            extras=extras,
+        )
+    return DetectionReport(
+        detector="direct_dep",
+        detected=False,
+        sim=sim,
+        metrics=kernel.metrics,
+        extras=extras,
+    )

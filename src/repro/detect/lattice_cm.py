@@ -1,0 +1,123 @@
+"""Cooper–Marzullo lattice baseline: possibly(φ) and definitely(φ).
+
+Cooper and Marzullo [3] detect arbitrary global predicates by building
+the lattice of consistent global states and searching it — the approach
+the paper improves on for conjunctive predicates.  We implement both
+modalities at interval granularity:
+
+* ``possibly(φ)`` — some consistent observation passes through a state
+  satisfying φ.  For a WCP this coincides with the other detectors; the
+  level-order search also returns the *least* satisfying cut, making it
+  directly comparable.
+* ``definitely(φ)`` — every consistent observation passes through a
+  satisfying state.  Computed by searching for a φ-avoiding path from
+  the initial to the final global state.
+
+Both are exponential in the worst case (the lattice can have
+``Θ(k^n)`` states); the ``extras`` of the report record how many states
+were explored, which experiment E8 uses to show why the paper's
+polynomial algorithms matter.
+"""
+
+from __future__ import annotations
+
+from repro.detect.base import DetectionReport
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.predicates.evaluator import candidate_intervals
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.lattice import consistent_successors, initial_cut
+
+__all__ = ["detect", "possibly", "definitely"]
+
+
+def possibly(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> tuple[Cut | None, dict[str, int]]:
+    """Level-order lattice search for the least satisfying cut.
+
+    Returns ``(cut, stats)``; ``stats`` records ``states_explored`` and
+    ``max_level_width`` (the widest lattice level visited).
+    """
+    wcp.check_against(computation.num_processes)
+    analysis = computation.analysis()
+    truth = {
+        pid: set(ivs) for pid, ivs in candidate_intervals(computation, wcp).items()
+    }
+
+    def satisfies(cut: Cut) -> bool:
+        return all(cut.component(pid) in truth[pid] for pid in wcp.pids)
+
+    start = initial_cut(analysis, wcp.pids)
+    frontier = {start.intervals: start}
+    explored = 0
+    max_width = 0
+    while frontier:
+        max_width = max(max_width, len(frontier))
+        next_frontier: dict[tuple[int, ...], Cut] = {}
+        for cut in frontier.values():
+            explored += 1
+            if satisfies(cut):
+                return cut, {
+                    "states_explored": explored,
+                    "max_level_width": max_width,
+                }
+            for succ in consistent_successors(analysis, cut):
+                next_frontier.setdefault(succ.intervals, succ)
+        frontier = next_frontier
+    return None, {"states_explored": explored, "max_level_width": max_width}
+
+
+def definitely(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> tuple[bool, dict[str, int]]:
+    """Whether every consistent observation passes through a satisfying cut.
+
+    True iff no path of non-satisfying consistent cuts connects the
+    initial global state to the final one (satisfying endpoints
+    trivially decide their cases).
+    """
+    wcp.check_against(computation.num_processes)
+    analysis = computation.analysis()
+    truth = {
+        pid: set(ivs) for pid, ivs in candidate_intervals(computation, wcp).items()
+    }
+
+    def satisfies(cut: Cut) -> bool:
+        return all(cut.component(pid) in truth[pid] for pid in wcp.pids)
+
+    final_intervals = tuple(analysis.num_intervals(pid) for pid in wcp.pids)
+    start = initial_cut(analysis, wcp.pids)
+    explored = 0
+    if satisfies(start):
+        # Every observation starts here; if the final state also always
+        # passes through... the start alone suffices.
+        return True, {"states_explored": 1}
+    frontier = {start.intervals: start}
+    seen = {start.intervals}
+    while frontier:
+        next_frontier: dict[tuple[int, ...], Cut] = {}
+        for cut in frontier.values():
+            explored += 1
+            if cut.intervals == final_intervals:
+                return False, {"states_explored": explored}
+            for succ in consistent_successors(analysis, cut):
+                if succ.intervals in seen or satisfies(succ):
+                    continue
+                seen.add(succ.intervals)
+                next_frontier.setdefault(succ.intervals, succ)
+        frontier = next_frontier
+    return True, {"states_explored": explored}
+
+
+def detect(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> DetectionReport:
+    """Run possibly(φ) and report uniformly (matching the other detectors)."""
+    cut, stats = possibly(computation, wcp)
+    return DetectionReport(
+        detector="lattice",
+        detected=cut is not None,
+        cut=cut,
+        extras=dict(stats),
+    )

@@ -1,0 +1,82 @@
+"""Uniform entry point: run any registered detector on any computation.
+
+``run_detector("token_vc", computation, wcp, seed=3)`` dispatches to the
+algorithm module and returns its :class:`DetectionReport`.  The registry
+is the single place experiments and examples enumerate algorithms from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.common.errors import ConfigurationError
+from repro.detect import (
+    centralized,
+    direct_dep,
+    direct_dep_parallel,
+    lattice_cm,
+    reference,
+    token_vc,
+    token_vc_multi,
+)
+from repro.detect.base import DetectionReport
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.computation import Computation
+
+__all__ = ["DETECTORS", "run_detector", "offline_detectors", "online_detectors"]
+
+
+class _DetectFn(Protocol):
+    def __call__(
+        self,
+        computation: Computation,
+        wcp: WeakConjunctivePredicate,
+        **options: object,
+    ) -> DetectionReport: ...
+
+
+# Offline detectors analyze the trace directly; online ones simulate the
+# full distributed protocol and accept seed/channel_model/spacing options.
+_OFFLINE: dict[str, Callable] = {
+    "reference": reference.detect,
+    "lattice": lattice_cm.detect,
+}
+_ONLINE: dict[str, Callable] = {
+    "centralized": centralized.detect,
+    "token_vc": token_vc.detect,
+    "token_vc_multi": token_vc_multi.detect,
+    "direct_dep": direct_dep.detect,
+    "direct_dep_parallel": direct_dep_parallel.detect,
+}
+DETECTORS: dict[str, Callable] = {**_OFFLINE, **_ONLINE}
+
+
+def offline_detectors() -> tuple[str, ...]:
+    """Names of trace-analysis detectors (no simulation options)."""
+    return tuple(_OFFLINE)
+
+
+def online_detectors() -> tuple[str, ...]:
+    """Names of simulated distributed detectors."""
+    return tuple(_ONLINE)
+
+
+def run_detector(
+    name: str,
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+    **options: object,
+) -> DetectionReport:
+    """Run detector ``name``; online detectors accept ``seed``,
+    ``channel_model``, ``spacing`` and algorithm-specific options."""
+    try:
+        fn = DETECTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; available: {sorted(DETECTORS)}"
+        ) from None
+    if name in _OFFLINE and options:
+        raise ConfigurationError(
+            f"offline detector {name!r} takes no options, got {sorted(options)}"
+        )
+    return fn(computation, wcp, **options)

@@ -1,0 +1,204 @@
+"""Strong conjunctive predicates: polynomial definitely(φ) detection.
+
+The paper's companion line of work (Garg & Waldecker, *Detection of
+Strong Unstable Predicates in Distributed Programs*) shows that
+``definitely(l_1 ∧ … ∧ l_n)`` — every observation of the run passes
+through a state where all clauses hold simultaneously — is decidable in
+polynomial time for conjunctive predicates.  We implement it as the
+natural complement to the paper's possibly-detectors.
+
+**True intervals.**  For each process, the maximal runs of consecutive
+local states in which its clause holds, with
+
+* the *enter event* — the event producing the run's first state
+  (``None`` when the clause holds initially), and
+* the *exit event* — the event producing the first state after the run
+  (``None`` when the run extends to the end of the trace).
+
+**Unavoidable boxes.**  A choice of one true interval per process is
+*unavoidable* iff every observation passes through a global state inside
+all of them.  An observation can dodge the box iff some process ``j``
+can exit its interval while another process ``i`` has not yet entered —
+i.e. iff the cut "``j`` past its exit, ``i`` before its entry" is
+consistent.  That cut is inconsistent exactly when
+
+    enter(I_i)  →  exit(I_j)        (event-level happened-before)
+
+so the box is unavoidable iff this holds for all ordered pairs (pairs
+where ``enter`` is the initial state or ``exit`` never happens are
+vacuously safe).
+
+**Elimination.**  If ``enter(I_i) ↛ exit(I_j)``, then no later interval
+of ``i`` helps either (its enter event is causally later on the same
+process), so ``I_j`` can be discarded outright — the same queue-head
+elimination shape as the paper's weak algorithm, giving O(n²·intervals)
+work.  Definitely holds iff the elimination reaches a fully pairwise-
+safe set of heads.
+
+Validated exhaustively against the state-granularity lattice
+(:mod:`repro.trace.state_lattice`) in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.causality import event_vector_clocks
+from repro.trace.computation import Computation
+
+__all__ = [
+    "TrueInterval",
+    "StrongReport",
+    "true_intervals_states",
+    "detect_definitely",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StrongReport:
+    """Outcome of a definitely(φ) run.
+
+    Unlike possibly-detection there is no single witnessing cut: on
+    success ``box`` maps each predicate pid to the (first_state,
+    last_state) local-state range of its interval in the unavoidable
+    box.
+    """
+
+    holds: bool
+    box: dict[int, tuple[int, int]] | None
+    eliminations: int
+    comparisons: int
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class TrueInterval:
+    """A maximal run of clause-true local states on one process.
+
+    ``first_state``/``last_state`` are local-state indices;
+    ``enter_event``/``exit_event`` are 0-based event indices (``None``
+    at the trace boundaries).
+    """
+
+    pid: int
+    first_state: int
+    last_state: int
+    enter_event: int | None
+    exit_event: int | None
+
+
+def true_intervals_states(
+    computation: Computation, pid: int, clause
+) -> list[TrueInterval]:
+    """The clause's maximal true runs on ``pid``, in order."""
+    states = computation.local_states(pid)
+    values = [bool(clause(s)) for s in states]
+    intervals: list[TrueInterval] = []
+    start: int | None = None
+    for idx, value in enumerate(values):
+        if value and start is None:
+            start = idx
+        elif not value and start is not None:
+            intervals.append(
+                TrueInterval(
+                    pid=pid,
+                    first_state=start,
+                    last_state=idx - 1,
+                    enter_event=start - 1 if start > 0 else None,
+                    exit_event=idx - 1,
+                )
+            )
+            start = None
+    if start is not None:
+        intervals.append(
+            TrueInterval(
+                pid=pid,
+                first_state=start,
+                last_state=len(values) - 1,
+                enter_event=start - 1 if start > 0 else None,
+                exit_event=None,
+            )
+        )
+    return intervals
+
+
+def detect_definitely(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> StrongReport:
+    """Polynomial definitely(φ) for a conjunctive predicate."""
+    wcp.check_against(computation.num_processes)
+    clocks = event_vector_clocks(computation)
+
+    def enter_reaches_exit(enter_i, exit_j, pid_i: int, pid_j: int) -> bool:
+        """enter(I_i) -> exit(I_j), with boundary conventions."""
+        if enter_i is None:  # true from the very start: cannot be dodged
+            return True
+        if exit_j is None:  # never exits: cannot be dodged either
+            return True
+        # Fidge–Mattern: event (pid_i, enter_i) in the causal past of
+        # event (pid_j, exit_j).
+        return (
+            clocks[pid_i][enter_i][pid_i] <= clocks[pid_j][exit_j][pid_i]
+        )
+
+    queues: dict[int, deque[TrueInterval]] = {}
+    for pid in wcp.pids:
+        runs = true_intervals_states(computation, pid, wcp.clause(pid))
+        if not runs:
+            return StrongReport(
+                holds=False, box=None, eliminations=0, comparisons=0,
+                reason=f"clause on P{pid} never holds",
+            )
+        queues[pid] = deque(runs)
+
+    eliminations = 0
+    comparisons = 0
+    pending = deque(wcp.pids)
+    in_pending = set(wcp.pids)
+    while pending:
+        i = pending.popleft()
+        in_pending.discard(i)
+        restart = False
+        for j in wcp.pids:
+            if j == i:
+                continue
+            head_i = queues[i][0]
+            head_j = queues[j][0]
+            comparisons += 2
+            # Pair is safe iff enter(I_i) -> exit(I_j) AND vice versa.
+            if not enter_reaches_exit(
+                head_i.enter_event, head_j.exit_event, i, j
+            ):
+                loser = j
+            elif not enter_reaches_exit(
+                head_j.enter_event, head_i.exit_event, j, i
+            ):
+                loser = i
+            else:
+                continue
+            queues[loser].popleft()
+            eliminations += 1
+            if not queues[loser]:
+                return StrongReport(
+                    holds=False, box=None, eliminations=eliminations,
+                    comparisons=comparisons,
+                    reason=f"P{loser} ran out of true intervals",
+                )
+            if loser not in in_pending:
+                pending.append(loser)
+                in_pending.add(loser)
+            if loser == i:
+                restart = True
+                break
+        if restart:
+            continue
+    box = {
+        pid: (queues[pid][0].first_state, queues[pid][0].last_state)
+        for pid in wcp.pids
+    }
+    return StrongReport(
+        holds=True, box=box, eliminations=eliminations,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,295 @@
+"""§3: the single-token, vector-clock WCP detection algorithm.
+
+This is the paper's first contribution (Figs. 2 and 3), implemented as
+simulated monitor actors:
+
+* Application processes (replayed by
+  :class:`~repro.simulation.replay.SnapshotFeeder`) send one vector-clock
+  snapshot per predicate-true interval to their monitor over a FIFO
+  channel.
+* A unique token carries the candidate cut ``G`` and a ``color`` vector.
+  ``color[i] = red`` means state ``(i, G[i])`` and all predecessors are
+  eliminated; ``green`` means no state in ``G`` is known to follow it.
+* The monitor holding the token (Fig. 3) advances its own candidate past
+  ``G[i]``, then scans the accepted candidate's vector: any ``j`` with
+  ``candidate[j] >= G[j]`` has ``(j, G[j]) -> (i, G[i])`` (vector-clock
+  property 2) and is repainted red with ``G[j] := candidate[j]``.
+* All green ⇒ the cut is consistent and the WCP is detected — and by
+  Theorem 3.2 it is the *first* such cut.
+
+Termination extension (see DESIGN.md): an end-of-trace marker from the
+application aborts the protocol with "not detected" when a red process
+has no further candidates.
+
+Cost accounting (experiment E1): one work unit per candidate consumed,
+one per vector-component comparison in the Fig. 3 for-loop, ``n`` per
+token visit for the red-scan; the token message is ``2n`` words, a
+candidate message ``n`` words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import WORD_BITS
+from repro.detect.base import (
+    GREEN,
+    HALT_KIND,
+    RED,
+    TOKEN_KIND,
+    DetectionReport,
+    app_name,
+    monitor_name,
+)
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.simulation.actors import Actor
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import ChannelModel
+from repro.simulation.replay import (
+    CANDIDATE_KIND,
+    END_OF_TRACE_KIND,
+    FeedItem,
+    SnapshotFeeder,
+)
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.snapshots import vc_snapshots
+
+__all__ = ["VCToken", "TokenVCMonitor", "detect"]
+
+
+@dataclass
+class VCToken:
+    """The unique token: candidate cut ``G`` plus per-slot colors.
+
+    Slot ``k`` corresponds to ``wcp.pids[k]``.  ``G`` holds 1-based
+    interval indices (0 = no candidate yet); exactly one monitor holds
+    the token at any time, so in-place mutation is safe.
+    """
+
+    G: list[int]
+    color: list[str]
+
+    @classmethod
+    def initial(cls, n: int) -> "VCToken":
+        """The paper's initialization: all zeros, all red."""
+        return cls(G=[0] * n, color=[RED] * n)
+
+    def size_bits(self) -> int:
+        """Accounting size: two n-vectors (G in words, colors counted as
+        words too, matching the paper's O(n)-words token)."""
+        return 2 * len(self.G) * WORD_BITS
+
+    def all_green(self) -> bool:
+        """True iff every slot is green (detection condition)."""
+        return all(c == GREEN for c in self.color)
+
+
+class TokenVCMonitor(Actor):
+    """The Fig. 3 monitor process for one predicate slot.
+
+    Exposes the detection outcome to the runner via attributes:
+    ``detected`` / ``detected_cut`` / ``detected_at`` on the declaring
+    monitor, ``aborted`` on a monitor that exhausted its candidates.
+    """
+
+    #: Token-routing policies for choosing which red slot receives the
+    #: token next.  The paper leaves the choice open ("sends the token to
+    #: a process whose color is red"); the ablation benchmark compares:
+    #: ``cyclic`` — first red slot after ours, round robin (default);
+    #: ``first`` — lowest-index red slot;
+    #: ``most_stale`` — the red slot with the smallest eliminated bound
+    #: (the candidate furthest behind).
+    ROUTINGS = ("cyclic", "first", "most_stale")
+
+    def __init__(
+        self,
+        pid: int,
+        slot: int,
+        monitor_names: list[str],
+        routing: str = "cyclic",
+    ) -> None:
+        super().__init__(monitor_name(pid))
+        if routing not in self.ROUTINGS:
+            raise ConfigurationError(
+                f"routing must be one of {self.ROUTINGS}, got {routing!r}"
+            )
+        self._pid = pid
+        self._slot = slot
+        self._monitors = list(monitor_names)
+        self._n = len(monitor_names)
+        self._routing = routing
+        self.detected = False
+        self.detected_cut: tuple[int, ...] | None = None
+        self.detected_at: float | None = None
+        self.aborted = False
+        self.token_visits = 0
+
+    # ------------------------------------------------------------------
+    def run(self):
+        while True:
+            msg = yield self.receive(TOKEN_KIND, HALT_KIND)
+            if msg.kind == HALT_KIND:
+                return
+            finished = yield from self._handle_token(msg.payload)
+            if finished:
+                return
+
+    def _handle_token(self, token: VCToken):
+        """One token visit; returns True when the protocol is over."""
+        slot = self._slot
+        self.token_visits += 1
+        candidate: tuple[int, ...] | None = None
+        # Fig. 3 while-loop: advance own candidate past the eliminated G[i].
+        while token.color[slot] == RED:
+            cmsg = yield self.receive(CANDIDATE_KIND, END_OF_TRACE_KIND)
+            if cmsg.kind == END_OF_TRACE_KIND:
+                # No further candidate can exist for an eliminated state:
+                # by Lemma 3.1(4) the WCP cannot hold in this run.
+                self.aborted = True
+                yield self._halt_others()
+                return True
+            yield self.work(1)
+            cand = cmsg.payload
+            if cand[slot] > token.G[slot]:
+                token.G[slot] = cand[slot]
+                token.color[slot] = GREEN
+                candidate = cand
+        assert candidate is not None
+        # Fig. 3 for-loop: repaint every j whose current candidate
+        # happened before ours (vector-clock property 2).
+        for j in range(self._n):
+            if j == slot:
+                continue
+            yield self.work(1)
+            if candidate[j] >= token.G[j]:
+                token.G[j] = candidate[j]
+                token.color[j] = RED
+        # Scan for a red slot to forward the token to.
+        yield self.work(self._n)
+        if token.all_green():
+            self.detected = True
+            self.detected_cut = tuple(token.G)
+            self.detected_at = self.now
+            yield self._halt_others()
+            return True
+        target = self._next_red_slot(token)
+        yield self.send(
+            self._monitors[target], token, kind=TOKEN_KIND,
+            size_bits=token.size_bits(),
+        )
+        return False
+
+    def _next_red_slot(self, token: VCToken) -> int:
+        """Pick the red slot to forward the token to, per the routing."""
+        reds = [j for j in range(self._n) if token.color[j] == RED]
+        if not reds:
+            raise AssertionError("no red slot despite not all green")
+        if self._routing == "first":
+            return reds[0]
+        if self._routing == "most_stale":
+            return min(reds, key=lambda j: (token.G[j], j))
+        for step in range(1, self._n + 1):  # cyclic
+            j = (self._slot + step) % self._n
+            if token.color[j] == RED:
+                return j
+        raise AssertionError("unreachable")
+
+    def _halt_others(self):
+        others = [m for m in self._monitors if m != self.name]
+        return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
+
+
+class _TokenInjector(Actor):
+    """Delivers the initial all-red token to the first monitor at t=0."""
+
+    def __init__(self, first_monitor: str, n: int) -> None:
+        super().__init__("token-injector")
+        self._first = first_monitor
+        self._n = n
+
+    def run(self):
+        token = VCToken.initial(self._n)
+        yield self.send(
+            self._first, token, kind=TOKEN_KIND, size_bits=token.size_bits()
+        )
+
+
+def detect(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+    *,
+    seed: int = 0,
+    channel_model: ChannelModel | None = None,
+    spacing: float = 1.0,
+    routing: str = "cyclic",
+    observers: list | None = None,
+) -> DetectionReport:
+    """Run the §3 algorithm on a recorded computation.
+
+    Builds a simulation with one snapshot feeder and one monitor per
+    predicate process, injects the token, runs to quiescence, and reads
+    the verdict off the monitor actors.  ``routing`` selects the
+    red-slot forwarding policy (see :attr:`TokenVCMonitor.ROUTINGS`).
+    """
+    wcp.check_against(computation.num_processes)
+    pids = wcp.pids
+    n = wcp.n
+    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    names = [monitor_name(pid) for pid in pids]
+    monitors = [
+        TokenVCMonitor(pid, slot, names, routing=routing)
+        for slot, pid in enumerate(pids)
+    ]
+    for mon in monitors:
+        kernel.add_actor(mon)
+    streams = vc_snapshots(computation, wcp.predicate_map())
+    for pid in pids:
+        items = [
+            FeedItem(
+                payload=tuple(snap.vector[p] for p in pids),
+                size_bits=n * WORD_BITS,
+                time=snap.time,
+            )
+            for snap in streams[pid]
+        ]
+        kernel.add_actor(
+            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        )
+    kernel.add_actor(_TokenInjector(names[0], n))
+    sim = kernel.run()
+
+    winner = next((m for m in monitors if m.detected), None)
+    actor_metrics = kernel.metrics.actors()
+    token_hops = sum(
+        m.sent_by_kind.get(TOKEN_KIND, 0)
+        for name, m in actor_metrics.items()
+        if name.startswith("mon-")
+    )
+    extras = {
+        "token_hops": token_hops,
+        "token_visits": sum(m.token_visits for m in monitors),
+        "candidates_sent": sum(
+            m.sent_by_kind.get(CANDIDATE_KIND, 0) for m in actor_metrics.values()
+        ),
+        "aborted": any(m.aborted for m in monitors),
+    }
+    if winner is not None:
+        assert winner.detected_cut is not None
+        return DetectionReport(
+            detector="token_vc",
+            detected=True,
+            cut=Cut(pids, winner.detected_cut),
+            detection_time=winner.detected_at,
+            sim=sim,
+            metrics=kernel.metrics,
+            extras=extras,
+        )
+    return DetectionReport(
+        detector="token_vc",
+        detected=False,
+        sim=sim,
+        metrics=kernel.metrics,
+        extras=extras,
+    )

@@ -1,0 +1,321 @@
+"""§3.5: the multi-token (grouped) variant of the vector-clock algorithm.
+
+The single-token algorithm has no concurrency — only the token holder is
+active.  §3.5 partitions the monitors into ``g`` groups with one token
+each.  Within a group the single-token algorithm runs unchanged except
+that the token never leaves the group; once no slot *of the group* is
+red in its token, the token returns to a pre-determined **leader**.
+
+The leader merges the ``g`` tokens into a global candidate cut.  Merging
+uses elimination semantics: a red entry ``(G, red)`` means states up to
+and including ``G`` are eliminated; a green entry ``(G, green)`` means
+``G`` is a live candidate (states before it eliminated).  A slot's live
+candidate comes only from its own group's token (other tokens can only
+*eliminate* it).  If the merged cut is all green the WCP is detected —
+the same pairwise-concurrency argument as Theorem 3.2 applies, because a
+green candidate surviving every token's elimination bound cannot have
+happened before any other green candidate.  Otherwise the leader sends
+refreshed tokens into every group that still has a red slot and repeats.
+
+Totals match the single-token algorithm; the win is concurrency: ``g``
+monitors can be active at once, which experiment E4 measures as
+makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import WORD_BITS
+from repro.detect.base import (
+    GREEN,
+    HALT_KIND,
+    RED,
+    TOKEN_KIND,
+    DetectionReport,
+    app_name,
+    monitor_name,
+)
+from repro.detect.token_vc import VCToken
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.simulation.actors import Actor
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import ChannelModel
+from repro.simulation.replay import (
+    CANDIDATE_KIND,
+    END_OF_TRACE_KIND,
+    FeedItem,
+    SnapshotFeeder,
+)
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.snapshots import vc_snapshots
+
+__all__ = ["GroupToken", "GroupMonitor", "LeaderActor", "detect", "LEADER_NAME"]
+
+LEADER_NAME = "leader"
+
+
+@dataclass
+class GroupToken:
+    """One group's token: a full-width :class:`VCToken` tagged with its group."""
+
+    group: int
+    token: VCToken
+
+    def size_bits(self) -> int:
+        """Group tag plus the token vectors."""
+        return WORD_BITS + self.token.size_bits()
+
+
+class GroupMonitor(Actor):
+    """A Fig. 3 monitor restricted to in-group token travel.
+
+    Identical to the single-token monitor except: the red-slot search
+    only considers slots in this monitor's group, and when none are red
+    the token is returned to the leader.  Detection is always declared
+    by the leader.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        slot: int,
+        monitor_names: list[str],
+        group_slots: frozenset[int],
+    ) -> None:
+        super().__init__(monitor_name(pid))
+        self._pid = pid
+        self._slot = slot
+        self._monitors = list(monitor_names)
+        self._n = len(monitor_names)
+        self._group_slots = group_slots
+        self.aborted = False
+        self.token_visits = 0
+
+    def run(self):
+        while True:
+            msg = yield self.receive(TOKEN_KIND, HALT_KIND)
+            if msg.kind == HALT_KIND:
+                return
+            finished = yield from self._handle_token(msg.payload)
+            if finished:
+                return
+
+    def _handle_token(self, gtoken: GroupToken):
+        token = gtoken.token
+        slot = self._slot
+        self.token_visits += 1
+        candidate: tuple[int, ...] | None = None
+        while token.color[slot] == RED:
+            cmsg = yield self.receive(CANDIDATE_KIND, END_OF_TRACE_KIND)
+            if cmsg.kind == END_OF_TRACE_KIND:
+                self.aborted = True
+                yield self.broadcast(
+                    [m for m in self._monitors if m != self.name] + [LEADER_NAME],
+                    None,
+                    kind=HALT_KIND,
+                    size_bits=1,
+                )
+                return True
+            yield self.work(1)
+            cand = cmsg.payload
+            if cand[slot] > token.G[slot]:
+                token.G[slot] = cand[slot]
+                token.color[slot] = GREEN
+                candidate = cand
+        assert candidate is not None
+        for j in range(self._n):
+            if j == slot:
+                continue
+            yield self.work(1)
+            if candidate[j] >= token.G[j]:
+                token.G[j] = candidate[j]
+                token.color[j] = RED
+        yield self.work(self._n)
+        target = self._next_in_group_red(token)
+        dest = LEADER_NAME if target is None else self._monitors[target]
+        yield self.send(dest, gtoken, kind=TOKEN_KIND, size_bits=gtoken.size_bits())
+        return False
+
+    def _next_in_group_red(self, token: VCToken) -> int | None:
+        for step in range(1, self._n + 1):
+            j = (self._slot + step) % self._n
+            if j in self._group_slots and token.color[j] == RED:
+                return j
+        return None
+
+
+class LeaderActor(Actor):
+    """§3.5's pre-determined leader: merges tokens, re-dispatches, detects.
+
+    Maintains the merged candidate cut as ``(live, elim)`` per slot:
+    ``live[i]`` is the current candidate from group(i)'s token (or None),
+    ``elim[i]`` the highest eliminated interval from any token.
+    """
+
+    def __init__(
+        self,
+        groups: list[frozenset[int]],
+        group_of: list[int],
+        monitor_names: list[str],
+    ) -> None:
+        super().__init__(LEADER_NAME)
+        self._groups = groups
+        self._group_of = group_of
+        self._monitors = monitor_names
+        self._n = len(monitor_names)
+        self.detected = False
+        self.detected_cut: tuple[int, ...] | None = None
+        self.detected_at: float | None = None
+        self.rounds = 0
+
+    def run(self):
+        n = self._n
+        live: list[int | None] = [None] * n
+        elim: list[int] = [0] * n  # states <= elim[i] are eliminated; 0 = none
+        while True:
+            self.rounds += 1
+            red_slots = [i for i in range(n) if live[i] is None or live[i] <= elim[i]]
+            if not red_slots:
+                self.detected = True
+                self.detected_cut = tuple(live)  # type: ignore[arg-type]
+                self.detected_at = self.now
+                yield self.broadcast(
+                    self._monitors, None, kind=HALT_KIND, size_bits=1
+                )
+                return
+            red_groups = sorted({self._group_of[i] for i in red_slots})
+            for g in red_groups:
+                token = VCToken(G=[0] * n, color=[RED] * n)
+                for i in range(n):
+                    if live[i] is not None and live[i] > elim[i]:
+                        token.G[i] = live[i]
+                        token.color[i] = GREEN
+                    else:
+                        token.G[i] = elim[i]
+                        token.color[i] = RED
+                gtoken = GroupToken(g, token)
+                entry = min(i for i in red_slots if self._group_of[i] == g)
+                yield self.send(
+                    self._monitors[entry],
+                    gtoken,
+                    kind=TOKEN_KIND,
+                    size_bits=gtoken.size_bits(),
+                )
+            outstanding = len(red_groups)
+            while outstanding:
+                msg = yield self.receive(TOKEN_KIND, HALT_KIND)
+                if msg.kind == HALT_KIND:
+                    return
+                returned: GroupToken = msg.payload
+                yield self.work(n)
+                self._merge(returned, live, elim)
+                outstanding -= 1
+
+    def _merge(
+        self, gtoken: GroupToken, live: list[int | None], elim: list[int]
+    ) -> None:
+        token = gtoken.token
+        for i in range(self._n):
+            if self._group_of[i] == gtoken.group:
+                # Authoritative candidate for this slot.
+                live[i] = token.G[i] if token.color[i] == GREEN else None
+                bound = token.G[i] if token.color[i] == RED else token.G[i] - 1
+                elim[i] = max(elim[i], bound)
+            else:
+                # Other groups can only eliminate.
+                bound = token.G[i] if token.color[i] == RED else token.G[i] - 1
+                elim[i] = max(elim[i], bound)
+
+
+def _partition(n: int, g: int) -> tuple[list[frozenset[int]], list[int]]:
+    """Contiguous partition of slots 0..n-1 into g non-empty groups."""
+    if g < 1:
+        raise ConfigurationError(f"groups must be >= 1, got {g}")
+    g = min(g, n)
+    base, extra = divmod(n, g)
+    groups: list[frozenset[int]] = []
+    group_of = [0] * n
+    start = 0
+    for k in range(g):
+        size = base + (1 if k < extra else 0)
+        members = frozenset(range(start, start + size))
+        groups.append(members)
+        for i in members:
+            group_of[i] = k
+        start += size
+    return groups, group_of
+
+
+def detect(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+    *,
+    seed: int = 0,
+    channel_model: ChannelModel | None = None,
+    spacing: float = 1.0,
+    groups: int = 2,
+    observers: list | None = None,
+) -> DetectionReport:
+    """Run the §3.5 multi-token algorithm with ``groups`` tokens."""
+    wcp.check_against(computation.num_processes)
+    pids = wcp.pids
+    n = wcp.n
+    group_sets, group_of = _partition(n, groups)
+    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    names = [monitor_name(pid) for pid in pids]
+    monitors = [
+        GroupMonitor(pid, slot, names, group_sets[group_of[slot]])
+        for slot, pid in enumerate(pids)
+    ]
+    for mon in monitors:
+        kernel.add_actor(mon)
+    leader = LeaderActor(group_sets, group_of, names)
+    kernel.add_actor(leader)
+    streams = vc_snapshots(computation, wcp.predicate_map())
+    for pid in pids:
+        items = [
+            FeedItem(
+                payload=tuple(snap.vector[p] for p in pids),
+                size_bits=n * WORD_BITS,
+                time=snap.time,
+            )
+            for snap in streams[pid]
+        ]
+        kernel.add_actor(
+            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        )
+    sim = kernel.run()
+
+    actor_metrics = kernel.metrics.actors()
+    extras = {
+        "groups": len(group_sets),
+        "rounds": leader.rounds,
+        "token_hops": sum(
+            m.sent_by_kind.get(TOKEN_KIND, 0)
+            for name, m in actor_metrics.items()
+            if name.startswith("mon-") or name == LEADER_NAME
+        ),
+        "token_visits": sum(m.token_visits for m in monitors),
+        "aborted": any(m.aborted for m in monitors),
+    }
+    if leader.detected:
+        assert leader.detected_cut is not None
+        return DetectionReport(
+            detector="token_vc_multi",
+            detected=True,
+            cut=Cut(pids, leader.detected_cut),
+            detection_time=leader.detected_at,
+            sim=sim,
+            metrics=kernel.metrics,
+            extras=extras,
+        )
+    return DetectionReport(
+        detector="token_vc_multi",
+        detected=False,
+        sim=sim,
+        metrics=kernel.metrics,
+        extras=extras,
+    )

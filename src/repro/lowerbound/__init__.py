@@ -1,0 +1,35 @@
+"""The §5 lower-bound game: model, adversary, strategies, driver."""
+
+from repro.lowerbound.adversary import AdversaryOracle
+from repro.lowerbound.game import (
+    GameResult,
+    play,
+    play_against_adversary,
+    play_on_computation,
+)
+from repro.lowerbound.model import ExplicitPosetOracle, HeadComparison, Oracle
+from repro.lowerbound.strategies import (
+    GreedyStrategy,
+    LargestQueueStrategy,
+    OneAtATimeStrategy,
+    SmallestQueueStrategy,
+    Strategy,
+    available_strategies,
+)
+
+__all__ = [
+    "Oracle",
+    "HeadComparison",
+    "ExplicitPosetOracle",
+    "AdversaryOracle",
+    "Strategy",
+    "GreedyStrategy",
+    "OneAtATimeStrategy",
+    "LargestQueueStrategy",
+    "SmallestQueueStrategy",
+    "available_strategies",
+    "GameResult",
+    "play",
+    "play_against_adversary",
+    "play_on_computation",
+]

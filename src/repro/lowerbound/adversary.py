@@ -1,0 +1,90 @@
+"""The adaptive adversary of Theorem 5.1.
+
+The adversary answers S1 comparisons so that **exactly one** head is
+ever deletable per step, forcing any S1/S2-restricted algorithm to spend
+``Ω(nm)`` steps before it can soundly answer:
+
+* On the first comparison it declares all heads concurrent except that
+  the head of the largest queue is smaller than one other head.
+* After the algorithm deletes from queue ``i``, the freshly exposed head
+  of ``i`` is declared greater than the head of the largest *other*
+  queue — and everything else concurrent.  Using the fresh head as the
+  dominator keeps the answer history consistent: the fresh element has
+  never been compared before, so placing it above one old head
+  contradicts nothing.
+
+The game ends when a queue empties; by then at least ``nm - n`` heads
+have been deleted one at a time.  (The construction needs ``n >= 2``;
+with one chain there is nothing to compare.)
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LowerBoundError
+from repro.lowerbound.model import HeadComparison, Oracle
+
+__all__ = ["AdversaryOracle"]
+
+
+class AdversaryOracle(Oracle):
+    """The Theorem 5.1 adversary as an oracle.
+
+    ``n`` chains of exactly ``m`` elements; answers are generated
+    adaptively and are mutually consistent (a realizable poset always
+    exists extending them).
+    """
+
+    def __init__(self, n: int, m: int) -> None:
+        if n < 2:
+            raise LowerBoundError("the adversary construction needs n >= 2")
+        super().__init__(n, m)
+        self._sizes = [m] * n
+        # Queue whose head was deleted most recently (the fresh dominator).
+        self._last_deleted: int | None = None
+        # The single (loser, winner) pair currently announced, fixed
+        # until the loser's head is deleted (answers must be stable).
+        self._current_pair: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    def _choose_pair(self) -> tuple[int, int] | None:
+        if any(size == 0 for size in self._sizes):
+            return None  # game over: some chain exhausted
+        if self._current_pair is not None:
+            return self._current_pair
+        if self._last_deleted is None:
+            # First round: dominate the largest queue's head.
+            loser = max(range(self.n), key=lambda q: (self._sizes[q], -q))
+            winner = (loser + 1) % self.n
+        else:
+            winner = self._last_deleted
+            candidates = [q for q in range(self.n) if q != winner]
+            loser = max(candidates, key=lambda q: (self._sizes[q], -q))
+        self._current_pair = (loser, winner)
+        return self._current_pair
+
+    def _answer(self) -> HeadComparison:
+        alive = tuple(size > 0 for size in self._sizes)
+        pair = self._choose_pair()
+        relations = () if pair is None else (pair,)
+        return HeadComparison(alive, relations)
+
+    def _compare(self) -> HeadComparison:
+        return self._answer()
+
+    def _compare_for_legality(self) -> HeadComparison:
+        return self._answer()
+
+    def _delete(self, queue: int) -> None:
+        if self._sizes[queue] == 0:
+            raise LowerBoundError(f"queue {queue} is already empty")
+        self._sizes[queue] -= 1
+        self._last_deleted = queue
+        self._current_pair = None
+
+    def queue_size(self, queue: int) -> int:
+        return self._sizes[queue]
+
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        """True once some chain is empty (the algorithm may answer 'no')."""
+        return any(size == 0 for size in self._sizes)

@@ -1,0 +1,69 @@
+"""Driving the §5 lower-bound game and collecting its step counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lowerbound.adversary import AdversaryOracle
+from repro.lowerbound.model import ExplicitPosetOracle, Oracle
+from repro.lowerbound.strategies import Strategy
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.computation import Computation
+
+__all__ = ["GameResult", "play", "play_against_adversary", "play_on_computation"]
+
+
+@dataclass(frozen=True, slots=True)
+class GameResult:
+    """Outcome and cost of one game."""
+
+    strategy: str
+    answer: bool
+    s1_steps: int
+    s2_steps: int
+    deletions: int
+    n: int
+    m: int
+
+    @property
+    def total_steps(self) -> int:
+        """S1 + S2 steps — the quantity Theorem 5.1 bounds by Ω(nm)."""
+        return self.s1_steps + self.s2_steps
+
+    @property
+    def theorem_bound(self) -> int:
+        """The theorem's deletion floor for adversarial instances: nm - n."""
+        return self.n * self.m - self.n
+
+
+def play(strategy: Strategy, oracle: Oracle) -> GameResult:
+    """Run ``strategy`` against ``oracle`` to completion."""
+    answer = strategy.decide(oracle)
+    return GameResult(
+        strategy=strategy.name,
+        answer=answer,
+        s1_steps=oracle.s1_steps,
+        s2_steps=oracle.s2_steps,
+        deletions=oracle.deletions,
+        n=oracle.n,
+        m=oracle.m,
+    )
+
+
+def play_against_adversary(strategy: Strategy, n: int, m: int) -> GameResult:
+    """Play against the Theorem 5.1 adversary (always answers 'no')."""
+    return play(strategy, AdversaryOracle(n, m))
+
+
+def play_on_computation(
+    strategy: Strategy,
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+) -> GameResult:
+    """Play on the honest oracle derived from a real computation.
+
+    The answer equals WCP detectability, connecting the §5 abstraction
+    back to the detection algorithms.
+    """
+    oracle = ExplicitPosetOracle.from_computation(computation, wcp)
+    return play(strategy, oracle)

@@ -1,0 +1,175 @@
+"""The §5 computation model: queues of chain elements, steps S1 and S2.
+
+Theorem 5.1 models online conjunctive-predicate detection as a game on a
+poset of size ``n*m`` decomposed into ``n`` chains of ``m`` elements,
+each accessed through a queue showing only its head:
+
+* **S1** — compare all queue heads in parallel (learn the pairwise
+  order relations among current heads);
+* **S2** — delete the heads of any number of queues.
+
+A deletion is *legal* only for a head known to be dominated (smaller
+than some other current head); deleting anything else is unsound — an
+adversary could exhibit a consistent cut containing it.  The algorithm
+must decide whether the poset contains an antichain of size ``n``
+(equivalently: whether the WCP has a consistent satisfying cut).
+
+:class:`Oracle` is the game interface; :class:`ExplicitPosetOracle`
+answers from a concrete poset (used to check strategies for
+correctness); the adaptive adversary lives in
+:mod:`repro.lowerbound.adversary`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.common.errors import LowerBoundError
+from repro.common.types import StateRef
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.predicates.evaluator import candidate_intervals
+from repro.trace.computation import Computation
+
+__all__ = ["HeadComparison", "Oracle", "ExplicitPosetOracle"]
+
+
+@dataclass(frozen=True, slots=True)
+class HeadComparison:
+    """Result of one S1 step.
+
+    ``alive`` flags which queues are non-empty; ``relations`` lists the
+    known dominations among current heads as ``(loser, winner)`` queue
+    index pairs (head of ``loser`` < head of ``winner``).  Queues not
+    mentioned in any relation have pairwise-concurrent heads.
+    """
+
+    alive: tuple[bool, ...]
+    relations: tuple[tuple[int, int], ...]
+
+    def dominated(self) -> set[int]:
+        """Queue indices whose head is known to be dominated."""
+        return {loser for loser, _winner in self.relations}
+
+
+class Oracle(ABC):
+    """One game instance: ``n`` queues of at most ``m`` elements.
+
+    Tracks the step counts the theorem bounds: S1 comparisons, S2
+    deletion steps, and total elements deleted.
+    """
+
+    def __init__(self, n: int, m: int) -> None:
+        if n < 1 or m < 1:
+            raise LowerBoundError(f"need n, m >= 1, got n={n}, m={m}")
+        self.n = n
+        self.m = m
+        self.s1_steps = 0
+        self.s2_steps = 0
+        self.deletions = 0
+
+    # ------------------------------------------------------------------
+    def compare_heads(self) -> HeadComparison:
+        """Step S1."""
+        self.s1_steps += 1
+        return self._compare()
+
+    def delete_heads(self, queues: set[int]) -> None:
+        """Step S2.  Every queue must currently have a *dominated* head."""
+        if not queues:
+            raise LowerBoundError("S2 must delete at least one head")
+        self.s2_steps += 1
+        legal = self._compare_silent().dominated()
+        for q in sorted(queues):
+            if q not in legal:
+                raise LowerBoundError(
+                    f"illegal deletion: head of queue {q} is not dominated"
+                )
+        for q in sorted(queues):
+            self._delete(q)
+            self.deletions += 1
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _compare(self) -> HeadComparison:
+        """Answer S1 (may be adaptive)."""
+
+    def _compare_silent(self) -> HeadComparison:
+        """The current truth, for legality checks (not counted as a step)."""
+        return self._compare_for_legality()
+
+    @abstractmethod
+    def _compare_for_legality(self) -> HeadComparison:
+        """Relations used to validate deletions (must not mutate state)."""
+
+    @abstractmethod
+    def _delete(self, queue: int) -> None:
+        """Remove the head of ``queue``."""
+
+    @abstractmethod
+    def queue_size(self, queue: int) -> int:
+        """Remaining elements in ``queue`` (the model lets algorithms
+        count their own deletions, so exposing sizes loses no generality)."""
+
+
+class ExplicitPosetOracle(Oracle):
+    """An honest oracle over a concrete poset.
+
+    The poset is given by ``n`` chains of element labels plus a
+    happened-before predicate over labels.  S1 reports *all* dominations
+    among current heads.
+    """
+
+    def __init__(self, chains, happened_before) -> None:
+        chains = [list(c) for c in chains]
+        if not chains:
+            raise LowerBoundError("need at least one chain")
+        super().__init__(n=len(chains), m=max((len(c) for c in chains), default=0) or 1)
+        self._chains = chains
+        self._hb = happened_before
+
+    @classmethod
+    def from_computation(
+        cls, computation: Computation, wcp: WeakConjunctivePredicate
+    ) -> "ExplicitPosetOracle":
+        """The WCP instance as a §5 game: chains of candidate states.
+
+        An antichain of size ``n`` picking one element per chain is
+        exactly a consistent cut satisfying the WCP.
+        """
+        analysis = computation.analysis()
+        chains = [
+            [StateRef(pid, interval) for interval in intervals]
+            for pid, intervals in sorted(
+                candidate_intervals(computation, wcp).items()
+            )
+        ]
+        return cls(chains, analysis.happened_before)
+
+    # ------------------------------------------------------------------
+    def _relations(self) -> HeadComparison:
+        alive = tuple(bool(c) for c in self._chains)
+        relations: list[tuple[int, int]] = []
+        for i in range(self.n):
+            if not self._chains[i]:
+                continue
+            for j in range(self.n):
+                if i == j or not self._chains[j]:
+                    continue
+                if self._hb(self._chains[i][0], self._chains[j][0]):
+                    relations.append((i, j))
+        return HeadComparison(alive, tuple(relations))
+
+    def _compare(self) -> HeadComparison:
+        return self._relations()
+
+    def _compare_for_legality(self) -> HeadComparison:
+        return self._relations()
+
+    def _delete(self, queue: int) -> None:
+        if not self._chains[queue]:
+            raise LowerBoundError(f"queue {queue} is already empty")
+        self._chains[queue].pop(0)
+
+    def queue_size(self, queue: int) -> int:
+        return len(self._chains[queue])

@@ -1,0 +1,100 @@
+"""Detection strategies restricted to the §5 steps S1/S2.
+
+Each strategy plays the antichain game against an
+:class:`~repro.lowerbound.model.Oracle`: repeatedly compare heads (S1),
+delete dominated heads (S2), and answer
+
+* **True** (antichain of size n exists — the WCP is detectable) when a
+  comparison reports all queues alive and no dominations, or
+* **False** when some queue empties.
+
+Against honest oracles all strategies answer identically (they all
+implement sound elimination); against the Theorem 5.1 adversary they
+all pay ``>= nm - n`` deletions, which is the point of experiment E6.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.lowerbound.model import HeadComparison, Oracle
+
+__all__ = [
+    "Strategy",
+    "GreedyStrategy",
+    "OneAtATimeStrategy",
+    "LargestQueueStrategy",
+    "SmallestQueueStrategy",
+    "available_strategies",
+]
+
+
+class Strategy(ABC):
+    """A §5-restricted detection algorithm."""
+
+    name: str = "strategy"
+
+    def decide(self, oracle: Oracle) -> bool:
+        """Play the game to completion; return the antichain verdict."""
+        while True:
+            comparison = oracle.compare_heads()
+            if not all(comparison.alive):
+                return False
+            dominated = comparison.dominated()
+            if not dominated:
+                return True
+            oracle.delete_heads(self.select(comparison, oracle))
+
+    @abstractmethod
+    def select(self, comparison: HeadComparison, oracle: Oracle) -> set[int]:
+        """Choose which dominated heads to delete this S2 step."""
+
+
+class GreedyStrategy(Strategy):
+    """Delete every dominated head in one S2 step."""
+
+    name = "greedy"
+
+    def select(self, comparison: HeadComparison, oracle: Oracle) -> set[int]:
+        return comparison.dominated()
+
+
+class OneAtATimeStrategy(Strategy):
+    """Delete a single dominated head per step (lowest queue index)."""
+
+    name = "one_at_a_time"
+
+    def select(self, comparison: HeadComparison, oracle: Oracle) -> set[int]:
+        return {min(comparison.dominated())}
+
+
+class LargestQueueStrategy(Strategy):
+    """Delete the dominated head of the largest remaining queue."""
+
+    name = "largest_queue"
+
+    def select(self, comparison: HeadComparison, oracle: Oracle) -> set[int]:
+        return {max(comparison.dominated(), key=lambda q: (oracle.queue_size(q), -q))}
+
+
+class SmallestQueueStrategy(Strategy):
+    """Delete the dominated head of the smallest remaining queue.
+
+    Intuitively tries to finish a queue fast and answer 'no' early; the
+    adversary neutralizes this, which makes it a good E6 datapoint.
+    """
+
+    name = "smallest_queue"
+
+    def select(self, comparison: HeadComparison, oracle: Oracle) -> set[int]:
+        return {min(comparison.dominated(), key=lambda q: (oracle.queue_size(q), q))}
+
+
+def available_strategies() -> list[Strategy]:
+    """One instance of every strategy, for sweeps."""
+    return [
+        GreedyStrategy(),
+        OneAtATimeStrategy(),
+        LargestQueueStrategy(),
+        SmallestQueueStrategy(),
+    ]

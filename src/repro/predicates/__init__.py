@@ -1,0 +1,59 @@
+"""Predicate layer: local predicates, WCPs, channel predicates, ground truth."""
+
+from repro.predicates.channel import (
+    ChannelPredicate,
+    LinearChannelPredicate,
+    at_most_in_transit,
+    empty_channel,
+    exactly_in_transit,
+    in_transit_messages,
+    linear_at_least,
+    linear_at_most,
+    linear_empty_channel,
+)
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.predicates.evaluator import (
+    brute_force_first_cut,
+    candidate_intervals,
+    clause_holds_in_interval,
+    cut_satisfies,
+)
+from repro.predicates.local import (
+    LocalPredicate,
+    all_of,
+    always_true,
+    any_of,
+    flag_predicate,
+    negation,
+    never_true,
+    var_at_least,
+    var_equals,
+    var_true,
+)
+
+__all__ = [
+    "LocalPredicate",
+    "flag_predicate",
+    "var_equals",
+    "var_true",
+    "var_at_least",
+    "always_true",
+    "never_true",
+    "negation",
+    "all_of",
+    "any_of",
+    "WeakConjunctivePredicate",
+    "ChannelPredicate",
+    "LinearChannelPredicate",
+    "empty_channel",
+    "at_most_in_transit",
+    "exactly_in_transit",
+    "in_transit_messages",
+    "linear_empty_channel",
+    "linear_at_most",
+    "linear_at_least",
+    "cut_satisfies",
+    "clause_holds_in_interval",
+    "brute_force_first_cut",
+    "candidate_intervals",
+]

@@ -1,0 +1,156 @@
+"""Boolean global predicates over local atoms, reduced to WCPs.
+
+§2 of the paper: *"We restrict our consideration to conjunctive
+predicates because any boolean predicate can be detected using an
+algorithm that detects conjunctive predicates [7]."*  This module
+implements that reduction: a boolean expression whose atoms are local
+predicates (each bound to one process) is normalized to DNF with
+negations pushed onto the atoms; every disjunct then becomes a
+:class:`~repro.predicates.conjunctive.WeakConjunctivePredicate` (atoms
+sharing a process are conjoined locally).
+
+The expression algebra supports operator syntax::
+
+    expr = atom(0, var_true("cs")) & ~atom(1, var_true("idle")) \
+         | atom(2, var_true("leader"))
+    for wcp in expr.to_wcps():
+        ...
+
+Note the reduction's cost is the usual DNF blowup — exponential in the
+worst case — which is the price the paper's citation accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.common.errors import ConfigurationError
+from repro.common.types import Pid
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.predicates.local import LocalPredicate, all_of, negation
+
+__all__ = ["BoolExpr", "Atom", "And", "Or", "Not", "atom"]
+
+
+class BoolExpr:
+    """Base class for boolean expressions over local-predicate atoms."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    # ------------------------------------------------------------------
+    def _nnf(self, negated: bool) -> "BoolExpr":
+        """Negation normal form (negations pushed onto atoms)."""
+        raise NotImplementedError
+
+    def _dnf_clauses(self) -> list[list["Atom"]]:
+        """DNF of an NNF expression: a list of atom conjunctions."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def to_dnf(self) -> list[list["Atom"]]:
+        """Disjunctive normal form as lists of (possibly negated) atoms."""
+        clauses = self._nnf(False)._dnf_clauses()
+        if not clauses:
+            raise ConfigurationError("expression normalizes to no clauses")
+        return clauses
+
+    def to_wcps(self) -> list[WeakConjunctivePredicate]:
+        """One WCP per DNF disjunct (same-process atoms conjoined)."""
+        wcps = []
+        for clause in self.to_dnf():
+            by_pid: dict[Pid, list[LocalPredicate]] = {}
+            for a in clause:
+                by_pid.setdefault(a.pid, []).append(a.effective_predicate())
+            wcps.append(
+                WeakConjunctivePredicate(
+                    {pid: all_of(*preds) for pid, preds in by_pid.items()}
+                )
+            )
+        return wcps
+
+
+@dataclass(frozen=True)
+class Atom(BoolExpr):
+    """A local predicate bound to one process, possibly negated."""
+
+    pid: Pid
+    predicate: LocalPredicate
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ConfigurationError(f"atom pid must be >= 0, got {self.pid}")
+
+    def effective_predicate(self) -> LocalPredicate:
+        """The predicate with any pending negation applied."""
+        return negation(self.predicate) if self.negated else self.predicate
+
+    def _nnf(self, negated: bool) -> "BoolExpr":
+        return Atom(self.pid, self.predicate, self.negated ^ negated)
+
+    def _dnf_clauses(self) -> list[list["Atom"]]:
+        return [[self]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bang = "!" if self.negated else ""
+        return f"{bang}{self.predicate.name}@P{self.pid}"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    """Conjunction of two subexpressions."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+    def _nnf(self, negated: bool) -> "BoolExpr":
+        if negated:  # De Morgan
+            return Or(self.left._nnf(True), self.right._nnf(True))
+        return And(self.left._nnf(False), self.right._nnf(False))
+
+    def _dnf_clauses(self) -> list[list["Atom"]]:
+        return [
+            lc + rc
+            for lc in self.left._dnf_clauses()
+            for rc in self.right._dnf_clauses()
+        ]
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    """Disjunction of two subexpressions."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+    def _nnf(self, negated: bool) -> "BoolExpr":
+        if negated:  # De Morgan
+            return And(self.left._nnf(True), self.right._nnf(True))
+        return Or(self.left._nnf(False), self.right._nnf(False))
+
+    def _dnf_clauses(self) -> list[list["Atom"]]:
+        return self.left._dnf_clauses() + self.right._dnf_clauses()
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Negation of a subexpression (eliminated by NNF)."""
+
+    operand: BoolExpr
+
+    def _nnf(self, negated: bool) -> "BoolExpr":
+        return self.operand._nnf(not negated)
+
+    def _dnf_clauses(self) -> list[list["Atom"]]:  # pragma: no cover
+        raise AssertionError("Not nodes are eliminated by NNF")
+
+
+def atom(pid: Pid, predicate: LocalPredicate) -> Atom:
+    """Convenience constructor for a positive atom."""
+    return Atom(pid, predicate)

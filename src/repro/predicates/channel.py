@@ -1,0 +1,193 @@
+"""Channel predicates — the GCP extension of Garg, Chase, Mitchell & Kilgore.
+
+The paper's introduction situates its algorithms in a line of work that
+extends WCP detection with predicates on the *state of communication
+channels* (Generalized Conjunctive Predicates, reference [6]).  We
+implement that extension so the library covers the cited class: a GCP is
+a conjunction of local predicates plus channel predicates, each channel
+predicate a boolean function of the multiset of messages in transit on
+one directed channel at the cut.
+
+At interval granularity, the channel ``src -> dest`` at a cut ``G``
+contains exactly the messages whose send closed an interval ``< G[src]``
+(so the send has occurred) and whose receive opened an interval
+``> G[dest]`` (so the receive has not).  For consistent cuts the
+received-but-unsent case cannot arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Pid
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.events import EventKind
+
+__all__ = [
+    "ChannelPredicate",
+    "LinearChannelPredicate",
+    "empty_channel",
+    "at_most_in_transit",
+    "exactly_in_transit",
+    "in_transit_messages",
+    "linear_empty_channel",
+    "linear_at_most",
+    "linear_at_least",
+]
+
+ChannelFn = Callable[[Sequence[int]], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelPredicate:
+    """A named boolean predicate over one directed channel's in-transit
+    message ids."""
+
+    name: str
+    src: Pid
+    dest: Pid
+    fn: ChannelFn
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dest < 0:
+            raise ConfigurationError("channel endpoints must be >= 0")
+        if self.src == self.dest:
+            raise ConfigurationError("a channel cannot loop back to its source")
+        if not callable(self.fn):
+            raise ConfigurationError(f"channel fn must be callable: {self.fn!r}")
+
+    def evaluate(self, computation: Computation, cut: Cut) -> bool:
+        """Evaluate on the channel state induced by ``cut``."""
+        return bool(
+            self.fn(in_transit_messages(computation, cut, self.src, self.dest))
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[P{self.src}->P{self.dest}]"
+
+
+def in_transit_messages(
+    computation: Computation, cut: Cut, src: Pid, dest: Pid
+) -> tuple[int, ...]:
+    """Message ids in transit on ``src -> dest`` at ``cut``.
+
+    ``cut`` must contain components for both ``src`` and ``dest``.
+    """
+    analysis = computation.analysis()
+    g_src = cut.component(src)
+    g_dest = cut.component(dest)
+    transit: list[int] = []
+    for event in computation.events_of(src):
+        if event.kind is not EventKind.SEND or event.peer != dest:
+            continue
+        assert event.msg_id is not None
+        sent_before_cut = analysis.send_tag(event.msg_id) < g_src
+        record = computation.messages.get(event.msg_id)
+        if record is None:
+            received_before_cut = False  # never received (in-flight at run end)
+        else:
+            opened = analysis.interval_of_state(dest, record.recv_index + 1)
+            received_before_cut = opened <= g_dest
+        if sent_before_cut and not received_before_cut:
+            transit.append(event.msg_id)
+    return tuple(transit)
+
+
+@dataclass(frozen=True, slots=True)
+class LinearChannelPredicate:
+    """A *linear* channel predicate: boolean in the in-transit count,
+    with a designated endpoint whose advance can repair falsity.
+
+    Linearity (the property [6]'s online algorithm needs): when the
+    predicate is false at a cut, it stays false as the *other* endpoint
+    advances, so the designated ``eliminate`` endpoint's current
+    candidate can be discarded outright.  ``eliminate="receiver"`` fits
+    predicates that are violated by too many in-flight messages (empty,
+    at-most-k: the sender advancing only adds messages);
+    ``eliminate="sender"`` fits too-few predicates (at-least-k).
+    """
+
+    name: str
+    src: Pid
+    dest: Pid
+    count_fn: Callable[[int], bool]
+    eliminate: str  # "sender" | "receiver"
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dest < 0:
+            raise ConfigurationError("channel endpoints must be >= 0")
+        if self.src == self.dest:
+            raise ConfigurationError("a channel cannot loop back to its source")
+        if self.eliminate not in ("sender", "receiver"):
+            raise ConfigurationError(
+                f"eliminate must be 'sender' or 'receiver', "
+                f"got {self.eliminate!r}"
+            )
+
+    def holds_for_count(self, in_transit: int) -> bool:
+        """Evaluate on an in-transit message count."""
+        return bool(self.count_fn(in_transit))
+
+    def evaluate(self, computation: Computation, cut: Cut) -> bool:
+        """Evaluate on the channel state induced by ``cut`` (offline)."""
+        return self.holds_for_count(
+            len(in_transit_messages(computation, cut, self.src, self.dest))
+        )
+
+    def culprit(self) -> Pid:
+        """The pid whose candidate is eliminated when the clause fails."""
+        return self.src if self.eliminate == "sender" else self.dest
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[P{self.src}->P{self.dest}]"
+
+
+def linear_empty_channel(src: Pid, dest: Pid) -> LinearChannelPredicate:
+    """Linear form of the empty-channel predicate (receiver-repairable)."""
+    return LinearChannelPredicate(
+        "empty", src, dest, lambda c: c == 0, eliminate="receiver"
+    )
+
+
+def linear_at_most(src: Pid, dest: Pid, bound: int) -> LinearChannelPredicate:
+    """At most ``bound`` messages in transit (receiver-repairable)."""
+    if bound < 0:
+        raise ConfigurationError(f"bound must be >= 0, got {bound}")
+    return LinearChannelPredicate(
+        f"|ch|<={bound}", src, dest, lambda c: c <= bound, eliminate="receiver"
+    )
+
+
+def linear_at_least(src: Pid, dest: Pid, bound: int) -> LinearChannelPredicate:
+    """At least ``bound`` messages in transit (sender-repairable)."""
+    if bound < 0:
+        raise ConfigurationError(f"bound must be >= 0, got {bound}")
+    return LinearChannelPredicate(
+        f"|ch|>={bound}", src, dest, lambda c: c >= bound, eliminate="sender"
+    )
+
+
+def empty_channel(src: Pid, dest: Pid) -> ChannelPredicate:
+    """True when no message is in transit from ``src`` to ``dest``."""
+    return ChannelPredicate("empty", src, dest, lambda msgs: len(msgs) == 0)
+
+
+def at_most_in_transit(src: Pid, dest: Pid, bound: int) -> ChannelPredicate:
+    """True when at most ``bound`` messages are in transit."""
+    if bound < 0:
+        raise ConfigurationError(f"bound must be >= 0, got {bound}")
+    return ChannelPredicate(
+        f"|ch|<={bound}", src, dest, lambda msgs: len(msgs) <= bound
+    )
+
+
+def exactly_in_transit(src: Pid, dest: Pid, count: int) -> ChannelPredicate:
+    """True when exactly ``count`` messages are in transit."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    return ChannelPredicate(
+        f"|ch|=={count}", src, dest, lambda msgs: len(msgs) == count
+    )

@@ -1,0 +1,99 @@
+"""Weak conjunctive predicates (WCP): the paper's detection target.
+
+A WCP is a conjunction ``l_1 ∧ … ∧ l_n`` of local predicates, each bound
+to one process.  It holds for a run iff some *consistent cut* exists in
+which every ``l_i`` is true (the "possibly" modality).  The paper
+restricts attention to conjunctive predicates because any boolean global
+predicate can be detected by an algorithm for conjunctive ones [7].
+
+:class:`WeakConjunctivePredicate` is a value object binding local
+predicates to pids; it fixes the slot ordering used by detector tokens
+(slot ``k`` of a token vector corresponds to ``pids[k]``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Pid
+from repro.predicates.local import LocalPredicate, flag_predicate
+
+__all__ = ["WeakConjunctivePredicate"]
+
+
+class WeakConjunctivePredicate:
+    """A conjunction of local predicates, one per named process.
+
+    Parameters
+    ----------
+    clauses:
+        Mapping from pid to that process's local predicate.  Pids are
+        stored sorted; slot indices follow that order.
+    """
+
+    __slots__ = ("_pids", "_clauses")
+
+    def __init__(self, clauses: Mapping[Pid, LocalPredicate]) -> None:
+        if not clauses:
+            raise ConfigurationError("a WCP needs at least one clause")
+        pids = tuple(sorted(clauses))
+        if any(p < 0 for p in pids):
+            raise ConfigurationError(f"negative pid in WCP clauses: {pids}")
+        self._pids = pids
+        self._clauses = {pid: clauses[pid] for pid in pids}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_flags(cls, pids: Sequence[Pid], var: str = "flag") -> "WeakConjunctivePredicate":
+        """A WCP asserting boolean ``var`` on each listed process — the
+        form produced by the workload generators."""
+        return cls({pid: flag_predicate(var) for pid in pids})
+
+    # ------------------------------------------------------------------
+    @property
+    def pids(self) -> tuple[Pid, ...]:
+        """Processes over which the predicate is defined, ascending."""
+        return self._pids
+
+    @property
+    def n(self) -> int:
+        """The paper's ``n``: number of processes in the predicate."""
+        return len(self._pids)
+
+    def clause(self, pid: Pid) -> LocalPredicate:
+        """The local predicate bound to ``pid``."""
+        try:
+            return self._clauses[pid]
+        except KeyError:
+            raise ConfigurationError(f"WCP has no clause for P{pid}") from None
+
+    def slot(self, pid: Pid) -> int:
+        """The token-vector slot index of ``pid``."""
+        try:
+            return self._pids.index(pid)
+        except ValueError:
+            raise ConfigurationError(f"WCP has no clause for P{pid}") from None
+
+    def predicate_map(self) -> dict[Pid, LocalPredicate]:
+        """A pid -> predicate dictionary (a fresh copy)."""
+        return dict(self._clauses)
+
+    def items(self) -> Iterator[tuple[Pid, LocalPredicate]]:
+        """Iterate ``(pid, clause)`` in slot order."""
+        return iter((pid, self._clauses[pid]) for pid in self._pids)
+
+    def check_against(self, num_processes: int) -> None:
+        """Validate that all clause pids exist in an ``N``-process system."""
+        bad = [p for p in self._pids if p >= num_processes]
+        if bad:
+            raise ConfigurationError(
+                f"WCP names processes {bad} but the computation has only "
+                f"{num_processes} processes"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " ∧ ".join(
+            f"{self._clauses[p].name}@P{p}" for p in self._pids
+        )
+        return f"WCP({inner})"

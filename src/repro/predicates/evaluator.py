@@ -1,0 +1,107 @@
+"""Ground-truth predicate evaluation on cuts.
+
+These functions define *what the detectors must find*, independently of
+any detection algorithm:
+
+* :func:`clause_holds_in_interval` — WCP clause truth at an interval
+  (true somewhere in the interval, per the Garg–Waldecker semantics);
+* :func:`cut_satisfies` — full WCP truth at a (consistent) cut;
+* :func:`brute_force_first_cut` — the unique least satisfying consistent
+  cut, found by exhaustive lattice search.  Exponential; used to validate
+  the polynomial algorithms on small runs.
+
+The least satisfying cut is unique because satisfying consistent cuts
+are closed under componentwise minimum: the min of two consistent cuts
+is consistent (lattice property), and each of its components is a
+component of one of the originals, hence still predicate-true.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CutError
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut, is_consistent_cut
+from repro.trace.lattice import iter_consistent_cuts
+from repro.trace.snapshots import true_intervals
+
+__all__ = [
+    "clause_holds_in_interval",
+    "cut_satisfies",
+    "brute_force_first_cut",
+    "candidate_intervals",
+]
+
+
+def candidate_intervals(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> dict[int, list[int]]:
+    """Per predicate process, the ascending list of candidate intervals
+    (intervals containing at least one predicate-true local state)."""
+    wcp.check_against(computation.num_processes)
+    return {
+        pid: true_intervals(computation, pid, wcp.clause(pid))
+        for pid in wcp.pids
+    }
+
+
+def clause_holds_in_interval(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate,
+    pid: int,
+    interval: int,
+) -> bool:
+    """True iff ``wcp``'s clause for ``pid`` holds at some local state of
+    the given interval."""
+    analysis = computation.analysis()
+    clause = wcp.clause(pid)
+    states = computation.local_states(pid)
+    return any(
+        clause(states[k]) for k in analysis.states_in_interval(pid, interval)
+    )
+
+
+def cut_satisfies(
+    computation: Computation, wcp: WeakConjunctivePredicate, cut: Cut
+) -> bool:
+    """True iff ``cut`` is a consistent cut at which the WCP holds.
+
+    ``cut`` must range over exactly the WCP's pids.
+    """
+    if tuple(cut.pids) != wcp.pids:
+        raise CutError(
+            f"cut pids {cut.pids} do not match WCP pids {wcp.pids}"
+        )
+    if not cut.is_complete:
+        return False
+    analysis = computation.analysis()
+    if not is_consistent_cut(analysis, cut):
+        return False
+    return all(
+        clause_holds_in_interval(computation, wcp, pid, cut.component(pid))
+        for pid in wcp.pids
+    )
+
+
+def brute_force_first_cut(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> Cut | None:
+    """The least consistent cut satisfying the WCP, by exhaustive search.
+
+    Enumerates the consistent-cut lattice in level order; the first
+    satisfying cut encountered has minimal level and — by uniqueness of
+    the minimum — *is* the least cut.  Returns ``None`` when the WCP
+    never holds.  Exponential in general: test/baseline use only.
+    """
+    wcp.check_against(computation.num_processes)
+    analysis = computation.analysis()
+    truth: dict[int, set[int]] = {
+        pid: set(intervals)
+        for pid, intervals in candidate_intervals(computation, wcp).items()
+    }
+    for cut in iter_consistent_cuts(analysis, wcp.pids):
+        if all(
+            cut.component(pid) in truth[pid] for pid in wcp.pids
+        ):
+            return cut
+    return None

@@ -1,0 +1,108 @@
+"""Local predicates: boolean formulas over one process's local state.
+
+A local state is a mapping of program-variable names to values (see
+:meth:`repro.trace.computation.Computation.local_states`).  A
+:class:`LocalPredicate` wraps a boolean function of such a mapping with a
+human-readable name used in reports and detected-cut explanations.
+
+Combinators (:func:`all_of`, :func:`any_of`, :func:`negation`) stay
+*local* — they combine predicates on the same process.  Cross-process
+conjunction is the job of
+:class:`~repro.predicates.conjunctive.WeakConjunctivePredicate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "LocalPredicate",
+    "flag_predicate",
+    "var_equals",
+    "var_true",
+    "var_at_least",
+    "always_true",
+    "never_true",
+    "negation",
+    "all_of",
+    "any_of",
+]
+
+StateFn = Callable[[Mapping[str, object]], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class LocalPredicate:
+    """A named boolean predicate over a local state."""
+
+    name: str
+    fn: StateFn
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise ConfigurationError(f"predicate fn must be callable: {self.fn!r}")
+
+    def __call__(self, state: Mapping[str, object]) -> bool:
+        return bool(self.fn(state))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def flag_predicate(var: str = "flag") -> LocalPredicate:
+    """True when boolean variable ``var`` is set (generators' convention)."""
+    return LocalPredicate(var, lambda s: bool(s.get(var, False)))
+
+
+def var_equals(var: str, value: object) -> LocalPredicate:
+    """True when variable ``var`` equals ``value``."""
+    return LocalPredicate(f"{var}=={value!r}", lambda s: s.get(var) == value)
+
+
+def var_true(var: str) -> LocalPredicate:
+    """True when variable ``var`` is truthy."""
+    return LocalPredicate(var, lambda s: bool(s.get(var, False)))
+
+
+def var_at_least(var: str, threshold: float) -> LocalPredicate:
+    """True when numeric variable ``var`` is >= ``threshold`` (missing = False)."""
+
+    def check(state: Mapping[str, object]) -> bool:
+        value = state.get(var)
+        return isinstance(value, (int, float)) and value >= threshold
+
+    return LocalPredicate(f"{var}>={threshold}", check)
+
+
+def always_true() -> LocalPredicate:
+    """The constant-true predicate (used for §4's non-predicate processes)."""
+    return LocalPredicate("true", lambda _s: True)
+
+
+def never_true() -> LocalPredicate:
+    """The constant-false predicate."""
+    return LocalPredicate("false", lambda _s: False)
+
+
+def negation(predicate: LocalPredicate) -> LocalPredicate:
+    """The pointwise negation of a local predicate."""
+    return LocalPredicate(f"!({predicate.name})", lambda s: not predicate(s))
+
+
+def all_of(*predicates: LocalPredicate) -> LocalPredicate:
+    """Local conjunction (same process)."""
+    if not predicates:
+        raise ConfigurationError("all_of needs at least one predicate")
+    name = " & ".join(p.name for p in predicates)
+    return LocalPredicate(name, lambda s: all(p(s) for p in predicates))
+
+
+def any_of(*predicates: LocalPredicate) -> LocalPredicate:
+    """Local disjunction (same process)."""
+    if not predicates:
+        raise ConfigurationError("any_of needs at least one predicate")
+    name = " | ".join(p.name for p in predicates)
+    return LocalPredicate(name, lambda s: any(p(s) for p in predicates))

@@ -1,0 +1,54 @@
+"""Discrete-event simulation: kernel, actors, effects, channels, replay."""
+
+from repro.simulation.actors import Actor
+from repro.simulation.effects import Message, Receive, Send, Sleep, Work, kind_is
+from repro.simulation.instrumentation import ActorMetrics, MetricsBoard
+from repro.simulation.kernel import Kernel, SimulationResult
+from repro.simulation.network import (
+    ChannelModel,
+    ExponentialLatency,
+    FixedLatency,
+    KindBiasedLatency,
+    UniformLatency,
+)
+from repro.simulation.observers import (
+    EventLog,
+    InvariantChecker,
+    MessageEvent,
+    MessagePhase,
+    token_uniqueness_checker,
+)
+from repro.simulation.replay import (
+    CANDIDATE_KIND,
+    END_OF_TRACE_KIND,
+    FeedItem,
+    SnapshotFeeder,
+)
+
+__all__ = [
+    "Actor",
+    "Message",
+    "Send",
+    "Receive",
+    "Sleep",
+    "Work",
+    "kind_is",
+    "Kernel",
+    "SimulationResult",
+    "ActorMetrics",
+    "MetricsBoard",
+    "ChannelModel",
+    "FixedLatency",
+    "ExponentialLatency",
+    "UniformLatency",
+    "KindBiasedLatency",
+    "CANDIDATE_KIND",
+    "END_OF_TRACE_KIND",
+    "FeedItem",
+    "SnapshotFeeder",
+    "EventLog",
+    "InvariantChecker",
+    "MessageEvent",
+    "MessagePhase",
+    "token_uniqueness_checker",
+]

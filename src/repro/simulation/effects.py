@@ -1,0 +1,119 @@
+"""Effects: the vocabulary actor coroutines use to talk to the kernel.
+
+Actors are written as Python generators that *yield* effect objects and
+receive results back, giving the blocking-receive style of the paper's
+pseudocode directly::
+
+    def run(self):
+        msg = yield Receive(kind_is("candidate"))   # blocks
+        yield Send("M3", token, kind="token", size_bits=64)
+        yield Work(5)                               # charge 5 work units
+
+The kernel interprets each effect and resumes the generator with the
+effect's result (the received :class:`Message` for ``Receive``, ``None``
+otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Message", "Send", "Receive", "Sleep", "Work", "kind_is"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A delivered message, as seen by the receiving actor.
+
+    ``size_bits`` is the accounting size used for the paper's
+    bit-complexity measurements; it is declared by the sender, not
+    derived from the payload.
+    """
+
+    seq: int
+    src: str
+    dest: str
+    kind: str
+    payload: object
+    size_bits: int
+    sent_at: float
+    delivered_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Asynchronously send ``payload`` to actor ``dest``.
+
+    The send itself takes no simulated time; delivery is scheduled by the
+    kernel's channel model.
+    """
+
+    dest: str
+    payload: object
+    kind: str = "msg"
+    size_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bits < 0:
+            raise ValueError(f"size_bits must be >= 0, got {self.size_bits}")
+
+
+@dataclass(frozen=True, slots=True)
+class Receive:
+    """Block until a message matching ``match`` is available.
+
+    ``match`` is a predicate over :class:`Message`; ``None`` matches any
+    message.  Among buffered matching messages the earliest-delivered one
+    is returned (ties broken by sequence number).  ``description`` is
+    used in deadlock reports.
+
+    With a ``timeout``, the receive resolves to ``None`` after that many
+    simulated time units without a matching message — the primitive
+    timeout-based protocols (e.g. election algorithms) are built on.
+    """
+
+    match: Callable[[Message], bool] | None = None
+    description: str = ""
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Suspend the actor for ``duration`` simulated time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class Work:
+    """Charge ``units`` work units to the actor.
+
+    Simulated time advances by ``units * kernel.work_time_scale`` (zero
+    by default, so work is pure accounting unless a makespan experiment
+    turns the scale up).
+    """
+
+    units: int = 1
+
+    def __post_init__(self) -> None:
+        if self.units < 0:
+            raise ValueError(f"units must be >= 0, got {self.units}")
+
+
+def kind_is(*kinds: str) -> Callable[[Message], bool]:
+    """A ``Receive`` matcher accepting any of the given message kinds."""
+    allowed = frozenset(kinds)
+
+    def match(message: Message) -> bool:
+        return message.kind in allowed
+
+    return match

@@ -1,0 +1,145 @@
+"""Metrics: first-class measurement of the paper's complexity quantities.
+
+The paper's analysis sections (§3.4, §4.4) count four things:
+
+* **messages** — how many, of which kind, per process and in total;
+* **bits** — total communication volume (token and candidate sizes);
+* **work** — elimination steps, vector scans, dependence processing;
+* **space** — buffered snapshots / queues, as a high-water mark.
+
+:class:`ActorMetrics` tracks all four per actor; :class:`MetricsBoard`
+aggregates across actors.  The kernel charges message counts/bits and
+mailbox buffering automatically; actors charge work via the ``Work``
+effect and internal storage via :meth:`ActorMetrics.adjust_space`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+__all__ = ["ActorMetrics", "MetricsBoard"]
+
+
+@dataclass
+class ActorMetrics:
+    """Counters for one actor."""
+
+    name: str
+    messages_sent: int = 0
+    bits_sent: int = 0
+    messages_received: int = 0
+    bits_received: int = 0
+    work_units: int = 0
+    buffered_bits: int = 0
+    buffered_bits_high_water: int = 0
+    sent_by_kind: dict[str, int] = field(default_factory=dict)
+    received_by_kind: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def charge_send(self, kind: str, size_bits: int) -> None:
+        """Record an outgoing message (called by the kernel)."""
+        self.messages_sent += 1
+        self.bits_sent += size_bits
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+
+    def charge_receive(self, kind: str, size_bits: int) -> None:
+        """Record a consumed message (called by the kernel)."""
+        self.messages_received += 1
+        self.bits_received += size_bits
+        self.received_by_kind[kind] = self.received_by_kind.get(kind, 0) + 1
+
+    def charge_work(self, units: int) -> None:
+        """Record work units (called by the kernel for ``Work`` effects)."""
+        self.work_units += units
+
+    def adjust_space(self, delta_bits: int) -> None:
+        """Adjust the buffered-storage gauge by ``delta_bits``.
+
+        Called by the kernel for mailbox occupancy and by actors for
+        internal queues they retain after consuming messages.  The gauge
+        must never go negative — that indicates a double release.
+        """
+        self.buffered_bits += delta_bits
+        if self.buffered_bits < 0:
+            raise SimulationError(
+                f"actor {self.name}: buffered bits went negative "
+                f"({self.buffered_bits})"
+            )
+        if self.buffered_bits > self.buffered_bits_high_water:
+            self.buffered_bits_high_water = self.buffered_bits
+
+
+class MetricsBoard:
+    """Per-actor metrics plus cross-actor aggregation."""
+
+    def __init__(self) -> None:
+        self._actors: dict[str, ActorMetrics] = {}
+
+    def register(self, name: str) -> ActorMetrics:
+        """Create (or return) the metrics record for ``name``."""
+        if name not in self._actors:
+            self._actors[name] = ActorMetrics(name)
+        return self._actors[name]
+
+    def of(self, name: str) -> ActorMetrics:
+        """The metrics record for ``name``; raises if unknown."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise SimulationError(f"no metrics for unknown actor {name!r}") from None
+
+    def actors(self) -> dict[str, ActorMetrics]:
+        """All actor metrics, keyed by name (live references)."""
+        return dict(self._actors)
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the experiment harness
+    # ------------------------------------------------------------------
+    def total_messages(self, prefix: str | None = None) -> int:
+        """Total messages sent (optionally only by actors whose name
+        starts with ``prefix``)."""
+        return sum(
+            m.messages_sent
+            for m in self._actors.values()
+            if prefix is None or m.name.startswith(prefix)
+        )
+
+    def total_bits(self, prefix: str | None = None) -> int:
+        """Total bits sent (optionally filtered by actor-name prefix)."""
+        return sum(
+            m.bits_sent
+            for m in self._actors.values()
+            if prefix is None or m.name.startswith(prefix)
+        )
+
+    def total_work(self, prefix: str | None = None) -> int:
+        """Total work units (optionally filtered by actor-name prefix)."""
+        return sum(
+            m.work_units
+            for m in self._actors.values()
+            if prefix is None or m.name.startswith(prefix)
+        )
+
+    def max_work_per_actor(self, prefix: str | None = None) -> int:
+        """The heaviest single actor's work — the paper's "work per process"."""
+        values = [
+            m.work_units
+            for m in self._actors.values()
+            if prefix is None or m.name.startswith(prefix)
+        ]
+        return max(values, default=0)
+
+    def max_space_per_actor(self, prefix: str | None = None) -> int:
+        """The largest per-actor buffered-bits high-water mark."""
+        values = [
+            m.buffered_bits_high_water
+            for m in self._actors.values()
+            if prefix is None or m.name.startswith(prefix)
+        ]
+        return max(values, default=0)
+
+    def messages_of_kind(self, kind: str) -> int:
+        """Total messages of one kind sent across all actors."""
+        return sum(m.sent_by_kind.get(kind, 0) for m in self._actors.values())

@@ -1,0 +1,354 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel schedules actor coroutines over simulated time:
+
+* **Sends** are non-blocking; delivery is scheduled per the channel
+  model's latency, with FIFO clamping on FIFO channels.
+* **Receives** block until a matching message is buffered.
+* **Deadlock** — an empty event queue with blocked actors — is reported,
+  not raised: the paper's online detection protocols legitimately block
+  forever when the monitored predicate never becomes true, and the
+  detection runner maps that outcome to "not detected".
+
+Determinism: the event queue is ordered by ``(time, sequence)``; all
+randomness (latency draws) comes from one seeded generator; equal-time
+events fire in schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generator
+
+from repro.common.errors import SimulationError
+from repro.common.rng import spawn_rng
+from repro.simulation.actors import Actor
+from repro.simulation.effects import Message, Receive, Send, Sleep, Work
+from repro.simulation.instrumentation import MetricsBoard
+from repro.simulation.network import ChannelModel, FixedLatency
+
+__all__ = ["Kernel", "SimulationResult"]
+
+
+class _Status(Enum):
+    NEW = "new"
+    READY = "ready"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    FINISHED = "finished"
+
+
+@dataclass
+class _ActorState:
+    actor: Actor
+    gen: Generator | None = None
+    status: _Status = _Status.NEW
+    mailbox: list[Message] = field(default_factory=list)
+    pending_receive: Receive | None = None
+    # Incremented on every block; lets stale receive-timeout events be
+    # recognized and ignored after the actor has already been resumed.
+    block_epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of a kernel run.
+
+    ``deadlocked`` is True when the run ended with at least one actor
+    still blocked on a receive; ``blocked`` maps those actors to the
+    description of what they were waiting for.
+    """
+
+    time: float
+    steps: int
+    deadlocked: bool
+    blocked: dict[str, str]
+    messages_delivered: int
+
+
+class Kernel:
+    """The simulation engine.
+
+    Parameters
+    ----------
+    channel_model:
+        Latency/ordering policy (default: fixed unit latency, FIFO).
+    seed:
+        Seed for latency draws.
+    work_time_scale:
+        Simulated time consumed per ``Work`` unit (0 = work is pure
+        accounting; set > 0 for makespan experiments).
+    max_steps:
+        Safety bound on processed events.
+    """
+
+    def __init__(
+        self,
+        channel_model: ChannelModel | None = None,
+        seed: int = 0,
+        work_time_scale: float = 0.0,
+        max_steps: int = 5_000_000,
+        observers: list | None = None,
+    ) -> None:
+        if work_time_scale < 0:
+            raise SimulationError("work_time_scale must be >= 0")
+        if max_steps <= 0:
+            raise SimulationError("max_steps must be positive")
+        self._observers = list(observers or [])
+        self._channel = channel_model or FixedLatency(1.0)
+        self._rng = spawn_rng(seed, "kernel")
+        self._work_time_scale = work_time_scale
+        self._max_steps = max_steps
+        self._states: dict[str, _ActorState] = {}
+        self._queue: list[tuple[float, int, str, object]] = []
+        self._time = 0.0
+        self._seq = 0
+        self._steps = 0
+        self._messages_delivered = 0
+        self._last_fifo_delivery: dict[tuple[str, str], float] = {}
+        self.metrics = MetricsBoard()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register a message observer (see :mod:`..observers`).
+
+        Observers are called synchronously at every message send,
+        delivery and consumption; they must not mutate simulation state.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, phase, message: Message) -> None:
+        if not self._observers:
+            return
+        from repro.simulation.observers import MessageEvent
+
+        event = MessageEvent(self._time, phase, message)
+        for observer in self._observers:
+            observer(event)
+
+    def add_actor(self, actor: Actor) -> None:
+        """Register an actor; it starts when :meth:`run` is next called."""
+        if actor.name in self._states:
+            raise SimulationError(f"duplicate actor name {actor.name!r}")
+        state = _ActorState(actor)
+        self._states[actor.name] = state
+        actor.attach(self.metrics.register(actor.name), lambda: self._time)
+        self._schedule(self._time, "start", actor.name)
+
+    def actor(self, name: str) -> Actor:
+        """Look up a registered actor by name."""
+        try:
+            return self._states[name].actor
+        except KeyError:
+            raise SimulationError(f"unknown actor {name!r}") from None
+
+    @property
+    def time(self) -> float:
+        """Current simulated time."""
+        return self._time
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Process events until quiescence (or simulated time ``until``).
+
+        May be called repeatedly; each call continues from the previous
+        state (useful after adding more actors).
+        """
+        while self._queue:
+            if self._queue[0][0] > (until if until is not None else float("inf")):
+                break
+            self._steps += 1
+            if self._steps > self._max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self._max_steps}; "
+                    f"likely livelock in a protocol"
+                )
+            time, _seq, action, payload = heapq.heappop(self._queue)
+            self._time = time
+            if action == "start":
+                self._start(str(payload))
+            elif action == "resume":
+                name, value = payload  # type: ignore[misc]
+                self._advance(self._states[name], value)
+            elif action == "deliver":
+                self._deliver(payload)  # type: ignore[arg-type]
+            elif action == "timeout":
+                name, epoch = payload  # type: ignore[misc]
+                state = self._states[name]
+                if state.status is _Status.BLOCKED and state.block_epoch == epoch:
+                    state.pending_receive = None
+                    self._advance(state, None)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown action {action!r}")
+        blocked = {
+            name: (state.pending_receive.description if state.pending_receive else "")
+            for name, state in self._states.items()
+            if state.status is _Status.BLOCKED
+        }
+        return SimulationResult(
+            time=self._time,
+            steps=self._steps,
+            deadlocked=bool(blocked) and not self._queue,
+            blocked=blocked,
+            messages_delivered=self._messages_delivered,
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _start(self, name: str) -> None:
+        state = self._states[name]
+        if state.status is not _Status.NEW:  # pragma: no cover - defensive
+            raise SimulationError(f"actor {name} started twice")
+        state.gen = state.actor.run()
+        if not isinstance(state.gen, Generator):
+            raise SimulationError(
+                f"{name}.run() must be a generator (did you forget a yield?)"
+            )
+        self._advance(state, None)
+
+    def _deliver(self, message: Message) -> None:
+        state = self._states.get(message.dest)
+        if state is None:
+            raise SimulationError(
+                f"message {message.kind!r} addressed to unknown actor "
+                f"{message.dest!r}"
+            )
+        self._messages_delivered += 1
+        state.mailbox.append(message)
+        state.actor.metrics.adjust_space(message.size_bits)  # type: ignore[union-attr]
+        if self._observers:
+            from repro.simulation.observers import MessagePhase
+
+            self._notify(MessagePhase.DELIVERED, message)
+        if state.status is _Status.BLOCKED:
+            assert state.pending_receive is not None
+            msg = self._match_from_mailbox(state, state.pending_receive)
+            if msg is not None:
+                state.pending_receive = None
+                state.status = _Status.READY
+                self._advance(state, msg)
+
+    # ------------------------------------------------------------------
+    # Coroutine driving
+    # ------------------------------------------------------------------
+    def _advance(self, state: _ActorState, value: object) -> None:
+        assert state.gen is not None
+        name = state.actor.name
+        state.status = _Status.READY
+        while True:
+            try:
+                effect = state.gen.send(value)
+            except StopIteration:
+                state.status = _Status.FINISHED
+                return
+            except Exception as exc:
+                state.status = _Status.FINISHED
+                raise SimulationError(f"actor {name} raised: {exc!r}") from exc
+            value = None
+            if isinstance(effect, Send):
+                self._handle_send(state, effect)
+            elif isinstance(effect, (list, tuple)):
+                for item in effect:
+                    if not isinstance(item, Send):
+                        raise SimulationError(
+                            f"actor {name} yielded a sequence containing "
+                            f"{type(item).__name__}; only Send lists are allowed"
+                        )
+                    self._handle_send(state, item)
+            elif isinstance(effect, Work):
+                state.actor.metrics.charge_work(effect.units)  # type: ignore[union-attr]
+                if self._work_time_scale > 0 and effect.units > 0:
+                    state.status = _Status.SLEEPING
+                    self._schedule(
+                        self._time + effect.units * self._work_time_scale,
+                        "resume",
+                        (name, None),
+                    )
+                    return
+            elif isinstance(effect, Sleep):
+                state.status = _Status.SLEEPING
+                self._schedule(self._time + effect.duration, "resume", (name, None))
+                return
+            elif isinstance(effect, Receive):
+                msg = self._match_from_mailbox(state, effect)
+                if msg is not None:
+                    value = msg
+                    continue
+                state.status = _Status.BLOCKED
+                state.pending_receive = effect
+                state.block_epoch += 1
+                if effect.timeout is not None:
+                    self._schedule(
+                        self._time + effect.timeout,
+                        "timeout",
+                        (name, state.block_epoch),
+                    )
+                return
+            else:
+                raise SimulationError(
+                    f"actor {name} yielded unsupported effect "
+                    f"{type(effect).__name__}"
+                )
+
+    def _handle_send(self, state: _ActorState, effect: Send) -> None:
+        src = state.actor.name
+        if effect.dest not in self._states:
+            raise SimulationError(
+                f"actor {src} sends to unknown actor {effect.dest!r}"
+            )
+        latency = self._channel.latency(src, effect.dest, effect.kind, self._rng)
+        if latency < 0:  # pragma: no cover - defensive
+            raise SimulationError("channel model produced negative latency")
+        delivery = self._time + latency
+        if self._channel.is_fifo(src, effect.dest, effect.kind):
+            key = (src, effect.dest)
+            delivery = max(delivery, self._last_fifo_delivery.get(key, 0.0))
+            self._last_fifo_delivery[key] = delivery
+        message = Message(
+            seq=self._next_seq(),
+            src=src,
+            dest=effect.dest,
+            kind=effect.kind,
+            payload=effect.payload,
+            size_bits=effect.size_bits,
+            sent_at=self._time,
+            delivered_at=delivery,
+        )
+        state.actor.metrics.charge_send(effect.kind, effect.size_bits)  # type: ignore[union-attr]
+        if self._observers:
+            from repro.simulation.observers import MessagePhase
+
+            self._notify(MessagePhase.SENT, message)
+        self._schedule(delivery, "deliver", message)
+
+    def _match_from_mailbox(
+        self, state: _ActorState, receive: Receive
+    ) -> Message | None:
+        for i, msg in enumerate(state.mailbox):
+            if receive.match is None or receive.match(msg):
+                del state.mailbox[i]
+                metrics = state.actor.metrics
+                assert metrics is not None
+                metrics.charge_receive(msg.kind, msg.size_bits)
+                metrics.adjust_space(-msg.size_bits)
+                if self._observers:
+                    from repro.simulation.observers import MessagePhase
+
+                    self._notify(MessagePhase.CONSUMED, msg)
+                return msg
+        return None
+
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, action: str, payload: object) -> None:
+        heapq.heappush(self._queue, (time, self._next_seq(), action, payload))
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq

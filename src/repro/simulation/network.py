@@ -1,0 +1,142 @@
+"""Channel models: latency and ordering of simulated message delivery.
+
+The paper's model (§2) assumes reliable asynchronous channels with no
+FIFO guarantee for application traffic, but *requires* FIFO ordering
+between an application process and its monitor.  A
+:class:`ChannelModel` decides, per (src, dest, kind), the delivery
+latency and whether FIFO order is enforced; the kernel enforces FIFO by
+clamping each delivery to be no earlier than the previous delivery on
+the same directed channel.
+
+All latency draws use the kernel's seeded RNG, so simulations are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = [
+    "ChannelModel",
+    "FixedLatency",
+    "ExponentialLatency",
+    "UniformLatency",
+    "KindBiasedLatency",
+]
+
+
+class ChannelModel:
+    """Base channel model: fixed unit latency, FIFO everywhere.
+
+    Subclasses override :meth:`latency` (and possibly :meth:`is_fifo`).
+    FIFO-everywhere is the safe default — the paper only *requires* FIFO
+    on application->monitor channels, and a FIFO channel is a legal
+    asynchronous channel.  Protocol correctness must not depend on it
+    except where required; tests exercise non-FIFO orderings explicitly.
+    """
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        """Delivery latency for one message (simulated time units)."""
+        return 1.0
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        """Whether deliveries on (src, dest) preserve send order."""
+        return True
+
+
+@dataclass
+class FixedLatency(ChannelModel):
+    """Every message takes exactly ``value`` time units."""
+
+    value: float = 1.0
+    fifo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.value}")
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        return self.value
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        return self.fifo
+
+
+@dataclass
+class ExponentialLatency(ChannelModel):
+    """Exponentially distributed latency with the given mean.
+
+    With ``fifo=False`` this reorders messages freely (subject only to
+    causality), modelling the paper's asynchronous non-FIFO channels.
+    """
+
+    mean: float = 1.0
+    fifo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"mean latency must be > 0, got {self.mean}")
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        return self.fifo
+
+
+class KindBiasedLatency(ChannelModel):
+    """Per-message-kind latencies: an adversarial scheduling knob.
+
+    Detection correctness must not depend on the relative speed of
+    tokens, polls and snapshots; tests starve one kind (e.g. a very slow
+    token while candidates race ahead) and assert the detected cut is
+    unchanged.  ``kind_means`` maps message kinds to mean exponential
+    latencies; unknown kinds use ``default_mean``.
+    """
+
+    def __init__(
+        self,
+        kind_means: dict[str, float],
+        default_mean: float = 1.0,
+        fifo: bool = True,
+    ) -> None:
+        for kind, mean in kind_means.items():
+            if mean <= 0:
+                raise ConfigurationError(
+                    f"mean latency for kind {kind!r} must be > 0, got {mean}"
+                )
+        if default_mean <= 0:
+            raise ConfigurationError("default_mean must be > 0")
+        self._means = dict(kind_means)
+        self._default = default_mean
+        self._fifo = fifo
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._means.get(kind, self._default))
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        return self._fifo
+
+
+@dataclass
+class UniformLatency(ChannelModel):
+    """Uniformly distributed latency in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+    fifo: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ConfigurationError(
+                f"need 0 <= low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        return self.fifo

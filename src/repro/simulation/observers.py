@@ -1,0 +1,142 @@
+"""Kernel observers: watch every send/delivery/consumption as it happens.
+
+Observers power two things:
+
+* **Protocol traces** — :class:`EventLog` records the full message
+  history of a run for debugging and for rendering;
+* **Invariant checking** — :class:`InvariantChecker` evaluates protocol
+  invariants online and fails fast at the exact violating instant
+  (e.g. "at most one token exists", "poll responses pair with polls"),
+  which turns liveness-and-safety arguments from the paper's proofs into
+  executable checks used by the test suite.
+
+Observers are passive: they must not mutate kernel or actor state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ProtocolError
+from repro.simulation.effects import Message
+
+__all__ = [
+    "MessageEvent",
+    "MessagePhase",
+    "Observer",
+    "EventLog",
+    "InvariantChecker",
+    "token_uniqueness_checker",
+]
+
+
+class MessagePhase(enum.Enum):
+    """Lifecycle points the kernel reports for every message."""
+
+    SENT = "sent"
+    DELIVERED = "delivered"  # placed in the destination mailbox
+    CONSUMED = "consumed"    # returned from a Receive
+
+
+@dataclass(frozen=True, slots=True)
+class MessageEvent:
+    """One observed message lifecycle step."""
+
+    time: float
+    phase: MessagePhase
+    message: Message
+
+
+Observer = Callable[[MessageEvent], None]
+
+
+class EventLog:
+    """An observer that records every message event, queryable afterwards."""
+
+    def __init__(self) -> None:
+        self.events: list[MessageEvent] = []
+
+    def __call__(self, event: MessageEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def of_phase(self, phase: MessagePhase) -> list[MessageEvent]:
+        """All events of one phase, in time order."""
+        return [e for e in self.events if e.phase is phase]
+
+    def of_kind(self, kind: str) -> list[MessageEvent]:
+        """All events whose message has the given kind."""
+        return [e for e in self.events if e.message.kind == kind]
+
+    def sends(self, kind: str | None = None) -> list[Message]:
+        """Messages sent (optionally filtered by kind), in send order."""
+        return [
+            e.message
+            for e in self.events
+            if e.phase is MessagePhase.SENT
+            and (kind is None or e.message.kind == kind)
+        ]
+
+    def timeline(self) -> list[str]:
+        """A human-readable line per event (debugging aid)."""
+        return [
+            f"t={e.time:9.3f}  {e.phase.value:9s}  "
+            f"{e.message.src} -> {e.message.dest}  [{e.message.kind}]"
+            for e in self.events
+        ]
+
+
+class InvariantChecker:
+    """An observer that raises :class:`ProtocolError` on violation.
+
+    Register invariant callbacks with :meth:`add`; each receives the
+    event and this checker (for cross-event state, use attributes on a
+    closure or subclass).
+    """
+
+    def __init__(self) -> None:
+        self._invariants: list[tuple[str, Callable[[MessageEvent], bool]]] = []
+
+    def add(
+        self, name: str, predicate: Callable[[MessageEvent], bool]
+    ) -> "InvariantChecker":
+        """Register an invariant; ``predicate`` returns False on violation."""
+        self._invariants.append((name, predicate))
+        return self
+
+    def __call__(self, event: MessageEvent) -> None:
+        for name, predicate in self._invariants:
+            if not predicate(event):
+                raise ProtocolError(
+                    f"invariant {name!r} violated at t={event.time}: "
+                    f"{event.phase.value} {event.message.src} -> "
+                    f"{event.message.dest} [{event.message.kind}]"
+                )
+
+
+def token_uniqueness_checker(token_kind: str = "token") -> InvariantChecker:
+    """An invariant checker asserting a single token in the system.
+
+    Counts token messages in flight plus "held" (consumed but not yet
+    re-sent): at any instant, sends must alternate with consumptions —
+    a second token send before the previous one was consumed means the
+    token was duplicated.
+    """
+    state = {"in_flight": 0}
+    checker = InvariantChecker()
+
+    def track(event: MessageEvent) -> bool:
+        if event.message.kind != token_kind:
+            return True
+        if event.phase is MessagePhase.SENT:
+            state["in_flight"] += 1
+            return state["in_flight"] <= 1
+        if event.phase is MessagePhase.CONSUMED:
+            state["in_flight"] -= 1
+            return state["in_flight"] >= 0
+        return True
+
+    checker.add("single_token", track)
+    return checker

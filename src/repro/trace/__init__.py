@@ -1,0 +1,85 @@
+"""Trace layer: recorded computations, intervals, cuts, workloads."""
+
+from repro.trace.builder import ComputationBuilder
+from repro.trace.computation import Computation, MessageRecord
+from repro.trace.cuts import Cut, first_inconsistency, is_consistent_cut
+from repro.trace.events import Event, EventKind, ProcessTrace
+from repro.trace.generators import (
+    FLAG_VAR,
+    WorkloadSpec,
+    empty_computation,
+    generate,
+    never_true_computation,
+    random_computation,
+    ring_computation,
+    skewed_concurrent_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+from repro.trace.intervals import IntervalAnalysis
+from repro.trace.lattice import (
+    consistent_successors,
+    count_consistent_cuts,
+    initial_cut,
+    iter_consistent_cuts,
+)
+from repro.trace.serialization import (
+    computation_from_dict,
+    computation_to_dict,
+    dumps,
+    loads,
+)
+from repro.trace.import_log import format_log, parse_log
+from repro.trace.render import render_spacetime
+from repro.trace.statistics import ComputationStats, compute_stats, describe
+from repro.trace.snapshots import (
+    DDSnapshot,
+    VCSnapshot,
+    dd_snapshots,
+    emission_points,
+    true_intervals,
+    vc_snapshots,
+)
+
+__all__ = [
+    "Computation",
+    "MessageRecord",
+    "ComputationBuilder",
+    "Event",
+    "EventKind",
+    "ProcessTrace",
+    "IntervalAnalysis",
+    "Cut",
+    "is_consistent_cut",
+    "first_inconsistency",
+    "initial_cut",
+    "consistent_successors",
+    "iter_consistent_cuts",
+    "count_consistent_cuts",
+    "WorkloadSpec",
+    "generate",
+    "random_computation",
+    "worst_case_computation",
+    "never_true_computation",
+    "ring_computation",
+    "spiral_computation",
+    "skewed_concurrent_computation",
+    "empty_computation",
+    "FLAG_VAR",
+    "VCSnapshot",
+    "DDSnapshot",
+    "vc_snapshots",
+    "dd_snapshots",
+    "emission_points",
+    "true_intervals",
+    "computation_to_dict",
+    "computation_from_dict",
+    "dumps",
+    "loads",
+    "ComputationStats",
+    "compute_stats",
+    "describe",
+    "render_spacetime",
+    "parse_log",
+    "format_log",
+]

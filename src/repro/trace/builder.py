@@ -1,0 +1,161 @@
+"""Fluent programmatic construction of computations.
+
+:class:`ComputationBuilder` lets tests and examples write runs down in
+program order without bookkeeping message ids by hand::
+
+    b = ComputationBuilder(3)
+    b.internal(0, {"cs": True})
+    m = b.send(0, 1)          # P0 -> P1
+    b.recv(1, m)
+    b.internal(1, {"cs": True})
+    comp = b.build()
+
+Events are appended per process; the builder assigns globally unique
+message ids and, on :meth:`build`, delegates full validation (matching,
+acyclicity) to :class:`~repro.trace.computation.Computation`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.common.errors import InvalidComputationError
+from repro.common.types import Pid
+from repro.trace.computation import Computation
+from repro.trace.events import Event, ProcessTrace
+
+__all__ = ["ComputationBuilder"]
+
+
+class ComputationBuilder:
+    """Accumulates per-process event lists and builds a :class:`Computation`.
+
+    Parameters
+    ----------
+    num_processes:
+        Total process count ``N``.
+    initial_vars:
+        Optional initial variable assignment per process (keyed by pid);
+        omitted pids start with an empty state.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        initial_vars: Mapping[Pid, Mapping[str, object]] | None = None,
+    ) -> None:
+        if num_processes <= 0:
+            raise InvalidComputationError(
+                f"num_processes must be positive, got {num_processes}"
+            )
+        self._n = num_processes
+        self._events: list[list[Event]] = [[] for _ in range(num_processes)]
+        self._initial: list[dict[str, object]] = [
+            dict((initial_vars or {}).get(pid, {})) for pid in range(num_processes)
+        ]
+        self._next_msg_id = 0
+        self._sent_unreceived: dict[int, Pid] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        """The configured process count."""
+        return self._n
+
+    def internal(
+        self,
+        pid: Pid,
+        updates: Mapping[str, object] | None = None,
+        time: float | None = None,
+    ) -> "ComputationBuilder":
+        """Append an internal event on ``pid``; returns self for chaining."""
+        self._check_pid(pid)
+        self._events[pid].append(Event.internal(updates, time))
+        return self
+
+    def send(
+        self,
+        src: Pid,
+        dest: Pid,
+        updates: Mapping[str, object] | None = None,
+        time: float | None = None,
+    ) -> int:
+        """Append a send from ``src`` to ``dest``; returns the message id."""
+        self._check_pid(src)
+        self._check_pid(dest)
+        if src == dest:
+            raise InvalidComputationError(f"P{src} cannot send to itself")
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        self._events[src].append(Event.send(msg_id, dest, updates, time))
+        self._sent_unreceived[msg_id] = dest
+        return msg_id
+
+    def recv(
+        self,
+        pid: Pid,
+        msg_id: int,
+        updates: Mapping[str, object] | None = None,
+        time: float | None = None,
+    ) -> "ComputationBuilder":
+        """Append the receive of ``msg_id`` on ``pid``."""
+        self._check_pid(pid)
+        dest = self._sent_unreceived.pop(msg_id, None)
+        if dest is None:
+            raise InvalidComputationError(
+                f"message {msg_id} was never sent or is already received"
+            )
+        if dest != pid:
+            # Put it back so the builder state stays usable after the error.
+            self._sent_unreceived[msg_id] = dest
+            raise InvalidComputationError(
+                f"message {msg_id} was addressed to P{dest}, not P{pid}"
+            )
+        src = self._find_sender(msg_id)
+        self._events[pid].append(Event.recv(msg_id, src, updates, time))
+        return self
+
+    def message(
+        self,
+        src: Pid,
+        dest: Pid,
+        send_updates: Mapping[str, object] | None = None,
+        recv_updates: Mapping[str, object] | None = None,
+    ) -> int:
+        """Convenience: a send immediately followed by its receive."""
+        msg_id = self.send(src, dest, send_updates)
+        self.recv(dest, msg_id, recv_updates)
+        return msg_id
+
+    def set_initial(self, pid: Pid, vars: Mapping[str, object]) -> "ComputationBuilder":
+        """Replace the initial variable assignment of ``pid``."""
+        self._check_pid(pid)
+        self._initial[pid] = dict(vars)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, allow_unreceived: bool = False) -> Computation:
+        """Validate and return the computation.
+
+        The builder remains usable afterwards (building is
+        non-destructive), which lets tests extend a prefix run.
+        """
+        traces = [
+            ProcessTrace(tuple(events), init)
+            for events, init in zip(self._events, self._initial)
+        ]
+        return Computation(traces, allow_unreceived=allow_unreceived)
+
+    # ------------------------------------------------------------------
+    def _find_sender(self, msg_id: int) -> Pid:
+        for pid, events in enumerate(self._events):
+            for event in events:
+                if event.msg_id == msg_id and event.kind.name == "SEND":
+                    return pid
+        raise InvalidComputationError(f"sender of message {msg_id} not found")
+
+    def _check_pid(self, pid: Pid) -> None:
+        if not 0 <= pid < self._n:
+            raise InvalidComputationError(
+                f"pid {pid} out of range (N={self._n})"
+            )

@@ -1,0 +1,333 @@
+"""The :class:`Computation`: a validated record of one distributed run.
+
+A computation holds the per-process event sequences and performs the
+cross-process validation that individual events cannot:
+
+* every RECV names a message that exactly one SEND produced, with
+  consistent sender/receiver endpoints;
+* every message is received at most once (lost messages are forbidden by
+  the model of §2, so by default every message must be received);
+* the induced happened-before relation is acyclic (no causal paradoxes);
+* optional event timestamps respect causality (a receive is never
+  timestamped before its send).
+
+The heavy per-interval analysis (vector clocks, dependences, candidate
+extraction) lives in :mod:`repro.trace.intervals`; the computation only
+caches the raw structure plus the message index.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.common.errors import InvalidComputationError
+from repro.common.types import Pid
+from repro.trace.events import Event, EventKind, ProcessTrace
+
+__all__ = ["MessageRecord", "Computation"]
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    """Resolved endpoints of one application message."""
+
+    msg_id: int
+    sender: Pid
+    send_index: int
+    receiver: Pid
+    recv_index: int
+
+
+class Computation:
+    """An immutable, validated distributed computation.
+
+    Parameters
+    ----------
+    processes:
+        One :class:`ProcessTrace` per process; the list index is the
+        process id.
+    allow_unreceived:
+        If True, SENDs without a matching RECV are permitted (messages
+        still in flight when the recorded run ends).  The paper's model
+        assumes no message loss, so this defaults to False.
+    """
+
+    __slots__ = ("_processes", "_messages", "_local_states", "_analysis")
+
+    def __init__(
+        self,
+        processes: Sequence[ProcessTrace],
+        allow_unreceived: bool = False,
+    ) -> None:
+        if not processes:
+            raise InvalidComputationError("a computation needs at least one process")
+        self._processes: tuple[ProcessTrace, ...] = tuple(processes)
+        self._messages = self._index_messages(allow_unreceived)
+        self._check_acyclic()
+        self._check_times()
+        self._local_states: tuple[tuple[Mapping[str, object], ...], ...] | None = None
+        self._analysis = None
+
+    def analysis(self):
+        """The lazily computed, cached :class:`IntervalAnalysis` of this run."""
+        if self._analysis is None:
+            from repro.trace.intervals import IntervalAnalysis
+
+            self._analysis = IntervalAnalysis(self)
+        return self._analysis
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        """The paper's ``N``: total number of processes in the system."""
+        return len(self._processes)
+
+    @property
+    def processes(self) -> tuple[ProcessTrace, ...]:
+        """The per-process traces."""
+        return self._processes
+
+    @property
+    def messages(self) -> Mapping[int, MessageRecord]:
+        """Message id -> resolved endpoints, for every received message."""
+        return self._messages
+
+    def events_of(self, pid: Pid) -> tuple[Event, ...]:
+        """The event sequence of process ``pid``."""
+        self._check_pid(pid)
+        return self._processes[pid].events
+
+    def event(self, pid: Pid, index: int) -> Event:
+        """The ``index``-th event of process ``pid``."""
+        return self.events_of(pid)[index]
+
+    def max_messages_per_process(self) -> int:
+        """The paper's ``m``: max messages sent or received by any process."""
+        return max(p.communication_count for p in self._processes)
+
+    def total_events(self) -> int:
+        """Total number of events across all processes."""
+        return sum(len(p) for p in self._processes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Computation(N={self.num_processes}, events={self.total_events()}, "
+            f"messages={len(self._messages)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Local states
+    # ------------------------------------------------------------------
+    def local_states(self, pid: Pid) -> tuple[Mapping[str, object], ...]:
+        """All local states of ``pid``: the initial state followed by the
+        post-state of every event (length ``len(events)+1``)."""
+        if self._local_states is None:
+            self._local_states = tuple(
+                self._accumulate_states(p) for p in self._processes
+            )
+        self._check_pid(pid)
+        return self._local_states[pid]
+
+    @staticmethod
+    def _accumulate_states(
+        trace: ProcessTrace,
+    ) -> tuple[Mapping[str, object], ...]:
+        states: list[Mapping[str, object]] = [dict(trace.initial_vars)]
+        current = dict(trace.initial_vars)
+        for event in trace.events:
+            if event.updates:
+                current = dict(current)
+                current.update(event.updates)
+            states.append(current)
+        return tuple(states)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _index_messages(self, allow_unreceived: bool) -> dict[int, MessageRecord]:
+        sends: dict[int, tuple[Pid, int, Pid]] = {}
+        recvs: dict[int, tuple[Pid, int, Pid]] = {}
+        for pid, trace in enumerate(self._processes):
+            for idx, event in enumerate(trace.events):
+                if event.kind is EventKind.SEND:
+                    assert event.msg_id is not None and event.peer is not None
+                    if event.msg_id in sends:
+                        raise InvalidComputationError(
+                            f"message {event.msg_id} sent twice"
+                        )
+                    if event.peer == pid:
+                        raise InvalidComputationError(
+                            f"P{pid} sends message {event.msg_id} to itself"
+                        )
+                    if not 0 <= event.peer < len(self._processes):
+                        raise InvalidComputationError(
+                            f"send m{event.msg_id}: destination P{event.peer} "
+                            f"does not exist"
+                        )
+                    sends[event.msg_id] = (pid, idx, event.peer)
+                elif event.kind is EventKind.RECV:
+                    assert event.msg_id is not None and event.peer is not None
+                    if event.msg_id in recvs:
+                        raise InvalidComputationError(
+                            f"message {event.msg_id} received twice"
+                        )
+                    recvs[event.msg_id] = (pid, idx, event.peer)
+
+        messages: dict[int, MessageRecord] = {}
+        for msg_id, (receiver, recv_index, claimed_sender) in recvs.items():
+            if msg_id not in sends:
+                raise InvalidComputationError(
+                    f"message {msg_id} received but never sent"
+                )
+            sender, send_index, dest = sends[msg_id]
+            if dest != receiver:
+                raise InvalidComputationError(
+                    f"message {msg_id} sent to P{dest} but received by P{receiver}"
+                )
+            if claimed_sender != sender:
+                raise InvalidComputationError(
+                    f"message {msg_id} recv names sender P{claimed_sender}, "
+                    f"actual sender P{sender}"
+                )
+            messages[msg_id] = MessageRecord(
+                msg_id, sender, send_index, receiver, recv_index
+            )
+        if not allow_unreceived:
+            missing = set(sends) - set(recvs)
+            if missing:
+                raise InvalidComputationError(
+                    f"messages sent but never received: {sorted(missing)} "
+                    f"(pass allow_unreceived=True to permit in-flight messages)"
+                )
+        return messages
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm over process-order + message edges."""
+        # Node key: (pid, event_index).  Edges: (pid,k) -> (pid,k+1) and
+        # send -> recv for each message.
+        indegree: dict[tuple[int, int], int] = {}
+        successors: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+        def add_edge(a: tuple[int, int], b: tuple[int, int]) -> None:
+            successors.setdefault(a, []).append(b)
+            indegree[b] = indegree.get(b, 0) + 1
+            indegree.setdefault(a, indegree.get(a, 0))
+
+        total = 0
+        for pid, trace in enumerate(self._processes):
+            total += len(trace.events)
+            for idx in range(len(trace.events)):
+                indegree.setdefault((pid, idx), 0)
+                if idx + 1 < len(trace.events):
+                    add_edge((pid, idx), (pid, idx + 1))
+        for record in self._messages.values():
+            add_edge(
+                (record.sender, record.send_index),
+                (record.receiver, record.recv_index),
+            )
+
+        ready = deque(node for node, deg in indegree.items() if deg == 0)
+        visited = 0
+        while ready:
+            node = ready.popleft()
+            visited += 1
+            for succ in successors.get(node, ()):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if visited != total:
+            raise InvalidComputationError(
+                "computation contains a causal cycle (a message is received "
+                "before, in happened-before order, it was sent)"
+            )
+
+    def _check_times(self) -> None:
+        for record in self._messages.values():
+            send_time = self._processes[record.sender].events[record.send_index].time
+            recv_time = (
+                self._processes[record.receiver].events[record.recv_index].time
+            )
+            if send_time is not None and recv_time is not None:
+                if recv_time < send_time:
+                    raise InvalidComputationError(
+                        f"message {record.msg_id} received at t={recv_time} "
+                        f"before sent at t={send_time}"
+                    )
+
+    def _check_pid(self, pid: Pid) -> None:
+        if not 0 <= pid < len(self._processes):
+            raise InvalidComputationError(
+                f"pid {pid} out of range (N={len(self._processes)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def iter_events(self) -> Iterator[tuple[Pid, int, Event]]:
+        """Iterate ``(pid, index, event)`` in pid-major order."""
+        for pid, trace in enumerate(self._processes):
+            for idx, event in enumerate(trace.events):
+                yield pid, idx, event
+
+    def topological_order(self) -> list[tuple[Pid, int]]:
+        """One linearization of the happened-before relation over events.
+
+        Deterministic: ties are broken by (pid, index).
+        """
+        import heapq
+
+        indegree: dict[tuple[int, int], int] = {}
+        successors: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for pid, trace in enumerate(self._processes):
+            for idx in range(len(trace.events)):
+                indegree.setdefault((pid, idx), 0)
+                if idx + 1 < len(trace.events):
+                    successors.setdefault((pid, idx), []).append((pid, idx + 1))
+                    indegree[(pid, idx + 1)] = indegree.get((pid, idx + 1), 0) + 1
+        for record in self._messages.values():
+            successors.setdefault(
+                (record.sender, record.send_index), []
+            ).append((record.receiver, record.recv_index))
+            key = (record.receiver, record.recv_index)
+            indegree[key] = indegree.get(key, 0) + 1
+
+        heap = [node for node, deg in indegree.items() if deg == 0]
+        heapq.heapify(heap)
+        order: list[tuple[Pid, int]] = []
+        while heap:
+            node = heapq.heappop(heap)
+            order.append(node)
+            for succ in successors.get(node, ()):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(heap, succ)
+        return order
+
+    # ------------------------------------------------------------------
+    # Convenience construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_event_lists(
+        cls,
+        event_lists: Iterable[Sequence[Event]],
+        initial_vars: Sequence[Mapping[str, object]] | None = None,
+        allow_unreceived: bool = False,
+    ) -> "Computation":
+        """Build a computation from raw per-process event sequences."""
+        lists = [tuple(events) for events in event_lists]
+        if initial_vars is None:
+            traces = [ProcessTrace(events) for events in lists]
+        else:
+            if len(initial_vars) != len(lists):
+                raise InvalidComputationError(
+                    "initial_vars length must equal number of processes"
+                )
+            traces = [
+                ProcessTrace(events, init)
+                for events, init in zip(lists, initial_vars)
+            ]
+        return cls(traces, allow_unreceived=allow_unreceived)

@@ -1,0 +1,142 @@
+"""Global cuts over interval states.
+
+A :class:`Cut` assigns one interval index to each process in a chosen
+process set (the paper's candidate cut ``G``).  Components use the paper's
+convention: interval indices are 1-based, and ``0`` (:data:`~repro.common.
+types.NO_STATE`) means "no state chosen yet" — such a cut is *partial*.
+
+Consistency (§2): a complete cut is consistent iff its states are
+pairwise concurrent under happened-before.  Partial cuts are never
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.common.errors import CutError
+from repro.common.types import NO_STATE, IntervalIndex, Pid, StateRef
+from repro.trace.intervals import IntervalAnalysis
+
+__all__ = ["Cut", "is_consistent_cut", "first_inconsistency"]
+
+
+@dataclass(frozen=True, slots=True)
+class Cut:
+    """An assignment of interval indices to a fixed, ordered process set.
+
+    ``pids[k]`` is the process holding component ``intervals[k]``.  The
+    ordering of ``pids`` is significant only for positional access; value
+    semantics (equality, hashing) are positional as well, so always build
+    cuts over the same pid ordering when comparing them.
+    """
+
+    pids: tuple[Pid, ...]
+    intervals: tuple[IntervalIndex, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pids", tuple(self.pids))
+        object.__setattr__(self, "intervals", tuple(self.intervals))
+        if len(self.pids) != len(self.intervals):
+            raise CutError(
+                f"cut has {len(self.pids)} pids but {len(self.intervals)} components"
+            )
+        if len(set(self.pids)) != len(self.pids):
+            raise CutError(f"duplicate pids in cut: {self.pids}")
+        if any(i < 0 for i in self.intervals):
+            raise CutError(f"cut components must be >= 0: {self.intervals}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, pids: Sequence[Pid]) -> "Cut":
+        """The paper's initial candidate cut: every component is 0."""
+        pids = tuple(pids)
+        return cls(pids, (NO_STATE,) * len(pids))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Pid, IntervalIndex]) -> "Cut":
+        """Build a cut from a pid -> interval mapping (pids sorted)."""
+        pids = tuple(sorted(mapping))
+        return cls(pids, tuple(mapping[p] for p in pids))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_complete(self) -> bool:
+        """True iff every component names a real state (> 0)."""
+        return all(i != NO_STATE for i in self.intervals)
+
+    def component(self, pid: Pid) -> IntervalIndex:
+        """The interval chosen for ``pid``."""
+        try:
+            return self.intervals[self.pids.index(pid)]
+        except ValueError:
+            raise CutError(f"pid {pid} not in cut over {self.pids}") from None
+
+    def states(self) -> Iterator[StateRef]:
+        """Iterate the chosen states, skipping unset (0) components."""
+        for pid, interval in zip(self.pids, self.intervals):
+            if interval != NO_STATE:
+                yield StateRef(pid, interval)
+
+    def replaced(self, pid: Pid, interval: IntervalIndex) -> "Cut":
+        """A copy with ``pid``'s component set to ``interval``."""
+        try:
+            k = self.pids.index(pid)
+        except ValueError:
+            raise CutError(f"pid {pid} not in cut over {self.pids}") from None
+        comps = list(self.intervals)
+        comps[k] = interval
+        return Cut(self.pids, tuple(comps))
+
+    def project(self, pids: Sequence[Pid]) -> "Cut":
+        """Restrict the cut to a subset of its processes."""
+        return Cut(tuple(pids), tuple(self.component(p) for p in pids))
+
+    def as_mapping(self) -> dict[Pid, IntervalIndex]:
+        """The cut as a pid -> interval dictionary."""
+        return dict(zip(self.pids, self.intervals))
+
+    # ------------------------------------------------------------------
+    def dominates(self, other: "Cut") -> bool:
+        """Componentwise >= over the same pid ordering."""
+        self._check_same_pids(other)
+        return all(a >= b for a, b in zip(self.intervals, other.intervals))
+
+    def _check_same_pids(self, other: "Cut") -> None:
+        if self.pids != other.pids:
+            raise CutError(
+                f"cuts range over different processes: {self.pids} vs {other.pids}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"P{p}:{i}" for p, i in zip(self.pids, self.intervals)
+        )
+        return f"Cut[{inner}]"
+
+
+def first_inconsistency(
+    analysis: IntervalAnalysis, cut: Cut
+) -> tuple[StateRef, StateRef] | None:
+    """Return a witness pair ``(a, b)`` with ``a -> b`` inside the cut,
+    or ``None`` if the cut is consistent.
+
+    Partial cuts (any 0 component) are reported as inconsistent with a
+    ``CutError`` because "consistent" is undefined for them.
+    """
+    if not cut.is_complete:
+        raise CutError(f"consistency is undefined for partial cut {cut}")
+    states = list(cut.states())
+    for i, a in enumerate(states):
+        for b in states[i + 1 :]:
+            if analysis.happened_before(a, b):
+                return (a, b)
+            if analysis.happened_before(b, a):
+                return (b, a)
+    return None
+
+
+def is_consistent_cut(analysis: IntervalAnalysis, cut: Cut) -> bool:
+    """True iff the (complete) cut's states are pairwise concurrent."""
+    return first_inconsistency(analysis, cut) is None

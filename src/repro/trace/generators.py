@@ -1,0 +1,412 @@
+"""Workload generators: synthetic distributed computations.
+
+The paper evaluates algorithms analytically; to *measure* the claimed
+complexities we need families of computations with controllable ``N``
+(process count), ``m`` (messages per process), communication pattern,
+and local-predicate density.  All generators are deterministic given a
+seed and produce validated :class:`~repro.trace.computation.Computation`
+objects with realistic, causally consistent timestamps for replay.
+
+The flag variable ``"flag"`` carries local-predicate truth: internal
+events set it True with probability ``predicate_density``.  With
+``plant_final_cut=True`` every predicate process appends a final
+flag-raising internal event; because final intervals are always pairwise
+concurrent, this guarantees the WCP holds at the very end of the run —
+the worst case for detection work when ``predicate_density`` is 0 (every
+earlier candidate must be eliminated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import spawn_rng
+from repro.common.types import Pid
+from repro.common.validation import require, require_positive
+from repro.trace.computation import Computation
+from repro.trace.events import Event, ProcessTrace
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "random_computation",
+    "worst_case_computation",
+    "never_true_computation",
+    "ring_computation",
+    "spiral_computation",
+    "skewed_concurrent_computation",
+    "empty_computation",
+    "FLAG_VAR",
+]
+
+# The variable name generated workloads use for local-predicate truth.
+FLAG_VAR = "flag"
+
+_PATTERNS = ("uniform", "ring", "client_server", "pairs")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload.
+
+    Parameters
+    ----------
+    num_processes:
+        Total process count ``N`` (>= 2 so messages are possible).
+    sends_per_process:
+        Number of messages each process sends.  With the default uniform
+        pattern, expected receives per process equal sends, so the
+        paper's ``m`` (max messages sent or received per process) is
+        close to this value; the exact ``m`` of a generated run is
+        available via ``Computation.max_messages_per_process``.
+    pattern:
+        Destination selection: ``uniform`` (random peer), ``ring`` (next
+        process), ``client_server`` (clients talk to a server pool and
+        vice versa), ``pairs`` (fixed partner).
+    internal_rate:
+        Probability of emitting an internal event before each
+        communication action; internal events sample the predicate flag.
+    predicate_pids:
+        Processes carrying a local predicate (default: all).
+    predicate_density:
+        Probability that an internal event raises the flag.
+    plant_final_cut:
+        Append a final flag-raising internal event on every predicate
+        process, guaranteeing the WCP holds at the final cut.
+    seed:
+        Seed for all randomness in this workload.
+    mean_latency:
+        Mean simulated message latency (exponential), used only for the
+        timestamp hints that drive replay scheduling.
+    """
+
+    num_processes: int
+    sends_per_process: int
+    pattern: str = "uniform"
+    internal_rate: float = 0.5
+    predicate_pids: tuple[Pid, ...] | None = None
+    predicate_density: float = 0.1
+    plant_final_cut: bool = False
+    seed: int = 0
+    mean_latency: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.num_processes >= 2, "num_processes must be >= 2")
+        require(self.sends_per_process >= 0, "sends_per_process must be >= 0")
+        require(self.pattern in _PATTERNS, f"pattern must be one of {_PATTERNS}")
+        require(0.0 <= self.internal_rate <= 1.0, "internal_rate must be in [0,1]")
+        require(
+            0.0 <= self.predicate_density <= 1.0,
+            "predicate_density must be in [0,1]",
+        )
+        require(self.mean_latency > 0.0, "mean_latency must be positive")
+        if self.predicate_pids is not None:
+            pids = tuple(self.predicate_pids)
+            require(len(pids) > 0, "predicate_pids must be non-empty when given")
+            require(
+                all(0 <= p < self.num_processes for p in pids),
+                "predicate_pids out of range",
+            )
+            require(len(set(pids)) == len(pids), "predicate_pids must be unique")
+            object.__setattr__(self, "predicate_pids", pids)
+
+    @property
+    def effective_predicate_pids(self) -> tuple[Pid, ...]:
+        """The predicate process set (all processes when unspecified)."""
+        if self.predicate_pids is None:
+            return tuple(range(self.num_processes))
+        return self.predicate_pids
+
+
+@dataclass
+class _ProcState:
+    """Mutable per-process generation state."""
+
+    remaining_sends: int
+    local_time: float = 0.0
+    events: list[Event] = field(default_factory=list)
+    # Messages addressed to this process, not yet received:
+    # (msg_id, sender, earliest_delivery_time)
+    inbox: list[tuple[int, Pid, float]] = field(default_factory=list)
+
+
+def generate(spec: WorkloadSpec) -> Computation:
+    """Generate a computation according to ``spec``.
+
+    The generator simulates the run action by action: at each step a
+    random eligible process either receives a pending message or sends a
+    new one, optionally preceded by an internal event that samples the
+    predicate flag.  Receives always follow their sends in generation
+    order, so the result is causally valid by construction.
+    """
+    rng = spawn_rng(spec.seed, "workload")
+    n = spec.num_processes
+    procs = [_ProcState(remaining_sends=spec.sends_per_process) for _ in range(n)]
+    pred_set = set(spec.effective_predicate_pids)
+    next_msg_id = 0
+
+    def sample_flag(pid: Pid) -> dict[str, object] | None:
+        if pid not in pred_set:
+            return None
+        return {FLAG_VAR: rng.random() < spec.predicate_density}
+
+    def pick_destination(src: Pid) -> Pid:
+        if spec.pattern == "ring":
+            return (src + 1) % n
+        if spec.pattern == "pairs":
+            partner = src + 1 if src % 2 == 0 else src - 1
+            return partner if partner < n else (src - 1 if src > 0 else 1)
+        if spec.pattern == "client_server":
+            servers = max(1, n // 4)
+            if src < servers:  # server -> random client
+                return rng.randrange(servers, n) if servers < n else (src + 1) % n
+            return rng.randrange(servers)  # client -> random server
+        # uniform
+        dest = rng.randrange(n - 1)
+        return dest if dest < src else dest + 1
+
+    def advance_time(pid: Pid) -> float:
+        procs[pid].local_time += rng.expovariate(1.0)
+        return procs[pid].local_time
+
+    while True:
+        eligible = [
+            pid
+            for pid in range(n)
+            if procs[pid].remaining_sends > 0 or procs[pid].inbox
+        ]
+        if not eligible:
+            break
+        pid = rng.choice(eligible)
+        state = procs[pid]
+        if rng.random() < spec.internal_rate:
+            updates = sample_flag(pid)
+            if updates is not None:
+                state.events.append(Event.internal(updates, time=advance_time(pid)))
+        can_recv = bool(state.inbox)
+        can_send = state.remaining_sends > 0
+        do_recv = can_recv and (not can_send or rng.random() < 0.5)
+        if do_recv:
+            slot = rng.randrange(len(state.inbox))  # non-FIFO channels
+            msg_id, sender, delivery = state.inbox.pop(slot)
+            time = max(advance_time(pid), delivery)
+            state.local_time = time
+            state.events.append(Event.recv(msg_id, sender, time=time))
+        else:
+            dest = pick_destination(pid)
+            time = advance_time(pid)
+            state.events.append(Event.send(next_msg_id, dest, time=time))
+            delivery = time + rng.expovariate(1.0 / spec.mean_latency)
+            procs[dest].inbox.append((next_msg_id, pid, delivery))
+            state.remaining_sends -= 1
+            next_msg_id += 1
+
+    if spec.plant_final_cut:
+        for pid in sorted(pred_set):
+            procs[pid].events.append(
+                Event.internal({FLAG_VAR: True}, time=advance_time(pid))
+            )
+
+    traces = [
+        ProcessTrace(tuple(p.events), initial_vars={FLAG_VAR: False})
+        for p in procs
+    ]
+    return Computation(traces)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors used throughout tests and benchmarks
+# ----------------------------------------------------------------------
+def random_computation(
+    num_processes: int,
+    sends_per_process: int,
+    seed: int = 0,
+    predicate_density: float = 0.1,
+    pattern: str = "uniform",
+    predicate_pids: tuple[Pid, ...] | None = None,
+    plant_final_cut: bool = False,
+) -> Computation:
+    """A random computation with the given shape (see :class:`WorkloadSpec`)."""
+    return generate(
+        WorkloadSpec(
+            num_processes=num_processes,
+            sends_per_process=sends_per_process,
+            seed=seed,
+            predicate_density=predicate_density,
+            pattern=pattern,
+            predicate_pids=predicate_pids,
+            plant_final_cut=plant_final_cut,
+        )
+    )
+
+
+def worst_case_computation(
+    num_processes: int,
+    sends_per_process: int,
+    seed: int = 0,
+    predicate_pids: tuple[Pid, ...] | None = None,
+    pattern: str = "uniform",
+) -> Computation:
+    """Predicate true only at the guaranteed final cut.
+
+    Forces detection to eliminate (nearly) every earlier interval — the
+    regime the paper's O-bounds describe.
+    """
+    return generate(
+        WorkloadSpec(
+            num_processes=num_processes,
+            sends_per_process=sends_per_process,
+            seed=seed,
+            predicate_density=0.0,
+            predicate_pids=predicate_pids,
+            plant_final_cut=True,
+            pattern=pattern,
+        )
+    )
+
+
+def never_true_computation(
+    num_processes: int,
+    sends_per_process: int,
+    seed: int = 0,
+    predicate_pids: tuple[Pid, ...] | None = None,
+) -> Computation:
+    """The WCP never holds: detection must report "not detected"."""
+    return generate(
+        WorkloadSpec(
+            num_processes=num_processes,
+            sends_per_process=sends_per_process,
+            seed=seed,
+            predicate_density=0.0,
+            predicate_pids=predicate_pids,
+            plant_final_cut=False,
+        )
+    )
+
+
+def ring_computation(
+    num_processes: int,
+    rounds: int,
+    seed: int = 0,
+    predicate_density: float = 0.0,
+    plant_final_cut: bool = True,
+) -> Computation:
+    """A deterministic token-ring-shaped run: ``rounds`` full circulations.
+
+    Every receive depends on the previous hop, producing a long causal
+    chain — the structure that maximizes token travel in the §3
+    algorithm.
+    """
+    require_positive(num_processes, "num_processes")
+    require(num_processes >= 2, "ring needs >= 2 processes")
+    require_positive(rounds, "rounds")
+    return generate(
+        WorkloadSpec(
+            num_processes=num_processes,
+            sends_per_process=rounds,
+            pattern="ring",
+            internal_rate=0.3,
+            predicate_density=predicate_density,
+            plant_final_cut=plant_final_cut,
+            seed=seed,
+        )
+    )
+
+
+def spiral_computation(num_processes: int, rounds: int) -> Computation:
+    """The elimination worst case: a spiral of totally ordered candidates.
+
+    A message circulates the ring ``rounds`` times; each hop's receiver
+    raises the predicate flag in the interval the receive opens, then
+    lowers it before forwarding.  Every such candidate is causally after
+    the previous one, so *no* consistent satisfying cut exists among
+    them — detection must eliminate all ``~n*rounds`` candidates one at
+    a time before reaching the planted concurrent candidates at the very
+    end.  This realizes the paper's upper-bound regime: token hops
+    ``Θ(nm)`` with ``m = 2*rounds`` messages per process.
+    """
+    require(num_processes >= 2, "spiral needs >= 2 processes")
+    require_positive(rounds, "rounds")
+    from repro.trace.builder import ComputationBuilder
+
+    builder = ComputationBuilder(
+        num_processes,
+        initial_vars={p: {FLAG_VAR: False} for p in range(num_processes)},
+    )
+    builder.internal(0, {FLAG_VAR: True})
+    builder.internal(0, {FLAG_VAR: False})
+    current = 0
+    total_hops = rounds * num_processes
+    msg = builder.send(0, 1)
+    for hop in range(total_hops):
+        nxt = (current + 1) % num_processes
+        builder.recv(nxt, msg)
+        builder.internal(nxt, {FLAG_VAR: True})
+        builder.internal(nxt, {FLAG_VAR: False})
+        if hop + 1 < total_hops:
+            msg = builder.send(nxt, (nxt + 1) % num_processes)
+        current = nxt
+    for pid in range(num_processes):
+        builder.internal(pid, {FLAG_VAR: True})
+    return builder.build()
+
+
+def skewed_concurrent_computation(
+    num_predicate_processes: int,
+    messages_per_process: int,
+    slow_pid: Pid = 0,
+    delay: float = 1000.0,
+) -> Computation:
+    """The buffering worst case: concurrent candidates, one slow stream.
+
+    Each predicate process ``P_i`` (pids ``0..n-1``) ping-pongs with a
+    private partner (pids ``n..2n-1``), creating ``~m`` candidate
+    intervals whose flag is raised after a warm-up exchange.  Different
+    pairs never communicate, so candidates are pairwise concurrent
+    across processes — *nothing can be eliminated*.  Process
+    ``slow_pid`` runs ``delay`` time units late, so any detector must
+    buffer every other process's stream until the slow first candidate
+    arrives.  This realizes the space bounds the paper compares:
+    ``O(n^2 m)`` bits on the centralized checker versus ``O(nm)`` per
+    monitor for the token algorithm (experiment E7).
+    """
+    require(num_predicate_processes >= 2, "need >= 2 predicate processes")
+    require(messages_per_process >= 2, "need >= 2 messages per process")
+    require(
+        0 <= slow_pid < num_predicate_processes,
+        "slow_pid must be a predicate process",
+    )
+    from repro.trace.builder import ComputationBuilder
+
+    n = num_predicate_processes
+    builder = ComputationBuilder(
+        2 * n, initial_vars={p: {FLAG_VAR: False} for p in range(2 * n)}
+    )
+    exchanges = messages_per_process // 2
+    for i in range(n):
+        partner = n + i
+        t = delay if i == slow_pid else 0.0
+
+        def exchange(t0: float) -> float:
+            ping = builder.send(i, partner, time=t0 + 1)
+            builder.recv(partner, ping, time=t0 + 1.5)
+            pong = builder.send(partner, i, time=t0 + 2)
+            builder.recv(i, pong, time=t0 + 2.5)
+            return t0 + 2.5
+
+        t = exchange(t)
+        builder.internal(i, {FLAG_VAR: True}, time=t + 0.5)
+        t += 0.5
+        for _ in range(exchanges - 1):
+            t = exchange(t)
+    return builder.build()
+
+
+def empty_computation(num_processes: int) -> Computation:
+    """A run with no events at all (one interval per process)."""
+    if num_processes <= 0:
+        raise ConfigurationError("num_processes must be positive")
+    return Computation(
+        [ProcessTrace((), initial_vars={FLAG_VAR: False})] * num_processes
+    )

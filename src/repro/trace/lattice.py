@@ -1,0 +1,95 @@
+"""Enumeration of the lattice of consistent global states.
+
+Cooper and Marzullo's detector [3] — a baseline the paper compares its
+approach against — searches the lattice of consistent global states
+level by level.  This module provides the lattice machinery at the
+library's interval granularity:
+
+* a consistent global state is a :class:`~repro.trace.cuts.Cut` whose
+  interval states are pairwise concurrent;
+* the level of a state is the sum of its components;
+* every consistent state of level L+1 covers (one-component increment)
+  at least one consistent state of level L, so breadth-first search by
+  level enumerates the whole lattice exactly once.
+
+The lattice is exponential in general; these functions are intended for
+baselines and for validating the polynomial algorithms on small runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.common.types import Pid, StateRef
+from repro.trace.cuts import Cut
+from repro.trace.intervals import IntervalAnalysis
+
+__all__ = [
+    "initial_cut",
+    "consistent_successors",
+    "iter_consistent_cuts",
+    "count_consistent_cuts",
+]
+
+
+def initial_cut(analysis: IntervalAnalysis, pids: Sequence[Pid]) -> Cut:
+    """The bottom of the lattice: every process at interval 1.
+
+    Always consistent: interval 1 of any process precedes every merge,
+    so no cross-process happened-before edge can point into it.
+    """
+    pids = tuple(pids)
+    return Cut(pids, (1,) * len(pids))
+
+
+def _increment_ok(analysis: IntervalAnalysis, cut: Cut, k: int) -> Cut | None:
+    """The cut with component ``k`` incremented, or None if that leaves
+    the trace or breaks consistency."""
+    pid = cut.pids[k]
+    new_interval = cut.intervals[k] + 1
+    if new_interval > analysis.num_intervals(pid):
+        return None
+    moved = StateRef(pid, new_interval)
+    for j, other_pid in enumerate(cut.pids):
+        if j == k:
+            continue
+        other = StateRef(other_pid, cut.intervals[j])
+        if analysis.happened_before(moved, other) or analysis.happened_before(
+            other, moved
+        ):
+            return None
+    return cut.replaced(pid, new_interval)
+
+
+def consistent_successors(analysis: IntervalAnalysis, cut: Cut) -> list[Cut]:
+    """All consistent cuts reachable from ``cut`` by one increment."""
+    out: list[Cut] = []
+    for k in range(len(cut.pids)):
+        succ = _increment_ok(analysis, cut, k)
+        if succ is not None:
+            out.append(succ)
+    return out
+
+
+def iter_consistent_cuts(
+    analysis: IntervalAnalysis, pids: Sequence[Pid]
+) -> Iterator[Cut]:
+    """Breadth-first enumeration (by level) of every consistent cut.
+
+    Each cut is yielded exactly once; within a level the order is
+    deterministic (insertion order of the BFS frontier).
+    """
+    start = initial_cut(analysis, pids)
+    frontier: dict[tuple[int, ...], Cut] = {start.intervals: start}
+    while frontier:
+        next_frontier: dict[tuple[int, ...], Cut] = {}
+        for cut in frontier.values():
+            yield cut
+            for succ in consistent_successors(analysis, cut):
+                next_frontier.setdefault(succ.intervals, succ)
+        frontier = next_frontier
+
+
+def count_consistent_cuts(analysis: IntervalAnalysis, pids: Sequence[Pid]) -> int:
+    """The number of consistent global states over ``pids``."""
+    return sum(1 for _ in iter_consistent_cuts(analysis, pids))

@@ -1,0 +1,128 @@
+"""ASCII space-time diagrams of computations and detected cuts.
+
+Distributed-debugging output people can read: one line per process,
+events in a causally consistent global order, message endpoints
+labelled, candidate emission points marked, and — when a detected cut is
+supplied — the cut's frontier drawn through the run::
+
+    P0  ─o──s0────────────|─r1─
+    P1  ────────r0──s1──|──────
+        candidates: ^ under emission events
+
+Rendering rules:
+
+* columns follow one deterministic topological order of all events, so
+  a message's send is always left of its receive;
+* ``o`` marks an internal event, ``s<k>``/``r<k>`` the send/receive of
+  message ``k``;
+* with a WCP, a marker line under each predicate process carries ``^``
+  below the event that triggered each snapshot emission (the Fig. 2
+  ``firstflag`` points);
+* with a cut, ``|`` is drawn immediately after the last event whose
+  post-state lies inside the cut on that process.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CutError
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.computation import Computation
+from repro.trace.cuts import Cut
+from repro.trace.snapshots import emission_points
+
+__all__ = ["render_spacetime"]
+
+_FILL = "─"
+
+
+def _event_label(event) -> str:
+    if event.kind.name == "INTERNAL":
+        return "o"
+    prefix = "s" if event.kind.name == "SEND" else "r"
+    return f"{prefix}{event.msg_id}"
+
+
+def render_spacetime(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate | None = None,
+    cut: Cut | None = None,
+) -> str:
+    """Render the computation as an ASCII space-time diagram.
+
+    ``cut`` (if given) must range over a subset of the computation's
+    processes and use valid interval indices.
+    """
+    order = computation.topological_order()
+    col_of = {node: k for k, node in enumerate(order)}
+    labels = [
+        _event_label(computation.event(pid, idx)) for pid, idx in order
+    ]
+    col_width = max((len(label) for label in labels), default=1) + 2
+
+    analysis = computation.analysis()
+    cut_map = {}
+    if cut is not None:
+        for pid in cut.pids:
+            interval = cut.component(pid)
+            if not 1 <= interval <= analysis.num_intervals(pid):
+                raise CutError(
+                    f"cut interval {interval} invalid for P{pid} "
+                    f"(has {analysis.num_intervals(pid)})"
+                )
+            cut_map[pid] = interval
+
+    name_width = max(len(f"P{pid}") for pid in range(computation.num_processes))
+    lines: list[str] = []
+    for pid in range(computation.num_processes):
+        cells: list[str] = []
+        marks: list[str] = []
+        events = computation.events_of(pid)
+        # Which column ends the cut on this process (None = after start
+        # only, i.e. before every event of interval >= 2... handled via
+        # boundary = -1 meaning the cut bar goes right after the name).
+        boundary_col = None
+        if pid in cut_map:
+            boundary_col = -1
+            for idx, event in enumerate(events):
+                post_interval = analysis.interval_of_state(pid, idx + 1)
+                if post_interval <= cut_map[pid]:
+                    boundary_col = col_of[(pid, idx)]
+        emission_cols = set()
+        emit_at_start = False
+        if wcp is not None and pid in wcp.pids:
+            for _interval, state_index in emission_points(
+                computation, pid, wcp.clause(pid)
+            ):
+                if state_index == 0:
+                    emit_at_start = True
+                else:
+                    emission_cols.add(col_of[(pid, state_index - 1)])
+        for col, node in enumerate(order):
+            node_pid, node_idx = node
+            if node_pid == pid:
+                label = _event_label(events[node_idx])
+                cell = label.center(col_width, _FILL)
+            else:
+                cell = _FILL * col_width
+            if boundary_col is not None and col == boundary_col:
+                cell = cell[:-1] + "|"
+            cells.append(cell)
+            marks.append(
+                ("^".center(col_width) if col in emission_cols else " " * col_width)
+            )
+        prefix = f"P{pid}".ljust(name_width) + "  "
+        start_bar = "|" if boundary_col == -1 else _FILL
+        start_mark = "^" if emit_at_start else " "
+        lines.append(prefix + start_bar + "".join(cells))
+        if wcp is not None and pid in wcp.pids and (emission_cols or emit_at_start):
+            lines.append(" " * len(prefix) + start_mark + "".join(marks))
+
+    legend = [
+        f"m{rec.msg_id}: P{rec.sender} -> P{rec.receiver}"
+        for rec in sorted(computation.messages.values(), key=lambda r: r.msg_id)
+    ]
+    if legend:
+        lines.append("messages: " + ", ".join(legend))
+    if cut is not None:
+        lines.append(f"cut: {cut}")
+    return "\n".join(lines)

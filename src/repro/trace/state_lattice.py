@@ -1,0 +1,163 @@
+"""The lattice of consistent global states at *local-state* granularity.
+
+The detection algorithms work at communication-interval granularity,
+which is exact for ``possibly(φ)`` (the Garg–Waldecker WCP theorem).
+``definitely(φ)`` — every observation passes through a φ-state — is a
+statement about individual local states, so its ground truth needs the
+finer lattice: a global state is a vector ``(t_1..t_N)`` where process
+``i`` has executed its first ``t_i`` events (and so sits in local state
+``s_{t_i}``), consistent iff no message is received but unsent:
+
+    for all i != j:  C_j(t_j)[i] <= t_i
+
+where ``C_j(u)[i]`` is the number of ``i``-events in the causal past of
+``j``'s ``u``-th event (0 for ``u = 0``) — directly readable off the
+event-level Fidge–Mattern clocks.
+
+This module provides exhaustive (exponential) evaluators used as ground
+truth for the polynomial strong-predicate detector
+(:mod:`repro.detect.strong`) and for cross-granularity sanity checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.trace.causality import event_vector_clocks
+from repro.trace.computation import Computation
+
+__all__ = [
+    "StateLatticeAnalysis",
+    "possibly_states",
+    "definitely_states",
+]
+
+LocalStatePredicate = Callable[[Mapping[str, object]], bool]
+
+
+class StateLatticeAnalysis:
+    """Cached machinery for state-granularity cut queries."""
+
+    def __init__(self, computation: Computation) -> None:
+        self._comp = computation
+        self._n = computation.num_processes
+        self._lengths = [
+            len(computation.events_of(pid)) for pid in range(self._n)
+        ]
+        clocks = event_vector_clocks(computation)
+        # past[j][u][i] = i-events in the causal past of j's u-th prefix.
+        self._past: list[list[tuple[int, ...]]] = []
+        for j in range(self._n):
+            rows: list[tuple[int, ...]] = [tuple([0] * self._n)]
+            for u in range(1, self._lengths[j] + 1):
+                rows.append(clocks[j][u - 1].components)
+            self._past.append(rows)
+
+    @property
+    def num_processes(self) -> int:
+        """The process count N."""
+        return self._n
+
+    def lengths(self) -> tuple[int, ...]:
+        """Event counts per process (the top cut)."""
+        return tuple(self._lengths)
+
+    def is_consistent(self, cut: tuple[int, ...]) -> bool:
+        """Whether prefix-vector ``cut`` is a consistent global state."""
+        for j in range(self._n):
+            past = self._past[j][cut[j]]
+            for i in range(self._n):
+                if i != j and past[i] > cut[i]:
+                    return False
+        return True
+
+    def successors(self, cut: tuple[int, ...]) -> list[tuple[int, ...]]:
+        """Consistent one-event advances of ``cut``."""
+        out = []
+        for i in range(self._n):
+            if cut[i] < self._lengths[i]:
+                nxt = cut[:i] + (cut[i] + 1,) + cut[i + 1 :]
+                if self.is_consistent(nxt):
+                    out.append(nxt)
+        return out
+
+
+def _clause_values(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> dict[int, list[bool]]:
+    values: dict[int, list[bool]] = {}
+    for pid in wcp.pids:
+        clause = wcp.clause(pid)
+        values[pid] = [clause(s) for s in computation.local_states(pid)]
+    return values
+
+
+def possibly_states(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> bool:
+    """Exhaustive possibly(φ) at state granularity.
+
+    Must agree with interval-granularity detection — the WCP theorem —
+    which the test suite asserts.
+    """
+    wcp.check_against(computation.num_processes)
+    analysis = StateLatticeAnalysis(computation)
+    values = _clause_values(computation, wcp)
+
+    def satisfies(cut: tuple[int, ...]) -> bool:
+        return all(values[pid][cut[pid]] for pid in wcp.pids)
+
+    start = tuple([0] * analysis.num_processes)
+    frontier = {start}
+    seen = {start}
+    while frontier:
+        for cut in frontier:
+            if satisfies(cut):
+                return True
+        next_frontier = set()
+        for cut in frontier:
+            for succ in analysis.successors(cut):
+                if succ not in seen:
+                    seen.add(succ)
+                    next_frontier.add(succ)
+        frontier = next_frontier
+    return False
+
+
+def definitely_states(
+    computation: Computation, wcp: WeakConjunctivePredicate
+) -> bool:
+    """Exhaustive definitely(φ): no observation avoids every φ-state.
+
+    Searches for a path of non-satisfying consistent states from the
+    initial to the final global state; definitely holds iff none exists.
+    Exponential — ground truth for :mod:`repro.detect.strong`.
+    """
+    wcp.check_against(computation.num_processes)
+    analysis = StateLatticeAnalysis(computation)
+    values = _clause_values(computation, wcp)
+
+    def satisfies(cut: tuple[int, ...]) -> bool:
+        return all(values[pid][cut[pid]] for pid in wcp.pids)
+
+    start = tuple([0] * analysis.num_processes)
+    top = analysis.lengths()
+    if satisfies(start):
+        return True
+    if start == top:
+        return False
+    frontier = {start}
+    seen = {start}
+    while frontier:
+        next_frontier = set()
+        for cut in frontier:
+            for succ in analysis.successors(cut):
+                if succ in seen or satisfies(succ):
+                    continue
+                if succ == top:
+                    return False
+                seen.add(succ)
+                next_frontier.add(succ)
+        frontier = next_frontier
+    return True

@@ -1,0 +1,107 @@
+"""Workload statistics: quantifying the shape of a computation.
+
+Detection cost depends on more than (N, m): the *concurrency ratio*
+(what fraction of interval pairs are concurrent) and the candidate
+density drive how much elimination work the algorithms must do.  These
+statistics label benchmark workloads and power the average-case study
+(experiment E10): a spiral has concurrency ratio near 0 (everything
+ordered — maximal elimination), independent pairs sit near 1 (nothing to
+eliminate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import StateRef
+from repro.predicates.conjunctive import WeakConjunctivePredicate
+from repro.predicates.evaluator import candidate_intervals
+from repro.trace.computation import Computation
+
+__all__ = ["ComputationStats", "compute_stats", "describe"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComputationStats:
+    """Summary statistics of one computation (and optionally one WCP)."""
+
+    num_processes: int
+    total_events: int
+    total_messages: int
+    max_messages_per_process: int
+    total_intervals: int
+    min_intervals: int
+    max_intervals: int
+    concurrency_ratio: float
+    candidate_counts: dict[int, int] | None
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        """Key/value rows for table rendering."""
+        rows: list[tuple[str, object]] = [
+            ("processes (N)", self.num_processes),
+            ("events", self.total_events),
+            ("messages", self.total_messages),
+            ("m = max msgs/process", self.max_messages_per_process),
+            ("intervals (total)", self.total_intervals),
+            ("intervals (min/max per proc)",
+             f"{self.min_intervals}/{self.max_intervals}"),
+            ("concurrency ratio", round(self.concurrency_ratio, 3)),
+        ]
+        if self.candidate_counts is not None:
+            rows.append(
+                ("candidates per predicate process",
+                 dict(sorted(self.candidate_counts.items())))
+            )
+        return rows
+
+
+def _concurrency_ratio(computation: Computation) -> float:
+    """Fraction of cross-process interval pairs that are concurrent."""
+    analysis = computation.analysis()
+    n = computation.num_processes
+    concurrent = 0
+    total = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            for a in range(1, analysis.num_intervals(i) + 1):
+                for b in range(1, analysis.num_intervals(j) + 1):
+                    total += 1
+                    if analysis.concurrent(StateRef(i, a), StateRef(j, b)):
+                        concurrent += 1
+    return concurrent / total if total else 1.0
+
+
+def compute_stats(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate | None = None,
+) -> ComputationStats:
+    """Compute summary statistics (O(total_intervals^2) for the ratio)."""
+    analysis = computation.analysis()
+    n = computation.num_processes
+    per_proc = [analysis.num_intervals(p) for p in range(n)]
+    candidates = None
+    if wcp is not None:
+        candidates = {
+            pid: len(ivs)
+            for pid, ivs in candidate_intervals(computation, wcp).items()
+        }
+    return ComputationStats(
+        num_processes=n,
+        total_events=computation.total_events(),
+        total_messages=len(computation.messages),
+        max_messages_per_process=computation.max_messages_per_process(),
+        total_intervals=sum(per_proc),
+        min_intervals=min(per_proc),
+        max_intervals=max(per_proc),
+        concurrency_ratio=_concurrency_ratio(computation),
+        candidate_counts=candidates,
+    )
+
+
+def describe(
+    computation: Computation,
+    wcp: WeakConjunctivePredicate | None = None,
+) -> str:
+    """A human-readable multi-line summary."""
+    stats = compute_stats(computation, wcp)
+    return "\n".join(f"{key}: {value}" for key, value in stats.as_rows())

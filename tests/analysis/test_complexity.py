@@ -1,0 +1,67 @@
+"""Unit tests for power-law fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_bivariate, fit_power_law
+
+
+class TestPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.exponent - 2.0) < 1e-9
+        assert abs(math.exp(fit.intercept) - 3.0) < 1e-6
+        assert fit.r_squared > 0.999999
+
+    def test_linear(self):
+        fit = fit_power_law([1, 2, 3, 4], [5, 10, 15, 20])
+        assert abs(fit.exponent - 1.0) < 1e-9
+
+    def test_noisy_data_reasonable(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [1.1 * x**1.5 * (1 + 0.02 * (-1) ** i) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 1.4 < fit.exponent < 1.6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 2], [1, 1])
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestBivariate:
+    def test_exact_n2m(self):
+        points = [
+            (n, m) for n in (2, 4, 8) for m in (3, 9, 27)
+        ]
+        ns = [p[0] for p in points]
+        ms = [p[1] for p in points]
+        ys = [7 * n * n * m for n, m in points]
+        fit = fit_bivariate(ns, ms, ys)
+        assert abs(fit.n_exponent - 2.0) < 1e-9
+        assert abs(fit.m_exponent - 1.0) < 1e-9
+        assert fit.r_squared > 0.999999
+
+    def test_rank_deficient_rejected(self):
+        # m never varies independently.
+        ns = [2, 4, 8]
+        ms = [2, 4, 8]
+        ys = [1, 2, 3]
+        with pytest.raises(ValueError, match="vary"):
+            fit_bivariate(ns, ms, ys)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_bivariate([1, 2, 3], [1, 2, 3], [1, 0, 1])

@@ -1,0 +1,139 @@
+"""Smoke-level tests for the experiment harness (small parameters).
+
+The benchmarks run these at full size; tests only assert the structural
+and directional properties that must hold at any size.
+"""
+
+from repro.analysis import (
+    run_e1_token_vc,
+    run_e2_direct_dep,
+    run_e3_crossover,
+    run_e4_multi_token,
+    run_e5_parallel_dd,
+    run_e6_lower_bound,
+    run_e7_vs_centralized,
+    run_e8_agreement,
+    strip_times,
+)
+from repro.trace import random_computation
+
+
+class TestStripTimes:
+    def test_removes_all_timestamps(self):
+        comp = random_computation(3, 4, seed=1)
+        stripped = strip_times(comp)
+        for pid in range(3):
+            assert all(e.time is None for e in stripped.events_of(pid))
+        assert stripped.total_events() == comp.total_events()
+
+
+class TestE1:
+    def test_bounds_hold_and_fits_match_paper(self):
+        result = run_e1_token_vc(ns=(4, 8), ms=(8, 16))
+        assert all(row[-1] for row in result.rows), "every run detected"
+        hops = result.column("token_hops")
+        bounds = result.column("hop_bound(nm)")
+        assert all(h <= b for h, b in zip(hops, bounds))
+        assert 1.8 <= result.fits["total_work"].n_exponent <= 2.2
+        assert 0.7 <= result.fits["total_work"].m_exponent <= 1.2
+
+
+class TestE2:
+    def test_bounds_and_per_process_o_m(self):
+        result = run_e2_direct_dep(big_ns=(4, 8), ms=(8, 16))
+        assert 0.8 <= result.fits["total_work"].n_exponent <= 1.2
+        assert 0.7 <= result.fits["total_work"].m_exponent <= 1.2
+        # Per-process work identical across N for fixed m.
+        by_m = {}
+        for row in result.rows:
+            by_m.setdefault(row[1], set()).add(row[8])
+        for works in by_m.values():
+            assert max(works) <= min(works) * 1.5
+
+
+class TestE3:
+    def test_crossover_direction(self):
+        result = run_e3_crossover(big_n=16, m=8, n_values=(2, 16))
+        assert result.rows[0][7] == "vc"
+        assert result.rows[-1][7] == "dd"
+
+
+class TestE4:
+    def test_makespan_shrinks_with_groups(self):
+        result = run_e4_multi_token(n=8, m=6, group_counts=(1, 4))
+        makespans = {row[0]: row[2] for row in result.rows}
+        assert makespans[4] < makespans[1]
+
+
+class TestE5:
+    def test_parallel_speedup(self):
+        result = run_e5_parallel_dd(big_n=8, m=6, seeds=(0,))
+        assert all(row[3] > 1.0 for row in result.rows)
+
+
+class TestE6:
+    def test_all_strategies_within_bound(self):
+        result = run_e6_lower_bound(ns=(3, 5), ms=(4, 8))
+        ok_col = result.column("ok")
+        assert all(ok_col)
+        assert 0.9 <= result.fits["steps_vs_nm"].exponent <= 1.1
+
+
+class TestE7:
+    def test_space_ratio_grows_linearly(self):
+        result = run_e7_vs_centralized(ns=(4, 8), m=8)
+        assert all(result.column("same_cut"))
+        assert 0.8 <= result.fits["space_ratio_vs_n"].exponent <= 1.2
+
+
+class TestE8:
+    def test_everyone_agrees(self):
+        result = run_e8_agreement(seeds=(0, 1, 2), num_processes=3, m=4)
+        assert all(result.column("all_agree"))
+
+
+class TestE9:
+    def test_policies_detect_same_cut(self):
+        from repro.analysis import run_e9_routing_ablation
+
+        result = run_e9_routing_ablation(n=6, m=6, seeds=(0,))
+        assert all(row[-1] for row in result.rows)
+
+
+class TestE10:
+    def test_random_beats_spiral(self):
+        from repro.analysis import run_e10_average_case
+
+        result = run_e10_average_case(n=5, m=8, densities=(0.2,), seeds=(0, 1))
+        spiral_used = result.rows[0][4]
+        random_used = result.rows[1][4]
+        assert random_used < spiral_used
+
+
+class TestE11:
+    def test_latency_ordering(self):
+        from repro.analysis import run_e11_detection_latency
+
+        result = run_e11_detection_latency(ns=(4, 8), m=6, seeds=(0,))
+        by_det = {}
+        for row in result.rows:
+            by_det.setdefault(row[0], []).append(row[2])
+        assert max(by_det["centralized"]) <= min(by_det["token_vc"])
+
+
+class TestE12AndE13:
+    def test_e12_agreement(self):
+        from repro.analysis import run_e12_strong_predicates
+
+        result = run_e12_strong_predicates(
+            sizes=((2, 3), (3, 3)), big_sizes=((6, 8),), seeds=(0,)
+        )
+        assert all(row[3] for row in result.rows)
+
+    def test_e13_agreement(self):
+        from repro.analysis import run_e13_gcp_online
+
+        result = run_e13_gcp_online(
+            small_sizes=((3, 4),), big_sizes=((6, 8),), seeds=(0,)
+        )
+        assert all(row[3] for row in result.rows)

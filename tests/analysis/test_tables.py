@@ -1,0 +1,54 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis import format_value, render_table
+
+
+class TestFormatValue:
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_small_float(self):
+        assert format_value(0.4456) == "0.446"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_numbers_grouped(self):
+        assert format_value(1234567.0) == "1,234,567"
+        assert format_value(123456) == "123,456"
+
+    def test_small_int_plain(self):
+        assert format_value(999) == "999"
+
+    def test_string_passthrough(self):
+        assert format_value("vc") == "vc"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_numbers_right_aligned(self):
+        out = render_table(["num"], [[7], [1234]])
+        rows = out.split("\n")[2:]
+        assert rows[0] == "|    7 |"
+        assert rows[1] == "| 1234 |"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

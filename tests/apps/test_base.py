@@ -1,0 +1,196 @@
+"""Unit tests for the live application-process base class."""
+
+import pytest
+
+from repro.apps import APP_MSG_KIND, ApplicationProcess, app_names
+from repro.common import ConfigurationError
+from repro.predicates import var_true
+from repro.simulation import Kernel, Actor, CANDIDATE_KIND, END_OF_TRACE_KIND
+
+
+class Recorder(Actor):
+    """Collects snapshots sent to it until end-of-trace."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.snapshots = []
+        self.closed = False
+
+    def run(self):
+        while True:
+            msg = yield self.receive(CANDIDATE_KIND, END_OF_TRACE_KIND)
+            if msg.kind == END_OF_TRACE_KIND:
+                self.closed = True
+                return
+            self.snapshots.append(msg.payload)
+
+
+class Sender(ApplicationProcess):
+    def __init__(self, names, **kw):
+        super().__init__(0, names, **kw)
+
+    def behavior(self):
+        yield self.set_vars(flag=True)
+        yield self.app_send(1, "hello")
+        yield self.set_vars(flag=False)
+        yield self.set_vars(flag=True)
+
+
+class Receiver(ApplicationProcess):
+    def __init__(self, names, **kw):
+        super().__init__(1, names, **kw)
+        self.got = None
+
+    def behavior(self):
+        msg = yield from self.recv_app()
+        self.got = msg.payload
+        yield self.set_vars(flag=True)
+
+
+def wire(mode="vc"):
+    names = app_names(2)
+    kernel = Kernel()
+    mon0, mon1 = Recorder("mon-0"), Recorder("mon-1")
+    kernel.add_actor(mon0)
+    kernel.add_actor(mon1)
+    common = dict(
+        predicate=var_true("flag"),
+        snapshot_pids=(0, 1),
+        mode=mode,
+    )
+    s = Sender(names, monitor="mon-0", **common)
+    r = Receiver(names, monitor="mon-1", **common)
+    kernel.add_actor(s)
+    kernel.add_actor(r)
+    kernel.run()
+    return s, r, mon0, mon1
+
+
+class TestClockMaintenance:
+    def test_fig2_clock_evolution(self):
+        s, r, *_ = wire()
+        # Sender: initial [1,0]; one send ticks to [2,0].
+        assert s.vclock == (2, 0)
+        # Receiver: initial [0,1]; merge tag [1,0] then tick -> [1,2].
+        assert r.vclock == (1, 2)
+        assert r.got == "hello"
+
+    def test_interval_counters(self):
+        s, r, *_ = wire()
+        assert s.counter == 2  # one send
+        assert r.counter == 2  # one receive
+
+    def test_app_message_carries_both_tags(self):
+        names = app_names(2)
+        kernel = Kernel()
+
+        class Probe(ApplicationProcess):
+            def __init__(self):
+                super().__init__(1, names)
+                self.msg = None
+
+            def behavior(self):
+                self.msg = yield from self.recv_app()
+
+        class Src(ApplicationProcess):
+            def __init__(self):
+                super().__init__(0, names)
+
+            def behavior(self):
+                yield self.app_send(1, "x")
+
+        probe = Probe()
+        kernel.add_actor(probe)
+        kernel.add_actor(Src())
+        kernel.run()
+        assert probe.msg.vclock == (1, 0)
+        assert probe.msg.counter == 1
+        assert probe.msg.sender == 0
+
+
+class TestSnapshotEmission:
+    def test_one_snapshot_per_interval(self):
+        s, _, mon0, _ = wire()
+        # Sender: flag true in interval 1 (one snapshot), then in
+        # interval 2 it goes F then T again — still one snapshot.
+        assert len(mon0.snapshots) == 2
+        assert mon0.snapshots[0] == (1, 0)
+        assert mon0.snapshots[1] == (2, 0)
+
+    def test_eot_sent_on_completion(self):
+        *_, mon0, mon1 = wire()
+        assert mon0.closed and mon1.closed
+
+    def test_dd_mode_payloads(self):
+        s, r, mon0, mon1 = wire(mode="dd")
+        assert mon1.snapshots[0].pid == 1
+        # Receiver's flag-raise happens after the receive: interval 2,
+        # carrying the dependence on the sender's interval 1.
+        deps = mon1.snapshots[0].deps
+        assert [(d.source, d.clock) for d in deps] == [(0, 1)]
+
+    def test_no_monitor_no_snapshots(self):
+        names = app_names(2)
+        kernel = Kernel()
+
+        class Quiet(ApplicationProcess):
+            def __init__(self, pid):
+                super().__init__(pid, names, predicate=None, monitor=None)
+
+            def behavior(self):
+                if self.pid == 0:
+                    yield self.app_send(1, "x")
+                else:
+                    yield from self.recv_app()
+
+        a, b = Quiet(0), Quiet(1)
+        kernel.add_actor(a)
+        kernel.add_actor(b)
+        kernel.run()
+        assert a.snapshots_emitted == 0
+
+    def test_initial_state_snapshot(self):
+        names = app_names(2)
+        kernel = Kernel()
+        mon = Recorder("mon-0")
+        kernel.add_actor(mon)
+
+        class StartsTrue(ApplicationProcess):
+            def __init__(self):
+                super().__init__(
+                    0,
+                    names,
+                    predicate=var_true("flag"),
+                    monitor="mon-0",
+                    snapshot_pids=(0,),
+                    initial_vars={"flag": True},
+                )
+
+            def behavior(self):
+                return
+                yield  # pragma: no cover
+
+        class Idle(ApplicationProcess):
+            def __init__(self):
+                super().__init__(1, names)
+
+            def behavior(self):
+                return
+                yield  # pragma: no cover
+
+        kernel.add_actor(StartsTrue())
+        kernel.add_actor(Idle())
+        kernel.run()
+        assert mon.snapshots == [(1,)]
+
+
+class TestValidation:
+    def test_self_send_rejected(self):
+        names = app_names(2)
+        app = ApplicationProcess(0, names)
+        with pytest.raises(ConfigurationError):
+            app.app_send(0, "x")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationProcess(0, app_names(2), mode="telepathy")

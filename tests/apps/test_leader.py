@@ -1,0 +1,85 @@
+"""Tests for the bully-election split-brain example."""
+
+import pytest
+
+from repro.apps import (
+    build_election_system,
+    run_live_direct_dep,
+    run_live_token_vc,
+    split_brain_wcp,
+)
+from repro.common import ConfigurationError
+
+IMPATIENT = 0.5   # < the ~2.0 unit round trip: the split-brain bug
+PATIENT = 10.0
+
+
+class TestBuggyElection:
+    def test_split_brain_detected(self):
+        wcp = split_brain_wcp(0, 3)
+        apps = build_election_system(4, IMPATIENT, wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=1)
+        assert report.detected
+        assert not report.sim.deadlocked
+
+    def test_split_brain_detected_dd(self):
+        wcp = split_brain_wcp(0, 3)
+        apps = build_election_system(4, IMPATIENT, wcp, mode="dd")
+        report = run_live_direct_dep(apps, wcp, seed=1)
+        assert report.detected
+
+    def test_intermediate_node_pair_also_conflicts(self):
+        """Every impatient campaigner self-crowns, so any (campaigner,
+        top) pair conflicts."""
+        wcp = split_brain_wcp(1, 3)
+        apps = build_election_system(4, IMPATIENT, wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=2)
+        assert report.detected
+
+    def test_resolves_in_real_time_but_still_detected(self):
+        """By run end only the top node holds 'leader' — the split brain
+        was transient, which is exactly why causal detection matters."""
+        wcp = split_brain_wcp(0, 3)
+        apps = build_election_system(4, IMPATIENT, wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=3)
+        assert report.detected
+        lower = next(a for a in apps if a.pid == 0)
+        top = next(a for a in apps if a.pid == 3)
+        assert lower.vars["leader"] is False
+        assert top.vars["leader"] is True
+
+
+class TestCorrectElection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_patient_timeout_no_split_brain(self, seed):
+        wcp = split_brain_wcp(0, 3)
+        apps = build_election_system(4, PATIENT, wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=seed)
+        assert not report.detected
+        assert not report.sim.deadlocked
+
+    def test_exactly_one_leader_at_end(self):
+        wcp = split_brain_wcp(0, 3)
+        apps = build_election_system(4, PATIENT, wcp, mode="vc")
+        run_live_token_vc(apps, wcp, seed=5)
+        leaders = [a.pid for a in apps if a.vars["leader"]]
+        assert leaders == [3]
+
+    def test_two_node_ring(self):
+        wcp = split_brain_wcp(0, 1)
+        apps = build_election_system(2, PATIENT, wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=1)
+        assert not report.detected
+
+
+class TestValidation:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            build_election_system(1, PATIENT, split_brain_wcp(0, 1))
+
+    def test_positive_timeout(self):
+        from repro.apps import BullyNode
+        from repro.apps.live import app_names
+
+        with pytest.raises(ConfigurationError):
+            BullyNode(0, app_names(2), alive_timeout=0)

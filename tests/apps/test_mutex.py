@@ -1,0 +1,73 @@
+"""Tests for the mutual-exclusion example (paper example 1)."""
+
+import pytest
+
+from repro.apps import (
+    build_mutex_system,
+    mutex_wcp,
+    run_live_direct_dep,
+    run_live_token_vc,
+)
+from repro.common import ConfigurationError
+
+
+class TestBuggyCoordinator:
+    def test_violation_detected_vc(self):
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(3, rounds=3, bug_every=2, wcp=wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=1)
+        assert report.detected
+        assert report.cut is not None
+
+    def test_violation_detected_dd(self):
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(3, rounds=3, bug_every=2, wcp=wcp, mode="dd")
+        report = run_live_direct_dep(apps, wcp, seed=1)
+        assert report.detected
+
+    def test_vc_and_dd_agree_on_cut(self):
+        wcp = mutex_wcp(1, 2)
+        vc_apps = build_mutex_system(3, rounds=3, bug_every=2, wcp=wcp, mode="vc")
+        dd_apps = build_mutex_system(3, rounds=3, bug_every=2, wcp=wcp, mode="dd")
+        vc = run_live_token_vc(vc_apps, wcp, seed=1)
+        dd = run_live_direct_dep(dd_apps, wcp, seed=1)
+        assert vc.cut == dd.cut
+
+    def test_detection_concerns_concurrency_not_wallclock(self):
+        """Even with a long CS (no real-time overlap possible between
+        sequential grants), a causally unordered double grant is a
+        violation — the whole point of WCP detection."""
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(
+            2, rounds=2, bug_every=1, wcp=wcp, mode="vc"
+        )
+        report = run_live_token_vc(apps, wcp, seed=9)
+        assert report.detected
+
+
+class TestCorrectCoordinator:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_false_alarm(self, seed):
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(3, rounds=3, bug_every=0, wcp=wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=seed)
+        assert not report.detected
+        assert not report.sim.deadlocked
+
+    def test_no_false_alarm_dd(self):
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(3, rounds=2, bug_every=0, wcp=wcp, mode="dd")
+        report = run_live_direct_dep(apps, wcp, seed=2)
+        assert not report.detected
+
+
+class TestValidation:
+    def test_needs_two_clients(self):
+        wcp = mutex_wcp(1, 2)
+        with pytest.raises(ConfigurationError):
+            build_mutex_system(1, rounds=1, bug_every=0, wcp=wcp)
+
+    def test_negative_bug_rate(self):
+        wcp = mutex_wcp(1, 2)
+        with pytest.raises(ConfigurationError):
+            build_mutex_system(2, rounds=1, bug_every=-1, wcp=wcp)

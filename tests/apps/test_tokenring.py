@@ -1,0 +1,70 @@
+"""Tests for the quiescence-detection ring example."""
+
+import pytest
+
+from repro.apps import (
+    build_ring_system,
+    quiescence_wcp,
+    run_live_direct_dep,
+    run_live_token_vc,
+)
+from repro.common import ConfigurationError
+
+
+class TestQuiescence:
+    def test_quiescent_cut_detected(self):
+        wcp = quiescence_wcp(4)
+        apps = build_ring_system(4, jobs=[4, 3, 2], wcp=wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=5)
+        assert report.detected
+        # Worker 0 starts busy, so the detected cut is past its first
+        # interval.
+        assert report.cut.component(0) >= 1
+
+    def test_detects_under_dd(self):
+        wcp = quiescence_wcp(3)
+        apps = build_ring_system(3, jobs=[3, 2], wcp=wcp, mode="dd")
+        report = run_live_direct_dep(apps, wcp, seed=2)
+        assert report.detected
+
+    def test_ring_terminates_cleanly(self):
+        wcp = quiescence_wcp(5)
+        apps = build_ring_system(5, jobs=[5, 5, 4, 1], wcp=wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=7)
+        assert not report.sim.deadlocked
+
+    def test_no_jobs_trivial_quiescence(self):
+        wcp = quiescence_wcp(3)
+        apps = build_ring_system(3, jobs=[], wcp=wcp, mode="vc")
+        report = run_live_token_vc(apps, wcp, seed=1)
+        assert report.detected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_deterministic_per_seed(self, seed):
+        wcp = quiescence_wcp(4)
+
+        def once():
+            apps = build_ring_system(4, jobs=[4, 2], wcp=wcp, mode="vc")
+            return run_live_token_vc(apps, wcp, seed=seed)
+
+        a, b = once(), once()
+        assert a.cut == b.cut
+        assert a.detection_time == b.detection_time
+
+
+class TestValidation:
+    def test_minimum_ring_size(self):
+        with pytest.raises(ConfigurationError):
+            build_ring_system(1, jobs=[], wcp=quiescence_wcp(1))
+
+    def test_job_ttl_capped_at_ring_size(self):
+        wcp = quiescence_wcp(3)
+        with pytest.raises(ConfigurationError):
+            build_ring_system(3, jobs=[4], wcp=wcp)
+
+    def test_only_worker_zero_injects(self):
+        from repro.apps import RingWorkerApp
+        from repro.apps.live import app_names
+
+        with pytest.raises(ConfigurationError):
+            RingWorkerApp(1, app_names(3), jobs=[1])

@@ -1,0 +1,72 @@
+"""Unit tests for Dependence and DependenceList (§4.1 semantics)."""
+
+import pytest
+
+from repro.clocks import Dependence, DependenceList
+from repro.common import ClockError
+
+
+class TestDependence:
+    def test_fields(self):
+        d = Dependence(source=3, clock=7)
+        assert d.source == 3 and d.clock == 7
+
+    def test_ordering_is_total(self):
+        assert Dependence(1, 2) < Dependence(1, 3) < Dependence(2, 1)
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ClockError):
+            Dependence(-1, 1)
+
+    def test_zero_clock_rejected(self):
+        """Interval counters are 1-based; clock 0 is meaningless."""
+        with pytest.raises(ClockError):
+            Dependence(0, 0)
+
+    def test_size_words(self):
+        assert Dependence(0, 1).size_words() == 2
+
+    def test_hashable_value_type(self):
+        assert len({Dependence(0, 1), Dependence(0, 1)}) == 1
+
+
+class TestDependenceList:
+    def test_record_appends_in_order(self):
+        dl = DependenceList()
+        dl.record(1, 5)
+        dl.record(0, 2)
+        assert dl.peek() == (Dependence(1, 5), Dependence(0, 2))
+        assert len(dl) == 2
+
+    def test_flush_returns_and_clears(self):
+        dl = DependenceList()
+        dl.record(2, 3)
+        flushed = dl.flush()
+        assert flushed == (Dependence(2, 3),)
+        assert len(dl) == 0
+        assert dl.flush() == ()
+
+    def test_peek_does_not_clear(self):
+        dl = DependenceList()
+        dl.record(0, 1)
+        dl.peek()
+        assert len(dl) == 1
+
+    def test_bool_and_iter(self):
+        dl = DependenceList()
+        assert not dl
+        dl.record(0, 1)
+        assert dl
+        assert list(dl) == [Dependence(0, 1)]
+
+    def test_construct_from_iterable(self):
+        items = [Dependence(0, 1), Dependence(1, 2)]
+        assert DependenceList(items).peek() == tuple(items)
+
+    def test_duplicates_are_kept(self):
+        """The paper unions at the monitor; the app-side list keeps every
+        receive (duplicates carry no harm, only cost)."""
+        dl = DependenceList()
+        dl.record(0, 1)
+        dl.record(0, 1)
+        assert len(dl) == 2

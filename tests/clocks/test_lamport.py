@@ -1,0 +1,59 @@
+"""Unit tests for IntervalCounter and LamportClock."""
+
+import pytest
+
+from repro.clocks import IntervalCounter, LamportClock
+from repro.common import ClockError
+
+
+class TestIntervalCounter:
+    def test_starts_at_one(self):
+        assert IntervalCounter().value == 1
+
+    def test_advance_returns_new_value(self):
+        c = IntervalCounter()
+        assert c.advance() == 2
+        assert c.advance() == 3
+        assert c.value == 3
+
+    def test_custom_start(self):
+        assert IntervalCounter(5).value == 5
+
+    def test_start_below_one_rejected(self):
+        with pytest.raises(ClockError):
+            IntervalCounter(0)
+
+    def test_no_merge_semantics(self):
+        """§4.1: the counter only identifies local intervals — there is
+        deliberately no receive-merge API."""
+        assert not hasattr(IntervalCounter(), "receive")
+
+
+class TestLamportClock:
+    def test_starts_at_zero(self):
+        assert LamportClock().value == 0
+
+    def test_tick(self):
+        c = LamportClock()
+        assert c.tick() == 1
+        assert c.tick() == 2
+
+    def test_receive_merges_max_plus_one(self):
+        c = LamportClock(3)
+        assert c.receive(7) == 8
+        assert c.receive(2) == 9  # local already ahead
+
+    def test_receive_negative_rejected(self):
+        with pytest.raises(ClockError):
+            LamportClock().receive(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            LamportClock(-2)
+
+    def test_respects_causality_in_a_chain(self):
+        a, b = LamportClock(), LamportClock()
+        a.tick()              # event on A
+        t = a.value
+        b.receive(t)          # message A -> B
+        assert b.value > t

@@ -1,0 +1,157 @@
+"""Unit tests for VectorClock: construction, comparison, paper properties."""
+
+import pytest
+
+from repro.clocks import VectorClock
+from repro.common import ClockError
+
+
+class TestConstruction:
+    def test_from_components(self):
+        v = VectorClock([1, 2, 3])
+        assert v.components == (1, 2, 3)
+        assert v.width == 3
+        assert len(v) == 3
+
+    def test_initial_sets_owner_to_one(self):
+        v = VectorClock.initial(owner=2, width=4)
+        assert v.components == (0, 0, 1, 0)
+
+    def test_zero(self):
+        assert VectorClock.zero(3).components == (0, 0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock([])
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock([1, -1])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ClockError):
+            VectorClock.zero(0)
+
+    def test_initial_owner_out_of_range(self):
+        with pytest.raises(ClockError):
+            VectorClock.initial(owner=4, width=4)
+        with pytest.raises(ClockError):
+            VectorClock.initial(owner=-1, width=4)
+
+    def test_components_coerced_to_int(self):
+        assert VectorClock([1.0, 2.0]).components == (1, 2)
+
+
+class TestOperations:
+    def test_tick_increments_only_owner(self):
+        v = VectorClock([1, 5, 2])
+        t = v.tick(1)
+        assert t.components == (1, 6, 2)
+        assert v.components == (1, 5, 2), "tick must not mutate"
+
+    def test_tick_out_of_range(self):
+        with pytest.raises(ClockError):
+            VectorClock([1, 2]).tick(2)
+
+    def test_merged_is_componentwise_max(self):
+        a = VectorClock([3, 1, 4])
+        b = VectorClock([2, 5, 4])
+        assert a.merged(b).components == (3, 5, 4)
+        assert b.merged(a) == a.merged(b)
+
+    def test_merged_width_mismatch(self):
+        with pytest.raises(ClockError):
+            VectorClock([1, 2]).merged(VectorClock([1, 2, 3]))
+
+    def test_merged_rejects_non_clock(self):
+        with pytest.raises(ClockError):
+            VectorClock([1, 2]).merged([1, 2])  # type: ignore[arg-type]
+
+    def test_getitem_and_iter(self):
+        v = VectorClock([4, 7])
+        assert v[0] == 4 and v[1] == 7
+        assert list(v) == [4, 7]
+
+    def test_size_words(self):
+        assert VectorClock([0, 0, 0, 0]).size_words() == 4
+
+
+class TestComparison:
+    def test_strictly_less(self):
+        assert VectorClock([1, 2]) < VectorClock([1, 3])
+        assert VectorClock([1, 2]) <= VectorClock([1, 3])
+
+    def test_equal_not_less(self):
+        v = VectorClock([2, 2])
+        assert not v < v
+        assert v <= v
+
+    def test_concurrent(self):
+        a = VectorClock([2, 0])
+        b = VectorClock([0, 2])
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+        assert not a < b and not b < a
+
+    def test_concurrent_with_self_is_false(self):
+        v = VectorClock([1, 1])
+        assert not v.concurrent_with(v)
+
+    def test_happened_before_matches_lt(self):
+        a = VectorClock([1, 1])
+        b = VectorClock([2, 1])
+        assert a.happened_before(b)
+        assert not b.happened_before(a)
+
+    def test_gt_ge(self):
+        assert VectorClock([2, 2]) > VectorClock([1, 2])
+        assert VectorClock([2, 2]) >= VectorClock([2, 2])
+
+    def test_comparison_width_mismatch(self):
+        with pytest.raises(ClockError):
+            VectorClock([1]) < VectorClock([1, 2])
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = VectorClock([1, 2])
+        b = VectorClock([1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality_other_type(self):
+        assert VectorClock([1]) != (1,)
+
+    def test_repr_roundtrippable_shape(self):
+        assert repr(VectorClock([1, 2])) == "VectorClock([1, 2])"
+
+
+class TestPaperSemantics:
+    """The Fig. 2 scenario: clock evolution through a send/receive."""
+
+    def test_send_receive_sequence(self):
+        # P0 and P1; P0 sends after one local step.
+        v0 = VectorClock.initial(0, 2)
+        v1 = VectorClock.initial(1, 2)
+        tag = v0  # message tagged before tick
+        v0 = v0.tick(0)
+        v1 = v1.merged(tag).tick(1)
+        assert v0.components == (2, 0)
+        assert v1.components == (1, 2)
+        # Property 1: the tagged (send-side) state precedes the receiver.
+        assert tag < v1
+        # Property 2: (0, v1[0]) is exactly the tag's own component.
+        assert v1[0] == tag[0]
+
+    def test_causal_chain_through_intermediary(self):
+        # P0 -> P1 -> P2: P2's clock knows P0's interval.
+        v = [VectorClock.initial(i, 3) for i in range(3)]
+        tag0 = v[0]
+        v[0] = v[0].tick(0)
+        v[1] = v[1].merged(tag0).tick(1)
+        tag1 = v[1]
+        v[1] = v[1].tick(1)
+        v[2] = v[2].merged(tag1).tick(2)
+        assert v[2][0] == 1, "P0's interval propagated transitively"
+        assert tag0 < v[2]

@@ -1,0 +1,40 @@
+"""Unit tests for shared value types."""
+
+import pytest
+
+from repro.common import NO_STATE, WORD_BITS, StateRef
+
+
+class TestConstants:
+    def test_no_state_is_zero(self):
+        assert NO_STATE == 0
+
+    def test_word_bits(self):
+        assert WORD_BITS == 32
+
+
+class TestStateRef:
+    def test_fields(self):
+        s = StateRef(2, 5)
+        assert s.pid == 2 and s.interval == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StateRef(-1, 1)
+        with pytest.raises(ValueError):
+            StateRef(0, -1)
+
+    def test_zero_interval_allowed(self):
+        """Interval 0 is the paper's 'no state yet' sentinel."""
+        StateRef(0, 0)
+
+    def test_value_semantics(self):
+        assert StateRef(1, 2) == StateRef(1, 2)
+        assert len({StateRef(1, 2), StateRef(1, 2)}) == 1
+
+    def test_ordering_pid_major(self):
+        assert StateRef(0, 9) < StateRef(1, 1)
+        assert StateRef(1, 1) < StateRef(1, 2)
+
+    def test_str(self):
+        assert str(StateRef(3, 4)) == "(P3, 4)"

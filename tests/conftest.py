@@ -1,0 +1,65 @@
+"""Shared fixtures: canonical hand-built computations with known structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import ComputationBuilder
+
+
+@pytest.fixture
+def two_process_exchange():
+    """The canonical two-process run used for exact-value assertions.
+
+    ::
+
+        P0:  internal   send m0 ->P1         recv m1   (3 intervals)
+        P1:             recv m0      send m1 ->P0      (3 intervals)
+
+    Interval vectors (computed by hand, Fig. 2 semantics):
+
+    ======== =========== ===========
+    interval P0          P1
+    ======== =========== ===========
+    1        [1, 0]      [0, 1]
+    2        [2, 0]      [1, 2]
+    3        [3, 2]      [1, 3]
+    ======== =========== ===========
+    """
+    b = ComputationBuilder(2)
+    b.internal(0)
+    m0 = b.send(0, 1)
+    b.recv(1, m0)
+    m1 = b.send(1, 0)
+    b.recv(0, m1)
+    return b.build()
+
+
+@pytest.fixture
+def diamond_computation():
+    """A fork/join diamond over 3 processes.
+
+    P0 sends to P1 and P2 (fork); both reply to P0 (join).  P1 and P2
+    never communicate, so their post-receive intervals are concurrent.
+    """
+    b = ComputationBuilder(3)
+    a = b.send(0, 1)
+    c = b.send(0, 2)
+    b.recv(1, a)
+    b.recv(2, c)
+    r1 = b.send(1, 0)
+    r2 = b.send(2, 0)
+    b.recv(0, r1)
+    b.recv(0, r2)
+    return b.build()
+
+
+@pytest.fixture
+def flag_wcp():
+    """WCP asserting the generator flag on a given pid list."""
+
+    def make(pids):
+        return WeakConjunctivePredicate.of_flags(tuple(pids))
+
+    return make

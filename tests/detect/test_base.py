@@ -1,0 +1,20 @@
+"""Unit tests for detection base vocabulary."""
+
+from repro.detect import app_name, monitor_name
+from repro.detect.base import GREEN, HALT_KIND, POLL_KIND, RED, TOKEN_KIND
+
+
+class TestNaming:
+    def test_monitor_name(self):
+        assert monitor_name(0) == "mon-0"
+        assert monitor_name(12) == "mon-12"
+
+    def test_app_name(self):
+        assert app_name(3) == "app-3"
+
+    def test_kinds_distinct(self):
+        kinds = {TOKEN_KIND, POLL_KIND, HALT_KIND, "candidate", "end_of_trace"}
+        assert len(kinds) == 5
+
+    def test_colors(self):
+        assert RED != GREEN

@@ -1,0 +1,133 @@
+"""Tests for boolean-predicate detection via the WCP reduction."""
+
+import itertools
+
+import pytest
+
+from repro.detect.boolean import detect_boolean
+from repro.predicates import var_true
+from repro.predicates.boolexpr import atom
+from repro.trace import ComputationBuilder, random_computation
+from repro.trace.generators import FLAG_VAR
+
+
+def flags_expr(*pids):
+    expr = atom(pids[0], var_true(FLAG_VAR))
+    for pid in pids[1:]:
+        expr = expr & atom(pid, var_true(FLAG_VAR))
+    return expr
+
+
+class TestPureConjunctionMatchesWCP:
+    def test_equals_reference_wcp(self):
+        from repro.detect import run_detector
+        from repro.predicates import WeakConjunctivePredicate
+
+        for seed in range(6):
+            comp = random_computation(
+                3, 4, seed=seed, predicate_density=0.4,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            expr = flags_expr(0, 1, 2)
+            via_bool = detect_boolean(comp, expr)
+            via_wcp = run_detector(
+                "reference", comp, WeakConjunctivePredicate.of_flags([0, 1, 2])
+            )
+            assert via_bool.detected == via_wcp.detected
+            if via_bool.detected:
+                assert via_bool.cut == via_wcp.cut
+
+
+def xor_computation():
+    """P0 true then false; P1 false then true; never both, always one.
+
+    P0: flag T in interval 1, F in interval 2.
+    P1: flag F in interval 1, T in interval 2.
+    Exchange in the middle orders (0,1) before (1,2).
+    """
+    b = ComputationBuilder(2, initial_vars={0: {FLAG_VAR: True}, 1: {FLAG_VAR: False}})
+    b.internal(0, {FLAG_VAR: False})  # still interval 1... toggles inside
+    m = b.send(0, 1)
+    b.recv(1, m)
+    b.internal(1, {FLAG_VAR: True})
+    return b.build()
+
+
+class TestDisjunction:
+    def test_or_detected_when_either_holds(self):
+        comp = xor_computation()
+        expr = atom(0, var_true(FLAG_VAR)) | atom(1, var_true(FLAG_VAR))
+        report = detect_boolean(comp, expr)
+        assert report.detected
+        assert report.extras["disjuncts"] == 2
+        # The minimal-level winner is P0's initial truth.
+        assert report.cut.as_mapping() == {0: 1}
+
+    def test_conjunction_with_negation(self):
+        comp = xor_computation()
+        # P0 true AND P1 not true: holds at the initial cut.
+        expr = atom(0, var_true(FLAG_VAR)) & ~atom(1, var_true(FLAG_VAR))
+        report = detect_boolean(comp, expr)
+        assert report.detected
+        assert report.cut.as_mapping() == {0: 1, 1: 1}
+
+    def test_unsatisfiable(self):
+        comp = xor_computation()
+        # P0's flag is eliminated before P1 raises its own? (0,1) happens
+        # before (1,2), so "both true" never holds at a consistent cut.
+        expr = atom(0, var_true(FLAG_VAR)) & atom(1, var_true(FLAG_VAR))
+        report = detect_boolean(comp, expr)
+        assert not report.detected
+        assert report.extras["disjuncts_detected"] == 0
+
+    def test_tautology_like_or_of_negations(self):
+        comp = xor_computation()
+        expr = ~atom(0, var_true(FLAG_VAR)) | ~atom(1, var_true(FLAG_VAR))
+        report = detect_boolean(comp, expr)
+        assert report.detected
+
+
+class TestDetectorChoice:
+    @pytest.mark.parametrize("detector", ["reference", "token_vc", "direct_dep"])
+    def test_same_result_with_any_backend(self, detector):
+        comp = random_computation(
+            3, 4, seed=9, predicate_density=0.4, plant_final_cut=True
+        )
+        expr = flags_expr(0, 1) | flags_expr(1, 2)
+        opts = {} if detector == "reference" else {"seed": 1}
+        report = detect_boolean(comp, expr, detector=detector, **opts)
+        baseline = detect_boolean(comp, expr)
+        assert report.detected == baseline.detected
+        assert report.cut == baseline.cut
+
+
+class TestBruteForceAgreement:
+    def test_possibly_semantics_against_exhaustive_search(self):
+        """detected iff some consistent cut over BOTH processes realizes
+        the expression, checked exhaustively on small runs."""
+        from repro.trace import Cut, is_consistent_cut
+
+        for seed in range(5):
+            comp = random_computation(2, 3, seed=seed, predicate_density=0.5)
+            expr = atom(0, var_true(FLAG_VAR)) & ~atom(1, var_true(FLAG_VAR))
+            report = detect_boolean(comp, expr)
+            a = comp.analysis()
+
+            def clause_true(pid, interval, want_true):
+                states = comp.local_states(pid)
+                values = [
+                    bool(states[k].get(FLAG_VAR))
+                    for k in a.states_in_interval(pid, interval)
+                ]
+                return any(v == want_true for v in values)
+
+            exhaustive = any(
+                is_consistent_cut(a, Cut((0, 1), (x, y)))
+                and clause_true(0, x, True)
+                and clause_true(1, y, False)
+                for x, y in itertools.product(
+                    range(1, a.num_intervals(0) + 1),
+                    range(1, a.num_intervals(1) + 1),
+                )
+            )
+            assert report.detected == exhaustive, f"seed {seed}"

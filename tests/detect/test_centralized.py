@@ -1,0 +1,73 @@
+"""Unit tests for the centralized Garg–Waldecker checker baseline."""
+
+from repro.detect import centralized, reference
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import (
+    never_true_computation,
+    random_computation,
+    skewed_concurrent_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+
+
+class TestDetection:
+    def test_matches_reference(self):
+        for seed in range(10):
+            comp = random_computation(
+                4, 5, seed=seed, predicate_density=0.3,
+                plant_final_cut=(seed % 2 == 1),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+            rep = centralized.detect(comp, wcp, seed=seed)
+            ref = reference.detect(comp, wcp)
+            assert (rep.detected, rep.cut) == (ref.detected, ref.cut)
+
+    def test_not_detected(self):
+        comp = never_true_computation(3, 4, seed=1)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        rep = centralized.detect(comp, wcp)
+        assert not rep.detected
+        assert not rep.sim.deadlocked
+
+    def test_subset(self):
+        comp = random_computation(
+            5, 5, seed=2, predicate_density=0.4, predicate_pids=(1, 3),
+            plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags([1, 3])
+        rep = centralized.detect(comp, wcp)
+        ref = reference.detect(comp, wcp)
+        assert rep.cut == ref.cut
+
+    def test_eliminations_counted(self):
+        comp = spiral_computation(3, 4)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        rep = centralized.detect(comp, wcp)
+        assert rep.extras["eliminations"] >= 3 * 4
+        assert rep.extras["comparisons"] > 0
+
+
+class TestSpaceConcentration:
+    def test_checker_buffers_everything_under_skew(self):
+        """The paper's motivation: one slow stream forces the checker to
+        buffer all other processes' candidates — O(n^2 m) bits."""
+        n, m = 4, 12
+        comp = skewed_concurrent_computation(n, m)
+        wcp = WeakConjunctivePredicate.of_flags(range(n))
+        rep = centralized.detect(comp, wcp)
+        assert rep.detected
+        checker = rep.metrics.of("checker")
+        # At least (n-1) streams x (m/2 - ...) candidates x n words.
+        min_expected = (n - 1) * (m // 2 - 1) * n * 32
+        assert checker.buffered_bits_high_water >= min_expected
+
+    def test_all_work_on_checker(self):
+        comp = spiral_computation(4, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        rep = centralized.detect(comp, wcp)
+        assert rep.metrics.of("checker").work_units == rep.metrics.total_work(
+            "checker"
+        )
+        # Monitors do not exist in this algorithm; apps do no "work".
+        assert rep.metrics.total_work("app-") == 0

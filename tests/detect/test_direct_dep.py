@@ -1,0 +1,147 @@
+"""Unit tests for the §4 direct-dependence algorithm."""
+
+from repro.detect import reference, direct_dep
+from repro.detect.direct_dep import Poll, PollResponse, snapshot_bits
+from repro.predicates import WeakConjunctivePredicate, cut_satisfies
+from repro.simulation import ExponentialLatency
+from repro.trace import (
+    is_consistent_cut,
+    never_true_computation,
+    random_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+from repro.trace.snapshots import DDSnapshot
+
+
+class TestWireTypes:
+    def test_poll_fields(self):
+        p = Poll(clock=5, next_red=2)
+        assert p.clock == 5 and p.next_red == 2
+
+    def test_response(self):
+        assert PollResponse(True).became_red
+
+    def test_snapshot_bits(self):
+        from repro.clocks import Dependence
+
+        s = DDSnapshot(pid=0, clock=3, deps=(Dependence(1, 2),), state_index=0)
+        assert snapshot_bits(s) == (1 + 2) * 32
+
+
+class TestDetection:
+    def test_matches_reference_projection(self):
+        for seed in range(10):
+            comp = random_computation(
+                4, 5, seed=seed, predicate_density=0.3,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+            rep = direct_dep.detect(comp, wcp, seed=seed)
+            ref = reference.detect(comp, wcp)
+            assert (rep.detected, rep.cut) == (ref.detected, ref.cut)
+
+    def test_full_cut_consistent_over_all_processes(self):
+        comp = random_computation(
+            5, 5, seed=3, predicate_density=0.4, predicate_pids=(0, 2),
+            plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags([0, 2])
+        rep = direct_dep.detect(comp, wcp)
+        assert rep.detected
+        a = comp.analysis()
+        assert rep.full_cut is not None
+        assert rep.full_cut.pids == tuple(range(5))
+        assert is_consistent_cut(a, rep.full_cut)
+        assert rep.full_cut.project(wcp.pids) == rep.cut
+
+    def test_subset_predicate_matches_reference(self):
+        for seed in range(6):
+            comp = random_computation(
+                6, 4, seed=seed + 30, predicate_density=0.35,
+                predicate_pids=(1, 4), plant_final_cut=True,
+            )
+            wcp = WeakConjunctivePredicate.of_flags([1, 4])
+            rep = direct_dep.detect(comp, wcp, seed=seed)
+            ref = reference.detect(comp, wcp)
+            assert rep.cut == ref.cut
+
+    def test_not_detected(self):
+        comp = never_true_computation(4, 4, seed=4)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        rep = direct_dep.detect(comp, wcp)
+        assert not rep.detected
+        assert rep.extras["aborted"]
+        assert not rep.sim.deadlocked
+
+    def test_detected_cut_satisfies(self):
+        comp = worst_case_computation(4, 5, seed=5)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        rep = direct_dep.detect(comp, wcp)
+        assert cut_satisfies(comp, wcp, rep.cut)
+
+    def test_robust_to_channel_model(self):
+        comp = worst_case_computation(4, 4, seed=6)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        ref = reference.detect(comp, wcp)
+        for chan_seed in range(4):
+            rep = direct_dep.detect(
+                comp, wcp, seed=chan_seed,
+                channel_model=ExponentialLatency(mean=1.5),
+            )
+            assert rep.cut == ref.cut
+
+
+class TestComplexityBounds:
+    def test_monitor_messages_at_most_3nm(self):
+        comp = spiral_computation(4, 5)
+        m = comp.max_messages_per_process()
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        rep = direct_dep.detect(comp, wcp)
+        # polls + responses + token moves (+ final halt broadcast).
+        assert rep.metrics.total_messages("mon-") <= 3 * 4 * (m + 1) + 4
+
+    def test_per_process_work_independent_of_n(self):
+        """§4.4: O(m) work per process — growing N with fixed m must not
+        grow the heaviest monitor's work."""
+        wcp4 = WeakConjunctivePredicate.of_flags(range(4))
+        rep4 = direct_dep.detect(spiral_computation(4, 5), wcp4)
+        wcp12 = WeakConjunctivePredicate.of_flags(range(12))
+        rep12 = direct_dep.detect(spiral_computation(12, 5), wcp12)
+        w4 = rep4.metrics.max_work_per_actor("mon-")
+        w12 = rep12.metrics.max_work_per_actor("mon-")
+        assert w12 <= w4 * 1.5 + 4
+
+    def test_poll_count_bounded_by_dependences(self):
+        comp = spiral_computation(5, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(5))
+        rep = direct_dep.detect(comp, wcp)
+        total_deps = sum(
+            len(comp.analysis().receive_dependences(p)) for p in range(5)
+        )
+        assert rep.extras["polls"] <= total_deps
+
+    def test_token_is_one_bit(self):
+        comp = spiral_computation(3, 3)
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        rep = direct_dep.detect(comp, wcp)
+        hops = rep.extras["token_hops"]
+        token_bits = sum(
+            m.sent_by_kind.get("token", 0)
+            for name, m in rep.metrics.actors().items()
+            if name.startswith("mon-")
+        )
+        assert hops == token_bits  # 1 bit each: count == messages
+
+
+class TestMonitorState:
+    def test_all_green_at_detection(self):
+        comp = worst_case_computation(4, 4, seed=8)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        rep = direct_dep.detect(comp, wcp)
+        assert rep.detected
+        # Every component of the full cut is a real interval.
+        a = comp.analysis()
+        for pid in range(4):
+            g = rep.full_cut.component(pid)
+            assert 1 <= g <= a.num_intervals(pid)

@@ -1,0 +1,126 @@
+"""Tests for the online linear-GCP checker ([6]'s algorithm)."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.detect.gcp import GeneralizedConjunctivePredicate, detect_gcp
+from repro.detect.gcp_online import detect_gcp_online
+from repro.predicates import WeakConjunctivePredicate
+from repro.predicates.channel import (
+    LinearChannelPredicate,
+    linear_at_least,
+    linear_at_most,
+    linear_empty_channel,
+)
+from repro.trace import ComputationBuilder, random_computation
+from repro.trace.generators import FLAG_VAR
+
+
+class TestLinearPredicates:
+    def test_empty_channel_semantics(self):
+        p = linear_empty_channel(0, 1)
+        assert p.holds_for_count(0)
+        assert not p.holds_for_count(2)
+        assert p.culprit() == 1  # receiver repairs
+
+    def test_at_most(self):
+        p = linear_at_most(0, 1, 2)
+        assert p.holds_for_count(2)
+        assert not p.holds_for_count(3)
+        assert p.culprit() == 1
+
+    def test_at_least(self):
+        p = linear_at_least(0, 1, 1)
+        assert not p.holds_for_count(0)
+        assert p.holds_for_count(1)
+        assert p.culprit() == 0  # sender repairs
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_at_most(0, 1, -1)
+        with pytest.raises(ConfigurationError):
+            LinearChannelPredicate("x", 0, 0, lambda c: True, "receiver")
+        with pytest.raises(ConfigurationError):
+            LinearChannelPredicate("x", 0, 1, lambda c: True, "sideways")
+
+
+class TestOnlineMatchesOffline:
+    @pytest.mark.parametrize(
+        "make_channels",
+        [
+            lambda: [linear_empty_channel(0, 1)],
+            lambda: [linear_at_most(0, 1, 1), linear_empty_channel(1, 2)],
+            lambda: [linear_at_least(0, 1, 1)],
+            lambda: [linear_empty_channel(0, 1), linear_empty_channel(1, 0)],
+        ],
+        ids=["empty", "mixed_receiver", "at_least", "both_directions"],
+    )
+    def test_equivalence_on_random_runs(self, make_channels):
+        for seed in range(8):
+            comp = random_computation(
+                3, 4, seed=seed, predicate_density=0.4,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            channels = make_channels()
+            online = detect_gcp_online(comp, wcp, channels, seed=seed)
+            offline = detect_gcp(
+                comp, GeneralizedConjunctivePredicate(wcp, channels)
+            )
+            assert (online.detected, online.cut) == (
+                offline.detected,
+                offline.cut,
+            ), f"seed {seed}"
+
+
+class TestChannelElimination:
+    def build(self):
+        """Flags up everywhere; one message in flight mid-run.
+
+        P0: flag T | send m | ...   P1: flag T | recv m | ...
+        """
+        b = ComputationBuilder(
+            2, initial_vars={p: {FLAG_VAR: True} for p in (0, 1)}
+        )
+        m = b.send(0, 1)
+        b.recv(1, m)
+        return b.build()
+
+    def test_empty_channel_pushes_past_in_flight(self):
+        comp = self.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_gcp_online(comp, wcp, [linear_empty_channel(0, 1)])
+        assert report.detected
+        # The WCP alone holds at (1,1); with the (trivially empty there)
+        # channel also at (1,1) — the in-flight state is (2,1).
+        assert report.cut.as_mapping() == {0: 1, 1: 1}
+
+    def test_at_least_requires_in_flight(self):
+        comp = self.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_gcp_online(comp, wcp, [linear_at_least(0, 1, 1)])
+        assert report.detected
+        # Needs the message in flight: P0 past the send, P1 pre-receive.
+        assert report.cut.as_mapping() == {0: 2, 1: 1}
+        assert report.extras["channel_eliminations"] >= 1
+
+    def test_unsatisfiable_channel_clause(self):
+        comp = self.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_gcp_online(comp, wcp, [linear_at_least(0, 1, 5)])
+        assert not report.detected
+
+    def test_pure_wcp_when_no_channels(self):
+        from repro.detect import reference
+
+        comp = random_computation(3, 4, seed=3, predicate_density=0.5)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        online = detect_gcp_online(comp, wcp, [])
+        ref = reference.detect(comp, wcp)
+        assert (online.detected, online.cut) == (ref.detected, ref.cut)
+
+    def test_endpoint_must_be_predicate_process(self):
+        comp = self.build()
+        wcp = WeakConjunctivePredicate.of_flags([0])
+        with pytest.raises(ConfigurationError, match="endpoints"):
+            detect_gcp_online(comp, wcp, [linear_empty_channel(0, 1)])

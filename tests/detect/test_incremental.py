@@ -1,0 +1,170 @@
+"""Tests for the embeddable incremental detector."""
+
+import pytest
+
+from repro.common import DetectionError, InvalidComputationError
+from repro.detect import run_detector
+from repro.detect.incremental import IncrementalDetector
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import random_computation
+from repro.trace.events import EventKind
+from repro.trace.generators import FLAG_VAR
+
+
+def feed(detector, comp, order):
+    """Feed a computation's events in the given (pid, index) order."""
+    for pid, idx in order:
+        event = comp.event(pid, idx)
+        updates = dict(event.updates)
+        if event.kind is EventKind.INTERNAL:
+            detector.observe_internal(pid, updates)
+        elif event.kind is EventKind.SEND:
+            detector.observe_send(pid, event.msg_id, event.peer, updates)
+        else:
+            detector.observe_recv(pid, event.msg_id, updates)
+
+
+def initial_vars(comp):
+    return {
+        pid: dict(comp.processes[pid].initial_vars)
+        for pid in range(comp.num_processes)
+    }
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_topological_feed_matches_reference(self, seed):
+        comp = random_computation(
+            4, 5, seed=seed, predicate_density=0.3,
+            plant_final_cut=(seed % 2 == 0),
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        det = IncrementalDetector(4, wcp, initial_vars(comp))
+        feed(det, comp, comp.topological_order())
+        for pid in range(4):
+            det.close(pid)
+        ref = run_detector("reference", comp, wcp)
+        assert det.detected == ref.detected
+        assert det.cut == ref.cut
+        if not ref.detected:
+            assert det.impossible
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_alternative_feed_orders_agree(self, seed):
+        """Any causally legal interleaving yields the same verdict/cut."""
+        import random as stdlib_random
+
+        comp = random_computation(
+            3, 4, seed=seed + 40, predicate_density=0.4,
+            plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        ref = run_detector("reference", comp, wcp)
+        base_order = comp.topological_order()
+        rng = stdlib_random.Random(seed)
+        for _ in range(3):
+            # Randomized legal linearization: repeatedly pick any ready
+            # event (per-process order + send-before-receive).
+            remaining = {pid: 0 for pid in range(3)}
+            sent = set()
+            order = []
+            while len(order) < len(base_order):
+                ready = []
+                for pid in range(3):
+                    idx = remaining[pid]
+                    events = comp.events_of(pid)
+                    if idx >= len(events):
+                        continue
+                    e = events[idx]
+                    if e.kind is EventKind.RECV and e.msg_id not in sent:
+                        continue
+                    ready.append(pid)
+                pid = rng.choice(ready)
+                idx = remaining[pid]
+                event = comp.events_of(pid)[idx]
+                if event.kind is EventKind.SEND:
+                    sent.add(event.msg_id)
+                order.append((pid, idx))
+                remaining[pid] += 1
+            det = IncrementalDetector(3, wcp, initial_vars(comp))
+            feed(det, comp, order)
+            assert det.detected == ref.detected
+            assert det.cut == ref.cut
+
+    def test_detection_latches_mid_stream(self):
+        """Detection can fire before the stream ends and then stays put."""
+        comp = random_computation(
+            3, 4, seed=2, predicate_density=0.9
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        ref = run_detector("reference", comp, wcp)
+        if not ref.detected:
+            pytest.skip("workload did not satisfy the predicate")
+        det = IncrementalDetector(3, wcp, initial_vars(comp))
+        fired_at = None
+        order = comp.topological_order()
+        for k, node in enumerate(order):
+            feed(det, comp, [node])
+            if det.detected and fired_at is None:
+                fired_at = k
+                cut_at_fire = det.cut
+        assert fired_at is not None
+        assert det.cut == cut_at_fire == ref.cut
+
+
+class TestVerdicts:
+    def test_open_until_evidence(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        det = IncrementalDetector(2, wcp)
+        assert det.verdict() == "open"
+
+    def test_impossible_when_closed_without_candidates(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        det = IncrementalDetector(2, wcp)
+        det.observe_internal(0, {FLAG_VAR: True})
+        det.close(1)
+        assert det.verdict() == "impossible"
+
+    def test_detected_immediately_when_initially_true(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        det = IncrementalDetector(
+            2, wcp, {0: {FLAG_VAR: True}, 1: {FLAG_VAR: True}}
+        )
+        assert det.verdict() == "detected"
+        assert det.cut.intervals == (1, 1)
+
+    def test_close_idempotent(self):
+        wcp = WeakConjunctivePredicate.of_flags([0])
+        det = IncrementalDetector(1, wcp)
+        det.close(0)
+        det.close(0)
+        assert det.verdict() == "impossible"
+
+
+class TestFeedValidation:
+    def test_recv_before_send_rejected(self):
+        det = IncrementalDetector(2, WeakConjunctivePredicate.of_flags([0]))
+        with pytest.raises(InvalidComputationError, match="before its send"):
+            det.observe_recv(1, 7)
+
+    def test_duplicate_send_rejected(self):
+        det = IncrementalDetector(2, WeakConjunctivePredicate.of_flags([0]))
+        det.observe_send(0, 1, dest=1)
+        with pytest.raises(InvalidComputationError, match="twice"):
+            det.observe_send(0, 1, dest=1)
+
+    def test_self_send_rejected(self):
+        det = IncrementalDetector(2, WeakConjunctivePredicate.of_flags([0]))
+        with pytest.raises(InvalidComputationError):
+            det.observe_send(0, 1, dest=0)
+
+    def test_events_after_close_rejected(self):
+        det = IncrementalDetector(2, WeakConjunctivePredicate.of_flags([0]))
+        det.close(0)
+        with pytest.raises(DetectionError, match="closed"):
+            det.observe_internal(0)
+
+    def test_bad_pid(self):
+        det = IncrementalDetector(2, WeakConjunctivePredicate.of_flags([0]))
+        with pytest.raises(DetectionError):
+            det.observe_internal(5)

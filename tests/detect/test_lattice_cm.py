@@ -1,0 +1,116 @@
+"""Unit tests for the Cooper–Marzullo baseline (possibly / definitely)."""
+
+from repro.detect import lattice_cm, reference
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import (
+    ComputationBuilder,
+    never_true_computation,
+    random_computation,
+)
+from repro.trace.generators import FLAG_VAR
+
+
+class TestPossibly:
+    def test_agrees_with_reference(self):
+        for seed in range(10):
+            comp = random_computation(
+                3, 4, seed=seed, predicate_density=0.35,
+                plant_final_cut=(seed % 3 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            cut, _ = lattice_cm.possibly(comp, wcp)
+            ref_cut, _ = reference.first_satisfying_cut(comp, wcp)
+            assert cut == ref_cut, f"seed {seed}"
+
+    def test_stats_populated(self):
+        comp = random_computation(3, 4, seed=1, predicate_density=0.3)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        _, stats = lattice_cm.possibly(comp, wcp)
+        assert stats["states_explored"] >= 1
+        assert stats["max_level_width"] >= 1
+
+    def test_report_shape(self):
+        comp = never_true_computation(3, 3, seed=2)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = lattice_cm.detect(comp, wcp)
+        assert report.detector == "lattice"
+        assert not report.detected
+
+
+def two_proc(flag0_intervals, flag1_intervals, link=False):
+    """Two processes with controllable flag intervals.
+
+    Each process: [internal(flag?)] x3 separated by a message exchange
+    to create intervals; ``link`` adds a final message P0 -> P1.
+    """
+    b = ComputationBuilder(2, initial_vars={p: {FLAG_VAR: False} for p in (0, 1)})
+    # create 3 intervals on each via two exchanges
+    for k in range(3):
+        b.internal(0, {FLAG_VAR: (k + 1) in flag0_intervals})
+        b.internal(1, {FLAG_VAR: (k + 1) in flag1_intervals})
+        if k < 2:
+            m = b.send(0, 1)
+            b.recv(1, m)
+            m2 = b.send(1, 0)
+            b.recv(0, m2)
+    return b.build()
+
+
+class TestDefinitely:
+    def test_definitely_when_predicate_unavoidable(self):
+        """Flag true on both processes in every interval: every path
+        passes through a satisfying cut (the initial one already is)."""
+        comp = two_proc({1, 2, 3}, {1, 2, 3})
+        ok, _ = lattice_cm.definitely(
+            comp, WeakConjunctivePredicate.of_flags([0, 1])
+        )
+        assert ok
+
+    def test_lockstep_exchanges_force_the_cut(self):
+        """With tight message lockstep between the two processes, the
+        simultaneous flag-true cut lies on every observation path."""
+        comp = two_proc({2}, {2})
+        definite, _ = lattice_cm.definitely(
+            comp, WeakConjunctivePredicate.of_flags([0, 1])
+        )
+        assert definite
+
+    def test_not_definitely_when_avoidable(self):
+        """The classic possibly-but-not-definitely shape: each process
+        raises its flag in its (causally independent) second interval.
+        An observation can advance P0 through its flag interval before
+        P1 enters its own, so the simultaneous cut is avoidable."""
+        b = ComputationBuilder(
+            3, initial_vars={p: {FLAG_VAR: False} for p in range(3)}
+        )
+        msgs = []
+        for pid in (0, 1):
+            msgs.append(b.send(pid, 2))  # closes interval 1 (flag false)
+            b.internal(pid, {FLAG_VAR: True})
+            b.internal(pid, {FLAG_VAR: False})  # true only inside interval 2
+            msgs.append(b.send(pid, 2))  # closes interval 2
+            b.internal(pid)  # interval 3, flag false throughout
+        for m in msgs:
+            b.recv(2, m)
+        comp = b.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        possible, _ = lattice_cm.possibly(comp, wcp)
+        definite, _ = lattice_cm.definitely(comp, wcp)
+        assert possible is not None
+        assert not definite
+
+    def test_never_true_is_not_definite(self):
+        comp = never_true_computation(2, 3, seed=3)
+        ok, _ = lattice_cm.definitely(
+            comp, WeakConjunctivePredicate.of_flags([0, 1])
+        )
+        assert not ok
+
+    def test_definitely_implies_possibly(self):
+        for seed in range(8):
+            comp = random_computation(3, 3, seed=seed, predicate_density=0.5)
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            definite, _ = lattice_cm.definitely(comp, wcp)
+            if definite:
+                cut, _ = lattice_cm.possibly(comp, wcp)
+                assert cut is not None

@@ -1,0 +1,93 @@
+"""Unit tests for the offline reference detector."""
+
+from repro.detect import reference
+from repro.predicates import (
+    WeakConjunctivePredicate,
+    brute_force_first_cut,
+    cut_satisfies,
+)
+from repro.trace import (
+    never_true_computation,
+    random_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+
+
+class TestFirstSatisfyingCut:
+    def test_matches_brute_force_on_random_runs(self):
+        for seed in range(15):
+            comp = random_computation(
+                4, 5, seed=seed, predicate_density=0.3,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+            cut, _ = reference.first_satisfying_cut(comp, wcp)
+            assert cut == brute_force_first_cut(comp, wcp), f"seed {seed}"
+
+    def test_detected_cut_satisfies(self):
+        comp = worst_case_computation(4, 6, seed=1)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        cut, _ = reference.first_satisfying_cut(comp, wcp)
+        assert cut is not None
+        assert cut_satisfies(comp, wcp, cut)
+
+    def test_none_when_never_true(self):
+        comp = never_true_computation(3, 5, seed=2)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        cut, stats = reference.first_satisfying_cut(comp, wcp)
+        assert cut is None
+        assert stats["eliminations"] == 0  # queues empty from the start
+
+    def test_subset_predicate(self):
+        for seed in range(8):
+            comp = random_computation(
+                6, 5, seed=seed + 50, predicate_density=0.4,
+                predicate_pids=(1, 4),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([1, 4])
+            cut, _ = reference.first_satisfying_cut(comp, wcp)
+            assert cut == brute_force_first_cut(comp, wcp)
+
+    def test_single_clause(self):
+        comp = random_computation(3, 4, seed=3, predicate_density=0.5)
+        wcp = WeakConjunctivePredicate.of_flags([1])
+        cut, stats = reference.first_satisfying_cut(comp, wcp)
+        assert cut == brute_force_first_cut(comp, wcp)
+        assert stats["comparisons"] == 0  # nothing to compare against
+
+    def test_spiral_eliminates_everything(self):
+        comp = spiral_computation(3, rounds=3)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        cut, stats = reference.first_satisfying_cut(comp, wcp)
+        a = comp.analysis()
+        assert cut is not None
+        assert cut.intervals == tuple(a.num_intervals(p) for p in range(3))
+        # All spiral candidates (one per circuit hop) must be eliminated.
+        assert stats["eliminations"] >= 3 * 3
+
+    def test_comparisons_bounded_quadratically(self):
+        """Each elimination re-checks at most 2(n-1) pairs — the O(n^2 m)
+        regime of the paper's centralized algorithm."""
+        n, rounds = 5, 6
+        comp = spiral_computation(n, rounds=rounds)
+        wcp = WeakConjunctivePredicate.of_flags(range(n))
+        _, stats = reference.first_satisfying_cut(comp, wcp)
+        bound = 2 * (n - 1) * (stats["eliminations"] + n)
+        assert stats["comparisons"] <= bound
+
+
+class TestReport:
+    def test_detected_report(self):
+        comp = worst_case_computation(3, 4, seed=5)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = reference.detect(comp, wcp)
+        assert report.detector == "reference"
+        assert report.detected and report.cut is not None
+        assert "comparisons" in report.extras
+
+    def test_undetected_report(self):
+        comp = never_true_computation(3, 4, seed=6)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = reference.detect(comp, wcp)
+        assert not report.detected and report.cut is None

@@ -1,0 +1,169 @@
+"""Tests for strong conjunctive predicates (polynomial definitely)."""
+
+import pytest
+
+from repro.detect.strong import (
+    StrongReport,
+    detect_definitely,
+    true_intervals_states,
+)
+from repro.predicates import WeakConjunctivePredicate, var_true
+from repro.trace import ComputationBuilder, random_computation
+from repro.trace.generators import FLAG_VAR
+from repro.trace.state_lattice import definitely_states, possibly_states
+
+
+class TestTrueIntervals:
+    def test_runs_extracted(self):
+        b = ComputationBuilder(1, initial_vars={0: {"x": False}})
+        b.internal(0, {"x": True})   # s1 T
+        b.internal(0, {"x": True})   # s2 T
+        b.internal(0, {"x": False})  # s3 F
+        b.internal(0, {"x": True})   # s4 T (to end)
+        comp = b.build()
+        runs = true_intervals_states(comp, 0, var_true("x"))
+        assert [(r.first_state, r.last_state) for r in runs] == [(1, 2), (4, 4)]
+        assert runs[0].enter_event == 0 and runs[0].exit_event == 2
+        assert runs[1].exit_event is None
+
+    def test_true_from_start(self):
+        b = ComputationBuilder(1, initial_vars={0: {"x": True}})
+        b.internal(0, {"x": False})
+        comp = b.build()
+        runs = true_intervals_states(comp, 0, var_true("x"))
+        assert runs[0].enter_event is None
+        assert runs[0].exit_event == 0
+
+    def test_never_true(self):
+        b = ComputationBuilder(1)
+        b.internal(0)
+        comp = b.build()
+        assert true_intervals_states(comp, 0, var_true("x")) == []
+
+
+class TestDetectDefinitely:
+    def test_matches_exhaustive_on_random_runs(self):
+        for seed in range(25):
+            n = 2 + seed % 3
+            comp = random_computation(
+                n, 3, seed=seed + 500, predicate_density=0.5,
+                plant_final_cut=(seed % 3 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags(range(n))
+            fast = detect_definitely(comp, wcp)
+            assert isinstance(fast, StrongReport)
+            assert fast.holds == definitely_states(comp, wcp), f"seed {seed}"
+
+    def test_definitely_implies_possibly(self):
+        for seed in range(15):
+            comp = random_computation(
+                3, 3, seed=seed, predicate_density=0.6
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            if detect_definitely(comp, wcp).holds:
+                assert possibly_states(comp, wcp)
+
+    def test_never_true_clause(self):
+        comp = random_computation(2, 3, seed=1, predicate_density=0.0)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_definitely(comp, wcp)
+        assert not report.holds
+        assert "never holds" in report.reason
+
+    def test_initially_true_everywhere(self):
+        b = ComputationBuilder(
+            2, initial_vars={p: {FLAG_VAR: True} for p in (0, 1)}
+        )
+        m = b.send(0, 1)
+        b.recv(1, m)
+        comp = b.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_definitely(comp, wcp)
+        assert report.holds
+        assert report.box is not None
+
+    def test_lockstep_forces_definitely(self):
+        """Flag raised by the receive on P1 while P0's flag spans the
+        exchange: every observation passes the joint-true window."""
+        b = ComputationBuilder(
+            2, initial_vars={p: {FLAG_VAR: False} for p in (0, 1)}
+        )
+        b.internal(0, {FLAG_VAR: True})
+        m = b.send(0, 1)
+        b.recv(1, m, {FLAG_VAR: True})
+        m2 = b.send(1, 0)
+        b.recv(0, m2, {FLAG_VAR: False})
+        b.internal(1, {FLAG_VAR: False})
+        comp = b.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_definitely(comp, wcp)
+        assert report.holds == definitely_states(comp, wcp)
+        assert report.holds
+
+    def test_concurrent_windows_are_avoidable(self):
+        """Two flag windows with no synchronization: an observation can
+        run one process through its window before the other enters."""
+        b = ComputationBuilder(
+            3, initial_vars={p: {FLAG_VAR: False} for p in range(3)}
+        )
+        msgs = []
+        for pid in (0, 1):
+            b.internal(pid, {FLAG_VAR: True})
+            b.internal(pid, {FLAG_VAR: False})
+            msgs.append(b.send(pid, 2))
+        for m in msgs:
+            b.recv(2, m)
+        comp = b.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_definitely(comp, wcp)
+        assert not report.holds
+        assert possibly_states(comp, wcp)  # possibly-but-not-definitely
+
+    def test_box_is_sane(self):
+        comp = random_computation(
+            2, 3, seed=7, predicate_density=0.8
+        )
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        report = detect_definitely(comp, wcp)
+        if report.holds:
+            for pid, (first, last) in report.box.items():
+                states = comp.local_states(pid)
+                clause = wcp.clause(pid)
+                assert all(
+                    clause(states[k]) for k in range(first, last + 1)
+                )
+
+
+class TestStateLattice:
+    def test_possibly_granularities_agree(self):
+        from repro.detect import run_detector
+
+        for seed in range(15):
+            comp = random_computation(
+                3, 3, seed=seed + 900, predicate_density=0.4,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            assert possibly_states(comp, wcp) == run_detector(
+                "reference", comp, wcp
+            ).detected
+
+    def test_initial_cut_consistent(self):
+        from repro.trace.state_lattice import StateLatticeAnalysis
+
+        comp = random_computation(3, 4, seed=2)
+        analysis = StateLatticeAnalysis(comp)
+        assert analysis.is_consistent((0, 0, 0))
+        assert analysis.is_consistent(analysis.lengths())
+
+    def test_received_but_unsent_is_inconsistent(self):
+        b = ComputationBuilder(2)
+        m = b.send(0, 1)
+        b.recv(1, m)
+        comp = b.build()
+        from repro.trace.state_lattice import StateLatticeAnalysis
+
+        analysis = StateLatticeAnalysis(comp)
+        # P1 past its receive while P0 has not sent: impossible.
+        assert not analysis.is_consistent((0, 1))
+        assert analysis.is_consistent((1, 1))

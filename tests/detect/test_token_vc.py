@@ -1,0 +1,156 @@
+"""Unit tests for the §3 single-token vector-clock algorithm."""
+
+import pytest
+
+from repro.detect import GREEN, RED, reference, token_vc
+from repro.detect.token_vc import VCToken
+from repro.predicates import WeakConjunctivePredicate, cut_satisfies
+from repro.simulation import ExponentialLatency
+from repro.trace import (
+    never_true_computation,
+    random_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+
+
+class TestVCToken:
+    def test_initial(self):
+        t = VCToken.initial(3)
+        assert t.G == [0, 0, 0]
+        assert t.color == [RED, RED, RED]
+        assert not t.all_green()
+
+    def test_all_green(self):
+        t = VCToken(G=[1, 2], color=[GREEN, GREEN])
+        assert t.all_green()
+
+    def test_size(self):
+        assert VCToken.initial(4).size_bits() == 2 * 4 * 32
+
+
+class TestDetection:
+    def test_finds_first_cut(self):
+        for seed in range(10):
+            comp = random_computation(
+                4, 5, seed=seed, predicate_density=0.3,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+            report = token_vc.detect(comp, wcp, seed=seed)
+            ref = reference.detect(comp, wcp)
+            assert report.detected == ref.detected
+            assert report.cut == ref.cut, f"seed {seed}"
+
+    def test_detected_cut_satisfies(self):
+        comp = worst_case_computation(4, 5, seed=3)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        report = token_vc.detect(comp, wcp)
+        assert report.detected
+        assert cut_satisfies(comp, wcp, report.cut)
+
+    def test_not_detected_aborts_cleanly(self):
+        comp = never_true_computation(3, 5, seed=4)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = token_vc.detect(comp, wcp)
+        assert not report.detected
+        assert report.extras["aborted"]
+        assert not report.sim.deadlocked
+
+    def test_single_clause(self):
+        comp = random_computation(3, 4, seed=5, predicate_density=0.5)
+        wcp = WeakConjunctivePredicate.of_flags([2])
+        report = token_vc.detect(comp, wcp)
+        ref = reference.detect(comp, wcp)
+        assert (report.detected, report.cut) == (ref.detected, ref.cut)
+
+    def test_subset_predicate(self):
+        comp = random_computation(
+            6, 5, seed=6, predicate_density=0.4, predicate_pids=(0, 3, 5),
+            plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags([0, 3, 5])
+        report = token_vc.detect(comp, wcp, seed=6)
+        ref = reference.detect(comp, wcp)
+        assert report.cut == ref.cut
+
+    def test_robust_to_channel_model(self):
+        comp = worst_case_computation(4, 5, seed=7)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        ref = reference.detect(comp, wcp)
+        for chan_seed in range(4):
+            report = token_vc.detect(
+                comp, wcp, seed=chan_seed,
+                channel_model=ExponentialLatency(mean=2.0),
+            )
+            assert report.cut == ref.cut
+
+    def test_detection_time_recorded(self):
+        comp = worst_case_computation(3, 4, seed=8)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = token_vc.detect(comp, wcp)
+        assert report.detected
+        assert report.detection_time is not None
+        assert report.detection_time > 0
+
+
+class TestComplexityBounds:
+    def test_token_hops_at_most_nm(self):
+        for n, rounds in [(3, 4), (5, 3), (4, 6)]:
+            comp = spiral_computation(n, rounds)
+            m = comp.max_messages_per_process()
+            wcp = WeakConjunctivePredicate.of_flags(range(n))
+            report = token_vc.detect(comp, wcp)
+            assert report.extras["token_hops"] <= n * (m + 1)
+
+    def test_monitor_messages_at_most_2nm(self):
+        comp = spiral_computation(4, 5)
+        m = comp.max_messages_per_process()
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        report = token_vc.detect(comp, wcp)
+        total = report.metrics.total_messages("mon-") + report.metrics.total_messages("app-")
+        # token hops + candidates + EOT markers + halt broadcast
+        assert total <= 2 * 4 * (m + 1) + 4 + 4
+
+    def test_per_process_work_at_most_nm(self):
+        comp = spiral_computation(5, 4)
+        m = comp.max_messages_per_process()
+        wcp = WeakConjunctivePredicate.of_flags(range(5))
+        report = token_vc.detect(comp, wcp)
+        # Accounting: <= (m+2) candidates consumed + (2n per visit,
+        # visits <= m+2).
+        bound = (m + 2) + (m + 2) * 2 * 5
+        assert report.metrics.max_work_per_actor("mon-") <= bound
+
+    def test_work_distributed(self):
+        """No single monitor does more than ~2/n of the total work on a
+        symmetric workload."""
+        n = 6
+        comp = spiral_computation(n, 5)
+        wcp = WeakConjunctivePredicate.of_flags(range(n))
+        report = token_vc.detect(comp, wcp)
+        total = report.metrics.total_work("mon-")
+        worst = report.metrics.max_work_per_actor("mon-")
+        assert worst <= 2 * total / n + 2 * n
+
+
+class TestMonitorInternals:
+    def test_winner_cut_equals_token_g(self):
+        comp = worst_case_computation(3, 4, seed=9)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = token_vc.detect(comp, wcp)
+        # The report's cut components must be valid interval indices.
+        a = comp.analysis()
+        for pid in wcp.pids:
+            assert 1 <= report.cut.component(pid) <= a.num_intervals(pid)
+
+    def test_no_candidates_on_one_process(self):
+        """A predicate process that is never true forces a clean abort."""
+        comp = random_computation(
+            3, 4, seed=10, predicate_density=0.8, predicate_pids=(0, 1)
+        )
+        # pid 2 has no flag events at all; include it in the WCP.
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        report = token_vc.detect(comp, wcp)
+        assert not report.detected
+        assert report.extras["aborted"]

@@ -1,0 +1,96 @@
+"""Unit tests for the §3.5 multi-token algorithm."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.detect import reference, token_vc, token_vc_multi
+from repro.detect.token_vc_multi import _partition
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import (
+    never_true_computation,
+    random_computation,
+    spiral_computation,
+    worst_case_computation,
+)
+from repro.analysis import strip_times
+
+
+class TestPartition:
+    def test_contiguous_balanced(self):
+        groups, group_of = _partition(7, 3)
+        assert [len(g) for g in groups] == [3, 2, 2]
+        assert group_of == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_more_groups_than_slots_clamped(self):
+        groups, group_of = _partition(2, 5)
+        assert len(groups) == 2
+
+    def test_single_group(self):
+        groups, group_of = _partition(4, 1)
+        assert groups == [frozenset({0, 1, 2, 3})]
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _partition(4, 0)
+
+
+class TestDetection:
+    @pytest.mark.parametrize("groups", [1, 2, 3])
+    def test_matches_reference(self, groups):
+        for seed in range(6):
+            comp = random_computation(
+                5, 4, seed=seed, predicate_density=0.3,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3, 4])
+            rep = token_vc_multi.detect(comp, wcp, seed=seed, groups=groups)
+            ref = reference.detect(comp, wcp)
+            assert (rep.detected, rep.cut) == (ref.detected, ref.cut), (
+                f"seed={seed} g={groups}"
+            )
+
+    def test_not_detected(self):
+        comp = never_true_computation(4, 4, seed=1)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        rep = token_vc_multi.detect(comp, wcp, groups=2)
+        assert not rep.detected
+        assert rep.extras["aborted"]
+
+    def test_subset_predicate(self):
+        comp = random_computation(
+            6, 4, seed=2, predicate_density=0.4, predicate_pids=(0, 2, 5),
+            plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags([0, 2, 5])
+        rep = token_vc_multi.detect(comp, wcp, groups=2)
+        ref = reference.detect(comp, wcp)
+        assert rep.cut == ref.cut
+
+    def test_rounds_counted(self):
+        comp = spiral_computation(4, 3)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        rep = token_vc_multi.detect(comp, wcp, groups=2)
+        assert rep.detected
+        assert rep.extras["rounds"] >= 1
+        assert rep.extras["groups"] == 2
+
+
+class TestConcurrencyBenefit:
+    def test_makespan_improves_with_groups(self):
+        """§3.5's point: more tokens, more overlap, earlier detection
+        (totals comparable)."""
+        comp = spiral_computation(8, 6)
+        wcp = WeakConjunctivePredicate.of_flags(range(8))
+        single = token_vc.detect(comp, wcp, spacing=0.01)
+        multi = token_vc_multi.detect(comp, wcp, groups=4, spacing=0.01)
+        assert single.detected and multi.detected
+        assert multi.detection_time < single.detection_time
+
+    def test_total_work_unchanged(self):
+        comp = spiral_computation(6, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(6))
+        single = token_vc.detect(comp, wcp)
+        multi = token_vc_multi.detect(comp, wcp, groups=3)
+        w1 = single.metrics.total_work("mon-")
+        w2 = multi.metrics.total_work("mon-")
+        assert w2 <= 2 * w1

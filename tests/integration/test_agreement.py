@@ -1,0 +1,117 @@
+"""Integration: every detector finds the same verdict and first cut.
+
+This is the library's master correctness check — Theorems 3.2, 4.3 and
+4.4 say the distributed algorithms detect exactly the first satisfying
+cut; the reference (and, on small runs, exhaustive search) provides the
+ground truth.
+"""
+
+import pytest
+
+from repro.detect import run_detector
+from repro.detect.runner import DETECTORS
+from repro.predicates import brute_force_first_cut
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation import ExponentialLatency, FixedLatency, UniformLatency
+from repro.trace import (
+    empty_computation,
+    random_computation,
+    ring_computation,
+    skewed_concurrent_computation,
+    spiral_computation,
+)
+
+ONLINE = [n for n in DETECTORS if n not in ("reference", "lattice")]
+
+
+def assert_all_agree(comp, wcp, seed=0, **per_detector_opts):
+    ref = run_detector("reference", comp, wcp)
+    # Exhaustive ground truth (small runs only).
+    if comp.total_events() <= 60:
+        assert ref.cut == brute_force_first_cut(comp, wcp)
+    for name in DETECTORS:
+        opts = {} if name in ("reference", "lattice") else {"seed": seed}
+        opts.update(per_detector_opts.get(name, {}))
+        rep = run_detector(name, comp, wcp, **opts)
+        assert rep.detected == ref.detected, f"{name} verdict"
+        assert rep.cut == ref.cut, f"{name} cut"
+    return ref
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_predicate(self, seed):
+        comp = random_computation(
+            4, 4, seed=seed, predicate_density=0.3,
+            plant_final_cut=(seed % 2 == 0),
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        assert_all_agree(comp, wcp, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_subset_predicate(self, seed):
+        comp = random_computation(
+            5, 4, seed=seed + 200, predicate_density=0.35,
+            predicate_pids=(0, 2, 4), plant_final_cut=True,
+        )
+        wcp = WeakConjunctivePredicate.of_flags([0, 2, 4])
+        assert_all_agree(comp, wcp, seed=seed)
+
+    @pytest.mark.parametrize("groups", [2, 3, 4])
+    def test_multi_token_group_counts(self, groups):
+        comp = random_computation(
+            5, 4, seed=groups, predicate_density=0.3, plant_final_cut=True
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(5))
+        assert_all_agree(
+            comp, wcp, seed=groups,
+            token_vc_multi={"groups": groups},
+        )
+
+
+class TestStructuredWorkloads:
+    def test_spiral(self):
+        comp = spiral_computation(4, 3)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        ref = assert_all_agree(comp, wcp)
+        a = comp.analysis()
+        assert ref.cut.intervals == tuple(a.num_intervals(p) for p in range(4))
+
+    def test_skewed(self):
+        comp = skewed_concurrent_computation(3, 6)
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        assert_all_agree(comp, wcp)
+
+    def test_ring(self):
+        comp = ring_computation(4, rounds=2, seed=3)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        assert_all_agree(comp, wcp)
+
+    def test_empty(self):
+        comp = empty_computation(3)
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        assert_all_agree(comp, wcp)
+
+
+class TestChannelModels:
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            FixedLatency(0.1),
+            FixedLatency(5.0),
+            ExponentialLatency(mean=1.0),
+            UniformLatency(0.1, 4.0),
+        ],
+        ids=["fast", "slow", "exponential", "uniform"],
+    )
+    def test_agreement_invariant_to_latency(self, channel):
+        comp = random_computation(
+            4, 4, seed=77, predicate_density=0.3, plant_final_cut=True
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        ref = run_detector("reference", comp, wcp)
+        for name in ONLINE:
+            rep = run_detector(
+                name, comp, wcp, seed=9, channel_model=channel
+            )
+            assert rep.cut == ref.cut, name

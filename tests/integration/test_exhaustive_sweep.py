@@ -1,0 +1,88 @@
+"""Deep randomized agreement sweep — the heavy regression net.
+
+A few hundred (workload × detector × channel) combinations, all checked
+against the reference for verdict and first-cut equality.  This is where
+subtle protocol races get caught (the §4.5 chain-head race was found by
+exactly this kind of sweep), so breadth matters more than speed; the
+whole module still runs in seconds.
+"""
+
+import pytest
+
+from repro.detect import run_detector
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation import ExponentialLatency, FixedLatency, UniformLatency
+from repro.trace import (
+    generate,
+    WorkloadSpec,
+    skewed_concurrent_computation,
+    spiral_computation,
+)
+
+ONLINE = (
+    "centralized",
+    "token_vc",
+    "token_vc_multi",
+    "direct_dep",
+    "direct_dep_parallel",
+)
+
+CHANNELS = {
+    "unit": FixedLatency(1.0),
+    "jitter": ExponentialLatency(mean=0.8),
+    "spread": UniformLatency(0.2, 2.5),
+}
+
+
+def workloads():
+    """A diverse workload zoo, keyed for test ids."""
+    zoo = {}
+    for pattern in ("uniform", "ring", "client_server", "pairs"):
+        for seed in (0, 1):
+            zoo[f"{pattern}-{seed}"] = generate(
+                WorkloadSpec(
+                    num_processes=5,
+                    sends_per_process=4,
+                    pattern=pattern,
+                    seed=seed * 31 + 7,
+                    predicate_density=0.3,
+                    plant_final_cut=(seed == 0),
+                )
+            )
+    zoo["spiral"] = spiral_computation(5, 3)
+    zoo["skewed"] = skewed_concurrent_computation(4, 6)
+    zoo["dense"] = generate(
+        WorkloadSpec(
+            num_processes=4, sends_per_process=8, seed=99,
+            predicate_density=0.7, internal_rate=0.9,
+        )
+    )
+    zoo["sparse"] = generate(
+        WorkloadSpec(
+            num_processes=6, sends_per_process=2, seed=5,
+            predicate_density=0.15, internal_rate=0.2,
+            plant_final_cut=True,
+        )
+    )
+    return zoo
+
+
+WORKLOADS = workloads()
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=str)
+@pytest.mark.parametrize("detector", ONLINE)
+@pytest.mark.parametrize("channel", sorted(CHANNELS), ids=str)
+def test_agreement_matrix(workload, detector, channel):
+    comp = WORKLOADS[workload]
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    ref = run_detector("reference", comp, wcp)
+    opts = {"groups": 2} if detector == "token_vc_multi" else {}
+    report = run_detector(
+        detector, comp, wcp, seed=13,
+        channel_model=CHANNELS[channel], **opts,
+    )
+    assert report.detected == ref.detected
+    assert report.cut == ref.cut
+    if not report.detected:
+        assert not report.sim.deadlocked, "undetected runs must abort cleanly"

@@ -1,0 +1,106 @@
+"""Integration: live online detection ≡ replayed offline detection.
+
+The same application behaviour is executed twice: once live (application
+actors exchanging real messages with monitors attached), and once by
+recording the equivalent trace and replaying it through the detectors.
+Both must find the same first cut — evidence that the live Fig. 2 / §4.1
+implementations and the trace-extraction implementations agree.
+"""
+
+from repro.apps import (
+    build_mutex_system,
+    mutex_wcp,
+    run_live_direct_dep,
+    run_live_token_vc,
+)
+from repro.detect import run_detector
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import ComputationBuilder
+
+
+def mutex_trace(bug: bool):
+    """The recorded counterpart of a 2-client mutex run.
+
+    Coordinator P0; clients P1, P2 each do one CS round; with ``bug``
+    the coordinator grants P2 before P1's release.
+    """
+    b = ComputationBuilder(
+        3, initial_vars={1: {"cs": False}, 2: {"cs": False}}
+    )
+    r1 = b.send(1, 0)          # P1 requests
+    r2 = b.send(2, 0)          # P2 requests
+    b.recv(0, r1)
+    g1 = b.send(0, 1)          # grant P1
+    b.recv(1, g1, {"cs": True})
+    b.recv(0, r2)
+    if bug:
+        g2 = b.send(0, 2)      # BUG: grant P2 without release
+        b.recv(2, g2, {"cs": True})
+        b.internal(2, {"cs": False})
+        rel1 = b.send(1, 0, {"cs": False})
+        b.recv(0, rel1)
+        rel2 = b.send(2, 0)
+        b.recv(0, rel2)
+    else:
+        rel1 = b.send(1, 0, {"cs": False})
+        b.recv(0, rel1)
+        g2 = b.send(0, 2)
+        b.recv(2, g2, {"cs": True})
+        rel2 = b.send(2, 0, {"cs": False})
+        b.recv(0, rel2)
+    return b.build()
+
+
+class TestMutexLiveVsReplay:
+    def test_buggy_run_detected_in_both_modes(self):
+        wcp = mutex_wcp(1, 2)
+        # Live.
+        apps = build_mutex_system(2, rounds=1, bug_every=1, wcp=wcp, mode="vc")
+        live = run_live_token_vc(apps, wcp, seed=3)
+        # Replay of the equivalent hand trace.
+        comp = mutex_trace(bug=True)
+        replay = run_detector("token_vc", comp, wcp, seed=3)
+        assert live.detected and replay.detected
+
+    def test_correct_run_clean_in_both_modes(self):
+        wcp = mutex_wcp(1, 2)
+        apps = build_mutex_system(2, rounds=1, bug_every=0, wcp=wcp, mode="vc")
+        live = run_live_token_vc(apps, wcp, seed=3)
+        comp = mutex_trace(bug=False)
+        replay = run_detector("token_vc", comp, wcp, seed=3)
+        assert not live.detected and not replay.detected
+
+    def test_replayed_trace_cut_matches_reference(self):
+        wcp = mutex_wcp(1, 2)
+        comp = mutex_trace(bug=True)
+        for name in ("token_vc", "direct_dep", "centralized"):
+            rep = run_detector(name, comp, wcp, seed=1)
+            ref = run_detector("reference", comp, wcp)
+            assert rep.cut == ref.cut
+
+
+class TestLiveVCvsLiveDD:
+    def test_same_cut_across_algorithm_families(self):
+        wcp = mutex_wcp(1, 2)
+        vc_apps = build_mutex_system(3, rounds=2, bug_every=1, wcp=wcp, mode="vc")
+        dd_apps = build_mutex_system(3, rounds=2, bug_every=1, wcp=wcp, mode="dd")
+        vc = run_live_token_vc(vc_apps, wcp, seed=4)
+        dd = run_live_direct_dep(dd_apps, wcp, seed=4)
+        assert vc.detected == dd.detected
+        assert vc.cut == dd.cut
+
+    def test_live_detection_deterministic(self):
+        wcp = mutex_wcp(1, 2)
+
+        def once():
+            apps = build_mutex_system(
+                3, rounds=2, bug_every=2, wcp=wcp, mode="vc"
+            )
+            return run_live_token_vc(apps, wcp, seed=5)
+
+        a, b = once(), once()
+        assert (a.detected, a.cut, a.detection_time) == (
+            b.detected,
+            b.cut,
+            b.detection_time,
+        )

@@ -1,0 +1,63 @@
+"""Unit tests for the Theorem 5.1 adversary."""
+
+import pytest
+
+from repro.common import LowerBoundError
+from repro.lowerbound import AdversaryOracle
+
+
+class TestAdversaryAnswers:
+    def test_exactly_one_dominated_head(self):
+        oracle = AdversaryOracle(4, 5)
+        hc = oracle.compare_heads()
+        assert len(hc.relations) == 1
+        assert all(hc.alive)
+
+    def test_answers_stable_until_deletion(self):
+        oracle = AdversaryOracle(3, 4)
+        first = oracle.compare_heads()
+        second = oracle.compare_heads()
+        assert first.relations == second.relations
+
+    def test_fresh_head_becomes_dominator(self):
+        oracle = AdversaryOracle(3, 4)
+        (loser, _winner) = oracle.compare_heads().relations[0]
+        oracle.delete_heads({loser})
+        nxt = oracle.compare_heads().relations[0]
+        assert nxt[1] == loser, "last-deleted queue's fresh head dominates"
+        assert nxt[0] != loser
+
+    def test_targets_largest_queue(self):
+        oracle = AdversaryOracle(3, 4)
+        loser, _ = oracle.compare_heads().relations[0]
+        oracle.delete_heads({loser})
+        loser2, winner2 = oracle.compare_heads().relations[0]
+        sizes = [oracle.queue_size(q) for q in range(3)]
+        candidates = [q for q in range(3) if q != winner2]
+        assert sizes[loser2] == max(sizes[q] for q in candidates)
+
+    def test_only_announced_loser_deletable(self):
+        oracle = AdversaryOracle(3, 3)
+        loser, _ = oracle.compare_heads().relations[0]
+        other = (loser + 1) % 3
+        with pytest.raises(LowerBoundError):
+            oracle.delete_heads({other})
+
+    def test_game_ends_when_queue_empty(self):
+        oracle = AdversaryOracle(2, 2)
+        while not oracle.exhausted():
+            hc = oracle.compare_heads()
+            oracle.delete_heads(hc.dominated())
+        assert not all(oracle.compare_heads().alive)
+
+    def test_single_chain_rejected(self):
+        with pytest.raises(LowerBoundError, match="n >= 2"):
+            AdversaryOracle(1, 5)
+
+    def test_deletions_one_at_a_time(self):
+        """The adversary never allows more than one deletion per step."""
+        oracle = AdversaryOracle(4, 3)
+        while not oracle.exhausted():
+            dominated = oracle.compare_heads().dominated()
+            assert len(dominated) == 1
+            oracle.delete_heads(dominated)

@@ -1,0 +1,76 @@
+"""Unit tests for the §5 game model and honest oracle."""
+
+import pytest
+
+from repro.common import LowerBoundError, StateRef
+from repro.lowerbound import ExplicitPosetOracle, HeadComparison
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import spiral_computation
+
+
+def chain_oracle():
+    """Two chains: a1 < b1, everything else concurrent.
+
+    Chain A: [a1, a2]; chain B: [b1].
+    """
+    order = {("a1", "b1")}
+
+    def hb(x, y):
+        return (x, y) in order
+
+    return ExplicitPosetOracle([["a1", "a2"], ["b1"]], hb)
+
+
+class TestHeadComparison:
+    def test_dominated(self):
+        hc = HeadComparison((True, True), ((0, 1),))
+        assert hc.dominated() == {0}
+
+    def test_empty(self):
+        assert HeadComparison((True,), ()).dominated() == set()
+
+
+class TestExplicitOracle:
+    def test_reports_relations_among_heads(self):
+        oracle = chain_oracle()
+        hc = oracle.compare_heads()
+        assert hc.alive == (True, True)
+        assert hc.relations == ((0, 1),)
+        assert oracle.s1_steps == 1
+
+    def test_delete_dominated_head(self):
+        oracle = chain_oracle()
+        oracle.compare_heads()
+        oracle.delete_heads({0})
+        assert oracle.deletions == 1
+        assert oracle.queue_size(0) == 1
+        # New head a2 is concurrent with b1.
+        assert oracle.compare_heads().relations == ()
+
+    def test_illegal_deletion_rejected(self):
+        oracle = chain_oracle()
+        with pytest.raises(LowerBoundError, match="not dominated"):
+            oracle.delete_heads({1})  # b1 dominates, it is not dominated
+
+    def test_empty_deletion_rejected(self):
+        oracle = chain_oracle()
+        with pytest.raises(LowerBoundError):
+            oracle.delete_heads(set())
+
+    def test_from_computation_links_to_wcp(self):
+        comp = spiral_computation(3, 2)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        oracle = ExplicitPosetOracle.from_computation(comp, wcp)
+        assert oracle.n == 3
+        hc = oracle.compare_heads()
+        assert all(hc.alive)
+        # Heads are StateRef-labelled candidates.
+        first_relations = hc.relations
+        assert all(
+            isinstance(loser, int) and isinstance(winner, int)
+            for loser, winner in first_relations
+        )
+
+    def test_n_m_validation(self):
+        with pytest.raises(LowerBoundError):
+            ExplicitPosetOracle([], lambda a, b: False)

@@ -1,0 +1,84 @@
+"""Unit tests for §5 strategies: correctness on honest oracles and the
+forced Ω(nm) cost against the adversary."""
+
+import pytest
+
+from repro.detect import reference
+from repro.lowerbound import (
+    ExplicitPosetOracle,
+    available_strategies,
+    play,
+    play_against_adversary,
+    play_on_computation,
+)
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import (
+    never_true_computation,
+    random_computation,
+    worst_case_computation,
+)
+
+
+class TestCorrectnessOnHonestOracles:
+    @pytest.mark.parametrize(
+        "strategy", available_strategies(), ids=lambda s: s.name
+    )
+    def test_answer_equals_wcp_detectability(self, strategy):
+        for seed in range(8):
+            comp = random_computation(
+                4, 4, seed=seed, predicate_density=0.35,
+                plant_final_cut=(seed % 2 == 0),
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+            expected = reference.detect(comp, wcp).detected
+            result = play_on_computation(strategy, comp, wcp)
+            assert result.answer == expected, f"seed {seed}"
+
+    @pytest.mark.parametrize(
+        "strategy", available_strategies(), ids=lambda s: s.name
+    )
+    def test_no_answer_when_chain_empty(self, strategy):
+        comp = never_true_computation(3, 4, seed=3)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        # One chain is empty from the start; immediate 'no'.
+        result = play_on_computation(strategy, comp, wcp)
+        assert not result.answer
+        assert result.deletions == 0
+
+    def test_strategies_agree_pairwise(self):
+        comp = worst_case_computation(4, 4, seed=5)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2, 3])
+        answers = {
+            s.name: play_on_computation(s, comp, wcp).answer
+            for s in available_strategies()
+        }
+        assert len(set(answers.values())) == 1
+
+
+class TestAdversarialCost:
+    @pytest.mark.parametrize(
+        "strategy", available_strategies(), ids=lambda s: s.name
+    )
+    @pytest.mark.parametrize("n,m", [(2, 5), (4, 8), (6, 10)])
+    def test_theorem_bound(self, strategy, n, m):
+        result = play_against_adversary(strategy, n, m)
+        assert not result.answer
+        assert result.deletions >= result.theorem_bound == n * m - n
+
+    def test_total_steps_scale_linearly_in_nm(self):
+        from repro.analysis import fit_power_law
+
+        strategy = available_strategies()[0]
+        points = [(3, 6), (4, 12), (6, 16), (8, 24)]
+        xs = [n * m for n, m in points]
+        ys = [
+            play_against_adversary(strategy, n, m).total_steps
+            for n, m in points
+        ]
+        fit = fit_power_law(xs, ys)
+        assert 0.9 <= fit.exponent <= 1.1
+
+    def test_game_result_fields(self):
+        result = play_against_adversary(available_strategies()[0], 3, 4)
+        assert result.n == 3 and result.m == 4
+        assert result.total_steps == result.s1_steps + result.s2_steps

@@ -1,0 +1,97 @@
+"""Unit tests for boolean expressions and the DNF-to-WCP reduction."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.predicates import var_true
+from repro.predicates.boolexpr import And, Atom, Not, Or, atom
+
+
+A = atom(0, var_true("a"))
+B = atom(1, var_true("b"))
+C = atom(2, var_true("c"))
+
+
+def clause_sig(clause):
+    return sorted((a.pid, a.predicate.name, a.negated) for a in clause)
+
+
+class TestOperators:
+    def test_and_or_invert_build_nodes(self):
+        assert isinstance(A & B, And)
+        assert isinstance(A | B, Or)
+        assert isinstance(~A, Not)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            atom(-1, var_true("x"))
+
+
+class TestDNF:
+    def test_single_atom(self):
+        assert (A.to_dnf()) == [[A]]
+
+    def test_conjunction_single_clause(self):
+        clauses = (A & B).to_dnf()
+        assert len(clauses) == 1
+        assert clause_sig(clauses[0]) == [
+            (0, "a", False),
+            (1, "b", False),
+        ]
+
+    def test_disjunction_two_clauses(self):
+        assert len((A | B).to_dnf()) == 2
+
+    def test_distribution(self):
+        # A & (B | C) -> (A & B) | (A & C)
+        clauses = (A & (B | C)).to_dnf()
+        assert len(clauses) == 2
+        assert all(len(c) == 2 for c in clauses)
+
+    def test_de_morgan_on_and(self):
+        clauses = (~(A & B)).to_dnf()
+        # !(A & B) = !A | !B
+        assert len(clauses) == 2
+        assert all(len(c) == 1 and c[0].negated for c in clauses)
+
+    def test_de_morgan_on_or(self):
+        clauses = (~(A | B)).to_dnf()
+        # !(A | B) = !A & !B
+        assert len(clauses) == 1
+        assert clause_sig(clauses[0]) == [(0, "a", True), (1, "b", True)]
+
+    def test_double_negation(self):
+        clauses = (~~A).to_dnf()
+        assert clauses == [[A]]
+
+    def test_nested(self):
+        expr = (A | B) & (~C | B)
+        clauses = expr.to_dnf()
+        assert len(clauses) == 4
+
+
+class TestToWCPs:
+    def test_simple_conjunction(self):
+        wcps = (A & B).to_wcps()
+        assert len(wcps) == 1
+        assert wcps[0].pids == (0, 1)
+
+    def test_same_process_atoms_fused(self):
+        expr = atom(0, var_true("x")) & atom(0, var_true("y")) & B
+        wcps = expr.to_wcps()
+        assert len(wcps) == 1
+        assert wcps[0].pids == (0, 1)
+        clause0 = wcps[0].clause(0)
+        assert clause0({"x": 1, "y": 1})
+        assert not clause0({"x": 1})
+
+    def test_negated_atom_semantics(self):
+        wcps = (~A).to_wcps()
+        clause = wcps[0].clause(0)
+        assert clause({})
+        assert not clause({"a": True})
+
+    def test_disjunction_gives_multiple_wcps(self):
+        wcps = ((A & B) | C).to_wcps()
+        assert len(wcps) == 2
+        assert {w.pids for w in wcps} == {(0, 1), (2,)}

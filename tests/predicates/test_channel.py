@@ -1,0 +1,94 @@
+"""Unit tests for channel predicates (the GCP extension)."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.predicates import (
+    at_most_in_transit,
+    empty_channel,
+    exactly_in_transit,
+    in_transit_messages,
+)
+from repro.trace import ComputationBuilder, Cut
+
+
+def channel_comp():
+    """P0 sends two messages to P1; P1 receives both.
+
+    P0 intervals: 1 |send m0| 2 |send m1| 3
+    P1 intervals: 1 |recv m0| 2 |recv m1| 3
+    """
+    b = ComputationBuilder(2)
+    m0 = b.send(0, 1)
+    m1 = b.send(0, 1)
+    b.recv(1, m0)
+    b.recv(1, m1)
+    return b.build()
+
+
+class TestInTransit:
+    def test_nothing_before_send(self):
+        comp = channel_comp()
+        cut = Cut((0, 1), (1, 1))
+        assert in_transit_messages(comp, cut, 0, 1) == ()
+
+    def test_one_in_flight(self):
+        comp = channel_comp()
+        # P0 past its first send, P1 not yet received.
+        cut = Cut((0, 1), (2, 1))
+        assert in_transit_messages(comp, cut, 0, 1) == (0,)
+
+    def test_two_in_flight(self):
+        comp = channel_comp()
+        cut = Cut((0, 1), (3, 1))
+        assert in_transit_messages(comp, cut, 0, 1) == (0, 1)
+
+    def test_received_not_in_flight(self):
+        comp = channel_comp()
+        cut = Cut((0, 1), (3, 3))
+        assert in_transit_messages(comp, cut, 0, 1) == ()
+
+    def test_reverse_channel_empty(self):
+        comp = channel_comp()
+        cut = Cut((0, 1), (3, 1))
+        assert in_transit_messages(comp, cut, 1, 0) == ()
+
+    def test_unreceived_message_counts(self):
+        b = ComputationBuilder(2)
+        b.send(0, 1)
+        comp = b.build(allow_unreceived=True)
+        cut = Cut((0, 1), (2, 1))
+        assert in_transit_messages(comp, cut, 0, 1) == (0,)
+
+
+class TestChannelPredicates:
+    def test_empty_channel(self):
+        comp = channel_comp()
+        p = empty_channel(0, 1)
+        assert p.evaluate(comp, Cut((0, 1), (1, 1)))
+        assert not p.evaluate(comp, Cut((0, 1), (2, 1)))
+
+    def test_at_most(self):
+        comp = channel_comp()
+        p = at_most_in_transit(0, 1, 1)
+        assert p.evaluate(comp, Cut((0, 1), (2, 1)))
+        assert not p.evaluate(comp, Cut((0, 1), (3, 1)))
+
+    def test_exactly(self):
+        comp = channel_comp()
+        p = exactly_in_transit(0, 1, 2)
+        assert p.evaluate(comp, Cut((0, 1), (3, 1)))
+        assert not p.evaluate(comp, Cut((0, 1), (2, 1)))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empty_channel(1, 1)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            at_most_in_transit(0, 1, -1)
+        with pytest.raises(ConfigurationError):
+            exactly_in_transit(0, 1, -2)
+
+    def test_str(self):
+        assert "P0->P1" in str(empty_channel(0, 1))

@@ -1,0 +1,59 @@
+"""Unit tests for WeakConjunctivePredicate."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.predicates import WeakConjunctivePredicate, var_true
+
+
+class TestWCP:
+    def test_pids_sorted(self):
+        wcp = WeakConjunctivePredicate({3: var_true("a"), 1: var_true("b")})
+        assert wcp.pids == (1, 3)
+        assert wcp.n == 2
+
+    def test_slot_mapping(self):
+        wcp = WeakConjunctivePredicate.of_flags([5, 2, 9])
+        assert wcp.slot(2) == 0
+        assert wcp.slot(5) == 1
+        assert wcp.slot(9) == 2
+
+    def test_slot_unknown_pid(self):
+        with pytest.raises(ConfigurationError):
+            WeakConjunctivePredicate.of_flags([0]).slot(1)
+
+    def test_clause_lookup(self):
+        p = var_true("x")
+        wcp = WeakConjunctivePredicate({0: p})
+        assert wcp.clause(0) is p
+        with pytest.raises(ConfigurationError):
+            wcp.clause(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeakConjunctivePredicate({})
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeakConjunctivePredicate({-1: var_true("x")})
+
+    def test_of_flags(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 1], var="cs")
+        assert wcp.clause(0)({"cs": True})
+        assert not wcp.clause(1)({"cs": False})
+
+    def test_predicate_map_is_copy(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        m = wcp.predicate_map()
+        m[0] = None  # type: ignore[assignment]
+        assert wcp.clause(0) is not None
+
+    def test_items_in_slot_order(self):
+        wcp = WeakConjunctivePredicate.of_flags([4, 1])
+        assert [pid for pid, _ in wcp.items()] == [1, 4]
+
+    def test_check_against(self):
+        wcp = WeakConjunctivePredicate.of_flags([0, 5])
+        wcp.check_against(6)
+        with pytest.raises(ConfigurationError, match="only 4"):
+            wcp.check_against(4)

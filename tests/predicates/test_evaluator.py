@@ -1,0 +1,120 @@
+"""Unit tests for ground-truth predicate evaluation on cuts."""
+
+import pytest
+
+from repro.common import CutError
+from repro.predicates import (
+    WeakConjunctivePredicate,
+    brute_force_first_cut,
+    candidate_intervals,
+    clause_holds_in_interval,
+    cut_satisfies,
+)
+from repro.trace import ComputationBuilder, Cut, random_computation
+from repro.trace.generators import FLAG_VAR
+
+
+def simple_comp():
+    """P0 raises the flag in interval 1; P1 raises it in interval 2."""
+    b = ComputationBuilder(2, initial_vars={p: {FLAG_VAR: False} for p in (0, 1)})
+    b.internal(0, {FLAG_VAR: True})
+    m = b.send(0, 1)
+    b.recv(1, m)
+    b.internal(1, {FLAG_VAR: True})
+    return b.build()
+
+
+class TestCandidateIntervals:
+    def test_simple(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        cands = candidate_intervals(comp, wcp)
+        # P0: flag stays true from interval 1 onwards (2 intervals);
+        # P1: true only in interval 2.
+        assert cands[0] == [1, 2]
+        assert cands[1] == [2]
+
+    def test_validates_pids(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 7])
+        with pytest.raises(Exception):
+            candidate_intervals(comp, wcp)
+
+
+class TestClauseInInterval:
+    def test_holds(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        assert clause_holds_in_interval(comp, wcp, 0, 1)
+        assert not clause_holds_in_interval(comp, wcp, 1, 1)
+        assert clause_holds_in_interval(comp, wcp, 1, 2)
+
+
+class TestCutSatisfies:
+    def test_satisfying_cut(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        # (0, 2) and (1, 2): P0 past its send, P1 past its receive — is
+        # that consistent?  (0,1) -> (1,2) but (0,2) || (1,2).
+        assert cut_satisfies(comp, wcp, Cut((0, 1), (2, 2)))
+
+    def test_inconsistent_cut_fails(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        assert not cut_satisfies(comp, wcp, Cut((0, 1), (1, 2)))
+
+    def test_predicate_false_fails(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        assert not cut_satisfies(comp, wcp, Cut((0, 1), (1, 1)))
+
+    def test_partial_cut_false(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        assert not cut_satisfies(comp, wcp, Cut((0, 1), (0, 1)))
+
+    def test_wrong_pids_raise(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        with pytest.raises(CutError):
+            cut_satisfies(comp, wcp, Cut((0,), (1,)))
+
+
+class TestBruteForce:
+    def test_finds_first_cut(self):
+        comp = simple_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        cut = brute_force_first_cut(comp, wcp)
+        assert cut == Cut((0, 1), (2, 2))
+
+    def test_none_when_unsatisfiable(self):
+        b = ComputationBuilder(2, initial_vars={p: {FLAG_VAR: False} for p in (0, 1)})
+        b.internal(0, {FLAG_VAR: True})
+        comp = b.build()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        assert brute_force_first_cut(comp, wcp) is None
+
+    def test_result_is_minimal(self):
+        """The returned cut is dominated by every other satisfying cut."""
+        for seed in range(6):
+            comp = random_computation(
+                3, 4, seed=seed, predicate_density=0.5
+            )
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            first = brute_force_first_cut(comp, wcp)
+            if first is None:
+                continue
+            from repro.trace import iter_consistent_cuts
+
+            a = comp.analysis()
+            for cut in iter_consistent_cuts(a, wcp.pids):
+                if cut_satisfies(comp, wcp, cut):
+                    assert cut.dominates(first)
+
+    def test_result_satisfies(self):
+        for seed in range(6):
+            comp = random_computation(3, 4, seed=100 + seed, predicate_density=0.4)
+            wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+            cut = brute_force_first_cut(comp, wcp)
+            if cut is not None:
+                assert cut_satisfies(comp, wcp, cut)

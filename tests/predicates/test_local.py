@@ -1,0 +1,93 @@
+"""Unit tests for local predicates and combinators."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.predicates import (
+    LocalPredicate,
+    all_of,
+    always_true,
+    any_of,
+    flag_predicate,
+    negation,
+    never_true,
+    var_at_least,
+    var_equals,
+    var_true,
+)
+
+
+class TestBasicPredicates:
+    def test_flag_predicate(self):
+        p = flag_predicate()
+        assert p({"flag": True})
+        assert not p({"flag": False})
+        assert not p({})
+
+    def test_flag_custom_var(self):
+        p = flag_predicate("cs")
+        assert p({"cs": True})
+
+    def test_var_equals(self):
+        p = var_equals("state", "ready")
+        assert p({"state": "ready"})
+        assert not p({"state": "busy"})
+        assert not p({})
+
+    def test_var_true_truthiness(self):
+        p = var_true("count")
+        assert p({"count": 3})
+        assert not p({"count": 0})
+
+    def test_var_at_least(self):
+        p = var_at_least("load", 0.8)
+        assert p({"load": 0.9})
+        assert p({"load": 0.8})
+        assert not p({"load": 0.5})
+        assert not p({"load": "high"})
+        assert not p({})
+
+    def test_constants(self):
+        assert always_true()({})
+        assert not never_true()({"anything": 1})
+
+    def test_callable_returns_bool(self):
+        p = LocalPredicate("n", lambda s: s.get("x"))
+        assert p({"x": 5}) is True
+        assert p({}) is False
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalPredicate("bad", 42)  # type: ignore[arg-type]
+
+    def test_names(self):
+        assert str(var_equals("a", 1)) == "a==1"
+        assert negation(var_true("b")).name == "!(b)"
+
+
+class TestCombinators:
+    def test_negation(self):
+        p = negation(var_true("x"))
+        assert p({})
+        assert not p({"x": 1})
+
+    def test_all_of(self):
+        p = all_of(var_true("a"), var_true("b"))
+        assert p({"a": 1, "b": 1})
+        assert not p({"a": 1})
+
+    def test_any_of(self):
+        p = any_of(var_true("a"), var_true("b"))
+        assert p({"b": 1})
+        assert not p({})
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ConfigurationError):
+            all_of()
+        with pytest.raises(ConfigurationError):
+            any_of()
+
+    def test_nested(self):
+        p = all_of(var_true("a"), negation(var_true("b")))
+        assert p({"a": 1})
+        assert not p({"a": 1, "b": 1})

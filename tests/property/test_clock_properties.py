@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for vector clock laws."""
+
+from hypothesis import given, strategies as st
+
+from repro.clocks import VectorClock
+
+
+def clocks(width=4, max_value=20):
+    return st.lists(
+        st.integers(min_value=0, max_value=max_value),
+        min_size=width,
+        max_size=width,
+    ).map(VectorClock)
+
+
+@given(clocks(), clocks())
+def test_le_antisymmetry(a, b):
+    if a <= b and b <= a:
+        assert a == b
+
+
+@given(clocks(), clocks(), clocks())
+def test_le_transitivity(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(clocks(), clocks())
+def test_trichotomy_of_causal_relations(a, b):
+    """Exactly one of: a < b, b < a, a == b, a || b."""
+    relations = [a < b, b < a, a == b, a.concurrent_with(b)]
+    assert sum(relations) == 1
+
+
+@given(clocks(), clocks())
+def test_merge_is_least_upper_bound(a, b):
+    m = a.merged(b)
+    assert a <= m and b <= m
+    # Minimality: any other upper bound dominates the merge.
+    comps = [max(x, y) for x, y in zip(a, b)]
+    assert m == VectorClock(comps)
+
+
+@given(clocks(), clocks())
+def test_merge_commutative(a, b):
+    assert a.merged(b) == b.merged(a)
+
+
+@given(clocks(), clocks(), clocks())
+def test_merge_associative(a, b, c):
+    assert a.merged(b).merged(c) == a.merged(b.merged(c))
+
+
+@given(clocks())
+def test_merge_idempotent(a):
+    assert a.merged(a) == a
+
+
+@given(clocks(), st.integers(min_value=0, max_value=3))
+def test_tick_strictly_advances(a, owner):
+    t = a.tick(owner)
+    assert a < t
+    assert t[owner] == a[owner] + 1
+
+
+@given(clocks(), st.integers(min_value=0, max_value=3))
+def test_tick_concurrent_with_nothing_below(a, owner):
+    """Ticking never makes a clock comparable to a previously
+    concurrent one on the other side."""
+    t = a.tick(owner)
+    assert not t <= a
+
+
+@given(clocks(), clocks())
+def test_hash_consistent_with_eq(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

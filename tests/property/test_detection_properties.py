@@ -1,0 +1,83 @@
+"""Property-based end-to-end detection checks.
+
+For random computations and random predicate subsets, every detection
+algorithm must agree with the reference on both the verdict and the
+first cut (Theorems 3.2/4.3/4.4), and any detected cut must genuinely
+satisfy the WCP.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect import run_detector
+from repro.predicates import WeakConjunctivePredicate, cut_satisfies
+from repro.trace import random_computation
+
+
+@st.composite
+def detection_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    comp = random_computation(
+        num_processes=n,
+        sends_per_process=draw(st.integers(min_value=1, max_value=5)),
+        seed=draw(st.integers(min_value=0, max_value=100_000)),
+        predicate_density=draw(
+            st.sampled_from([0.0, 0.2, 0.5, 0.9])
+        ),
+        plant_final_cut=draw(st.booleans()),
+    )
+    k = draw(st.integers(min_value=1, max_value=n))
+    pids = tuple(sorted(draw(
+        st.permutations(list(range(n))).map(lambda p: p[:k])
+    )))
+    return comp, WeakConjunctivePredicate.of_flags(pids)
+
+
+@settings(max_examples=30, deadline=None)
+@given(detection_cases(), st.sampled_from(["token_vc", "centralized"]))
+def test_vc_family_agrees_with_reference(case, detector):
+    comp, wcp = case
+    ref = run_detector("reference", comp, wcp)
+    rep = run_detector(detector, comp, wcp, seed=1)
+    assert (rep.detected, rep.cut) == (ref.detected, ref.cut)
+
+
+@settings(max_examples=25, deadline=None)
+@given(detection_cases())
+def test_dd_family_agrees_with_reference(case):
+    comp, wcp = case
+    ref = run_detector("reference", comp, wcp)
+    for detector in ("direct_dep", "direct_dep_parallel"):
+        rep = run_detector(detector, comp, wcp, seed=2)
+        assert (rep.detected, rep.cut) == (ref.detected, ref.cut)
+
+
+@settings(max_examples=20, deadline=None)
+@given(detection_cases(), st.integers(min_value=1, max_value=4))
+def test_multi_token_agrees_with_reference(case, groups):
+    comp, wcp = case
+    ref = run_detector("reference", comp, wcp)
+    rep = run_detector("token_vc_multi", comp, wcp, seed=3, groups=groups)
+    assert (rep.detected, rep.cut) == (ref.detected, ref.cut)
+
+
+@settings(max_examples=30, deadline=None)
+@given(detection_cases())
+def test_detected_cuts_satisfy_the_wcp(case):
+    comp, wcp = case
+    ref = run_detector("reference", comp, wcp)
+    if ref.detected:
+        assert cut_satisfies(comp, wcp, ref.cut)
+
+
+@settings(max_examples=30, deadline=None)
+@given(detection_cases())
+def test_verdict_equals_satisfiability(case):
+    """detected == True iff SOME consistent cut satisfies the WCP —
+    checked against the exhaustive lattice search on small cases."""
+    comp, wcp = case
+    if comp.total_events() > 40:
+        return
+    from repro.predicates import brute_force_first_cut
+
+    ref = run_detector("reference", comp, wcp)
+    assert ref.detected == (brute_force_first_cut(comp, wcp) is not None)

@@ -1,0 +1,103 @@
+"""Property-based validation of the embeddable incremental detector."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect import run_detector
+from repro.detect.incremental import IncrementalDetector
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import random_computation
+from repro.trace.events import EventKind
+
+
+computations = st.builds(
+    random_computation,
+    num_processes=st.integers(min_value=2, max_value=5),
+    sends_per_process=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=100_000),
+    predicate_density=st.sampled_from([0.1, 0.4, 0.8]),
+    plant_final_cut=st.booleans(),
+)
+
+
+def feed_all(det, comp, order):
+    for pid, idx in order:
+        event = comp.event(pid, idx)
+        updates = dict(event.updates)
+        if event.kind is EventKind.INTERNAL:
+            det.observe_internal(pid, updates)
+        elif event.kind is EventKind.SEND:
+            det.observe_send(pid, event.msg_id, event.peer, updates)
+        else:
+            det.observe_recv(pid, event.msg_id, updates)
+
+
+def fresh_detector(comp, wcp):
+    return IncrementalDetector(
+        comp.num_processes,
+        wcp,
+        {
+            pid: dict(comp.processes[pid].initial_vars)
+            for pid in range(comp.num_processes)
+        },
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(computations)
+def test_incremental_equals_reference(comp):
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    det = fresh_detector(comp, wcp)
+    feed_all(det, comp, comp.topological_order())
+    for pid in range(comp.num_processes):
+        det.close(pid)
+    ref = run_detector("reference", comp, wcp)
+    assert det.detected == ref.detected
+    assert det.cut == ref.cut
+    assert det.verdict() == ("detected" if ref.detected else "impossible")
+
+
+@settings(max_examples=30, deadline=None)
+@given(computations, st.randoms(use_true_random=False))
+def test_any_legal_interleaving_gives_same_answer(comp, rng):
+    """Verdict and cut are independent of the (causally legal) feed order."""
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    ref = run_detector("reference", comp, wcp)
+    remaining = {pid: 0 for pid in range(comp.num_processes)}
+    sent = set()
+    order = []
+    total = comp.total_events()
+    while len(order) < total:
+        ready = []
+        for pid in range(comp.num_processes):
+            idx = remaining[pid]
+            events = comp.events_of(pid)
+            if idx >= len(events):
+                continue
+            e = events[idx]
+            if e.kind is EventKind.RECV and e.msg_id not in sent:
+                continue
+            ready.append(pid)
+        pid = rng.choice(ready)
+        event = comp.events_of(pid)[remaining[pid]]
+        if event.kind is EventKind.SEND:
+            sent.add(event.msg_id)
+        order.append((pid, remaining[pid]))
+        remaining[pid] += 1
+    det = fresh_detector(comp, wcp)
+    feed_all(det, comp, order)
+    assert det.detected == ref.detected
+    assert det.cut == ref.cut
+
+
+@settings(max_examples=30, deadline=None)
+@given(computations)
+def test_detection_is_monotone(comp):
+    """Once detected, feeding more events never changes the cut."""
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    det = fresh_detector(comp, wcp)
+    cut_history = []
+    for node in comp.topological_order():
+        feed_all(det, comp, [node])
+        if det.detected:
+            cut_history.append(det.cut)
+    assert len(set(cut_history)) <= 1

@@ -1,0 +1,122 @@
+"""Property-based tests over randomly generated computations.
+
+Hypothesis drives the workload generator through its seed/shape space;
+the properties are the partial-order laws the detection algorithms'
+correctness proofs rely on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import StateRef
+from repro.trace import random_computation
+
+
+computations = st.builds(
+    random_computation,
+    num_processes=st.integers(min_value=2, max_value=5),
+    sends_per_process=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    predicate_density=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+def all_states(analysis):
+    comp = analysis.computation
+    return [
+        StateRef(pid, interval)
+        for pid in range(comp.num_processes)
+        for interval in range(1, analysis.num_intervals(pid) + 1)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(computations)
+def test_happened_before_is_irreflexive(comp):
+    a = comp.analysis()
+    for s in all_states(a):
+        assert not a.happened_before(s, s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(computations)
+def test_happened_before_is_antisymmetric(comp):
+    a = comp.analysis()
+    states = all_states(a)
+    for x in states:
+        for y in states:
+            if a.happened_before(x, y):
+                assert not a.happened_before(y, x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(computations)
+def test_happened_before_is_transitive(comp):
+    a = comp.analysis()
+    states = all_states(a)
+    hb = {
+        (x, y)
+        for x in states
+        for y in states
+        if a.happened_before(x, y)
+    }
+    for (x, y) in hb:
+        for (y2, z) in hb:
+            if y == y2:
+                assert (x, z) in hb
+
+
+@settings(max_examples=40, deadline=None)
+@given(computations)
+def test_vector_comparison_matches_happened_before(comp):
+    """Paper property 1 at interval granularity: for states on different
+    processes, hb iff strict vector dominance."""
+    a = comp.analysis()
+    states = all_states(a)
+    for x in states:
+        for y in states:
+            if x.pid == y.pid:
+                continue
+            vx = a.vector(x.pid, x.interval)
+            vy = a.vector(y.pid, y.interval)
+            assert a.happened_before(x, y) == (vx < vy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(computations)
+def test_direct_dependence_contained_in_happened_before(comp):
+    a = comp.analysis()
+    states = all_states(a)
+    for x in states:
+        for y in states:
+            if x == y:
+                continue
+            if a.directly_precedes(x, y):
+                assert a.happened_before(x, y)
+
+
+@settings(max_examples=25, deadline=None)
+@given(computations)
+def test_lemma_4_1_direct_vs_transitive_consistency(comp):
+    """Lemma 4.1: a full cut is consistent under happened-before iff it
+    is consistent under direct dependence (when all N processes have a
+    component)."""
+    import itertools
+
+    a = comp.analysis()
+    n = comp.num_processes
+    ranges = [range(1, min(a.num_intervals(p), 3) + 1) for p in range(n)]
+    for combo in itertools.product(*ranges):
+        states = [StateRef(p, combo[p]) for p in range(n)]
+        hb_consistent = all(
+            not a.happened_before(x, y)
+            for x in states
+            for y in states
+            if x != y
+        )
+        dd_consistent = all(
+            not a.directly_precedes(x, y)
+            for x in states
+            for y in states
+            if x != y
+        )
+        assert hb_consistent == dd_consistent

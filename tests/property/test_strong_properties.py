@@ -1,0 +1,45 @@
+"""Property-based validation of the strong (definitely) detector."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.strong import detect_definitely
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import random_computation
+from repro.trace.state_lattice import definitely_states, possibly_states
+
+
+small_computations = st.builds(
+    random_computation,
+    num_processes=st.integers(min_value=2, max_value=4),
+    sends_per_process=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=100_000),
+    predicate_density=st.sampled_from([0.0, 0.3, 0.6, 0.9]),
+    plant_final_cut=st.booleans(),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_computations)
+def test_polynomial_definitely_equals_exhaustive(comp):
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    assert detect_definitely(comp, wcp).holds == definitely_states(comp, wcp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_computations)
+def test_definitely_implies_possibly(comp):
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    if detect_definitely(comp, wcp).holds:
+        assert possibly_states(comp, wcp)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_computations)
+def test_possibly_is_granularity_independent(comp):
+    """The WCP theorem: state-level possibly == interval-level possibly."""
+    from repro.detect import run_detector
+
+    wcp = WeakConjunctivePredicate.of_flags(range(comp.num_processes))
+    assert possibly_states(comp, wcp) == run_detector(
+        "reference", comp, wcp
+    ).detected

@@ -1,0 +1,121 @@
+"""Unit tests for metrics accounting."""
+
+import pytest
+
+from repro.common import SimulationError
+from repro.simulation import (
+    Actor,
+    FixedLatency,
+    Kernel,
+    MetricsBoard,
+    Send,
+)
+from repro.simulation.instrumentation import ActorMetrics
+
+
+class TestActorMetrics:
+    def test_send_receive_counters(self):
+        m = ActorMetrics("a")
+        m.charge_send("token", 64)
+        m.charge_send("token", 64)
+        m.charge_receive("candidate", 32)
+        assert m.messages_sent == 2
+        assert m.bits_sent == 128
+        assert m.messages_received == 1
+        assert m.bits_received == 32
+        assert m.sent_by_kind == {"token": 2}
+        assert m.received_by_kind == {"candidate": 1}
+
+    def test_space_gauge_and_high_water(self):
+        m = ActorMetrics("a")
+        m.adjust_space(100)
+        m.adjust_space(50)
+        m.adjust_space(-120)
+        assert m.buffered_bits == 30
+        assert m.buffered_bits_high_water == 150
+
+    def test_negative_gauge_rejected(self):
+        m = ActorMetrics("a")
+        m.adjust_space(10)
+        with pytest.raises(SimulationError):
+            m.adjust_space(-20)
+
+    def test_work(self):
+        m = ActorMetrics("a")
+        m.charge_work(7)
+        assert m.work_units == 7
+
+
+class TestMetricsBoard:
+    def test_register_idempotent(self):
+        b = MetricsBoard()
+        m1 = b.register("x")
+        m2 = b.register("x")
+        assert m1 is m2
+
+    def test_of_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            MetricsBoard().of("nobody")
+
+    def test_aggregates_with_prefix(self):
+        b = MetricsBoard()
+        b.register("mon-0").charge_send("token", 10)
+        b.register("mon-1").charge_send("token", 20)
+        b.register("app-0").charge_send("candidate", 100)
+        assert b.total_messages() == 3
+        assert b.total_messages("mon-") == 2
+        assert b.total_bits("mon-") == 30
+        assert b.messages_of_kind("token") == 2
+        assert b.messages_of_kind("candidate") == 1
+
+    def test_work_and_space_maxima(self):
+        b = MetricsBoard()
+        b.register("mon-0").charge_work(5)
+        b.register("mon-1").charge_work(9)
+        b.register("mon-1").adjust_space(40)
+        assert b.total_work("mon-") == 14
+        assert b.max_work_per_actor("mon-") == 9
+        assert b.max_space_per_actor("mon-") == 40
+        assert b.max_work_per_actor("zzz") == 0
+
+
+class TestKernelCharging:
+    def test_mailbox_space_high_water(self):
+        """Messages buffered in a mailbox count toward space until
+        consumed."""
+
+        class LazySink(Actor):
+            def run(self):
+                yield self.sleep(100)  # let messages pile up
+                for _ in range(3):
+                    yield self.receive("m")
+
+        class Src(Actor):
+            def run(self):
+                for _ in range(3):
+                    yield self.send("sink", 0, kind="m", size_bits=10)
+
+        k = Kernel(channel_model=FixedLatency(1.0))
+        k.add_actor(LazySink("sink"))
+        k.add_actor(Src("src"))
+        k.run()
+        m = k.metrics.of("sink")
+        assert m.buffered_bits_high_water == 30
+        assert m.buffered_bits == 0  # all consumed by the end
+
+    def test_kernel_charges_sender_and_receiver(self):
+        class Sink(Actor):
+            def run(self):
+                yield self.receive("m")
+
+        k = Kernel()
+        k.add_actor(Sink("sink"))
+
+        class Src(Actor):
+            def run(self):
+                yield self.send("sink", 0, kind="m", size_bits=99)
+
+        k.add_actor(Src("src"))
+        k.run()
+        assert k.metrics.of("src").bits_sent == 99
+        assert k.metrics.of("sink").bits_received == 99

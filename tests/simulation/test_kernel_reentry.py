@@ -1,0 +1,81 @@
+"""Kernel lifecycle: multiple run() calls, late actors, un-deadlocking."""
+
+from repro.simulation import Actor, Kernel, Send, Sleep
+
+
+class Beacon(Actor):
+    """Sends one message to a target after a delay."""
+
+    def __init__(self, name, target, delay):
+        super().__init__(name)
+        self.target = target
+        self.delay = delay
+
+    def run(self):
+        yield self.sleep(self.delay)
+        yield self.send(self.target, "wake", kind="m")
+
+
+class Sleeper(Actor):
+    def __init__(self, name):
+        super().__init__(name)
+        self.woken = False
+
+    def run(self):
+        yield self.receive("m")
+        self.woken = True
+
+
+class TestRunReentry:
+    def test_run_until_then_continue(self):
+        k = Kernel()
+        s = Sleeper("s")
+        k.add_actor(s)
+        k.add_actor(Beacon("b", "s", delay=10.0))
+        first = k.run(until=5.0)
+        assert not s.woken
+        assert first.time <= 5.0
+        second = k.run()
+        assert s.woken
+        assert second.time == 11.0
+
+    def test_deadlock_then_new_actor_unblocks(self):
+        """A deadlocked kernel resumes when a later actor supplies the
+        awaited message — detection runners rely on quiescence being
+        resumable, not fatal."""
+        k = Kernel()
+        s = Sleeper("s")
+        k.add_actor(s)
+        first = k.run()
+        assert first.deadlocked
+        assert "s" in first.blocked
+        k.add_actor(Beacon("late", "s", delay=1.0))
+        second = k.run()
+        assert s.woken
+        assert not second.deadlocked
+
+    def test_run_after_everything_finished_is_noop(self):
+        k = Kernel()
+        k.add_actor(Beacon("b", "b2", delay=1.0))
+        k.add_actor(Sleeper("b2"))
+        end = k.run()
+        again = k.run()
+        assert again.time == end.time
+        assert again.steps == end.steps
+
+    def test_time_monotone_across_runs(self):
+        k = Kernel()
+        k.add_actor(Beacon("b", "s", delay=3.0))
+        k.add_actor(Sleeper("s"))
+        t1 = k.run(until=1.0).time
+        t2 = k.run(until=2.0).time
+        t3 = k.run().time
+        assert t1 <= t2 <= t3
+
+    def test_steps_accumulate(self):
+        k = Kernel()
+        k.add_actor(Beacon("b", "s", delay=2.0))
+        k.add_actor(Sleeper("s"))
+        s1 = k.run(until=1.0).steps
+        s2 = k.run().steps
+        assert s2 >= s1

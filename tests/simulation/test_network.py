@@ -1,0 +1,67 @@
+"""Unit tests for channel models."""
+
+import random
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.simulation import (
+    ChannelModel,
+    ExponentialLatency,
+    FixedLatency,
+    UniformLatency,
+)
+
+
+class TestFixedLatency:
+    def test_constant(self):
+        m = FixedLatency(2.5)
+        rng = random.Random(0)
+        assert m.latency("a", "b", "k", rng) == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-1.0)
+
+    def test_fifo_flag(self):
+        assert FixedLatency(1.0).is_fifo("a", "b", "k")
+        assert not FixedLatency(1.0, fifo=False).is_fifo("a", "b", "k")
+
+
+class TestExponentialLatency:
+    def test_positive_draws(self):
+        m = ExponentialLatency(mean=2.0)
+        rng = random.Random(1)
+        draws = [m.latency("a", "b", "k", rng) for _ in range(100)]
+        assert all(d >= 0 for d in draws)
+
+    def test_mean_roughly_right(self):
+        m = ExponentialLatency(mean=2.0)
+        rng = random.Random(2)
+        draws = [m.latency("a", "b", "k", rng) for _ in range(5000)]
+        assert 1.8 < sum(draws) / len(draws) < 2.2
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLatency(mean=0)
+
+
+class TestUniformLatency:
+    def test_in_range(self):
+        m = UniformLatency(0.5, 1.5)
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0.5 <= m.latency("a", "b", "k", rng) <= 1.5
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestBaseModel:
+    def test_default_unit_fifo(self):
+        m = ChannelModel()
+        assert m.latency("a", "b", "k", random.Random(0)) == 1.0
+        assert m.is_fifo("a", "b", "k")

@@ -1,0 +1,166 @@
+"""Tests for kernel observers, event logs and protocol invariants."""
+
+import pytest
+
+from repro.common import ProtocolError
+from repro.detect import run_detector
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation import Actor, Kernel
+from repro.simulation.observers import (
+    EventLog,
+    InvariantChecker,
+    MessagePhase,
+    token_uniqueness_checker,
+)
+from repro.trace import random_computation, spiral_computation
+
+
+class PingPong(Actor):
+    def __init__(self, name, peer, rounds):
+        super().__init__(name)
+        self.peer = peer
+        self.rounds = rounds
+
+    def run(self):
+        for _ in range(self.rounds):
+            yield self.send(self.peer, None, kind="ping")
+            yield self.receive("ping")
+
+
+class TestEventLog:
+    def run_pair(self, log):
+        kernel = Kernel(observers=[log])
+        kernel.add_actor(PingPong("a", "b", 3))
+        kernel.add_actor(PingPong("b", "a", 3))
+        kernel.run()
+
+    def test_records_all_phases(self):
+        log = EventLog()
+        self.run_pair(log)
+        assert len(log.of_phase(MessagePhase.SENT)) == 6
+        assert len(log.of_phase(MessagePhase.DELIVERED)) == 6
+        assert len(log.of_phase(MessagePhase.CONSUMED)) == 6
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        self.run_pair(log)
+        assert len(log.of_kind("ping")) == 18
+        assert log.of_kind("pong") == []
+
+    def test_sends_accessor(self):
+        log = EventLog()
+        self.run_pair(log)
+        assert len(log.sends("ping")) == 6
+        assert len(log.sends()) == 6
+
+    def test_timeline_readable(self):
+        log = EventLog()
+        self.run_pair(log)
+        lines = log.timeline()
+        assert len(lines) == 18
+        assert "a -> b" in lines[0]
+
+    def test_phases_ordered_per_message(self):
+        log = EventLog()
+        self.run_pair(log)
+        by_seq = {}
+        for e in log.events:
+            by_seq.setdefault(e.message.seq, []).append(e.phase)
+        for phases in by_seq.values():
+            assert phases == [
+                MessagePhase.SENT,
+                MessagePhase.DELIVERED,
+                MessagePhase.CONSUMED,
+            ]
+
+
+class TestInvariantChecker:
+    def test_violation_raises_with_context(self):
+        checker = InvariantChecker().add(
+            "no_pings", lambda e: e.message.kind != "ping"
+        )
+        kernel = Kernel(observers=[checker])
+        kernel.add_actor(PingPong("a", "b", 1))
+        kernel.add_actor(PingPong("b", "a", 1))
+        with pytest.raises(Exception) as exc_info:
+            kernel.run()
+        assert "no_pings" in str(exc_info.value)
+
+    def test_passing_invariant_is_silent(self):
+        checker = InvariantChecker().add("anything", lambda e: True)
+        kernel = Kernel(observers=[checker])
+        kernel.add_actor(PingPong("a", "b", 2))
+        kernel.add_actor(PingPong("b", "a", 2))
+        kernel.run()
+
+    def test_add_observer_after_construction(self):
+        log = EventLog()
+        kernel = Kernel()
+        kernel.add_observer(log)
+        kernel.add_actor(PingPong("a", "b", 1))
+        kernel.add_actor(PingPong("b", "a", 1))
+        kernel.run()
+        assert log.events
+
+
+class TestProtocolInvariants:
+    """The paper's safety arguments, checked on real detection runs."""
+
+    def test_single_token_invariant_token_vc(self):
+        comp = spiral_computation(5, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(5))
+        checker = token_uniqueness_checker()
+        report = run_detector("token_vc", comp, wcp, observers=[checker])
+        assert report.detected
+
+    def test_single_token_invariant_direct_dep(self):
+        comp = spiral_computation(5, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(5))
+        checker = token_uniqueness_checker()
+        report = run_detector("direct_dep", comp, wcp, observers=[checker])
+        assert report.detected
+
+    def test_single_token_invariant_parallel_dd(self):
+        for seed in range(4):
+            comp = random_computation(
+                4, 4, seed=seed, predicate_density=0.3, plant_final_cut=True
+            )
+            wcp = WeakConjunctivePredicate.of_flags(range(4))
+            checker = token_uniqueness_checker()
+            run_detector(
+                "direct_dep_parallel", comp, wcp, seed=seed,
+                observers=[checker],
+            )
+
+    def test_poll_response_pairing(self):
+        """Every poll gets exactly one response, and responses never
+        outnumber polls at any instant."""
+        outstanding = {"polls": 0}
+
+        def pairing(event):
+            if event.phase is not MessagePhase.SENT:
+                return True
+            if event.message.kind == "poll":
+                outstanding["polls"] += 1
+            elif event.message.kind == "poll_response":
+                outstanding["polls"] -= 1
+                return outstanding["polls"] >= 0
+            return True
+
+        checker = InvariantChecker().add("poll_pairing", pairing)
+        comp = spiral_computation(4, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        report = run_detector("direct_dep", comp, wcp, observers=[checker])
+        assert report.detected
+        assert outstanding["polls"] == 0
+
+    def test_token_log_matches_extras(self):
+        log = EventLog()
+        comp = spiral_computation(4, 3)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        report = run_detector("token_vc", comp, wcp, observers=[log])
+        # token hops (monitor-to-monitor) = token sends minus injection.
+        token_sends = [
+            m for m in log.sends("token") if m.src.startswith("mon-")
+        ]
+        assert len(token_sends) == report.extras["token_hops"]

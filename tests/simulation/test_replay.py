@@ -1,0 +1,95 @@
+"""Unit tests for the snapshot feeder."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.simulation import (
+    Actor,
+    CANDIDATE_KIND,
+    END_OF_TRACE_KIND,
+    FeedItem,
+    Kernel,
+    SnapshotFeeder,
+)
+
+
+class Collector(Actor):
+    def __init__(self, name="mon"):
+        super().__init__(name)
+        self.items = []
+        self.done = False
+
+    def run(self):
+        while True:
+            msg = yield self.receive(CANDIDATE_KIND, END_OF_TRACE_KIND)
+            if msg.kind == END_OF_TRACE_KIND:
+                self.done = True
+                return
+            self.items.append((msg.payload, msg.delivered_at))
+
+
+class TestSnapshotFeeder:
+    def test_delivers_in_order_then_eot(self):
+        k = Kernel()
+        c = Collector()
+        k.add_actor(c)
+        k.add_actor(
+            SnapshotFeeder(
+                "app", "mon",
+                [FeedItem("a", 8, 1.0), FeedItem("b", 8, 2.0)],
+            )
+        )
+        k.run()
+        assert [p for p, _ in c.items] == ["a", "b"]
+        assert c.done
+
+    def test_timed_emission(self):
+        k = Kernel()  # unit latency
+        c = Collector()
+        k.add_actor(c)
+        k.add_actor(
+            SnapshotFeeder("app", "mon", [FeedItem("x", 8, 5.0)])
+        )
+        k.run()
+        assert c.items[0][1] == 6.0  # emitted at 5, +1 latency
+
+    def test_untimed_uses_spacing(self):
+        k = Kernel()
+        c = Collector()
+        k.add_actor(c)
+        k.add_actor(
+            SnapshotFeeder(
+                "app", "mon",
+                [FeedItem("x", 8, None), FeedItem("y", 8, None)],
+                spacing=2.0,
+            )
+        )
+        k.run()
+        assert [t for _, t in c.items] == [3.0, 5.0]
+
+    def test_empty_stream_sends_only_eot(self):
+        k = Kernel()
+        c = Collector()
+        k.add_actor(c)
+        k.add_actor(SnapshotFeeder("app", "mon", []))
+        k.run()
+        assert c.items == []
+        assert c.done
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotFeeder(
+                "app", "mon",
+                [FeedItem("a", 8, 5.0), FeedItem("b", 8, 1.0)],
+            )
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotFeeder("app", "mon", [], spacing=0)
+
+    def test_bits_accounted(self):
+        k = Kernel()
+        k.add_actor(Collector())
+        k.add_actor(SnapshotFeeder("app", "mon", [FeedItem("a", 77, 1.0)]))
+        k.run()
+        assert k.metrics.of("app").bits_sent == 77 + 1  # candidate + EOT

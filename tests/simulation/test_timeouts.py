@@ -1,0 +1,96 @@
+"""Tests for receive timeouts in the kernel."""
+
+import pytest
+
+from repro.simulation import Actor, Kernel, Receive, Send
+
+
+class Waiter(Actor):
+    def __init__(self, name, timeout):
+        super().__init__(name)
+        self.timeout = timeout
+        self.result = "unset"
+        self.resumed_at = None
+
+    def run(self):
+        msg = yield self.receive_timeout("m", timeout=self.timeout)
+        self.result = None if msg is None else msg.payload
+        self.resumed_at = self.now
+
+
+class Later(Actor):
+    def __init__(self, dest, delay, payload="hello"):
+        super().__init__("later")
+        self.dest = dest
+        self.delay = delay
+        self.payload = payload
+
+    def run(self):
+        yield self.sleep(self.delay)
+        yield self.send(self.dest, self.payload, kind="m")
+
+
+class TestReceiveTimeout:
+    def test_times_out_when_no_message(self):
+        k = Kernel()
+        w = Waiter("w", timeout=3.0)
+        k.add_actor(w)
+        result = k.run()
+        assert w.result is None
+        assert w.resumed_at == 3.0
+        assert not result.deadlocked
+
+    def test_message_beats_timeout(self):
+        k = Kernel()  # unit latency
+        w = Waiter("w", timeout=5.0)
+        k.add_actor(w)
+        k.add_actor(Later("w", delay=1.0))  # arrives at 2.0 < 5.0
+        k.run()
+        assert w.result == "hello"
+        assert w.resumed_at == 2.0
+
+    def test_timeout_beats_slow_message(self):
+        k = Kernel()
+        w = Waiter("w", timeout=0.5)
+        k.add_actor(w)
+        k.add_actor(Later("w", delay=5.0))
+        k.run()
+        assert w.result is None
+
+    def test_stale_timeout_ignored_after_reblock(self):
+        """An actor that unblocks (by message) and blocks again must not
+        be woken by the first receive's stale timeout."""
+
+        class TwoWaits(Actor):
+            def __init__(self):
+                super().__init__("tw")
+                self.history = []
+
+            def run(self):
+                msg = yield self.receive_timeout("m", timeout=10.0)
+                self.history.append(msg.payload)
+                msg = yield self.receive_timeout("m", timeout=30.0)
+                self.history.append(None if msg is None else msg.payload)
+
+        k = Kernel()
+        tw = TwoWaits()
+        k.add_actor(tw)
+        k.add_actor(Later("tw", delay=1.0, payload="first"))
+        result = k.run()
+        # The second wait must run its FULL 30-unit timeout (ending at
+        # 2.0 + 30.0), not get cut short at t=10 by the stale timer.
+        assert tw.history == ["first", None]
+        assert result.time == 32.0
+
+    def test_zero_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Receive(None, timeout=0)
+
+    def test_timed_wait_is_not_deadlock(self):
+        """Blocked-with-timeout actors always have a pending event, so
+        the run ends via timeout, never as a deadlock."""
+        k = Kernel()
+        k.add_actor(Waiter("w", timeout=1.0))
+        result = k.run()
+        assert not result.deadlocked
+        assert result.blocked == {}

@@ -1,0 +1,68 @@
+"""The public API surface: every advertised name resolves and imports work."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.clocks",
+    "repro.trace",
+    "repro.predicates",
+    "repro.simulation",
+    "repro.detect",
+    "repro.apps",
+    "repro.lowerbound",
+    "repro.analysis",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.detect.reference",
+    "repro.detect.lattice_cm",
+    "repro.detect.centralized",
+    "repro.detect.token_vc",
+    "repro.detect.token_vc_multi",
+    "repro.detect.direct_dep",
+    "repro.detect.direct_dep_parallel",
+    "repro.detect.gcp",
+    "repro.detect.gcp_online",
+    "repro.detect.boolean",
+    "repro.detect.strong",
+    "repro.detect.runner",
+    "repro.trace.state_lattice",
+    "repro.trace.render",
+    "repro.trace.statistics",
+    "repro.simulation.observers",
+    "repro.predicates.boolexpr",
+    "repro.apps.leader",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} should define __all__"
+    for attr in exported:
+        assert getattr(module, attr, None) is not None, f"{name}.{attr}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_detectors_registry_complete():
+    from repro.detect.runner import DETECTORS
+
+    # Every detect() module with a registry entry resolves to a callable.
+    for name, fn in DETECTORS.items():
+        assert callable(fn), name

@@ -1,0 +1,168 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_to_stdout(self, capsys):
+        assert main(["generate", "--processes", "3", "--sends", "2"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert len(data["processes"]) == 3
+
+    def test_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "generate", "--processes", "3", "--sends", "2",
+                "--seed", "5", "--plant-final-cut", "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        json.loads(out_file.read_text())
+
+    def test_deterministic(self, tmp_path):
+        files = []
+        for k in range(2):
+            f = tmp_path / f"t{k}.json"
+            main(["generate", "--processes", "4", "--sends", "3",
+                  "--seed", "9", "--out", str(f)])
+            files.append(f.read_text())
+        assert files[0] == files[1]
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    main(
+        [
+            "generate", "--processes", "3", "--sends", "4", "--seed", "2",
+            "--density", "0.3", "--plant-final-cut", "--out", str(path),
+        ]
+    )
+    return path
+
+
+class TestDetect:
+    def test_detects_and_exits_zero(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detected:  True" in out
+        assert "first cut:" in out
+
+    def test_undetected_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "never.json"
+        main(["generate", "--processes", "3", "--sends", "3",
+              "--density", "0.0", "--out", str(path)])
+        code = main(["detect", str(path)])
+        assert code == 1
+        assert "detected:  False" in capsys.readouterr().out
+
+    def test_pids_subset(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--pids", "0,2",
+                     "--detector", "reference"])
+        assert code in (0, 1)
+        assert "flag@P0 ∧ flag@P2" in capsys.readouterr().out
+
+    def test_unknown_detector(self, trace_file):
+        with pytest.raises(SystemExit, match="unknown detector"):
+            main(["detect", str(trace_file), "--detector", "psychic"])
+
+    def test_missing_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["detect", str(tmp_path / "nope.json")])
+
+    def test_bad_pids(self, trace_file):
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(["detect", str(trace_file), "--pids", "a,b"])
+
+
+class TestStats:
+    def test_basic(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "processes (N)" in out
+        assert "concurrency ratio" in out
+
+    def test_with_pids(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--pids", "0,1"]) == 0
+        assert "candidates per predicate process" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "--only", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "E6 lower bound" in out
+        assert "fit[steps_vs_nm]" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            main(["experiments", "--only", "e99"])
+
+
+class TestDefinitely:
+    def test_definitely_holds(self, tmp_path, capsys):
+        from repro.trace import ComputationBuilder, dumps
+
+        b = ComputationBuilder(2, initial_vars={p: {"flag": True} for p in (0, 1)})
+        m = b.send(0, 1)
+        b.recv(1, m)
+        path = tmp_path / "def.json"
+        path.write_text(dumps(b.build()))
+        code = main(["definitely", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "definitely: True" in out
+        assert "unavoidable box" in out
+
+    def test_definitely_fails(self, trace_file, capsys):
+        # Random flags rarely give a definitely; density-0.3 run with
+        # independent windows should not.
+        code = main(["definitely", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "definitely:" in out
+
+
+class TestImportLog:
+    LOG = (
+        "init 0 flag=false\n"
+        "init 1 flag=false\n"
+        "internal 0 flag=true\n"
+        "send 0 m1 1\n"
+        "recv 1 m1 flag=true\n"
+    )
+
+    def test_import_and_detect(self, tmp_path, capsys):
+        log = tmp_path / "run.log"
+        log.write_text(self.LOG)
+        out = tmp_path / "run.json"
+        assert main(["import-log", str(log), "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        code = main(["detect", str(out), "--detector", "reference"])
+        assert code == 0
+
+    def test_import_to_stdout(self, tmp_path, capsys):
+        log = tmp_path / "run.log"
+        log.write_text(self.LOG)
+        assert main(["import-log", str(log)]) == 0
+        import json
+
+        json.loads(capsys.readouterr().out)
+
+    def test_parse_error_reported(self, tmp_path):
+        log = tmp_path / "bad.log"
+        log.write_text("warp 0\n")
+        with pytest.raises(SystemExit, match="unknown operation"):
+            main(["import-log", str(log)])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such log"):
+            main(["import-log", str(tmp_path / "nope.log")])

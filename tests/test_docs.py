@@ -1,0 +1,68 @@
+"""Documentation correctness: every Python block in the docs must run.
+
+Code blocks are executed sequentially in a shared namespace (later
+cookbook recipes reuse names defined by earlier ones), so the docs can't
+silently rot as the API evolves.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    return _BLOCK.findall(path.read_text(encoding="utf-8"))
+
+
+class TestCookbook:
+    def test_all_blocks_execute(self, capsys):
+        blocks = python_blocks(ROOT / "docs" / "cookbook.md")
+        assert len(blocks) >= 7
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"cookbook.md[block {i}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"cookbook block {i} failed: {exc}\n{block}")
+
+
+class TestTutorial:
+    def test_all_blocks_execute(self):
+        blocks = python_blocks(ROOT / "docs" / "tutorial.md")
+        assert len(blocks) >= 4
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"tutorial.md[block {i}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"tutorial block {i} failed: {exc}\n{block}")
+
+
+class TestReadme:
+    def test_quickstart_blocks_execute(self):
+        blocks = python_blocks(ROOT / "README.md")
+        assert blocks, "README should contain python examples"
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"README.md[block {i}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"README block {i} failed: {exc}\n{block}")
+
+
+class TestModuleDocstring:
+    def test_package_quickstart_runs(self):
+        import repro
+
+        match = re.search(r"Quickstart::\n\n(.*)\Z", repro.__doc__ or "",
+                          re.DOTALL)
+        code = "\n".join(
+            line[4:] if line.startswith("    ") else line
+            for line in (match.group(1) if match else "").splitlines()
+        )
+        assert "run_detector" in code
+        exec(compile(code, "repro.__doc__", "exec"), {})

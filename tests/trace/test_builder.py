@@ -1,0 +1,101 @@
+"""Unit tests for ComputationBuilder."""
+
+import pytest
+
+from repro.common import InvalidComputationError
+from repro.trace import ComputationBuilder, EventKind
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        b = ComputationBuilder(2)
+        assert b.internal(0) is b
+        m = b.send(0, 1)
+        assert isinstance(m, int)
+        assert b.recv(1, m) is b
+
+    def test_message_ids_unique_and_sequential(self):
+        b = ComputationBuilder(3)
+        ids = [b.send(0, 1), b.send(1, 2), b.send(2, 0)]
+        assert ids == [0, 1, 2]
+        for i, dest in zip(ids, [1, 2, 0]):
+            b.recv(dest, i)
+        b.build()
+
+    def test_message_convenience(self):
+        b = ComputationBuilder(2)
+        b.message(0, 1, send_updates={"s": 1}, recv_updates={"r": 1})
+        c = b.build()
+        assert c.event(0, 0).updates["s"] == 1
+        assert c.event(1, 0).updates["r"] == 1
+
+    def test_recv_unknown_message(self):
+        b = ComputationBuilder(2)
+        with pytest.raises(InvalidComputationError, match="never sent"):
+            b.recv(1, 42)
+
+    def test_recv_twice(self):
+        b = ComputationBuilder(2)
+        m = b.send(0, 1)
+        b.recv(1, m)
+        with pytest.raises(InvalidComputationError, match="already received"):
+            b.recv(1, m)
+
+    def test_recv_wrong_destination(self):
+        b = ComputationBuilder(3)
+        m = b.send(0, 1)
+        with pytest.raises(InvalidComputationError, match="addressed to"):
+            b.recv(2, m)
+        # Builder stays usable after the error.
+        b.recv(1, m)
+        b.build()
+
+    def test_self_send_rejected(self):
+        b = ComputationBuilder(2)
+        with pytest.raises(InvalidComputationError, match="itself"):
+            b.send(0, 0)
+
+    def test_pid_out_of_range(self):
+        b = ComputationBuilder(2)
+        with pytest.raises(InvalidComputationError):
+            b.internal(5)
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            ComputationBuilder(0)
+
+    def test_initial_vars(self):
+        b = ComputationBuilder(2, initial_vars={1: {"q": 9}})
+        c = b.build()
+        assert c.local_states(1)[0]["q"] == 9
+        assert dict(c.local_states(0)[0]) == {}
+
+    def test_set_initial_overrides(self):
+        b = ComputationBuilder(1)
+        b.set_initial(0, {"z": 3})
+        assert b.build().local_states(0)[0]["z"] == 3
+
+    def test_unreceived_rejected_unless_allowed(self):
+        b = ComputationBuilder(2)
+        b.send(0, 1)
+        with pytest.raises(InvalidComputationError):
+            b.build()
+        c = b.build(allow_unreceived=True)
+        assert c.event(0, 0).kind is EventKind.SEND
+
+    def test_build_non_destructive(self):
+        b = ComputationBuilder(2)
+        b.internal(0)
+        c1 = b.build()
+        b.internal(1)
+        c2 = b.build()
+        assert c1.total_events() == 1
+        assert c2.total_events() == 2
+
+    def test_timestamps_pass_through(self):
+        b = ComputationBuilder(2)
+        m = b.send(0, 1, time=1.0)
+        b.recv(1, m, time=2.0)
+        c = b.build()
+        assert c.event(0, 0).time == 1.0
+        assert c.event(1, 0).time == 2.0

@@ -1,0 +1,77 @@
+"""Unit tests for event-level causality, cross-checked with networkx."""
+
+import networkx as nx
+
+from repro.trace import random_computation
+from repro.trace.causality import (
+    causal_past_sizes,
+    concurrent_events,
+    event_vector_clocks,
+    happened_before_events,
+)
+
+
+def build_hb_graph(comp):
+    """Ground-truth happened-before DAG built explicitly."""
+    g = nx.DiGraph()
+    for pid, trace in enumerate(comp.processes):
+        for idx in range(len(trace.events)):
+            g.add_node((pid, idx))
+            if idx:
+                g.add_edge((pid, idx - 1), (pid, idx))
+    for rec in comp.messages.values():
+        g.add_edge((rec.sender, rec.send_index), (rec.receiver, rec.recv_index))
+    return g
+
+
+class TestEventClocks:
+    def test_own_component_counts_events(self):
+        comp = random_computation(4, 5, seed=1)
+        clocks = event_vector_clocks(comp)
+        for pid in range(4):
+            for idx, clock in enumerate(clocks[pid]):
+                assert clock[pid] == idx + 1
+
+    def test_clocks_match_transitive_closure(self):
+        """Fidge–Mattern hb must equal reachability in the explicit DAG."""
+        comp = random_computation(4, 4, seed=7)
+        clocks = event_vector_clocks(comp)
+        g = build_hb_graph(comp)
+        closure = nx.transitive_closure_dag(g)
+        nodes = list(g.nodes)
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                expected = closure.has_edge(a, b)
+                assert (
+                    happened_before_events(comp, a, b, clocks) == expected
+                ), f"{a} -> {b}"
+
+    def test_concurrent_events_symmetric(self):
+        comp = random_computation(3, 4, seed=2)
+        clocks = event_vector_clocks(comp)
+        nodes = [
+            (pid, idx)
+            for pid in range(3)
+            for idx in range(len(comp.events_of(pid)))
+        ]
+        for a in nodes:
+            for b in nodes:
+                assert concurrent_events(comp, a, b, clocks) == concurrent_events(
+                    comp, b, a, clocks
+                )
+
+    def test_causal_past_sizes(self):
+        comp = random_computation(3, 4, seed=5)
+        sizes = causal_past_sizes(comp)
+        g = build_hb_graph(comp)
+        closure = nx.transitive_closure_dag(g)
+        for pid in range(3):
+            for idx in range(len(comp.events_of(pid))):
+                assert sizes[pid][idx] == closure.in_degree((pid, idx))
+
+    def test_past_sizes_monotone_along_process(self):
+        comp = random_computation(4, 6, seed=9)
+        for per_process in causal_past_sizes(comp):
+            assert per_process == sorted(per_process)

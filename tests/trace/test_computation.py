@@ -1,0 +1,172 @@
+"""Unit tests for Computation: validation, indexing, local states."""
+
+import pytest
+
+from repro.common import InvalidComputationError
+from repro.trace import Computation, ComputationBuilder, Event, ProcessTrace
+
+
+def comp_from(events_by_pid, **kw):
+    return Computation.from_event_lists(events_by_pid, **kw)
+
+
+class TestValidation:
+    def test_empty_process_list_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            Computation([])
+
+    def test_minimal_valid(self):
+        c = comp_from([[Event.send(0, 1)], [Event.recv(0, 0)]])
+        assert c.num_processes == 2
+        assert len(c.messages) == 1
+
+    def test_recv_without_send_rejected(self):
+        with pytest.raises(InvalidComputationError, match="never sent"):
+            comp_from([[Event.recv(9, 1)], []])
+
+    def test_send_without_recv_rejected_by_default(self):
+        with pytest.raises(InvalidComputationError, match="never received"):
+            comp_from([[Event.send(0, 1)], []])
+
+    def test_allow_unreceived(self):
+        c = comp_from([[Event.send(0, 1)], []], allow_unreceived=True)
+        assert len(c.messages) == 0
+
+    def test_duplicate_send_rejected(self):
+        with pytest.raises(InvalidComputationError, match="sent twice"):
+            comp_from(
+                [[Event.send(0, 1), Event.send(0, 1)], [Event.recv(0, 0)]]
+            )
+
+    def test_duplicate_recv_rejected(self):
+        with pytest.raises(InvalidComputationError, match="received twice"):
+            comp_from(
+                [
+                    [Event.send(0, 1)],
+                    [Event.recv(0, 0), Event.recv(0, 0)],
+                ]
+            )
+
+    def test_wrong_receiver_rejected(self):
+        with pytest.raises(InvalidComputationError, match="sent to"):
+            comp_from(
+                [[Event.send(0, 2)], [Event.recv(0, 0)], []]
+            )
+
+    def test_wrong_claimed_sender_rejected(self):
+        with pytest.raises(InvalidComputationError, match="names sender"):
+            comp_from(
+                [[Event.send(0, 1)], [Event.recv(0, 2)], []]
+            )
+
+    def test_self_send_rejected(self):
+        with pytest.raises(InvalidComputationError, match="itself"):
+            comp_from([[Event.send(0, 0), Event.recv(0, 0)]])
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(InvalidComputationError, match="does not exist"):
+            comp_from([[Event.send(0, 5)]], allow_unreceived=True)
+
+    def test_causal_cycle_rejected(self):
+        # P0 receives m1 before sending m0; P1 receives m0 before sending
+        # m1 — a causal paradox.
+        with pytest.raises(InvalidComputationError, match="cycle"):
+            comp_from(
+                [
+                    [Event.recv(1, 1), Event.send(0, 1)],
+                    [Event.recv(0, 0), Event.send(1, 0)],
+                ]
+            )
+
+    def test_recv_before_send_in_time_rejected(self):
+        with pytest.raises(InvalidComputationError, match="before sent"):
+            comp_from(
+                [
+                    [Event.send(0, 1, time=5.0)],
+                    [Event.recv(0, 0, time=1.0)],
+                ]
+            )
+
+
+class TestAccessors:
+    def test_counts(self, two_process_exchange):
+        c = two_process_exchange
+        assert c.num_processes == 2
+        assert c.total_events() == 5
+        assert c.max_messages_per_process() == 2
+
+    def test_events_of_and_event(self, two_process_exchange):
+        c = two_process_exchange
+        assert len(c.events_of(0)) == 3
+        assert c.event(1, 0).kind.name == "RECV"
+
+    def test_events_of_bad_pid(self, two_process_exchange):
+        with pytest.raises(InvalidComputationError):
+            two_process_exchange.events_of(7)
+
+    def test_message_records(self, two_process_exchange):
+        rec = two_process_exchange.messages[0]
+        assert rec.sender == 0 and rec.receiver == 1
+        assert rec.send_index == 1 and rec.recv_index == 0
+
+
+class TestLocalStates:
+    def test_accumulation(self):
+        b = ComputationBuilder(1, initial_vars={0: {"x": 0}})
+        b.internal(0, {"x": 1})
+        b.internal(0, {"y": True})
+        c = b.build()
+        states = c.local_states(0)
+        assert [dict(s) for s in states] == [
+            {"x": 0},
+            {"x": 1},
+            {"x": 1, "y": True},
+        ]
+
+    def test_states_count_is_events_plus_one(self, two_process_exchange):
+        c = two_process_exchange
+        assert len(c.local_states(0)) == len(c.events_of(0)) + 1
+
+    def test_no_update_shares_state(self):
+        b = ComputationBuilder(1)
+        b.internal(0)
+        c = b.build()
+        states = c.local_states(0)
+        assert dict(states[0]) == dict(states[1]) == {}
+
+
+class TestTopologicalOrder:
+    def test_respects_process_order(self, two_process_exchange):
+        order = two_process_exchange.topological_order()
+        p0 = [i for (p, i) in order if p == 0]
+        assert p0 == sorted(p0)
+
+    def test_respects_message_edges(self, two_process_exchange):
+        order = two_process_exchange.topological_order()
+        pos = {node: k for k, node in enumerate(order)}
+        for rec in two_process_exchange.messages.values():
+            assert (
+                pos[(rec.sender, rec.send_index)]
+                < pos[(rec.receiver, rec.recv_index)]
+            )
+
+    def test_covers_all_events(self, diamond_computation):
+        order = diamond_computation.topological_order()
+        assert len(order) == diamond_computation.total_events()
+        assert len(set(order)) == len(order)
+
+    def test_deterministic(self, diamond_computation):
+        assert (
+            diamond_computation.topological_order()
+            == diamond_computation.topological_order()
+        )
+
+
+class TestFromEventLists:
+    def test_with_initial_vars(self):
+        c = Computation.from_event_lists([[]], initial_vars=[{"a": 1}])
+        assert c.local_states(0)[0]["a"] == 1
+
+    def test_initial_vars_length_mismatch(self):
+        with pytest.raises(InvalidComputationError):
+            Computation.from_event_lists([[], []], initial_vars=[{}])

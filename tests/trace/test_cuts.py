@@ -1,0 +1,115 @@
+"""Unit tests for Cut and consistency checking."""
+
+import pytest
+
+from repro.common import CutError, StateRef
+from repro.trace import Cut, first_inconsistency, is_consistent_cut
+
+
+class TestCutConstruction:
+    def test_basic(self):
+        c = Cut((0, 2), (1, 3))
+        assert c.pids == (0, 2)
+        assert c.intervals == (1, 3)
+        assert c.is_complete
+
+    def test_initial_all_zero(self):
+        c = Cut.initial([1, 3])
+        assert c.intervals == (0, 0)
+        assert not c.is_complete
+
+    def test_from_mapping_sorts_pids(self):
+        c = Cut.from_mapping({3: 5, 1: 2})
+        assert c.pids == (1, 3)
+        assert c.intervals == (2, 5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CutError):
+            Cut((0, 1), (1,))
+
+    def test_duplicate_pids_rejected(self):
+        with pytest.raises(CutError):
+            Cut((0, 0), (1, 1))
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(CutError):
+            Cut((0,), (-1,))
+
+
+class TestCutOperations:
+    def test_component(self):
+        c = Cut((0, 5), (2, 7))
+        assert c.component(5) == 7
+        with pytest.raises(CutError):
+            c.component(3)
+
+    def test_replaced(self):
+        c = Cut((0, 1), (1, 1))
+        d = c.replaced(1, 4)
+        assert d.intervals == (1, 4)
+        assert c.intervals == (1, 1), "replaced must not mutate"
+
+    def test_replaced_unknown_pid(self):
+        with pytest.raises(CutError):
+            Cut((0,), (1,)).replaced(9, 1)
+
+    def test_states_skips_unset(self):
+        c = Cut((0, 1, 2), (1, 0, 3))
+        assert list(c.states()) == [StateRef(0, 1), StateRef(2, 3)]
+
+    def test_project(self):
+        c = Cut((0, 1, 2), (4, 5, 6))
+        p = c.project((2, 0))
+        assert p.pids == (2, 0)
+        assert p.intervals == (6, 4)
+
+    def test_as_mapping(self):
+        assert Cut((1, 2), (3, 4)).as_mapping() == {1: 3, 2: 4}
+
+    def test_dominates(self):
+        a = Cut((0, 1), (2, 2))
+        b = Cut((0, 1), (1, 2))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert a.dominates(a)
+
+    def test_dominates_pid_mismatch(self):
+        with pytest.raises(CutError):
+            Cut((0,), (1,)).dominates(Cut((1,), (1,)))
+
+    def test_value_semantics(self):
+        assert Cut((0,), (1,)) == Cut((0,), (1,))
+        assert hash(Cut((0,), (1,))) == hash(Cut((0,), (1,)))
+
+
+class TestConsistency:
+    def test_concurrent_cut_is_consistent(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        assert is_consistent_cut(a, Cut((0, 1), (1, 1)))
+        assert is_consistent_cut(a, Cut((0, 1), (2, 2)))
+
+    def test_ordered_cut_is_inconsistent(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        # (0,1) -> (1,2): P0's interval 1 precedes P1's interval 2.
+        assert not is_consistent_cut(a, Cut((0, 1), (1, 2)))
+
+    def test_first_inconsistency_witness(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        witness = first_inconsistency(a, Cut((0, 1), (1, 2)))
+        assert witness == (StateRef(0, 1), StateRef(1, 2))
+
+    def test_consistent_returns_none(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        assert first_inconsistency(a, Cut((0, 1), (1, 1))) is None
+
+    def test_partial_cut_raises(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        with pytest.raises(CutError):
+            is_consistent_cut(a, Cut((0, 1), (0, 1)))
+
+    def test_final_cut_always_consistent(self, diamond_computation):
+        a = diamond_computation.analysis()
+        final = Cut(
+            (0, 1, 2), tuple(a.num_intervals(p) for p in range(3))
+        )
+        assert is_consistent_cut(a, final)

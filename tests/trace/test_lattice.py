@@ -1,0 +1,97 @@
+"""Unit tests for the consistent-cut lattice enumeration."""
+
+import itertools
+
+from repro.trace import (
+    ComputationBuilder,
+    Cut,
+    consistent_successors,
+    count_consistent_cuts,
+    initial_cut,
+    is_consistent_cut,
+    iter_consistent_cuts,
+    random_computation,
+)
+
+
+class TestInitialCut:
+    def test_all_ones(self, diamond_computation):
+        a = diamond_computation.analysis()
+        c = initial_cut(a, (0, 1, 2))
+        assert c.intervals == (1, 1, 1)
+
+    def test_always_consistent(self):
+        for seed in range(5):
+            comp = random_computation(4, 5, seed=seed)
+            a = comp.analysis()
+            assert is_consistent_cut(a, initial_cut(a, range(4)))
+
+
+class TestSuccessors:
+    def test_successors_are_consistent_increments(self, diamond_computation):
+        a = diamond_computation.analysis()
+        start = initial_cut(a, (0, 1, 2))
+        for succ in consistent_successors(a, start):
+            assert is_consistent_cut(a, succ)
+            diffs = [
+                s - t for s, t in zip(succ.intervals, start.intervals)
+            ]
+            assert sorted(diffs) == [0, 0, 1]
+
+    def test_no_successor_beyond_trace(self):
+        comp = ComputationBuilder(2).build()  # one interval each
+        a = comp.analysis()
+        assert consistent_successors(a, initial_cut(a, (0, 1))) == []
+
+
+class TestEnumeration:
+    def test_matches_brute_force(self):
+        """BFS enumeration equals filtering the full product by
+        consistency."""
+        comp = random_computation(3, 3, seed=13)
+        a = comp.analysis()
+        pids = (0, 1, 2)
+        via_bfs = {c.intervals for c in iter_consistent_cuts(a, pids)}
+        ranges = [range(1, a.num_intervals(p) + 1) for p in pids]
+        via_product = {
+            combo
+            for combo in itertools.product(*ranges)
+            if is_consistent_cut(a, Cut(pids, combo))
+        }
+        assert via_bfs == via_product
+
+    def test_each_cut_once(self):
+        comp = random_computation(3, 4, seed=17)
+        a = comp.analysis()
+        cuts = [c.intervals for c in iter_consistent_cuts(a, (0, 1, 2))]
+        assert len(cuts) == len(set(cuts))
+
+    def test_level_order(self):
+        comp = random_computation(3, 4, seed=19)
+        a = comp.analysis()
+        levels = [sum(c.intervals) for c in iter_consistent_cuts(a, (0, 1, 2))]
+        assert levels == sorted(levels)
+
+    def test_count(self, two_process_exchange):
+        a = two_process_exchange.analysis()
+        # Hand count: consistent (x, y) pairs among 3x3 interval grid.
+        expected = sum(
+            1
+            for x in range(1, 4)
+            for y in range(1, 4)
+            if is_consistent_cut(a, Cut((0, 1), (x, y)))
+        )
+        assert count_consistent_cuts(a, (0, 1)) == expected
+
+    def test_top_and_bottom_present(self):
+        comp = random_computation(3, 4, seed=23)
+        a = comp.analysis()
+        cuts = {c.intervals for c in iter_consistent_cuts(a, (0, 1, 2))}
+        assert (1, 1, 1) in cuts
+        assert tuple(a.num_intervals(p) for p in (0, 1, 2)) in cuts
+
+    def test_subset_of_processes(self, diamond_computation):
+        a = diamond_computation.analysis()
+        cuts = list(iter_consistent_cuts(a, (1, 2)))
+        assert all(c.pids == (1, 2) for c in cuts)
+        assert len(cuts) >= 1

@@ -1,0 +1,123 @@
+"""Tests for the ASCII space-time renderer."""
+
+import pytest
+
+from repro.common import CutError
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import Cut, ComputationBuilder, render_spacetime
+from repro.trace.generators import FLAG_VAR
+
+
+def small_comp():
+    b = ComputationBuilder(
+        2, initial_vars={p: {FLAG_VAR: False} for p in (0, 1)}
+    )
+    b.internal(0, {FLAG_VAR: True})
+    m = b.send(0, 1)
+    b.recv(1, m)
+    b.internal(1, {FLAG_VAR: True})
+    return b.build()
+
+
+class TestBasicRendering:
+    def test_every_process_has_a_line(self):
+        out = render_spacetime(small_comp())
+        lines = out.split("\n")
+        assert lines[0].startswith("P0")
+        assert lines[1].startswith("P1")
+
+    def test_event_labels_present(self):
+        out = render_spacetime(small_comp())
+        assert "s0" in out
+        assert "r0" in out
+        assert "o" in out
+
+    def test_message_legend(self):
+        out = render_spacetime(small_comp())
+        assert "m0: P0 -> P1" in out
+
+    def test_send_left_of_receive(self):
+        lines = render_spacetime(small_comp()).split("\n")
+        p0, p1 = lines[0], lines[1]
+        assert p0.index("s0") < p1.index("r0")
+
+    def test_empty_computation(self):
+        from repro.trace import empty_computation
+
+        out = render_spacetime(empty_computation(2))
+        assert out.split("\n")[0].startswith("P0")
+
+
+class TestPredicateMarks:
+    def test_emission_markers_under_events(self):
+        comp = small_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        lines = render_spacetime(comp, wcp).split("\n")
+        # Each predicate process line is followed by a marker line with ^.
+        p0_line, p0_marks = lines[0], lines[1]
+        assert "^" in p0_marks
+        # P0's emission happens at its internal event.
+        assert abs(p0_marks.index("^") - p0_line.index("o")) <= 1
+
+    def test_initial_state_emission_marked_at_start(self):
+        b = ComputationBuilder(2, initial_vars={0: {FLAG_VAR: True}, 1: {}})
+        m = b.send(0, 1)
+        b.recv(1, m)
+        comp = b.build()
+        wcp = WeakConjunctivePredicate({0: __import__(
+            "repro.predicates", fromlist=["var_true"]
+        ).var_true(FLAG_VAR)})
+        lines = render_spacetime(comp, wcp).split("\n")
+        marks = lines[1]
+        first_mark = marks.index("^")
+        assert first_mark < lines[0].index("s0")
+
+    def test_no_marker_line_without_emissions(self):
+        comp = small_comp()
+        wcp = WeakConjunctivePredicate.of_flags([0, 1], var="never_set")
+        lines = render_spacetime(comp, wcp).split("\n")
+        assert lines[0].startswith("P0")
+        assert lines[1].startswith("P1")  # no marker lines injected
+
+
+class TestCutRendering:
+    def test_cut_bars_drawn(self):
+        comp = small_comp()
+        cut = Cut((0, 1), (2, 2))
+        out = render_spacetime(comp, cut=cut)
+        assert out.count("|") >= 2
+        assert "cut: Cut[P0:2, P1:2]" in out
+
+    def test_cut_bar_position_respects_intervals(self):
+        comp = small_comp()
+        lines = render_spacetime(comp, cut=Cut((0, 1), (1, 1))).split("\n")
+        p0 = lines[0]
+        # Interval 1 on P0 ends at the send; the bar must come before
+        # the send's column... the bar sits after the last event whose
+        # post-state is in interval 1: the internal event.
+        assert p0.index("|") < p0.index("s0")
+
+    def test_invalid_cut_interval_rejected(self):
+        comp = small_comp()
+        with pytest.raises(CutError):
+            render_spacetime(comp, cut=Cut((0,), (99,)))
+
+    def test_cut_subset_of_processes(self):
+        comp = small_comp()
+        out = render_spacetime(comp, cut=Cut((1,), (2,)))
+        lines = out.split("\n")
+        assert "|" not in lines[0]
+        assert "|" in lines[1]
+
+
+class TestCLIShow:
+    def test_show_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.json"
+        main(["generate", "--processes", "3", "--sends", "2",
+              "--seed", "4", "--density", "0.5", "--plant-final-cut",
+              "--out", str(path)])
+        assert main(["show", str(path), "--pids", "0,1,2", "--cut"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "messages:" in out

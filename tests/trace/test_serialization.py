@@ -1,0 +1,102 @@
+"""Unit tests for computation JSON serialization."""
+
+import pytest
+
+from repro.common import SerializationError
+from repro.trace import random_computation
+from repro.trace.serialization import (
+    computation_from_dict,
+    computation_to_dict,
+    dumps,
+    loads,
+)
+
+
+def signature(comp):
+    return [
+        [
+            (e.kind.value, e.msg_id, e.peer, dict(e.updates), e.time)
+            for e in t.events
+        ]
+        for t in comp.processes
+    ]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        comp = random_computation(4, 6, seed=1, predicate_density=0.4)
+        restored = computation_from_dict(computation_to_dict(comp))
+        assert signature(restored) == signature(comp)
+        assert restored.num_processes == comp.num_processes
+
+    def test_json_round_trip(self):
+        comp = random_computation(3, 4, seed=2)
+        restored = loads(dumps(comp))
+        assert signature(restored) == signature(comp)
+
+    def test_initial_vars_preserved(self):
+        comp = random_computation(3, 4, seed=3)
+        restored = loads(dumps(comp))
+        for pid in range(3):
+            assert dict(restored.processes[pid].initial_vars) == dict(
+                comp.processes[pid].initial_vars
+            )
+
+    def test_indent_option(self):
+        comp = random_computation(2, 2, seed=4)
+        assert "\n" in dumps(comp, indent=2)
+
+    def test_analysis_equal_after_round_trip(self):
+        comp = random_computation(3, 5, seed=5)
+        restored = loads(dumps(comp))
+        a, b = comp.analysis(), restored.analysis()
+        for pid in range(3):
+            assert a.num_intervals(pid) == b.num_intervals(pid)
+            for interval in range(1, a.num_intervals(pid) + 1):
+                assert a.vector(pid, interval) == b.vector(pid, interval)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+    def test_wrong_version(self):
+        comp = random_computation(2, 2, seed=6)
+        data = computation_to_dict(comp)
+        data["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            computation_from_dict(data)
+
+    def test_missing_key(self):
+        with pytest.raises(SerializationError):
+            computation_from_dict({"version": 1})
+
+    def test_malformed_event(self):
+        with pytest.raises(SerializationError):
+            computation_from_dict(
+                {
+                    "version": 1,
+                    "processes": [
+                        {"initial_vars": {}, "events": [{"kind": "warp"}]}
+                    ],
+                }
+            )
+
+    def test_structural_validation_still_runs(self):
+        # A structurally inconsistent document decodes into events fine
+        # but must fail Computation validation.
+        from repro.common import InvalidComputationError
+
+        doc = {
+            "version": 1,
+            "processes": [
+                {
+                    "initial_vars": {},
+                    "events": [{"kind": "recv", "msg_id": 0, "peer": 1}],
+                },
+                {"initial_vars": {}, "events": []},
+            ],
+        }
+        with pytest.raises(InvalidComputationError):
+            computation_from_dict(doc)

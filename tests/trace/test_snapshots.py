@@ -1,0 +1,138 @@
+"""Unit tests for snapshot extraction (Fig. 2 / §4.1 app-side behaviour)."""
+
+from repro.clocks import Dependence
+from repro.predicates import flag_predicate
+from repro.trace import (
+    ComputationBuilder,
+    dd_snapshots,
+    emission_points,
+    random_computation,
+    true_intervals,
+    vc_snapshots,
+)
+from repro.trace.generators import FLAG_VAR
+
+
+def flag(state):
+    return bool(state.get(FLAG_VAR, False))
+
+
+def build_flagged():
+    """P0: flag toggles around communication; P1 passive.
+
+    P0 events: int(T) | send m | int(T) int(F) int(T) | — flag true in
+    intervals 1 and 2; the second True inside interval 2 must NOT emit
+    again (firstflag behaviour).
+    """
+    b = ComputationBuilder(2, initial_vars={0: {FLAG_VAR: False}, 1: {}})
+    b.internal(0, {FLAG_VAR: True})
+    m = b.send(0, 1)
+    b.internal(0, {FLAG_VAR: True})
+    b.internal(0, {FLAG_VAR: False})
+    b.internal(0, {FLAG_VAR: True})
+    b.recv(1, m)
+    return b.build()
+
+
+class TestEmissionPoints:
+    def test_once_per_interval(self):
+        comp = build_flagged()
+        points = emission_points(comp, 0, flag)
+        assert [iv for iv, _ in points] == [1, 2]
+
+    def test_emission_at_first_true_state(self):
+        comp = build_flagged()
+        points = emission_points(comp, 0, flag)
+        # Interval 1: first true state is s1 (post first internal).
+        # Interval 2: the flag is still true at s2 (the post-send state —
+        # sends do not clear variables), so emission happens immediately
+        # at the interval boundary, exactly like Fig. 2's firstflag.
+        assert points == [(1, 1), (2, 2)]
+
+    def test_true_initial_state_emits(self):
+        b = ComputationBuilder(1, initial_vars={0: {FLAG_VAR: True}})
+        comp = b.build()
+        assert emission_points(comp, 0, flag) == [(1, 0)]
+
+    def test_never_true_no_points(self):
+        b = ComputationBuilder(1)
+        b.internal(0)
+        comp = b.build()
+        assert emission_points(comp, 0, flag) == []
+
+    def test_true_intervals_helper(self):
+        comp = build_flagged()
+        assert true_intervals(comp, 0, flag) == [1, 2]
+
+
+class TestVCSnapshots:
+    def test_vectors_match_analysis(self):
+        comp = build_flagged()
+        streams = vc_snapshots(comp, {0: flag})
+        a = comp.analysis()
+        assert [s.interval for s in streams[0]] == [1, 2]
+        for snap in streams[0]:
+            assert snap.vector == a.vector(0, snap.interval)
+
+    def test_only_requested_pids(self):
+        comp = build_flagged()
+        streams = vc_snapshots(comp, {0: flag})
+        assert set(streams) == {0}
+
+    def test_stream_in_fifo_order(self):
+        comp = random_computation(4, 6, seed=3, predicate_density=0.5)
+        streams = vc_snapshots(comp, {p: flag for p in range(4)})
+        for stream in streams.values():
+            intervals = [s.interval for s in stream]
+            assert intervals == sorted(intervals)
+            assert len(set(intervals)) == len(intervals)
+
+
+class TestDDSnapshots:
+    def test_all_processes_participate(self):
+        comp = build_flagged()
+        streams = dd_snapshots(comp, {0: flag})
+        assert set(streams) == {0, 1}
+
+    def test_non_predicate_process_snapshots_every_interval(self):
+        comp = build_flagged()
+        streams = dd_snapshots(comp, {0: flag})
+        a = comp.analysis()
+        assert [s.clock for s in streams[1]] == list(
+            range(1, a.num_intervals(1) + 1)
+        )
+
+    def test_dependences_flushed_once(self):
+        """A receive's dependence appears in exactly one snapshot."""
+        comp = random_computation(4, 6, seed=5, predicate_density=0.6)
+        streams = dd_snapshots(comp, {p: flag for p in range(4)})
+        a = comp.analysis()
+        for pid in range(4):
+            emitted = [d for s in streams[pid] for d in s.deps]
+            all_deps = [d for _, d in a.receive_dependences(pid)]
+            # Every emitted dep is real and no dep is emitted twice more
+            # than it occurs.
+            assert sorted(emitted) == sorted(
+                all_deps[: len(emitted)]
+            ) or all(d in all_deps for d in emitted)
+            # Prefix property: snapshots flush deps in receive order.
+            assert emitted == all_deps[: len(emitted)]
+
+    def test_dep_goes_to_first_snapshot_after_receive(self):
+        b = ComputationBuilder(2, initial_vars={0: {FLAG_VAR: True}, 1: {}})
+        m = b.send(1, 0)
+        b.recv(0, m)
+        comp = b.build()
+        streams = dd_snapshots(comp, {0: flag})
+        # P0: interval 1 snapshot at s0 (no deps), interval 2 snapshot at
+        # post-recv state carrying the dependence on P1's interval 1.
+        assert streams[0][0].deps == ()
+        assert streams[0][1].deps == (Dependence(1, 1),)
+
+    def test_clock_equals_interval(self):
+        comp = random_computation(3, 5, seed=6, predicate_density=0.4)
+        streams = dd_snapshots(comp, {p: flag for p in range(3)})
+        for pid, stream in streams.items():
+            for snap in stream:
+                assert snap.clock >= 1
+                assert snap.pid == pid

@@ -1,0 +1,67 @@
+"""Unit tests for workload statistics."""
+
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace import (
+    compute_stats,
+    describe,
+    empty_computation,
+    random_computation,
+    spiral_computation,
+)
+
+
+class TestComputeStats:
+    def test_counts(self):
+        comp = random_computation(4, 5, seed=1)
+        stats = compute_stats(comp)
+        assert stats.num_processes == 4
+        assert stats.total_events == comp.total_events()
+        assert stats.total_messages == len(comp.messages)
+        assert stats.max_messages_per_process == comp.max_messages_per_process()
+        a = comp.analysis()
+        assert stats.total_intervals == sum(
+            a.num_intervals(p) for p in range(4)
+        )
+        assert stats.min_intervals <= stats.max_intervals
+
+    def test_empty_computation_fully_concurrent(self):
+        stats = compute_stats(empty_computation(3))
+        assert stats.concurrency_ratio == 1.0
+        assert stats.total_intervals == 3
+
+    def test_spiral_mostly_ordered(self):
+        stats = compute_stats(spiral_computation(4, 4))
+        assert stats.concurrency_ratio < 0.3
+
+    def test_independent_pairs_mostly_concurrent(self):
+        from repro.trace import skewed_concurrent_computation
+
+        stats = compute_stats(skewed_concurrent_computation(3, 6))
+        # Cross-pair intervals are fully concurrent; only same-pair
+        # (process <-> its pinger) intervals are ordered.
+        assert stats.concurrency_ratio > 0.5
+
+    def test_candidate_counts_with_wcp(self):
+        comp = spiral_computation(3, 2)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1])
+        stats = compute_stats(comp, wcp)
+        assert set(stats.candidate_counts) == {0, 1}
+        assert all(v >= 1 for v in stats.candidate_counts.values())
+
+    def test_candidate_counts_absent_without_wcp(self):
+        stats = compute_stats(empty_computation(2))
+        assert stats.candidate_counts is None
+
+
+class TestDescribe:
+    def test_human_readable(self):
+        comp = random_computation(3, 3, seed=2)
+        text = describe(comp)
+        assert "processes (N): 3" in text
+        assert "concurrency ratio" in text
+
+    def test_includes_candidates_with_wcp(self):
+        comp = spiral_computation(3, 2)
+        wcp = WeakConjunctivePredicate.of_flags([0, 1, 2])
+        text = describe(comp, wcp)
+        assert "candidates per predicate process" in text
