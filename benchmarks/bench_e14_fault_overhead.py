@@ -1,0 +1,62 @@
+"""E14 — cost of the hardened (fault-tolerant) protocol at zero faults.
+
+Hardening is opt-in; this benchmark keeps it honest.  On identical
+fault-free workloads the hardened single-token protocol must
+
+* report exactly the same first cut as the plain Fig. 3 algorithm;
+* pay only per-hop acks and frame headers (bounded msg/bit ratios);
+* add at most 15% simulated detection time — acks ride alongside the
+  token instead of delaying it.
+"""
+
+from repro.analysis import run_e14_fault_overhead
+from repro.detect.runner import run_detector
+from repro.predicates import WeakConjunctivePredicate
+from repro.trace.generators import random_computation
+
+SIZES = ((4, 8), (4, 16), (8, 8), (8, 16), (8, 32))
+SEEDS = (0, 1, 2)
+
+
+def bench_e14_fault_overhead(benchmark, emit):
+    result = benchmark.pedantic(
+        run_e14_fault_overhead, kwargs={"sizes": SIZES, "seeds": SEEDS},
+        rounds=1, iterations=1,
+    )
+    emit(result, "e14_fault_overhead.txt")
+
+    assert all(row[-1] for row in result.rows), \
+        "hardened and plain variants must report identical cuts"
+    # Acks at most double the message count; they are single words, so
+    # the bit overhead is smaller still.
+    assert all(ratio <= 2.0 for ratio in result.column("msg_ratio"))
+    assert all(ratio <= 1.6 for ratio in result.column("bit_ratio"))
+
+
+def bench_e14_detection_time_overhead(benchmark, emit):
+    """Simulated detection time: hardened within 15% of plain."""
+
+    def measure():
+        pairs = []
+        for n, m in SIZES:
+            for seed in SEEDS:
+                comp = random_computation(
+                    n, m, seed=seed, predicate_density=0.3,
+                    plant_final_cut=True,
+                )
+                wcp = WeakConjunctivePredicate.of_flags(tuple(range(n)))
+                plain = run_detector("token_vc", comp, wcp, seed=seed)
+                hard = run_detector(
+                    "token_vc", comp, wcp, seed=seed, hardened=True,
+                )
+                assert plain.detected and hard.detected
+                pairs.append((plain.detection_time, hard.detection_time))
+        return pairs
+
+    pairs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    worst = max(hard / plain for plain, hard in pairs)
+    print(f"\nE14 simulated-time ratio (hardened/plain): worst {worst:.3f}")
+    assert worst <= 1.15, (
+        f"hardened protocol slowed detection by {(worst - 1) * 100:.1f}% "
+        "at zero faults (budget: 15%)"
+    )

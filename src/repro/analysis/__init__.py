@@ -21,6 +21,7 @@ from repro.analysis.experiments import (
     run_e11_detection_latency,
     run_e12_strong_predicates,
     run_e13_gcp_online,
+    run_e14_fault_overhead,
     strip_times,
 )
 from repro.analysis.tables import format_value, render_table
@@ -45,6 +46,7 @@ __all__ = [
     "run_e11_detection_latency",
     "run_e12_strong_predicates",
     "run_e13_gcp_online",
+    "run_e14_fault_overhead",
     "render_table",
     "format_value",
 ]

@@ -42,6 +42,7 @@ _EXPERIMENTS = {
     "e11": ("run_e11_detection_latency", {}),
     "e12": ("run_e12_strong_predicates", {}),
     "e13": ("run_e13_gcp_online", {}),
+    "e14": ("run_e14_fault_overhead", {}),
 }
 
 
@@ -76,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated predicate pids (default: all)")
     det.add_argument("--var", default="flag", help="flag variable name")
     det.add_argument("--seed", type=int, default=0)
+    det.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults and run the hardened protocol, e.g. "
+             "'drop:token:0.2,dup:*:0.05,crash:mon-1:4:9' "
+             "(see repro.simulation.faults.FaultPlan.parse)",
+    )
+    det.add_argument(
+        "--no-hardened", action="store_true",
+        help="with --faults, run the plain (fault-intolerant) protocol "
+             "anyway, to watch it fail",
+    )
 
     stats = sub.add_parser("stats", help="summarize a trace file")
     stats.add_argument("trace", type=pathlib.Path)
@@ -167,17 +179,46 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     options = {} if args.detector in ("reference", "lattice") else {
         "seed": args.seed
     }
+    if args.faults is not None:
+        from repro.common.errors import ConfigurationError
+        from repro.detect.runner import FAULT_CAPABLE
+        from repro.simulation.faults import FaultPlan
+
+        if args.detector not in FAULT_CAPABLE:
+            raise SystemExit(
+                f"error: --faults requires a fault-capable detector: "
+                f"{sorted(FAULT_CAPABLE)}"
+            )
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
+        options["faults"] = plan
+        if args.no_hardened:
+            options["hardened"] = False
+        print(f"faults:    {plan.describe()}")
     report = run_detector(args.detector, comp, wcp, **options)
     print(f"detector:  {report.detector}")
     print(f"predicate: {wcp}")
     print(f"detected:  {report.detected}")
+    if args.faults is not None:
+        print(f"outcome:   {report.outcome}")
     if report.detected:
         print(f"first cut: {report.cut}")
     if report.detection_time is not None:
         print(f"simulated detection time: {report.detection_time:.3f}")
+    if report.sim is not None and report.sim.faults is not None:
+        f = report.sim.faults
+        print(
+            f"injected faults: dropped={f.dropped} duplicated={f.duplicated} "
+            f"corrupted={f.corrupted} lost_to_crash={f.lost_to_crash} "
+            f"crashes={f.crashes} restarts={f.restarts}"
+        )
     for key, value in sorted(report.extras.items()):
         print(f"{key}: {value}")
-    return 0 if report.detected else 1
+    if report.detected:
+        return 0
+    return 2 if report.degraded else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

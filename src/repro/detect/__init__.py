@@ -24,13 +24,20 @@ __all__ = [
     "app_name",
     "run_detector",
     "DETECTORS",
+    "FAULT_CAPABLE",
 ]
 
 
 def __getattr__(name: str):
     # runner imports every algorithm module; loading it lazily keeps
     # `import repro.detect` cheap and avoids import cycles.
-    if name in ("run_detector", "DETECTORS", "offline_detectors", "online_detectors"):
+    if name in (
+        "run_detector",
+        "DETECTORS",
+        "FAULT_CAPABLE",
+        "offline_detectors",
+        "online_detectors",
+    ):
         from repro.detect import runner
 
         return getattr(runner, name)

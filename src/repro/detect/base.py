@@ -83,6 +83,12 @@ class DetectionReport:
     extras:
         Algorithm-specific measurements (token hops, comparisons,
         lattice states explored, ...).
+    degraded:
+        True when a run under fault injection ended without a verdict —
+        the protocol neither detected the predicate nor proved it absent
+        (e.g. a monitor stayed crashed, or a retransmission budget was
+        exhausted).  Always False for fault-free runs: without injected
+        faults every detector terminates with a definitive verdict.
     """
 
     detector: str
@@ -93,9 +99,21 @@ class DetectionReport:
     sim: SimulationResult | None = None
     metrics: MetricsBoard | None = None
     extras: dict[str, Any] = field(default_factory=dict)
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.detected and self.cut is None:
             raise ValueError("a detected report must carry the detected cut")
         if not self.detected and self.cut is not None:
             raise ValueError("an undetected report must not carry a cut")
+        if self.detected and self.degraded:
+            raise ValueError("a detected report cannot be degraded")
+
+    @property
+    def outcome(self) -> str:
+        """Three-way verdict: ``detected`` / ``not_detected`` / ``degraded``."""
+        if self.detected:
+            return "detected"
+        if self.degraded:
+            return "degraded"
+        return "not_detected"

@@ -46,8 +46,17 @@ from repro.detect.base import (
     app_name,
     monitor_name,
 )
+from repro.detect.reliability import (
+    ReliableEndpoint,
+    ReliableFeeder,
+    ReliableInjector,
+    RetryPolicy,
+    Tagged,
+    TokenFrame,
+)
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
+from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -60,7 +69,13 @@ from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import DDSnapshot, dd_snapshots
 
-__all__ = ["Poll", "PollResponse", "DirectDepMonitor", "detect"]
+__all__ = [
+    "Poll",
+    "PollResponse",
+    "DirectDepMonitor",
+    "HardenedDirectDepMonitor",
+    "detect",
+]
 
 POLL_BITS = 2 * WORD_BITS
 RESPONSE_BITS = 1
@@ -188,6 +203,203 @@ class DirectDepMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
+class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
+    """Crash/loss-tolerant §4 monitor.
+
+    On top of the shared transport (sequenced candidates, hop-numbered
+    token frames — see ``docs/faults.md``), the poll exchange is made
+    exactly-once: every poll carries a unique request tag, the polled
+    monitor applies the Fig. 5 state change at most once per tag and
+    caches the response (a retransmitted poll replays the cached
+    response instead of turning the monitor red a second time — the
+    ``became_red`` answer is only true once per splice, so blind
+    re-execution would corrupt the red chain), and the polling holder
+    ignores responses whose tag is not the one outstanding.
+
+    The visit in progress is persisted (``_visit_phase`` / ``_deplist``
+    / ``_dep_idx`` / ``_current_tag``): a crash-restart re-drives the
+    in-flight poll with the *same* tag, and ``next_red`` is never
+    mutated while a tag is outstanding, so the retransmitted poll is
+    byte-identical to the original.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        num_processes: int,
+        initial_next_red: int | None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        DirectDepMonitor.__init__(self, pid, num_processes, initial_next_red)
+        self._init_reliability(retry)
+        self._visit_phase = "gather"
+        self._deplist: list = []
+        self._dep_idx = 0
+        self._current_tag: tuple | None = None
+        self._poll_serial = 0
+        self._poll_replies: dict[tuple, PollResponse] = {}
+
+    # ------------------------------------------------------------------
+    def _on_token_accepted(self, frame: TokenFrame) -> None:
+        self.token_visits += 1
+        self._visit_phase = "gather"
+        self._deplist = []
+        self._dep_idx = 0
+        self._current_tag = None
+
+    def _dispatch(self, msg):
+        if msg.kind == POLL_KIND:
+            yield from self._handle_poll_tagged(msg)
+            return "handled"
+        if msg.kind == POLL_RESPONSE_KIND:
+            return "handled"  # stale duplicate outside a poll exchange
+        code = yield from self._dispatch_common(msg)
+        return code
+
+    def _halt_targets(self) -> list[str]:
+        peers = [monitor_name(p) for p in range(self._n) if p != self._pid]
+        feeders = [app_name(p) for p in range(self._n)]
+        return peers + feeders
+
+    # ------------------------------------------------------------------
+    def _handle_poll_tagged(self, msg):
+        """Fig. 5 with at-most-once semantics per request tag."""
+        if msg.corrupted:
+            return  # the holder will retransmit
+        tagged: Tagged = msg.payload
+        cached = self._poll_replies.get(tagged.tag)
+        if cached is None:
+            poll: Poll = tagged.payload
+            # Atomic: the state change and the response cache entry
+            # commit together, so a crash can never re-apply the splice.
+            old_color = self.color
+            if poll.clock >= self.G:
+                self.color = RED
+                self.G = poll.clock
+            if self.color == RED and old_color == GREEN:
+                self.next_red = poll.next_red
+                cached = PollResponse(became_red=True)
+            else:
+                cached = PollResponse(became_red=False)
+            self._poll_replies[tagged.tag] = cached
+            yield self.work(1)
+        yield self.send(
+            msg.src,
+            Tagged(tagged.tag, cached),
+            kind=POLL_RESPONSE_KIND,
+            size_bits=RESPONSE_BITS + WORD_BITS,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self):
+        while True:
+            if self.halted:
+                yield from self._linger()
+                return
+            if self.detected or self.aborted:
+                yield from self._reliable_halt(self._halt_targets())
+                yield from self._linger()
+                return
+            if self.gave_up:
+                return
+            if self._pending_out:
+                yield from self._drive_transfers()
+                continue
+            if self._held:
+                frame = self._held[0]
+                code = yield from self._handle_frame(frame)
+                if code in ("halt", "gave_up"):
+                    continue
+                if code == "abort":
+                    self.aborted = True
+                elif code == "detected":
+                    self.detected = True
+                    self.detected_at = self.now
+                else:  # forward along the red chain
+                    target = self.next_red
+                    assert target is not None
+                    self._begin_transfer(
+                        monitor_name(target),
+                        TokenFrame(frame.hop + 1, None),
+                        TOKEN_BITS + WORD_BITS,
+                    )
+                self._held.popleft()
+                continue
+            msg = yield self.receive(description=f"{self.name} awaiting token")
+            yield from self._dispatch(msg)
+
+    def _handle_frame(self, frame: TokenFrame):
+        """One (possibly crash-resumed) Fig. 4 token visit."""
+        if self._visit_phase == "gather":
+            # repeat ... until candidate.clock > G
+            while True:
+                entry = yield from self._next_candidate()
+                if entry == "halt":
+                    return "halt"
+                if entry is None:
+                    return "abort"
+                snap: DDSnapshot = entry[0]
+                # Atomic: dependences and acceptance commit together.
+                self._deplist.extend(snap.deps)
+                if snap.clock > self.G:
+                    self.G = snap.clock
+                    self.color = GREEN
+                    self._visit_phase = "poll"
+                    yield self.work(1)
+                    break
+                yield self.work(1)
+        # Poll the source of every accumulated dependence, exactly once.
+        while self._dep_idx < len(self._deplist):
+            dep = self._deplist[self._dep_idx]
+            if self._current_tag is None:
+                self._current_tag = (self.name, self._poll_serial)
+                self._poll_serial += 1
+            tag = self._current_tag
+            dest = monitor_name(dep.source)
+            request = Tagged(tag, Poll(dep.clock, self.next_red))
+            yield self.work(1)
+            yield self.send(
+                dest, request, kind=POLL_KIND, size_bits=POLL_BITS + WORD_BITS
+            )
+            attempt = 0
+            while True:
+                msg = yield self.receive_timeout(
+                    timeout=self._retry.timeout(attempt),
+                    description=f"{self.name} awaiting poll response",
+                )
+                if msg is None:
+                    attempt += 1
+                    if attempt > self._retry.max_attempts:
+                        self.gave_up = True
+                        return "gave_up"
+                    yield self.send(
+                        dest,
+                        request,
+                        kind=POLL_KIND,
+                        size_bits=POLL_BITS + WORD_BITS,
+                    )
+                    continue
+                if msg.kind == POLL_RESPONSE_KIND:
+                    if msg.corrupted:
+                        continue
+                    tagged: Tagged = msg.payload
+                    if tagged.tag != tag:
+                        continue  # duplicate of an earlier exchange
+                    # Atomic completion: chain update and poll
+                    # retirement commit together.
+                    if tagged.payload.became_red:
+                        self.next_red = dep.source
+                    self._dep_idx += 1
+                    self._current_tag = None
+                    break
+                code = yield from self._dispatch(msg)
+                if code == "halt":
+                    return "halt"
+        if self.next_red is None:
+            return "detected"
+        return "forward"
+
+
 class _TokenInjector(Actor):
     """Starts the protocol: the empty token goes to the chain head."""
 
@@ -199,8 +411,22 @@ class _TokenInjector(Actor):
         yield self.send(self._first, None, kind=TOKEN_KIND, size_bits=TOKEN_BITS)
 
 
-def build_monitors(num_processes: int) -> list[DirectDepMonitor]:
+def build_monitors(
+    num_processes: int,
+    hardened: bool = False,
+    retry: RetryPolicy | None = None,
+) -> list[DirectDepMonitor]:
     """Monitors with the initial red chain 0 -> 1 -> ... -> N-1 -> null."""
+    if hardened:
+        return [
+            HardenedDirectDepMonitor(
+                pid,
+                num_processes,
+                initial_next_red=(pid + 1 if pid + 1 < num_processes else None),
+                retry=retry,
+            )
+            for pid in range(num_processes)
+        ]
     return [
         DirectDepMonitor(
             pid,
@@ -219,31 +445,56 @@ def detect(
     channel_model: ChannelModel | None = None,
     spacing: float = 1.0,
     observers: list | None = None,
+    faults: FaultPlan | None = None,
+    hardened: bool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> DetectionReport:
     """Run the §4 algorithm on a recorded computation.
 
     Every one of the ``N`` processes gets a feeder and a monitor; the
     detected full cut is projected onto the WCP's pids for the report.
+    ``faults`` / ``hardened`` / ``retry`` behave as in
+    :func:`repro.detect.token_vc.detect`.
     """
     wcp.check_against(computation.num_processes)
     big_n = computation.num_processes
-    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
-    monitors = build_monitors(big_n)
+    use_hardened = (faults is not None) if hardened is None else hardened
+    kernel = Kernel(
+        channel_model=channel_model, seed=seed, observers=observers, faults=faults
+    )
+    monitors = build_monitors(big_n, hardened=use_hardened, retry=retry)
     for mon in monitors:
         kernel.add_actor(mon)
     streams = dd_snapshots(computation, wcp.predicate_map())
+    feeders = []
     for pid in range(big_n):
         items = [
             FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
             for snap in streams[pid]
         ]
-        kernel.add_actor(
-            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        if use_hardened:
+            feeder = ReliableFeeder(
+                app_name(pid), monitor_name(pid), items, spacing, retry
+            )
+        else:
+            feeder = SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        feeders.append(feeder)
+        kernel.add_actor(feeder)
+    injector = None
+    if use_hardened:
+        injector = ReliableInjector(
+            monitor_name(0),
+            TokenFrame(hop=1, body=None),
+            TOKEN_BITS + WORD_BITS,
+            retry,
         )
-    kernel.add_actor(_TokenInjector(monitor_name(0)))
+        kernel.add_actor(injector)
+    else:
+        kernel.add_actor(_TokenInjector(monitor_name(0)))
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)
+    aborted = any(m.aborted for m in monitors)
     actor_metrics = kernel.metrics.actors()
     extras = {
         "token_hops": sum(
@@ -253,8 +504,17 @@ def detect(
         ),
         "polls": kernel.metrics.messages_of_kind(POLL_KIND),
         "token_visits": sum(m.token_visits for m in monitors),
-        "aborted": any(m.aborted for m in monitors),
+        "aborted": aborted,
+        "hardened": use_hardened,
     }
+    if use_hardened:
+        participants = [*monitors, *feeders, injector]
+        extras["gave_up"] = any(
+            getattr(a, "gave_up", False) for a in participants
+        )
+        extras["halt_incomplete"] = any(
+            getattr(a, "halt_incomplete", False) for a in participants
+        )
     if winner is not None:
         full = Cut(
             tuple(range(big_n)), tuple(monitors[p].G for p in range(big_n))
@@ -275,4 +535,5 @@ def detect(
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
+        degraded=faults is not None and not aborted,
     )

@@ -1,0 +1,620 @@
+"""Reliability layer: loss-, duplication- and crash-tolerant transport.
+
+The paper's protocols assume reliable channels and ever-live monitors;
+this module supplies the machinery that lets the *hardened* variants of
+``token_vc``, ``token_vc_multi`` and ``direct_dep`` survive the fault
+model of :mod:`repro.simulation.faults` while still reporting **exactly
+the first consistent cut** of the fault-free run:
+
+* **Application -> monitor** traffic is sequence-numbered
+  (:class:`Sequenced`), retransmitted by the :class:`ReliableFeeder` on
+  ack timeout with exponential backoff, deduplicated and re-ordered by
+  the monitor-side :class:`CandidateInbox`, and acknowledged
+  cumulatively (one ack per stream in the fault-free case, not one per
+  message — this is what keeps the hardened 0%-fault overhead low).
+* **Token transfer** is hop-by-hop reliable: every token message is
+  wrapped in a :class:`TokenFrame` carrying a monotonically increasing
+  hop number; the receiver persists the highest hop seen, acks every
+  frame immediately (duplicates are re-acked and discarded), and the
+  sender retransmits its persisted copy until acked — a
+  ``Receive(timeout=...)`` heartbeat with exponential backoff.  Token
+  *regeneration* after a crash falls out of the same design: both
+  endpoints of a transfer keep the frame in persisted local state, so
+  whichever side survives (or restarts) re-injects it.
+* **Termination** is a reliable halt: the declaring monitor retransmits
+  ``halt`` until every peer (and every feeder) acks, with a bounded
+  retry budget so a permanently-dead peer degrades the run instead of
+  livelocking it.
+
+Because actor attributes survive a kernel crash/restart (they model
+persisted local state) and generator code between yields is atomic, the
+hardened monitors are written as state machines over persisted
+attributes: :meth:`~repro.simulation.actors.Actor.restart` re-enters
+``run``, which resumes from wherever the persisted state says the
+protocol was.
+
+Retransmission is bounded by :class:`RetryPolicy.max_attempts`; under
+any fault schedule with eventual delivery the bound is never reached
+(each retry succeeds independently with the channel's delivery
+probability), and without eventual delivery it converts a livelock into
+a reported ``degraded`` outcome.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import WORD_BITS
+from repro.detect.base import HALT_KIND, TOKEN_KIND
+from repro.simulation.actors import Actor
+from repro.simulation.replay import CANDIDATE_KIND, END_OF_TRACE_KIND, FeedItem
+
+__all__ = [
+    "CAND_ACK_KIND",
+    "TOKEN_ACK_KIND",
+    "HALT_ACK_KIND",
+    "Sequenced",
+    "TokenFrame",
+    "Tagged",
+    "RetryPolicy",
+    "CandidateInbox",
+    "ReliableFeeder",
+    "ReliableInjector",
+    "ReliableEndpoint",
+]
+
+# Message kinds introduced by the reliability layer.
+CAND_ACK_KIND = "cand_ack"    # cumulative app-stream ack, monitor -> feeder
+TOKEN_ACK_KIND = "token_ack"  # per-hop token transfer ack
+HALT_ACK_KIND = "halt_ack"    # termination ack, peer -> declaring monitor
+
+ACK_BITS = WORD_BITS
+TOKEN_ACK_BITS = 2 * WORD_BITS  # (gid, hop)
+HALT_ACK_BITS = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Sequenced:
+    """A sequence-numbered app->monitor payload (1-based, per feeder).
+
+    The end-of-trace marker travels as the ``final`` item of the stream
+    so that it, too, is retransmitted until acknowledged.
+    """
+
+    seq: int
+    payload: object
+    final: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TokenFrame:
+    """A token message wrapped for reliable hop-by-hop transfer.
+
+    ``hop`` increases by one on every forward of the same logical token;
+    ``gid`` distinguishes independent tokens (the multi-token algorithm
+    runs one hop sequence per group).  ``(gid, hop)`` is the frame's
+    identity for dedup and acks.
+    """
+
+    hop: int
+    body: object
+    gid: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The frame identity carried by acks."""
+        return (self.gid, self.hop)
+
+
+@dataclass(frozen=True, slots=True)
+class Tagged:
+    """A payload tagged with a request id, for exactly-once request/reply.
+
+    Used by the hardened direct-dependence polls: a retransmitted poll
+    carries the same tag, and the polled monitor replays its cached
+    response instead of re-applying the state change.
+    """
+
+    tag: tuple
+    payload: object
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Ack-timeout and exponential-backoff schedule for retransmissions.
+
+    ``timeout(attempt)`` grows geometrically from ``base_timeout`` by
+    ``factor`` up to ``cap``.  ``max_attempts`` bounds every retransmit
+    loop so a permanently-unreachable peer yields a *degraded* run
+    instead of a livelock.
+    """
+
+    base_timeout: float = 6.0
+    factor: float = 2.0
+    cap: float = 48.0
+    max_attempts: int = 25
+
+    def __post_init__(self) -> None:
+        if self.base_timeout <= 0:
+            raise ConfigurationError(
+                f"base_timeout must be > 0, got {self.base_timeout}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {self.factor}")
+        if self.cap < self.base_timeout:
+            raise ConfigurationError("cap must be >= base_timeout")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+    def timeout(self, attempt: int) -> float:
+        """The ack timeout for retransmission round ``attempt`` (0-based)."""
+        return min(self.cap, self.base_timeout * self.factor**attempt)
+
+
+class CandidateInbox:
+    """Dedup / re-order buffer for one monitor's sequenced app stream.
+
+    Lives in a persisted attribute of the hardened monitor, so buffered
+    candidates survive a crash even though the kernel mailbox is lost.
+    """
+
+    def __init__(self) -> None:
+        self._received_upto = 0          # highest contiguous seq received
+        self._pending: dict[int, tuple[Sequenced, int]] = {}
+        self._queue: deque[tuple[object, int]] = deque()
+        self.final_seq: int | None = None
+
+    def accept(self, item: Sequenced, size_bits: int) -> bool:
+        """Register an arrival; returns False for duplicates."""
+        if item.seq <= self._received_upto or item.seq in self._pending:
+            return False
+        self._pending[item.seq] = (item, size_bits)
+        while True:
+            entry = self._pending.pop(self._received_upto + 1, None)
+            if entry is None:
+                break
+            self._received_upto += 1
+            got, bits = entry
+            if got.final:
+                self.final_seq = got.seq
+            else:
+                self._queue.append((got.payload, bits))
+        return True
+
+    def pop(self) -> tuple[object, int] | None:
+        """The next in-order candidate ``(payload, size_bits)``, if any."""
+        return self._queue.popleft() if self._queue else None
+
+    @property
+    def ack(self) -> int:
+        """The cumulative ack value: highest contiguous seq received."""
+        return self._received_upto
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole stream (including end-of-trace) arrived."""
+        return self.final_seq is not None and self._received_upto >= self.final_seq
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream is complete *and* fully consumed."""
+        return self.complete and not self._queue
+
+
+class ReliableFeeder(Actor):
+    """Crash/loss-tolerant replacement for ``SnapshotFeeder``.
+
+    Pipelines the whole sequence-numbered stream at the recorded
+    emission times, then waits for the monitor's cumulative ack,
+    retransmitting the unacked suffix on timeout with exponential
+    backoff.  Exits only when reliably halted by the winning monitor
+    (or when the retry budget is exhausted — ``gave_up``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitor: str,
+        items: list[FeedItem],
+        spacing: float = 1.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(name)
+        if spacing <= 0:
+            raise ConfigurationError(f"spacing must be > 0, got {spacing}")
+        timed = [i.time for i in items if i.time is not None]
+        if timed != sorted(timed):
+            raise ConfigurationError("feed item times must be nondecreasing")
+        self._monitor = monitor
+        self._retry = retry or RetryPolicy()
+        # (frame, kind, size_bits, emission_time)
+        self._frames: list[tuple[Sequenced, str, int, float | None]] = [
+            (
+                Sequenced(i + 1, item.payload),
+                CANDIDATE_KIND,
+                item.size_bits + WORD_BITS,
+                item.time,
+            )
+            for i, item in enumerate(items)
+        ]
+        self._frames.append(
+            (
+                Sequenced(len(items) + 1, None, final=True),
+                END_OF_TRACE_KIND,
+                1 + WORD_BITS,
+                None,
+            )
+        )
+        self._spacing = spacing
+        self._acked = 0          # persisted: highest cumulative ack seen
+        self.gave_up = False
+        self.halted = False
+
+    def run(self):
+        if self.halted:
+            # Restarted after being halted: the halt_ack may have been
+            # lost along with the crashed mailbox, so answer halt
+            # retransmissions instead of exiting into a dead letterbox.
+            yield from self._relinger()
+            return
+        final_seq = len(self._frames)
+        # Phase 1: first transmission, paced by the recorded trace times.
+        # After a crash-restart already-acked frames are skipped; the
+        # monitor's inbox dedups any the feeder re-sends.
+        for frame, kind, bits, at in self._frames:
+            if at is not None:
+                if at > self.now:
+                    yield self.sleep(at - self.now)
+            elif not frame.final:
+                yield self.sleep(self._spacing)
+            if frame.seq <= self._acked:
+                continue
+            yield self.send(self._monitor, frame, kind=kind, size_bits=bits)
+        # Phase 2: await the cumulative ack, retransmitting the suffix.
+        attempt = 0
+        while self._acked < final_seq:
+            msg = yield self.receive_timeout(
+                CAND_ACK_KIND,
+                HALT_KIND,
+                timeout=self._retry.timeout(attempt),
+                description=f"{self.name} awaiting ack > {self._acked}",
+            )
+            if msg is None:
+                attempt += 1
+                if attempt > self._retry.max_attempts:
+                    self.gave_up = True
+                    break
+                for frame, kind, bits, _ in self._frames[self._acked:]:
+                    yield self.send(self._monitor, frame, kind=kind, size_bits=bits)
+                continue
+            if msg.corrupted:
+                continue
+            if msg.kind == HALT_KIND:
+                yield from self._acknowledge_halt(msg.src)
+                return
+            if msg.payload > self._acked:
+                self._acked = msg.payload
+                attempt = 0
+        # Phase 3: stream delivered (or given up) — wait to be halted so
+        # late retransmission requests never hit a finished actor.
+        while True:
+            msg = yield self.receive(
+                HALT_KIND, description=f"{self.name} awaiting halt"
+            )
+            if msg.corrupted:
+                continue
+            yield from self._acknowledge_halt(msg.src)
+            return
+
+    def _acknowledge_halt(self, halter: str):
+        """Ack the halt, then linger briefly to re-ack retransmissions.
+
+        The linger window exceeds the halter's maximum retransmission
+        gap, so a lost ``halt_ack`` is always repaired before this actor
+        exits (a finished actor could no longer answer).
+        """
+        self.halted = True
+        yield self.send(halter, None, kind=HALT_ACK_KIND,
+                        size_bits=HALT_ACK_BITS)
+        yield from self._relinger()
+
+    def _relinger(self):
+        """Re-ack halt retransmissions until the channel goes quiet."""
+        linger = self._retry.cap + self._retry.base_timeout
+        while True:
+            msg = yield self.receive_timeout(
+                HALT_KIND,
+                timeout=linger,
+                description=f"{self.name} lingering after halt",
+            )
+            if msg is None:
+                return
+            if msg.corrupted:
+                continue
+            yield self.send(msg.src, None, kind=HALT_ACK_KIND,
+                            size_bits=HALT_ACK_BITS)
+
+
+class ReliableInjector(Actor):
+    """Bootstraps a protocol by reliably delivering its first token frame.
+
+    Retransmits until the destination's per-hop ack arrives; a
+    destination that is down at injection time simply receives the frame
+    after its restart (the paper's protocols start from the first
+    monitor, so this is the crash-tolerant analogue of the plain
+    ``_TokenInjector`` actors).
+    """
+
+    def __init__(
+        self,
+        dest: str,
+        frame: TokenFrame,
+        size_bits: int,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__("token-injector")
+        self._dest = dest
+        self._frame = frame
+        self._size_bits = size_bits
+        self._retry = retry or RetryPolicy()
+        self._acked = False
+        self.gave_up = False
+
+    def run(self):
+        attempt = 0
+        while not self._acked:
+            yield self.send(
+                self._dest, self._frame, kind=TOKEN_KIND,
+                size_bits=self._size_bits,
+            )
+            msg = yield self.receive_timeout(
+                TOKEN_ACK_KIND,
+                timeout=self._retry.timeout(attempt),
+                description=f"{self.name} awaiting injection ack",
+            )
+            if msg is not None and not msg.corrupted:
+                self._acked = True
+                return
+            attempt += 1
+            if attempt > self._retry.max_attempts:
+                self.gave_up = True
+                return
+
+
+class ReliableEndpoint:
+    """Mixin giving a monitor actor the hardened transport behaviours.
+
+    Subclasses must be :class:`~repro.simulation.actors.Actor` types and
+    call :meth:`_init_reliability` from ``__init__``; they implement
+    ``_dispatch(msg)`` (a generator returning ``"handled"`` or
+    ``"halt"``) on top of :meth:`_dispatch_common`.
+
+    All transport state lives in persisted attributes:
+
+    ``_inbox``
+        the :class:`CandidateInbox` for this monitor's app stream;
+    ``_seen_hops``
+        highest token hop accepted, per token ``gid``;
+    ``_held``
+        accepted-but-unprocessed token frames (almost always 0 or 1);
+    ``_pending_out``
+        un-acked outgoing frames, keyed by ``(gid, hop)``.
+    """
+
+    def _init_reliability(self, retry: RetryPolicy | None = None) -> None:
+        self._retry = retry or RetryPolicy()
+        self._inbox = CandidateInbox()
+        self._seen_hops: dict[int, int] = {}
+        self._held: deque[TokenFrame] = deque()
+        self._pending_out: dict[tuple[int, int], tuple[str, str, TokenFrame, int]] = {}
+        self._halting_targets: set[str] | None = None
+        self.halted = False
+        self.gave_up = False
+        self.halt_incomplete = False
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _snapshot_frame(self, frame: TokenFrame) -> TokenFrame:
+        """Deep-enough copy of an accepted frame.
+
+        The sender keeps the original for retransmission; the receiver
+        mutates its own copy so retransmitted bytes stay pristine.
+        """
+        return frame
+
+    def _on_token_accepted(self, frame: TokenFrame) -> None:
+        """Called once per *new* accepted frame, before processing."""
+
+    # ------------------------------------------------------------------
+    # Common dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_common(self, msg):
+        """Handle transport-level kinds; returns a handling code.
+
+        ``"handled"`` — consumed here; ``"halt"`` — a halt was received
+        and acked, the caller must terminate; ``"unhandled"`` — a
+        protocol-specific kind for the caller's ``_dispatch``.
+        """
+        if msg.kind in (CANDIDATE_KIND, END_OF_TRACE_KIND):
+            yield from self._handle_app(msg)
+            return "handled"
+        if msg.kind == TOKEN_KIND:
+            yield from self._handle_token_arrival(msg)
+            return "handled"
+        if msg.kind == TOKEN_ACK_KIND:
+            if not msg.corrupted:
+                self._pending_out.pop(msg.payload, None)
+            return "handled"
+        if msg.kind == HALT_KIND:
+            if msg.corrupted:
+                return "handled"  # the halter will retransmit
+            self.halted = True
+            yield self.send(msg.src, None, kind=HALT_ACK_KIND,
+                            size_bits=HALT_ACK_BITS)
+            return "halt"
+        if msg.kind == HALT_ACK_KIND:
+            return "handled"  # stale ack from an earlier halt wave
+        return "unhandled"
+
+    def _handle_app(self, msg):
+        """Ingest a sequenced app message; ack duplicates and completion."""
+        if msg.corrupted:
+            return  # undetectable garbage: the feeder will retransmit
+        item: Sequenced = msg.payload
+        fresh = self._inbox.accept(item, msg.size_bits)
+        if fresh and not item.final:
+            self.metrics.adjust_space(msg.size_bits)
+        if not fresh or self._inbox.complete:
+            yield self.send(msg.src, self._inbox.ack, kind=CAND_ACK_KIND,
+                            size_bits=ACK_BITS)
+
+    def _handle_token_arrival(self, msg):
+        """Dedup and immediately ack a token frame; hold new ones."""
+        if msg.corrupted:
+            return  # the previous holder will retransmit
+        frame: TokenFrame = msg.payload
+        if frame.hop <= self._seen_hops.get(frame.gid, 0):
+            # Duplicate (or retransmission of an already-accepted hop):
+            # re-ack so the sender stops, then discard.
+            yield self.send(msg.src, frame.key, kind=TOKEN_ACK_KIND,
+                            size_bits=TOKEN_ACK_BITS)
+            return
+        self._seen_hops[frame.gid] = frame.hop
+        self._held.append(self._snapshot_frame(frame))
+        self._on_token_accepted(frame)
+        yield self.send(msg.src, frame.key, kind=TOKEN_ACK_KIND,
+                        size_bits=TOKEN_ACK_BITS)
+
+    # ------------------------------------------------------------------
+    # Candidate consumption
+    # ------------------------------------------------------------------
+    def _next_candidate(self):
+        """Yield until the next in-order candidate (or end of trace).
+
+        Returns ``(payload, size_bits)``, or ``None`` once the stream is
+        exhausted, or the string ``"halt"`` if the protocol was halted
+        while waiting.
+        """
+        while True:
+            entry = self._inbox.pop()
+            if entry is not None:
+                self.metrics.adjust_space(-entry[1])
+                return entry
+            if self._inbox.exhausted:
+                return None
+            msg = yield self.receive(
+                description=f"{self.name} awaiting candidate"
+            )
+            code = yield from self._dispatch(msg)
+            if code == "halt":
+                return "halt"
+
+    # ------------------------------------------------------------------
+    # Outgoing transfers
+    # ------------------------------------------------------------------
+    def _begin_transfer(
+        self, dest: str, frame: TokenFrame, size_bits: int, kind: str = TOKEN_KIND
+    ) -> None:
+        """Queue ``frame`` for reliable delivery to ``dest``."""
+        self._pending_out[frame.key] = (dest, kind, frame, size_bits)
+
+    def _drive_transfers(self):
+        """Retransmit pending frames until all acked.
+
+        Returns ``"ok"``, ``"halt"`` or ``"gave_up"``.  The first send
+        of each frame happens here too, so a crash-restart naturally
+        retransmits from persisted state.
+        """
+        attempt = 0
+        while self._pending_out:
+            for key in sorted(self._pending_out):
+                dest, kind, frame, bits = self._pending_out[key]
+                yield self.send(dest, frame, kind=kind, size_bits=bits)
+            timeout = self._retry.timeout(attempt)
+            while self._pending_out:
+                msg = yield self.receive_timeout(
+                    timeout=timeout,
+                    description=f"{self.name} awaiting token ack",
+                )
+                if msg is None:
+                    break
+                code = yield from self._dispatch(msg)
+                if code == "halt":
+                    return "halt"
+            else:
+                return "ok"
+            attempt += 1
+            if attempt > self._retry.max_attempts:
+                self.gave_up = True
+                self._pending_out.clear()
+                return "gave_up"
+        return "ok"
+
+    # ------------------------------------------------------------------
+    # Reliable termination
+    # ------------------------------------------------------------------
+    def _reliable_halt(self, targets):
+        """Broadcast halt and retransmit until every target acks.
+
+        A concurrently-halting peer's own ``halt`` counts as its ack
+        (both sides are terminating; neither needs the other alive).
+        Bounded by the retry budget: unreachable targets are abandoned
+        with ``halt_incomplete`` — *not* ``gave_up``, because the
+        verdict was committed before halting began and an unfinished
+        shutdown handshake cannot invalidate it.
+        """
+        if self._halting_targets is None:
+            self._halting_targets = {t for t in targets if t != self.name}
+        pending = self._halting_targets
+        attempt = 0
+        while pending:
+            yield [
+                self.send(t, None, kind=HALT_KIND, size_bits=1)
+                for t in sorted(pending)
+            ]
+            timeout = self._retry.timeout(attempt)
+            while pending:
+                msg = yield self.receive_timeout(
+                    timeout=timeout,
+                    description=f"{self.name} halting {len(pending)} peers",
+                )
+                if msg is None:
+                    break
+                if msg.corrupted:
+                    continue
+                if msg.kind == HALT_ACK_KIND:
+                    pending.discard(msg.src)
+                    continue
+                if msg.kind == HALT_KIND:
+                    yield self.send(msg.src, None, kind=HALT_ACK_KIND,
+                                    size_bits=HALT_ACK_BITS)
+                    pending.discard(msg.src)
+                    continue
+                # Anything else is a stale retransmission needing a re-ack.
+                yield from self._dispatch(msg)
+            attempt += 1
+            if attempt > self._retry.max_attempts:
+                self.halt_incomplete = True
+                return
+
+    def _linger(self):
+        """Answer straggler retransmissions briefly, then exit.
+
+        Run after this endpoint's part in the protocol is over (halted,
+        or done halting others): peers whose acks were lost are still
+        retransmitting, and would otherwise retry into a finished actor
+        until they exhausted their budgets.  The window exceeds any
+        peer's maximum retransmission gap.
+        """
+        linger = self._retry.cap + self._retry.base_timeout
+        while True:
+            msg = yield self.receive_timeout(
+                timeout=linger,
+                description=f"{self.name} lingering after halt",
+            )
+            if msg is None:
+                return
+            yield from self._dispatch(msg)

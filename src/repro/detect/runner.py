@@ -23,7 +23,13 @@ from repro.detect.base import DetectionReport
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.trace.computation import Computation
 
-__all__ = ["DETECTORS", "run_detector", "offline_detectors", "online_detectors"]
+__all__ = [
+    "DETECTORS",
+    "FAULT_CAPABLE",
+    "run_detector",
+    "offline_detectors",
+    "online_detectors",
+]
 
 
 class _DetectFn(Protocol):
@@ -50,6 +56,12 @@ _ONLINE: dict[str, Callable] = {
 }
 DETECTORS: dict[str, Callable] = {**_OFFLINE, **_ONLINE}
 
+#: Online detectors with a hardened (loss/crash-tolerant) variant; only
+#: these accept the ``faults`` / ``hardened`` / ``retry`` options.
+FAULT_CAPABLE: frozenset[str] = frozenset(
+    {"token_vc", "token_vc_multi", "direct_dep"}
+)
+
 
 def offline_detectors() -> tuple[str, ...]:
     """Names of trace-analysis detectors (no simulation options)."""
@@ -68,7 +80,10 @@ def run_detector(
     **options: object,
 ) -> DetectionReport:
     """Run detector ``name``; online detectors accept ``seed``,
-    ``channel_model``, ``spacing`` and algorithm-specific options."""
+    ``channel_model``, ``spacing`` and algorithm-specific options.
+    Detectors in :data:`FAULT_CAPABLE` additionally accept ``faults``
+    (a :class:`~repro.simulation.faults.FaultPlan`), ``hardened`` and
+    ``retry``."""
     try:
         fn = DETECTORS[name]
     except KeyError:
@@ -79,4 +94,11 @@ def run_detector(
         raise ConfigurationError(
             f"offline detector {name!r} takes no options, got {sorted(options)}"
         )
+    if name not in FAULT_CAPABLE:
+        bad = sorted(k for k in ("faults", "hardened", "retry") if k in options)
+        if bad:
+            raise ConfigurationError(
+                f"detector {name!r} has no hardened variant; options {bad} "
+                f"require one of {sorted(FAULT_CAPABLE)}"
+            )
     return fn(computation, wcp, **options)

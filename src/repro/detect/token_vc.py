@@ -42,8 +42,16 @@ from repro.detect.base import (
     app_name,
     monitor_name,
 )
+from repro.detect.reliability import (
+    ReliableEndpoint,
+    ReliableFeeder,
+    ReliableInjector,
+    RetryPolicy,
+    TokenFrame,
+)
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
+from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -56,7 +64,7 @@ from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import vc_snapshots
 
-__all__ = ["VCToken", "TokenVCMonitor", "detect"]
+__all__ = ["VCToken", "TokenVCMonitor", "HardenedTokenVCMonitor", "detect"]
 
 
 @dataclass
@@ -201,6 +209,144 @@ class TokenVCMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
+class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
+    """Crash/loss-tolerant §3 monitor (see ``docs/faults.md``).
+
+    Semantically identical to :class:`TokenVCMonitor` — under any fault
+    schedule with eventual delivery it declares the same first
+    consistent cut — but written as a state machine over persisted
+    attributes so that:
+
+    * candidates arrive through the sequence-numbered
+      :class:`~repro.detect.reliability.CandidateInbox` (duplicates
+      discarded, order restored);
+    * the token travels in hop-numbered frames, acked per hop and
+      retransmitted by the previous holder until acked — a lost or
+      crash-swallowed token is regenerated from the sender's persisted
+      copy;
+    * a crash-restart re-enters :meth:`run`, which resumes the visit in
+      progress from the held frame and the persisted ``_accepted``
+      candidate (the Fig. 3 repaint loop is idempotent).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        slot: int,
+        monitor_names: list[str],
+        routing: str = "cyclic",
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        TokenVCMonitor.__init__(self, pid, slot, monitor_names, routing=routing)
+        self._init_reliability(retry)
+        # The candidate accepted during the current visit, persisted so
+        # the repaint loop can resume after a crash mid-visit.
+        self._accepted: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def _snapshot_frame(self, frame: TokenFrame) -> TokenFrame:
+        token: VCToken = frame.body
+        return TokenFrame(
+            frame.hop,
+            VCToken(G=list(token.G), color=list(token.color)),
+            frame.gid,
+        )
+
+    def _on_token_accepted(self, frame: TokenFrame) -> None:
+        self.token_visits += 1
+        self._accepted = None
+
+    def _dispatch(self, msg):
+        code = yield from self._dispatch_common(msg)
+        return code
+
+    def _halt_targets(self) -> list[str]:
+        peers = [m for m in self._monitors if m != self.name]
+        feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
+        return peers + feeders
+
+    # ------------------------------------------------------------------
+    def run(self):
+        while True:
+            if self.halted:
+                yield from self._linger()
+                return
+            if self.detected or self.aborted:
+                yield from self._reliable_halt(self._halt_targets())
+                yield from self._linger()
+                return
+            if self.gave_up:
+                return
+            if self._pending_out:
+                yield from self._drive_transfers()
+                continue  # the loop head re-examines halted / gave_up
+            if self._held:
+                frame = self._held[0]  # peek: popped only once resolved
+                code = yield from self._handle_frame(frame)
+                if code == "halt":
+                    continue
+                token: VCToken = frame.body
+                # Each branch below is one atomic block (no yields):
+                # the visit's outcome and the frame's retirement commit
+                # together, so a crash never strands a half-resolved
+                # token.
+                if code == "abort":
+                    self.aborted = True
+                elif code == "detected":
+                    self.detected = True
+                    self.detected_cut = tuple(token.G)
+                    self.detected_at = self.now
+                else:  # forward
+                    target = self._next_red_slot(token)
+                    nxt = TokenFrame(frame.hop + 1, token, frame.gid)
+                    self._begin_transfer(
+                        self._monitors[target],
+                        nxt,
+                        token.size_bits() + WORD_BITS,
+                    )
+                self._held.popleft()
+                continue
+            msg = yield self.receive(description=f"{self.name} awaiting token")
+            yield from self._dispatch(msg)
+
+    def _handle_frame(self, frame: TokenFrame):
+        """One (possibly resumed) token visit over the held frame.
+
+        Returns ``"halt"`` / ``"abort"`` / ``"detected"`` / ``"forward"``.
+        Safe to re-enter after a crash: every token mutation is in the
+        same atomic block as the inbox pop or persisted-attribute write
+        that justified it, and the repaint loop is idempotent.
+        """
+        token: VCToken = frame.body
+        slot = self._slot
+        while token.color[slot] == RED:
+            entry = yield from self._next_candidate()
+            if entry == "halt":
+                return "halt"
+            if entry is None:
+                # End of trace while eliminated: the WCP cannot hold.
+                return "abort"
+            cand = entry[0]
+            if cand[slot] > token.G[slot]:
+                token.G[slot] = cand[slot]
+                token.color[slot] = GREEN
+                self._accepted = cand
+            yield self.work(1)
+        candidate = self._accepted
+        assert candidate is not None
+        for j in range(self._n):
+            if j == slot:
+                continue
+            if candidate[j] >= token.G[j]:
+                token.G[j] = candidate[j]
+                token.color[j] = RED
+            yield self.work(1)
+        yield self.work(self._n)
+        if token.all_green():
+            return "detected"
+        return "forward"
+
+
 class _TokenInjector(Actor):
     """Delivers the initial all-red token to the first monitor at t=0."""
 
@@ -225,6 +371,9 @@ def detect(
     spacing: float = 1.0,
     routing: str = "cyclic",
     observers: list | None = None,
+    faults: FaultPlan | None = None,
+    hardened: bool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> DetectionReport:
     """Run the §3 algorithm on a recorded computation.
 
@@ -232,19 +381,36 @@ def detect(
     predicate process, injects the token, runs to quiescence, and reads
     the verdict off the monitor actors.  ``routing`` selects the
     red-slot forwarding policy (see :attr:`TokenVCMonitor.ROUTINGS`).
+
+    ``faults`` injects failures (see :mod:`repro.simulation.faults`);
+    ``hardened`` selects the loss/crash-tolerant actors and defaults to
+    "on exactly when faults are injected" — pass ``hardened=True`` with
+    no faults to measure the reliability layer's overhead, or
+    ``hardened=False`` with faults to watch the plain protocol fail.
+    ``retry`` tunes the hardened actors' retransmission schedule.
     """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
     n = wcp.n
-    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    use_hardened = (faults is not None) if hardened is None else hardened
+    kernel = Kernel(
+        channel_model=channel_model, seed=seed, observers=observers, faults=faults
+    )
     names = [monitor_name(pid) for pid in pids]
-    monitors = [
-        TokenVCMonitor(pid, slot, names, routing=routing)
-        for slot, pid in enumerate(pids)
-    ]
+    if use_hardened:
+        monitors = [
+            HardenedTokenVCMonitor(pid, slot, names, routing=routing, retry=retry)
+            for slot, pid in enumerate(pids)
+        ]
+    else:
+        monitors = [
+            TokenVCMonitor(pid, slot, names, routing=routing)
+            for slot, pid in enumerate(pids)
+        ]
     for mon in monitors:
         kernel.add_actor(mon)
     streams = vc_snapshots(computation, wcp.predicate_map())
+    feeders = []
     for pid in pids:
         items = [
             FeedItem(
@@ -254,13 +420,30 @@ def detect(
             )
             for snap in streams[pid]
         ]
-        kernel.add_actor(
-            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        if use_hardened:
+            feeder = ReliableFeeder(
+                app_name(pid), monitor_name(pid), items, spacing, retry
+            )
+        else:
+            feeder = SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        feeders.append(feeder)
+        kernel.add_actor(feeder)
+    injector = None
+    if use_hardened:
+        token = VCToken.initial(n)
+        injector = ReliableInjector(
+            names[0],
+            TokenFrame(hop=1, body=token),
+            token.size_bits() + WORD_BITS,
+            retry,
         )
-    kernel.add_actor(_TokenInjector(names[0], n))
+        kernel.add_actor(injector)
+    else:
+        kernel.add_actor(_TokenInjector(names[0], n))
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)
+    aborted = any(m.aborted for m in monitors)
     actor_metrics = kernel.metrics.actors()
     token_hops = sum(
         m.sent_by_kind.get(TOKEN_KIND, 0)
@@ -273,8 +456,17 @@ def detect(
         "candidates_sent": sum(
             m.sent_by_kind.get(CANDIDATE_KIND, 0) for m in actor_metrics.values()
         ),
-        "aborted": any(m.aborted for m in monitors),
+        "aborted": aborted,
+        "hardened": use_hardened,
     }
+    if use_hardened:
+        participants = [*monitors, *feeders, injector]
+        extras["gave_up"] = any(
+            getattr(a, "gave_up", False) for a in participants
+        )
+        extras["halt_incomplete"] = any(
+            getattr(a, "halt_incomplete", False) for a in participants
+        )
     if winner is not None:
         assert winner.detected_cut is not None
         return DetectionReport(
@@ -292,4 +484,5 @@ def detect(
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
+        degraded=faults is not None and not aborted,
     )

@@ -37,9 +37,16 @@ from repro.detect.base import (
     app_name,
     monitor_name,
 )
+from repro.detect.reliability import (
+    ReliableEndpoint,
+    ReliableFeeder,
+    RetryPolicy,
+    TokenFrame,
+)
 from repro.detect.token_vc import VCToken
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
+from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -52,7 +59,15 @@ from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import vc_snapshots
 
-__all__ = ["GroupToken", "GroupMonitor", "LeaderActor", "detect", "LEADER_NAME"]
+__all__ = [
+    "GroupToken",
+    "GroupMonitor",
+    "LeaderActor",
+    "HardenedGroupMonitor",
+    "HardenedLeader",
+    "detect",
+    "LEADER_NAME",
+]
 
 LEADER_NAME = "leader"
 
@@ -230,6 +245,226 @@ class LeaderActor(Actor):
                 elim[i] = max(elim[i], bound)
 
 
+class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
+    """Crash/loss-tolerant §3.5 group monitor.
+
+    The in-group token travels in hop-numbered frames keyed by the group
+    id (each group's token has its own hop sequence), acked per hop and
+    retransmitted from the previous holder's persisted copy; candidates
+    arrive through the sequence-numbered inbox.  See
+    :class:`repro.detect.token_vc.HardenedTokenVCMonitor` for the shared
+    crash-resume argument.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        slot: int,
+        monitor_names: list[str],
+        group_slots: frozenset[int],
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        GroupMonitor.__init__(self, pid, slot, monitor_names, group_slots)
+        self._init_reliability(retry)
+        self._accepted: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def _snapshot_frame(self, frame: TokenFrame) -> TokenFrame:
+        gtoken: GroupToken = frame.body
+        return TokenFrame(
+            frame.hop,
+            GroupToken(
+                gtoken.group,
+                VCToken(G=list(gtoken.token.G), color=list(gtoken.token.color)),
+            ),
+            frame.gid,
+        )
+
+    def _on_token_accepted(self, frame: TokenFrame) -> None:
+        self.token_visits += 1
+        self._accepted = None
+
+    def _dispatch(self, msg):
+        code = yield from self._dispatch_common(msg)
+        return code
+
+    def _halt_targets(self) -> list[str]:
+        peers = [m for m in self._monitors if m != self.name]
+        feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
+        return peers + [LEADER_NAME] + feeders
+
+    # ------------------------------------------------------------------
+    def run(self):
+        while True:
+            if self.halted:
+                yield from self._linger()
+                return
+            if self.aborted:
+                yield from self._reliable_halt(self._halt_targets())
+                yield from self._linger()
+                return
+            if self.gave_up:
+                return
+            if self._pending_out:
+                yield from self._drive_transfers()
+                continue
+            if self._held:
+                frame = self._held[0]
+                code = yield from self._handle_frame(frame)
+                if code == "halt":
+                    continue
+                if code == "abort":
+                    self.aborted = True
+                else:  # forward: in group, or back to the leader
+                    gtoken: GroupToken = frame.body
+                    target = self._next_in_group_red(gtoken.token)
+                    dest = LEADER_NAME if target is None else self._monitors[target]
+                    self._begin_transfer(
+                        dest,
+                        TokenFrame(frame.hop + 1, gtoken, frame.gid),
+                        gtoken.size_bits() + WORD_BITS,
+                    )
+                self._held.popleft()
+                continue
+            msg = yield self.receive(description=f"{self.name} awaiting token")
+            yield from self._dispatch(msg)
+
+    def _handle_frame(self, frame: TokenFrame):
+        """One (possibly crash-resumed) visit; ``"halt"``/``"abort"``/``"forward"``."""
+        token = frame.body.token
+        slot = self._slot
+        while token.color[slot] == RED:
+            entry = yield from self._next_candidate()
+            if entry == "halt":
+                return "halt"
+            if entry is None:
+                return "abort"
+            cand = entry[0]
+            if cand[slot] > token.G[slot]:
+                token.G[slot] = cand[slot]
+                token.color[slot] = GREEN
+                self._accepted = cand
+            yield self.work(1)
+        candidate = self._accepted
+        assert candidate is not None
+        for j in range(self._n):
+            if j == slot:
+                continue
+            if candidate[j] >= token.G[j]:
+                token.G[j] = candidate[j]
+                token.color[j] = RED
+            yield self.work(1)
+        yield self.work(self._n)
+        return "forward"
+
+
+class HardenedLeader(ReliableEndpoint, LeaderActor):
+    """Crash/loss-tolerant §3.5 leader.
+
+    The merge state (``live`` / ``elim``) and the set of groups whose
+    tokens are outstanding live in persisted attributes; merging a
+    returned token and retiring it from the outstanding set happen in
+    one atomic block, and merging is idempotent (component-wise max), so
+    a crash between rounds or mid-merge resumes cleanly.  Each round's
+    fresh group tokens are numbered ``seen_hop(group) + 1``, continuing
+    the group's hop sequence across rounds.
+    """
+
+    def __init__(
+        self,
+        groups: list[frozenset[int]],
+        group_of: list[int],
+        monitor_names: list[str],
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        LeaderActor.__init__(self, groups, group_of, monitor_names)
+        self._init_reliability(retry)
+        self._live: list[int | None] = [None] * self._n
+        self._elim: list[int] = [0] * self._n
+        self._outstanding: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _snapshot_frame(self, frame: TokenFrame) -> TokenFrame:
+        gtoken: GroupToken = frame.body
+        return TokenFrame(
+            frame.hop,
+            GroupToken(
+                gtoken.group,
+                VCToken(G=list(gtoken.token.G), color=list(gtoken.token.color)),
+            ),
+            frame.gid,
+        )
+
+    def _dispatch(self, msg):
+        code = yield from self._dispatch_common(msg)
+        return code
+
+    def _halt_targets(self) -> list[str]:
+        feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
+        return list(self._monitors) + feeders
+
+    # ------------------------------------------------------------------
+    def run(self):
+        n = self._n
+        while True:
+            if self.halted:
+                yield from self._linger()
+                return
+            if self.detected:
+                yield from self._reliable_halt(self._halt_targets())
+                yield from self._linger()
+                return
+            if self.gave_up:
+                return
+            if self._pending_out:
+                yield from self._drive_transfers()
+                continue
+            if self._held:
+                # Atomic: merge the returned token and retire it together.
+                frame = self._held.popleft()
+                gtoken: GroupToken = frame.body
+                self._merge(gtoken, self._live, self._elim)
+                self._outstanding.discard(gtoken.group)
+                yield self.work(n)
+                continue
+            if self._outstanding:
+                msg = yield self.receive(
+                    description=f"{self.name} awaiting group tokens"
+                )
+                yield from self._dispatch(msg)
+                continue
+            # Start a new round (atomic up to the transfer drive).
+            self.rounds += 1
+            red_slots = [
+                i
+                for i in range(n)
+                if self._live[i] is None or self._live[i] <= self._elim[i]
+            ]
+            if not red_slots:
+                self.detected = True
+                self.detected_cut = tuple(self._live)  # type: ignore[arg-type]
+                self.detected_at = self.now
+                continue
+            red_groups = sorted({self._group_of[i] for i in red_slots})
+            for g in red_groups:
+                token = VCToken(G=[0] * n, color=[RED] * n)
+                for i in range(n):
+                    if self._live[i] is not None and self._live[i] > self._elim[i]:
+                        token.G[i] = self._live[i]
+                        token.color[i] = GREEN
+                    else:
+                        token.G[i] = self._elim[i]
+                        token.color[i] = RED
+                gtoken = GroupToken(g, token)
+                entry = min(i for i in red_slots if self._group_of[i] == g)
+                self._begin_transfer(
+                    self._monitors[entry],
+                    TokenFrame(self._seen_hops.get(g, 0) + 1, gtoken, gid=g),
+                    gtoken.size_bits() + WORD_BITS,
+                )
+            self._outstanding = set(red_groups)
+
+
 def _partition(n: int, g: int) -> tuple[list[frozenset[int]], list[int]]:
     """Contiguous partition of slots 0..n-1 into g non-empty groups."""
     if g < 1:
@@ -258,23 +493,43 @@ def detect(
     spacing: float = 1.0,
     groups: int = 2,
     observers: list | None = None,
+    faults: FaultPlan | None = None,
+    hardened: bool | None = None,
+    retry: RetryPolicy | None = None,
 ) -> DetectionReport:
-    """Run the §3.5 multi-token algorithm with ``groups`` tokens."""
+    """Run the §3.5 multi-token algorithm with ``groups`` tokens.
+
+    ``faults`` / ``hardened`` / ``retry`` behave as in
+    :func:`repro.detect.token_vc.detect`.
+    """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
     n = wcp.n
+    use_hardened = (faults is not None) if hardened is None else hardened
     group_sets, group_of = _partition(n, groups)
-    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    kernel = Kernel(
+        channel_model=channel_model, seed=seed, observers=observers, faults=faults
+    )
     names = [monitor_name(pid) for pid in pids]
-    monitors = [
-        GroupMonitor(pid, slot, names, group_sets[group_of[slot]])
-        for slot, pid in enumerate(pids)
-    ]
+    if use_hardened:
+        monitors = [
+            HardenedGroupMonitor(
+                pid, slot, names, group_sets[group_of[slot]], retry=retry
+            )
+            for slot, pid in enumerate(pids)
+        ]
+        leader: LeaderActor = HardenedLeader(group_sets, group_of, names, retry)
+    else:
+        monitors = [
+            GroupMonitor(pid, slot, names, group_sets[group_of[slot]])
+            for slot, pid in enumerate(pids)
+        ]
+        leader = LeaderActor(group_sets, group_of, names)
     for mon in monitors:
         kernel.add_actor(mon)
-    leader = LeaderActor(group_sets, group_of, names)
     kernel.add_actor(leader)
     streams = vc_snapshots(computation, wcp.predicate_map())
+    feeders = []
     for pid in pids:
         items = [
             FeedItem(
@@ -284,11 +539,17 @@ def detect(
             )
             for snap in streams[pid]
         ]
-        kernel.add_actor(
-            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
-        )
+        if use_hardened:
+            feeder = ReliableFeeder(
+                app_name(pid), monitor_name(pid), items, spacing, retry
+            )
+        else:
+            feeder = SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        feeders.append(feeder)
+        kernel.add_actor(feeder)
     sim = kernel.run()
 
+    aborted = any(m.aborted for m in monitors)
     actor_metrics = kernel.metrics.actors()
     extras = {
         "groups": len(group_sets),
@@ -299,8 +560,17 @@ def detect(
             if name.startswith("mon-") or name == LEADER_NAME
         ),
         "token_visits": sum(m.token_visits for m in monitors),
-        "aborted": any(m.aborted for m in monitors),
+        "aborted": aborted,
+        "hardened": use_hardened,
     }
+    if use_hardened:
+        participants = [leader, *monitors, *feeders]
+        extras["gave_up"] = any(
+            getattr(a, "gave_up", False) for a in participants
+        )
+        extras["halt_incomplete"] = any(
+            getattr(a, "halt_incomplete", False) for a in participants
+        )
     if leader.detected:
         assert leader.detected_cut is not None
         return DetectionReport(
@@ -318,4 +588,5 @@ def detect(
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
+        degraded=faults is not None and not aborted,
     )

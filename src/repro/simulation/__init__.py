@@ -2,13 +2,20 @@
 
 from repro.simulation.actors import Actor
 from repro.simulation.effects import Message, Receive, Send, Sleep, Work, kind_is
-from repro.simulation.instrumentation import ActorMetrics, MetricsBoard
+from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.simulation.instrumentation import (
+    ActorMetrics,
+    ChannelFaultStats,
+    FaultSummary,
+    MetricsBoard,
+)
 from repro.simulation.kernel import Kernel, SimulationResult
 from repro.simulation.network import (
     ChannelModel,
     ExponentialLatency,
     FixedLatency,
     KindBiasedLatency,
+    NonFifoLatency,
     UniformLatency,
 )
 from repro.simulation.observers import (
@@ -36,12 +43,18 @@ __all__ = [
     "Kernel",
     "SimulationResult",
     "ActorMetrics",
+    "ChannelFaultStats",
+    "FaultSummary",
     "MetricsBoard",
+    "FaultPlan",
+    "FaultRule",
+    "CrashEvent",
     "ChannelModel",
     "FixedLatency",
     "ExponentialLatency",
     "UniformLatency",
     "KindBiasedLatency",
+    "NonFifoLatency",
     "CANDIDATE_KIND",
     "END_OF_TRACE_KIND",
     "FeedItem",

@@ -61,6 +61,18 @@ class Actor:
         """
         raise NotImplementedError
 
+    def restart(self) -> Generator:
+        """The actor's behaviour after a crash-restart.
+
+        Called by the kernel when a :class:`~repro.simulation.faults.
+        CrashEvent` schedules a restart.  The default re-runs
+        :meth:`run` from the top; instance attributes survive the crash
+        (they model persisted local state), so crash-tolerant actors can
+        either override this or write ``run`` to resume from persisted
+        attributes.
+        """
+        return self.run()
+
     # ------------------------------------------------------------------
     # Effect constructors (so subclass code reads `yield self.send(...)`)
     # ------------------------------------------------------------------

@@ -29,6 +29,12 @@ class Message:
     ``size_bits`` is the accounting size used for the paper's
     bit-complexity measurements; it is declared by the sender, not
     derived from the payload.
+
+    ``corrupted`` is set by the fault-injection layer
+    (:mod:`repro.simulation.faults`): it models a payload whose checksum
+    fails at the receiver.  Hardened protocols discard such messages and
+    rely on retransmission; plain protocols see the flag and nothing
+    else.
     """
 
     seq: int
@@ -39,6 +45,7 @@ class Message:
     size_bits: int
     sent_at: float
     delivered_at: float
+    corrupted: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,258 @@
+"""Fault injection: reproducible message- and process-failure schedules.
+
+The paper's model (§2) assumes reliable channels and ever-live monitors.
+A :class:`FaultPlan` relaxes both, per run, without touching protocol
+code: it wraps the kernel's delivery path with per-channel message
+**drop**, **duplication** and **corruption-marking**, and schedules
+actor **crash / restart** lifecycle events with mailbox loss.
+
+Design points:
+
+* **Composable** — a plan is a sequence of :class:`FaultRule` filters
+  (matched first-to-last on ``(src, dest, kind)``) plus a list of
+  :class:`CrashEvent` schedules; plans are immutable values and can be
+  merged with :meth:`FaultPlan.merge`.
+* **Reproducible** — all probability draws use a dedicated RNG the
+  kernel derives from its seed (label ``"faults"``), so a fault schedule
+  is a pure function of ``(seed, plan, workload)`` and never perturbs
+  the latency stream existing runs draw from.
+* **Marking, not mangling** — "corruption" sets
+  :attr:`~repro.simulation.effects.Message.corrupted`; this models a
+  checksum that lets the *receiver* detect and discard garbage, which is
+  exactly what the hardened protocols (``repro.detect.reliability``) do.
+  Unhardened protocols see the flag and nothing else.
+
+Crash semantics: at ``at`` the actor's coroutine is destroyed and its
+mailbox is emptied (messages in flight to a down actor are lost); at
+``restart_at`` (if any) the kernel calls
+:meth:`~repro.simulation.actors.Actor.restart`, which by default re-runs
+the actor from scratch.  Ordinary Python attributes on the actor object
+survive — they model the process's persisted local state, which the
+hardened detectors use to regenerate protocol state after a restart.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+__all__ = ["FaultRule", "CrashEvent", "FaultPlan", "MATCH_ANY"]
+
+#: Wildcard accepted by :meth:`FaultPlan.parse` and rule fields.
+MATCH_ANY = "*"
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """Per-channel fault probabilities for messages matching a filter.
+
+    ``kind``, ``src`` and ``dest`` are exact matches; ``None`` (or
+    ``"*"``) matches anything.  The first matching rule in a plan wins,
+    so put specific rules before broad ones.
+    """
+
+    kind: str | None = None
+    src: str | None = None
+    dest: str | None = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("drop", self.drop)
+        _check_probability("duplicate", self.duplicate)
+        _check_probability("corrupt", self.corrupt)
+        for attr in ("kind", "src", "dest"):
+            if getattr(self, attr) == MATCH_ANY:
+                object.__setattr__(self, attr, None)
+
+    def matches(self, src: str, dest: str, kind: str) -> bool:
+        """Whether this rule applies to a message on ``(src, dest, kind)``."""
+        return (
+            (self.kind is None or self.kind == kind)
+            and (self.src is None or self.src == src)
+            and (self.dest is None or self.dest == dest)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """One scheduled crash (and optional restart) of a named actor.
+
+    ``restart_at=None`` means the actor stays down for the rest of the
+    run (a *crash-stop* failure); otherwise it must be strictly after
+    ``at``.
+    """
+
+    actor: str
+    at: float
+    restart_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.actor:
+            raise ConfigurationError("crash event needs an actor name")
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ConfigurationError(
+                f"restart_at must be after the crash "
+                f"({self.restart_at} <= {self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable fault schedule for one simulation run.
+
+    Pass to :class:`~repro.simulation.kernel.Kernel` (or any online
+    detector via ``faults=``).  ``rules`` drive per-message draws;
+    ``crashes`` are fired at their scheduled simulated times.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------------
+    # Kernel interface
+    # ------------------------------------------------------------------
+    def draw(
+        self, src: str, dest: str, kind: str, rng: random.Random
+    ) -> list[bool]:
+        """Decide the fate of one message: a list of delivery copies.
+
+        The returned list holds one ``corrupted`` flag per copy to
+        deliver — ``[]`` drops the message, ``[False]`` is a clean
+        delivery, ``[False, True]`` is a duplication whose second copy
+        arrives corruption-marked.
+        """
+        rule = None
+        for candidate in self.rules:
+            if candidate.matches(src, dest, kind):
+                rule = candidate
+                break
+        if rule is None:
+            return [False]
+        if rule.drop > 0.0 and rng.random() < rule.drop:
+            return []
+        copies = 1
+        if rule.duplicate > 0.0 and rng.random() < rule.duplicate:
+            copies = 2
+        return [
+            rule.corrupt > 0.0 and rng.random() < rule.corrupt
+            for _ in range(copies)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """A plan applying ``self``'s rules first, then ``other``'s."""
+        return FaultPlan(
+            rules=self.rules + other.rules,
+            crashes=self.crashes + other.crashes,
+        )
+
+    @property
+    def affects_messages(self) -> bool:
+        """Whether any rule can drop, duplicate or corrupt anything."""
+        return any(
+            r.drop > 0 or r.duplicate > 0 or r.corrupt > 0 for r in self.rules
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        The spec is a comma-separated list of clauses::
+
+            drop:<kind>:<p>          e.g. drop:token:0.2
+            dup:<kind>:<p>           e.g. dup:*:0.05
+            corrupt:<kind>:<p>       e.g. corrupt:candidate:0.1
+            crash:<actor>:<at>[:<restart_at>]   e.g. crash:mon-1:4:9
+
+        ``<kind>`` may be ``*`` for all message kinds.  Repeated
+        drop/dup/corrupt clauses for the same kind merge into one rule.
+        """
+        per_kind: dict[str | None, dict[str, float]] = {}
+        order: list[str | None] = []
+        crashes: list[CrashEvent] = []
+        for raw in spec.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            op = parts[0].strip().lower()
+            if op == "crash":
+                if len(parts) not in (3, 4):
+                    raise ConfigurationError(
+                        f"bad crash clause {clause!r}; expected "
+                        f"crash:<actor>:<at>[:<restart_at>]"
+                    )
+                try:
+                    at = float(parts[2])
+                    restart = float(parts[3]) if len(parts) == 4 else None
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad crash times in {clause!r}"
+                    ) from None
+                crashes.append(CrashEvent(parts[1], at, restart))
+                continue
+            if op not in ("drop", "dup", "corrupt"):
+                raise ConfigurationError(
+                    f"unknown fault clause {clause!r}; expected "
+                    f"drop/dup/corrupt/crash"
+                )
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"bad fault clause {clause!r}; expected {op}:<kind>:<p>"
+                )
+            kind: str | None = parts[1].strip() or MATCH_ANY
+            if kind == MATCH_ANY:
+                kind = None
+            try:
+                p = float(parts[2])
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad probability in {clause!r}"
+                ) from None
+            _check_probability(op, p)
+            if kind not in per_kind:
+                per_kind[kind] = {"drop": 0.0, "duplicate": 0.0, "corrupt": 0.0}
+                order.append(kind)
+            key = {"drop": "drop", "dup": "duplicate", "corrupt": "corrupt"}[op]
+            per_kind[kind][key] = p
+        rules = tuple(FaultRule(kind=k, **per_kind[k]) for k in order)
+        return cls(rules=rules, crashes=tuple(crashes))
+
+    def describe(self) -> str:
+        """A short human-readable summary (used by the CLI)."""
+        bits: list[str] = []
+        for r in self.rules:
+            scope = r.kind if r.kind is not None else MATCH_ANY
+            if r.src or r.dest:
+                scope += f"@{r.src or MATCH_ANY}->{r.dest or MATCH_ANY}"
+            probs = []
+            if r.drop:
+                probs.append(f"drop={r.drop:g}")
+            if r.duplicate:
+                probs.append(f"dup={r.duplicate:g}")
+            if r.corrupt:
+                probs.append(f"corrupt={r.corrupt:g}")
+            bits.append(f"{scope}[{','.join(probs) or 'noop'}]")
+        for c in self.crashes:
+            when = f"@{c.at:g}"
+            if c.restart_at is not None:
+                when += f"..{c.restart_at:g}"
+            bits.append(f"crash:{c.actor}{when}")
+        return " ".join(bits) if bits else "(no faults)"

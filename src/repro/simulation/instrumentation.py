@@ -19,7 +19,41 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import SimulationError
 
-__all__ = ["ActorMetrics", "MetricsBoard"]
+__all__ = ["ActorMetrics", "ChannelFaultStats", "FaultSummary", "MetricsBoard"]
+
+
+@dataclass
+class ChannelFaultStats:
+    """Injected-fault counters for one directed channel ``(src, dest)``.
+
+    Populated by the kernel only when a fault plan is active; the
+    ``lost_to_crash`` counter also covers mailbox loss at crash time.
+    """
+
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    lost_to_crash: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSummary:
+    """Whole-run fault totals, attached to ``SimulationResult.faults``."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    lost_to_crash: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+    @property
+    def total_message_faults(self) -> int:
+        """All message-level fault events (excludes crash lifecycle)."""
+        return (
+            self.dropped + self.duplicated + self.corrupted
+            + self.lost_to_crash
+        )
 
 
 @dataclass
@@ -76,6 +110,9 @@ class MetricsBoard:
 
     def __init__(self) -> None:
         self._actors: dict[str, ActorMetrics] = {}
+        self._channel_faults: dict[tuple[str, str], ChannelFaultStats] = {}
+        self._crashes: dict[str, int] = {}
+        self._restarts: dict[str, int] = {}
 
     def register(self, name: str) -> ActorMetrics:
         """Create (or return) the metrics record for ``name``."""
@@ -93,6 +130,53 @@ class MetricsBoard:
     def actors(self) -> dict[str, ActorMetrics]:
         """All actor metrics, keyed by name (live references)."""
         return dict(self._actors)
+
+    # ------------------------------------------------------------------
+    # Fault accounting (populated by the kernel's fault layer)
+    # ------------------------------------------------------------------
+    def record_channel_fault(self, src: str, dest: str, what: str) -> None:
+        """Count one injected fault on the directed channel ``src->dest``.
+
+        ``what`` names a :class:`ChannelFaultStats` counter
+        (``dropped`` / ``duplicated`` / ``corrupted`` / ``lost_to_crash``).
+        """
+        stats = self._channel_faults.get((src, dest))
+        if stats is None:
+            stats = self._channel_faults[(src, dest)] = ChannelFaultStats()
+        setattr(stats, what, getattr(stats, what) + 1)
+
+    def record_crash(self, actor: str) -> None:
+        """Count one crash of ``actor``."""
+        self._crashes[actor] = self._crashes.get(actor, 0) + 1
+
+    def record_restart(self, actor: str) -> None:
+        """Count one restart of ``actor``."""
+        self._restarts[actor] = self._restarts.get(actor, 0) + 1
+
+    def channel_faults(self) -> dict[tuple[str, str], ChannelFaultStats]:
+        """Per-channel fault counters, keyed by ``(src, dest)``."""
+        return dict(self._channel_faults)
+
+    def crash_counts(self) -> dict[str, int]:
+        """Crashes per actor name."""
+        return dict(self._crashes)
+
+    def restart_counts(self) -> dict[str, int]:
+        """Restarts per actor name."""
+        return dict(self._restarts)
+
+    def fault_summary(self) -> FaultSummary:
+        """Whole-run totals across all channels and actors."""
+        return FaultSummary(
+            dropped=sum(s.dropped for s in self._channel_faults.values()),
+            duplicated=sum(s.duplicated for s in self._channel_faults.values()),
+            corrupted=sum(s.corrupted for s in self._channel_faults.values()),
+            lost_to_crash=sum(
+                s.lost_to_crash for s in self._channel_faults.values()
+            ),
+            crashes=sum(self._crashes.values()),
+            restarts=sum(self._restarts.values()),
+        )
 
     # ------------------------------------------------------------------
     # Aggregates used by the experiment harness

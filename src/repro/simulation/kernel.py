@@ -12,7 +12,11 @@ The kernel schedules actor coroutines over simulated time:
 
 Determinism: the event queue is ordered by ``(time, sequence)``; all
 randomness (latency draws) comes from one seeded generator; equal-time
-events fire in schedule order.
+events fire in schedule order.  Fault injection (drop / duplication /
+corruption-marking / crash-restart, see :mod:`.faults`) draws from a
+*separate* generator derived from the same seed, so enabling faults
+never perturbs the latency stream, and a fault schedule is reproducible
+from ``(seed, plan)`` alone.
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ from repro.common.errors import SimulationError
 from repro.common.rng import spawn_rng
 from repro.simulation.actors import Actor
 from repro.simulation.effects import Message, Receive, Send, Sleep, Work
-from repro.simulation.instrumentation import MetricsBoard
+from repro.simulation.faults import CrashEvent, FaultPlan
+from repro.simulation.instrumentation import FaultSummary, MetricsBoard
 from repro.simulation.network import ChannelModel, FixedLatency
 
 __all__ = ["Kernel", "SimulationResult"]
@@ -38,6 +43,7 @@ class _Status(Enum):
     BLOCKED = "blocked"
     SLEEPING = "sleeping"
     FINISHED = "finished"
+    CRASHED = "crashed"
 
 
 @dataclass
@@ -50,6 +56,10 @@ class _ActorState:
     # Incremented on every block; lets stale receive-timeout events be
     # recognized and ignored after the actor has already been resumed.
     block_epoch: int = 0
+    # Incremented on every crash; lets stale resume events (sleeps and
+    # work scheduled before the crash) be recognized and ignored after
+    # the actor has restarted.
+    incarnation: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +68,9 @@ class SimulationResult:
 
     ``deadlocked`` is True when the run ended with at least one actor
     still blocked on a receive; ``blocked`` maps those actors to the
-    description of what they were waiting for.
+    description of what they were waiting for.  ``faults`` summarizes
+    injected failures (``None`` unless the kernel ran with a fault
+    plan); ``crashed`` names actors that were down when the run ended.
     """
 
     time: float
@@ -66,6 +78,8 @@ class SimulationResult:
     deadlocked: bool
     blocked: dict[str, str]
     messages_delivered: int
+    faults: FaultSummary | None = None
+    crashed: tuple[str, ...] = ()
 
 
 class Kernel:
@@ -82,6 +96,10 @@ class Kernel:
         accounting; set > 0 for makespan experiments).
     max_steps:
         Safety bound on processed events.
+    faults:
+        Optional :class:`~repro.simulation.faults.FaultPlan`.  With
+        ``None`` (the default) the delivery hot path is unchanged apart
+        from a single ``is None`` check per event.
     """
 
     def __init__(
@@ -91,6 +109,7 @@ class Kernel:
         work_time_scale: float = 0.0,
         max_steps: int = 5_000_000,
         observers: list | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if work_time_scale < 0:
             raise SimulationError("work_time_scale must be >= 0")
@@ -109,6 +128,11 @@ class Kernel:
         self._messages_delivered = 0
         self._last_fifo_delivery: dict[tuple[str, str], float] = {}
         self.metrics = MetricsBoard()
+        self._faults = faults
+        self._fault_rng = spawn_rng(seed, "faults") if faults is not None else None
+        if faults is not None:
+            for crash in faults.crashes:
+                self._schedule(crash.at, "crash", crash)
 
     # ------------------------------------------------------------------
     # Setup
@@ -174,8 +198,11 @@ class Kernel:
             if action == "start":
                 self._start(str(payload))
             elif action == "resume":
-                name, value = payload  # type: ignore[misc]
-                self._advance(self._states[name], value)
+                name, value, incarnation = payload  # type: ignore[misc]
+                state = self._states[name]
+                if state.incarnation != incarnation:
+                    continue  # scheduled before a crash; the wakeup died with it
+                self._advance(state, value)
             elif action == "deliver":
                 self._deliver(payload)  # type: ignore[arg-type]
             elif action == "timeout":
@@ -184,6 +211,10 @@ class Kernel:
                 if state.status is _Status.BLOCKED and state.block_epoch == epoch:
                     state.pending_receive = None
                     self._advance(state, None)
+            elif action == "crash":
+                self._crash(payload)  # type: ignore[arg-type]
+            elif action == "restart":
+                self._restart(str(payload))
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown action {action!r}")
         blocked = {
@@ -191,12 +222,21 @@ class Kernel:
             for name, state in self._states.items()
             if state.status is _Status.BLOCKED
         }
+        crashed = tuple(
+            name
+            for name, state in self._states.items()
+            if state.status is _Status.CRASHED
+        )
         return SimulationResult(
             time=self._time,
             steps=self._steps,
             deadlocked=bool(blocked) and not self._queue,
             blocked=blocked,
             messages_delivered=self._messages_delivered,
+            faults=(
+                self.metrics.fault_summary() if self._faults is not None else None
+            ),
+            crashed=crashed,
         )
 
     # ------------------------------------------------------------------
@@ -204,6 +244,8 @@ class Kernel:
     # ------------------------------------------------------------------
     def _start(self, name: str) -> None:
         state = self._states[name]
+        if state.status is _Status.CRASHED:
+            return  # crashed before its start event fired
         if state.status is not _Status.NEW:  # pragma: no cover - defensive
             raise SimulationError(f"actor {name} started twice")
         state.gen = state.actor.run()
@@ -213,6 +255,51 @@ class Kernel:
             )
         self._advance(state, None)
 
+    def _crash(self, crash: CrashEvent) -> None:
+        state = self._states.get(crash.actor)
+        if state is None:
+            raise SimulationError(
+                f"fault plan crashes unknown actor {crash.actor!r}"
+            )
+        if state.status in (_Status.FINISHED, _Status.CRASHED):
+            return  # nothing left to kill
+        if state.gen is not None:
+            state.gen.close()
+            state.gen = None
+        for msg in state.mailbox:  # mailbox loss
+            state.actor.metrics.adjust_space(-msg.size_bits)  # type: ignore[union-attr]
+            self.metrics.record_channel_fault(msg.src, msg.dest, "lost_to_crash")
+            self._notify_fault(msg, lost=True)
+        state.mailbox.clear()
+        state.pending_receive = None
+        state.block_epoch += 1
+        state.incarnation += 1
+        state.status = _Status.CRASHED
+        self.metrics.record_crash(crash.actor)
+        if crash.restart_at is not None:
+            self._schedule(crash.restart_at, "restart", crash.actor)
+
+    def _restart(self, name: str) -> None:
+        state = self._states[name]
+        if state.status is not _Status.CRASHED:  # pragma: no cover - defensive
+            return
+        state.gen = state.actor.restart()
+        if not isinstance(state.gen, Generator):
+            raise SimulationError(
+                f"{name}.restart() must be a generator "
+                f"(did you forget a yield?)"
+            )
+        self.metrics.record_restart(name)
+        self._advance(state, None)
+
+    def _notify_fault(self, message: Message, lost: bool) -> None:
+        if not self._observers:
+            return
+        from repro.simulation.observers import MessagePhase
+
+        phase = MessagePhase.LOST if lost else MessagePhase.DROPPED
+        self._notify(phase, message)
+
     def _deliver(self, message: Message) -> None:
         state = self._states.get(message.dest)
         if state is None:
@@ -220,6 +307,13 @@ class Kernel:
                 f"message {message.kind!r} addressed to unknown actor "
                 f"{message.dest!r}"
             )
+        if self._faults is not None and state.status is _Status.CRASHED:
+            # The destination is down: the message is lost with its mailbox.
+            self.metrics.record_channel_fault(
+                message.src, message.dest, "lost_to_crash"
+            )
+            self._notify_fault(message, lost=True)
+            return
         self._messages_delivered += 1
         state.mailbox.append(message)
         state.actor.metrics.adjust_space(message.size_bits)  # type: ignore[union-attr]
@@ -269,12 +363,16 @@ class Kernel:
                     self._schedule(
                         self._time + effect.units * self._work_time_scale,
                         "resume",
-                        (name, None),
+                        (name, None, state.incarnation),
                     )
                     return
             elif isinstance(effect, Sleep):
                 state.status = _Status.SLEEPING
-                self._schedule(self._time + effect.duration, "resume", (name, None))
+                self._schedule(
+                    self._time + effect.duration,
+                    "resume",
+                    (name, None, state.incarnation),
+                )
                 return
             elif isinstance(effect, Receive):
                 msg = self._match_from_mailbox(state, effect)
@@ -303,6 +401,10 @@ class Kernel:
             raise SimulationError(
                 f"actor {src} sends to unknown actor {effect.dest!r}"
             )
+        state.actor.metrics.charge_send(effect.kind, effect.size_bits)  # type: ignore[union-attr]
+        if self._faults is not None:
+            self._handle_send_faulty(src, effect)
+            return
         latency = self._channel.latency(src, effect.dest, effect.kind, self._rng)
         if latency < 0:  # pragma: no cover - defensive
             raise SimulationError("channel model produced negative latency")
@@ -321,12 +423,72 @@ class Kernel:
             sent_at=self._time,
             delivered_at=delivery,
         )
-        state.actor.metrics.charge_send(effect.kind, effect.size_bits)  # type: ignore[union-attr]
         if self._observers:
             from repro.simulation.observers import MessagePhase
 
             self._notify(MessagePhase.SENT, message)
         self._schedule(delivery, "deliver", message)
+
+    def _handle_send_faulty(self, src: str, effect: Send) -> None:
+        """Fault-plan delivery path: drop / duplicate / corruption-mark.
+
+        The sender is always charged for exactly one send (the fault is
+        the channel's, not the protocol's); each surviving copy draws
+        its own latency and respects the FIFO clamp in schedule order.
+        """
+        assert self._faults is not None and self._fault_rng is not None
+        copies = self._faults.draw(src, effect.dest, effect.kind, self._fault_rng)
+        if not copies:
+            self.metrics.record_channel_fault(src, effect.dest, "dropped")
+            if self._observers:
+                self._notify_fault(
+                    Message(
+                        seq=self._next_seq(),
+                        src=src,
+                        dest=effect.dest,
+                        kind=effect.kind,
+                        payload=effect.payload,
+                        size_bits=effect.size_bits,
+                        sent_at=self._time,
+                        delivered_at=float("inf"),
+                    ),
+                    lost=False,
+                )
+            return
+        if len(copies) > 1:
+            self.metrics.record_channel_fault(src, effect.dest, "duplicated")
+        fifo = self._channel.is_fifo(src, effect.dest, effect.kind)
+        first = True
+        for corrupted in copies:
+            latency = self._channel.latency(
+                src, effect.dest, effect.kind, self._rng
+            )
+            if latency < 0:  # pragma: no cover - defensive
+                raise SimulationError("channel model produced negative latency")
+            delivery = self._time + latency
+            if fifo:
+                key = (src, effect.dest)
+                delivery = max(delivery, self._last_fifo_delivery.get(key, 0.0))
+                self._last_fifo_delivery[key] = delivery
+            if corrupted:
+                self.metrics.record_channel_fault(src, effect.dest, "corrupted")
+            message = Message(
+                seq=self._next_seq(),
+                src=src,
+                dest=effect.dest,
+                kind=effect.kind,
+                payload=effect.payload,
+                size_bits=effect.size_bits,
+                sent_at=self._time,
+                delivered_at=delivery,
+                corrupted=corrupted,
+            )
+            if first and self._observers:
+                from repro.simulation.observers import MessagePhase
+
+                self._notify(MessagePhase.SENT, message)
+            first = False
+            self._schedule(delivery, "deliver", message)
 
     def _match_from_mailbox(
         self, state: _ActorState, receive: Receive

@@ -25,6 +25,7 @@ __all__ = [
     "ExponentialLatency",
     "UniformLatency",
     "KindBiasedLatency",
+    "NonFifoLatency",
 ]
 
 
@@ -119,6 +120,38 @@ class KindBiasedLatency(ChannelModel):
 
     def is_fifo(self, src: str, dest: str, kind: str) -> bool:
         return self._fifo
+
+
+@dataclass
+class NonFifoLatency(ChannelModel):
+    """The paper's §2 channel assumptions, made explicit.
+
+    Application channels are asynchronous and may reorder freely
+    (exponential latency, non-FIFO); only the application->monitor
+    snapshot channels — which the paper *requires* to be FIFO — preserve
+    send order.  Use this instead of the FIFO-everywhere default to
+    catch protocols that silently lean on ordering the model does not
+    grant ("the default-FIFO footgun").
+
+    The FIFO exemption is matched on actor-name prefixes, defaulting to
+    the library's ``app-`` -> ``mon-`` naming convention.
+    """
+
+    mean: float = 1.0
+    fifo_src_prefix: str = "app-"
+    fifo_dest_prefix: str = "mon-"
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"mean latency must be > 0, got {self.mean}")
+
+    def latency(self, src: str, dest: str, kind: str, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def is_fifo(self, src: str, dest: str, kind: str) -> bool:
+        return src.startswith(self.fifo_src_prefix) and dest.startswith(
+            self.fifo_dest_prefix
+        )
 
 
 @dataclass

@@ -38,6 +38,8 @@ class MessagePhase(enum.Enum):
     SENT = "sent"
     DELIVERED = "delivered"  # placed in the destination mailbox
     CONSUMED = "consumed"    # returned from a Receive
+    DROPPED = "dropped"      # discarded by fault injection, never delivered
+    LOST = "lost"            # arrived at (or was queued in) a crashed actor
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,131 @@
+"""Integration: hardened detectors under injected faults.
+
+The acceptance invariant for the fault-tolerance layer: under message
+loss, duplication, corruption-marking and a mid-run monitor crash with
+restart — but eventual delivery — every hardened detector terminates
+and reports exactly the same verdict and first cut as the fault-free
+reference.  Detection is delayed, never wrong.
+"""
+
+import pytest
+
+from repro.detect import run_detector
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.trace import random_computation
+
+HARDENED = ("token_vc", "token_vc_multi", "direct_dep")
+
+#: 20% token loss plus one monitor down from t=4 to t=9 — by which
+#: point every run below is typically mid-protocol.
+LOSSY = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.2),),
+    crashes=(CrashEvent("mon-1", 4.0, 9.0),),
+)
+
+
+def _case(seed):
+    comp = random_computation(
+        3, 4, seed=seed, predicate_density=0.3,
+        plant_final_cut=(seed % 2 == 0),
+    )
+    return comp, WeakConjunctivePredicate.of_flags(range(3))
+
+
+class TestLossAndCrashAgreement:
+    """50 seeded workloads x 3 hardened detectors vs the reference."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            rep = run_detector(name, comp, wcp, seed=seed, faults=LOSSY)
+            assert not rep.extras["gave_up"], f"{name} exhausted retries"
+            assert rep.detected == ref.detected, f"{name} verdict"
+            assert rep.cut == ref.cut, f"{name} cut"
+            if not rep.detected:
+                # Eventual delivery => the candidate stream was fully
+                # examined, so a negative verdict is conclusive.
+                assert rep.outcome == "not_detected"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heavy_faults_all_kinds(self, seed):
+        plan = FaultPlan(
+            rules=(FaultRule(drop=0.15, duplicate=0.1, corrupt=0.05),),
+            crashes=(
+                CrashEvent("mon-1", 3.0, 10.0),
+                CrashEvent("mon-0", 15.0, 22.0),
+                CrashEvent("app-2", 5.0, 12.0),
+            ),
+        )
+        comp, wcp = _case(seed + 500)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            rep = run_detector(name, comp, wcp, seed=seed, faults=plan)
+            assert not rep.extras["gave_up"], name
+            assert (rep.detected, rep.cut) == (ref.detected, ref.cut), name
+
+
+class TestHardenedWithoutFaults:
+    """The hardened protocol is a refinement: with zero faults it is
+    the plain algorithm plus acks, so verdict and cut are unchanged."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("name", HARDENED)
+    def test_matches_plain_variant(self, name, seed):
+        comp, wcp = _case(seed + 900)
+        plain = run_detector(name, comp, wcp, seed=seed)
+        hard = run_detector(name, comp, wcp, seed=seed, hardened=True)
+        assert hard.extras["hardened"]
+        assert not hard.extras["gave_up"]
+        assert (hard.detected, hard.cut) == (plain.detected, plain.cut)
+        # No faults injected => a not-detected verdict is conclusive.
+        if not hard.detected:
+            assert hard.outcome == "not_detected"
+
+
+class TestOutcomes:
+    def test_negative_verdict_is_conclusive_under_eventual_delivery(self):
+        # predicate_density=0 => the WCP can never hold.  Losses delay
+        # the protocol but every candidate is eventually examined, so
+        # the negative verdict is as conclusive as the fault-free one.
+        comp = random_computation(3, 3, seed=1, predicate_density=0.0)
+        wcp = WeakConjunctivePredicate.of_flags(range(3))
+        clean = run_detector("token_vc", comp, wcp, seed=1)
+        assert clean.outcome == "not_detected"
+        lossy = run_detector("token_vc", comp, wcp, seed=1, faults=LOSSY)
+        assert not lossy.detected
+        assert lossy.outcome == "not_detected"
+
+    def test_detected_is_never_degraded(self):
+        comp, wcp = _case(2)  # even seed => plant_final_cut
+        rep = run_detector("token_vc", comp, wcp, seed=2, faults=LOSSY)
+        assert rep.detected
+        assert not rep.degraded
+        assert rep.outcome == "detected"
+
+    def test_total_token_loss_terminates_degraded(self):
+        """With 100% token drop no protocol can succeed; the bounded
+        retry policy must give up — and report the run as degraded
+        (inconclusive) — instead of livelocking."""
+        from repro.detect.reliability import RetryPolicy
+
+        plan = FaultPlan(rules=(FaultRule(kind="token", drop=1.0),))
+        comp, wcp = _case(0)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=0, faults=plan,
+            retry=RetryPolicy(base_timeout=2.0, cap=8.0, max_attempts=3),
+        )
+        assert not rep.detected
+        assert rep.extras["gave_up"]
+        assert rep.outcome == "degraded"
+
+    def test_fault_summary_reported(self):
+        comp, wcp = _case(4)
+        rep = run_detector("token_vc", comp, wcp, seed=4, faults=LOSSY)
+        summary = rep.sim.faults
+        assert summary is not None
+        assert summary.crashes == 1
+        assert summary.restarts == 1
+        assert summary.dropped >= 0

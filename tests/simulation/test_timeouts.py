@@ -86,6 +86,54 @@ class TestReceiveTimeout:
         with pytest.raises(ValueError):
             Receive(None, timeout=0)
 
+    def test_delivery_at_exact_deadline_loses_to_timeout(self):
+        """A message whose delivery lands exactly on the receive's
+        deadline does not beat the timeout: the timeout event was
+        scheduled when the actor blocked, so at equal times it has the
+        lower sequence number and pops first."""
+        k = Kernel()  # unit latency
+        w = Waiter("w", timeout=2.0)
+        k.add_actor(w)
+        k.add_actor(Later("w", delay=1.0))  # arrives at exactly 2.0
+        k.run()
+        assert w.result is None
+        assert w.resumed_at == 2.0
+
+    def test_message_tied_with_deadline_is_not_lost(self):
+        """The message that tied with the deadline must survive in the
+        mailbox: the next receive consumes it at the same instant even
+        though the delivery targeted a now-stale block epoch."""
+
+        class RetryAfterTimeout(Actor):
+            def __init__(self):
+                super().__init__("w")
+                self.history = []
+
+            def run(self):
+                msg = yield self.receive_timeout("m", timeout=2.0)
+                self.history.append((None, self.now) if msg is None
+                                    else (msg.payload, self.now))
+                msg = yield self.receive_timeout("m", timeout=5.0)
+                self.history.append((None, self.now) if msg is None
+                                    else (msg.payload, self.now))
+
+        k = Kernel()
+        w = RetryAfterTimeout()
+        k.add_actor(w)
+        k.add_actor(Later("w", delay=1.0))  # delivery ties at t=2.0
+        result = k.run()
+        assert w.history == [(None, 2.0), ("hello", 2.0)]
+        assert not result.deadlocked
+
+    def test_delivery_just_before_deadline_wins(self):
+        k = Kernel()
+        w = Waiter("w", timeout=2.0 + 1e-9)
+        k.add_actor(w)
+        k.add_actor(Later("w", delay=1.0))  # arrives at 2.0 < deadline
+        k.run()
+        assert w.result == "hello"
+        assert w.resumed_at == 2.0
+
     def test_timed_wait_is_not_deadlock(self):
         """Blocked-with-timeout actors always have a pending event, so
         the run ends via timeout, never as a deadlock."""

@@ -42,6 +42,18 @@ class TestTutorial:
                 pytest.fail(f"tutorial block {i} failed: {exc}\n{block}")
 
 
+class TestFaultsDoc:
+    def test_all_blocks_execute(self):
+        blocks = python_blocks(ROOT / "docs" / "faults.md")
+        assert len(blocks) >= 3
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"faults.md[block {i}]", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"faults block {i} failed: {exc}\n{block}")
+
+
 class TestReadme:
     def test_quickstart_blocks_execute(self):
         blocks = python_blocks(ROOT / "README.md")
