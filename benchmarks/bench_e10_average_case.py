@@ -19,7 +19,9 @@ def bench_e10_average_case(benchmark, emit):
         },
         rounds=1, iterations=1,
     )
-    emit(result, "e10_average_case.txt")
+    emit(result, "e10_average_case.txt",
+         params={"n": 8, "m": 16, "densities": (0.05, 0.2, 0.5),
+                 "seeds": tuple(range(6))})
 
     budget_used = dict(
         zip(result.column("workload"), result.column("budget_used"))

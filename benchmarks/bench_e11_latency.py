@@ -15,7 +15,8 @@ def bench_e11_detection_latency(benchmark, emit):
         kwargs={"ns": (4, 8, 16), "m": 10, "seeds": (0, 1, 2)},
         rounds=1, iterations=1,
     )
-    emit(result, "e11_latency.txt")
+    emit(result, "e11_latency.txt",
+         params={"ns": (4, 8, 16), "m": 10, "seeds": (0, 1, 2)})
 
     by_detector = {}
     for row in result.rows:

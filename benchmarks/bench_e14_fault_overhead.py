@@ -23,7 +23,8 @@ def bench_e14_fault_overhead(benchmark, emit):
         run_e14_fault_overhead, kwargs={"sizes": SIZES, "seeds": SEEDS},
         rounds=1, iterations=1,
     )
-    emit(result, "e14_fault_overhead.txt")
+    emit(result, "e14_fault_overhead.txt",
+         params={"sizes": SIZES, "seeds": SEEDS})
 
     assert all(row[-1] for row in result.rows), \
         "hardened and plain variants must report identical cuts"

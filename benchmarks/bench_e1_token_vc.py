@@ -20,7 +20,7 @@ def bench_e1_token_vc_scaling(benchmark, emit):
         run_e1_token_vc, kwargs={"ns": NS, "ms": MS, "seed": 0},
         rounds=1, iterations=1,
     )
-    emit(result, "e1_token_vc.txt")
+    emit(result, "e1_token_vc.txt", params={"ns": NS, "ms": MS, "seed": 0})
 
     # Hard bounds from §3.4.
     assert all(row[-1] for row in result.rows), "every run must detect"

@@ -18,7 +18,8 @@ def bench_e2_direct_dep_scaling(benchmark, emit):
         run_e2_direct_dep, kwargs={"big_ns": NS, "ms": MS, "seed": 0},
         rounds=1, iterations=1,
     )
-    emit(result, "e2_direct_dep.txt")
+    emit(result, "e2_direct_dep.txt",
+         params={"big_ns": NS, "ms": MS, "seed": 0})
 
     assert all(row[-1] for row in result.rows)
     msgs = result.column("mon_msgs")

@@ -19,7 +19,9 @@ def bench_e3_sweep_n(benchmark, emit):
         kwargs={"big_n": 24, "m": 12, "n_values": (2, 4, 8, 12, 16, 20, 24)},
         rounds=1, iterations=1,
     )
-    emit(result, "e3_crossover_sweep_n.txt")
+    emit(result, "e3_crossover_sweep_n.txt",
+         params={"big_n": 24, "m": 12,
+                 "n_values": (2, 4, 8, 12, 16, 20, 24)})
     # Direction: vc wins at the smallest n, dd at the largest.
     assert result.rows[0][7] == "vc" and result.rows[0][8] == "vc"
     assert result.rows[-1][7] == "dd" and result.rows[-1][8] == "dd"
@@ -58,7 +60,8 @@ def bench_e3_sweep_big_n(benchmark, emit):
         ["N", "vc_bits", "dd_bits"],
         rows,
     )
-    emit(result, "e3_crossover_sweep_N.txt")
+    emit(result, "e3_crossover_sweep_N.txt",
+         params={"n": 4, "m": 10, "big_ns": (6, 12, 24, 48), "seed": 1})
     vc_bits = [r[1] for r in rows]
     dd_bits = [r[2] for r in rows]
     assert max(vc_bits) <= 3 * min(vc_bits), "vc cost should not scale with N"

@@ -14,7 +14,8 @@ def bench_e4_multi_token(benchmark, emit):
         kwargs={"n": 16, "m": 12, "group_counts": (1, 2, 4, 8)},
         rounds=1, iterations=1,
     )
-    emit(result, "e4_multi_token.txt")
+    emit(result, "e4_multi_token.txt",
+         params={"n": 16, "m": 12, "group_counts": (1, 2, 4, 8)})
 
     assert all(row[1] for row in result.rows), "every configuration detects"
     makespans = {row[0]: row[2] for row in result.rows}

@@ -14,7 +14,8 @@ def bench_e5_parallel_dd(benchmark, emit):
         kwargs={"big_n": 16, "m": 12, "seeds": (0, 1, 2, 3)},
         rounds=1, iterations=1,
     )
-    emit(result, "e5_parallel_dd.txt")
+    emit(result, "e5_parallel_dd.txt",
+         params={"big_n": 16, "m": 12, "seeds": (0, 1, 2, 3)})
 
     speedups = result.column("speedup")
     assert all(s > 1.5 for s in speedups), speedups

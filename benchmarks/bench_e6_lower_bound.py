@@ -14,7 +14,8 @@ def bench_e6_lower_bound(benchmark, emit):
         kwargs={"ns": (4, 8, 16), "ms": (8, 16, 32, 64)},
         rounds=1, iterations=1,
     )
-    emit(result, "e6_lower_bound.txt")
+    emit(result, "e6_lower_bound.txt",
+         params={"ns": (4, 8, 16), "ms": (8, 16, 32, 64)})
 
     assert all(result.column("ok")), "someone beat the adversary?!"
     fit = result.fits["steps_vs_nm"]

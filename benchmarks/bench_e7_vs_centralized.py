@@ -18,7 +18,8 @@ def bench_e7_vs_centralized(benchmark, emit):
         kwargs={"ns": (4, 8, 16, 24), "m": 16},
         rounds=1, iterations=1,
     )
-    emit(result, "e7_vs_centralized.txt")
+    emit(result, "e7_vs_centralized.txt",
+         params={"ns": (4, 8, 16, 24), "m": 16})
 
     assert all(result.column("same_cut"))
     # The space ratio grows ~linearly with n on the skewed workload.

@@ -16,7 +16,8 @@ def bench_e8_agreement(benchmark, emit):
         kwargs={"seeds": tuple(range(12)), "num_processes": 4, "m": 6},
         rounds=1, iterations=1,
     )
-    emit(result, "e8_agreement.txt")
+    emit(result, "e8_agreement.txt",
+         params={"seeds": tuple(range(12)), "num_processes": 4, "m": 6})
 
     assert all(result.column("all_agree"))
     # The lattice explores orders of magnitude more states than the

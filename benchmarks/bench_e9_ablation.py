@@ -16,7 +16,8 @@ def bench_e9_routing_ablation(benchmark, emit):
         kwargs={"n": 16, "m": 12, "seeds": (0, 1, 2)},
         rounds=1, iterations=1,
     )
-    emit(result, "e9_routing_ablation.txt")
+    emit(result, "e9_routing_ablation.txt",
+         params={"n": 16, "m": 12, "seeds": (0, 1, 2)})
 
     assert all(row[-1] for row in result.rows), "every run detects"
     # The ablation is informative: at least two policies take different

@@ -6,11 +6,16 @@ Installed as the ``repro`` console script::
                    --plant-final-cut --out trace.json
     repro stats trace.json --pids 0,1,2,3
     repro detect trace.json --detector token_vc --pids 0,1,2,3
+    repro detect trace.json --trace-out run.jsonl --json
+    repro report run.jsonl
     repro experiments --only e1,e6
 
 ``detect`` builds the WCP from a boolean flag variable (the workload
 generators' convention); bring your own predicates through the Python
-API for anything richer.
+API for anything richer.  ``--trace-out`` records a causal span trace
+(JSONL, see ``docs/observability.md``) that ``repro report`` renders as
+a per-actor timeline with token itinerary and fault overlay; ``--json``
+emits the verdict and full metrics machine-readably for CI.
 """
 
 from __future__ import annotations
@@ -88,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --faults, run the plain (fault-intolerant) protocol "
              "anyway, to watch it fail",
     )
+    det.add_argument(
+        "--json", action="store_true",
+        help="print the verdict, metrics totals and fault summary as "
+             "JSON (machine-readable; suppresses the human output)",
+    )
+    det.add_argument(
+        "--trace-out", type=pathlib.Path, default=None, metavar="FILE",
+        help="record a causal span trace of the protocol run to FILE "
+             "(JSONL; online detectors only; render with 'repro report')",
+    )
+    det.add_argument(
+        "--verbose", action="store_true",
+        help="print a one-line per-run summary to stderr",
+    )
 
     stats = sub.add_parser("stats", help="summarize a trace file")
     stats.add_argument("trace", type=pathlib.Path)
@@ -116,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
     strong.add_argument("trace", type=pathlib.Path)
     strong.add_argument("--pids", default=None)
     strong.add_argument("--var", default="flag")
+
+    rep = sub.add_parser(
+        "report",
+        help="render a span-trace JSONL file (from detect --trace-out) "
+             "as an ASCII run report",
+    )
+    rep.add_argument("trace", type=pathlib.Path,
+                     help="a .jsonl span trace written by detect --trace-out")
+    rep.add_argument("--width", type=int, default=72,
+                     help="timeline width in columns (default 72)")
 
     imp = sub.add_parser(
         "import-log",
@@ -166,7 +195,7 @@ def _load_trace(path: pathlib.Path):
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.detect.runner import DETECTORS, run_detector
+    from repro.detect.runner import DETECTORS, offline_detectors, run_detector
 
     if args.detector not in DETECTORS:
         raise SystemExit(
@@ -176,9 +205,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     comp = _load_trace(args.trace)
     pids = _parse_pids(args.pids, comp.num_processes)
     wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
-    options = {} if args.detector in ("reference", "lattice") else {
-        "seed": args.seed
-    }
+    offline = args.detector in offline_detectors()
+    options = {} if offline else {"seed": args.seed}
+    tracer = None
+    if args.trace_out is not None:
+        if offline:
+            raise SystemExit(
+                "error: --trace-out records a protocol simulation; it "
+                f"requires an online detector, not {args.detector!r}"
+            )
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        options["observers"] = [tracer]
     if args.faults is not None:
         from repro.common.errors import ConfigurationError
         from repro.detect.runner import FAULT_CAPABLE
@@ -196,29 +235,97 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         options["faults"] = plan
         if args.no_hardened:
             options["hardened"] = False
-        print(f"faults:    {plan.describe()}")
-    report = run_detector(args.detector, comp, wcp, **options)
-    print(f"detector:  {report.detector}")
-    print(f"predicate: {wcp}")
-    print(f"detected:  {report.detected}")
-    if args.faults is not None:
-        print(f"outcome:   {report.outcome}")
-    if report.detected:
-        print(f"first cut: {report.cut}")
-    if report.detection_time is not None:
-        print(f"simulated detection time: {report.detection_time:.3f}")
-    if report.sim is not None and report.sim.faults is not None:
-        f = report.sim.faults
-        print(
-            f"injected faults: dropped={f.dropped} duplicated={f.duplicated} "
-            f"corrupted={f.corrupted} lost_to_crash={f.lost_to_crash} "
-            f"crashes={f.crashes} restarts={f.restarts}"
+        if not args.json:
+            print(f"faults:    {plan.describe()}")
+    report = run_detector(
+        args.detector, comp, wcp, verbose=args.verbose, **options
+    )
+    cut_dict = None
+    if report.cut is not None:
+        cut_dict = {
+            "pids": list(report.cut.pids),
+            "intervals": list(report.cut.intervals),
+        }
+    if tracer is not None:
+        from repro.obs import dump_jsonl
+
+        meta = {
+            "detector": report.detector,
+            "predicate": str(wcp),
+            "outcome": report.outcome,
+            "cut": cut_dict,
+            "detection_time": report.detection_time,
+            "seed": args.seed,
+        }
+        if report.metrics is not None:
+            meta["metrics"] = report.metrics.snapshot()
+        if report.sim is not None and report.sim.faults is not None:
+            meta["faults"] = report.sim.faults.as_dict()
+        trace = tracer.finish(
+            report.sim.time if report.sim is not None else None, **meta
         )
-    for key, value in sorted(report.extras.items()):
-        print(f"{key}: {value}")
+        dump_jsonl(trace, args.trace_out)
+        if not args.json:
+            print(f"trace:     {args.trace_out} ({len(trace)} spans)")
+    if args.json:
+        import json
+
+        doc = {
+            "detector": report.detector,
+            "predicate": str(wcp),
+            "outcome": report.outcome,
+            "detected": report.detected,
+            "degraded": report.degraded,
+            "cut": cut_dict,
+            "detection_time": report.detection_time,
+            "extras": dict(report.extras),
+        }
+        if report.metrics is not None:
+            doc["metrics"] = report.metrics.snapshot()
+        if report.sim is not None:
+            doc["sim_time"] = report.sim.time
+            if report.sim.faults is not None:
+                doc["faults"] = report.sim.faults.as_dict()
+        if args.trace_out is not None:
+            doc["trace_file"] = str(args.trace_out)
+        print(json.dumps(doc, indent=2, default=str))
+    else:
+        print(f"detector:  {report.detector}")
+        print(f"predicate: {wcp}")
+        print(f"detected:  {report.detected}")
+        if args.faults is not None:
+            print(f"outcome:   {report.outcome}")
+        if report.detected:
+            print(f"first cut: {report.cut}")
+        if report.detection_time is not None:
+            print(f"simulated detection time: {report.detection_time:.3f}")
+        if report.sim is not None and report.sim.faults is not None:
+            f = report.sim.faults
+            print(
+                f"injected faults: dropped={f.dropped} "
+                f"duplicated={f.duplicated} corrupted={f.corrupted} "
+                f"lost_to_crash={f.lost_to_crash} "
+                f"crashes={f.crashes} restarts={f.restarts}"
+            )
+        for key, value in sorted(report.extras.items()):
+            print(f"{key}: {value}")
     if report.detected:
         return 0
     return 2 if report.degraded else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.common.errors import ObservabilityError
+    from repro.obs import load_jsonl, render_report
+
+    if not args.trace.exists():
+        raise SystemExit(f"error: no such trace file: {args.trace}")
+    try:
+        trace = load_jsonl(args.trace)
+    except ObservabilityError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(render_report(trace, width=args.width))
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -330,6 +437,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "show": _cmd_show,
         "definitely": _cmd_definitely,
+        "report": _cmd_report,
         "import-log": _cmd_import_log,
     }
     return handlers[args.command](args)

@@ -8,6 +8,7 @@ from repro.common.errors import (
     DetectionError,
     InvalidComputationError,
     LowerBoundError,
+    ObservabilityError,
     ProtocolError,
     ReproError,
     SerializationError,
@@ -28,6 +29,7 @@ __all__ = [
     "ConfigurationError",
     "SerializationError",
     "LowerBoundError",
+    "ObservabilityError",
     "make_rng",
     "derive_seed",
     "spawn_rng",

@@ -20,6 +20,7 @@ __all__ = [
     "ConfigurationError",
     "SerializationError",
     "LowerBoundError",
+    "ObservabilityError",
 ]
 
 
@@ -84,3 +85,7 @@ class SerializationError(ReproError, ValueError):
 
 class LowerBoundError(ReproError, RuntimeError):
     """The lower-bound game was driven outside its legal move set."""
+
+
+class ObservabilityError(ReproError, ValueError):
+    """A span trace is malformed (missing fields, cyclic parent links)."""

@@ -7,6 +7,7 @@ is the single place experiments and examples enumerate algorithms from.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Protocol
 
 from repro.common.errors import ConfigurationError
@@ -73,6 +74,27 @@ def online_detectors() -> tuple[str, ...]:
     return tuple(_ONLINE)
 
 
+def _summary_line(name: str, report: DetectionReport) -> str:
+    """The one-line per-run summary printed by ``verbose=True``."""
+    parts = [f"[repro] {name}: {report.outcome}"]
+    if report.cut is not None:
+        parts.append(f"cut={tuple(report.cut.intervals)}")
+    if report.metrics is not None:
+        parts.append(
+            f"msgs={report.metrics.total_messages()} "
+            f"bits={report.metrics.total_bits()} "
+            f"work={report.metrics.total_work()}"
+        )
+    if report.sim is not None and report.sim.faults is not None:
+        f = report.sim.faults
+        parts.append(
+            f"faults={f.total_message_faults} crashes={f.crashes}"
+        )
+    if report.detection_time is not None:
+        parts.append(f"t={report.detection_time:g}")
+    return " ".join(parts)
+
+
 def run_detector(
     name: str,
     computation: Computation,
@@ -83,7 +105,14 @@ def run_detector(
     ``channel_model``, ``spacing`` and algorithm-specific options.
     Detectors in :data:`FAULT_CAPABLE` additionally accept ``faults``
     (a :class:`~repro.simulation.faults.FaultPlan`), ``hardened`` and
-    ``retry``."""
+    ``retry``.
+
+    ``verbose=True`` (accepted by every detector, offline included)
+    prints a one-line outcome/cost summary to stderr after the run, so
+    scripts and examples can show progress without scraping report
+    internals.
+    """
+    verbose = bool(options.pop("verbose", False))
     try:
         fn = DETECTORS[name]
     except KeyError:
@@ -101,4 +130,7 @@ def run_detector(
                 f"detector {name!r} has no hardened variant; options {bad} "
                 f"require one of {sorted(FAULT_CAPABLE)}"
             )
-    return fn(computation, wcp, **options)
+    report = fn(computation, wcp, **options)
+    if verbose:
+        print(_summary_line(name, report), file=sys.stderr)
+    return report

@@ -1,0 +1,103 @@
+"""Machine-readable benchmark results.
+
+Every ``benchmarks/bench_e*`` target emits, next to its ``.txt`` table,
+a JSON document with a stable schema so future PRs can regress the
+paper's cost quantities (messages, bits, work, space) and wall-clock
+time automatically::
+
+    {
+      "schema": "repro-bench/1",
+      "experiment": "E1 ...",
+      "params": {"ns": [...], "ms": [...], "seed": 0},
+      "headers": [...], "rows": [...],
+      "summary": {"messages": ..., "bits": ..., "work": ..., "space": ...},
+      "fits": {"total_work": {"n_exponent": ..., "r_squared": ...}},
+      "notes": [...],
+      "wall_time_s": 1.23
+    }
+
+``summary`` totals are extracted from well-known column names when the
+experiment reports them; ``fits`` include both the human string and any
+numeric attributes the fit object exposes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+__all__ = ["BENCH_SCHEMA", "structured_result", "write_benchmark_json"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+#: summary key -> column names that feed it (first match wins).
+_SUMMARY_COLUMNS: dict[str, tuple[str, ...]] = {
+    "messages": ("mon_msgs", "messages", "msgs", "total_msgs"),
+    "bits": ("mon_bits", "bits", "total_bits"),
+    "work": ("total_work", "work"),
+    "space": ("max_space_bits", "max_space", "space_bits"),
+}
+
+_FIT_ATTRS = ("exponent", "intercept", "n_exponent", "m_exponent", "r_squared")
+
+
+def _fit_dict(fit: Any) -> dict[str, Any]:
+    data: dict[str, Any] = {"text": str(fit)}
+    for attr in _FIT_ATTRS:
+        value = getattr(fit, attr, None)
+        if isinstance(value, (int, float)):
+            data[attr] = value
+    return data
+
+
+def _summary(headers: list[str], rows: list[list[Any]]) -> dict[str, Any]:
+    summary: dict[str, Any] = {}
+    for key, candidates in _SUMMARY_COLUMNS.items():
+        for name in candidates:
+            if name in headers:
+                idx = headers.index(name)
+                values = [
+                    r[idx] for r in rows if isinstance(r[idx], (int, float))
+                ]
+                if values:
+                    agg = max(values) if key == "space" else sum(values)
+                    summary[key] = agg
+                break
+    return summary
+
+
+def structured_result(
+    result: Any,
+    params: Mapping[str, Any] | None = None,
+    wall_time_s: float | None = None,
+) -> dict[str, Any]:
+    """Build the schema dict from an ``ExperimentResult``-shaped object."""
+    headers = list(result.headers)
+    rows = [list(r) for r in result.rows]
+    return {
+        "schema": BENCH_SCHEMA,
+        "experiment": result.experiment,
+        "params": dict(params or {}),
+        "headers": headers,
+        "rows": rows,
+        "summary": _summary(headers, rows),
+        "fits": {name: _fit_dict(fit) for name, fit in result.fits.items()},
+        "notes": list(result.notes),
+        "wall_time_s": wall_time_s,
+    }
+
+
+def write_benchmark_json(
+    result: Any,
+    path: str | pathlib.Path,
+    params: Mapping[str, Any] | None = None,
+    wall_time_s: float | None = None,
+) -> pathlib.Path:
+    """Write the structured result to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    payload = structured_result(result, params, wall_time_s)
+    path.write_text(
+        json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,128 @@
+"""Wall-clock profiling of kernel hot paths.
+
+Simulated-time spans answer *where a token spent its run*; this module
+answers *where the wall clock went* — scheduling, delivery, vector-clock
+merges — so perf work PR-over-PR has hard numbers instead of vibes.
+
+Usage with the kernel (zero overhead when not passed)::
+
+    prof = HotPathProfiler()
+    kernel = Kernel(profiler=prof)
+    ...
+    print(prof.render())          # per-section calls / total / mean
+    data = prof.snapshot()        # JSON-ready
+
+Arbitrary functions can be wrapped too::
+
+    VectorClock.merged = profiled(prof, "vc.merge")(VectorClock.merged)
+
+The profiler is intentionally dumb — a dict of ``name -> (calls,
+seconds)`` fed by ``perf_counter`` pairs — so its own overhead stays
+in the noise.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable
+
+__all__ = ["HotPathProfiler", "profiled"]
+
+
+class HotPathProfiler:
+    """Named wall-clock counters: calls and cumulative seconds."""
+
+    __slots__ = ("_sections",)
+
+    def __init__(self) -> None:
+        self._sections: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Hot-path primitives (kept free of allocation where possible)
+    # ------------------------------------------------------------------
+    def start(self) -> float:
+        """A timestamp to later pass to :meth:`stop`."""
+        return perf_counter()
+
+    def stop(self, name: str, t0: float) -> None:
+        """Charge ``perf_counter() - t0`` seconds to section ``name``."""
+        elapsed = perf_counter() - t0
+        cell = self._sections.get(name)
+        if cell is None:
+            cell = self._sections[name] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += elapsed
+
+    @contextmanager
+    def section(self, name: str):
+        """``with prof.section("phase"): ...`` convenience wrapper."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.stop(name, t0)
+
+    # ------------------------------------------------------------------
+    # Reading results
+    # ------------------------------------------------------------------
+    def calls(self, name: str) -> int:
+        """Times section ``name`` was stopped (0 if never)."""
+        cell = self._sections.get(name)
+        return 0 if cell is None else int(cell[0])
+
+    def seconds(self, name: str) -> float:
+        """Cumulative wall-clock seconds charged to ``name``."""
+        cell = self._sections.get(name)
+        return 0.0 if cell is None else cell[1]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-ready per-section totals, sorted by cumulative time."""
+        return {
+            name: {
+                "calls": int(calls),
+                "seconds": seconds,
+                "mean_us": (seconds / calls * 1e6) if calls else 0.0,
+            }
+            for name, (calls, seconds) in sorted(
+                self._sections.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+
+    def render(self) -> str:
+        """An aligned text table of the snapshot (debugging aid)."""
+        rows = self.snapshot()
+        if not rows:
+            return "(no profiled sections)"
+        width = max(len(name) for name in rows)
+        lines = [f"{'section':<{width}}  {'calls':>9}  {'total s':>10}  "
+                 f"{'mean µs':>10}"]
+        for name, cell in rows.items():
+            lines.append(
+                f"{name:<{width}}  {cell['calls']:>9}  "
+                f"{cell['seconds']:>10.6f}  {cell['mean_us']:>10.3f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._sections.clear()
+
+
+def profiled(
+    profiler: HotPathProfiler, name: str
+) -> Callable[[Callable], Callable]:
+    """Decorator charging each call of the wrapped function to ``name``."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.stop(name, t0)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,237 @@
+"""Run reports: render a span trace as human-readable ASCII.
+
+:func:`render_report` produces, from one :class:`~repro.obs.spans.Trace`:
+
+* a **per-actor timeline** — one lane per actor over simulated time,
+  with token arrivals (``T``), elimination rounds (``=``), candidate
+  consumptions (``c``), poll round-trips (``~``), halts (``H``), crash
+  epochs (``X``/``x``/``R``) and injected faults (``!``) overlaid;
+* the **token itinerary** — who held which token when and why it moved;
+* a **work/space breakdown** in the paper's units (messages, bits, work
+  units, buffered-bit high-water marks) from the run header's metrics
+  snapshot;
+* a **fault overlay** summary and the run's **critical path**.
+
+The renderer needs nothing but the trace, so ``repro report run.jsonl``
+works on any trace file regardless of which detector produced it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import Span, Trace
+
+__all__ = ["render_report", "render_timeline"]
+
+#: Paint priority, low to high: later entries overwrite earlier marks.
+_LEGEND = [
+    ("=", "token visit (elimination round)"),
+    ("~", "poll round-trip"),
+    ("c", "candidate consumed"),
+    ("H", "halt delivered"),
+    ("T", "token arrival"),
+    ("!", "injected fault (drop / loss)"),
+    ("x", "crashed (X = crash, R = restart)"),
+]
+
+
+def _lane_order(actor: str) -> tuple[int, int | str, str]:
+    """Monitors first (numeric order), then feeders, then the rest."""
+    for rank, prefix in ((0, "mon-"), (1, "app-")):
+        if actor.startswith(prefix):
+            suffix = actor[len(prefix):]
+            key: int | str = int(suffix) if suffix.isdigit() else suffix
+            return (rank, key, actor)
+    return (2, actor, actor)
+
+
+def render_timeline(trace: Trace, width: int = 72) -> str:
+    """The per-actor ASCII timeline (one lane per actor)."""
+    t0, t1 = trace.bounds()
+    extent = t1 - t0
+    scale = extent / (width - 1) if extent > 0 else 1.0
+
+    def col(t: float) -> int:
+        return max(0, min(width - 1, round((t - t0) / scale)))
+
+    actors = sorted(
+        {s.actor for s in trace.spans if s.actor != "kernel"},
+        key=_lane_order,
+    )
+    lanes = {a: ["."] * width for a in actors}
+
+    def paint(actor: str, c0: int, c1: int, char: str) -> None:
+        lane = lanes.get(actor)
+        if lane is None:
+            return
+        for i in range(c0, max(c0, c1) + 1):
+            lane[i] = char
+
+    def mark(actor: str, t: float, char: str) -> None:
+        lane = lanes.get(actor)
+        if lane is not None:
+            lane[col(t)] = char
+
+    def end_of(span: Span) -> float:
+        return span.end if span.end is not None else t1
+
+    # Paint in priority order so critical marks stay visible.
+    for span in trace.spans:
+        if span.name == "token_visit":
+            paint(span.actor, col(span.start), col(end_of(span)), "=")
+        elif span.name == "poll_rtt":
+            paint(span.actor, col(span.start), col(end_of(span)), "~")
+    for span in trace.spans:
+        if span.name == "candidate" and span.attrs.get("terminal") == "consumed":
+            mark(span.actor, span.start, "c")  # emission, on the app lane
+            mark(str(span.attrs.get("dest", span.actor)), end_of(span), "c")
+        elif span.name == "halt" and span.attrs.get("terminal") == "consumed":
+            mark(str(span.attrs.get("dest", span.actor)), end_of(span), "H")
+    for span in trace.spans:
+        if span.name == "token_hop" and span.attrs.get("terminal") == "consumed":
+            mark(str(span.attrs.get("dest", span.actor)), end_of(span), "T")
+    for span in trace.spans:
+        if span.name in ("fault:drop", "fault:lost"):
+            mark(span.actor, span.start, "!")
+    # Crash epochs last: losses at the crash instant are implied by the
+    # X itself, so the boundary marks stay visible.
+    for span in trace.spans:
+        if span.name == "crash":
+            c0, c1 = col(span.start), col(end_of(span))
+            paint(span.actor, c0, c1, "x")
+            mark(span.actor, span.start, "X")
+            if span.attrs.get("restarted"):
+                mark(span.actor, end_of(span), "R")
+
+    name_w = max((len(a) for a in actors), default=5)
+    lines = [
+        f"{'':<{name_w}}  t={t0:<8g}{'':{max(0, width - 18)}}t={t1:g}",
+    ]
+    for actor in actors:
+        lines.append(f"{actor:<{name_w}}  {''.join(lanes[actor])}")
+    legend = "  ".join(f"{char}={label}" for char, label in _LEGEND)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _format_meta(trace: Trace) -> list[str]:
+    meta = trace.meta
+    lines = [f"trace {trace.trace_id}: {len(trace.spans)} spans"]
+    summary = []
+    for key in ("detector", "predicate", "outcome", "cut", "detection_time",
+                "seed"):
+        if meta.get(key) is not None:
+            summary.append(f"{key}={meta[key]}")
+    if summary:
+        lines.append("  ".join(summary))
+    return lines
+
+
+def _breakdown_table(trace: Trace) -> str:
+    metrics = trace.meta.get("metrics")
+    if not metrics or not metrics.get("actors"):
+        return "(no metrics snapshot in the trace header)"
+    from repro.analysis.tables import render_table
+
+    headers = ["actor", "msgs sent", "bits sent", "msgs recv", "bits recv",
+               "work", "space hwm (bits)"]
+    rows = []
+    for name, m in metrics["actors"].items():
+        rows.append([
+            name,
+            m.get("messages_sent", 0),
+            m.get("bits_sent", 0),
+            m.get("messages_received", 0),
+            m.get("bits_received", 0),
+            m.get("work_units", 0),
+            m.get("space_high_water_bits", 0),
+        ])
+    totals = metrics.get("totals", {})
+    table = render_table(headers, rows)
+    extra = (
+        f"totals: messages={totals.get('messages')} bits={totals.get('bits')} "
+        f"work={totals.get('work')} "
+        f"max_work/actor={totals.get('max_work_per_actor')} "
+        f"max_space/actor={totals.get('max_space_bits_per_actor')} bits"
+    )
+    return table + "\n" + extra
+
+
+def _itinerary_lines(trace: Trace) -> list[str]:
+    hops = trace.token_itinerary()
+    if not hops:
+        return ["(no token traffic in this trace)"]
+    multi = len({h.gid for h in hops}) > 1
+    lines = []
+    for h in hops:
+        tag = f"[gid {h.gid}] " if multi else ""
+        hop = f"hop {h.hop} " if h.hop is not None else ""
+        lines.append(f"{tag}{hop}{h.describe()}")
+    return lines
+
+
+def _fault_lines(trace: Trace) -> list[str]:
+    lines = []
+    for span in trace.spans:
+        if span.name == "fault:drop":
+            lines.append(
+                f"t={span.start:g}  drop     {span.actor} -> "
+                f"{span.attrs.get('dest')} [{span.attrs.get('kind')}]"
+            )
+        elif span.name == "fault:lost":
+            lines.append(
+                f"t={span.start:g}  lost     {span.attrs.get('src')} -> "
+                f"{span.actor} [{span.attrs.get('kind')}]"
+            )
+        elif span.name == "crash":
+            back = (
+                f"restarted t={span.end:g}" if span.attrs.get("restarted")
+                else "never restarted"
+            )
+            lines.append(f"t={span.start:g}  crash    {span.actor} ({back})")
+    faults = trace.meta.get("faults")
+    if faults:
+        lines.append(
+            "summary: " + " ".join(f"{k}={v}" for k, v in faults.items())
+        )
+    return lines
+
+
+def _critical_path_lines(trace: Trace, limit: int = 14) -> list[str]:
+    chain = trace.critical_path()
+    if not chain:
+        return []
+    lines = []
+    shown = chain if len(chain) <= limit else chain[-limit:]
+    if len(chain) > limit:
+        lines.append(f"... {len(chain) - limit} earlier span(s) elided ...")
+    for span in shown:
+        where = span.actor
+        if span.name == "token_hop":
+            where = f"{span.actor} -> {span.attrs.get('dest')}"
+        end = f"{span.end:g}" if span.end is not None else "?"
+        lines.append(f"t=[{span.start:g}, {end}]  {span.name:<12} {where}")
+    return lines
+
+
+def render_report(trace: Trace, width: int = 72) -> str:
+    """The full ASCII run report for one trace."""
+    sections: list[tuple[str | None, list[str]]] = [
+        (None, _format_meta(trace)),
+        ("timeline", render_timeline(trace, width).splitlines()),
+        ("token itinerary", _itinerary_lines(trace)),
+        ("work/space breakdown (paper units)",
+         _breakdown_table(trace).splitlines()),
+    ]
+    fault_lines = _fault_lines(trace)
+    if fault_lines:
+        sections.append(("fault overlay", fault_lines))
+    cp = _critical_path_lines(trace)
+    if cp:
+        sections.append(("critical path", cp))
+    out: list[str] = []
+    for title, lines in sections:
+        if title is not None:
+            out.append("")
+            out.append(f"--- {title} ---")
+        out.extend(lines)
+    return "\n".join(out)

@@ -1,0 +1,315 @@
+"""Causal spans: the unit of the tracing subsystem.
+
+A :class:`Span` is one named interval (or instant) of simulated time on
+one actor's lane, with an optional parent link to the span that caused
+it.  The model is OpenTelemetry-flavored — ``trace_id`` / ``span_id`` /
+``parent_id`` / ``attrs`` — but timestamps are *simulated* time, so a
+trace is deterministic for a given ``(workload, seed, fault plan)``.
+
+Span names used by :class:`~repro.obs.tracer.SpanTracer`:
+
+========================  ====================================================
+``run``                   the root span covering the whole simulation
+``token_hop``             one token transfer ``src -> dest`` (sent→consumed)
+``token_visit``           one monitor's elimination round while holding a token
+``candidate``             one app→monitor snapshot message (enqueue→dequeue)
+``poll`` / ``poll_response``  direct-dependence poll traffic
+``poll_rtt``              a poll round-trip as seen by the polling monitor
+``halt``                  one halt-handshake message
+``msg:<kind>``            any other message kind
+``fault:drop``            instant marker: a send was dropped by fault injection
+``fault:lost``            instant marker: a message died with a crashed actor
+``crash``                 a crash epoch (crash → restart, or → end of run)
+========================  ====================================================
+
+:class:`Trace` collects spans and offers the in-memory query API
+(:meth:`~Trace.spans_by_actor`, :meth:`~Trace.critical_path`,
+:meth:`~Trace.token_itinerary`) plus structural validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.common.errors import ObservabilityError
+
+__all__ = ["Span", "TokenHop", "Trace"]
+
+
+@dataclass
+class Span:
+    """One traced interval of simulated time.
+
+    ``end`` is ``None`` while the span is open; instant markers have
+    ``end == start``.  ``parent_id`` links to the causing span within the
+    same trace (``None`` only for the root).
+    """
+
+    trace_id: str
+    span_id: int
+    name: str
+    actor: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time (0.0 while open or for instants)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    def close(self, at: float) -> "Span":
+        """Close the span at simulated time ``at`` (idempotent)."""
+        if self.end is None:
+            if at < self.start:
+                raise ObservabilityError(
+                    f"span {self.name!r} would end at {at} before its "
+                    f"start {self.start}"
+                )
+            self.end = at
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """The JSONL wire form (see :mod:`repro.obs.export`)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Inverse of :meth:`as_dict`; raises on missing required keys."""
+        try:
+            return cls(
+                trace_id=str(data["trace_id"]),
+                span_id=int(data["span_id"]),
+                parent_id=(
+                    None if data.get("parent_id") is None
+                    else int(data["parent_id"])
+                ),
+                name=str(data["name"]),
+                actor=str(data["actor"]),
+                start=float(data["start"]),
+                end=(None if data.get("end") is None else float(data["end"])),
+                attrs=dict(data.get("attrs") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed span record: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class TokenHop:
+    """One row of a token itinerary (derived from a ``token_hop`` span).
+
+    ``why`` explains the forward in the paper's terms: which slots were
+    red when the holder gave the token up (or that it was the initial
+    injection).
+    """
+
+    gid: int
+    hop: int | None
+    src: str
+    dest: str
+    sent_at: float
+    arrived_at: float | None
+    why: str
+
+    def describe(self) -> str:
+        arrived = "lost" if self.arrived_at is None else f"{self.arrived_at:g}"
+        return (
+            f"t={self.sent_at:g}->{arrived}  {self.src} -> {self.dest}  "
+            f"({self.why})"
+        )
+
+
+class Trace:
+    """A collection of spans from one run, with the query API.
+
+    ``meta`` holds the run header written next to the spans in a JSONL
+    file (detector name, verdict, metrics snapshot, fault summary...);
+    it is empty for traces built purely in memory.
+    """
+
+    def __init__(
+        self,
+        trace_id: str,
+        spans: Iterable[Span] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        if not trace_id:
+            raise ObservabilityError("trace_id must be non-empty")
+        self.trace_id = trace_id
+        self.spans: list[Span] = list(spans or [])
+        self.meta: dict[str, Any] = dict(meta or {})
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def add(self, span: Span) -> Span:
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_name(self, name: str) -> list[Span]:
+        """All spans with the given name, in creation order."""
+        return [s for s in self.spans if s.name == name]
+
+    def spans_by_actor(self) -> dict[str, list[Span]]:
+        """Spans grouped by actor lane, each list in creation order."""
+        lanes: dict[str, list[Span]] = {}
+        for span in self.spans:
+            lanes.setdefault(span.actor, []).append(span)
+        return lanes
+
+    def span(self, span_id: int) -> Span:
+        """Look up one span by id; raises if unknown."""
+        for s in self.spans:
+            if s.span_id == span_id:
+                return s
+        raise ObservabilityError(
+            f"trace {self.trace_id} has no span {span_id}"
+        )
+
+    def critical_path(self) -> list[Span]:
+        """The parent chain ending at the latest-finishing span.
+
+        The tracer threads token visits and hops through parent links,
+        so for the token protocols this is the causal chain of the
+        token from injection to the final verdict — the run's critical
+        path in the §3.4 sense (everything else overlaps it).
+        Returned root-first.
+        """
+        if not self.spans:
+            return []
+        by_id = {s.span_id: s for s in self.spans}
+
+        depths: dict[int, int] = {}
+
+        def depth(s: Span) -> int:
+            cached = depths.get(s.span_id)
+            if cached is not None:
+                return cached
+            depths[s.span_id] = 0  # breaks accidental cycles
+            parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+            d = 0 if parent is None else depth(parent) + 1
+            depths[s.span_id] = d
+            return d
+
+        def sort_key(s: Span) -> tuple[int, float, int]:
+            end = s.end if s.end is not None else s.start
+            return (depth(s), end, s.span_id)
+
+        leaf = max(self.spans, key=sort_key)
+        chain: list[Span] = []
+        seen: set[int] = set()
+        node: Span | None = leaf
+        while node is not None and node.span_id not in seen:
+            seen.add(node.span_id)
+            chain.append(node)
+            node = by_id.get(node.parent_id) if node.parent_id is not None else None
+        chain.reverse()
+        return chain
+
+    def token_itinerary(self) -> list[TokenHop]:
+        """Which monitor held which token when, and why it moved.
+
+        Derived from ``token_hop`` spans in send order; the multi-token
+        algorithm's tokens are distinguished by ``gid``.
+        """
+        hops: list[TokenHop] = []
+        for span in self.spans:
+            if span.name != "token_hop":
+                continue
+            a = span.attrs
+            reds = a.get("reds")
+            if a.get("injected"):
+                why = "initial injection (all slots red)"
+            elif reds:
+                why = f"slots {list(reds)} still red"
+            else:
+                why = "forwarded"
+            hops.append(
+                TokenHop(
+                    gid=int(a.get("gid", 0)),
+                    hop=a.get("hop"),
+                    src=span.actor,
+                    dest=str(a.get("dest", "?")),
+                    sent_at=span.start,
+                    arrived_at=(
+                        None if a.get("terminal") in ("dropped", "lost")
+                        else span.end
+                    ),
+                    why=why,
+                )
+            )
+        hops.sort(key=lambda h: (h.sent_at, h.gid))
+        return hops
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`ObservabilityError`.
+
+        Every span must carry this trace's id, a unique span id and a
+        simulated start time; parent links must resolve within the
+        trace and be acyclic.
+        """
+        by_id: dict[int, Span] = {}
+        for span in self.spans:
+            if span.trace_id != self.trace_id:
+                raise ObservabilityError(
+                    f"span {span.span_id} has trace_id {span.trace_id!r}, "
+                    f"expected {self.trace_id!r}"
+                )
+            if span.span_id in by_id:
+                raise ObservabilityError(f"duplicate span_id {span.span_id}")
+            if not isinstance(span.start, (int, float)):
+                raise ObservabilityError(
+                    f"span {span.span_id} has no simulated start time"
+                )
+            by_id[span.span_id] = span
+        for span in self.spans:
+            seen = {span.span_id}
+            node = span
+            while node.parent_id is not None:
+                if node.parent_id not in by_id:
+                    raise ObservabilityError(
+                        f"span {node.span_id} references unknown parent "
+                        f"{node.parent_id}"
+                    )
+                node = by_id[node.parent_id]
+                if node.span_id in seen:
+                    raise ObservabilityError(
+                        f"cyclic parent links through span {node.span_id}"
+                    )
+                seen.add(node.span_id)
+
+    # ------------------------------------------------------------------
+    def bounds(self) -> tuple[float, float]:
+        """(earliest start, latest end/start) over all spans."""
+        if not self.spans:
+            return (0.0, 0.0)
+        start = min(s.start for s in self.spans)
+        end = max(s.end if s.end is not None else s.start for s in self.spans)
+        return (start, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Trace {self.trace_id} spans={len(self.spans)}>"

@@ -1,0 +1,338 @@
+"""SpanTracer: a kernel observer that synthesizes causal spans.
+
+Attach an instance via the kernel/detector ``observers`` hook — actors
+stay unmodified — and call :meth:`SpanTracer.finish` after the run to
+obtain the :class:`~repro.obs.spans.Trace`:
+
+    tracer = SpanTracer()
+    report = run_detector("token_vc", comp, wcp, observers=[tracer])
+    trace = tracer.finish(report.sim.time)
+
+Span synthesis rules (all timestamps are simulated time):
+
+* every message becomes a span from SENT to its terminal phase
+  (CONSUMED / DROPPED / LOST), named by kind (``token_hop``,
+  ``candidate``, ``poll``, ``halt``, ...) with ``delivered_at``
+  recorded as an attribute, so queue residence (enqueue→dequeue) is
+  visible inside the message span;
+* a ``token_visit`` span opens on the monitor that consumes a token and
+  closes when that monitor forwards the token or broadcasts halt — the
+  paper's elimination round.  Candidates consumed during the visit are
+  counted on the span;
+* token spans carry the candidate cut ``G``, the red slot set and hop /
+  gid numbers read (not copied) from the token payload at send time, so
+  the itinerary can say *why* each hop happened;
+* ``poll_rtt`` spans pair a direct-dependence poll with its response at
+  the polling monitor;
+* fault injection overlays instant ``fault:drop`` / ``fault:lost``
+  markers on the same timeline, and crash/restart lifecycle events
+  become ``crash`` epoch spans on the crashed actor's lane.
+
+Parent links thread visits and hops alternately, which makes
+:meth:`Trace.critical_path` the token's causal chain through the run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from collections import deque
+from typing import Any
+
+from repro.detect.base import (
+    HALT_KIND,
+    POLL_KIND,
+    POLL_RESPONSE_KIND,
+    RED,
+    TOKEN_KIND,
+)
+from repro.obs.spans import Span, Trace
+from repro.simulation.observers import (
+    ActorEvent,
+    ActorPhase,
+    MessageEvent,
+    MessagePhase,
+)
+from repro.simulation.replay import CANDIDATE_KIND
+
+__all__ = ["SpanTracer"]
+
+#: Message kinds that get first-class span names; anything else becomes
+#: ``msg:<kind>``.
+_KIND_NAMES = {
+    TOKEN_KIND: "token_hop",
+    CANDIDATE_KIND: "candidate",
+    POLL_KIND: "poll",
+    POLL_RESPONSE_KIND: "poll_response",
+    HALT_KIND: "halt",
+}
+
+
+def _token_attrs(payload: object) -> dict[str, Any]:
+    """Read hop/gid/G/colors off a token payload, whatever its wrapper.
+
+    Handles a bare ``VCToken``, a ``GroupToken`` (multi-token variant)
+    and a reliability-layer ``TokenFrame`` around either.  Unknown
+    payloads simply yield no extra attributes.
+    """
+    attrs: dict[str, Any] = {}
+    body = payload
+    if hasattr(body, "hop") and hasattr(body, "body"):  # TokenFrame
+        attrs["hop"] = body.hop
+        attrs["gid"] = getattr(body, "gid", 0)
+        body = body.body
+    if hasattr(body, "group") and hasattr(body, "token"):  # GroupToken
+        attrs.setdefault("gid", body.group)
+        body = body.token
+    color = getattr(body, "color", None)
+    if isinstance(color, list):
+        attrs["reds"] = [i for i, c in enumerate(color) if c == RED]
+        attrs["greens"] = len(color) - len(attrs["reds"])
+    cut = getattr(body, "G", None)
+    if isinstance(cut, list):
+        attrs["G"] = list(cut)
+    return attrs
+
+
+class SpanTracer:
+    """Observer building a :class:`Trace` from kernel message events."""
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace = Trace(trace_id or uuid.uuid4().hex[:16])
+        self._ids = itertools.count(1)
+        self._root = self._new_span("run", actor="kernel", start=0.0)
+        # Open message spans by kernel message seq.
+        self._messages: dict[int, Span] = {}
+        # Open token_visit span per actor, and the last visit either way
+        # (retransmissions parent onto a closed visit).
+        self._open_visit: dict[str, Span] = {}
+        self._last_visit: dict[str, Span] = {}
+        # Outstanding poll round-trips per (poller, pollee).
+        self._polls: dict[tuple[str, str], deque[Span]] = {}
+        # Open crash-epoch span per actor.
+        self._crashes: dict[str, Span] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def _new_span(
+        self,
+        name: str,
+        actor: str,
+        start: float,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        span = Span(
+            trace_id=self.trace.trace_id,
+            span_id=next(self._ids),
+            name=name,
+            actor=actor,
+            start=start,
+            parent_id=None if parent is None else parent.span_id,
+            attrs=attrs,
+        )
+        return self.trace.add(span)
+
+    def _instant(
+        self, name: str, actor: str, at: float, parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        span = self._new_span(name, actor, at, parent=parent, **attrs)
+        span.end = at
+        return span
+
+    # ------------------------------------------------------------------
+    # Message events
+    # ------------------------------------------------------------------
+    def __call__(self, event: MessageEvent) -> None:
+        handler = {
+            MessagePhase.SENT: self._on_sent,
+            MessagePhase.DELIVERED: self._on_delivered,
+            MessagePhase.CONSUMED: self._on_consumed,
+            MessagePhase.DROPPED: self._on_dropped,
+            MessagePhase.LOST: self._on_lost,
+        }[event.phase]
+        handler(event)
+
+    def _open_message(self, event: MessageEvent, **extra: Any) -> Span:
+        msg = event.message
+        name = _KIND_NAMES.get(msg.kind, f"msg:{msg.kind}")
+        attrs: dict[str, Any] = {
+            "src": msg.src,
+            "dest": msg.dest,
+            "kind": msg.kind,
+            "seq": msg.seq,
+            "size_bits": msg.size_bits,
+            **extra,
+        }
+        parent: Span | None = self._root
+        if msg.kind == TOKEN_KIND:
+            attrs.update(_token_attrs(msg.payload))
+            if not msg.src.startswith("mon-"):
+                attrs["injected"] = True
+        if msg.kind in (TOKEN_KIND, HALT_KIND, POLL_KIND):
+            # Thread protocol messages onto the elimination round that
+            # emitted them; critical_path() then follows the token.
+            visit = self._open_visit.get(msg.src) or self._last_visit.get(msg.src)
+            if visit is not None:
+                parent = visit
+        span = self._new_span(
+            name, actor=msg.src, start=event.time, parent=parent, **attrs
+        )
+        self._messages[msg.seq] = span
+        return span
+
+    def _on_sent(self, event: MessageEvent) -> None:
+        msg = event.message
+        if msg.kind == TOKEN_KIND:
+            # Forwarding the token ends the sender's elimination round.
+            self._close_visit(msg.src, event.time, outcome="forwarded")
+        elif msg.kind == HALT_KIND:
+            self._close_visit(msg.src, event.time, outcome="verdict")
+        self._open_message(event)
+        if msg.kind == POLL_KIND and msg.src.startswith("mon-"):
+            parent = (
+                self._open_visit.get(msg.src)
+                or self._last_visit.get(msg.src)
+                or self._root
+            )
+            self._polls.setdefault((msg.src, msg.dest), deque()).append(
+                self._new_span(
+                    "poll_rtt", actor=msg.src, start=event.time,
+                    parent=parent, dest=msg.dest,
+                )
+            )
+
+    def _on_delivered(self, event: MessageEvent) -> None:
+        msg = event.message
+        span = self._messages.get(msg.seq)
+        if span is None:
+            # A fault-injected duplicate copy: its SENT was reported on
+            # the first copy only, so open a span at the original send
+            # time and mark it.
+            span = self._open_message(event, duplicate=True)
+            span.start = msg.sent_at
+        span.attrs["delivered_at"] = event.time
+
+    def _on_consumed(self, event: MessageEvent) -> None:
+        msg = event.message
+        span = self._messages.pop(msg.seq, None)
+        if span is not None:
+            span.attrs["terminal"] = "consumed"
+            span.close(event.time)
+        if msg.kind == TOKEN_KIND:
+            self._begin_visit(msg.dest, event.time, hop=span)
+        elif msg.kind == CANDIDATE_KIND:
+            visit = self._open_visit.get(msg.dest)
+            if visit is not None:
+                visit.attrs["candidates"] = visit.attrs.get("candidates", 0) + 1
+        elif msg.kind == POLL_RESPONSE_KIND:
+            queue = self._polls.get((msg.dest, msg.src))
+            if queue:
+                queue.popleft().close(event.time)
+
+    def _on_dropped(self, event: MessageEvent) -> None:
+        msg = event.message
+        span = self._messages.pop(msg.seq, None)
+        if span is not None:  # pragma: no cover - drops precede SENT today
+            span.attrs["terminal"] = "dropped"
+            span.close(event.time)
+        self._instant(
+            "fault:drop", actor=msg.src, at=event.time, parent=self._root,
+            kind=msg.kind, dest=msg.dest, seq=msg.seq,
+        )
+
+    def _on_lost(self, event: MessageEvent) -> None:
+        msg = event.message
+        span = self._messages.pop(msg.seq, None)
+        if span is not None:
+            span.attrs["terminal"] = "lost"
+            span.close(event.time)
+        self._instant(
+            "fault:lost", actor=msg.dest, at=event.time, parent=self._root,
+            kind=msg.kind, src=msg.src, seq=msg.seq,
+        )
+
+    # ------------------------------------------------------------------
+    # Token visits
+    # ------------------------------------------------------------------
+    def _begin_visit(self, actor: str, at: float, hop: Span | None) -> None:
+        open_visit = self._open_visit.get(actor)
+        if open_visit is not None:
+            # A retransmitted token arrived mid-visit (hardened mode);
+            # count it rather than opening a nested round.
+            open_visit.attrs["dup_tokens"] = (
+                open_visit.attrs.get("dup_tokens", 0) + 1
+            )
+            return
+        attrs: dict[str, Any] = {}
+        if hop is not None:
+            for key in ("gid", "hop"):
+                if key in hop.attrs:
+                    attrs[key] = hop.attrs[key]
+        span = self._new_span(
+            "token_visit", actor=actor, start=at,
+            parent=hop or self._root, **attrs,
+        )
+        self._open_visit[actor] = span
+        self._last_visit[actor] = span
+
+    def _close_visit(self, actor: str, at: float, outcome: str) -> None:
+        span = self._open_visit.pop(actor, None)
+        if span is not None:
+            span.attrs.setdefault("outcome", outcome)
+            span.close(at)
+
+    # ------------------------------------------------------------------
+    # Actor lifecycle (fault overlay)
+    # ------------------------------------------------------------------
+    def on_actor_event(self, event: ActorEvent) -> None:
+        if event.phase is ActorPhase.CRASHED:
+            self._close_visit(event.actor, event.time, outcome="crashed")
+            if event.actor not in self._crashes:
+                self._crashes[event.actor] = self._new_span(
+                    "crash", actor=event.actor, start=event.time,
+                    parent=self._root,
+                )
+        elif event.phase is ActorPhase.RESTARTED:
+            span = self._crashes.pop(event.actor, None)
+            if span is not None:
+                span.attrs["restarted"] = True
+                span.close(event.time)
+
+    # ------------------------------------------------------------------
+    def finish(self, at: float | None = None, **meta: Any) -> Trace:
+        """Close all open spans at ``at`` and return the trace.
+
+        ``at`` defaults to the latest timestamp seen; extra keyword
+        arguments land in ``trace.meta``.  Idempotent — later calls only
+        merge additional meta.
+        """
+        if not self._finished:
+            end = at
+            if end is None:
+                end = max(
+                    (s.end if s.end is not None else s.start
+                     for s in self.trace.spans),
+                    default=0.0,
+                )
+            for actor in list(self._open_visit):
+                self._close_visit(actor, max(end, self._open_visit[actor].start),
+                                  outcome="unfinished")
+            for span in self._messages.values():
+                span.attrs.setdefault("terminal", "in_flight")
+                span.close(max(end, span.start))
+            self._messages.clear()
+            for queue in self._polls.values():
+                for span in queue:
+                    span.attrs["unanswered"] = True
+                    span.close(max(end, span.start))
+            self._polls.clear()
+            for span in self._crashes.values():
+                span.attrs.setdefault("restarted", False)
+                span.close(max(end, span.start))
+            self._crashes.clear()
+            self._root.close(max(end, self._root.start))
+            self._finished = True
+        self.trace.meta.update(meta)
+        return self.trace

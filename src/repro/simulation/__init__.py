@@ -19,6 +19,9 @@ from repro.simulation.network import (
     UniformLatency,
 )
 from repro.simulation.observers import (
+    TERMINAL_PHASES,
+    ActorEvent,
+    ActorPhase,
     EventLog,
     InvariantChecker,
     MessageEvent,
@@ -63,5 +66,8 @@ __all__ = [
     "InvariantChecker",
     "MessageEvent",
     "MessagePhase",
+    "ActorEvent",
+    "ActorPhase",
+    "TERMINAL_PHASES",
     "token_uniqueness_checker",
 ]

@@ -55,6 +55,18 @@ class FaultSummary:
             + self.lost_to_crash
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready totals (includes the derived message-fault total)."""
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "lost_to_crash": self.lost_to_crash,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "total_message_faults": self.total_message_faults,
+        }
+
 
 @dataclass
 class ActorMetrics:
@@ -227,3 +239,50 @@ class MetricsBoard:
     def messages_of_kind(self, kind: str) -> int:
         """Total messages of one kind sent across all actors."""
         return sum(m.sent_by_kind.get(kind, 0) for m in self._actors.values())
+
+    # ------------------------------------------------------------------
+    # Telemetry snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready snapshot of the whole board.
+
+        Used by ``repro detect --json`` and embedded in span-trace run
+        headers; the units are the paper's (messages, bits, work units,
+        buffered-bit high-water marks).
+        """
+        actors = {
+            name: {
+                "messages_sent": m.messages_sent,
+                "bits_sent": m.bits_sent,
+                "messages_received": m.messages_received,
+                "bits_received": m.bits_received,
+                "work_units": m.work_units,
+                "space_high_water_bits": m.buffered_bits_high_water,
+                "sent_by_kind": dict(m.sent_by_kind),
+                "received_by_kind": dict(m.received_by_kind),
+            }
+            for name, m in sorted(self._actors.items())
+        }
+        snap: dict = {
+            "totals": {
+                "messages": self.total_messages(),
+                "bits": self.total_bits(),
+                "work": self.total_work(),
+                "max_work_per_actor": self.max_work_per_actor(),
+                "max_space_bits_per_actor": self.max_space_per_actor(),
+            },
+            "actors": actors,
+        }
+        if self._channel_faults or self._crashes or self._restarts:
+            snap["channel_faults"] = {
+                f"{src}->{dest}": {
+                    "dropped": s.dropped,
+                    "duplicated": s.duplicated,
+                    "corrupted": s.corrupted,
+                    "lost_to_crash": s.lost_to_crash,
+                }
+                for (src, dest), s in sorted(self._channel_faults.items())
+            }
+            snap["crashes"] = dict(self._crashes)
+            snap["restarts"] = dict(self._restarts)
+        return snap

@@ -100,6 +100,12 @@ class Kernel:
         Optional :class:`~repro.simulation.faults.FaultPlan`.  With
         ``None`` (the default) the delivery hot path is unchanged apart
         from a single ``is None`` check per event.
+    profiler:
+        Optional :class:`~repro.obs.profiling.HotPathProfiler`; when set,
+        the kernel wall-clocks its hot paths (event dispatch per action,
+        plus event scheduling) under ``kernel.*`` section names.  With
+        ``None`` (the default) the loop pays one ``is None`` check per
+        event and nothing else.
     """
 
     def __init__(
@@ -110,6 +116,7 @@ class Kernel:
         max_steps: int = 5_000_000,
         observers: list | None = None,
         faults: FaultPlan | None = None,
+        profiler=None,
     ) -> None:
         if work_time_scale < 0:
             raise SimulationError("work_time_scale must be >= 0")
@@ -128,6 +135,7 @@ class Kernel:
         self._messages_delivered = 0
         self._last_fifo_delivery: dict[tuple[str, str], float] = {}
         self.metrics = MetricsBoard()
+        self._profiler = profiler
         self._faults = faults
         self._fault_rng = spawn_rng(seed, "faults") if faults is not None else None
         if faults is not None:
@@ -153,6 +161,23 @@ class Kernel:
         event = MessageEvent(self._time, phase, message)
         for observer in self._observers:
             observer(event)
+
+    def _notify_actor(self, phase_name: str, name: str) -> None:
+        """Report a crash/restart to observers that opt in.
+
+        Only observers defining ``on_actor_event`` receive these, so
+        message-only observers (and their invariant predicates) are
+        unaffected.
+        """
+        if not self._observers:
+            return
+        from repro.simulation.observers import ActorEvent, ActorPhase
+
+        event = ActorEvent(self._time, ActorPhase(phase_name), name)
+        for observer in self._observers:
+            handler = getattr(observer, "on_actor_event", None)
+            if handler is not None:
+                handler(event)
 
     def add_actor(self, actor: Actor) -> None:
         """Register an actor; it starts when :meth:`run` is next called."""
@@ -195,6 +220,9 @@ class Kernel:
                 )
             time, _seq, action, payload = heapq.heappop(self._queue)
             self._time = time
+            _prof_t0 = (
+                self._profiler.start() if self._profiler is not None else 0.0
+            )
             if action == "start":
                 self._start(str(payload))
             elif action == "resume":
@@ -217,6 +245,8 @@ class Kernel:
                 self._restart(str(payload))
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown action {action!r}")
+            if self._profiler is not None:
+                self._profiler.stop(f"kernel.{action}", _prof_t0)
         blocked = {
             name: (state.pending_receive.description if state.pending_receive else "")
             for name, state in self._states.items()
@@ -266,6 +296,7 @@ class Kernel:
         if state.gen is not None:
             state.gen.close()
             state.gen = None
+        self._notify_actor("crashed", crash.actor)
         for msg in state.mailbox:  # mailbox loss
             state.actor.metrics.adjust_space(-msg.size_bits)  # type: ignore[union-attr]
             self.metrics.record_channel_fault(msg.src, msg.dest, "lost_to_crash")
@@ -290,6 +321,7 @@ class Kernel:
                 f"(did you forget a yield?)"
             )
         self.metrics.record_restart(name)
+        self._notify_actor("restarted", name)
         self._advance(state, None)
 
     def _notify_fault(self, message: Message, lost: bool) -> None:
@@ -509,6 +541,13 @@ class Kernel:
 
     # ------------------------------------------------------------------
     def _schedule(self, time: float, action: str, payload: object) -> None:
+        if self._profiler is not None:
+            t0 = self._profiler.start()
+            heapq.heappush(
+                self._queue, (time, self._next_seq(), action, payload)
+            )
+            self._profiler.stop("kernel.schedule", t0)
+            return
         heapq.heappush(self._queue, (time, self._next_seq(), action, payload))
 
     def _next_seq(self) -> int:

@@ -23,9 +23,12 @@ from repro.common.errors import ProtocolError
 from repro.simulation.effects import Message
 
 __all__ = [
+    "ActorEvent",
+    "ActorPhase",
     "MessageEvent",
     "MessagePhase",
     "Observer",
+    "TERMINAL_PHASES",
     "EventLog",
     "InvariantChecker",
     "token_uniqueness_checker",
@@ -42,6 +45,21 @@ class MessagePhase(enum.Enum):
     LOST = "lost"            # arrived at (or was queued in) a crashed actor
 
 
+#: Phases that end a message's lifecycle.  Every observed message must
+#: eventually reach one of these — or remain buffered/in flight when the
+#: run ends, which :meth:`EventLog.unterminated` makes visible.
+TERMINAL_PHASES = frozenset(
+    {MessagePhase.CONSUMED, MessagePhase.DROPPED, MessagePhase.LOST}
+)
+
+
+class ActorPhase(enum.Enum):
+    """Actor lifecycle points the kernel reports (fault injection only)."""
+
+    CRASHED = "crashed"
+    RESTARTED = "restarted"
+
+
 @dataclass(frozen=True, slots=True)
 class MessageEvent:
     """One observed message lifecycle step."""
@@ -51,17 +69,40 @@ class MessageEvent:
     message: Message
 
 
+@dataclass(frozen=True, slots=True)
+class ActorEvent:
+    """One observed actor lifecycle step (crash or restart).
+
+    Delivered only to observers that define an ``on_actor_event``
+    method, so plain message observers need not know about it.
+    """
+
+    time: float
+    phase: ActorPhase
+    actor: str
+
+
 Observer = Callable[[MessageEvent], None]
 
 
 class EventLog:
-    """An observer that records every message event, queryable afterwards."""
+    """An observer that records every message event, queryable afterwards.
+
+    Also records actor lifecycle events (crash/restart) in
+    ``actor_events``, and keeps a per-message ledger so runs can assert
+    that every message reached a terminal phase (consumed, dropped or
+    lost) rather than silently vanishing.
+    """
 
     def __init__(self) -> None:
         self.events: list[MessageEvent] = []
+        self.actor_events: list[ActorEvent] = []
 
     def __call__(self, event: MessageEvent) -> None:
         self.events.append(event)
+
+    def on_actor_event(self, event: ActorEvent) -> None:
+        self.actor_events.append(event)
 
     # ------------------------------------------------------------------
     def of_phase(self, phase: MessagePhase) -> list[MessageEvent]:
@@ -88,6 +129,59 @@ class EventLog:
             f"{e.message.src} -> {e.message.dest}  [{e.message.kind}]"
             for e in self.events
         ]
+
+    # ------------------------------------------------------------------
+    # Terminal-phase accounting
+    # ------------------------------------------------------------------
+    def message_ledger(self) -> dict[int, list[MessagePhase]]:
+        """Observed phases per message ``seq``, in observation order.
+
+        Note that fault-injected duplicate copies carry their own seq
+        and first appear at DELIVERED, and dropped sends appear only as
+        DROPPED (the kernel reports the drop in place of the send).
+        """
+        ledger: dict[int, list[MessagePhase]] = {}
+        for e in self.events:
+            ledger.setdefault(e.message.seq, []).append(e.phase)
+        return ledger
+
+    def unterminated(self) -> list[Message]:
+        """Messages whose lifecycle never reached a terminal phase.
+
+        A message is *terminal* once consumed, dropped or lost
+        (:data:`TERMINAL_PHASES`).  Anything else was still in flight or
+        buffered unread when observation stopped — e.g. an end-of-trace
+        marker delivered to a monitor that had already finished.  Returns
+        the last observed :class:`Message` per offending seq, in first-
+        seen order.
+        """
+        last_seen: dict[int, Message] = {}
+        terminal: set[int] = set()
+        for e in self.events:
+            seq = e.message.seq
+            if seq not in last_seen:
+                last_seen[seq] = e.message
+            if e.phase in TERMINAL_PHASES:
+                terminal.add(seq)
+            else:
+                last_seen[seq] = e.message
+        return [m for seq, m in last_seen.items() if seq not in terminal]
+
+    def assert_terminal(self) -> None:
+        """Raise :class:`ProtocolError` unless every message terminated.
+
+        Use in tests that expect a fully drained run: every sent or
+        delivered message must have been consumed, dropped or lost.
+        """
+        leftovers = self.unterminated()
+        if leftovers:
+            detail = ", ".join(
+                f"#{m.seq} {m.src}->{m.dest} [{m.kind}]" for m in leftovers[:10]
+            )
+            raise ProtocolError(
+                f"{len(leftovers)} message(s) never reached a terminal "
+                f"phase: {detail}"
+            )
 
 
 class InvariantChecker:

@@ -54,6 +54,31 @@ class TestRegistry:
         assert report.extras["groups"] == 3
 
 
+class TestVerbose:
+    def comp_and_wcp(self):
+        comp = random_computation(3, 3, seed=2, plant_final_cut=True)
+        return comp, WeakConjunctivePredicate.of_flags([0, 1, 2])
+
+    def test_summary_line_on_stderr(self, capsys):
+        comp, wcp = self.comp_and_wcp()
+        report = run_detector("token_vc", comp, wcp, verbose=True)
+        err = capsys.readouterr().err
+        assert err.startswith("[repro] token_vc: detected")
+        assert f"cut={tuple(report.cut.intervals)}" in err
+        assert "msgs=" in err and "work=" in err
+        assert "t=" in err
+
+    def test_silent_by_default(self, capsys):
+        comp, wcp = self.comp_and_wcp()
+        run_detector("token_vc", comp, wcp)
+        assert capsys.readouterr().err == ""
+
+    def test_offline_detectors_accept_verbose(self, capsys):
+        comp, wcp = self.comp_and_wcp()
+        run_detector("reference", comp, wcp, verbose=True)
+        assert "[repro] reference: detected" in capsys.readouterr().err
+
+
 class TestReportValidation:
     def test_detected_requires_cut(self):
         from repro.detect import DetectionReport

@@ -1,0 +1,76 @@
+"""Tests for the structured benchmark-result schema."""
+
+import json
+
+from repro.analysis import ExperimentResult
+from repro.obs import BENCH_SCHEMA, structured_result, write_benchmark_json
+
+
+class FakeFit:
+    n_exponent = 1.97
+    m_exponent = 1.02
+    r_squared = 0.999
+
+    def __str__(self):
+        return "~ n^1.97 m^1.02 (R^2=0.999)"
+
+
+def result():
+    return ExperimentResult(
+        "E1 token complexity",
+        ["n", "m", "mon_msgs", "mon_bits", "total_work", "max_space_bits"],
+        [
+            [4, 8, 10, 100, 50, 64],
+            [8, 8, 20, 400, 200, 128],
+        ],
+        fits={"total_work": FakeFit()},
+        notes=["seeded"],
+    )
+
+
+class TestStructuredResult:
+    def test_schema_fields(self):
+        data = structured_result(
+            result(), params={"ns": (4, 8)}, wall_time_s=1.5
+        )
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["experiment"] == "E1 token complexity"
+        assert data["params"] == {"ns": (4, 8)}
+        assert data["wall_time_s"] == 1.5
+        assert data["rows"][0] == [4, 8, 10, 100, 50, 64]
+        assert data["notes"] == ["seeded"]
+
+    def test_summary_totals_in_paper_units(self):
+        summary = structured_result(result())["summary"]
+        assert summary["messages"] == 30      # summed
+        assert summary["bits"] == 500         # summed
+        assert summary["work"] == 250         # summed
+        assert summary["space"] == 128        # high-water: max, not sum
+
+    def test_summary_skips_absent_columns(self):
+        r = ExperimentResult("x", ["n", "ratio"], [[1, 0.5]])
+        assert structured_result(r)["summary"] == {}
+
+    def test_fit_numeric_attrs_extracted(self):
+        fits = structured_result(result())["fits"]
+        assert fits["total_work"]["n_exponent"] == 1.97
+        assert fits["total_work"]["r_squared"] == 0.999
+        assert "text" in fits["total_work"]
+
+    def test_params_default_empty(self):
+        data = structured_result(result())
+        assert data["params"] == {}
+        assert data["wall_time_s"] is None
+
+
+class TestWriteBenchmarkJson:
+    def test_writes_valid_json(self, tmp_path):
+        path = write_benchmark_json(
+            result(), tmp_path / "e1.json",
+            params={"ns": (4, 8)}, wall_time_s=0.25,
+        )
+        data = json.loads(path.read_text())
+        assert data["schema"] == BENCH_SCHEMA
+        # Tuples must serialize to lists, not str().
+        assert data["params"]["ns"] == [4, 8]
+        assert data["wall_time_s"] == 0.25

@@ -1,0 +1,104 @@
+"""Tests for the JSONL trace wire format."""
+
+import json
+
+import pytest
+
+from repro.common import ObservabilityError
+from repro.obs import (
+    Span,
+    Trace,
+    dump_jsonl,
+    dumps_jsonl,
+    iter_spans,
+    load_jsonl,
+    loads_jsonl,
+)
+
+
+def small_trace():
+    t = Trace("abc123", meta={"detector": "token_vc", "outcome": "detected"})
+    t.add(Span("abc123", 1, "run", "kernel", 0.0, end=5.0))
+    t.add(Span("abc123", 2, "token_hop", "mon-0", 1.0, end=2.0,
+               parent_id=1, attrs={"dest": "mon-1", "reds": [0, 1]}))
+    return t
+
+
+class TestDumps:
+    def test_header_then_spans(self):
+        lines = dumps_jsonl(small_trace()).strip().splitlines()
+        assert len(lines) == 3
+        header = json.loads(lines[0])
+        assert header["type"] == "run"
+        assert header["trace_id"] == "abc123"
+        assert header["detector"] == "token_vc"
+        for line in lines[1:]:
+            record = json.loads(line)
+            assert record["type"] == "span"
+            assert record["trace_id"] == "abc123"
+            assert isinstance(record["span_id"], int)
+            assert isinstance(record["start"], float)
+
+    def test_non_json_values_coerced(self):
+        t = Trace("t1", meta={"pids": (0, 1), "tags": {"x"}})
+        t.add(Span("t1", 1, "run", "kernel", 0.0, attrs={"G": (3, 4)}))
+        back = loads_jsonl(dumps_jsonl(t))
+        assert back.meta["pids"] == [0, 1]
+        assert back.meta["tags"] == ["x"]
+        assert back.spans[0].attrs["G"] == [3, 4]
+
+
+class TestLoads:
+    def test_roundtrip(self):
+        t = small_trace()
+        back = loads_jsonl(dumps_jsonl(t))
+        assert back.trace_id == t.trace_id
+        assert back.meta["outcome"] == "detected"
+        assert [s.as_dict() for s in back.spans] == \
+               [s.as_dict() for s in t.spans]
+
+    def test_headerless_input_tolerated(self):
+        lines = dumps_jsonl(small_trace()).strip().splitlines()[1:]
+        back = loads_jsonl("\n".join(lines))
+        assert back.trace_id == "abc123"
+        assert len(back) == 2
+
+    def test_unknown_record_types_skipped(self):
+        text = dumps_jsonl(small_trace()) + \
+            '{"type": "profiler", "sections": {}}\n'
+        assert len(loads_jsonl(text)) == 2
+
+    def test_bad_json_raises_with_lineno(self):
+        with pytest.raises(ObservabilityError, match="line 1"):
+            loads_jsonl("this is not json")
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ObservabilityError, match="expected an object"):
+            loads_jsonl("[1, 2, 3]")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            loads_jsonl("\n\n")
+
+    def test_validate_flag(self):
+        t = Trace("t1", [Span("t1", 1, "x", "a", 0.0, parent_id=99)])
+        text = dumps_jsonl(t)
+        with pytest.raises(ObservabilityError, match="unknown parent"):
+            loads_jsonl(text)
+        assert len(loads_jsonl(text, validate=False)) == 1
+
+
+class TestFiles:
+    def test_dump_and_load(self, tmp_path):
+        path = dump_jsonl(small_trace(), tmp_path / "run.jsonl")
+        assert path.exists()
+        assert len(load_jsonl(path)) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no such trace"):
+            load_jsonl(tmp_path / "nope.jsonl")
+
+    def test_iter_spans_streams(self, tmp_path):
+        path = dump_jsonl(small_trace(), tmp_path / "run.jsonl")
+        names = [s.name for s in iter_spans(path)]
+        assert names == ["run", "token_hop"]

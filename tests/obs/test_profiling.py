@@ -1,0 +1,101 @@
+"""Tests for wall-clock hot-path profiling."""
+
+from repro.obs import HotPathProfiler, profiled
+from repro.simulation import Actor, Kernel
+
+
+class Ping(Actor):
+    def __init__(self, name, peer, rounds):
+        super().__init__(name)
+        self.peer = peer
+        self.rounds = rounds
+
+    def run(self):
+        for _ in range(self.rounds):
+            yield self.send(self.peer, None, kind="ping")
+            yield self.receive("ping")
+
+
+class TestHotPathProfiler:
+    def test_start_stop_accumulates(self):
+        prof = HotPathProfiler()
+        for _ in range(3):
+            prof.stop("x", prof.start())
+        assert prof.calls("x") == 3
+        assert prof.seconds("x") >= 0.0
+        assert prof.calls("missing") == 0
+        assert prof.seconds("missing") == 0.0
+
+    def test_section_context_manager(self):
+        prof = HotPathProfiler()
+        with prof.section("phase"):
+            pass
+        assert prof.calls("phase") == 1
+
+    def test_snapshot_sorted_by_time(self):
+        prof = HotPathProfiler()
+        prof._sections["slow"] = [1, 2.0]
+        prof._sections["fast"] = [10, 0.5]
+        snap = prof.snapshot()
+        assert list(snap) == ["slow", "fast"]
+        assert snap["slow"] == {
+            "calls": 1, "seconds": 2.0, "mean_us": 2_000_000.0
+        }
+
+    def test_render_and_clear(self):
+        prof = HotPathProfiler()
+        assert prof.render() == "(no profiled sections)"
+        prof.stop("a", prof.start())
+        assert "a" in prof.render()
+        prof.clear()
+        assert prof.snapshot() == {}
+
+    def test_profiled_decorator(self):
+        prof = HotPathProfiler()
+
+        @profiled(prof, "f")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert prof.calls("f") == 1
+
+    def test_decorator_charges_on_exception(self):
+        prof = HotPathProfiler()
+
+        @profiled(prof, "boom")
+        def boom():
+            raise ValueError
+
+        try:
+            boom()
+        except ValueError:
+            pass
+        assert prof.calls("boom") == 1
+
+
+class TestKernelProfiling:
+    def run_pair(self, profiler):
+        kernel = Kernel(profiler=profiler)
+        kernel.add_actor(Ping("a", "b", 3))
+        kernel.add_actor(Ping("b", "a", 3))
+        kernel.run()
+        return kernel
+
+    def test_kernel_sections_recorded(self):
+        prof = HotPathProfiler()
+        self.run_pair(prof)
+        snap = prof.snapshot()
+        assert any(name.startswith("kernel.") for name in snap)
+        assert prof.calls("kernel.schedule") > 0
+
+    def test_profiler_off_by_default(self):
+        kernel = self.run_pair(None)
+        assert kernel._profiler is None
+
+    def test_profiling_does_not_change_simulation(self):
+        times = []
+        for profiler in (None, HotPathProfiler()):
+            kernel = self.run_pair(profiler)
+            times.append((kernel.time, kernel.metrics.total_messages()))
+        assert times[0] == times[1]

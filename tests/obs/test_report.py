@@ -1,0 +1,100 @@
+"""Tests for the ASCII run-report renderer."""
+
+from repro.detect import run_detector
+from repro.obs import SpanTracer, render_report, render_timeline
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.trace import spiral_computation
+
+
+def traced(detector="token_vc", n=4, m=3, **options):
+    comp = spiral_computation(n, m)
+    wcp = WeakConjunctivePredicate.of_flags(range(n))
+    tracer = SpanTracer()
+    options.setdefault("observers", []).append(tracer)
+    report = run_detector(detector, comp, wcp, **options)
+    meta = {"detector": detector, "outcome": report.outcome,
+            "metrics": report.metrics.snapshot() if report.metrics else None}
+    if report.sim is not None and report.sim.faults is not None:
+        meta["faults"] = report.sim.faults.as_dict()
+    return tracer.finish(report.sim.time if report.sim else None, **meta)
+
+
+class TestTimeline:
+    def test_one_lane_per_actor_with_token_marks(self):
+        trace = traced()
+        text = render_timeline(trace, width=60)
+        lines = text.splitlines()
+        # Header + one lane per actor + legend.
+        actors = {s.actor for s in trace.spans if s.actor != "kernel"}
+        assert len(lines) == len(actors) + 2
+        assert lines[-1].startswith("legend:")
+        mon_lines = [ln for ln in lines if ln.startswith("mon-")]
+        assert mon_lines[0].split()[0] == "mon-0"  # numeric lane order
+        assert any("T" in ln for ln in mon_lines)  # token arrivals
+        assert any("=" in ln for ln in mon_lines)  # elimination rounds
+        assert any("c" in ln for ln in lines if ln.startswith("app-"))
+
+    def test_width_respected(self):
+        trace = traced()
+        for width in (40, 100):
+            lanes = [
+                ln for ln in render_timeline(trace, width).splitlines()
+                if ln.startswith(("mon-", "app-"))
+            ]
+            name_w = max(len(s.actor) for s in trace.spans
+                         if s.actor != "kernel")
+            assert all(len(ln) == name_w + 2 + width for ln in lanes)
+
+    def test_crash_epoch_marks(self):
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
+                                             restart_at=12.0),))
+        trace = traced(n=4, m=4, faults=plan, hardened=True)
+        mon1 = next(
+            ln for ln in render_timeline(trace).splitlines()
+            if ln.startswith("mon-1")
+        )
+        assert "X" in mon1 and "R" in mon1
+
+    def test_drop_marks_overlaid(self):
+        plan = FaultPlan(rules=(FaultRule(kind="token", drop=0.3),))
+        trace = traced(n=4, m=4, seed=5, faults=plan, hardened=True)
+        assert "!" in render_timeline(trace)
+
+
+class TestReport:
+    def test_sections_present(self):
+        report = render_report(traced())
+        assert "--- timeline ---" in report
+        assert "--- token itinerary ---" in report
+        assert "--- work/space breakdown (paper units) ---" in report
+        assert "initial injection" in report
+        assert "totals: messages=" in report
+        assert "--- critical path ---" in report
+        assert "token_visit" in report
+
+    def test_meta_header(self):
+        report = render_report(traced())
+        assert "detector=token_vc" in report
+        assert "outcome=detected" in report
+
+    def test_fault_overlay_section(self):
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
+                                             restart_at=12.0),))
+        report = render_report(traced(n=4, m=4, faults=plan, hardened=True))
+        assert "--- fault overlay ---" in report
+        assert "crash    mon-1 (restarted t=12)" in report
+        assert "crashes=1" in report
+
+    def test_no_fault_section_on_clean_run(self):
+        assert "--- fault overlay ---" not in render_report(traced())
+
+    def test_metrics_free_trace_degrades_gracefully(self):
+        tracer = SpanTracer()
+        run_detector(
+            "token_vc", spiral_computation(3, 3),
+            WeakConjunctivePredicate.of_flags(range(3)),
+            observers=[tracer],
+        )
+        report = render_report(tracer.finish())
+        assert "(no metrics snapshot in the trace header)" in report

@@ -1,0 +1,124 @@
+"""Unit tests for the span model and the in-memory query API."""
+
+import pytest
+
+from repro.common import ObservabilityError
+from repro.obs import Span, Trace
+
+
+def make_span(span_id, name="work", actor="mon-0", start=0.0, end=None,
+              parent_id=None, **attrs):
+    return Span(
+        trace_id="t1", span_id=span_id, name=name, actor=actor,
+        start=start, end=end, parent_id=parent_id, attrs=attrs,
+    )
+
+
+class TestSpan:
+    def test_close_is_idempotent(self):
+        s = make_span(1, start=1.0)
+        assert s.is_open
+        s.close(5.0)
+        s.close(99.0)  # no-op
+        assert s.end == 5.0
+        assert s.duration == 4.0
+
+    def test_close_before_start_rejected(self):
+        s = make_span(1, start=10.0)
+        with pytest.raises(ObservabilityError, match="before its start"):
+            s.close(3.0)
+
+    def test_dict_roundtrip(self):
+        s = make_span(3, start=1.5, end=2.5, parent_id=1, kind="token")
+        back = Span.from_dict(s.as_dict())
+        assert back == s
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ObservabilityError, match="malformed span"):
+            Span.from_dict({"span_id": 1})
+
+
+class TestTraceQueries:
+    def test_requires_trace_id(self):
+        with pytest.raises(ObservabilityError):
+            Trace("")
+
+    def test_by_name_and_by_actor(self):
+        t = Trace("t1")
+        t.add(make_span(1, name="run", actor="kernel"))
+        t.add(make_span(2, name="token_hop", actor="mon-0"))
+        t.add(make_span(3, name="token_hop", actor="mon-1"))
+        assert [s.span_id for s in t.by_name("token_hop")] == [2, 3]
+        lanes = t.spans_by_actor()
+        assert set(lanes) == {"kernel", "mon-0", "mon-1"}
+        assert len(t) == 3
+
+    def test_span_lookup(self):
+        t = Trace("t1", [make_span(7)])
+        assert t.span(7).span_id == 7
+        with pytest.raises(ObservabilityError, match="no span 9"):
+            t.span(9)
+
+    def test_bounds(self):
+        t = Trace("t1")
+        assert t.bounds() == (0.0, 0.0)
+        t.add(make_span(1, start=1.0, end=4.0))
+        t.add(make_span(2, start=2.0))  # open span counts its start
+        assert t.bounds() == (1.0, 4.0)
+
+    def test_critical_path_follows_deepest_chain(self):
+        t = Trace("t1")
+        t.add(make_span(1, name="run", start=0.0, end=10.0))
+        t.add(make_span(2, name="a", start=0.0, end=2.0, parent_id=1))
+        t.add(make_span(3, name="b", start=2.0, end=4.0, parent_id=2))
+        # A later-ending but shallow span must not win over the deep chain.
+        t.add(make_span(4, name="straggler", start=0.0, end=9.0, parent_id=1))
+        assert [s.span_id for s in t.critical_path()] == [1, 2, 3]
+
+    def test_critical_path_empty_trace(self):
+        assert Trace("t1").critical_path() == []
+
+    def test_token_itinerary(self):
+        t = Trace("t1")
+        t.add(make_span(1, name="token_hop", actor="inj", start=0.0, end=1.0,
+                        dest="mon-0", injected=True))
+        t.add(make_span(2, name="token_hop", actor="mon-0", start=2.0,
+                        end=3.0, dest="mon-1", reds=[1, 2]))
+        t.add(make_span(3, name="token_hop", actor="mon-1", start=4.0,
+                        end=None, dest="mon-2", terminal="lost"))
+        hops = t.token_itinerary()
+        assert [h.dest for h in hops] == ["mon-0", "mon-1", "mon-2"]
+        assert "injection" in hops[0].why
+        assert "slots [1, 2] still red" == hops[1].why
+        assert hops[2].arrived_at is None
+        assert "lost" in hops[2].describe()
+
+
+class TestTraceValidation:
+    def test_valid_trace_passes(self):
+        t = Trace("t1")
+        t.add(make_span(1))
+        t.add(make_span(2, parent_id=1))
+        t.validate()
+
+    def test_wrong_trace_id(self):
+        t = Trace("t1")
+        t.add(Span(trace_id="other", span_id=1, name="x", actor="a",
+                   start=0.0))
+        with pytest.raises(ObservabilityError, match="trace_id"):
+            t.validate()
+
+    def test_duplicate_span_id(self):
+        t = Trace("t1", [make_span(1), make_span(1)])
+        with pytest.raises(ObservabilityError, match="duplicate span_id"):
+            t.validate()
+
+    def test_unknown_parent(self):
+        t = Trace("t1", [make_span(1, parent_id=42)])
+        with pytest.raises(ObservabilityError, match="unknown parent"):
+            t.validate()
+
+    def test_cyclic_parents(self):
+        t = Trace("t1", [make_span(1, parent_id=2), make_span(2, parent_id=1)])
+        with pytest.raises(ObservabilityError, match="cyclic"):
+            t.validate()

@@ -1,0 +1,185 @@
+"""SpanTracer integration tests on real detection runs.
+
+The tracer is a pure observer: these tests run the actual protocols and
+check the synthesized spans against the reports' own accounting
+(``extras``), so span synthesis cannot drift from protocol reality.
+"""
+
+from repro.detect import run_detector
+from repro.obs import SpanTracer
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.trace import random_computation, spiral_computation
+
+
+def traced_run(detector="token_vc", n=4, m=3, **options):
+    comp = spiral_computation(n, m)
+    wcp = WeakConjunctivePredicate.of_flags(range(n))
+    tracer = SpanTracer()
+    options.setdefault("observers", []).append(tracer)
+    report = run_detector(detector, comp, wcp, **options)
+    trace = tracer.finish(report.sim.time if report.sim else None)
+    return report, trace
+
+
+class TestTokenVC:
+    def test_spans_match_report_extras(self):
+        report, trace = traced_run()
+        assert report.detected
+        trace.validate()
+        # Monitor-to-monitor hops + the injection hop.
+        hops = trace.by_name("token_hop")
+        assert len(hops) == report.extras["token_hops"] + 1
+        assert len(trace.by_name("token_visit")) == \
+            report.extras["token_visits"]
+        consumed = [s for s in trace.by_name("candidate")
+                    if s.attrs.get("terminal") == "consumed"]
+        assert len(consumed) == report.extras["candidates_sent"]
+        assert trace.by_name("halt")
+
+    def test_injection_hop_marked(self):
+        _, trace = traced_run()
+        first = trace.by_name("token_hop")[0]
+        assert first.attrs.get("injected") is True
+        assert not first.actor.startswith("mon-")
+
+    def test_every_span_closed_and_timestamped(self):
+        report, trace = traced_run()
+        for span in trace:
+            assert span.end is not None, span.name
+            assert span.end >= span.start
+        assert trace.bounds()[1] <= report.sim.time
+
+    def test_critical_path_threads_the_token(self):
+        report, trace = traced_run()
+        chain = trace.critical_path()
+        assert chain[0].name == "run"
+        assert chain[-1].name in ("halt", "token_visit")
+        names = {s.name for s in chain}
+        assert "token_hop" in names and "token_visit" in names
+        # The chain alternates through every elimination round.
+        assert len(chain) >= 2 * report.extras["token_hops"]
+
+    def test_itinerary_covers_all_hops(self):
+        report, trace = traced_run()
+        hops = trace.token_itinerary()
+        assert len(hops) == report.extras["token_hops"] + 1
+        assert all(h.arrived_at is not None for h in hops)
+        # Red-slot explanations come from the live token payload.
+        assert any("still red" in h.why for h in hops[1:])
+
+    def test_visits_count_candidates(self):
+        report, trace = traced_run()
+        counted = sum(
+            s.attrs.get("candidates", 0) for s in trace.by_name("token_visit")
+        )
+        assert counted == report.extras["candidates_sent"]
+
+    def test_trace_is_deterministic(self):
+        def spans_of():
+            _, trace = traced_run(seed=3)
+            return [
+                (s.name, s.actor, s.start, s.end) for s in trace.spans
+            ]
+
+        assert spans_of() == spans_of()
+
+
+class TestOtherDetectors:
+    def test_direct_dep_poll_rtts_pair_up(self):
+        report, trace = traced_run("direct_dep")
+        assert report.detected
+        trace.validate()
+        rtts = trace.by_name("poll_rtt")
+        assert rtts
+        assert all(not s.attrs.get("unanswered") for s in rtts)
+        assert len(trace.by_name("poll")) == len(trace.by_name("poll_response"))
+
+    def test_multi_token_gids_distinguished(self):
+        comp = random_computation(
+            6, 4, seed=1, predicate_density=0.3, plant_final_cut=True
+        )
+        wcp = WeakConjunctivePredicate.of_flags(range(6))
+        tracer = SpanTracer()
+        report = run_detector(
+            "token_vc_multi", comp, wcp, groups=2, observers=[tracer]
+        )
+        trace = tracer.finish(report.sim.time)
+        trace.validate()
+        gids = {h.gid for h in trace.token_itinerary()}
+        assert len(gids) == 2
+
+    def test_centralized_has_no_token_spans(self):
+        report, trace = traced_run("centralized")
+        assert report.detected
+        assert trace.token_itinerary() == []
+        assert trace.by_name("candidate")
+
+
+class TestFaultOverlay:
+    def plan(self):
+        return FaultPlan(
+            rules=(FaultRule(kind="token", drop=0.3),),
+            crashes=(CrashEvent("mon-1", at=6.0, restart_at=12.0),),
+        )
+
+    def test_drop_markers_and_crash_epochs(self):
+        report, trace = traced_run(
+            "token_vc", n=4, m=4, seed=5, faults=self.plan(), hardened=True
+        )
+        assert report.detected
+        trace.validate()
+        drops = trace.by_name("fault:drop")
+        assert len(drops) == report.sim.faults.dropped
+        crashes = trace.by_name("crash")
+        assert [c.actor for c in crashes] == ["mon-1"]
+        assert crashes[0].start == 6.0
+        assert crashes[0].attrs["restarted"] is True
+        assert crashes[0].end == 12.0
+
+    def test_crash_stop_left_open_until_finish(self):
+        plan = FaultPlan(crashes=(CrashEvent("mon-2", at=4.0),))
+        report, trace = traced_run(
+            "token_vc", n=4, m=4, faults=plan, hardened=True
+        )
+        crash = trace.by_name("crash")[0]
+        assert crash.attrs["restarted"] is False
+        assert crash.end is not None  # closed by finish()
+
+    def test_duplicate_copies_marked(self):
+        plan = FaultPlan(rules=(FaultRule(kind="token", duplicate=0.5),))
+        report, trace = traced_run(
+            "token_vc", n=4, m=4, seed=2, faults=plan, hardened=True
+        )
+        dups = [s for s in trace if s.attrs.get("duplicate")]
+        assert len(dups) == report.sim.faults.duplicated
+
+
+class TestFinish:
+    def test_finish_idempotent_and_merges_meta(self):
+        _, trace = traced_run()
+        tracer = SpanTracer()
+        report = run_detector(
+            "token_vc", spiral_computation(3, 3),
+            WeakConjunctivePredicate.of_flags(range(3)),
+            observers=[tracer],
+        )
+        t1 = tracer.finish(report.sim.time, detector="token_vc")
+        t2 = tracer.finish(report.sim.time, outcome="detected")
+        assert t1 is t2
+        assert t1.meta == {"detector": "token_vc", "outcome": "detected"}
+
+    def test_finish_without_time_uses_latest_seen(self):
+        tracer = SpanTracer()
+        run_detector(
+            "token_vc", spiral_computation(3, 3),
+            WeakConjunctivePredicate.of_flags(range(3)),
+            observers=[tracer],
+        )
+        trace = tracer.finish()
+        assert all(s.end is not None for s in trace)
+
+    def test_custom_trace_id(self):
+        assert SpanTracer(trace_id="fixed").trace.trace_id == "fixed"
+        # Falsy ids fall back to a generated one.
+        assert SpanTracer(trace_id="").trace.trace_id

@@ -10,7 +10,7 @@ from repro.simulation import (
     MetricsBoard,
     Send,
 )
-from repro.simulation.instrumentation import ActorMetrics
+from repro.simulation.instrumentation import ActorMetrics, FaultSummary
 
 
 class TestActorMetrics:
@@ -77,6 +77,78 @@ class TestMetricsBoard:
         assert b.max_work_per_actor("mon-") == 9
         assert b.max_space_per_actor("mon-") == 40
         assert b.max_work_per_actor("zzz") == 0
+
+    def test_space_high_water_survives_drain(self):
+        """The paper's space bound is a high-water mark: draining a
+        buffer must not lower it, and refilling below the peak must not
+        raise it."""
+        m = MetricsBoard().register("mon-0")
+        m.adjust_space(100)
+        m.adjust_space(-100)
+        assert m.buffered_bits == 0
+        assert m.buffered_bits_high_water == 100
+        m.adjust_space(60)
+        assert m.buffered_bits_high_water == 100  # below the old peak
+        m.adjust_space(50)
+        assert m.buffered_bits_high_water == 110  # new peak
+
+    def test_aggregate_space_is_max_of_peaks_not_sum_or_current(self):
+        """Per-actor peaks can happen at different times; the aggregate
+        is the max peak, never the sum and never the current gauge."""
+        b = MetricsBoard()
+        a0, a1 = b.register("mon-0"), b.register("mon-1")
+        a0.adjust_space(100)
+        a0.adjust_space(-100)        # mon-0 peaked at 100, now empty
+        a1.adjust_space(80)
+        a1.adjust_space(40)          # mon-1 peaks at 120
+        a1.adjust_space(-110)        # ... now holds 10
+        assert b.max_space_per_actor() == 120
+        assert a0.buffered_bits + a1.buffered_bits == 10
+
+    def test_snapshot_shape(self):
+        b = MetricsBoard()
+        m = b.register("mon-0")
+        m.charge_send("token", 64)
+        m.charge_receive("candidate", 32)
+        m.charge_work(3)
+        m.adjust_space(32)
+        snap = b.snapshot()
+        # Totals count sends (each message is charged once, at the sender).
+        assert snap["totals"] == {
+            "messages": 1,
+            "bits": 64,
+            "work": 3,
+            "max_work_per_actor": 3,
+            "max_space_bits_per_actor": 32,
+        }
+        actor = snap["actors"]["mon-0"]
+        assert actor["sent_by_kind"] == {"token": 1}
+        assert actor["received_by_kind"] == {"candidate": 1}
+        assert actor["space_high_water_bits"] == 32
+        # No fault data recorded -> no fault keys in the snapshot.
+        assert "channel_faults" not in snap
+        assert "crashes" not in snap
+
+
+class TestFaultSummary:
+    def test_total_message_faults_excludes_lifecycle(self):
+        s = FaultSummary(
+            dropped=3, duplicated=2, corrupted=1, lost_to_crash=4,
+            crashes=5, restarts=5,
+        )
+        assert s.total_message_faults == 10
+
+    def test_as_dict_includes_derived_total(self):
+        s = FaultSummary(dropped=1, crashes=2, restarts=1)
+        d = s.as_dict()
+        assert d["dropped"] == 1
+        assert d["crashes"] == 2
+        assert d["restarts"] == 1
+        assert d["total_message_faults"] == 1
+
+    def test_zero_faults(self):
+        assert FaultSummary().total_message_faults == 0
+        assert FaultSummary().as_dict()["total_message_faults"] == 0
 
 
 class TestKernelCharging:

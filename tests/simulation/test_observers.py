@@ -5,8 +5,11 @@ import pytest
 from repro.common import ProtocolError
 from repro.detect import run_detector
 from repro.predicates import WeakConjunctivePredicate
-from repro.simulation import Actor, Kernel
+from repro.simulation import Actor, FixedLatency, Kernel
+from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
 from repro.simulation.observers import (
+    TERMINAL_PHASES,
+    ActorPhase,
     EventLog,
     InvariantChecker,
     MessagePhase,
@@ -72,6 +75,127 @@ class TestEventLog:
                 MessagePhase.DELIVERED,
                 MessagePhase.CONSUMED,
             ]
+
+
+class SleepySink(Actor):
+    """Receives nothing until ``wake``; then drains ``rounds`` messages."""
+
+    def __init__(self, name, wake, rounds):
+        super().__init__(name)
+        self.wake = wake
+        self.rounds = rounds
+
+    def run(self):
+        yield self.sleep(self.wake)
+        for _ in range(self.rounds):
+            yield self.receive("m")
+
+
+class Burst(Actor):
+    def __init__(self, name, dest, count):
+        super().__init__(name)
+        self.dest = dest
+        self.count = count
+
+    def run(self):
+        for _ in range(self.count):
+            yield self.send(self.dest, 0, kind="m", size_bits=8)
+
+
+class TestTerminalPhaseLedger:
+    """Every message must reach CONSUMED, DROPPED or LOST — no blind
+    spots in the event log, even under faults."""
+
+    def test_clean_run_fully_terminal(self):
+        log = EventLog()
+        kernel = Kernel(observers=[log])
+        kernel.add_actor(PingPong("a", "b", 3))
+        kernel.add_actor(PingPong("b", "a", 3))
+        kernel.run()
+        assert log.unterminated() == []
+        log.assert_terminal()
+        for phases in log.message_ledger().values():
+            assert phases[-1] in TERMINAL_PHASES
+
+    def test_buffered_unread_message_is_unterminated(self):
+        log = EventLog()
+        kernel = Kernel(channel_model=FixedLatency(1.0), observers=[log])
+        kernel.add_actor(SleepySink("sink", wake=50, rounds=1))
+        kernel.add_actor(Burst("src", "sink", 2))  # one never read
+        kernel.run()
+        leftovers = log.unterminated()
+        assert len(leftovers) == 1
+        assert leftovers[0].kind == "m"
+        with pytest.raises(ProtocolError, match="never reached a terminal"):
+            log.assert_terminal()
+
+    def test_dropped_sends_terminate_as_dropped(self):
+        log = EventLog()
+        plan = FaultPlan(rules=(FaultRule(kind="m", drop=1.0),))
+        kernel = Kernel(observers=[log], faults=plan, seed=1)
+        kernel.add_actor(SleepySink("sink", wake=0, rounds=0))
+        kernel.add_actor(Burst("src", "sink", 3))
+        kernel.run()
+        assert len(log.of_phase(MessagePhase.DROPPED)) == 3
+        log.assert_terminal()
+        for phases in log.message_ledger().values():
+            assert MessagePhase.DROPPED in phases
+            assert MessagePhase.DELIVERED not in phases
+
+    def test_crash_loses_buffered_messages(self):
+        """Messages sitting in a crashed actor's mailbox end as LOST,
+        inside the crash epoch, and the restart is observed too."""
+        log = EventLog()
+        plan = FaultPlan(
+            crashes=(CrashEvent("sink", at=5.0, restart_at=8.0),)
+        )
+        kernel = Kernel(
+            channel_model=FixedLatency(1.0), observers=[log], faults=plan
+        )
+        kernel.add_actor(SleepySink("sink", wake=100, rounds=0))
+        kernel.add_actor(Burst("src", "sink", 3))
+        kernel.run()
+        lost = log.of_phase(MessagePhase.LOST)
+        assert len(lost) == 3
+        assert all(e.time == 5.0 for e in lost)
+        log.assert_terminal()
+        for phases in log.message_ledger().values():
+            assert phases == [
+                MessagePhase.SENT,
+                MessagePhase.DELIVERED,
+                MessagePhase.LOST,
+            ]
+        assert [(e.phase, e.actor, e.time) for e in log.actor_events] == [
+            (ActorPhase.CRASHED, "sink", 5.0),
+            (ActorPhase.RESTARTED, "sink", 8.0),
+        ]
+
+    def test_hardened_faulty_detection_leaves_no_blind_spots(self):
+        """A full hardened run under drops and a crash/restart: every
+        message the kernel ever reported reaches a terminal phase."""
+        log = EventLog()
+        plan = FaultPlan(
+            rules=(FaultRule(kind="token", drop=0.3),),
+            crashes=(CrashEvent("mon-1", at=6.0, restart_at=12.0),),
+        )
+        comp = spiral_computation(4, 4)
+        wcp = WeakConjunctivePredicate.of_flags(range(4))
+        report = run_detector(
+            "token_vc", comp, wcp, seed=5, faults=plan, hardened=True,
+            observers=[log],
+        )
+        assert report.detected
+        ledger = log.message_ledger()
+        terminal = sum(
+            1 for phases in ledger.values()
+            if phases[-1] in TERMINAL_PHASES
+        )
+        # The protocol drains everything except messages still buffered
+        # at halt time; those are exactly what unterminated() reports.
+        assert terminal + len(log.unterminated()) == len(ledger)
+        assert any(
+            e.phase is ActorPhase.CRASHED for e in log.actor_events
+        )
 
 
 class TestInvariantChecker:

@@ -83,6 +83,115 @@ class TestDetect:
             main(["detect", str(trace_file), "--pids", "a,b"])
 
 
+class TestDetectJson:
+    def test_machine_readable_verdict(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)  # nothing but the JSON document on stdout
+        assert doc["detector"] == "token_vc"
+        assert doc["detected"] is True
+        assert doc["outcome"] == "detected"
+        assert doc["cut"]["pids"] == [0, 1, 2]
+        assert len(doc["cut"]["intervals"]) == 3
+        assert doc["metrics"]["totals"]["messages"] > 0
+        assert "sim_time" in doc
+
+    def test_json_with_faults_carries_summary(self, trace_file, capsys):
+        code = main([
+            "detect", str(trace_file), "--detector", "token_vc",
+            "--faults", "drop:token:0.2", "--seed", "3", "--json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code in (0, 1, 2)
+        assert "total_message_faults" in doc["faults"]
+
+    def test_undetected_json(self, tmp_path, capsys):
+        path = tmp_path / "never.json"
+        main(["generate", "--processes", "3", "--sends", "3",
+              "--density", "0.0", "--out", str(path)])
+        capsys.readouterr()  # drain the generate output
+        code = main(["detect", str(path), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["detected"] is False
+        assert doc["cut"] is None
+
+
+class TestDetectTraceOut:
+    def test_writes_valid_jsonl(self, trace_file, tmp_path, capsys):
+        from repro.obs import load_jsonl
+
+        out = tmp_path / "run.jsonl"
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--trace-out", str(out)])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        trace = load_jsonl(out)  # validates span ids / parents / times
+        assert trace.meta["detector"] == "token_vc"
+        assert trace.meta["outcome"] == "detected"
+        assert trace.meta["metrics"]["totals"]["messages"] > 0
+        assert trace.by_name("token_hop")
+        assert all(isinstance(s.start, float) for s in trace.spans)
+
+    def test_offline_detector_rejected(self, trace_file, tmp_path):
+        with pytest.raises(SystemExit, match="online detector"):
+            main(["detect", str(trace_file), "--detector", "reference",
+                  "--trace-out", str(tmp_path / "run.jsonl")])
+
+    def test_verbose_summary_on_stderr(self, trace_file, capsys):
+        main(["detect", str(trace_file), "--detector", "token_vc",
+              "--verbose"])
+        assert "[repro] token_vc:" in capsys.readouterr().err
+
+
+class TestReport:
+    def make_trace(self, trace_file, tmp_path, extra=()):
+        out = tmp_path / "run.jsonl"
+        main(["detect", str(trace_file), "--detector", "token_vc",
+              "--trace-out", str(out), *extra])
+        return out
+
+    def test_renders_timeline_and_itinerary(self, trace_file, tmp_path,
+                                            capsys):
+        out = self.make_trace(trace_file, tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "--- timeline ---" in text
+        assert "legend:" in text
+        assert "--- token itinerary ---" in text
+        assert "--- work/space breakdown (paper units) ---" in text
+        assert "--- critical path ---" in text
+
+    def test_fault_overlay_rendered(self, trace_file, tmp_path, capsys):
+        out = self.make_trace(
+            trace_file, tmp_path,
+            extra=["--faults", "crash:mon-1:6:12", "--seed", "3"],
+        )
+        capsys.readouterr()
+        main(["report", str(out)])
+        text = capsys.readouterr().out
+        assert "--- fault overlay ---" in text
+        assert "crash    mon-1" in text
+
+    def test_width_flag(self, trace_file, tmp_path, capsys):
+        out = self.make_trace(trace_file, tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(out), "--width", "40"]) == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+    def test_garbage_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["report", str(bad)])
+
+
 class TestStats:
     def test_basic(self, trace_file, capsys):
         assert main(["stats", str(trace_file)]) == 0

@@ -54,6 +54,19 @@ class TestFaultsDoc:
                 pytest.fail(f"faults block {i} failed: {exc}\n{block}")
 
 
+class TestObservabilityDoc:
+    def test_all_blocks_execute(self):
+        blocks = python_blocks(ROOT / "docs" / "observability.md")
+        assert len(blocks) >= 3
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"observability.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"observability block {i} failed: {exc}\n{block}")
+
+
 class TestReadme:
     def test_quickstart_blocks_execute(self):
         blocks = python_blocks(ROOT / "README.md")
