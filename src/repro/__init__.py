@@ -23,7 +23,9 @@ The library provides:
   (:mod:`repro.apps`);
 * the §5 lower-bound game (:mod:`repro.lowerbound`);
 * the experiment harness reproducing every complexity claim
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`);
+* a parallel sweep harness with workload caching and perf-regression
+  baselines gated in CI (:mod:`repro.sweep`).
 
 Quickstart::
 

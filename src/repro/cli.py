@@ -9,6 +9,8 @@ Installed as the ``repro`` console script::
     repro detect trace.json --trace-out run.jsonl --json
     repro report run.jsonl
     repro experiments --only e1,e6
+    repro sweep --matrix benchmarks/sweeps/soak.json --workers 4 --out agg.json
+    repro bench-check benchmarks/baselines/*.json --workers 4
 
 ``detect`` builds the WCP from a boolean flag variable (the workload
 generators' convention); bring your own predicates through the Python
@@ -155,6 +157,68 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output trace file (default: stdout)")
     imp.add_argument("--allow-unreceived", action="store_true",
                      help="permit sends without a matching receive")
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a (detector x workload x seed x fault) matrix in "
+             "parallel and aggregate paper-unit metrics",
+    )
+    swp.add_argument("--matrix", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="JSON matrix description (see docs/benchmarking.md); "
+                          "overrides the inline axis flags")
+    swp.add_argument("--name", default="adhoc",
+                     help="matrix name for inline sweeps (default: adhoc)")
+    swp.add_argument("--detectors", default="token_vc",
+                     help="comma-separated detector names")
+    swp.add_argument("--processes", default="4",
+                     help="comma-separated Ns, ranges allowed (e.g. 4,8 or 2..6)")
+    swp.add_argument("--sends", default="8",
+                     help="comma-separated sends/process, ranges allowed")
+    swp.add_argument("--seeds", default="0",
+                     help="comma-separated seeds, ranges allowed (e.g. 0..4)")
+    swp.add_argument("--patterns", default="uniform",
+                     help="comma-separated communication patterns")
+    swp.add_argument("--densities", default="0.1",
+                     help="comma-separated predicate densities")
+    swp.add_argument("--faults", action="append", default=None,
+                     metavar="SPEC",
+                     help="fault plan axis entry; repeatable; 'none' adds a "
+                          "fault-free variant (default: fault-free only)")
+    swp.add_argument("--plant-final-cut", action="store_true",
+                     help="guarantee the WCP holds at the final cut of every "
+                          "generated workload")
+    swp.add_argument("--workers", type=int, default=1,
+                     help="worker processes (default 1 = run inline)")
+    swp.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                     help="workload cache directory (default: "
+                          "$REPRO_CACHE_DIR or .repro-cache/workloads)")
+    swp.add_argument("--out", type=pathlib.Path, default=None, metavar="FILE",
+                     help="write the aggregate repro-bench/1 JSON to FILE")
+    swp.add_argument("--quiet", action="store_true",
+                     help="suppress the per-group summary table")
+
+    chk = sub.add_parser(
+        "bench-check",
+        help="re-run the matrices recorded in committed baselines and "
+             "fail on any paper-unit drift or wall-time regression",
+    )
+    chk.add_argument("baselines", type=pathlib.Path, nargs="+",
+                     help="baseline JSON files written by 'repro sweep --out'")
+    chk.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the fresh sweeps")
+    chk.add_argument("--wall-tolerance", type=float, default=None,
+                     help="max allowed fresh/baseline wall-median ratio "
+                          "(default 5.0)")
+    chk.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                     help="workload cache directory")
+    chk.add_argument("--summary-out", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="append a markdown diff summary to FILE "
+                          "(e.g. $GITHUB_STEP_SUMMARY)")
+    chk.add_argument("--update", action="store_true",
+                     help="rewrite the baseline files with the fresh results "
+                          "instead of failing (intentional re-baseline)")
     return parser
 
 
@@ -191,7 +255,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _load_trace(path: pathlib.Path):
     if not path.exists():
         raise SystemExit(f"error: no such trace file: {path}")
-    return loads(path.read_text(encoding="utf-8"))
+    from repro.common.errors import ReproError
+
+    try:
+        return loads(path.read_text(encoding="utf-8"))
+    except ReproError as exc:
+        raise SystemExit(f"error: cannot load trace {path}: {exc}")
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -237,9 +306,20 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             options["hardened"] = False
         if not args.json:
             print(f"faults:    {plan.describe()}")
-    report = run_detector(
-        args.detector, comp, wcp, verbose=args.verbose, **options
-    )
+    from repro.common.errors import ReproError
+
+    try:
+        report = run_detector(
+            args.detector, comp, wcp, verbose=args.verbose, **options
+        )
+    except ReproError as exc:
+        # A detector failure must surface as a distinct nonzero exit —
+        # never as a traceback swallowed by a wrapping script.
+        print(
+            f"error: detector {args.detector!r} failed: {exc}",
+            file=sys.stderr,
+        )
+        return 3
     cut_dict = None
     if report.cut is not None:
         cut_dict = {
@@ -427,6 +507,153 @@ def _cmd_import_log(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str, name: str, convert):
+    """Parse a comma-separated axis; int axes accept ``a..b`` ranges."""
+    values: list = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if convert is int and ".." in part:
+            lo_text, _, hi_text = part.partition("..")
+            try:
+                lo, hi = int(lo_text), int(hi_text)
+            except ValueError:
+                raise SystemExit(f"error: bad range in --{name}: {part!r}")
+            if hi < lo:
+                raise SystemExit(f"error: empty range in --{name}: {part!r}")
+            values.extend(range(lo, hi + 1))
+            continue
+        try:
+            values.append(convert(part))
+        except ValueError:
+            raise SystemExit(f"error: bad value in --{name}: {part!r}")
+    if not values:
+        raise SystemExit(f"error: --{name} must name at least one value")
+    return tuple(values)
+
+
+def _sweep_matrix_from_args(args: argparse.Namespace):
+    from repro.common.errors import ConfigurationError
+    from repro.sweep import SweepMatrix, load_matrix
+
+    try:
+        if args.matrix is not None:
+            return load_matrix(args.matrix)
+        faults: tuple[str | None, ...] = (None,)
+        if args.faults:
+            faults = tuple(
+                None if spec.strip().lower() == "none" else spec
+                for spec in args.faults
+            )
+        return SweepMatrix(
+            name=args.name,
+            detectors=_parse_axis(args.detectors, "detectors", str),
+            processes=_parse_axis(args.processes, "processes", int),
+            sends=_parse_axis(args.sends, "sends", int),
+            patterns=_parse_axis(args.patterns, "patterns", str),
+            densities=_parse_axis(args.densities, "densities", float),
+            seeds=_parse_axis(args.seeds, "seeds", int),
+            faults=faults,
+            plant_final_cut=args.plant_final_cut,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cache_root(args: argparse.Namespace) -> pathlib.Path:
+    from repro.sweep import default_cache_root
+
+    return args.cache_dir if args.cache_dir is not None else default_cache_root()
+
+
+def _run_sweep_or_exit(matrix, cache_root, workers: int):
+    """Run a sweep; report worker failures and return (result, exit_code)."""
+    from repro.sweep import run_sweep
+
+    result = run_sweep(matrix, cache_root, workers=workers)
+    for error in result.errors:
+        print(
+            f"error: sweep cell {error['id']} failed: {error['error']}",
+            file=sys.stderr,
+        )
+    return result, (0 if result.ok else 3)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    matrix = _sweep_matrix_from_args(args)
+    result, code = _run_sweep_or_exit(matrix, _cache_root(args), args.workers)
+    if not args.quiet:
+        print(render_table(result.headers, result.rows, result.experiment))
+        for note in result.notes:
+            print(f"note: {note}")
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(result.aggregate(), indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out} ({len(result.records)} cells)")
+    return code
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.errors import ConfigurationError, ObservabilityError
+    from repro.sweep import SweepMatrix, compare, load_baseline
+    from repro.sweep.baseline import (
+        DEFAULT_WALL_TOLERANCE,
+        dump_comparisons_markdown,
+    )
+
+    tolerance = (
+        args.wall_tolerance
+        if args.wall_tolerance is not None
+        else DEFAULT_WALL_TOLERANCE
+    )
+    cache_root = _cache_root(args)
+    comparisons = []
+    worker_failure = False
+    for path in args.baselines:
+        try:
+            baseline_doc = load_baseline(path)
+            matrix = SweepMatrix.from_dict(baseline_doc["params"])
+        except (ConfigurationError, ObservabilityError) as exc:
+            raise SystemExit(f"error: {exc}")
+        result, code = _run_sweep_or_exit(matrix, cache_root, args.workers)
+        if code != 0:
+            worker_failure = True
+            continue
+        fresh_doc = result.aggregate()
+        if args.update:
+            path.write_text(
+                json.dumps(fresh_doc, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+            print(f"re-baselined {path} ({len(result.records)} cells)")
+            continue
+        try:
+            comparison = compare(
+                baseline_doc, fresh_doc, wall_tolerance=tolerance,
+                name=str(path),
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
+        comparisons.append(comparison)
+        print(comparison.render())
+    if args.summary_out is not None and comparisons:
+        dump_comparisons_markdown(comparisons, args.summary_out)
+    if worker_failure:
+        return 3
+    if any(not comparison.ok for comparison in comparisons):
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -439,6 +666,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "definitely": _cmd_definitely,
         "report": _cmd_report,
         "import-log": _cmd_import_log,
+        "sweep": _cmd_sweep,
+        "bench-check": _cmd_bench_check,
     }
     return handlers[args.command](args)
 

@@ -20,7 +20,7 @@ from repro.detect import (
     token_vc,
     token_vc_multi,
 )
-from repro.detect.base import DetectionReport
+from repro.detect.base import MONITOR_PREFIX, TOKEN_KIND, DetectionReport
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.trace.computation import Computation
 
@@ -30,6 +30,7 @@ __all__ = [
     "run_detector",
     "offline_detectors",
     "online_detectors",
+    "paper_units",
 ]
 
 
@@ -93,6 +94,34 @@ def _summary_line(name: str, report: DetectionReport) -> str:
     if report.detection_time is not None:
         parts.append(f"t={report.detection_time:g}")
     return " ".join(parts)
+
+
+def paper_units(report: DetectionReport) -> dict[str, object]:
+    """The run's deterministic cost metrics in the paper's units.
+
+    Everything here is a counted quantity (messages, bits, work units,
+    token hops, comparisons, ...) plus the three-way outcome — fully
+    determined by the computation, detector and seed, never by wall
+    clock.  The sweep harness compares these values *exactly* against
+    committed baselines; wall time is tracked separately with a
+    tolerance.  Numeric ``extras`` ride along (booleans as 0/1); metric
+    names already claimed by the board win on collision.
+    """
+    units: dict[str, object] = {"outcome": report.outcome}
+    board = report.metrics
+    if board is not None:
+        units["mon_msgs"] = board.total_messages(MONITOR_PREFIX)
+        units["mon_bits"] = board.total_bits(MONITOR_PREFIX)
+        units["total_work"] = board.total_work()
+        units["max_work"] = board.max_work_per_actor(MONITOR_PREFIX)
+        units["max_space_bits"] = board.max_space_per_actor(MONITOR_PREFIX)
+        units["token_hops"] = board.messages_of_kind(TOKEN_KIND)
+    for key, value in report.extras.items():
+        if isinstance(value, bool):
+            units.setdefault(key, int(value))
+        elif isinstance(value, (int, float)):
+            units.setdefault(key, value)
+    return units
 
 
 def run_detector(

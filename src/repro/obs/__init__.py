@@ -29,6 +29,7 @@ Quickstart::
 
 from repro.obs.benchjson import (
     BENCH_SCHEMA,
+    load_benchmark_json,
     structured_result,
     write_benchmark_json,
 )
@@ -61,4 +62,5 @@ __all__ = [
     "BENCH_SCHEMA",
     "structured_result",
     "write_benchmark_json",
+    "load_benchmark_json",
 ]

@@ -27,7 +27,12 @@ import json
 import pathlib
 from typing import Any, Mapping
 
-__all__ = ["BENCH_SCHEMA", "structured_result", "write_benchmark_json"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "structured_result",
+    "write_benchmark_json",
+    "load_benchmark_json",
+]
 
 BENCH_SCHEMA = "repro-bench/1"
 
@@ -86,6 +91,31 @@ def structured_result(
         "notes": list(result.notes),
         "wall_time_s": wall_time_s,
     }
+
+
+def load_benchmark_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load and validate a ``repro-bench/1`` document.
+
+    Raises :class:`~repro.common.errors.ObservabilityError` when the
+    file is missing, not JSON, or carries a different schema — the
+    baseline comparator relies on this to reject stale or foreign files
+    instead of producing a nonsense diff.
+    """
+    from repro.common.errors import ObservabilityError
+
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"no such benchmark file: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path} is not JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        found = payload.get("schema") if isinstance(payload, dict) else None
+        raise ObservabilityError(
+            f"{path}: expected schema {BENCH_SCHEMA!r}, found {found!r}"
+        )
+    return payload
 
 
 def write_benchmark_json(

@@ -1,0 +1,254 @@
+"""Perf-regression baselines: diff a fresh sweep against a committed one.
+
+A baseline is simply a committed sweep aggregate (``repro-bench/1`` JSON
+with the ``"sweep"`` extension, written by ``repro sweep --out``).  The
+comparator replays nothing itself — ``repro bench-check`` re-runs the
+matrix recorded in the baseline's ``params`` and hands both documents
+here.
+
+Two classes of check, per the paper's accounting argument:
+
+* **Paper units** (token hops, monitor messages/bits, work, comparisons,
+  outcome, ...) are deterministic given the matrix, so *any* change is a
+  failure — there is no tolerance on counted quantities.
+* **Wall time** is hardware noise, so only the per-group medians are
+  checked, against a multiplicative tolerance.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.analysis import render_table
+from repro.common.errors import ConfigurationError
+from repro.obs.benchjson import load_benchmark_json
+from repro.sweep.runner import median
+
+__all__ = [
+    "DEFAULT_WALL_TOLERANCE",
+    "MIN_COMPARABLE_WALL_S",
+    "CellDrift",
+    "WallRegression",
+    "BaselineComparison",
+    "cell_units",
+    "group_wall_medians",
+    "compare",
+    "load_baseline",
+    "dump_comparisons_markdown",
+]
+
+#: Fresh group wall medians may be at most this multiple of the baseline.
+DEFAULT_WALL_TOLERANCE = 5.0
+
+#: Group wall medians below this are too small to compare meaningfully.
+MIN_COMPARABLE_WALL_S = 0.005
+
+
+@dataclass(frozen=True, slots=True)
+class CellDrift:
+    """One paper-unit metric that changed for one cell."""
+
+    cell_id: str
+    unit: str
+    baseline: Any
+    fresh: Any
+
+
+@dataclass(frozen=True, slots=True)
+class WallRegression:
+    """One group whose wall-time median regressed beyond tolerance."""
+
+    group: str
+    baseline_s: float
+    fresh_s: float
+
+    @property
+    def factor(self) -> float:
+        return self.fresh_s / self.baseline_s
+
+
+@dataclass
+class BaselineComparison:
+    """The verdict of one baseline diff, with renderable detail."""
+
+    baseline_name: str
+    checked_cells: int
+    tolerance: float
+    drifts: list[CellDrift] = field(default_factory=list)
+    missing_cells: list[str] = field(default_factory=list)
+    unexpected_cells: list[str] = field(default_factory=list)
+    wall_regressions: list[WallRegression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.drifts
+            or self.missing_cells
+            or self.unexpected_cells
+            or self.wall_regressions
+        )
+
+    def _rows(self) -> list[list[str]]:
+        rows: list[list[str]] = []
+        for drift in self.drifts:
+            rows.append(
+                [
+                    drift.cell_id,
+                    drift.unit,
+                    str(drift.baseline),
+                    str(drift.fresh),
+                ]
+            )
+        for cell_id in self.missing_cells:
+            rows.append([cell_id, "(cell)", "present", "MISSING"])
+        for cell_id in self.unexpected_cells:
+            rows.append([cell_id, "(cell)", "absent", "UNEXPECTED"])
+        for reg in self.wall_regressions:
+            rows.append(
+                [
+                    reg.group,
+                    "med_wall_s",
+                    f"{reg.baseline_s:.4f}",
+                    f"{reg.fresh_s:.4f} ({reg.factor:.1f}x > "
+                    f"{self.tolerance:g}x)",
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        """A readable diff table (empty-diff runs render a PASS line)."""
+        title = f"bench-check {self.baseline_name}"
+        if self.ok:
+            return (
+                f"{title}: PASS ({self.checked_cells} cells, wall "
+                f"tolerance {self.tolerance:g}x)"
+            )
+        table = render_table(
+            ["cell", "metric", "baseline", "fresh"], self._rows(), title
+        )
+        return f"{table}\nbench-check {self.baseline_name}: FAIL"
+
+    def render_markdown(self) -> str:
+        """The same diff as GitHub-flavored markdown (job summaries)."""
+        status = "✅ PASS" if self.ok else "❌ FAIL"
+        lines = [
+            f"### bench-check `{self.baseline_name}` — {status}",
+            "",
+            f"{self.checked_cells} cells checked, wall tolerance "
+            f"{self.tolerance:g}x.",
+        ]
+        if not self.ok:
+            lines += [
+                "",
+                "| cell | metric | baseline | fresh |",
+                "| --- | --- | --- | --- |",
+            ]
+            lines += [
+                "| " + " | ".join(cell.replace("|", "\\|") for cell in row) + " |"
+                for row in self._rows()
+            ]
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _sweep_section(doc: Mapping[str, Any], origin: str) -> Mapping[str, Any]:
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, Mapping) or "cells" not in sweep:
+        raise ConfigurationError(
+            f"{origin}: not a sweep aggregate (missing the 'sweep' section); "
+            f"was it written by 'repro sweep --out'?"
+        )
+    return sweep
+
+
+def cell_units(doc: Mapping[str, Any], origin: str = "document") -> dict[str, dict]:
+    """Per-cell paper units from a sweep aggregate document."""
+    sweep = _sweep_section(doc, origin)
+    return {cell["id"]: dict(cell["units"]) for cell in sweep["cells"]}
+
+
+def group_wall_medians(
+    doc: Mapping[str, Any], origin: str = "document"
+) -> dict[str, float]:
+    """Median wall seconds per group from a sweep aggregate document."""
+    sweep = _sweep_section(doc, origin)
+    groups: dict[str, list[float]] = {}
+    for cell in sweep["cells"]:
+        groups.setdefault(cell["group"], []).append(float(cell["wall_s"]))
+    return {group: median(walls) for group, walls in sorted(groups.items())}
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load a committed baseline file, validating schema and shape."""
+    doc = load_benchmark_json(path)
+    _sweep_section(doc, str(path))
+    if "params" not in doc or "name" not in doc["params"]:
+        raise ConfigurationError(
+            f"{path}: baseline carries no matrix under 'params'; cannot replay"
+        )
+    return doc
+
+
+def compare(
+    baseline_doc: Mapping[str, Any],
+    fresh_doc: Mapping[str, Any],
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    name: str | None = None,
+) -> BaselineComparison:
+    """Diff ``fresh_doc`` against ``baseline_doc``.
+
+    Paper units must match exactly per cell; group wall-time medians may
+    grow up to ``wall_tolerance`` times the baseline median (and only
+    groups whose baseline median exceeds
+    :data:`MIN_COMPARABLE_WALL_S` are checked at all).
+    """
+    if wall_tolerance <= 0:
+        raise ConfigurationError(
+            f"wall_tolerance must be positive, got {wall_tolerance}"
+        )
+    baseline_name = name or str(
+        baseline_doc.get("params", {}).get("name", "baseline")
+    )
+    base_units = cell_units(baseline_doc, "baseline")
+    fresh_units = cell_units(fresh_doc, "fresh sweep")
+    comparison = BaselineComparison(
+        baseline_name=baseline_name,
+        checked_cells=len(base_units),
+        tolerance=wall_tolerance,
+    )
+    for cell_id in sorted(base_units):
+        if cell_id not in fresh_units:
+            comparison.missing_cells.append(cell_id)
+            continue
+        base = base_units[cell_id]
+        fresh = fresh_units[cell_id]
+        for unit in sorted(set(base) | set(fresh)):
+            before = base.get(unit, "(absent)")
+            after = fresh.get(unit, "(absent)")
+            if before != after:
+                comparison.drifts.append(CellDrift(cell_id, unit, before, after))
+    comparison.unexpected_cells.extend(sorted(set(fresh_units) - set(base_units)))
+    base_walls = group_wall_medians(baseline_doc, "baseline")
+    fresh_walls = group_wall_medians(fresh_doc, "fresh sweep")
+    for group, base_median in sorted(base_walls.items()):
+        if base_median < MIN_COMPARABLE_WALL_S:
+            continue
+        fresh_median = fresh_walls.get(group)
+        if fresh_median is None:
+            continue  # already reported as missing cells
+        if fresh_median > wall_tolerance * base_median:
+            comparison.wall_regressions.append(
+                WallRegression(group, base_median, fresh_median)
+            )
+    return comparison
+
+
+def dump_comparisons_markdown(
+    comparisons: list[BaselineComparison], path: str | pathlib.Path
+) -> None:
+    """Append rendered comparisons to ``path`` (``$GITHUB_STEP_SUMMARY``)."""
+    text = "\n".join(c.render_markdown() for c in comparisons)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache for generated workloads.
+
+Crossover sweeps (E3 style) run several detectors over the *same*
+generated computation; without a cache every cell regenerates an
+identical trace.  The cache keys entries by a SHA-256 of the canonical
+:class:`~repro.trace.generators.WorkloadSpec` parameters plus a schema
+version, so a key hit is — by construction — the exact computation the
+generator would have produced.
+
+Entries are single JSON files written atomically (temp file +
+``os.replace``), which makes the cache safe under concurrent sweep
+workers: racing writers of the same key produce byte-identical content
+and the last rename wins.  Unreadable or mismatched entries are treated
+as misses, regenerated and overwritten (the ``corrupt`` counter records
+them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.trace.computation import Computation
+from repro.trace.generators import WorkloadSpec, generate
+from repro.trace.serialization import dumps, loads
+
+__all__ = ["CACHE_SCHEMA", "WorkloadCache", "default_cache_root"]
+
+#: Bump when the generator or trace serialization changes incompatibly.
+CACHE_SCHEMA = "repro-workload-cache/1"
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> pathlib.Path:
+    """The workload-cache directory: ``$REPRO_CACHE_DIR`` or a local dir."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(".repro-cache") / "workloads"
+
+
+def _canonical_spec(spec: WorkloadSpec) -> dict[str, Any]:
+    data = dataclasses.asdict(spec)
+    if data.get("predicate_pids") is not None:
+        data["predicate_pids"] = list(data["predicate_pids"])
+    return data
+
+
+class WorkloadCache:
+    """Generate-once storage for :class:`WorkloadSpec` computations."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def key(self, spec: WorkloadSpec) -> str:
+        """The content address of ``spec``'s computation."""
+        doc = {"schema": CACHE_SCHEMA, "spec": _canonical_spec(spec)}
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: WorkloadSpec) -> pathlib.Path:
+        """Where ``spec``'s entry lives (whether or not it exists yet)."""
+        return self.root / f"{self.key(spec)}.json"
+
+    def _read(self, path: pathlib.Path, key: str) -> Computation | None:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if doc.get("schema") != CACHE_SCHEMA or doc.get("key") != key:
+                raise ValueError("cache entry schema/key mismatch")
+            return loads(json.dumps(doc["computation"]))
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            return None
+
+    def _write(
+        self,
+        path: pathlib.Path,
+        key: str,
+        spec: WorkloadSpec,
+        computation: Computation,
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "spec": _canonical_spec(spec),
+            "computation": json.loads(dumps(computation)),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def get_or_generate(self, spec: WorkloadSpec) -> Computation:
+        """The cached computation for ``spec``, generating on miss.
+
+        A present-but-unreadable entry (truncated write, foreign schema,
+        hand-edited JSON) counts as ``corrupt`` *and* ``misses`` and is
+        regenerated in place.
+        """
+        key = self.key(spec)
+        path = self.root / f"{key}.json"
+        if path.exists():
+            computation = self._read(path, key)
+            if computation is not None:
+                self.hits += 1
+                return computation
+            self.corrupt += 1
+        self.misses += 1
+        computation = generate(spec)
+        self._write(path, key, spec, computation)
+        return computation
+
+    def stats(self) -> dict[str, int]:
+        """Counters since construction (corrupt entries also count as
+        misses)."""
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}

@@ -1,0 +1,315 @@
+"""Sweep matrices: declarative cross-products of detection runs.
+
+A :class:`SweepMatrix` names every axis the harness can vary — detector,
+process count ``N``, sends per process ``m``, communication pattern,
+predicate density, predicate width ``n``, fault plan and seed — and
+expands to a deterministic list of :class:`SweepCell` runs.  Cells that
+differ only by seed share a *group*; the aggregator reports per-group
+summary statistics and the baseline comparator checks per-cell paper
+units exactly.
+
+Matrices serialize to plain JSON (see :meth:`SweepMatrix.to_dict`) so a
+committed baseline file carries the exact matrix it was measured from
+and ``repro bench-check`` can replay it verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import require
+from repro.detect.runner import DETECTORS, FAULT_CAPABLE
+from repro.trace.generators import FLAG_VAR, WorkloadSpec
+
+__all__ = ["SweepCell", "SweepMatrix", "load_matrix"]
+
+#: Hard ceiling on matrix expansion, a guard against typo'd axes.
+MAX_CELLS = 100_000
+
+
+def _fmt_density(density: float) -> str:
+    return f"{density:g}"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One detection run: a workload point plus a detector and seed."""
+
+    detector: str
+    num_processes: int
+    sends_per_process: int
+    pattern: str = "uniform"
+    predicate_density: float = 0.1
+    pred_width: int | None = None
+    plant_final_cut: bool = True
+    internal_rate: float = 0.5
+    seed: int = 0
+    faults: str | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.detector in DETECTORS,
+            f"unknown detector {self.detector!r}; available: {sorted(DETECTORS)}",
+        )
+        require(self.num_processes >= 2, "num_processes must be >= 2")
+        require(self.sends_per_process >= 0, "sends_per_process must be >= 0")
+        if self.pred_width is not None:
+            require(
+                1 <= self.pred_width <= self.num_processes,
+                f"pred_width must be in [1, {self.num_processes}], "
+                f"got {self.pred_width}",
+            )
+        if self.faults is not None:
+            require(
+                self.detector in FAULT_CAPABLE,
+                f"detector {self.detector!r} is not fault-capable; "
+                f"faults require one of {sorted(FAULT_CAPABLE)}",
+            )
+
+    @property
+    def group(self) -> str:
+        """The cell's seed-independent identity (aggregation key)."""
+        width = "all" if self.pred_width is None else str(self.pred_width)
+        faults = self.faults if self.faults else "none"
+        return (
+            f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
+            f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
+            f"/w{width}/f{faults}"
+        )
+
+    @property
+    def cell_id(self) -> str:
+        """The cell's full identity, unique within a matrix."""
+        return f"{self.group}/s{self.seed}"
+
+    def predicate_pids(self) -> tuple[int, ...]:
+        """The pids carrying a local predicate (and the WCP's pids)."""
+        if self.pred_width is None:
+            return tuple(range(self.num_processes))
+        return tuple(range(self.pred_width))
+
+    def workload_spec(self) -> WorkloadSpec:
+        """The generator parameters for this cell's workload."""
+        pids = None if self.pred_width is None else self.predicate_pids()
+        return WorkloadSpec(
+            num_processes=self.num_processes,
+            sends_per_process=self.sends_per_process,
+            pattern=self.pattern,
+            internal_rate=self.internal_rate,
+            predicate_pids=pids,
+            predicate_density=self.predicate_density,
+            plant_final_cut=self.plant_final_cut,
+            seed=self.seed,
+        )
+
+    @property
+    def flag_var(self) -> str:
+        """The variable the generated workload uses for predicate truth."""
+        return FLAG_VAR
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready description (embedded in aggregate records)."""
+        return {
+            "detector": self.detector,
+            "processes": self.num_processes,
+            "sends": self.sends_per_process,
+            "pattern": self.pattern,
+            "density": self.predicate_density,
+            "pred_width": self.pred_width,
+            "plant_final_cut": self.plant_final_cut,
+            "internal_rate": self.internal_rate,
+            "seed": self.seed,
+            "faults": self.faults,
+        }
+
+
+def _require_axis(values: Sequence[Any], name: str) -> tuple[Any, ...]:
+    axis = tuple(values)
+    require(len(axis) > 0, f"matrix axis {name!r} must be non-empty")
+    require(
+        len(set(axis)) == len(axis),
+        f"matrix axis {name!r} has duplicate entries: {axis}",
+    )
+    return axis
+
+
+@dataclass(frozen=True)
+class SweepMatrix:
+    """A cross-product of sweep axes, expanding to ``cells()``.
+
+    Fault specs pair only with fault-capable detectors: a detector
+    without a hardened variant contributes one fault-free cell per
+    workload point instead of one cell per fault spec.
+    """
+
+    name: str
+    detectors: tuple[str, ...]
+    processes: tuple[int, ...]
+    sends: tuple[int, ...]
+    patterns: tuple[str, ...] = ("uniform",)
+    densities: tuple[float, ...] = (0.1,)
+    pred_widths: tuple[int | None, ...] = (None,)
+    seeds: tuple[int, ...] = (0,)
+    faults: tuple[str | None, ...] = (None,)
+    plant_final_cut: bool = True
+    internal_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "matrix name must be non-empty")
+        for axis_name in (
+            "detectors",
+            "processes",
+            "sends",
+            "patterns",
+            "densities",
+            "pred_widths",
+            "seeds",
+            "faults",
+        ):
+            object.__setattr__(
+                self,
+                axis_name,
+                _require_axis(getattr(self, axis_name), axis_name),
+            )
+        unknown = sorted(set(self.detectors) - set(DETECTORS))
+        require(
+            not unknown,
+            f"unknown detectors {unknown}; available: {sorted(DETECTORS)}",
+        )
+        require(
+            self.num_cells <= MAX_CELLS,
+            f"matrix expands to {self.num_cells} cells; limit is {MAX_CELLS}",
+        )
+
+    @property
+    def num_cells(self) -> int:
+        """The number of cells ``cells()`` will expand to."""
+        count = 0
+        for detector in self.detectors:
+            fault_variants = len(self.faults) if detector in FAULT_CAPABLE else 1
+            count += (
+                len(self.processes)
+                * len(self.sends)
+                * len(self.patterns)
+                * len(self.densities)
+                * len(self.pred_widths)
+                * len(self.seeds)
+                * fault_variants
+            )
+        return count
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the cross-product in a deterministic order."""
+        out: list[SweepCell] = []
+        for detector in self.detectors:
+            fault_specs: tuple[str | None, ...] = (
+                self.faults if detector in FAULT_CAPABLE else (None,)
+            )
+            points = itertools.product(
+                self.processes,
+                self.sends,
+                self.patterns,
+                self.densities,
+                self.pred_widths,
+                fault_specs,
+                self.seeds,
+            )
+            for n, sends, pattern, density, width, spec, seed in points:
+                if width is not None and width > n:
+                    raise ConfigurationError(
+                        f"pred_width {width} exceeds processes {n} "
+                        f"in matrix {self.name!r}"
+                    )
+                out.append(
+                    SweepCell(
+                        detector=detector,
+                        num_processes=n,
+                        sends_per_process=sends,
+                        pattern=pattern,
+                        predicate_density=density,
+                        pred_width=width,
+                        plant_final_cut=self.plant_final_cut,
+                        internal_rate=self.internal_rate,
+                        seed=seed,
+                        faults=spec,
+                    )
+                )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready description that :meth:`from_dict` round-trips."""
+        return {
+            "name": self.name,
+            "detectors": list(self.detectors),
+            "processes": list(self.processes),
+            "sends": list(self.sends),
+            "patterns": list(self.patterns),
+            "densities": list(self.densities),
+            "pred_widths": list(self.pred_widths),
+            "seeds": list(self.seeds),
+            "faults": list(self.faults),
+            "plant_final_cut": self.plant_final_cut,
+            "internal_rate": self.internal_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepMatrix":
+        """Build a matrix from a JSON document (inverse of ``to_dict``)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"matrix document must be a JSON object, got {type(data).__name__}"
+            )
+        known = {
+            "name",
+            "detectors",
+            "processes",
+            "sends",
+            "patterns",
+            "densities",
+            "pred_widths",
+            "seeds",
+            "faults",
+            "plant_final_cut",
+            "internal_rate",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown matrix keys {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        for required in ("name", "detectors", "processes", "sends"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"matrix document is missing required key {required!r}"
+                )
+        kwargs: dict[str, Any] = {
+            "name": data["name"],
+            "detectors": tuple(data["detectors"]),
+            "processes": tuple(data["processes"]),
+            "sends": tuple(data["sends"]),
+        }
+        for key in ("patterns", "densities", "pred_widths", "seeds", "faults"):
+            if key in data:
+                kwargs[key] = tuple(data[key])
+        for key in ("plant_final_cut", "internal_rate"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+
+def load_matrix(path: str | pathlib.Path) -> SweepMatrix:
+    """Load a matrix description from a JSON file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such matrix file: {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"matrix file {path} is not JSON: {exc}") from None
+    return SweepMatrix.from_dict(data)

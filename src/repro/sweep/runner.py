@@ -1,0 +1,304 @@
+"""Parallel sweep execution and streaming aggregation.
+
+``run_sweep(matrix, ...)`` fans the matrix's cells out over worker
+processes (``workers=1`` runs inline, which is also the reference for
+the determinism guarantee: the paper-unit metrics of every cell are
+identical no matter how many workers computed them).  Results stream
+back through an unordered channel and are folded into a
+:class:`SweepResult` as they arrive; the final aggregate is sorted by
+cell id so its JSON form is canonical.
+
+A cell that raises inside a worker becomes an *error record* — it never
+contaminates the aggregate rows, and callers (the CLI, ``bench-check``)
+must treat any error as a failed sweep (nonzero exit)."""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pathlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Mapping
+
+from repro.detect.runner import (
+    offline_detectors,
+    paper_units,
+    run_detector,
+)
+from repro.obs.benchjson import structured_result
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import FaultPlan
+from repro.sweep.cache import WorkloadCache
+from repro.sweep.matrix import SweepCell, SweepMatrix
+
+__all__ = ["SweepResult", "run_cell", "run_sweep", "median", "p95"]
+
+
+def median(values: list[float]) -> float:
+    """The deterministic median (mean of middle pair on even counts)."""
+    ordered = sorted(values)
+    count = len(ordered)
+    if count == 0:
+        raise ValueError("median of empty list")
+    mid = count // 2
+    if count % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def p95(values: list[float]) -> float:
+    """The deterministic 95th percentile (nearest-rank method)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("p95 of empty list")
+    rank = math.ceil(0.95 * len(ordered))
+    return ordered[min(len(ordered) - 1, rank - 1)]
+
+
+def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
+    """Execute one cell and return its result record.
+
+    The record carries the cell identity, the exact paper-unit metrics
+    (via :func:`repro.detect.runner.paper_units`), the wall time and the
+    cache outcome for this cell's workload.  Raises whatever the
+    generator or detector raises — fan-out wraps this in
+    :func:`_run_cell_safe`.
+    """
+    started = time.perf_counter()
+    cache = WorkloadCache(cache_root)
+    computation = cache.get_or_generate(cell.workload_spec())
+    wcp = WeakConjunctivePredicate.of_flags(cell.predicate_pids(), var=cell.flag_var)
+    options: dict[str, Any] = {}
+    if cell.detector not in offline_detectors():
+        options["seed"] = cell.seed
+    if cell.faults is not None:
+        options["faults"] = FaultPlan.parse(cell.faults)
+    report = run_detector(cell.detector, computation, wcp, **options)
+    stats = cache.stats()
+    return {
+        "id": cell.cell_id,
+        "group": cell.group,
+        "cell": cell.to_dict(),
+        "units": paper_units(report),
+        "wall_s": time.perf_counter() - started,
+        "cache_hit": stats["hits"] > 0,
+        "cache_corrupt": stats["corrupt"] > 0,
+    }
+
+
+def _run_cell_safe(cell: SweepCell, cache_root: str) -> dict[str, Any]:
+    """``run_cell`` that degrades exceptions into error records."""
+    try:
+        return run_cell(cell, cache_root)
+    except Exception as exc:  # noqa: BLE001 - worker boundary
+        return {
+            "id": cell.cell_id,
+            "group": cell.group,
+            "cell": cell.to_dict(),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+_GROUP_HEADERS = [
+    "group",
+    "cells",
+    "med_token_hops",
+    "p95_token_hops",
+    "med_mon_msgs",
+    "p95_mon_msgs",
+    "med_work",
+    "p95_work",
+    "med_wall_ms",
+]
+
+
+@dataclass
+class SweepResult:
+    """The aggregate of one sweep run.
+
+    Exposes ``experiment`` / ``headers`` / ``rows`` / ``fits`` /
+    ``notes`` so :func:`repro.obs.benchjson.structured_result` can emit
+    it as a ``repro-bench/1`` document; :meth:`aggregate` additionally
+    embeds the per-cell records under a ``"sweep"`` key, which is what
+    the baseline comparator consumes.
+    """
+
+    matrix: SweepMatrix
+    records: list[dict[str, Any]]
+    errors: list[dict[str, Any]]
+    workers: int
+    wall_time_s: float
+    cache_stats: dict[str, int]
+    fits: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def experiment(self) -> str:
+        return f"sweep:{self.matrix.name}"
+
+    @property
+    def headers(self) -> list[str]:
+        return list(_GROUP_HEADERS)
+
+    @property
+    def rows(self) -> list[list[Any]]:
+        """Per-group summary rows (median/p95 over the group's seeds)."""
+        groups: dict[str, list[dict[str, Any]]] = {}
+        for record in self.records:
+            groups.setdefault(record["group"], []).append(record)
+        rows: list[list[Any]] = []
+        for group in sorted(groups):
+            members = groups[group]
+            row: list[Any] = [group, len(members)]
+            for unit_key in ("token_hops", "mon_msgs", "total_work"):
+                values = [
+                    record["units"][unit_key]
+                    for record in members
+                    if unit_key in record["units"]
+                ]
+                if values:
+                    row.extend([median(values), p95(values)])
+                else:
+                    row.extend(["-", "-"])
+            walls = [record["wall_s"] for record in members]
+            row.append(round(median(walls) * 1000.0, 3))
+            rows.append(row)
+        return rows
+
+    @property
+    def notes(self) -> list[str]:
+        cache = self.cache_stats
+        notes = [
+            f"cells={len(self.records)} errors={len(self.errors)} "
+            f"workers={self.workers}",
+            f"workload cache: hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"corrupt={cache.get('corrupt', 0)}",
+        ]
+        return notes
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell completed without raising."""
+        return not self.errors
+
+    def paper_units_view(self) -> dict[str, dict[str, Any]]:
+        """Per-cell paper units only — the worker-count-invariant view.
+
+        Two sweeps of the same matrix must produce byte-identical JSON
+        dumps of this view regardless of ``workers``; wall times and
+        cache hit patterns are deliberately excluded.
+        """
+        return {record["id"]: dict(record["units"]) for record in self.records}
+
+    def group_wall_medians(self) -> dict[str, float]:
+        """Median wall seconds per group (the regression-tolerance gauge)."""
+        groups: dict[str, list[float]] = {}
+        for record in self.records:
+            groups.setdefault(record["group"], []).append(record["wall_s"])
+        return {group: median(walls) for group, walls in sorted(groups.items())}
+
+    def aggregate(self) -> dict[str, Any]:
+        """The full ``repro-bench/1`` JSON document for this sweep."""
+        doc = structured_result(
+            self, params=self.matrix.to_dict(), wall_time_s=self.wall_time_s
+        )
+        doc["sweep"] = {
+            "workers": self.workers,
+            "cache": dict(self.cache_stats),
+            "cells": [
+                {
+                    "id": record["id"],
+                    "group": record["group"],
+                    "cell": record["cell"],
+                    "units": record["units"],
+                    "wall_s": record["wall_s"],
+                }
+                for record in self.records
+            ],
+            "errors": [
+                {"id": record["id"], "error": record["error"]}
+                for record in self.errors
+            ],
+        }
+        return doc
+
+
+def _fold(
+    record: Mapping[str, Any],
+    records: list[dict[str, Any]],
+    errors: list[dict[str, Any]],
+    cache_stats: dict[str, int],
+    on_result: Callable[[Mapping[str, Any]], None] | None,
+) -> None:
+    entry = dict(record)
+    if "error" in entry:
+        errors.append(entry)
+    else:
+        records.append(entry)
+        if entry.pop("cache_hit", False):
+            cache_stats["hits"] += 1
+        else:
+            cache_stats["misses"] += 1
+        if entry.pop("cache_corrupt", False):
+            cache_stats["corrupt"] += 1
+    if on_result is not None:
+        on_result(entry)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps worker start cheap and inherits in-process detector
+    # registrations; fall back to the platform default elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(
+    matrix: SweepMatrix,
+    cache_root: str | pathlib.Path,
+    workers: int = 1,
+    on_result: Callable[[Mapping[str, Any]], None] | None = None,
+) -> SweepResult:
+    """Run every cell of ``matrix``; fan out over ``workers`` processes.
+
+    ``on_result`` (if given) observes each record as it streams in —
+    progress reporting, not transformation.  Cells that raise are
+    collected as error records on the result; see
+    :attr:`SweepResult.ok`.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cells = matrix.cells()
+    records: list[dict[str, Any]] = []
+    errors: list[dict[str, Any]] = []
+    cache_stats = {"hits": 0, "misses": 0, "corrupt": 0}
+    started = time.perf_counter()
+    if workers == 1:
+        for cell in cells:
+            _fold(
+                _run_cell_safe(cell, str(cache_root)),
+                records,
+                errors,
+                cache_stats,
+                on_result,
+            )
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=workers) as pool:
+            task = partial(_run_cell_safe, cache_root=str(cache_root))
+            for record in pool.imap_unordered(task, cells, chunksize=1):
+                _fold(record, records, errors, cache_stats, on_result)
+    records.sort(key=lambda record: record["id"])
+    errors.sort(key=lambda record: record["id"])
+    return SweepResult(
+        matrix=matrix,
+        records=records,
+        errors=errors,
+        workers=workers,
+        wall_time_s=time.perf_counter() - started,
+        cache_stats=cache_stats,
+    )

@@ -1,0 +1,100 @@
+"""Tests for the content-addressed workload cache."""
+
+import json
+
+from repro.trace.generators import WorkloadSpec, generate
+from repro.trace.serialization import dumps
+from repro.sweep import WorkloadCache
+
+
+def spec(**overrides) -> WorkloadSpec:
+    kwargs = dict(num_processes=4, sends_per_process=6, seed=3)
+    kwargs.update(overrides)
+    return WorkloadSpec(**kwargs)
+
+
+class TestKeying:
+    def test_same_params_same_key(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        assert cache.key(spec()) == cache.key(spec())
+
+    def test_any_param_changes_key(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        base = cache.key(spec())
+        assert cache.key(spec(seed=4)) != base
+        assert cache.key(spec(sends_per_process=7)) != base
+        assert cache.key(spec(predicate_density=0.5)) != base
+        assert cache.key(spec(plant_final_cut=True)) != base
+
+
+class TestHitMiss:
+    def test_miss_generates_and_persists(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        comp = cache.get_or_generate(spec())
+        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 0}
+        assert cache.path_for(spec()).exists()
+        assert dumps(comp) == dumps(generate(spec()))
+
+    def test_hit_returns_identical_computation(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        first = cache.get_or_generate(spec())
+        second = cache.get_or_generate(spec())
+        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0}
+        assert dumps(first) == dumps(second)
+
+    def test_distinct_specs_do_not_collide(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        a = cache.get_or_generate(spec(seed=1))
+        b = cache.get_or_generate(spec(seed=2))
+        assert cache.stats()["misses"] == 2
+        assert dumps(a) != dumps(b)
+
+    def test_cache_shared_across_instances(self, tmp_path):
+        WorkloadCache(tmp_path).get_or_generate(spec())
+        other = WorkloadCache(tmp_path)
+        other.get_or_generate(spec())
+        assert other.stats() == {"hits": 1, "misses": 0, "corrupt": 0}
+
+
+class TestCorruptEntries:
+    def test_truncated_entry_is_regenerated(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        comp = cache.get_or_generate(spec())
+        path = cache.path_for(spec())
+        path.write_text(path.read_text()[: 40])
+        recovered = cache.get_or_generate(spec())
+        assert cache.stats() == {"hits": 0, "misses": 2, "corrupt": 1}
+        assert dumps(recovered) == dumps(comp)
+        # The entry was healed in place: the next read is a clean hit.
+        assert dumps(cache.get_or_generate(spec())) == dumps(comp)
+        assert cache.stats()["hits"] == 1
+
+    def test_wrong_schema_is_corrupt(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        cache.get_or_generate(spec())
+        path = cache.path_for(spec())
+        doc = json.loads(path.read_text())
+        doc["schema"] = "something-else/9"
+        path.write_text(json.dumps(doc))
+        cache.get_or_generate(spec())
+        assert cache.stats()["corrupt"] == 1
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        cache.get_or_generate(spec())
+        path = cache.path_for(spec())
+        doc = json.loads(path.read_text())
+        doc["key"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        cache.get_or_generate(spec())
+        assert cache.stats()["corrupt"] == 1
+
+    def test_unparseable_computation_is_corrupt(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        cache.get_or_generate(spec())
+        path = cache.path_for(spec())
+        doc = json.loads(path.read_text())
+        doc["computation"] = {"nonsense": True}
+        path.write_text(json.dumps(doc))
+        cache.get_or_generate(spec())
+        assert cache.stats()["corrupt"] == 1

@@ -1,0 +1,126 @@
+"""Tests for sweep matrices: expansion, identity, serialization."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sweep import SweepCell, SweepMatrix, load_matrix
+
+
+def small_matrix(**overrides) -> SweepMatrix:
+    kwargs = dict(
+        name="t",
+        detectors=("token_vc",),
+        processes=(4,),
+        sends=(6,),
+        seeds=(0, 1),
+    )
+    kwargs.update(overrides)
+    return SweepMatrix(**kwargs)
+
+
+class TestSweepCell:
+    def test_id_and_group(self):
+        cell = SweepCell(
+            detector="token_vc", num_processes=4, sends_per_process=8,
+            predicate_density=0.25, seed=3,
+        )
+        assert cell.group == "token_vc/n4/m8/uniform/d0.25/wall/fnone"
+        assert cell.cell_id == cell.group + "/s3"
+
+    def test_seed_not_in_group(self):
+        a = SweepCell(detector="token_vc", num_processes=4,
+                      sends_per_process=8, seed=0)
+        b = SweepCell(detector="token_vc", num_processes=4,
+                      sends_per_process=8, seed=7)
+        assert a.group == b.group
+        assert a.cell_id != b.cell_id
+
+    def test_pred_width_limits_pids(self):
+        cell = SweepCell(detector="token_vc", num_processes=6,
+                         sends_per_process=4, pred_width=3)
+        assert cell.predicate_pids() == (0, 1, 2)
+        assert cell.workload_spec().predicate_pids == (0, 1, 2)
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepCell(detector="nope", num_processes=4, sends_per_process=4)
+
+    def test_faults_require_fault_capable_detector(self):
+        with pytest.raises(ConfigurationError):
+            SweepCell(detector="reference", num_processes=4,
+                      sends_per_process=4, faults="drop:token:0.5")
+
+
+class TestSweepMatrix:
+    def test_expansion_is_full_cross_product(self):
+        matrix = small_matrix(processes=(4, 6), sends=(4, 8), seeds=(0, 1, 2))
+        cells = matrix.cells()
+        assert len(cells) == matrix.num_cells == 12
+        assert len({c.cell_id for c in cells}) == 12
+
+    def test_expansion_order_is_deterministic(self):
+        matrix = small_matrix(processes=(4, 6), seeds=(0, 1))
+        ids = [c.cell_id for c in matrix.cells()]
+        assert ids == [c.cell_id for c in matrix.cells()]
+
+    def test_faults_only_pair_with_fault_capable(self):
+        matrix = small_matrix(
+            detectors=("token_vc", "reference"),
+            faults=(None, "drop:token:0.2"),
+            seeds=(0,),
+        )
+        cells = matrix.cells()
+        by_detector = {}
+        for cell in cells:
+            by_detector.setdefault(cell.detector, []).append(cell.faults)
+        assert sorted(by_detector["token_vc"], key=str) == [
+            None, "drop:token:0.2"
+        ]
+        assert by_detector["reference"] == [None]
+
+    def test_round_trips_through_dict(self):
+        matrix = small_matrix(
+            faults=(None, "drop:token:0.1"), pred_widths=(None, 2)
+        )
+        clone = SweepMatrix.from_dict(matrix.to_dict())
+        assert clone == matrix
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown matrix keys"):
+            SweepMatrix.from_dict(
+                {"name": "x", "detectors": ["token_vc"], "processes": [4],
+                 "sends": [4], "bogus": 1}
+            )
+
+    def test_from_dict_requires_core_keys(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            SweepMatrix.from_dict({"name": "x"})
+
+    def test_pred_width_wider_than_processes_rejected(self):
+        matrix = small_matrix(pred_widths=(8,))
+        with pytest.raises(ConfigurationError, match="pred_width"):
+            matrix.cells()
+
+    def test_duplicate_axis_entries_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            small_matrix(seeds=(1, 1))
+
+    def test_load_matrix_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(
+            '{"name": "f", "detectors": ["token_vc"], '
+            '"processes": [4], "sends": [4]}'
+        )
+        matrix = load_matrix(path)
+        assert matrix.name == "f"
+        assert matrix.num_cells == 1
+
+    def test_load_matrix_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such matrix"):
+            load_matrix(tmp_path / "absent.json")
+
+    def test_load_matrix_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            load_matrix(path)

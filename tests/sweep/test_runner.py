@@ -1,0 +1,155 @@
+"""Tests for sweep execution: determinism, aggregation, error capture."""
+
+import json
+
+import pytest
+
+import repro.detect.runner as detect_runner
+from repro.common.errors import DetectionError
+from repro.sweep import SweepMatrix, run_cell, run_sweep
+from repro.sweep.runner import median, p95
+
+
+def matrix(**overrides) -> SweepMatrix:
+    kwargs = dict(
+        name="t",
+        detectors=("token_vc", "direct_dep"),
+        processes=(4,),
+        sends=(6,),
+        seeds=(0, 1, 2),
+        densities=(0.0,),
+        plant_final_cut=True,
+    )
+    kwargs.update(overrides)
+    return SweepMatrix(**kwargs)
+
+
+class TestStatistics:
+    def test_median_odd_and_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_p95_nearest_rank(self):
+        assert p95([5]) == 5
+        assert p95(list(range(1, 101))) == 95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+        with pytest.raises(ValueError):
+            p95([])
+
+
+class TestRunCell:
+    def test_record_shape(self, tmp_path):
+        cell = matrix().cells()[0]
+        record = run_cell(cell, tmp_path)
+        assert record["id"] == cell.cell_id
+        assert record["group"] == cell.group
+        assert record["units"]["outcome"] == "detected"
+        assert record["units"]["mon_msgs"] > 0
+        assert record["wall_s"] > 0
+        assert record["cache_hit"] is False
+
+    def test_second_run_hits_cache(self, tmp_path):
+        cell = matrix().cells()[0]
+        run_cell(cell, tmp_path)
+        assert run_cell(cell, tmp_path)["cache_hit"] is True
+
+    def test_faulty_cell_is_deterministic(self, tmp_path):
+        cell = matrix(
+            detectors=("token_vc",), faults=("drop:token:0.3",), seeds=(5,)
+        ).cells()[0]
+        first = run_cell(cell, tmp_path)
+        second = run_cell(cell, tmp_path)
+        assert first["units"] == second["units"]
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_paper_units(self, tmp_path):
+        m = matrix()
+        serial = run_sweep(m, tmp_path / "c1", workers=1)
+        fanned = run_sweep(m, tmp_path / "c2", workers=3)
+        assert serial.ok and fanned.ok
+        assert json.dumps(serial.paper_units_view(), sort_keys=True) == \
+            json.dumps(fanned.paper_units_view(), sort_keys=True)
+
+    def test_shared_cache_does_not_change_units(self, tmp_path):
+        m = matrix()
+        cold = run_sweep(m, tmp_path / "shared", workers=1)
+        warm = run_sweep(m, tmp_path / "shared", workers=2)
+        assert warm.cache_stats["hits"] == len(warm.records)
+        assert cold.paper_units_view() == warm.paper_units_view()
+
+
+class TestAggregation:
+    def test_groups_fold_over_seeds(self, tmp_path):
+        result = run_sweep(matrix(), tmp_path, workers=1)
+        assert len(result.records) == 6
+        rows = result.rows
+        assert len(rows) == 2  # one per detector group
+        groups = [row[0] for row in rows]
+        assert groups == sorted(groups)
+        assert all(row[1] == 3 for row in rows)  # 3 seeds per group
+
+    def test_aggregate_document_shape(self, tmp_path):
+        result = run_sweep(matrix(), tmp_path, workers=1)
+        doc = result.aggregate()
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["experiment"] == "sweep:t"
+        assert doc["params"]["name"] == "t"
+        assert len(doc["sweep"]["cells"]) == 6
+        assert doc["sweep"]["errors"] == []
+        json.dumps(doc)  # JSON-serializable end to end
+
+    def test_streaming_callback_sees_every_cell(self, tmp_path):
+        seen = []
+        run_sweep(matrix(), tmp_path, workers=1, on_result=seen.append)
+        assert len(seen) == 6
+
+    def test_offline_detector_cells_have_extras_only(self, tmp_path):
+        result = run_sweep(
+            matrix(detectors=("reference",), seeds=(0,)), tmp_path, workers=1
+        )
+        assert result.ok
+        units = result.records[0]["units"]
+        assert units["outcome"] == "detected"
+        assert "mon_msgs" not in units
+        assert units["comparisons"] > 0
+
+
+class TestWorkerFailure:
+    @pytest.fixture
+    def crashy(self, monkeypatch):
+        def detect(computation, wcp, **options):
+            raise DetectionError("injected crash")
+
+        monkeypatch.setitem(detect_runner.DETECTORS, "crashy", detect)
+        return "crashy"
+
+    def test_inline_worker_error_is_captured(self, tmp_path, crashy):
+        result = run_sweep(
+            matrix(detectors=(crashy,), seeds=(0,)), tmp_path, workers=1
+        )
+        assert not result.ok
+        assert result.records == []
+        [error] = result.errors
+        assert "DetectionError: injected crash" in error["error"]
+        assert "traceback" in error
+
+    def test_forked_worker_error_is_captured(self, tmp_path, crashy):
+        result = run_sweep(
+            matrix(detectors=(crashy, "token_vc"), seeds=(0,)),
+            tmp_path,
+            workers=2,
+        )
+        assert not result.ok
+        assert len(result.errors) == 1
+        assert len(result.records) == 1  # healthy cells still complete
+        assert result.aggregate()["sweep"]["errors"][0]["id"].startswith(
+            "crashy/"
+        )
+
+    def test_workers_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_sweep(matrix(), tmp_path, workers=0)

@@ -275,3 +275,164 @@ class TestImportLog:
     def test_missing_file(self, tmp_path):
         with pytest.raises(SystemExit, match="no such log"):
             main(["import-log", str(tmp_path / "nope.log")])
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--detectors", "token_vc", "--processes", "4",
+        "--sends", "6", "--seeds", "0..1", "--densities", "0",
+        "--plant-final-cut",
+    ]
+
+    def test_runs_and_prints_group_table(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--cache-dir", str(tmp_path / "c")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep:adhoc" in out
+        assert "token_vc/n4/m6" in out
+        assert "workload cache" in out
+
+    def test_writes_aggregate_json(self, tmp_path, capsys):
+        out_file = tmp_path / "agg.json"
+        code = main(
+            self.ARGS
+            + ["--cache-dir", str(tmp_path / "c"), "--out", str(out_file)]
+        )
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro-bench/1"
+        assert len(doc["sweep"]["cells"]) == 2
+
+    def test_matrix_file_overrides_inline_axes(self, tmp_path, capsys):
+        matrix = tmp_path / "m.json"
+        matrix.write_text(json.dumps({
+            "name": "filed", "detectors": ["token_vc"],
+            "processes": [4], "sends": [4],
+        }))
+        code = main([
+            "sweep", "--matrix", str(matrix),
+            "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 0
+        assert "sweep:filed" in capsys.readouterr().out
+
+    def test_seed_range_parsing(self, tmp_path, capsys):
+        out_file = tmp_path / "agg.json"
+        code = main(
+            self.ARGS[:-3] + ["--seeds", "0..3", "--densities", "0",
+                              "--cache-dir", str(tmp_path / "c"),
+                              "--out", str(out_file), "--quiet"]
+        )
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert len(doc["sweep"]["cells"]) == 4
+
+    def test_bad_axis_value_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad value"):
+            main(["sweep", "--processes", "four"])
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(SystemExit, match="unknown detector"):
+            main(["sweep", "--detectors", "nope"])
+
+    def test_crashing_worker_propagates_nonzero_exit(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.detect.runner as detect_runner
+        from repro.common.errors import DetectionError
+
+        def crashy(computation, wcp, **options):
+            raise DetectionError("injected crash")
+
+        monkeypatch.setitem(detect_runner.DETECTORS, "crashy", crashy)
+        code = main([
+            "sweep", "--detectors", "crashy,token_vc", "--processes", "4",
+            "--sends", "4", "--workers", "2",
+            "--cache-dir", str(tmp_path / "c"), "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "injected crash" in captured.err
+
+
+class TestDetectFailurePropagation:
+    def test_crashing_detector_exits_nonzero(
+        self, trace_file, capsys, monkeypatch
+    ):
+        import repro.detect.runner as detect_runner
+        from repro.common.errors import DetectionError
+
+        def crashy(computation, wcp, **options):
+            raise DetectionError("injected crash")
+
+        monkeypatch.setitem(detect_runner.DETECTORS, "crashy", crashy)
+        code = main(["detect", str(trace_file), "--detector", "crashy"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "injected crash" in captured.err
+
+
+class TestBenchCheckCommand:
+    @pytest.fixture
+    def baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        code = main([
+            "sweep", "--detectors", "token_vc", "--processes", "4",
+            "--sends", "6", "--seeds", "0..1", "--densities", "0",
+            "--plant-final-cut", "--cache-dir", str(tmp_path / "c"),
+            "--out", str(path), "--quiet",
+        ])
+        assert code == 0
+        return path
+
+    def test_passes_against_itself(self, baseline, tmp_path, capsys):
+        code = main([
+            "bench-check", str(baseline),
+            "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_seeded_regression_fails(self, baseline, tmp_path, capsys):
+        doc = json.loads(baseline.read_text())
+        doc["sweep"]["cells"][0]["units"]["token_hops"] += 1
+        baseline.write_text(json.dumps(doc))
+        code = main([
+            "bench-check", str(baseline),
+            "--cache-dir", str(tmp_path / "c"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "token_hops" in out
+
+    def test_summary_out_gets_markdown(self, baseline, tmp_path, capsys):
+        summary = tmp_path / "summary.md"
+        code = main([
+            "bench-check", str(baseline),
+            "--cache-dir", str(tmp_path / "c"),
+            "--summary-out", str(summary),
+        ])
+        assert code == 0
+        assert "PASS" in summary.read_text()
+
+    def test_update_rewrites_baseline(self, baseline, tmp_path, capsys):
+        doc = json.loads(baseline.read_text())
+        doc["sweep"]["cells"][0]["units"]["token_hops"] += 10
+        baseline.write_text(json.dumps(doc))
+        code = main([
+            "bench-check", str(baseline),
+            "--cache-dir", str(tmp_path / "c"), "--update",
+        ])
+        assert code == 0
+        assert "re-baselined" in capsys.readouterr().out
+        code = main([
+            "bench-check", str(baseline),
+            "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 0
+
+    def test_non_sweep_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro-bench/1", "params": {}}')
+        with pytest.raises(SystemExit, match="sweep"):
+            main(["bench-check", str(bad)])

@@ -67,6 +67,19 @@ class TestObservabilityDoc:
                 pytest.fail(f"observability block {i} failed: {exc}\n{block}")
 
 
+class TestBenchmarkingDoc:
+    def test_all_blocks_execute(self):
+        blocks = python_blocks(ROOT / "docs" / "benchmarking.md")
+        assert len(blocks) >= 3
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"benchmarking.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"benchmarking block {i} failed: {exc}\n{block}")
+
+
 class TestReadme:
     def test_quickstart_blocks_execute(self):
         blocks = python_blocks(ROOT / "README.md")
