@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
              "anyway, to watch it fail",
     )
     det.add_argument(
+        "--self-heal", action="store_true",
+        help="with --faults, enable the heartbeat failure detector so "
+             "surviving monitors elect a takeover and regenerate a "
+             "silent token (see repro.detect.failuredetect)",
+    )
+    det.add_argument(
         "--json", action="store_true",
         help="print the verdict, metrics totals and fault summary as "
              "JSON (machine-readable; suppresses the human output)",
@@ -287,6 +293,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
         tracer = SpanTracer()
         options["observers"] = [tracer]
+    if args.self_heal and args.faults is None:
+        raise SystemExit("error: --self-heal requires --faults")
     if args.faults is not None:
         from repro.common.errors import ConfigurationError
         from repro.detect.runner import FAULT_CAPABLE
@@ -304,6 +312,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         options["faults"] = plan
         if args.no_hardened:
             options["hardened"] = False
+        if args.self_heal:
+            if args.no_hardened:
+                raise SystemExit(
+                    "error: --self-heal needs the hardened protocol; "
+                    "drop --no-hardened"
+                )
+            from repro.detect.failuredetect import FailureDetectorConfig
+
+            options["failure_detector"] = FailureDetectorConfig()
         if not args.json:
             print(f"faults:    {plan.describe()}")
     from repro.common.errors import ReproError
@@ -385,7 +402,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 f"injected faults: dropped={f.dropped} "
                 f"duplicated={f.duplicated} corrupted={f.corrupted} "
                 f"lost_to_crash={f.lost_to_crash} "
-                f"crashes={f.crashes} restarts={f.restarts}"
+                f"partitioned={f.partitioned} "
+                f"crashes={f.crashes} restarts={f.restarts} "
+                f"partitions={f.partitions}"
             )
         for key, value in sorted(report.extras.items()):
             print(f"{key}: {value}")

@@ -46,7 +46,12 @@ from repro.detect.base import (
     app_name,
     monitor_name,
 )
+from repro.detect.failuredetect import (
+    FailureDetectorConfig,
+    FailureDetectorMixin,
+)
 from repro.detect.reliability import (
+    AdaptiveRetryPolicy,
     ReliableEndpoint,
     ReliableFeeder,
     ReliableInjector,
@@ -203,7 +208,9 @@ class DirectDepMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
-class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
+class HardenedDirectDepMonitor(
+    FailureDetectorMixin, ReliableEndpoint, DirectDepMonitor
+):
     """Crash/loss-tolerant §4 monitor.
 
     On top of the shared transport (sequenced candidates, hop-numbered
@@ -221,17 +228,31 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
     in-flight poll with the *same* tag, and ``next_red`` is never
     mutated while a tag is outstanding, so the retransmitted poll is
     byte-identical to the original.
+
+    The failure detector heartbeats and answers elections but never
+    *initiates* a takeover (``_fd_can_take_over = False``): the §4 token
+    is an empty baton, so all recoverable protocol state — including the
+    red-chain ``next_red`` pointers — lives in the holder.  A regenerated
+    baton installed at an arbitrary red monitor would walk that monitor's
+    stale chain fragment and could declare detection while unvisited red
+    monitors exist.  Instead, a crashed holder's persisted frame *is* the
+    token: restart resumes the visit exactly, and a permanently dead
+    holder honestly degrades the run rather than mis-detecting.
     """
+
+    _fd_can_take_over = False
 
     def __init__(
         self,
         pid: int,
         num_processes: int,
         initial_next_red: int | None,
-        retry: RetryPolicy | None = None,
+        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+        failure_detector: FailureDetectorConfig | None = None,
     ) -> None:
         DirectDepMonitor.__init__(self, pid, num_processes, initial_next_red)
         self._init_reliability(retry)
+        self._init_failure_detector(failure_detector)
         self._visit_phase = "gather"
         self._deplist: list = []
         self._dep_idx = 0
@@ -242,10 +263,31 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
     # ------------------------------------------------------------------
     def _on_token_accepted(self, frame: TokenFrame) -> None:
         self.token_visits += 1
+        if self.color == GREEN:
+            # A regenerated token re-visiting a green monitor: the visit
+            # that turned us green already ran (or is persisted mid-poll)
+            # — keep its state so the re-visit only finishes outstanding
+            # polls and forwards, consuming no fresh candidates.
+            return
         self._visit_phase = "gather"
-        self._deplist = []
+        # Dependences gathered by an interrupted visit were never
+        # polled; dropping them could leave a dominated green monitor
+        # unpainted and declare a wrong cut.  Carry them over.
+        self._deplist = self._deplist[self._dep_idx:]
         self._dep_idx = 0
-        self._current_tag = None
+
+    def _fd_slot(self) -> int:
+        return self._pid
+
+    def _fd_peers(self) -> dict[int, str]:
+        return {
+            p: monitor_name(p) for p in range(self._n) if p != self._pid
+        }
+
+    def _fd_is_red(self) -> bool:
+        # The empty token may only sit at a red monitor (Fig. 4); a
+        # green monitor's persisted visit state must not be re-entered.
+        return self.color == RED
 
     def _dispatch(self, msg):
         if msg.kind == POLL_KIND:
@@ -254,6 +296,8 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
         if msg.kind == POLL_RESPONSE_KIND:
             return "handled"  # stale duplicate outside a poll exchange
         code = yield from self._dispatch_common(msg)
+        if code == "unhandled":
+            code = yield from self._dispatch_fd(msg)
         return code
 
     def _halt_targets(self) -> list[str]:
@@ -306,9 +350,14 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
                 yield from self._drive_transfers()
                 continue
             if self._held:
+                if self._drop_stale_held():
+                    continue  # a takeover deposed the held frame's epoch
                 frame = self._held[0]
                 code = yield from self._handle_frame(frame)
                 if code in ("halt", "gave_up"):
+                    continue
+                if frame.epoch < self._epoch:
+                    self._drop_stale_held()
                     continue
                 if code == "abort":
                     self.aborted = True
@@ -320,12 +369,16 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
                     assert target is not None
                     self._begin_transfer(
                         monitor_name(target),
-                        TokenFrame(frame.hop + 1, None),
+                        TokenFrame(frame.hop + 1, None, frame.gid, frame.epoch),
                         TOKEN_BITS + WORD_BITS,
                     )
                 self._held.popleft()
                 continue
-            msg = yield self.receive(description=f"{self.name} awaiting token")
+            msg = yield from self._fd_receive(f"{self.name} awaiting token")
+            if msg is None:
+                if self.halted:
+                    return  # halt arrived during a detector tick
+                continue  # idle heartbeat tick; re-examine state
             yield from self._dispatch(msg)
 
     def _handle_frame(self, frame: TokenFrame):
@@ -358,6 +411,7 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
             dest = monitor_name(dep.source)
             request = Tagged(tag, Poll(dep.clock, self.next_red))
             yield self.work(1)
+            self._retry.on_send(tag, self.now)
             yield self.send(
                 dest, request, kind=POLL_KIND, size_bits=POLL_BITS + WORD_BITS
             )
@@ -372,6 +426,7 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
                     if attempt > self._retry.max_attempts:
                         self.gave_up = True
                         return "gave_up"
+                    self._retry.on_send(tag, self.now)
                     yield self.send(
                         dest,
                         request,
@@ -385,6 +440,7 @@ class HardenedDirectDepMonitor(ReliableEndpoint, DirectDepMonitor):
                     tagged: Tagged = msg.payload
                     if tagged.tag != tag:
                         continue  # duplicate of an earlier exchange
+                    self._retry.on_ack(tag, self.now)
                     # Atomic completion: chain update and poll
                     # retirement commit together.
                     if tagged.payload.became_red:
@@ -414,7 +470,8 @@ class _TokenInjector(Actor):
 def build_monitors(
     num_processes: int,
     hardened: bool = False,
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+    failure_detector: FailureDetectorConfig | None = None,
 ) -> list[DirectDepMonitor]:
     """Monitors with the initial red chain 0 -> 1 -> ... -> N-1 -> null."""
     if hardened:
@@ -424,6 +481,7 @@ def build_monitors(
                 num_processes,
                 initial_next_red=(pid + 1 if pid + 1 < num_processes else None),
                 retry=retry,
+                failure_detector=failure_detector,
             )
             for pid in range(num_processes)
         ]
@@ -447,22 +505,28 @@ def detect(
     observers: list | None = None,
     faults: FaultPlan | None = None,
     hardened: bool | None = None,
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+    failure_detector: FailureDetectorConfig | None = None,
 ) -> DetectionReport:
     """Run the §4 algorithm on a recorded computation.
 
     Every one of the ``N`` processes gets a feeder and a monitor; the
     detected full cut is projected onto the WCP's pids for the report.
-    ``faults`` / ``hardened`` / ``retry`` behave as in
-    :func:`repro.detect.token_vc.detect`.
+    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` behave
+    as in :func:`repro.detect.token_vc.detect`.
     """
     wcp.check_against(computation.num_processes)
     big_n = computation.num_processes
     use_hardened = (faults is not None) if hardened is None else hardened
+    if use_hardened and retry is None:
+        retry = AdaptiveRetryPolicy(seed=seed)
     kernel = Kernel(
         channel_model=channel_model, seed=seed, observers=observers, faults=faults
     )
-    monitors = build_monitors(big_n, hardened=use_hardened, retry=retry)
+    monitors = build_monitors(
+        big_n, hardened=use_hardened, retry=retry,
+        failure_detector=failure_detector,
+    )
     for mon in monitors:
         kernel.add_actor(mon)
     streams = dd_snapshots(computation, wcp.predicate_map())
@@ -515,6 +579,12 @@ def detect(
         extras["halt_incomplete"] = any(
             getattr(a, "halt_incomplete", False) for a in participants
         )
+        extras["elections"] = sum(
+            getattr(m, "elections", 0) for m in monitors
+        )
+        extras["takeovers"] = sum(
+            getattr(m, "takeovers", 0) for m in monitors
+        )
     if winner is not None:
         full = Cut(
             tuple(range(big_n)), tuple(monitors[p].G for p in range(big_n))
@@ -529,11 +599,21 @@ def detect(
             metrics=kernel.metrics,
             extras=extras,
         )
+    degraded = faults is not None and not aborted
+    if use_hardened and degraded:
+        dead = set(sim.crashed)
+        extras["unobservable"] = [
+            p
+            for p in range(big_n)
+            if app_name(p) in dead or monitor_name(p) in dead
+        ]
+        # The §4 candidate is a scalar clock per process (0 = none yet).
+        extras["partial_cut"] = [m.G if m.G > 0 else None for m in monitors]
     return DetectionReport(
         detector="direct_dep",
         detected=False,
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
-        degraded=faults is not None and not aborted,
+        degraded=degraded,
     )

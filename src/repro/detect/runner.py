@@ -133,8 +133,10 @@ def run_detector(
     """Run detector ``name``; online detectors accept ``seed``,
     ``channel_model``, ``spacing`` and algorithm-specific options.
     Detectors in :data:`FAULT_CAPABLE` additionally accept ``faults``
-    (a :class:`~repro.simulation.faults.FaultPlan`), ``hardened`` and
-    ``retry``.
+    (a :class:`~repro.simulation.faults.FaultPlan`), ``hardened``,
+    ``retry`` and ``failure_detector`` (a
+    :class:`~repro.detect.failuredetect.FailureDetectorConfig` enabling
+    heartbeat failure detection with token takeover).
 
     ``verbose=True`` (accepted by every detector, offline included)
     prints a one-line outcome/cost summary to stderr after the run, so
@@ -153,7 +155,11 @@ def run_detector(
             f"offline detector {name!r} takes no options, got {sorted(options)}"
         )
     if name not in FAULT_CAPABLE:
-        bad = sorted(k for k in ("faults", "hardened", "retry") if k in options)
+        bad = sorted(
+            k
+            for k in ("faults", "hardened", "retry", "failure_detector")
+            if k in options
+        )
         if bad:
             raise ConfigurationError(
                 f"detector {name!r} has no hardened variant; options {bad} "

@@ -41,8 +41,14 @@ from repro.detect.base import (
     DetectionReport,
     app_name,
     monitor_name,
+    partial_cut_extras,
+)
+from repro.detect.failuredetect import (
+    FailureDetectorConfig,
+    FailureDetectorMixin,
 )
 from repro.detect.reliability import (
+    AdaptiveRetryPolicy,
     ReliableEndpoint,
     ReliableFeeder,
     ReliableInjector,
@@ -209,7 +215,9 @@ class TokenVCMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
-class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
+class HardenedTokenVCMonitor(
+    FailureDetectorMixin, ReliableEndpoint, TokenVCMonitor
+):
     """Crash/loss-tolerant §3 monitor (see ``docs/faults.md``).
 
     Semantically identical to :class:`TokenVCMonitor` — under any fault
@@ -226,7 +234,12 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
       copy;
     * a crash-restart re-enters :meth:`run`, which resumes the visit in
       progress from the held frame and the persisted ``_accepted``
-      candidate (the Fig. 3 repaint loop is idempotent).
+      candidate (the Fig. 3 repaint loop is idempotent);
+    * with a :class:`~repro.detect.failuredetect.FailureDetectorConfig`,
+      permanent monitor death is survived too: the surviving monitors
+      elect a takeover, regenerate the token under a new epoch, and
+      replay persisted ``_accepted`` candidates on re-visits so the
+      detected cut is unchanged.
     """
 
     def __init__(
@@ -235,12 +248,16 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
         slot: int,
         monitor_names: list[str],
         routing: str = "cyclic",
-        retry: RetryPolicy | None = None,
+        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+        failure_detector: FailureDetectorConfig | None = None,
     ) -> None:
         TokenVCMonitor.__init__(self, pid, slot, monitor_names, routing=routing)
         self._init_reliability(retry)
+        self._init_failure_detector(failure_detector)
         # The candidate accepted during the current visit, persisted so
-        # the repaint loop can resume after a crash mid-visit.
+        # the repaint loop can resume after a crash mid-visit and so a
+        # re-visit by a regenerated token can replay it (see
+        # :mod:`repro.detect.failuredetect`).
         self._accepted: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
@@ -250,14 +267,26 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
             frame.hop,
             VCToken(G=list(token.G), color=list(token.color)),
             frame.gid,
+            frame.epoch,
         )
 
     def _on_token_accepted(self, frame: TokenFrame) -> None:
         self.token_visits += 1
-        self._accepted = None
+
+    def _fd_slot(self) -> int:
+        return self._slot
+
+    def _fd_peers(self) -> dict[int, str]:
+        return {
+            slot: name
+            for slot, name in enumerate(self._monitors)
+            if slot != self._slot
+        }
 
     def _dispatch(self, msg):
         code = yield from self._dispatch_common(msg)
+        if code == "unhandled":
+            code = yield from self._dispatch_fd(msg)
         return code
 
     def _halt_targets(self) -> list[str]:
@@ -281,9 +310,16 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
                 yield from self._drive_transfers()
                 continue  # the loop head re-examines halted / gave_up
             if self._held:
+                if self._drop_stale_held():
+                    continue  # a takeover deposed the held frame's epoch
                 frame = self._held[0]  # peek: popped only once resolved
                 code = yield from self._handle_frame(frame)
                 if code == "halt":
+                    continue
+                if frame.epoch < self._epoch:
+                    # An election concluded while this visit was yielded;
+                    # the regenerated token supersedes this frame.
+                    self._drop_stale_held()
                     continue
                 token: VCToken = frame.body
                 # Each branch below is one atomic block (no yields):
@@ -298,7 +334,9 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
                     self.detected_at = self.now
                 else:  # forward
                     target = self._next_red_slot(token)
-                    nxt = TokenFrame(frame.hop + 1, token, frame.gid)
+                    nxt = TokenFrame(
+                        frame.hop + 1, token, frame.gid, frame.epoch
+                    )
                     self._begin_transfer(
                         self._monitors[target],
                         nxt,
@@ -306,7 +344,11 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
                     )
                 self._held.popleft()
                 continue
-            msg = yield self.receive(description=f"{self.name} awaiting token")
+            msg = yield from self._fd_receive(f"{self.name} awaiting token")
+            if msg is None:
+                if self.halted:
+                    return  # halt arrived during a detector tick
+                continue  # idle heartbeat tick; re-examine state
             yield from self._dispatch(msg)
 
     def _handle_frame(self, frame: TokenFrame):
@@ -320,6 +362,18 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
         token: VCToken = frame.body
         slot = self._slot
         while token.color[slot] == RED:
+            if (
+                self._accepted is not None
+                and self._accepted[slot] > token.G[slot]
+            ):
+                # A regenerated token re-presents a bound this monitor
+                # already advanced past: replay the persisted candidate
+                # instead of consuming fresh ones, so re-visits leave
+                # the candidate stream where the first visit left it.
+                token.G[slot] = self._accepted[slot]
+                token.color[slot] = GREEN
+                yield self.work(1)
+                continue
             entry = yield from self._next_candidate()
             if entry == "halt":
                 return "halt"
@@ -333,14 +387,18 @@ class HardenedTokenVCMonitor(ReliableEndpoint, TokenVCMonitor):
                 self._accepted = cand
             yield self.work(1)
         candidate = self._accepted
-        assert candidate is not None
-        for j in range(self._n):
-            if j == slot:
-                continue
-            if candidate[j] >= token.G[j]:
-                token.G[j] = candidate[j]
-                token.color[j] = RED
-            yield self.work(1)
+        # Repaint only when the token's bound for this slot is the one
+        # ``candidate`` justified — on a regenerated token installed at
+        # a green slot the persisted candidate may predate the bound,
+        # and repainting with it could eliminate states it cannot see.
+        if candidate is not None and token.G[slot] == candidate[slot]:
+            for j in range(self._n):
+                if j == slot:
+                    continue
+                if candidate[j] >= token.G[j]:
+                    token.G[j] = candidate[j]
+                    token.color[j] = RED
+                yield self.work(1)
         yield self.work(self._n)
         if token.all_green():
             return "detected"
@@ -373,7 +431,8 @@ def detect(
     observers: list | None = None,
     faults: FaultPlan | None = None,
     hardened: bool | None = None,
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+    failure_detector: FailureDetectorConfig | None = None,
 ) -> DetectionReport:
     """Run the §3 algorithm on a recorded computation.
 
@@ -387,19 +446,27 @@ def detect(
     "on exactly when faults are injected" — pass ``hardened=True`` with
     no faults to measure the reliability layer's overhead, or
     ``hardened=False`` with faults to watch the plain protocol fail.
-    ``retry`` tunes the hardened actors' retransmission schedule.
+    ``retry`` tunes the hardened actors' retransmission schedule and
+    defaults to the RTT-adaptive policy; ``failure_detector`` enables
+    heartbeat failure detection with token takeover (self-healing
+    against *permanent* monitor death — see ``docs/faults.md``).
     """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
     n = wcp.n
     use_hardened = (faults is not None) if hardened is None else hardened
+    if use_hardened and retry is None:
+        retry = AdaptiveRetryPolicy(seed=seed)
     kernel = Kernel(
         channel_model=channel_model, seed=seed, observers=observers, faults=faults
     )
     names = [monitor_name(pid) for pid in pids]
     if use_hardened:
         monitors = [
-            HardenedTokenVCMonitor(pid, slot, names, routing=routing, retry=retry)
+            HardenedTokenVCMonitor(
+                pid, slot, names, routing=routing, retry=retry,
+                failure_detector=failure_detector,
+            )
             for slot, pid in enumerate(pids)
         ]
     else:
@@ -467,6 +534,8 @@ def detect(
         extras["halt_incomplete"] = any(
             getattr(a, "halt_incomplete", False) for a in participants
         )
+        extras["elections"] = sum(m.elections for m in monitors)
+        extras["takeovers"] = sum(m.takeovers for m in monitors)
     if winner is not None:
         assert winner.detected_cut is not None
         return DetectionReport(
@@ -478,11 +547,18 @@ def detect(
             metrics=kernel.metrics,
             extras=extras,
         )
+    degraded = faults is not None and not aborted
+    if use_hardened and degraded:
+        extras.update(
+            partial_cut_extras(
+                pids, [m._accepted for m in monitors], sim.crashed
+            )
+        )
     return DetectionReport(
         detector="token_vc",
         detected=False,
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
-        degraded=faults is not None and not aborted,
+        degraded=degraded,
     )

@@ -36,8 +36,14 @@ from repro.detect.base import (
     DetectionReport,
     app_name,
     monitor_name,
+    partial_cut_extras,
+)
+from repro.detect.failuredetect import (
+    FailureDetectorConfig,
+    FailureDetectorMixin,
 )
 from repro.detect.reliability import (
+    AdaptiveRetryPolicy,
     ReliableEndpoint,
     ReliableFeeder,
     RetryPolicy,
@@ -245,7 +251,7 @@ class LeaderActor(Actor):
                 elim[i] = max(elim[i], bound)
 
 
-class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
+class HardenedGroupMonitor(FailureDetectorMixin, ReliableEndpoint, GroupMonitor):
     """Crash/loss-tolerant §3.5 group monitor.
 
     The in-group token travels in hop-numbered frames keyed by the group
@@ -253,7 +259,8 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
     retransmitted from the previous holder's persisted copy; candidates
     arrive through the sequence-numbered inbox.  See
     :class:`repro.detect.token_vc.HardenedTokenVCMonitor` for the shared
-    crash-resume argument.
+    crash-resume argument and for the takeover semantics when a
+    failure detector is configured.
     """
 
     def __init__(
@@ -262,10 +269,12 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
         slot: int,
         monitor_names: list[str],
         group_slots: frozenset[int],
-        retry: RetryPolicy | None = None,
+        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+        failure_detector: FailureDetectorConfig | None = None,
     ) -> None:
         GroupMonitor.__init__(self, pid, slot, monitor_names, group_slots)
         self._init_reliability(retry)
+        self._init_failure_detector(failure_detector)
         self._accepted: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
@@ -278,14 +287,30 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
                 VCToken(G=list(gtoken.token.G), color=list(gtoken.token.color)),
             ),
             frame.gid,
+            frame.epoch,
         )
 
     def _on_token_accepted(self, frame: TokenFrame) -> None:
         self.token_visits += 1
-        self._accepted = None
+
+    def _fd_slot(self) -> int:
+        return self._slot
+
+    def _fd_peers(self) -> dict[int, str]:
+        # The leader participates at slot -1, so a live leader always
+        # initiates (and wins) takeover elections — only it can merge.
+        peers = {
+            slot: name
+            for slot, name in enumerate(self._monitors)
+            if slot != self._slot
+        }
+        peers[-1] = LEADER_NAME
+        return peers
 
     def _dispatch(self, msg):
         code = yield from self._dispatch_common(msg)
+        if code == "unhandled":
+            code = yield from self._dispatch_fd(msg)
         return code
 
     def _halt_targets(self) -> list[str]:
@@ -309,9 +334,14 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
                 yield from self._drive_transfers()
                 continue
             if self._held:
+                if self._drop_stale_held():
+                    continue  # a takeover deposed the held frame's epoch
                 frame = self._held[0]
                 code = yield from self._handle_frame(frame)
                 if code == "halt":
+                    continue
+                if frame.epoch < self._epoch:
+                    self._drop_stale_held()
                     continue
                 if code == "abort":
                     self.aborted = True
@@ -321,12 +351,16 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
                     dest = LEADER_NAME if target is None else self._monitors[target]
                     self._begin_transfer(
                         dest,
-                        TokenFrame(frame.hop + 1, gtoken, frame.gid),
+                        TokenFrame(frame.hop + 1, gtoken, frame.gid, frame.epoch),
                         gtoken.size_bits() + WORD_BITS,
                     )
                 self._held.popleft()
                 continue
-            msg = yield self.receive(description=f"{self.name} awaiting token")
+            msg = yield from self._fd_receive(f"{self.name} awaiting token")
+            if msg is None:
+                if self.halted:
+                    return  # halt arrived during a detector tick
+                continue  # idle heartbeat tick; re-examine state
             yield from self._dispatch(msg)
 
     def _handle_frame(self, frame: TokenFrame):
@@ -334,6 +368,16 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
         token = frame.body.token
         slot = self._slot
         while token.color[slot] == RED:
+            if (
+                self._accepted is not None
+                and self._accepted[slot] > token.G[slot]
+            ):
+                # Replay the persisted acceptance for a regenerated
+                # token's re-visit (see token_vc._handle_frame).
+                token.G[slot] = self._accepted[slot]
+                token.color[slot] = GREEN
+                yield self.work(1)
+                continue
             entry = yield from self._next_candidate()
             if entry == "halt":
                 return "halt"
@@ -346,19 +390,19 @@ class HardenedGroupMonitor(ReliableEndpoint, GroupMonitor):
                 self._accepted = cand
             yield self.work(1)
         candidate = self._accepted
-        assert candidate is not None
-        for j in range(self._n):
-            if j == slot:
-                continue
-            if candidate[j] >= token.G[j]:
-                token.G[j] = candidate[j]
-                token.color[j] = RED
-            yield self.work(1)
+        if candidate is not None and token.G[slot] == candidate[slot]:
+            for j in range(self._n):
+                if j == slot:
+                    continue
+                if candidate[j] >= token.G[j]:
+                    token.G[j] = candidate[j]
+                    token.color[j] = RED
+                yield self.work(1)
         yield self.work(self._n)
         return "forward"
 
 
-class HardenedLeader(ReliableEndpoint, LeaderActor):
+class HardenedLeader(FailureDetectorMixin, ReliableEndpoint, LeaderActor):
     """Crash/loss-tolerant §3.5 leader.
 
     The merge state (``live`` / ``elim``) and the set of groups whose
@@ -368,6 +412,12 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
     a crash between rounds or mid-merge resumes cleanly.  Each round's
     fresh group tokens are numbered ``seen_hop(group) + 1``, continuing
     the group's hop sequence across rounds.
+
+    With a failure detector the leader takes election slot ``-1``: it
+    always initiates and wins takeovers (only it holds the merge state),
+    regenerates lost group tokens from the survivors' persisted frames,
+    merges them as returned tokens (the merge is monotone, so a mid-tour
+    token's bounds are valid) and re-dispatches on the next round.
     """
 
     def __init__(
@@ -375,10 +425,12 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
         groups: list[frozenset[int]],
         group_of: list[int],
         monitor_names: list[str],
-        retry: RetryPolicy | None = None,
+        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+        failure_detector: FailureDetectorConfig | None = None,
     ) -> None:
         LeaderActor.__init__(self, groups, group_of, monitor_names)
         self._init_reliability(retry)
+        self._init_failure_detector(failure_detector)
         self._live: list[int | None] = [None] * self._n
         self._elim: list[int] = [0] * self._n
         self._outstanding: set[int] = set()
@@ -393,10 +445,19 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
                 VCToken(G=list(gtoken.token.G), color=list(gtoken.token.color)),
             ),
             frame.gid,
+            frame.epoch,
         )
+
+    def _fd_slot(self) -> int:
+        return -1
+
+    def _fd_peers(self) -> dict[int, str]:
+        return dict(enumerate(self._monitors))
 
     def _dispatch(self, msg):
         code = yield from self._dispatch_common(msg)
+        if code == "unhandled":
+            code = yield from self._dispatch_fd(msg)
         return code
 
     def _halt_targets(self) -> list[str]:
@@ -420,6 +481,8 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
                 yield from self._drive_transfers()
                 continue
             if self._held:
+                if self._drop_stale_held():
+                    continue
                 # Atomic: merge the returned token and retire it together.
                 frame = self._held.popleft()
                 gtoken: GroupToken = frame.body
@@ -428,9 +491,13 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
                 yield self.work(n)
                 continue
             if self._outstanding:
-                msg = yield self.receive(
-                    description=f"{self.name} awaiting group tokens"
+                msg = yield from self._fd_receive(
+                    f"{self.name} awaiting group tokens"
                 )
+                if msg is None:
+                    if self.halted:
+                        return  # halt arrived during a detector tick
+                    continue  # idle heartbeat tick; re-examine state
                 yield from self._dispatch(msg)
                 continue
             # Start a new round (atomic up to the transfer drive).
@@ -457,9 +524,12 @@ class HardenedLeader(ReliableEndpoint, LeaderActor):
                         token.color[i] = RED
                 gtoken = GroupToken(g, token)
                 entry = min(i for i in red_slots if self._group_of[i] == g)
+                last_hop = self._seen_hops.get(g, (0, 0))[1]
                 self._begin_transfer(
                     self._monitors[entry],
-                    TokenFrame(self._seen_hops.get(g, 0) + 1, gtoken, gid=g),
+                    TokenFrame(
+                        last_hop + 1, gtoken, gid=g, epoch=self._epoch
+                    ),
                     gtoken.size_bits() + WORD_BITS,
                 )
             self._outstanding = set(red_groups)
@@ -495,17 +565,20 @@ def detect(
     observers: list | None = None,
     faults: FaultPlan | None = None,
     hardened: bool | None = None,
-    retry: RetryPolicy | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+    failure_detector: FailureDetectorConfig | None = None,
 ) -> DetectionReport:
     """Run the §3.5 multi-token algorithm with ``groups`` tokens.
 
-    ``faults`` / ``hardened`` / ``retry`` behave as in
-    :func:`repro.detect.token_vc.detect`.
+    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` behave
+    as in :func:`repro.detect.token_vc.detect`.
     """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
     n = wcp.n
     use_hardened = (faults is not None) if hardened is None else hardened
+    if use_hardened and retry is None:
+        retry = AdaptiveRetryPolicy(seed=seed)
     group_sets, group_of = _partition(n, groups)
     kernel = Kernel(
         channel_model=channel_model, seed=seed, observers=observers, faults=faults
@@ -514,11 +587,15 @@ def detect(
     if use_hardened:
         monitors = [
             HardenedGroupMonitor(
-                pid, slot, names, group_sets[group_of[slot]], retry=retry
+                pid, slot, names, group_sets[group_of[slot]], retry=retry,
+                failure_detector=failure_detector,
             )
             for slot, pid in enumerate(pids)
         ]
-        leader: LeaderActor = HardenedLeader(group_sets, group_of, names, retry)
+        leader: LeaderActor = HardenedLeader(
+            group_sets, group_of, names, retry,
+            failure_detector=failure_detector,
+        )
     else:
         monitors = [
             GroupMonitor(pid, slot, names, group_sets[group_of[slot]])
@@ -571,6 +648,12 @@ def detect(
         extras["halt_incomplete"] = any(
             getattr(a, "halt_incomplete", False) for a in participants
         )
+        extras["elections"] = sum(
+            getattr(a, "elections", 0) for a in (leader, *monitors)
+        )
+        extras["takeovers"] = sum(
+            getattr(a, "takeovers", 0) for a in (leader, *monitors)
+        )
     if leader.detected:
         assert leader.detected_cut is not None
         return DetectionReport(
@@ -582,11 +665,20 @@ def detect(
             metrics=kernel.metrics,
             extras=extras,
         )
+    degraded = faults is not None and not aborted
+    if use_hardened and degraded:
+        extras.update(
+            partial_cut_extras(
+                pids,
+                [getattr(m, "_accepted", None) for m in monitors],
+                sim.crashed,
+            )
+        )
     return DetectionReport(
         detector="token_vc_multi",
         detected=False,
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
-        degraded=faults is not None and not aborted,
+        degraded=degraded,
     )

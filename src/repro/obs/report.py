@@ -5,7 +5,9 @@
 * a **per-actor timeline** — one lane per actor over simulated time,
   with token arrivals (``T``), elimination rounds (``=``), candidate
   consumptions (``c``), poll round-trips (``~``), halts (``H``), crash
-  epochs (``X``/``x``/``R``) and injected faults (``!``) overlaid;
+  epochs (``X``/``x``/``R``), injected faults (``!``) and takeover
+  election proposals (``E``) overlaid; network partition epochs paint
+  ``#`` on a synthetic ``net`` lane;
 * the **token itinerary** — who held which token when and why it moved;
 * a **work/space breakdown** in the paper's units (messages, bits, work
   units, buffered-bit high-water marks) from the run header's metrics
@@ -30,7 +32,9 @@ _LEGEND = [
     ("H", "halt delivered"),
     ("T", "token arrival"),
     ("!", "injected fault (drop / loss)"),
+    ("E", "takeover election proposal"),
     ("x", "crashed (X = crash, R = restart)"),
+    ("#", "network partition epoch (net lane)"),
 ]
 
 
@@ -80,6 +84,8 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
             paint(span.actor, col(span.start), col(end_of(span)), "=")
         elif span.name == "poll_rtt":
             paint(span.actor, col(span.start), col(end_of(span)), "~")
+        elif span.name == "partition":
+            paint(span.actor, col(span.start), col(end_of(span)), "#")
     for span in trace.spans:
         if span.name == "candidate" and span.attrs.get("terminal") == "consumed":
             mark(span.actor, span.start, "c")  # emission, on the app lane
@@ -92,6 +98,11 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
     for span in trace.spans:
         if span.name in ("fault:drop", "fault:lost"):
             mark(span.actor, span.start, "!")
+    # Election proposals mark the initiating monitor's lane; they stay
+    # visible over drop marks because a takeover explains the gap.
+    for span in trace.spans:
+        if span.name == "elect":
+            mark(span.actor, span.start, "E")
     # Crash epochs last: losses at the crash instant are implied by the
     # X itself, so the boundary marks stay visible.
     for span in trace.spans:
@@ -188,6 +199,13 @@ def _fault_lines(trace: Trace) -> list[str]:
                 else "never restarted"
             )
             lines.append(f"t={span.start:g}  crash    {span.actor} ({back})")
+        elif span.name == "partition":
+            groups = " | ".join(span.attrs.get("groups", []))
+            back = (
+                f"healed t={span.end:g}" if span.attrs.get("healed")
+                else "never healed"
+            )
+            lines.append(f"t={span.start:g}  partition {groups} ({back})")
     faults = trace.meta.get("faults")
     if faults:
         lines.append(

@@ -26,7 +26,12 @@ Span synthesis rules (all timestamps are simulated time):
   the polling monitor;
 * fault injection overlays instant ``fault:drop`` / ``fault:lost``
   markers on the same timeline, and crash/restart lifecycle events
-  become ``crash`` epoch spans on the crashed actor's lane.
+  become ``crash`` epoch spans on the crashed actor's lane;
+* network partitions become ``partition`` epoch spans on a synthetic
+  ``net`` lane (start → heal, or run end if the partition never
+  heals), and failure-detector traffic (``heartbeat`` / ``elect`` /
+  ``elect_ok`` / ``regen_request``) gets first-class span names so
+  takeover elections are visible in the report overlay.
 
 Parent links thread visits and hops alternately, which makes
 :meth:`Trace.critical_path` the token's causal chain through the run.
@@ -46,12 +51,20 @@ from repro.detect.base import (
     RED,
     TOKEN_KIND,
 )
+from repro.detect.failuredetect import (
+    ELECT_KIND,
+    ELECT_OK_KIND,
+    HEARTBEAT_KIND,
+    REGEN_KIND,
+)
 from repro.obs.spans import Span, Trace
 from repro.simulation.observers import (
     ActorEvent,
     ActorPhase,
     MessageEvent,
     MessagePhase,
+    PartitionNotice,
+    PartitionPhase,
 )
 from repro.simulation.replay import CANDIDATE_KIND
 
@@ -65,6 +78,10 @@ _KIND_NAMES = {
     POLL_KIND: "poll",
     POLL_RESPONSE_KIND: "poll_response",
     HALT_KIND: "halt",
+    HEARTBEAT_KIND: "heartbeat",
+    ELECT_KIND: "elect",
+    ELECT_OK_KIND: "elect_ok",
+    REGEN_KIND: "regen_request",
 }
 
 
@@ -111,6 +128,8 @@ class SpanTracer:
         self._polls: dict[tuple[str, str], deque[Span]] = {}
         # Open crash-epoch span per actor.
         self._crashes: dict[str, Span] = {}
+        # Open partition-epoch spans keyed by their component sets.
+        self._partitions: dict[tuple[tuple[str, ...], ...], Span] = {}
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -301,6 +320,24 @@ class SpanTracer:
                 span.close(event.time)
 
     # ------------------------------------------------------------------
+    # Network partitions (fault overlay)
+    # ------------------------------------------------------------------
+    def on_partition_event(self, event: PartitionNotice) -> None:
+        key = tuple(sorted(tuple(sorted(g)) for g in event.groups))
+        if event.phase is PartitionPhase.STARTED:
+            if key not in self._partitions:
+                self._partitions[key] = self._new_span(
+                    "partition", actor="net", start=event.time,
+                    parent=self._root,
+                    groups=[" + ".join(g) for g in key],
+                )
+        elif event.phase is PartitionPhase.HEALED:
+            span = self._partitions.pop(key, None)
+            if span is not None:
+                span.attrs["healed"] = True
+                span.close(event.time)
+
+    # ------------------------------------------------------------------
     def finish(self, at: float | None = None, **meta: Any) -> Trace:
         """Close all open spans at ``at`` and return the trace.
 
@@ -332,6 +369,10 @@ class SpanTracer:
                 span.attrs.setdefault("restarted", False)
                 span.close(max(end, span.start))
             self._crashes.clear()
+            for span in self._partitions.values():
+                span.attrs.setdefault("healed", False)
+                span.close(max(end, span.start))
+            self._partitions.clear()
             self._root.close(max(end, self._root.start))
             self._finished = True
         self.trace.meta.update(meta)

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 
-__all__ = ["FaultRule", "CrashEvent", "FaultPlan", "MATCH_ANY"]
+__all__ = ["FaultRule", "CrashEvent", "PartitionEvent", "FaultPlan", "MATCH_ANY"]
 
 #: Wildcard accepted by :meth:`FaultPlan.parse` and rule fields.
 MATCH_ANY = "*"
@@ -107,6 +107,68 @@ class CrashEvent:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class PartitionEvent:
+    """A time-windowed network partition of the actor population.
+
+    From ``at`` until ``heal_at`` (exclusive; ``None`` means the
+    partition never heals), actors in different *components* cannot
+    exchange messages — every cross-component send is dropped at the
+    network and recorded as a ``partitioned`` channel fault.  ``groups``
+    lists the explicit components; any actor named in no group belongs
+    to one shared implicit *rest* component, so a single explicit group
+    isolates it from everyone else.
+    """
+
+    at: float
+    groups: tuple[frozenset[str], ...]
+    heal_at: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "groups", tuple(frozenset(g) for g in self.groups)
+        )
+        if self.at < 0:
+            raise ConfigurationError(
+                f"partition time must be >= 0, got {self.at}"
+            )
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ConfigurationError(
+                f"heal_at must be after the partition start "
+                f"({self.heal_at} <= {self.at})"
+            )
+        if not self.groups:
+            raise ConfigurationError("partition needs at least one group")
+        if any(not g for g in self.groups):
+            raise ConfigurationError("partition groups must be non-empty")
+        seen: set[str] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(
+                    f"partition groups overlap on {sorted(overlap)}"
+                )
+            seen |= group
+
+    def component_of(self, actor: str) -> int:
+        """The component index of ``actor`` (-1 = implicit rest group)."""
+        for index, group in enumerate(self.groups):
+            if actor in group:
+                return index
+        return -1
+
+    def separates(self, src: str, dest: str) -> bool:
+        """Whether this partition blocks messages from ``src`` to ``dest``."""
+        return self.component_of(src) != self.component_of(dest)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        when = f"@{self.at:g}"
+        when += f"..{self.heal_at:g}" if self.heal_at is not None else ".."
+        sides = "|".join("+".join(sorted(g)) for g in self.groups)
+        return f"partition:{sides}{when}"
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, immutable fault schedule for one simulation run.
@@ -118,10 +180,12 @@ class FaultPlan:
 
     rules: tuple[FaultRule, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
+    partitions: tuple[PartitionEvent, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
 
     # ------------------------------------------------------------------
     # Kernel interface
@@ -161,6 +225,7 @@ class FaultPlan:
         return FaultPlan(
             rules=self.rules + other.rules,
             crashes=self.crashes + other.crashes,
+            partitions=self.partitions + other.partitions,
         )
 
     @property
@@ -180,19 +245,49 @@ class FaultPlan:
             dup:<kind>:<p>           e.g. dup:*:0.05
             corrupt:<kind>:<p>       e.g. corrupt:candidate:0.1
             crash:<actor>:<at>[:<restart_at>]   e.g. crash:mon-1:4:9
+            partition:<at>:<heal_at>:<g1>|<g2>|...
+                                     e.g. partition:4:20:mon-0+app-0|mon-1
 
         ``<kind>`` may be ``*`` for all message kinds.  Repeated
         drop/dup/corrupt clauses for the same kind merge into one rule.
+        Partition group members are ``+``-separated actor names; an
+        empty ``<heal_at>`` means the partition never heals, and actors
+        in no listed group share one implicit rest component.
         """
         per_kind: dict[str | None, dict[str, float]] = {}
         order: list[str | None] = []
         crashes: list[CrashEvent] = []
+        partitions: list[PartitionEvent] = []
         for raw in spec.split(","):
             clause = raw.strip()
             if not clause:
                 continue
             parts = clause.split(":")
             op = parts[0].strip().lower()
+            if op == "partition":
+                if len(parts) != 4:
+                    raise ConfigurationError(
+                        f"bad partition clause {clause!r}; expected "
+                        f"partition:<at>:<heal_at>:<g1>|<g2>|..."
+                    )
+                try:
+                    at = float(parts[1])
+                    heal_raw = parts[2].strip()
+                    heal = float(heal_raw) if heal_raw else None
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad partition times in {clause!r}"
+                    ) from None
+                groups = tuple(
+                    frozenset(
+                        name.strip()
+                        for name in side.split("+")
+                        if name.strip()
+                    )
+                    for side in parts[3].split("|")
+                )
+                partitions.append(PartitionEvent(at, groups, heal))
+                continue
             if op == "crash":
                 if len(parts) not in (3, 4):
                     raise ConfigurationError(
@@ -233,7 +328,11 @@ class FaultPlan:
             key = {"drop": "drop", "dup": "duplicate", "corrupt": "corrupt"}[op]
             per_kind[kind][key] = p
         rules = tuple(FaultRule(kind=k, **per_kind[k]) for k in order)
-        return cls(rules=rules, crashes=tuple(crashes))
+        return cls(
+            rules=rules,
+            crashes=tuple(crashes),
+            partitions=tuple(partitions),
+        )
 
     def describe(self) -> str:
         """A short human-readable summary (used by the CLI)."""
@@ -255,4 +354,6 @@ class FaultPlan:
             if c.restart_at is not None:
                 when += f"..{c.restart_at:g}"
             bits.append(f"crash:{c.actor}{when}")
+        for p in self.partitions:
+            bits.append(p.describe())
         return " ".join(bits) if bits else "(no faults)"

@@ -34,6 +34,7 @@ class ChannelFaultStats:
     duplicated: int = 0
     corrupted: int = 0
     lost_to_crash: int = 0
+    partitioned: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,15 +45,17 @@ class FaultSummary:
     duplicated: int = 0
     corrupted: int = 0
     lost_to_crash: int = 0
+    partitioned: int = 0
     crashes: int = 0
     restarts: int = 0
+    partitions: int = 0
 
     @property
     def total_message_faults(self) -> int:
         """All message-level fault events (excludes crash lifecycle)."""
         return (
             self.dropped + self.duplicated + self.corrupted
-            + self.lost_to_crash
+            + self.lost_to_crash + self.partitioned
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -62,8 +65,10 @@ class FaultSummary:
             "duplicated": self.duplicated,
             "corrupted": self.corrupted,
             "lost_to_crash": self.lost_to_crash,
+            "partitioned": self.partitioned,
             "crashes": self.crashes,
             "restarts": self.restarts,
+            "partitions": self.partitions,
             "total_message_faults": self.total_message_faults,
         }
 
@@ -125,6 +130,7 @@ class MetricsBoard:
         self._channel_faults: dict[tuple[str, str], ChannelFaultStats] = {}
         self._crashes: dict[str, int] = {}
         self._restarts: dict[str, int] = {}
+        self._partitions: int = 0
 
     def register(self, name: str) -> ActorMetrics:
         """Create (or return) the metrics record for ``name``."""
@@ -149,8 +155,9 @@ class MetricsBoard:
     def record_channel_fault(self, src: str, dest: str, what: str) -> None:
         """Count one injected fault on the directed channel ``src->dest``.
 
-        ``what`` names a :class:`ChannelFaultStats` counter
-        (``dropped`` / ``duplicated`` / ``corrupted`` / ``lost_to_crash``).
+        ``what`` names a :class:`ChannelFaultStats` counter (``dropped``
+        / ``duplicated`` / ``corrupted`` / ``lost_to_crash`` /
+        ``partitioned``).
         """
         stats = self._channel_faults.get((src, dest))
         if stats is None:
@@ -164,6 +171,10 @@ class MetricsBoard:
     def record_restart(self, actor: str) -> None:
         """Count one restart of ``actor``."""
         self._restarts[actor] = self._restarts.get(actor, 0) + 1
+
+    def record_partition(self) -> None:
+        """Count one partition window becoming live."""
+        self._partitions += 1
 
     def channel_faults(self) -> dict[tuple[str, str], ChannelFaultStats]:
         """Per-channel fault counters, keyed by ``(src, dest)``."""
@@ -186,8 +197,12 @@ class MetricsBoard:
             lost_to_crash=sum(
                 s.lost_to_crash for s in self._channel_faults.values()
             ),
+            partitioned=sum(
+                s.partitioned for s in self._channel_faults.values()
+            ),
             crashes=sum(self._crashes.values()),
             restarts=sum(self._restarts.values()),
+            partitions=self._partitions,
         )
 
     # ------------------------------------------------------------------
@@ -280,6 +295,7 @@ class MetricsBoard:
                     "duplicated": s.duplicated,
                     "corrupted": s.corrupted,
                     "lost_to_crash": s.lost_to_crash,
+                    "partitioned": s.partitioned,
                 }
                 for (src, dest), s in sorted(self._channel_faults.items())
             }

@@ -30,7 +30,7 @@ from repro.common.errors import SimulationError
 from repro.common.rng import spawn_rng
 from repro.simulation.actors import Actor
 from repro.simulation.effects import Message, Receive, Send, Sleep, Work
-from repro.simulation.faults import CrashEvent, FaultPlan
+from repro.simulation.faults import CrashEvent, FaultPlan, PartitionEvent
 from repro.simulation.instrumentation import FaultSummary, MetricsBoard
 from repro.simulation.network import ChannelModel, FixedLatency
 
@@ -138,9 +138,16 @@ class Kernel:
         self._profiler = profiler
         self._faults = faults
         self._fault_rng = spawn_rng(seed, "faults") if faults is not None else None
+        self._live_partitions: list[PartitionEvent] = []
         if faults is not None:
             for crash in faults.crashes:
                 self._schedule(crash.at, "crash", crash)
+            for partition in faults.partitions:
+                self._schedule(partition.at, "partition_start", partition)
+                if partition.heal_at is not None:
+                    self._schedule(
+                        partition.heal_at, "partition_heal", partition
+                    )
 
     # ------------------------------------------------------------------
     # Setup
@@ -176,6 +183,22 @@ class Kernel:
         event = ActorEvent(self._time, ActorPhase(phase_name), name)
         for observer in self._observers:
             handler = getattr(observer, "on_actor_event", None)
+            if handler is not None:
+                handler(event)
+
+    def _notify_partition(
+        self, phase_name: str, partition: PartitionEvent
+    ) -> None:
+        """Report a partition start/heal to observers that opt in."""
+        if not self._observers:
+            return
+        from repro.simulation.observers import PartitionNotice, PartitionPhase
+
+        event = PartitionNotice(
+            self._time, PartitionPhase(phase_name), partition.groups
+        )
+        for observer in self._observers:
+            handler = getattr(observer, "on_partition_event", None)
             if handler is not None:
                 handler(event)
 
@@ -243,6 +266,13 @@ class Kernel:
                 self._crash(payload)  # type: ignore[arg-type]
             elif action == "restart":
                 self._restart(str(payload))
+            elif action == "partition_start":
+                self._live_partitions.append(payload)  # type: ignore[arg-type]
+                self.metrics.record_partition()
+                self._notify_partition("started", payload)  # type: ignore[arg-type]
+            elif action == "partition_heal":
+                self._live_partitions.remove(payload)  # type: ignore[arg-type]
+                self._notify_partition("healed", payload)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown action {action!r}")
             if self._profiler is not None:
@@ -467,8 +497,29 @@ class Kernel:
         The sender is always charged for exactly one send (the fault is
         the channel's, not the protocol's); each surviving copy draws
         its own latency and respects the FIFO clamp in schedule order.
+        A live partition separating src and dest drops the send before
+        any probability draw, so partitions never perturb the fault RNG
+        stream of the surviving components.
         """
         assert self._faults is not None and self._fault_rng is not None
+        for partition in self._live_partitions:
+            if partition.separates(src, effect.dest):
+                self.metrics.record_channel_fault(src, effect.dest, "partitioned")
+                if self._observers:
+                    self._notify_fault(
+                        Message(
+                            seq=self._next_seq(),
+                            src=src,
+                            dest=effect.dest,
+                            kind=effect.kind,
+                            payload=effect.payload,
+                            size_bits=effect.size_bits,
+                            sent_at=self._time,
+                            delivered_at=float("inf"),
+                        ),
+                        lost=False,
+                    )
+                return
         copies = self._faults.draw(src, effect.dest, effect.kind, self._fault_rng)
         if not copies:
             self.metrics.record_channel_fault(src, effect.dest, "dropped")

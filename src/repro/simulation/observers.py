@@ -28,6 +28,8 @@ __all__ = [
     "MessageEvent",
     "MessagePhase",
     "Observer",
+    "PartitionNotice",
+    "PartitionPhase",
     "TERMINAL_PHASES",
     "EventLog",
     "InvariantChecker",
@@ -69,6 +71,27 @@ class MessageEvent:
     message: Message
 
 
+class PartitionPhase(enum.Enum):
+    """Partition lifecycle points the kernel reports."""
+
+    STARTED = "started"
+    HEALED = "healed"
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionNotice:
+    """One observed partition lifecycle step (start or heal).
+
+    Delivered only to observers that define an ``on_partition_event``
+    method.  ``groups`` echoes the partition's explicit components;
+    actors in none of them share the implicit rest component.
+    """
+
+    time: float
+    phase: PartitionPhase
+    groups: tuple[frozenset[str], ...]
+
+
 @dataclass(frozen=True, slots=True)
 class ActorEvent:
     """One observed actor lifecycle step (crash or restart).
@@ -97,12 +120,16 @@ class EventLog:
     def __init__(self) -> None:
         self.events: list[MessageEvent] = []
         self.actor_events: list[ActorEvent] = []
+        self.partition_events: list[PartitionNotice] = []
 
     def __call__(self, event: MessageEvent) -> None:
         self.events.append(event)
 
     def on_actor_event(self, event: ActorEvent) -> None:
         self.actor_events.append(event)
+
+    def on_partition_event(self, event: PartitionNotice) -> None:
+        self.partition_events.append(event)
 
     # ------------------------------------------------------------------
     def of_phase(self, phase: MessagePhase) -> list[MessageEvent]:

@@ -50,6 +50,7 @@ class SweepCell:
     internal_rate: float = 0.5
     seed: int = 0
     faults: str | None = None
+    self_heal: bool = False
 
     def __post_init__(self) -> None:
         require(
@@ -70,16 +71,23 @@ class SweepCell:
                 f"detector {self.detector!r} is not fault-capable; "
                 f"faults require one of {sorted(FAULT_CAPABLE)}",
             )
+        if self.self_heal:
+            require(
+                self.detector in FAULT_CAPABLE,
+                f"detector {self.detector!r} is not fault-capable; "
+                f"self_heal requires one of {sorted(FAULT_CAPABLE)}",
+            )
 
     @property
     def group(self) -> str:
         """The cell's seed-independent identity (aggregation key)."""
         width = "all" if self.pred_width is None else str(self.pred_width)
         faults = self.faults if self.faults else "none"
+        heal = "/heal" if self.self_heal else ""
         return (
             f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
             f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
-            f"/w{width}/f{faults}"
+            f"/w{width}/f{faults}{heal}"
         )
 
     @property
@@ -125,6 +133,7 @@ class SweepCell:
             "internal_rate": self.internal_rate,
             "seed": self.seed,
             "faults": self.faults,
+            "self_heal": self.self_heal,
         }
 
 
@@ -158,6 +167,7 @@ class SweepMatrix:
     faults: tuple[str | None, ...] = (None,)
     plant_final_cut: bool = True
     internal_rate: float = 0.5
+    self_heal: bool = False
 
     def __post_init__(self) -> None:
         require(bool(self.name), "matrix name must be non-empty")
@@ -237,6 +247,7 @@ class SweepMatrix:
                         internal_rate=self.internal_rate,
                         seed=seed,
                         faults=spec,
+                        self_heal=self.self_heal and detector in FAULT_CAPABLE,
                     )
                 )
         return out
@@ -255,6 +266,7 @@ class SweepMatrix:
             "faults": list(self.faults),
             "plant_final_cut": self.plant_final_cut,
             "internal_rate": self.internal_rate,
+            "self_heal": self.self_heal,
         }
 
     @classmethod
@@ -276,6 +288,7 @@ class SweepMatrix:
             "faults",
             "plant_final_cut",
             "internal_rate",
+            "self_heal",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -297,7 +310,7 @@ class SweepMatrix:
         for key in ("patterns", "densities", "pred_widths", "seeds", "faults"):
             if key in data:
                 kwargs[key] = tuple(data[key])
-        for key in ("plant_final_cut", "internal_rate"):
+        for key in ("plant_final_cut", "internal_rate", "self_heal"):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)

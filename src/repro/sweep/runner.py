@@ -30,6 +30,7 @@ from repro.detect.runner import (
 )
 from repro.obs.benchjson import structured_result
 from repro.predicates import WeakConjunctivePredicate
+from repro.detect.failuredetect import FailureDetectorConfig
 from repro.simulation.faults import FaultPlan
 from repro.sweep.cache import WorkloadCache
 from repro.sweep.matrix import SweepCell, SweepMatrix
@@ -76,6 +77,8 @@ def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
         options["seed"] = cell.seed
     if cell.faults is not None:
         options["faults"] = FaultPlan.parse(cell.faults)
+    if cell.self_heal and cell.faults is not None:
+        options["failure_detector"] = FailureDetectorConfig()
     report = run_detector(cell.detector, computation, wcp, **options)
     stats = cache.stats()
     return {

@@ -10,8 +10,14 @@ reference.  Detection is delayed, never wrong.
 import pytest
 
 from repro.detect import run_detector
+from repro.detect.failuredetect import FailureDetectorConfig
+from repro.simulation.faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
 from repro.predicates import WeakConjunctivePredicate
-from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
 from repro.trace import random_computation
 
 HARDENED = ("token_vc", "token_vc_multi", "direct_dep")
@@ -21,6 +27,17 @@ HARDENED = ("token_vc", "token_vc_multi", "direct_dep")
 LOSSY = FaultPlan(
     rules=(FaultRule(kind="token", drop=0.2),),
     crashes=(CrashEvent("mon-1", 4.0, 9.0),),
+)
+
+#: Partition-and-heal schedule with a long monitor outage layered on
+#: top of token loss — adversarial enough to force takeover elections
+#: in the vector-clock family while every fault eventually heals.
+PARTITIONED = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.15),),
+    crashes=(CrashEvent("mon-1", 6.0, 60.0),),
+    partitions=(
+        PartitionEvent(10.0, (frozenset({"mon-0", "app-0"}),), 25.0),
+    ),
 )
 
 
@@ -65,6 +82,89 @@ class TestLossAndCrashAgreement:
             rep = run_detector(name, comp, wcp, seed=seed, faults=plan)
             assert not rep.extras["gave_up"], name
             assert (rep.detected, rep.cut) == (ref.detected, ref.cut), name
+
+
+class TestPartitionHealAgreement:
+    """Self-healing detection: partitions, a long crash and token loss
+    with the failure detector enabled still yield exactly the fault-free
+    verdict and first cut once everything heals.  Takeover elections in
+    the vector-clock family regenerate the token from persisted frames;
+    stale-epoch tokens are discarded, so no run double-detects."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            rep = run_detector(
+                name, comp, wcp, seed=seed, faults=PARTITIONED,
+                hardened=True, failure_detector=FailureDetectorConfig(),
+            )
+            assert rep.detected == ref.detected, f"{name} verdict"
+            assert rep.cut == ref.cut, f"{name} cut"
+            if not rep.detected:
+                assert rep.outcome == "not_detected", name
+
+    def test_partition_faults_are_counted(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=PARTITIONED,
+            hardened=True, failure_detector=FailureDetectorConfig(),
+        )
+        summary = rep.sim.faults
+        assert summary.partitions == 1
+        assert summary.partitioned > 0
+
+    def test_takeovers_fire_and_stay_single_winner(self):
+        """At least one seed in the schedule forces an election; the
+        regenerated token must still produce at most one detection."""
+        takeovers = 0
+        for seed in range(10):
+            comp, wcp = _case(seed)
+            ref = run_detector("reference", comp, wcp)
+            rep = run_detector(
+                "token_vc", comp, wcp, seed=seed, faults=PARTITIONED,
+                hardened=True, failure_detector=FailureDetectorConfig(),
+            )
+            takeovers += rep.extras["takeovers"]
+            assert rep.detected == ref.detected
+            assert rep.cut == ref.cut
+        assert takeovers > 0
+
+    def test_permanent_monitor_death_degrades_with_partial_cut(self):
+        comp, wcp = _case(2)  # even seed => planted final cut
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", 5.0, None),))
+        for name in HARDENED:
+            rep = run_detector(
+                name, comp, wcp, seed=2, faults=plan,
+                hardened=True, failure_detector=FailureDetectorConfig(),
+            )
+            assert not rep.detected, name
+            assert rep.outcome == "degraded", name
+            assert rep.extras["unobservable"] == [1], name
+            partial = rep.extras["partial_cut"]
+            assert len(partial) == 3, name
+
+    def test_permanent_feeder_death_degrades(self):
+        comp, wcp = _case(2)
+        plan = FaultPlan(crashes=(CrashEvent("app-1", 0.5, None),))
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=plan,
+            hardened=True, failure_detector=FailureDetectorConfig(),
+        )
+        assert rep.outcome == "degraded"
+        assert rep.extras["unobservable"] == [1]
+
+    def test_direct_dep_never_initiates_takeover(self):
+        """The §4 baton carries no recoverable state — its failure
+        detector heartbeats but must not regenerate tokens."""
+        for seed in range(6):
+            comp, wcp = _case(seed)
+            rep = run_detector(
+                "direct_dep", comp, wcp, seed=seed, faults=PARTITIONED,
+                hardened=True, failure_detector=FailureDetectorConfig(),
+            )
+            assert rep.extras["takeovers"] == 0
 
 
 class TestHardenedWithoutFaults:

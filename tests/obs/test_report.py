@@ -1,9 +1,15 @@
 """Tests for the ASCII run-report renderer."""
 
 from repro.detect import run_detector
+from repro.detect.failuredetect import FailureDetectorConfig
 from repro.obs import SpanTracer, render_report, render_timeline
 from repro.predicates import WeakConjunctivePredicate
-from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.simulation.faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
 from repro.trace import spiral_computation
 
 
@@ -61,6 +67,33 @@ class TestTimeline:
         trace = traced(n=4, m=4, seed=5, faults=plan, hardened=True)
         assert "!" in render_timeline(trace)
 
+    def test_partition_paints_net_lane(self):
+        plan = FaultPlan(partitions=(PartitionEvent(
+            at=4.0, groups=(frozenset({"mon-0", "app-0"}),), heal_at=9.0,
+        ),))
+        trace = traced(n=3, m=4, faults=plan, hardened=True)
+        net = next(
+            ln for ln in render_timeline(trace).splitlines()
+            if ln.startswith("net")
+        )
+        assert "#" in net
+
+    def test_election_marks_on_initiator_lane(self):
+        # Isolate mon-0 (the first token holder) forever: the survivors'
+        # failure detector must elect a takeover once grace expires.
+        plan = FaultPlan(partitions=(PartitionEvent(
+            at=0.5, groups=(frozenset({"mon-0"}),), heal_at=None,
+        ),))
+        trace = traced(n=3, m=4, faults=plan, hardened=True,
+                       failure_detector=FailureDetectorConfig())
+        timeline = render_timeline(trace)
+        elect_lanes = [
+            ln.split()[0] for ln in timeline.splitlines()
+            if ln.startswith("mon-") and "E" in ln
+        ]
+        assert elect_lanes  # at least one monitor proposed a takeover
+        assert "mon-0" not in elect_lanes  # the isolated holder cannot
+
 
 class TestReport:
     def test_sections_present(self):
@@ -88,6 +121,18 @@ class TestReport:
 
     def test_no_fault_section_on_clean_run(self):
         assert "--- fault overlay ---" not in render_report(traced())
+
+    def test_partition_lines_in_fault_overlay(self):
+        healed = FaultPlan(partitions=(PartitionEvent(
+            at=4.0, groups=(frozenset({"mon-0", "app-0"}),), heal_at=9.0,
+        ),))
+        report = render_report(traced(n=3, m=4, faults=healed, hardened=True))
+        assert "partition app-0 + mon-0 (healed t=9)" in report
+        forever = FaultPlan(partitions=(PartitionEvent(
+            at=4.0, groups=(frozenset({"mon-2"}),), heal_at=None,
+        ),))
+        report = render_report(traced(n=3, m=4, faults=forever, hardened=True))
+        assert "partition mon-2 (never healed)" in report
 
     def test_metrics_free_trace_degrades_gracefully(self):
         tracer = SpanTracer()

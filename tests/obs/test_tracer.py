@@ -6,9 +6,15 @@ check the synthesized spans against the reports' own accounting
 """
 
 from repro.detect import run_detector
+from repro.detect.failuredetect import FailureDetectorConfig
 from repro.obs import SpanTracer
 from repro.predicates import WeakConjunctivePredicate
-from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.simulation.faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
 from repro.trace import random_computation, spiral_computation
 
 
@@ -153,6 +159,46 @@ class TestFaultOverlay:
         )
         dups = [s for s in trace if s.attrs.get("duplicate")]
         assert len(dups) == report.sim.faults.duplicated
+
+    def test_partition_epoch_spans(self):
+        healed = FaultPlan(partitions=(PartitionEvent(
+            at=4.0, groups=(frozenset({"mon-0", "app-0"}),), heal_at=9.0,
+        ),))
+        report, trace = traced_run(
+            "token_vc", n=3, m=4, faults=healed, hardened=True
+        )
+        trace.validate()
+        spans = trace.by_name("partition")
+        assert [s.actor for s in spans] == ["net"]
+        assert spans[0].start == 4.0 and spans[0].end == 9.0
+        assert spans[0].attrs["healed"] is True
+        assert spans[0].attrs["groups"] == ["app-0 + mon-0"]
+        assert report.sim.faults.partitions == 1
+
+    def test_unhealed_partition_closed_by_finish(self):
+        forever = FaultPlan(partitions=(PartitionEvent(
+            at=4.0, groups=(frozenset({"mon-2"}),), heal_at=None,
+        ),))
+        _, trace = traced_run(
+            "token_vc", n=3, m=4, faults=forever, hardened=True
+        )
+        span = trace.by_name("partition")[0]
+        assert span.attrs["healed"] is False
+        assert span.end is not None  # closed by finish()
+
+    def test_failure_detector_kinds_get_first_class_names(self):
+        forever = FaultPlan(partitions=(PartitionEvent(
+            at=0.5, groups=(frozenset({"mon-0"}),), heal_at=None,
+        ),))
+        report, trace = traced_run(
+            "token_vc", n=3, m=4, faults=forever, hardened=True,
+            failure_detector=FailureDetectorConfig(),
+        )
+        assert trace.by_name("heartbeat")
+        assert trace.by_name("elect")  # survivors proposed a takeover
+        assert not trace.by_name("msg:heartbeat")
+        assert not trace.by_name("msg:elect")
+        assert report.extras["elections"] >= 1
 
 
 class TestFinish:

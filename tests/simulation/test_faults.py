@@ -15,7 +15,12 @@ from repro.common.errors import ConfigurationError
 from repro.detect import run_detector
 from repro.predicates import WeakConjunctivePredicate
 from repro.simulation import Actor, Kernel
-from repro.simulation.faults import CrashEvent, FaultPlan, FaultRule
+from repro.simulation.faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
 from repro.simulation.observers import EventLog, MessagePhase
 from repro.trace import random_computation
 
@@ -53,6 +58,40 @@ class TestCrashEvent:
         with pytest.raises(ConfigurationError):
             CrashEvent("a", 5.0, restart_at=5.0)
         assert CrashEvent("a", 5.0, restart_at=6.0).restart_at == 6.0
+
+
+class TestPartitionEvent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(-1.0, (frozenset({"a"}),))
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(5.0, (frozenset({"a"}),), heal_at=5.0)
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(1.0, ())
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(1.0, (frozenset(),))
+        with pytest.raises(ConfigurationError):
+            PartitionEvent(1.0, (frozenset({"a"}), frozenset({"a", "b"})))
+
+    def test_separates_explicit_groups(self):
+        p = PartitionEvent(1.0, (frozenset({"a"}), frozenset({"b"})))
+        assert p.separates("a", "b")
+        assert not p.separates("a", "a")
+        # Actors in no group share the implicit rest component.
+        assert p.separates("a", "c")
+        assert not p.separates("c", "d")
+
+    def test_single_group_isolates_from_rest(self):
+        p = PartitionEvent(1.0, (frozenset({"mon-0", "app-0"}),))
+        assert not p.separates("mon-0", "app-0")
+        assert p.separates("mon-0", "mon-1")
+        assert not p.separates("mon-1", "mon-2")
+
+    def test_describe(self):
+        p = PartitionEvent(4.0, (frozenset({"b", "a"}),), heal_at=20.0)
+        assert p.describe() == "partition:a+b@4..20"
+        forever = PartitionEvent(4.0, (frozenset({"a"}),))
+        assert forever.describe() == "partition:a@4.."
 
 
 class TestFaultPlanDraw:
@@ -110,6 +149,32 @@ class TestParseMergeDescribe:
         "crash:mon-0:5:4",
     ])
     def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(spec)
+
+    def test_parse_partition_clause(self):
+        plan = FaultPlan.parse("partition:4:20:mon-0+app-0|mon-1")
+        assert plan.partitions == (
+            PartitionEvent(
+                4.0,
+                (frozenset({"mon-0", "app-0"}), frozenset({"mon-1"})),
+                heal_at=20.0,
+            ),
+        )
+
+    def test_parse_partition_never_heals(self):
+        plan = FaultPlan.parse("partition:4::mon-0")
+        assert plan.partitions == (
+            PartitionEvent(4.0, (frozenset({"mon-0"}),), heal_at=None),
+        )
+
+    @pytest.mark.parametrize("spec", [
+        "partition:4:20",            # missing groups
+        "partition:abc:20:mon-0",    # bad time
+        "partition:4:3:mon-0",       # heal before start
+        "partition:4:20:",           # empty group list
+    ])
+    def test_parse_rejects_bad_partitions(self, spec):
         with pytest.raises(ConfigurationError):
             FaultPlan.parse(spec)
 
@@ -258,6 +323,47 @@ class TestKernelFaults:
         assert result.faults.crashes == 1
         assert result.faults.restarts == 1
         assert result.time == 15.0  # restart at 5.0 + full 10.0 sleep
+
+
+class TestKernelPartitions:
+    def test_cross_component_sends_dropped_while_live(self):
+        plan = FaultPlan(partitions=(
+            PartitionEvent(0.5, (frozenset({"pinger"}),), heal_at=2.5),
+        ))
+        k = Kernel(faults=plan)
+        c = Collector(patience=5.0)
+        k.add_actor(c)
+        k.add_actor(Pinger("collector"))  # sends at t=0, 1, 2, arrive +1
+        result = k.run()
+        # The t=0 send predates the partition; sends at t=1 and t=2 are
+        # cross-component while it is live and vanish at the network.
+        assert [p for p, _ in c.got] == [0]
+        assert result.faults.partitioned == 2
+        assert result.faults.partitions == 1
+
+    def test_heal_restores_delivery(self):
+        plan = FaultPlan(partitions=(
+            PartitionEvent(0.5, (frozenset({"pinger"}),), heal_at=1.5),
+        ))
+        k = Kernel(faults=plan)
+        c = Collector(patience=5.0)
+        k.add_actor(c)
+        k.add_actor(Pinger("collector"))
+        result = k.run()
+        assert [p for p, _ in c.got] == [0, 2]
+        assert result.faults.partitioned == 1
+
+    def test_same_component_unaffected(self):
+        plan = FaultPlan(partitions=(
+            PartitionEvent(0.0, (frozenset({"pinger", "collector"}),)),
+        ))
+        k = Kernel(faults=plan)
+        c = Collector(patience=5.0)
+        k.add_actor(c)
+        k.add_actor(Pinger("collector"))
+        result = k.run()
+        assert [p for p, _ in c.got] == [0, 1, 2]
+        assert result.faults.partitioned == 0
 
 
 # ----------------------------------------------------------------------

@@ -118,6 +118,41 @@ class TestDetectJson:
         assert doc["detected"] is False
         assert doc["cut"] is None
 
+    def test_partition_spec_accepted(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--faults", "drop:token:0.1,partition:6:12:mon-0+app-0"])
+        out = capsys.readouterr().out
+        assert code in (0, 1, 2)
+        assert "partition:app-0+mon-0@6..12" in out
+        assert "partitions=1" in out
+
+    def test_self_heal_runs_failure_detector(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--faults", "partition:2::mon-0", "--self-heal",
+                     "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code in (0, 1, 2)
+        assert doc["extras"]["elections"] >= 1
+
+    def test_self_heal_requires_faults(self, trace_file):
+        with pytest.raises(SystemExit, match="--self-heal requires"):
+            main(["detect", str(trace_file), "--self-heal"])
+
+    def test_self_heal_rejects_no_hardened(self, trace_file):
+        with pytest.raises(SystemExit, match="--self-heal needs the hardened"):
+            main(["detect", str(trace_file), "--faults", "partition:2::mon-0",
+                  "--self-heal", "--no-hardened"])
+
+    def test_dead_feeder_names_unobservable_conjuncts(self, trace_file,
+                                                      capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--faults", "crash:app-1:0.5", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert doc["outcome"] == "degraded"
+        assert doc["degraded"] is True
+        assert 1 in doc["extras"]["unobservable"]
+
 
 class TestDetectTraceOut:
     def test_writes_valid_jsonl(self, trace_file, tmp_path, capsys):
@@ -175,6 +210,22 @@ class TestReport:
         text = capsys.readouterr().out
         assert "--- fault overlay ---" in text
         assert "crash    mon-1" in text
+
+    def test_partition_and_election_overlay(self, trace_file, tmp_path,
+                                            capsys):
+        out = self.make_trace(
+            trace_file, tmp_path,
+            extra=["--faults", "partition:2::mon-0", "--self-heal"],
+        )
+        capsys.readouterr()
+        main(["report", str(out)])
+        text = capsys.readouterr().out
+        lanes = {ln.split()[0]: ln for ln in text.splitlines()
+                 if ln and not ln.startswith(("-", "legend", "t="))}
+        assert "#" in lanes["net"]  # partition epoch on the net lane
+        assert any("E" in lane for name, lane in lanes.items()
+                   if name.startswith("mon-"))  # takeover proposals
+        assert "partition mon-0 (never healed)" in text
 
     def test_width_flag(self, trace_file, tmp_path, capsys):
         out = self.make_trace(trace_file, tmp_path)
