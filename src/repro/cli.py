@@ -99,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--self-heal", action="store_true",
         help="with --faults, enable the heartbeat failure detector so "
              "surviving monitors elect a takeover and regenerate a "
-             "silent token (see repro.detect.failuredetect)",
+             "silent token (see repro.detect.stack.membership)",
     )
     det.add_argument(
         "--json", action="store_true",
@@ -318,7 +318,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     "error: --self-heal needs the hardened protocol; "
                     "drop --no-hardened"
                 )
-            from repro.detect.failuredetect import FailureDetectorConfig
+            from repro.detect.stack import FailureDetectorConfig
 
             options["failure_detector"] = FailureDetectorConfig()
         if not args.json:

@@ -25,6 +25,8 @@ __all__ = [
     "run_detector",
     "DETECTORS",
     "FAULT_CAPABLE",
+    "harden",
+    "hardened_variant",
 ]
 
 
@@ -37,6 +39,8 @@ def __getattr__(name: str):
         "FAULT_CAPABLE",
         "offline_detectors",
         "online_detectors",
+        "harden",
+        "hardened_variant",
     ):
         from repro.detect import runner
 

@@ -33,6 +33,7 @@ words.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.types import WORD_BITS
 from repro.detect.base import (
@@ -46,22 +47,21 @@ from repro.detect.base import (
     app_name,
     monitor_name,
 )
-from repro.detect.failuredetect import (
-    FailureDetectorConfig,
-    FailureDetectorMixin,
-)
-from repro.detect.reliability import (
+from repro.detect.stack import (
     AdaptiveRetryPolicy,
-    ReliableEndpoint,
+    FailureDetectorConfig,
     ReliableFeeder,
     ReliableInjector,
     RetryPolicy,
+    StackGlue,
     Tagged,
     TokenFrame,
+    TokenInjector,
+    harden,
+    register_glue,
 )
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
-from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -74,10 +74,14 @@ from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import DDSnapshot, dd_snapshots
 
+if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
+    from repro.simulation.faults import FaultPlan
+
 __all__ = [
     "Poll",
     "PollResponse",
     "DirectDepMonitor",
+    "DirectDepGlue",
     "HardenedDirectDepMonitor",
     "detect",
 ]
@@ -208,10 +212,8 @@ class DirectDepMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
-class HardenedDirectDepMonitor(
-    FailureDetectorMixin, ReliableEndpoint, DirectDepMonitor
-):
-    """Crash/loss-tolerant §4 monitor.
+class DirectDepGlue(StackGlue):
+    """Stack glue for the crash/loss-tolerant §4 monitor.
 
     On top of the shared transport (sequenced candidates, hop-numbered
     token frames — see ``docs/faults.md``), the poll exchange is made
@@ -242,17 +244,7 @@ class HardenedDirectDepMonitor(
 
     _fd_can_take_over = False
 
-    def __init__(
-        self,
-        pid: int,
-        num_processes: int,
-        initial_next_red: int | None,
-        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
-        failure_detector: FailureDetectorConfig | None = None,
-    ) -> None:
-        DirectDepMonitor.__init__(self, pid, num_processes, initial_next_red)
-        self._init_reliability(retry)
-        self._init_failure_detector(failure_detector)
+    def _init_visit_state(self) -> None:
         self._visit_phase = "gather"
         self._deplist: list = []
         self._dep_idx = 0
@@ -295,9 +287,7 @@ class HardenedDirectDepMonitor(
             return "handled"
         if msg.kind == POLL_RESPONSE_KIND:
             return "handled"  # stale duplicate outside a poll exchange
-        code = yield from self._dispatch_common(msg)
-        if code == "unhandled":
-            code = yield from self._dispatch_fd(msg)
+        code = yield from super()._dispatch(msg)
         return code
 
     def _halt_targets(self) -> list[str]:
@@ -335,51 +325,20 @@ class HardenedDirectDepMonitor(
         )
 
     # ------------------------------------------------------------------
-    def run(self):
-        while True:
-            if self.halted:
-                yield from self._linger()
-                return
-            if self.detected or self.aborted:
-                yield from self._reliable_halt(self._halt_targets())
-                yield from self._linger()
-                return
-            if self.gave_up:
-                return
-            if self._pending_out:
-                yield from self._drive_transfers()
-                continue
-            if self._held:
-                if self._drop_stale_held():
-                    continue  # a takeover deposed the held frame's epoch
-                frame = self._held[0]
-                code = yield from self._handle_frame(frame)
-                if code in ("halt", "gave_up"):
-                    continue
-                if frame.epoch < self._epoch:
-                    self._drop_stale_held()
-                    continue
-                if code == "abort":
-                    self.aborted = True
-                elif code == "detected":
-                    self.detected = True
-                    self.detected_at = self.now
-                else:  # forward along the red chain
-                    target = self.next_red
-                    assert target is not None
-                    self._begin_transfer(
-                        monitor_name(target),
-                        TokenFrame(frame.hop + 1, None, frame.gid, frame.epoch),
-                        TOKEN_BITS + WORD_BITS,
-                    )
-                self._held.popleft()
-                continue
-            msg = yield from self._fd_receive(f"{self.name} awaiting token")
-            if msg is None:
-                if self.halted:
-                    return  # halt arrived during a detector tick
-                continue  # idle heartbeat tick; re-examine state
-            yield from self._dispatch(msg)
+    def _resolve_frame(self, frame: TokenFrame, code: str) -> None:
+        if code == "abort":
+            self.aborted = True
+        elif code == "detected":
+            self.detected = True
+            self.detected_at = self.now
+        else:  # forward along the red chain
+            target = self.next_red
+            assert target is not None
+            self._begin_transfer(
+                monitor_name(target),
+                TokenFrame(frame.hop + 1, None, frame.gid, frame.epoch),
+                TOKEN_BITS + WORD_BITS,
+            )
 
     def _handle_frame(self, frame: TokenFrame):
         """One (possibly crash-resumed) Fig. 4 token visit."""
@@ -456,15 +415,10 @@ class HardenedDirectDepMonitor(
         return "forward"
 
 
-class _TokenInjector(Actor):
-    """Starts the protocol: the empty token goes to the chain head."""
+register_glue(DirectDepMonitor, DirectDepGlue)
 
-    def __init__(self, first_monitor: str) -> None:
-        super().__init__("token-injector")
-        self._first = first_monitor
-
-    def run(self):
-        yield self.send(self._first, None, kind=TOKEN_KIND, size_bits=TOKEN_BITS)
+#: The hardened §4 monitor: plain core + protocol stack, by composition.
+HardenedDirectDepMonitor = harden(DirectDepMonitor)
 
 
 def build_monitors(
@@ -554,7 +508,7 @@ def detect(
         )
         kernel.add_actor(injector)
     else:
-        kernel.add_actor(_TokenInjector(monitor_name(0)))
+        kernel.add_actor(TokenInjector(monitor_name(0), None, TOKEN_BITS))
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)

@@ -29,6 +29,9 @@ even token-less monitors produce a prompt "not detected".
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.common.types import WORD_BITS
 from repro.detect.base import (
     GREEN,
     HALT_KIND,
@@ -44,9 +47,21 @@ from repro.detect.direct_dep import (
     POLL_BITS,
     RESPONSE_BITS,
     TOKEN_BITS,
+    DirectDepGlue,
     Poll,
     PollResponse,
     snapshot_bits,
+)
+from repro.detect.stack import (
+    AdaptiveRetryPolicy,
+    FailureDetectorConfig,
+    ReliableFeeder,
+    ReliableInjector,
+    RetryPolicy,
+    TokenFrame,
+    TokenInjector,
+    harden,
+    register_glue,
 )
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
@@ -62,7 +77,14 @@ from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import DDSnapshot, dd_snapshots
 
-__all__ = ["ParallelDDMonitor", "detect"]
+if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
+    from repro.simulation.faults import FaultPlan
+
+__all__ = [
+    "ParallelDDMonitor",
+    "HardenedParallelDDMonitor",
+    "detect",
+]
 
 
 class ParallelDDMonitor(Actor):
@@ -270,13 +292,27 @@ class ParallelDDMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
-class _TokenInjector(Actor):
-    def __init__(self, first_monitor: str) -> None:
-        super().__init__("token-injector")
-        self._first = first_monitor
+class ParallelDDGlue(DirectDepGlue):
+    """Stack glue for the crash/loss-tolerant §4.5 monitor.
 
-    def run(self):
-        yield self.send(self._first, None, kind=TOKEN_KIND, size_bits=TOKEN_BITS)
+    Inherits every hook from :class:`~repro.detect.direct_dep.DirectDepGlue`
+    unchanged — the hardened composition *serialises* visits, running the
+    §4 protocol over the §4.5 core's state (``G`` / ``color`` /
+    ``next_red`` are the same Table 1 fields).  The proactive search is
+    a fault-free *latency* optimisation: it finds candidates earlier but
+    never changes which cut is first (Lemmas 4.1/4.2 fix the answer), so
+    under faults the stack falls back to token-driven visits, where
+    retransmission, crash resume and exactly-once polls are already
+    proved out.  ``proactive_searches`` is therefore 0 in hardened runs.
+    """
+
+
+register_glue(ParallelDDMonitor, ParallelDDGlue)
+
+#: The hardened §4.5 monitor — pure composition, no new protocol code.
+HardenedParallelDDMonitor = harden(
+    ParallelDDMonitor, name="HardenedParallelDDMonitor"
+)
 
 
 def detect(
@@ -287,32 +323,73 @@ def detect(
     channel_model: ChannelModel | None = None,
     spacing: float = 1.0,
     observers: list | None = None,
+    faults: FaultPlan | None = None,
+    hardened: bool | None = None,
+    retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+    failure_detector: FailureDetectorConfig | None = None,
 ) -> DetectionReport:
-    """Run the §4.5 parallel direct-dependence algorithm."""
+    """Run the §4.5 parallel direct-dependence algorithm.
+
+    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` behave
+    as in :func:`repro.detect.token_vc.detect`; the hardened variant is
+    :class:`HardenedParallelDDMonitor` (see :class:`ParallelDDGlue` for
+    why hardened runs serialise the §4.5 search).
+    """
     wcp.check_against(computation.num_processes)
     big_n = computation.num_processes
-    kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
+    use_hardened = (faults is not None) if hardened is None else hardened
+    if use_hardened and retry is None:
+        retry = AdaptiveRetryPolicy(seed=seed)
+    kernel = Kernel(
+        channel_model=channel_model, seed=seed, observers=observers, faults=faults
+    )
+    monitor_cls = HardenedParallelDDMonitor if use_hardened else ParallelDDMonitor
+    options = (
+        {"retry": retry, "failure_detector": failure_detector}
+        if use_hardened
+        else {}
+    )
     monitors = [
-        ParallelDDMonitor(
-            pid, big_n, initial_next_red=(pid + 1 if pid + 1 < big_n else None)
+        monitor_cls(
+            pid,
+            big_n,
+            initial_next_red=(pid + 1 if pid + 1 < big_n else None),
+            **options,
         )
         for pid in range(big_n)
     ]
     for mon in monitors:
         kernel.add_actor(mon)
     streams = dd_snapshots(computation, wcp.predicate_map())
+    feeders = []
     for pid in range(big_n):
         items = [
             FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
             for snap in streams[pid]
         ]
-        kernel.add_actor(
-            SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        if use_hardened:
+            feeder = ReliableFeeder(
+                app_name(pid), monitor_name(pid), items, spacing, retry
+            )
+        else:
+            feeder = SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
+        feeders.append(feeder)
+        kernel.add_actor(feeder)
+    injector = None
+    if use_hardened:
+        injector = ReliableInjector(
+            monitor_name(0),
+            TokenFrame(hop=1, body=None),
+            TOKEN_BITS + WORD_BITS,
+            retry,
         )
-    kernel.add_actor(_TokenInjector(monitor_name(0)))
+        kernel.add_actor(injector)
+    else:
+        kernel.add_actor(TokenInjector(monitor_name(0), None, TOKEN_BITS))
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)
+    aborted = any(m.aborted for m in monitors)
     actor_metrics = kernel.metrics.actors()
     extras = {
         "token_hops": sum(
@@ -323,8 +400,23 @@ def detect(
         "polls": kernel.metrics.messages_of_kind(POLL_KIND),
         "token_visits": sum(m.token_visits for m in monitors),
         "proactive_searches": sum(m.proactive_searches for m in monitors),
-        "aborted": any(m.aborted for m in monitors),
+        "aborted": aborted,
+        "hardened": use_hardened,
     }
+    if use_hardened:
+        participants = [*monitors, *feeders, injector]
+        extras["gave_up"] = any(
+            getattr(a, "gave_up", False) for a in participants
+        )
+        extras["halt_incomplete"] = any(
+            getattr(a, "halt_incomplete", False) for a in participants
+        )
+        extras["elections"] = sum(
+            getattr(m, "elections", 0) for m in monitors
+        )
+        extras["takeovers"] = sum(
+            getattr(m, "takeovers", 0) for m in monitors
+        )
     if winner is not None:
         full = Cut(
             tuple(range(big_n)), tuple(monitors[p].G for p in range(big_n))
@@ -339,10 +431,21 @@ def detect(
             metrics=kernel.metrics,
             extras=extras,
         )
+    degraded = faults is not None and not aborted
+    if use_hardened and degraded:
+        dead = set(sim.crashed)
+        extras["unobservable"] = [
+            p
+            for p in range(big_n)
+            if app_name(p) in dead or monitor_name(p) in dead
+        ]
+        # The §4 candidate is a scalar clock per process (0 = none yet).
+        extras["partial_cut"] = [m.G if m.G > 0 else None for m in monitors]
     return DetectionReport(
         detector="direct_dep_parallel",
         detected=False,
         sim=sim,
         metrics=kernel.metrics,
         extras=extras,
+        degraded=degraded,
     )

@@ -21,6 +21,7 @@ from repro.detect import (
     token_vc_multi,
 )
 from repro.detect.base import MONITOR_PREFIX, TOKEN_KIND, DetectionReport
+from repro.detect.stack import harden, hardened_variant
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.trace.computation import Computation
 
@@ -31,6 +32,8 @@ __all__ = [
     "offline_detectors",
     "online_detectors",
     "paper_units",
+    "harden",
+    "hardened_variant",
 ]
 
 
@@ -59,9 +62,12 @@ _ONLINE: dict[str, Callable] = {
 DETECTORS: dict[str, Callable] = {**_OFFLINE, **_ONLINE}
 
 #: Online detectors with a hardened (loss/crash-tolerant) variant; only
-#: these accept the ``faults`` / ``hardened`` / ``retry`` options.
+#: these accept the ``faults`` / ``hardened`` / ``retry`` options.  Each
+#: hardened variant is pure composition — ``harden(core)`` over the
+#: :mod:`repro.detect.stack` layers — so every online token detector
+#: with registered glue appears here.
 FAULT_CAPABLE: frozenset[str] = frozenset(
-    {"token_vc", "token_vc_multi", "direct_dep"}
+    {"token_vc", "token_vc_multi", "direct_dep", "direct_dep_parallel"}
 )
 
 
@@ -135,7 +141,7 @@ def run_detector(
     Detectors in :data:`FAULT_CAPABLE` additionally accept ``faults``
     (a :class:`~repro.simulation.faults.FaultPlan`), ``hardened``,
     ``retry`` and ``failure_detector`` (a
-    :class:`~repro.detect.failuredetect.FailureDetectorConfig` enabling
+    :class:`~repro.detect.stack.FailureDetectorConfig` enabling
     heartbeat failure detection with token takeover).
 
     ``verbose=True`` (accepted by every detector, offline included)

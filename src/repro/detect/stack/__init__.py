@@ -1,0 +1,83 @@
+"""The layered monitor protocol stack.
+
+The hardened detectors are built from three layers (see ``DESIGN.md``
+§4 and ``docs/algorithms.md``):
+
+* :mod:`~repro.detect.stack.transport` — layer 1: sequenced app
+  streams, hop-acked token frames, tagged exactly-once requests,
+  reliable halt, pluggable fixed/adaptive retry policies;
+* :mod:`~repro.detect.stack.membership` — layer 2: heartbeat failure
+  detection and epoch-numbered takeover elections, an opt-in
+  middleware over the transport;
+* :mod:`~repro.detect.stack.compose` — the :func:`harden` factory
+  composing a *detection core* (the near-verbatim paper pseudocode in
+  ``repro.detect.token_vc`` etc.) with both layers via a small
+  per-algorithm glue class.
+
+Detection cores import **only this module** — never
+``repro.simulation.faults`` or the layer internals directly (enforced
+by ``tools/check_layering.py`` in CI).
+"""
+
+from repro.detect.stack.compose import (
+    StackedMonitor,
+    StackGlue,
+    harden,
+    hardened_variant,
+    register_glue,
+)
+from repro.detect.stack.membership import (
+    ELECT_KIND,
+    ELECT_OK_KIND,
+    HEARTBEAT_KIND,
+    REGEN_KIND,
+    FailureDetectorConfig,
+    FailureDetectorMixin,
+)
+from repro.detect.stack.transport import (
+    CAND_ACK_KIND,
+    HALT_ACK_KIND,
+    TOKEN_ACK_KIND,
+    AdaptiveRetryPolicy,
+    AdaptiveSchedule,
+    CandidateInbox,
+    ReliableEndpoint,
+    ReliableFeeder,
+    ReliableInjector,
+    RetryPolicy,
+    Sequenced,
+    Tagged,
+    TokenFrame,
+    TokenInjector,
+)
+
+__all__ = [
+    # compose
+    "StackedMonitor",
+    "StackGlue",
+    "harden",
+    "hardened_variant",
+    "register_glue",
+    # membership
+    "HEARTBEAT_KIND",
+    "ELECT_KIND",
+    "ELECT_OK_KIND",
+    "REGEN_KIND",
+    "FailureDetectorConfig",
+    "FailureDetectorMixin",
+    # transport
+    "CAND_ACK_KIND",
+    "TOKEN_ACK_KIND",
+    "HALT_ACK_KIND",
+    "Sequenced",
+    "TokenFrame",
+    "Tagged",
+    "RetryPolicy",
+    "AdaptiveRetryPolicy",
+    "AdaptiveSchedule",
+    "CandidateInbox",
+    "ReliableFeeder",
+    "ReliableInjector",
+    "ReliableEndpoint",
+    "TokenInjector",
+]

@@ -1,0 +1,475 @@
+"""Stack layer 2 — membership: heartbeat failure detection + takeover.
+
+The paper assumes ever-live monitors (§2); PR 1's reliability layer
+relaxed that to crash/*restart*, converting permanent monitor death into
+a ``degraded`` outcome once the retry budget burned out.  This module
+closes the remaining gap with the standard construction (an eventually-
+perfect failure detector plus coordinated takeover):
+
+* **Failure detection** — every hardened monitor heartbeats its peers
+  from its idle loop (a ``receive_timeout`` tick, so heartbeats ride the
+  same mailbox as protocol traffic and cost nothing while the protocol
+  is busy).  A peer silent for longer than ``suspicion_after`` is
+  *suspected*; suspicion is eventually perfect in the model because a
+  live, un-partitioned peer always ticks within one interval.
+* **Takeover election** — when the token has been silent past ``grace``
+  and this monitor is the lowest-slot unsuspected survivor, it bumps the
+  takeover epoch and broadcasts ``elect``.  Respondents adopt the epoch
+  (which ack-and-discards every stale token of earlier epochs, see
+  :meth:`~repro.detect.stack.transport.ReliableEndpoint._handle_token_arrival`)
+  and reply with their best persisted frames.  The deterministic winner
+  — the lowest responding slot — regenerates each token from the
+  lexicographically greatest ``(epoch, hop)`` frame collected, restamped
+  with the new epoch.
+* **Safety under false suspicion** — a live holder that receives the
+  ``elect`` responds with its own (most advanced) frame, so the
+  regenerated token continues from the live state; its now-stale frames
+  are discarded on receipt everywhere.  Monitors replay their persisted
+  ``_accepted`` candidate when a regenerated token re-presents an
+  already-satisfied bound, so re-visits consume no fresh candidates and
+  the detected cut is unchanged — elimination bounds are monotone, and
+  every bound a stale token established was valid.
+
+Heartbeat ticking is bounded by ``max_idle_rounds`` consecutive idle
+ticks so runs whose predicate never becomes true still quiesce to the
+kernel's deadlock detection (mapped to "not detected" / ``degraded``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import WORD_BITS
+from repro.detect.base import HALT_KIND, TOKEN_KIND
+from repro.detect.stack.transport import TokenFrame
+
+__all__ = [
+    "HEARTBEAT_KIND",
+    "ELECT_KIND",
+    "ELECT_OK_KIND",
+    "REGEN_KIND",
+    "HEARTBEAT_BITS",
+    "ELECT_BITS",
+    "FailureDetectorConfig",
+    "Heartbeat",
+    "Elect",
+    "ElectOk",
+    "RegenRequest",
+    "FailureDetectorMixin",
+    "best_frames",
+]
+
+# Message kinds introduced by the failure-detection layer.
+HEARTBEAT_KIND = "heartbeat"     # liveness beacon, monitor -> monitor
+ELECT_KIND = "elect"             # takeover proposal (new epoch)
+ELECT_OK_KIND = "elect_ok"       # proposal ack + best persisted frames
+REGEN_KIND = "regen_request"     # appoint the winner to regenerate
+
+HEARTBEAT_BITS = 2 * WORD_BITS + 1   # (slot, epoch, holding)
+ELECT_BITS = 2 * WORD_BITS       # (epoch, slot)
+
+
+@dataclass(frozen=True, slots=True)
+class FailureDetectorConfig:
+    """Knobs for the heartbeat detector and takeover election.
+
+    ``heartbeat_interval``
+        idle-tick period; each tick heartbeats every peer.
+    ``suspicion_after``
+        heartbeat silence before a peer is suspected (must exceed the
+        interval by enough slack to ride out transient loss).
+    ``grace``
+        token silence before a takeover election may start; the paper's
+        token is never idle this long in a healthy run, so the grace
+        period is what keeps false takeovers rare (they are safe, just
+        wasteful).
+    ``election_window``
+        how long the initiator collects ``elect_ok`` replies before
+        appointing the winner.
+    ``max_idle_rounds``
+        consecutive idle ticks before a monitor stops ticking and falls
+        back to a blocking receive — the quiescence bound that lets
+        never-true-predicate runs end in kernel deadlock as before.
+    """
+
+    heartbeat_interval: float = 4.0
+    suspicion_after: float = 12.0
+    grace: float = 30.0
+    election_window: float = 10.0
+    max_idle_rounds: int = 60
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.suspicion_after < self.heartbeat_interval:
+            raise ConfigurationError(
+                "suspicion_after must be >= heartbeat_interval"
+            )
+        if self.grace <= 0:
+            raise ConfigurationError(f"grace must be > 0, got {self.grace}")
+        if self.election_window <= 0:
+            raise ConfigurationError(
+                f"election_window must be > 0, got {self.election_window}"
+            )
+        if self.max_idle_rounds < 1:
+            raise ConfigurationError("max_idle_rounds must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """A liveness beacon: the sender's slot and current epoch.
+
+    ``holding`` advertises that the sender currently holds (or is
+    transferring) a token; receivers treat it as token activity, so no
+    takeover election starts while a live holder is merely slow.
+    """
+
+    slot: int
+    epoch: int
+    holding: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Elect:
+    """A takeover proposal for ``epoch``, initiated by ``slot``."""
+
+    epoch: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class ElectOk:
+    """A proposal ack: the responder's best persisted frames.
+
+    ``red`` reports whether the responder's own slot is currently
+    eligible to host the token (always True for the vector-clock
+    algorithms; the direct-dependence token may only sit at a red
+    process).
+    """
+
+    epoch: int
+    slot: int
+    frames: tuple[TokenFrame, ...]
+    red: bool = True
+
+    def size_bits(self) -> int:
+        return 2 * WORD_BITS + sum(
+            _frame_bits(frame) for frame in self.frames
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RegenRequest:
+    """Appointment of the election winner, with the collected state."""
+
+    epoch: int
+    frames: tuple[TokenFrame, ...]
+    red_slots: tuple[int, ...] = ()
+
+    def size_bits(self) -> int:
+        return WORD_BITS * (1 + len(self.red_slots)) + sum(
+            _frame_bits(frame) for frame in self.frames
+        )
+
+
+def _frame_bits(frame: TokenFrame) -> int:
+    """Accounting size of one frame inside an election message."""
+    body_bits = 0
+    size_of = getattr(frame.body, "size_bits", None)
+    if callable(size_of):
+        body_bits = size_of()
+    return 3 * WORD_BITS + body_bits
+
+
+def best_frames(frames) -> tuple[TokenFrame, ...]:
+    """The lexicographically greatest ``(epoch, hop)`` frame per gid."""
+    best: dict[int, TokenFrame] = {}
+    for frame in frames:
+        incumbent = best.get(frame.gid)
+        if incumbent is None or frame.order > incumbent.order:
+            best[frame.gid] = frame
+    return tuple(best[gid] for gid in sorted(best))
+
+
+class FailureDetectorMixin:
+    """Failure detection + takeover, layered over ``ReliableEndpoint``.
+
+    Hosts call :meth:`_init_failure_detector` after
+    ``_init_reliability``, replace their idle ``receive`` with
+    :meth:`_fd_receive`, and route unhandled message kinds through
+    :meth:`_dispatch_fd`.  Hosts provide:
+
+    ``_fd_slot()``
+        this monitor's election identity (lower wins);
+    ``_fd_peers()``
+        ``{slot: actor_name}`` for every peer that runs the detector;
+    ``_fd_is_red()``
+        whether this monitor may host a regenerated token
+        (direct-dependence routing; vector-clock hosts return True);
+    ``_fd_install(frame, red_slots)``
+        generator taking possession of a regenerated frame (the default
+        holds it locally as if freshly accepted).
+
+    Hosts whose token state is *not* recoverable from peers set
+    ``_fd_can_take_over = False``: the detector still heartbeats and
+    answers elections, but never initiates one.  The direct-dependence
+    algorithm is the motivating case — its token is an empty baton and
+    all protocol state (including the red-chain pointers) lives in the
+    holder, so a dead holder's persisted frame IS the token: recovery is
+    resume-on-restart, and permanent death honestly degrades the run.
+    """
+
+    #: Whether this host may initiate takeover elections.
+    _fd_can_take_over = True
+
+    def _init_failure_detector(
+        self, config: FailureDetectorConfig | None
+    ) -> None:
+        self._fd = config
+        self._fd_last_heard: dict[int, float] = {}
+        self._fd_idle_rounds = 0
+        self._fd_regen_epoch = 0
+        self.elections = 0
+        self.takeovers = 0
+
+    # ------------------------------------------------------------------
+    # Host hooks (overridable)
+    # ------------------------------------------------------------------
+    def _fd_is_red(self) -> bool:
+        return True
+
+    def _fd_finished(self) -> bool:
+        """Whether the protocol has locally concluded.
+
+        A finished monitor answers takeover proposals with a fresh
+        ``halt`` instead of an election reply: a partition can eat every
+        halt retransmission the declaring monitor had budget for, and
+        without this the survivors would re-elect (and regenerate tokens
+        for a decided run) forever.  Elections double as the recovery
+        channel for lost halts.
+        """
+        return bool(
+            self.halted
+            or getattr(self, "detected", False)
+            or getattr(self, "aborted", False)
+        )
+
+    def _fd_install(self, frame: TokenFrame, red_slots):
+        """Take possession of a regenerated token frame (default: hold)."""
+        self._seen_hops[frame.gid] = frame.order
+        self._last_frames[frame.gid] = frame
+        self._held.append(self._snapshot_frame(frame))
+        self._on_token_accepted(frame)
+        return
+        yield  # pragma: no cover - generator marker
+
+    # ------------------------------------------------------------------
+    # Idle loop
+    # ------------------------------------------------------------------
+    def _fd_receive(self, description: str):
+        """Receive one message, ticking the detector while idle.
+
+        Returns the message, or ``None`` after an idle tick (the caller
+        just loops).  Once ``max_idle_rounds`` consecutive idle ticks
+        pass with no protocol traffic, falls back to a blocking receive
+        so a dead run can quiesce.
+        """
+        if self._fd is None or self._fd_idle_rounds >= self._fd.max_idle_rounds:
+            msg = yield self.receive(description=description)
+            return msg
+        msg = yield self.receive_timeout(
+            timeout=self._fd.heartbeat_interval, description=description
+        )
+        if msg is not None:
+            if msg.kind != HEARTBEAT_KIND:
+                self._fd_idle_rounds = 0
+            return msg
+        yield from self._fd_tick()
+        return None
+
+    def _fd_tick(self):
+        """One idle tick: heartbeat the peers, maybe start an election."""
+        assert self._fd is not None
+        self._fd_idle_rounds += 1
+        peers = self._fd_peers()
+        holding = bool(self._held) or any(
+            kind == TOKEN_KIND
+            for (_d, kind, _f, _b) in self._pending_out.values()
+        )
+        beat = Heartbeat(self._fd_slot(), self._epoch, holding)
+        yield [
+            self.send(name, beat, kind=HEARTBEAT_KIND,
+                      size_bits=HEARTBEAT_BITS)
+            for _slot, name in sorted(peers.items())
+        ]
+        now = self.now
+        if not self._fd_can_take_over:
+            return
+        if now - self._token_activity < self._fd.grace:
+            return
+        if holding:
+            return  # the token is demonstrably here; nothing to take over
+        alive = {self._fd_slot()} | {
+            slot
+            for slot, heard in self._fd_last_heard.items()
+            if now - heard <= self._fd.suspicion_after
+        }
+        if self._fd_slot() != min(alive):
+            return  # a lower unsuspected slot is responsible for takeover
+        yield from self._fd_run_election()
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def _fd_state(self, epoch: int) -> ElectOk:
+        """This monitor's contribution to an election for ``epoch``."""
+        gids = set(self._last_frames)
+        gids.update(
+            frame.gid
+            for (_d, kind, frame, _b) in self._pending_out.values()
+            if kind == TOKEN_KIND
+        )
+        frames = []
+        for gid in sorted(gids):
+            frame = self._best_frame(gid)
+            if frame is not None:
+                frames.append(frame)
+        return ElectOk(
+            epoch=epoch,
+            slot=self._fd_slot(),
+            frames=tuple(frames),
+            red=self._fd_is_red(),
+        )
+
+    def _fd_run_election(self):
+        """Run one takeover election as its initiator."""
+        assert self._fd is not None
+        epoch = self._epoch + 1
+        self._adopt_epoch(epoch)
+        self._drop_stale_held()
+        self.elections += 1
+        my_slot = self._fd_slot()
+        peers = self._fd_peers()
+        proposal = Elect(epoch, my_slot)
+        yield [
+            self.send(name, proposal, kind=ELECT_KIND, size_bits=ELECT_BITS)
+            for _slot, name in sorted(peers.items())
+        ]
+        deadline = self.now + self._fd.election_window
+        replies: dict[int, ElectOk] = {my_slot: self._fd_state(epoch)}
+        while self.now < deadline:
+            msg = yield self.receive_timeout(
+                timeout=deadline - self.now,
+                description=f"{self.name} collecting election replies",
+            )
+            if msg is None:
+                break
+            if msg.corrupted:
+                continue
+            if msg.kind == ELECT_OK_KIND and msg.payload.epoch == epoch:
+                reply: ElectOk = msg.payload
+                replies[reply.slot] = reply
+                self._fd_last_heard[reply.slot] = self.now
+                continue
+            code = yield from self._dispatch(msg)
+            if code == "halt" or self._epoch > epoch:
+                return  # halted, or a higher-epoch election superseded us
+        if self._epoch > epoch:
+            return
+        # Election over; the token counts as "active" again so the next
+        # grace period starts fresh (a natural re-election cooldown).
+        self._token_activity = self.now
+        frames = best_frames(
+            frame for reply in replies.values() for frame in reply.frames
+        )
+        if not frames:
+            return  # nothing survives to regenerate from
+        red_slots = tuple(sorted(
+            slot for slot, reply in replies.items() if reply.red
+        ))
+        if not red_slots:
+            # No surviving monitor may host the token (direct-dependence
+            # routing: the only red holder died for good) — the run will
+            # degrade honestly instead of detecting from a bad cut.
+            return
+        winner = red_slots[0]
+        if winner == my_slot:
+            yield from self._fd_regenerate(epoch, frames, red_slots)
+        else:
+            request = RegenRequest(epoch, frames, red_slots)
+            yield self.send(
+                peers[winner], request, kind=REGEN_KIND,
+                size_bits=request.size_bits(),
+            )
+
+    def _fd_regenerate(self, epoch: int, frames, red_slots):
+        """Regenerate every collected token, restamped with ``epoch``."""
+        if epoch <= self._fd_regen_epoch:
+            return  # this epoch's takeover already happened here
+        self._fd_regen_epoch = epoch
+        self.takeovers += 1
+        self._token_activity = self.now
+        self._fd_idle_rounds = 0
+        for frame in frames:
+            reborn = TokenFrame(
+                hop=frame.hop, body=frame.body, gid=frame.gid, epoch=epoch
+            )
+            yield from self._fd_install(reborn, red_slots)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_fd(self, msg):
+        """Handle failure-detection kinds; mirrors ``_dispatch_common``."""
+        if self._fd is None:
+            return "unhandled"
+        if msg.kind == HEARTBEAT_KIND:
+            if not msg.corrupted:
+                beat: Heartbeat = msg.payload
+                self._fd_last_heard[beat.slot] = self.now
+                if beat.holding:
+                    self._token_activity = self.now
+                if beat.epoch > self._epoch:
+                    self._adopt_epoch(beat.epoch)
+                    self._drop_stale_held()
+            return "handled"
+        if msg.kind == ELECT_KIND:
+            if msg.corrupted:
+                return "handled"  # the initiator retries via re-election
+            proposal: Elect = msg.payload
+            self._fd_last_heard[proposal.slot] = self.now
+            if self._fd_finished():
+                # The run is already decided here; the initiator missed
+                # the halt (a partition ate it).  Re-deliver it instead
+                # of letting a dead protocol be resurrected.
+                yield self.send(msg.src, None, kind=HALT_KIND, size_bits=1)
+                return "handled"
+            if proposal.epoch > self._epoch:
+                self._adopt_epoch(proposal.epoch)
+                self._drop_stale_held()
+                reply = self._fd_state(proposal.epoch)
+                yield self.send(
+                    msg.src, reply, kind=ELECT_OK_KIND,
+                    size_bits=reply.size_bits(),
+                )
+            return "handled"
+        if msg.kind == ELECT_OK_KIND:
+            return "handled"  # a straggler from a closed election window
+        if msg.kind == REGEN_KIND:
+            if msg.corrupted:
+                return "handled"
+            request: RegenRequest = msg.payload
+            if self._fd_finished():
+                yield self.send(msg.src, None, kind=HALT_KIND, size_bits=1)
+                return "handled"
+            if request.epoch >= self._epoch:
+                self._adopt_epoch(request.epoch)
+                self._drop_stale_held()
+                yield from self._fd_regenerate(
+                    request.epoch, request.frames, request.red_slots
+                )
+            return "handled"
+        return "unhandled"

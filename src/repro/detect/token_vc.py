@@ -30,6 +30,7 @@ candidate message ``n`` words.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import WORD_BITS
@@ -43,21 +44,20 @@ from repro.detect.base import (
     monitor_name,
     partial_cut_extras,
 )
-from repro.detect.failuredetect import (
-    FailureDetectorConfig,
-    FailureDetectorMixin,
-)
-from repro.detect.reliability import (
+from repro.detect.stack import (
     AdaptiveRetryPolicy,
-    ReliableEndpoint,
+    FailureDetectorConfig,
     ReliableFeeder,
     ReliableInjector,
     RetryPolicy,
+    StackGlue,
     TokenFrame,
+    TokenInjector,
+    harden,
+    register_glue,
 )
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
-from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -69,6 +69,9 @@ from repro.simulation.replay import (
 from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import vc_snapshots
+
+if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
+    from repro.simulation.faults import FaultPlan
 
 __all__ = ["VCToken", "TokenVCMonitor", "HardenedTokenVCMonitor", "detect"]
 
@@ -215,49 +218,37 @@ class TokenVCMonitor(Actor):
         return self.broadcast(others, None, kind=HALT_KIND, size_bits=1)
 
 
-class HardenedTokenVCMonitor(
-    FailureDetectorMixin, ReliableEndpoint, TokenVCMonitor
-):
-    """Crash/loss-tolerant §3 monitor (see ``docs/faults.md``).
+class TokenVCGlue(StackGlue):
+    """Stack glue for the crash/loss-tolerant §3 monitor.
 
-    Semantically identical to :class:`TokenVCMonitor` — under any fault
-    schedule with eventual delivery it declares the same first
-    consistent cut — but written as a state machine over persisted
-    attributes so that:
+    ``harden(TokenVCMonitor)`` composes this glue with the shared
+    :class:`~repro.detect.stack.StackedMonitor` run loop and the plain
+    Fig. 3 core; the composition is semantically identical to
+    :class:`TokenVCMonitor` — under any fault schedule with eventual
+    delivery it declares the same first consistent cut — because:
 
     * candidates arrive through the sequence-numbered
-      :class:`~repro.detect.reliability.CandidateInbox` (duplicates
+      :class:`~repro.detect.stack.CandidateInbox` (duplicates
       discarded, order restored);
     * the token travels in hop-numbered frames, acked per hop and
       retransmitted by the previous holder until acked — a lost or
       crash-swallowed token is regenerated from the sender's persisted
       copy;
-    * a crash-restart re-enters :meth:`run`, which resumes the visit in
-      progress from the held frame and the persisted ``_accepted``
-      candidate (the Fig. 3 repaint loop is idempotent);
-    * with a :class:`~repro.detect.failuredetect.FailureDetectorConfig`,
+    * a crash-restart re-enters the stack run loop, which resumes the
+      visit in progress from the held frame and the persisted
+      ``_accepted`` candidate (the Fig. 3 repaint loop is idempotent);
+    * with a :class:`~repro.detect.stack.FailureDetectorConfig`,
       permanent monitor death is survived too: the surviving monitors
       elect a takeover, regenerate the token under a new epoch, and
       replay persisted ``_accepted`` candidates on re-visits so the
       detected cut is unchanged.
     """
 
-    def __init__(
-        self,
-        pid: int,
-        slot: int,
-        monitor_names: list[str],
-        routing: str = "cyclic",
-        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
-        failure_detector: FailureDetectorConfig | None = None,
-    ) -> None:
-        TokenVCMonitor.__init__(self, pid, slot, monitor_names, routing=routing)
-        self._init_reliability(retry)
-        self._init_failure_detector(failure_detector)
+    def _init_visit_state(self) -> None:
         # The candidate accepted during the current visit, persisted so
         # the repaint loop can resume after a crash mid-visit and so a
         # re-visit by a regenerated token can replay it (see
-        # :mod:`repro.detect.failuredetect`).
+        # :mod:`repro.detect.stack.membership`).
         self._accepted: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
@@ -283,73 +274,26 @@ class HardenedTokenVCMonitor(
             if slot != self._slot
         }
 
-    def _dispatch(self, msg):
-        code = yield from self._dispatch_common(msg)
-        if code == "unhandled":
-            code = yield from self._dispatch_fd(msg)
-        return code
-
     def _halt_targets(self) -> list[str]:
         peers = [m for m in self._monitors if m != self.name]
         feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
         return peers + feeders
 
-    # ------------------------------------------------------------------
-    def run(self):
-        while True:
-            if self.halted:
-                yield from self._linger()
-                return
-            if self.detected or self.aborted:
-                yield from self._reliable_halt(self._halt_targets())
-                yield from self._linger()
-                return
-            if self.gave_up:
-                return
-            if self._pending_out:
-                yield from self._drive_transfers()
-                continue  # the loop head re-examines halted / gave_up
-            if self._held:
-                if self._drop_stale_held():
-                    continue  # a takeover deposed the held frame's epoch
-                frame = self._held[0]  # peek: popped only once resolved
-                code = yield from self._handle_frame(frame)
-                if code == "halt":
-                    continue
-                if frame.epoch < self._epoch:
-                    # An election concluded while this visit was yielded;
-                    # the regenerated token supersedes this frame.
-                    self._drop_stale_held()
-                    continue
-                token: VCToken = frame.body
-                # Each branch below is one atomic block (no yields):
-                # the visit's outcome and the frame's retirement commit
-                # together, so a crash never strands a half-resolved
-                # token.
-                if code == "abort":
-                    self.aborted = True
-                elif code == "detected":
-                    self.detected = True
-                    self.detected_cut = tuple(token.G)
-                    self.detected_at = self.now
-                else:  # forward
-                    target = self._next_red_slot(token)
-                    nxt = TokenFrame(
-                        frame.hop + 1, token, frame.gid, frame.epoch
-                    )
-                    self._begin_transfer(
-                        self._monitors[target],
-                        nxt,
-                        token.size_bits() + WORD_BITS,
-                    )
-                self._held.popleft()
-                continue
-            msg = yield from self._fd_receive(f"{self.name} awaiting token")
-            if msg is None:
-                if self.halted:
-                    return  # halt arrived during a detector tick
-                continue  # idle heartbeat tick; re-examine state
-            yield from self._dispatch(msg)
+    def _resolve_frame(self, frame: TokenFrame, code: str) -> None:
+        token: VCToken = frame.body
+        if code == "abort":
+            self.aborted = True
+        elif code == "detected":
+            self.detected = True
+            self.detected_cut = tuple(token.G)
+            self.detected_at = self.now
+        else:  # forward
+            target = self._next_red_slot(token)
+            self._begin_transfer(
+                self._monitors[target],
+                TokenFrame(frame.hop + 1, token, frame.gid, frame.epoch),
+                token.size_bits() + WORD_BITS,
+            )
 
     def _handle_frame(self, frame: TokenFrame):
         """One (possibly resumed) token visit over the held frame.
@@ -405,19 +349,10 @@ class HardenedTokenVCMonitor(
         return "forward"
 
 
-class _TokenInjector(Actor):
-    """Delivers the initial all-red token to the first monitor at t=0."""
+register_glue(TokenVCMonitor, TokenVCGlue)
 
-    def __init__(self, first_monitor: str, n: int) -> None:
-        super().__init__("token-injector")
-        self._first = first_monitor
-        self._n = n
-
-    def run(self):
-        token = VCToken.initial(self._n)
-        yield self.send(
-            self._first, token, kind=TOKEN_KIND, size_bits=token.size_bits()
-        )
+#: The hardened §3 monitor: plain core + protocol stack, by composition.
+HardenedTokenVCMonitor = harden(TokenVCMonitor)
 
 
 def detect(
@@ -506,7 +441,8 @@ def detect(
         )
         kernel.add_actor(injector)
     else:
-        kernel.add_actor(_TokenInjector(names[0], n))
+        token = VCToken.initial(n)
+        kernel.add_actor(TokenInjector(names[0], token, token.size_bits()))
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)

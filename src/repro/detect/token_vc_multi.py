@@ -25,6 +25,7 @@ makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import WORD_BITS
@@ -38,21 +39,19 @@ from repro.detect.base import (
     monitor_name,
     partial_cut_extras,
 )
-from repro.detect.failuredetect import (
-    FailureDetectorConfig,
-    FailureDetectorMixin,
-)
-from repro.detect.reliability import (
+from repro.detect.stack import (
     AdaptiveRetryPolicy,
-    ReliableEndpoint,
+    FailureDetectorConfig,
     ReliableFeeder,
     RetryPolicy,
+    StackGlue,
     TokenFrame,
+    harden,
+    register_glue,
 )
 from repro.detect.token_vc import VCToken
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
-from repro.simulation.faults import FaultPlan
 from repro.simulation.kernel import Kernel
 from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
@@ -64,6 +63,9 @@ from repro.simulation.replay import (
 from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
 from repro.trace.snapshots import vc_snapshots
+
+if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
+    from repro.simulation.faults import FaultPlan
 
 __all__ = [
     "GroupToken",
@@ -251,30 +253,19 @@ class LeaderActor(Actor):
                 elim[i] = max(elim[i], bound)
 
 
-class HardenedGroupMonitor(FailureDetectorMixin, ReliableEndpoint, GroupMonitor):
-    """Crash/loss-tolerant §3.5 group monitor.
+class GroupVCGlue(StackGlue):
+    """Stack glue for the crash/loss-tolerant §3.5 group monitor.
 
     The in-group token travels in hop-numbered frames keyed by the group
     id (each group's token has its own hop sequence), acked per hop and
     retransmitted from the previous holder's persisted copy; candidates
     arrive through the sequence-numbered inbox.  See
-    :class:`repro.detect.token_vc.HardenedTokenVCMonitor` for the shared
+    :class:`repro.detect.token_vc.TokenVCGlue` for the shared
     crash-resume argument and for the takeover semantics when a
     failure detector is configured.
     """
 
-    def __init__(
-        self,
-        pid: int,
-        slot: int,
-        monitor_names: list[str],
-        group_slots: frozenset[int],
-        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
-        failure_detector: FailureDetectorConfig | None = None,
-    ) -> None:
-        GroupMonitor.__init__(self, pid, slot, monitor_names, group_slots)
-        self._init_reliability(retry)
-        self._init_failure_detector(failure_detector)
+    def _init_visit_state(self) -> None:
         self._accepted: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
@@ -307,61 +298,23 @@ class HardenedGroupMonitor(FailureDetectorMixin, ReliableEndpoint, GroupMonitor)
         peers[-1] = LEADER_NAME
         return peers
 
-    def _dispatch(self, msg):
-        code = yield from self._dispatch_common(msg)
-        if code == "unhandled":
-            code = yield from self._dispatch_fd(msg)
-        return code
-
     def _halt_targets(self) -> list[str]:
         peers = [m for m in self._monitors if m != self.name]
         feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
         return peers + [LEADER_NAME] + feeders
 
-    # ------------------------------------------------------------------
-    def run(self):
-        while True:
-            if self.halted:
-                yield from self._linger()
-                return
-            if self.aborted:
-                yield from self._reliable_halt(self._halt_targets())
-                yield from self._linger()
-                return
-            if self.gave_up:
-                return
-            if self._pending_out:
-                yield from self._drive_transfers()
-                continue
-            if self._held:
-                if self._drop_stale_held():
-                    continue  # a takeover deposed the held frame's epoch
-                frame = self._held[0]
-                code = yield from self._handle_frame(frame)
-                if code == "halt":
-                    continue
-                if frame.epoch < self._epoch:
-                    self._drop_stale_held()
-                    continue
-                if code == "abort":
-                    self.aborted = True
-                else:  # forward: in group, or back to the leader
-                    gtoken: GroupToken = frame.body
-                    target = self._next_in_group_red(gtoken.token)
-                    dest = LEADER_NAME if target is None else self._monitors[target]
-                    self._begin_transfer(
-                        dest,
-                        TokenFrame(frame.hop + 1, gtoken, frame.gid, frame.epoch),
-                        gtoken.size_bits() + WORD_BITS,
-                    )
-                self._held.popleft()
-                continue
-            msg = yield from self._fd_receive(f"{self.name} awaiting token")
-            if msg is None:
-                if self.halted:
-                    return  # halt arrived during a detector tick
-                continue  # idle heartbeat tick; re-examine state
-            yield from self._dispatch(msg)
+    def _resolve_frame(self, frame: TokenFrame, code: str) -> None:
+        if code == "abort":
+            self.aborted = True
+        else:  # forward: in group, or back to the leader
+            gtoken: GroupToken = frame.body
+            target = self._next_in_group_red(gtoken.token)
+            dest = LEADER_NAME if target is None else self._monitors[target]
+            self._begin_transfer(
+                dest,
+                TokenFrame(frame.hop + 1, gtoken, frame.gid, frame.epoch),
+                gtoken.size_bits() + WORD_BITS,
+            )
 
     def _handle_frame(self, frame: TokenFrame):
         """One (possibly crash-resumed) visit; ``"halt"``/``"abort"``/``"forward"``."""
@@ -402,8 +355,8 @@ class HardenedGroupMonitor(FailureDetectorMixin, ReliableEndpoint, GroupMonitor)
         return "forward"
 
 
-class HardenedLeader(FailureDetectorMixin, ReliableEndpoint, LeaderActor):
-    """Crash/loss-tolerant §3.5 leader.
+class LeaderGlue(StackGlue):
+    """Stack glue for the crash/loss-tolerant §3.5 leader.
 
     The merge state (``live`` / ``elim``) and the set of groups whose
     tokens are outstanding live in persisted attributes; merging a
@@ -411,7 +364,8 @@ class HardenedLeader(FailureDetectorMixin, ReliableEndpoint, LeaderActor):
     one atomic block, and merging is idempotent (component-wise max), so
     a crash between rounds or mid-merge resumes cleanly.  Each round's
     fresh group tokens are numbered ``seen_hop(group) + 1``, continuing
-    the group's hop sequence across rounds.
+    the group's hop sequence across rounds.  Rounds start from the
+    stack run loop's idle hook (:meth:`_stack_idle`).
 
     With a failure detector the leader takes election slot ``-1``: it
     always initiates and wins takeovers (only it holds the merge state),
@@ -420,17 +374,7 @@ class HardenedLeader(FailureDetectorMixin, ReliableEndpoint, LeaderActor):
     token's bounds are valid) and re-dispatches on the next round.
     """
 
-    def __init__(
-        self,
-        groups: list[frozenset[int]],
-        group_of: list[int],
-        monitor_names: list[str],
-        retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
-        failure_detector: FailureDetectorConfig | None = None,
-    ) -> None:
-        LeaderActor.__init__(self, groups, group_of, monitor_names)
-        self._init_reliability(retry)
-        self._init_failure_detector(failure_detector)
+    def _init_visit_state(self) -> None:
         self._live: list[int | None] = [None] * self._n
         self._elim: list[int] = [0] * self._n
         self._outstanding: set[int] = set()
@@ -454,85 +398,68 @@ class HardenedLeader(FailureDetectorMixin, ReliableEndpoint, LeaderActor):
     def _fd_peers(self) -> dict[int, str]:
         return dict(enumerate(self._monitors))
 
-    def _dispatch(self, msg):
-        code = yield from self._dispatch_common(msg)
-        if code == "unhandled":
-            code = yield from self._dispatch_fd(msg)
-        return code
-
     def _halt_targets(self) -> list[str]:
         feeders = [app_name(int(m.removeprefix("mon-"))) for m in self._monitors]
         return list(self._monitors) + feeders
 
+    def _idle_description(self) -> str:
+        return f"{self.name} awaiting group tokens"
+
     # ------------------------------------------------------------------
-    def run(self):
+    def _handle_frame(self, frame: TokenFrame):
+        yield self.work(self._n)
+        return "merge"
+
+    def _resolve_frame(self, frame: TokenFrame, code: str) -> None:
+        # Atomic: merge the returned token and retire it together.
+        gtoken: GroupToken = frame.body
+        self._merge(gtoken, self._live, self._elim)
+        self._outstanding.discard(gtoken.group)
+
+    def _stack_idle(self) -> bool:
+        """Start a new merge round once every group token has returned."""
+        if self._outstanding:
+            return False
         n = self._n
-        while True:
-            if self.halted:
-                yield from self._linger()
-                return
-            if self.detected:
-                yield from self._reliable_halt(self._halt_targets())
-                yield from self._linger()
-                return
-            if self.gave_up:
-                return
-            if self._pending_out:
-                yield from self._drive_transfers()
-                continue
-            if self._held:
-                if self._drop_stale_held():
-                    continue
-                # Atomic: merge the returned token and retire it together.
-                frame = self._held.popleft()
-                gtoken: GroupToken = frame.body
-                self._merge(gtoken, self._live, self._elim)
-                self._outstanding.discard(gtoken.group)
-                yield self.work(n)
-                continue
-            if self._outstanding:
-                msg = yield from self._fd_receive(
-                    f"{self.name} awaiting group tokens"
-                )
-                if msg is None:
-                    if self.halted:
-                        return  # halt arrived during a detector tick
-                    continue  # idle heartbeat tick; re-examine state
-                yield from self._dispatch(msg)
-                continue
-            # Start a new round (atomic up to the transfer drive).
-            self.rounds += 1
-            red_slots = [
-                i
-                for i in range(n)
-                if self._live[i] is None or self._live[i] <= self._elim[i]
-            ]
-            if not red_slots:
-                self.detected = True
-                self.detected_cut = tuple(self._live)  # type: ignore[arg-type]
-                self.detected_at = self.now
-                continue
-            red_groups = sorted({self._group_of[i] for i in red_slots})
-            for g in red_groups:
-                token = VCToken(G=[0] * n, color=[RED] * n)
-                for i in range(n):
-                    if self._live[i] is not None and self._live[i] > self._elim[i]:
-                        token.G[i] = self._live[i]
-                        token.color[i] = GREEN
-                    else:
-                        token.G[i] = self._elim[i]
-                        token.color[i] = RED
-                gtoken = GroupToken(g, token)
-                entry = min(i for i in red_slots if self._group_of[i] == g)
-                last_hop = self._seen_hops.get(g, (0, 0))[1]
-                self._begin_transfer(
-                    self._monitors[entry],
-                    TokenFrame(
-                        last_hop + 1, gtoken, gid=g, epoch=self._epoch
-                    ),
-                    gtoken.size_bits() + WORD_BITS,
-                )
-            self._outstanding = set(red_groups)
+        self.rounds += 1
+        red_slots = [
+            i
+            for i in range(n)
+            if self._live[i] is None or self._live[i] <= self._elim[i]
+        ]
+        if not red_slots:
+            self.detected = True
+            self.detected_cut = tuple(self._live)  # type: ignore[arg-type]
+            self.detected_at = self.now
+            return True
+        red_groups = sorted({self._group_of[i] for i in red_slots})
+        for g in red_groups:
+            token = VCToken(G=[0] * n, color=[RED] * n)
+            for i in range(n):
+                if self._live[i] is not None and self._live[i] > self._elim[i]:
+                    token.G[i] = self._live[i]
+                    token.color[i] = GREEN
+                else:
+                    token.G[i] = self._elim[i]
+                    token.color[i] = RED
+            gtoken = GroupToken(g, token)
+            entry = min(i for i in red_slots if self._group_of[i] == g)
+            last_hop = self._seen_hops.get(g, (0, 0))[1]
+            self._begin_transfer(
+                self._monitors[entry],
+                TokenFrame(last_hop + 1, gtoken, gid=g, epoch=self._epoch),
+                gtoken.size_bits() + WORD_BITS,
+            )
+        self._outstanding = set(red_groups)
+        return True
+
+
+register_glue(GroupMonitor, GroupVCGlue)
+register_glue(LeaderActor, LeaderGlue)
+
+#: Hardened §3.5 actors: plain cores + protocol stack, by composition.
+HardenedGroupMonitor = harden(GroupMonitor)
+HardenedLeader = harden(LeaderActor, name="HardenedLeader")
 
 
 def _partition(n: int, g: int) -> tuple[list[frozenset[int]], list[int]]:
@@ -593,7 +520,7 @@ def detect(
             for slot, pid in enumerate(pids)
         ]
         leader: LeaderActor = HardenedLeader(
-            group_sets, group_of, names, retry,
+            group_sets, group_of, names, retry=retry,
             failure_detector=failure_detector,
         )
     else:

@@ -51,7 +51,7 @@ from repro.detect.base import (
     RED,
     TOKEN_KIND,
 )
-from repro.detect.failuredetect import (
+from repro.detect.stack import (
     ELECT_KIND,
     ELECT_OK_KIND,
     HEARTBEAT_KIND,
@@ -89,7 +89,7 @@ def _token_attrs(payload: object) -> dict[str, Any]:
     """Read hop/gid/G/colors off a token payload, whatever its wrapper.
 
     Handles a bare ``VCToken``, a ``GroupToken`` (multi-token variant)
-    and a reliability-layer ``TokenFrame`` around either.  Unknown
+    and a transport-layer ``TokenFrame`` around either.  Unknown
     payloads simply yield no extra attributes.
     """
     attrs: dict[str, Any] = {}

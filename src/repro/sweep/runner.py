@@ -30,7 +30,7 @@ from repro.detect.runner import (
 )
 from repro.obs.benchjson import structured_result
 from repro.predicates import WeakConjunctivePredicate
-from repro.detect.failuredetect import FailureDetectorConfig
+from repro.detect.stack import FailureDetectorConfig
 from repro.simulation.faults import FaultPlan
 from repro.sweep.cache import WorkloadCache
 from repro.sweep.matrix import SweepCell, SweepMatrix

@@ -20,7 +20,7 @@ from repro.simulation.faults import (
 from repro.predicates import WeakConjunctivePredicate
 from repro.trace import random_computation
 
-HARDENED = ("token_vc", "token_vc_multi", "direct_dep")
+HARDENED = ("token_vc", "token_vc_multi", "direct_dep", "direct_dep_parallel")
 
 #: 20% token loss plus one monitor down from t=4 to t=9 — by which
 #: point every run below is typically mid-protocol.

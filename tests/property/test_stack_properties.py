@@ -1,0 +1,161 @@
+"""Property-based tests for the transport layer's persisted buffers.
+
+The :class:`CandidateInbox` is the transport layer's answer to the
+kernel's lossy/duplicating/reordering channel: whatever arrival order
+the adversary picks, a monitor must consume its app stream exactly
+once, in sequence order.  The :class:`AdaptiveSchedule` must keep its
+RTO inside ``[min_timeout, cap]`` no matter how degenerate the RTT
+samples get.  Both live in persisted actor attributes, so these laws
+are also what crash/restart recovery relies on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.stack import AdaptiveRetryPolicy, CandidateInbox, Sequenced
+
+# An adversarial delivery: any multiset of (seq, duplicate-count) pairs
+# drawn from a finite stream, presented in any order.
+_stream_lengths = st.integers(min_value=0, max_value=12)
+
+
+def _deliveries(draw, n):
+    """A shuffled arrival schedule for stream 1..n+1 (n+1 = final),
+    with duplicates."""
+    seqs = list(range(1, n + 2))
+    copies = draw(
+        st.lists(
+            st.sampled_from(seqs), min_size=0, max_size=2 * len(seqs)
+        )
+    )
+    order = draw(st.permutations(seqs + copies))
+    return order
+
+
+@st.composite
+def arrival_schedules(draw):
+    n = draw(_stream_lengths)
+    return n, _deliveries(draw, n)
+
+
+@given(case=arrival_schedules())
+def test_inbox_yields_stream_in_order_exactly_once(case):
+    """Any arrival order with any duplication yields payloads
+    1..n each exactly once, in sequence order, then ``exhausted``."""
+    n, order = case
+    inbox = CandidateInbox()
+    popped = []
+    for seq in order:
+        final = seq == n + 1
+        payload = None if final else f"cand-{seq}"
+        accepted = inbox.accept(Sequenced(seq, payload, final=final), 8)
+        # A second copy of an already-seen seq must be refused.
+        assert not inbox.accept(Sequenced(seq, payload, final=final), 8)
+        del accepted
+        while (entry := inbox.pop()) is not None:
+            popped.append(entry[0])
+    assert popped == [f"cand-{s}" for s in range(1, n + 1)]
+    assert inbox.complete and inbox.exhausted
+    assert inbox.ack == n + 1
+
+
+@given(case=arrival_schedules())
+def test_inbox_ack_is_monotone_and_contiguous(case):
+    """The cumulative ack never decreases and never runs ahead of the
+    longest contiguous prefix actually delivered."""
+    n, order = case
+    inbox = CandidateInbox()
+    seen: set[int] = set()
+    prev_ack = 0
+    for seq in order:
+        inbox.accept(Sequenced(seq, None, final=seq == n + 1), 8)
+        seen.add(seq)
+        contiguous = 0
+        while contiguous + 1 in seen:
+            contiguous += 1
+        assert inbox.ack == contiguous
+        assert inbox.ack >= prev_ack
+        prev_ack = inbox.ack
+
+
+@given(
+    prefix=st.integers(min_value=0, max_value=6),
+    n=st.integers(min_value=1, max_value=6),
+)
+def test_inbox_incomplete_until_final_marker_arrives(prefix, n):
+    """``complete`` requires the end-of-trace marker *and* every seq
+    before it; a gap anywhere keeps the verdict inconclusive."""
+    inbox = CandidateInbox()
+    for seq in range(1, min(prefix, n) + 1):
+        inbox.accept(Sequenced(seq, f"c{seq}"), 8)
+    inbox.accept(Sequenced(n + 1, None, final=True), 8)
+    # The marker only registers once it drains through the contiguous
+    # window — an out-of-order final says nothing about completeness.
+    assert inbox.complete == (prefix >= n)
+    assert (inbox.final_seq == n + 1) == (prefix >= n)
+
+
+_rtts = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=60)
+@given(
+    samples=st.lists(_rtts, min_size=0, max_size=30),
+    attempt=st.integers(min_value=0, max_value=64),
+)
+def test_adaptive_timeout_always_inside_clamp_band(samples, attempt):
+    """However wild the RTT samples and however deep the backoff, the
+    jittered timeout stays inside ``[min_timeout, cap]`` — huge
+    ``attempt`` values must saturate at the cap, not overflow."""
+    policy = AdaptiveRetryPolicy(seed=7)
+    sched = policy.schedule("mon-0")
+    for rtt in samples:
+        sched.sample(rtt)
+    value = sched.timeout(attempt)
+    assert policy.min_timeout <= value <= policy.cap
+    assert policy.min_timeout <= sched.rto <= max(
+        policy.cap, policy.initial_timeout
+    )
+
+
+@given(rtt=st.floats(min_value=0.01, max_value=50.0, allow_nan=False))
+def test_adaptive_first_sample_seeds_estimator(rtt):
+    """The first measurement initialises SRTT=rtt, RTTVAR=rtt/2 — the
+    classic Jacobson bootstrap."""
+    sched = AdaptiveRetryPolicy(jitter=0.0).schedule("mon-1")
+    assert sched.rto == sched.policy.initial_timeout
+    sched.sample(rtt)
+    assert sched.srtt == rtt
+    assert sched.rttvar == rtt / 2.0
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=1, max_size=20
+    )
+)
+def test_adaptive_ledger_never_leaks_tainted_keys(keys):
+    """Re-sent then acked keys leave no residue: the ledger forgets
+    them without sampling, so later re-use of the same key behaves
+    like a fresh frame."""
+    sched = AdaptiveRetryPolicy(jitter=0.0).schedule("mon-2")
+    now = 0.0
+    for key in keys:
+        now += 1.0
+        sched.on_send(key, now)
+        sched.on_send(key, now + 0.5)  # taint every key
+        sched.on_ack(key, now + 1.0)
+    assert sched.samples == 0
+    assert sched.srtt is None
+    # The ledger is empty: a fresh single transmission samples cleanly.
+    sched.on_send("fresh", now + 2.0)
+    sched.on_ack("fresh", now + 3.0)
+    assert sched.samples == 1
+
+
+def test_adaptive_negative_rtt_is_ignored():
+    sched = AdaptiveRetryPolicy(jitter=0.0).schedule("mon-3")
+    sched.sample(-1.0)
+    assert sched.samples == 0
+    assert sched.srtt is None

@@ -54,6 +54,19 @@ class TestFaultsDoc:
                 pytest.fail(f"faults block {i} failed: {exc}\n{block}")
 
 
+class TestAlgorithmsDoc:
+    def test_all_blocks_execute(self):
+        blocks = python_blocks(ROOT / "docs" / "algorithms.md")
+        assert len(blocks) >= 1, "algorithms.md should demo harden()"
+        namespace: dict = {}
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"algorithms.md[block {i}]", "exec"),
+                     namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                pytest.fail(f"algorithms block {i} failed: {exc}\n{block}")
+
+
 class TestObservabilityDoc:
     def test_all_blocks_execute(self):
         blocks = python_blocks(ROOT / "docs" / "observability.md")

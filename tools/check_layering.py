@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Enforce the three-layer protocol-stack import discipline.
+
+Detection cores (``src/repro/detect/*.py``) must stay near-verbatim
+paper pseudocode: they may depend on the stack only through its facade
+(:mod:`repro.detect.stack`), never on the layer internals, the
+deprecated shims, or the fault-injection machinery.  Concretely, a
+core module must not import:
+
+* ``repro.simulation.faults``      — fault plans are a kernel concern;
+  cores receive them opaquely (``if TYPE_CHECKING:`` imports are fine,
+  they vanish at runtime);
+* ``repro.detect.reliability`` / ``repro.detect.failuredetect`` — the
+  back-compat shims, kept only for external callers;
+* ``repro.detect.stack.transport`` / ``.membership`` / ``.compose`` —
+  layer internals; the facade re-exports everything a core may touch.
+
+Exempt: the stack package itself (layers import each other), the two
+shims, and ``__init__``/``runner`` (the registry is glue, not a core).
+
+Exit status 1 with a per-violation report, 0 when clean.  Run directly
+or via ``tests/test_layering.py`` (tier-1) and the CI lint job.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DETECT = REPO / "src" / "repro" / "detect"
+
+#: Modules whose *job* is to violate the rule (shims / registry glue).
+EXEMPT = {"reliability", "failuredetect", "runner", "__init__"}
+
+FORBIDDEN_PREFIXES = (
+    "repro.simulation.faults",
+    "repro.detect.reliability",
+    "repro.detect.failuredetect",
+    "repro.detect.stack.transport",
+    "repro.detect.stack.membership",
+    "repro.detect.stack.compose",
+)
+
+
+def _is_forbidden(module: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in FORBIDDEN_PREFIXES
+    )
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collect forbidden imports, skipping ``if TYPE_CHECKING:`` bodies."""
+
+    def __init__(self) -> None:
+        self.violations: list[tuple[int, str]] = []
+
+    def visit_If(self, node: ast.If) -> None:
+        test = node.test
+        is_type_checking = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_type_checking:
+            for stmt in node.orelse:
+                self.visit(stmt)
+            return
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if _is_forbidden(alias.name):
+                self.violations.append((node.lineno, alias.name))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0 and _is_forbidden(node.module):
+            self.violations.append((node.lineno, node.module))
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = _ImportVisitor()
+    visitor.visit(tree)
+    rel = path.relative_to(REPO)
+    return [
+        f"{rel}:{line}: detection core imports {module!r}; "
+        f"use the repro.detect.stack facade"
+        for line, module in visitor.violations
+    ]
+
+
+def core_modules() -> list[Path]:
+    return sorted(
+        p for p in DETECT.glob("*.py") if p.stem not in EXEMPT
+    )
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in core_modules():
+        problems.extend(check_file(path))
+    if problems:
+        print("layering violations:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    count = len(core_modules())
+    print(f"layering OK: {count} detection-core modules checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
