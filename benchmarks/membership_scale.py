@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Membership-layer traffic scaling: heartbeat O(N²) vs gossip O(N).
+
+Runs :func:`repro.detect.stack.membersim.run_membership_trial` over
+monitor-group sizes — every member runs the failure detector, one
+member crash-stops, and we record:
+
+* ``liveness_bytes`` — total bytes of pure liveness traffic
+  (heartbeats, pings/acks/ping-reqs with piggybacked membership);
+* ``max_detection_latency`` — the worst survivor's time from the crash
+  to first suspecting the victim;
+* the configured detection bound each mode must stay within.
+
+All-to-all heartbeats cost Θ(N²) bytes per interval; SWIM gossip costs
+Θ(N) (each member sends O(fanout) bounded-size messages per interval).
+The committed snapshot lives at
+``benchmarks/results/membership_scale.json``; regenerate with::
+
+    python benchmarks/membership_scale.py --out benchmarks/results/membership_scale.json
+
+Usage: ``python benchmarks/membership_scale.py [--sizes 8,32,128] [--out FILE]``
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detect.stack import FailureDetectorConfig  # noqa: E402
+from repro.detect.stack.membersim import run_membership_trial  # noqa: E402
+
+DEFAULT_SIZES = (8, 32, 128)
+DURATION = 60.0
+CRASH_AT = 10.0
+
+
+def detection_bound(config: FailureDetectorConfig, n: int) -> float:
+    """The latency every mode must beat for a crash-stop victim.
+
+    Heartbeat: the victim goes silent and every survivor times it out
+    after ``suspicion_after`` plus one interval of slack.  Gossip: some
+    prober times the victim out within a few probe intervals, then the
+    suspicion disseminates epidemically in ``O(log_fanout N)`` rounds;
+    ``suspicion_after`` dominates the probe timeout budget.
+    """
+    interval = config.tick_interval
+    if config.membership == "gossip":
+        rounds = math.log(max(n, 2), max(config.gossip_fanout, 2))
+        return config.suspicion_after + interval * (4 + 2 * rounds)
+    return config.suspicion_after + 2 * interval
+
+
+def run(sizes) -> dict:
+    rows = []
+    for n in sizes:
+        for mode in ("heartbeat", "gossip"):
+            config = FailureDetectorConfig(membership=mode)
+            trial = run_membership_trial(
+                n, config, duration=DURATION, crash_at=CRASH_AT
+            )
+            bound = detection_bound(config, n)
+            row = {
+                "n": n,
+                "membership": mode,
+                "liveness_bytes": trial.liveness_bytes,
+                "bytes_per_member": round(trial.liveness_bytes / n, 1),
+                "max_detection_latency": trial.max_detection_latency,
+                "detection_bound": round(bound, 2),
+                "all_detected": trial.all_detected,
+            }
+            rows.append(row)
+            print(
+                f"n={n:4d} {mode:9s} bytes={trial.liveness_bytes:9d} "
+                f"bytes/member={row['bytes_per_member']:9.1f} "
+                f"latency={trial.max_detection_latency:6.1f} "
+                f"bound={bound:6.1f} all_detected={trial.all_detected}"
+            )
+            assert trial.all_detected, f"{mode} n={n}: victim not detected"
+            assert trial.max_detection_latency <= bound, (
+                f"{mode} n={n}: latency {trial.max_detection_latency} "
+                f"exceeds bound {bound}"
+            )
+    # The scaling claim: gossip bytes-per-member stays ~flat while
+    # heartbeat bytes-per-member grows linearly with N.
+    by_mode: dict[str, list[dict]] = {"heartbeat": [], "gossip": []}
+    for row in rows:
+        by_mode[row["membership"]].append(row)
+    for mode_rows in by_mode.values():
+        mode_rows.sort(key=lambda r: r["n"])
+    hb, go = by_mode["heartbeat"], by_mode["gossip"]
+    if len(hb) >= 2:
+        n_ratio = hb[-1]["n"] / hb[0]["n"]
+        hb_growth = hb[-1]["bytes_per_member"] / hb[0]["bytes_per_member"]
+        go_growth = go[-1]["bytes_per_member"] / go[0]["bytes_per_member"]
+        print(
+            f"N x{n_ratio:.0f}: heartbeat bytes/member x{hb_growth:.1f}, "
+            f"gossip bytes/member x{go_growth:.1f}"
+        )
+        assert hb_growth > 0.5 * n_ratio, "heartbeat should scale ~O(N^2)"
+        # Gossip bytes/member stays near-constant regardless of N.
+        assert go_growth < 2.0, "gossip should scale ~O(N)"
+        assert go_growth < hb_growth / 2, "gossip should beat heartbeat"
+    return {
+        "schema": "repro-membership-scale/1",
+        "duration": DURATION,
+        "crash_at": CRASH_AT,
+        "config": {
+            "heartbeat_interval": FailureDetectorConfig().heartbeat_interval,
+            "suspicion_after": FailureDetectorConfig().suspicion_after,
+            "gossip_fanout": FailureDetectorConfig().gossip_fanout,
+        },
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)))
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args()
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    doc = run(sizes)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,9 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     det.add_argument(
         "--self-heal", action="store_true",
-        help="with --faults, enable the heartbeat failure detector so "
-             "surviving monitors elect a takeover and regenerate a "
-             "silent token (see repro.detect.stack.membership)",
+        help="with --faults, enable the failure detector so surviving "
+             "monitors elect a takeover and regenerate a silent token "
+             "(see repro.detect.stack.membership)",
+    )
+    det.add_argument(
+        "--membership", choices=("heartbeat", "gossip"), default="heartbeat",
+        help="with --self-heal, the liveness protocol: all-to-all "
+             "heartbeats (default) or SWIM-style gossip with "
+             "piggybacked membership updates",
+    )
+    det.add_argument(
+        "--gossip-fanout", type=int, default=3, metavar="K",
+        help="with --membership gossip, the indirect-probe and "
+             "dissemination fanout (default 3)",
     )
     det.add_argument(
         "--json", action="store_true",
@@ -194,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--plant-final-cut", action="store_true",
                      help="guarantee the WCP holds at the final cut of every "
                           "generated workload")
+    swp.add_argument("--self-heal", action="store_true",
+                     help="enable the failure detector on fault cells of "
+                          "fault-capable detectors")
+    swp.add_argument("--membership", default="heartbeat",
+                     help="comma-separated liveness protocols for self-heal "
+                          "cells: heartbeat and/or gossip (default: heartbeat)")
+    swp.add_argument("--gossip-fanouts", default="3",
+                     help="comma-separated SWIM fanouts, ranges allowed; "
+                          "multiplies gossip cells only (default: 3)")
     swp.add_argument("--workers", type=int, default=1,
                      help="worker processes (default 1 = run inline)")
     swp.add_argument("--cache-dir", type=pathlib.Path, default=None,
@@ -320,7 +340,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 )
             from repro.detect.stack import FailureDetectorConfig
 
-            options["failure_detector"] = FailureDetectorConfig()
+            try:
+                options["failure_detector"] = FailureDetectorConfig(
+                    membership=args.membership,
+                    gossip_fanout=args.gossip_fanout,
+                )
+            except ConfigurationError as exc:
+                raise SystemExit(f"error: {exc}")
+        elif args.membership != "heartbeat":
+            raise SystemExit(
+                "error: --membership gossip needs --self-heal"
+            )
         if not args.json:
             print(f"faults:    {plan.describe()}")
     from repro.common.errors import ReproError
@@ -575,6 +605,11 @@ def _sweep_matrix_from_args(args: argparse.Namespace):
             seeds=_parse_axis(args.seeds, "seeds", int),
             faults=faults,
             plant_final_cut=args.plant_final_cut,
+            self_heal=args.self_heal,
+            membership=_parse_axis(args.membership, "membership", str),
+            gossip_fanouts=_parse_axis(
+                args.gossip_fanouts, "gossip-fanouts", int
+            ),
         )
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}")

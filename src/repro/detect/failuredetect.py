@@ -6,5 +6,14 @@ The heartbeat detector and takeover elections live in
 names so existing imports keep working.
 """
 
-from repro.detect.stack.membership import *  # noqa: F401,F403
-from repro.detect.stack.membership import _frame_bits  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.detect.failuredetect is deprecated; import from "
+    "repro.detect.stack instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.detect.stack.membership import *  # noqa: E402,F401,F403
+from repro.detect.stack.membership import _frame_bits  # noqa: E402,F401

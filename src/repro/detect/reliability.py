@@ -5,8 +5,17 @@ import from :mod:`repro.detect.stack` in new code.  This module
 re-exports the old names so existing imports keep working.
 """
 
-from repro.detect.stack.transport import *  # noqa: F401,F403
-from repro.detect.stack.transport import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.detect.reliability is deprecated; import from "
+    "repro.detect.stack instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.detect.stack.transport import *  # noqa: E402,F401,F403
+from repro.detect.stack.transport import (  # noqa: E402,F401
     ACK_BITS,
     HALT_ACK_BITS,
     TOKEN_ACK_BITS,

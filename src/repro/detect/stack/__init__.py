@@ -6,9 +6,12 @@ The hardened detectors are built from three layers (see ``DESIGN.md``
 * :mod:`~repro.detect.stack.transport` — layer 1: sequenced app
   streams, hop-acked token frames, tagged exactly-once requests,
   reliable halt, pluggable fixed/adaptive retry policies;
-* :mod:`~repro.detect.stack.membership` — layer 2: heartbeat failure
-  detection and epoch-numbered takeover elections, an opt-in
-  middleware over the transport;
+* :mod:`~repro.detect.stack.membership` — layer 2: failure detection
+  and epoch-numbered takeover elections, an opt-in middleware over the
+  transport.  Two interchangeable membership protocols: all-to-all
+  heartbeats (default) and SWIM-style gossip
+  (:mod:`~repro.detect.stack.gossip`), selected via
+  ``FailureDetectorConfig(membership=...)``;
 * :mod:`~repro.detect.stack.compose` — the :func:`harden` factory
   composing a *detection core* (the near-verbatim paper pseudocode in
   ``repro.detect.token_vc`` etc.) with both layers via a small
@@ -25,6 +28,14 @@ from repro.detect.stack.compose import (
     harden,
     hardened_variant,
     register_glue,
+)
+from repro.detect.stack.gossip import (
+    GOSSIP_KINDS,
+    PING_ACK_KIND,
+    PING_KIND,
+    PING_REQ_KIND,
+    GossipUpdate,
+    SwimState,
 )
 from repro.detect.stack.membership import (
     ELECT_KIND,
@@ -58,6 +69,13 @@ __all__ = [
     "harden",
     "hardened_variant",
     "register_glue",
+    # gossip
+    "GOSSIP_KINDS",
+    "PING_KIND",
+    "PING_ACK_KIND",
+    "PING_REQ_KIND",
+    "GossipUpdate",
+    "SwimState",
     # membership
     "HEARTBEAT_KIND",
     "ELECT_KIND",

@@ -1,0 +1,464 @@
+"""Stack layer 2 (alternative) — SWIM-style gossip membership.
+
+The heartbeat detector in :mod:`repro.detect.stack.membership` is
+all-to-all: every monitor beacons every peer each idle tick, so
+liveness traffic grows O(N²) with the monitor-group size.  This module
+supplies the scalable replacement — the SWIM construction (randomized
+probing with indirect ping-req confirmation and epidemic dissemination;
+see the failure-detector and gossip chapters of Aspnes' *Notes on
+Theory of Distributed Systems*):
+
+* **Probing** — each idle tick, a monitor pings one peer chosen by a
+  shuffled round-robin.  If the direct ping times out it asks ``k``
+  other peers to probe the target on its behalf (``ping_req``); only
+  when nobody can reach the target is it *suspected*.  Per-node
+  liveness load is O(1) per tick regardless of group size.
+* **Suspicion with refutation** — a suspected member stays suspect for
+  a refutation window before it is *confirmed* dead.  Membership
+  updates carry *incarnation numbers*: when a live member learns it is
+  suspected, it bumps its incarnation and gossips a fresh ``alive``,
+  which overrides the suspicion everywhere.  Precedence is the
+  lexicographic order ``(incarnation, status-rank)`` with
+  alive < suspect < confirm at equal incarnation — i.e. ``alive(i)``
+  overrides ``suspect(j)`` iff ``i > j``, ``suspect(i)`` overrides
+  ``alive(j)`` iff ``i >= j``, and ``confirm`` beats both.
+* **Dissemination** — updates are not broadcast; they ride as
+  *piggyback* payloads on the pings/acks the protocol sends anyway
+  (and, via the transport hooks, on token frames).  Each update is
+  retransmitted a bounded number of times (≈ O(log N) epidemic rounds)
+  and then retired from the buffer.
+* **Announcements** — takeover elections and the reliable halt reuse
+  the same channel: an :class:`Announcement` gossips "epoch ``e`` is
+  being elected by slot ``s``" or "the run halted", so neither needs an
+  all-to-all broadcast round.
+
+:class:`SwimState` is a *pure* state machine — no actor, clock or
+channel access — so its laws are directly property-testable (see
+``tests/property/test_gossip_properties.py``).  The actor-side wiring
+lives in :class:`~repro.detect.stack.membership.FailureDetectorMixin`,
+selected by ``FailureDetectorConfig(membership="gossip")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import derive_seed
+from repro.common.types import WORD_BITS
+
+__all__ = [
+    "PING_KIND",
+    "PING_ACK_KIND",
+    "PING_REQ_KIND",
+    "GOSSIP_KINDS",
+    "ALIVE",
+    "SUSPECT",
+    "CONFIRMED",
+    "GossipUpdate",
+    "Announcement",
+    "Ping",
+    "PingAck",
+    "PingReq",
+    "SwimState",
+    "PIGGYBACK_LIMIT",
+    "entries_bits",
+]
+
+# Message kinds introduced by the gossip membership layer.
+PING_KIND = "ping"            # direct liveness probe
+PING_ACK_KIND = "ping_ack"    # probe answer (direct or relayed)
+PING_REQ_KIND = "ping_req"    # indirect-probe request to a helper
+
+GOSSIP_KINDS = frozenset({PING_KIND, PING_ACK_KIND, PING_REQ_KIND})
+
+# Member lifecycle states, in precedence order at equal incarnation.
+ALIVE = "alive"
+SUSPECT = "suspect"
+CONFIRMED = "confirm"
+
+_RANK = {ALIVE: 0, SUSPECT: 1, CONFIRMED: 2}
+
+#: How many piggyback entries a single ping/ack may carry.
+PIGGYBACK_LIMIT = 8
+
+_ENTRY_BITS = 2 * WORD_BITS + 2  # (slot-or-epoch, incarnation, 2-bit tag)
+
+
+@dataclass(frozen=True, slots=True)
+class GossipUpdate:
+    """One membership assertion: ``slot`` is ``status`` at ``incarnation``."""
+
+    slot: int
+    status: str
+    incarnation: int
+
+    def size_bits(self) -> int:
+        return _ENTRY_BITS
+
+    @property
+    def key(self) -> tuple:
+        """Piggyback-buffer identity (one live entry per member)."""
+        return ("member", self.slot)
+
+    @property
+    def precedence(self) -> tuple[int, int]:
+        """Total order deciding which of two assertions wins."""
+        return (self.incarnation, _RANK[self.status])
+
+
+@dataclass(frozen=True, slots=True)
+class Announcement:
+    """A gossiped control event: an election or a halt.
+
+    ``kind`` is ``"elect"`` or ``"halt"``; ``epoch`` orders repeated
+    announcements of the same kind (higher supersedes); ``slot`` is the
+    originator every receiver should answer.
+    """
+
+    kind: str
+    epoch: int
+    slot: int
+
+    def size_bits(self) -> int:
+        return _ENTRY_BITS
+
+    @property
+    def key(self) -> tuple:
+        return ("announce", self.kind)
+
+    @property
+    def precedence(self) -> tuple[int, int]:
+        return (self.epoch, 0)
+
+
+def entries_bits(entries) -> int:
+    """Accounting size of a piggyback payload."""
+    return sum(entry.size_bits() for entry in entries)
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """A direct probe.  ``reply_to`` names the slot the ack must reach
+    (the prober itself, or — when relayed by a ping-req helper — the
+    original requester).  ``holding`` advertises token possession, so
+    receivers treat the probe as token activity (no spurious takeover
+    while a live holder is merely slow)."""
+
+    seq: int
+    slot: int
+    incarnation: int
+    reply_to: int
+    holding: bool = False
+    updates: tuple = ()
+
+    def size_bits(self) -> int:
+        return 4 * WORD_BITS + 1 + entries_bits(self.updates)
+
+
+@dataclass(frozen=True, slots=True)
+class PingAck:
+    """A probe answer, sent straight to the probe's ``reply_to``."""
+
+    seq: int
+    slot: int
+    incarnation: int
+    holding: bool = False
+    updates: tuple = ()
+
+    def size_bits(self) -> int:
+        return 3 * WORD_BITS + 1 + entries_bits(self.updates)
+
+
+@dataclass(frozen=True, slots=True)
+class PingReq:
+    """An indirect-probe request: "ping ``target`` for me"."""
+
+    seq: int
+    slot: int
+    incarnation: int
+    target: int
+    updates: tuple = ()
+
+    def size_bits(self) -> int:
+        return 4 * WORD_BITS + entries_bits(self.updates)
+
+
+@dataclass
+class _Buffered:
+    """One piggyback-buffer cell: the entry plus its send count."""
+
+    entry: object
+    times_sent: int = 0
+
+
+class SwimState:
+    """The pure SWIM membership state machine for one monitor.
+
+    Deterministic: every "random" choice (probe order, helper
+    selection) is a hash-derived function of ``seed`` and a draw label,
+    never a stateful RNG — so runs replay bit-identically and sweep
+    results are worker-invariant.
+
+    All state lives in plain attributes on this object, which itself
+    lives in a persisted actor attribute: a monitor crash/restart keeps
+    the membership table, and :meth:`rejoin` bumps the incarnation so
+    the restarted member can refute any suspicion it accrued while
+    down.
+    """
+
+    def __init__(self, slot: int, peers, *, fanout: int = 3, seed: int = 0):
+        self.slot = slot
+        self.peers: tuple[int, ...] = tuple(sorted(set(peers) - {slot}))
+        self.fanout = max(1, int(fanout))
+        self.seed = seed
+        self.incarnation = 0
+        self.table: dict[int, GossipUpdate] = {
+            s: GossipUpdate(s, ALIVE, 0) for s in self.peers
+        }
+        self.table[slot] = GossipUpdate(slot, ALIVE, 0)
+        #: Retransmissions before a buffered entry is retired — ≈ the
+        #: epidemic round count needed to reach everyone w.h.p.
+        self.retransmit_budget = max(6, 2 * self.fanout)
+        self._suspect_since: dict[int, float] = {}
+        self._buffer: dict[tuple, _Buffered] = {}
+        self._announced: dict[str, Announcement] = {}
+        self._next_seq = 0
+        self._order: list[int] = []
+        self._pos = 0
+        self._shuffles = 0
+        self.probe_target: int | None = None
+        self.probe_seq: int | None = None
+        self.probe_stage: str | None = None
+        self.probe_deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    # Membership table
+    # ------------------------------------------------------------------
+    def status(self, slot: int) -> str:
+        return self.table[slot].status
+
+    def alive_slots(self) -> set[int]:
+        """Slots not currently suspected or confirmed dead (incl. self)."""
+        return {self.slot} | {
+            s for s in self.peers if self.table[s].status == ALIVE
+        }
+
+    def apply(self, update: GossipUpdate, now: float) -> bool:
+        """Fold one assertion into the table (no re-gossip); True if it won."""
+        return self._apply(update, now, buffer=False)
+
+    def _apply(self, update: GossipUpdate, now: float, *, buffer: bool) -> bool:
+        current = self.table.get(update.slot)
+        if current is None:
+            return False  # unknown member (defensive: foreign slot)
+        if update.precedence <= current.precedence:
+            return False
+        self.table[update.slot] = update
+        if update.status == SUSPECT:
+            self._suspect_since.setdefault(update.slot, now)
+        else:
+            self._suspect_since.pop(update.slot, None)
+        if buffer:
+            self._admit(update)
+        return True
+
+    # ------------------------------------------------------------------
+    # Piggyback buffer
+    # ------------------------------------------------------------------
+    def _admit(self, entry) -> None:
+        """Admit ``entry`` for dissemination, superseding any buffered
+        entry with the same key (and resetting its send count)."""
+        cell = self._buffer.get(entry.key)
+        if cell is not None and entry.precedence <= cell.entry.precedence:
+            return
+        self._buffer[entry.key] = _Buffered(entry)
+
+    @staticmethod
+    def _buffer_rank(item):
+        key, cell = item
+        return (cell.times_sent, key[0], str(key[1]).zfill(12))
+
+    def piggyback(self, limit: int, *, membership_only: bool = False) -> tuple:
+        """Up to ``limit`` least-sent buffered entries, charging each
+        selection against its retransmit budget.
+
+        ``membership_only`` restricts the selection to
+        :class:`GossipUpdate` entries — token frames carry membership
+        state but never announcements, because frame ingestion cannot
+        send the replies announcements demand.
+        """
+        chosen = []
+        for key, cell in sorted(self._buffer.items(), key=self._buffer_rank):
+            if len(chosen) >= limit:
+                break
+            if membership_only and key[0] != "member":
+                continue
+            chosen.append(cell.entry)
+            cell.times_sent += 1
+        for key in [
+            k for k, cell in self._buffer.items()
+            if cell.times_sent >= self.retransmit_budget
+        ]:
+            del self._buffer[key]
+        return tuple(chosen)
+
+    # ------------------------------------------------------------------
+    # Probe lifecycle
+    # ------------------------------------------------------------------
+    def new_seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    def next_target(self) -> int | None:
+        """The next probe target: shuffled round-robin over peers not
+        yet confirmed dead (SWIM's time-bounded-detection trick)."""
+        candidates = [
+            s for s in self.peers if self.table[s].status != CONFIRMED
+        ]
+        if not candidates:
+            return None
+        for _ in range(2):  # second pass runs after a reshuffle
+            while self._pos < len(self._order):
+                slot = self._order[self._pos]
+                self._pos += 1
+                if self.table[slot].status != CONFIRMED:
+                    return slot
+            self._shuffles += 1
+            self._order = sorted(
+                candidates,
+                key=lambda s: derive_seed(
+                    self.seed, f"probe:{self._shuffles}:{s}"
+                ),
+            )
+            self._pos = 0
+        return None  # pragma: no cover - candidates is non-empty above
+
+    def begin_probe(self, target: int, now: float, timeout: float) -> int:
+        seq = self.new_seq()
+        self.probe_target = target
+        self.probe_seq = seq
+        self.probe_stage = "direct"
+        self.probe_deadline = now + timeout
+        return seq
+
+    def probe_due(self, now: float) -> bool:
+        return (
+            self.probe_deadline is not None and now >= self.probe_deadline
+        )
+
+    def escalate(self, now: float, timeout: float, k: int) -> tuple[int, ...]:
+        """Pick up to ``k`` helpers for an indirect probe of the current
+        target; extends the probe deadline when any helper exists."""
+        target = self.probe_target
+        helpers = [
+            s for s in self.peers
+            if s != target and self.table[s].status == ALIVE
+        ]
+        helpers.sort(
+            key=lambda s: derive_seed(
+                self.seed, f"helper:{self.probe_seq}:{s}"
+            )
+        )
+        chosen = tuple(helpers[:k])
+        if chosen:
+            self.probe_stage = "indirect"
+            self.probe_deadline = now + timeout
+        return chosen
+
+    def fail_probe(self, now: float) -> int | None:
+        """Give up on the current probe; suspect the target if it was
+        still considered alive.  Returns the newly suspected slot."""
+        target = self.probe_target
+        self._clear_probe()
+        if target is None:
+            return None
+        current = self.table[target]
+        if current.status != ALIVE:
+            return None
+        self._apply(
+            GossipUpdate(target, SUSPECT, current.incarnation),
+            now, buffer=True,
+        )
+        return target
+
+    def on_ack(self, slot: int, seq: int) -> bool:
+        """Clear the outstanding probe if this ack answers it."""
+        if seq == self.probe_seq and slot == self.probe_target:
+            self._clear_probe()
+            return True
+        return False
+
+    def _clear_probe(self) -> None:
+        self.probe_target = None
+        self.probe_seq = None
+        self.probe_stage = None
+        self.probe_deadline = None
+
+    def promote_due(self, now: float, window: float) -> list[int]:
+        """Confirm every suspect whose refutation window has expired."""
+        confirmed = []
+        for slot, since in sorted(self._suspect_since.items()):
+            if now - since < window:
+                continue
+            update = self.table[slot]
+            self._apply(
+                GossipUpdate(slot, CONFIRMED, update.incarnation),
+                now, buffer=True,
+            )
+            confirmed.append(slot)
+        return confirmed
+
+    # ------------------------------------------------------------------
+    # Refutation / rejoin / announcements
+    # ------------------------------------------------------------------
+    def rejoin(self) -> None:
+        """Come back after a crash: a fresh incarnation refutes any
+        suspicion (or confirmation) accrued while down."""
+        self.incarnation += 1
+        me = GossipUpdate(self.slot, ALIVE, self.incarnation)
+        self.table[self.slot] = me
+        self._admit(me)
+
+    def announce(self, kind: str, epoch: int, slot: int) -> bool:
+        """Originate (or relay) an announcement; True if it was fresh."""
+        return self._admit_announcement(Announcement(kind, epoch, slot))
+
+    def _admit_announcement(self, entry: Announcement) -> bool:
+        current = self._announced.get(entry.kind)
+        if current is not None and entry.epoch <= current.epoch:
+            return False
+        self._announced[entry.kind] = entry
+        self._admit(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, entries, now: float) -> list[tuple]:
+        """Fold received piggyback entries in; return actionable events.
+
+        Events: ``("refuted", incarnation)`` — this member was suspected
+        and bumped its incarnation; ``("elect", epoch, slot)`` /
+        ``("halt", epoch, slot)`` — a fresh announcement needing an
+        actor-level response.  Winning membership updates are re-admitted
+        to the buffer, which is what makes dissemination epidemic.
+        """
+        events: list[tuple] = []
+        for entry in entries:
+            if isinstance(entry, Announcement):
+                if self._admit_announcement(entry):
+                    events.append((entry.kind, entry.epoch, entry.slot))
+                continue
+            if entry.slot == self.slot:
+                if (
+                    entry.status != ALIVE
+                    and entry.incarnation >= self.incarnation
+                ):
+                    self.incarnation = entry.incarnation + 1
+                    me = GossipUpdate(self.slot, ALIVE, self.incarnation)
+                    self.table[self.slot] = me
+                    self._admit(me)
+                    events.append(("refuted", self.incarnation))
+                continue
+            self._apply(entry, now, buffer=True)
+        return events

@@ -40,9 +40,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
 from repro.common.types import WORD_BITS
 from repro.detect.base import HALT_KIND, TOKEN_KIND
-from repro.detect.stack.transport import TokenFrame
+from repro.detect.stack.gossip import (
+    ALIVE,
+    GOSSIP_KINDS,
+    PIGGYBACK_LIMIT,
+    PING_ACK_KIND,
+    PING_KIND,
+    PING_REQ_KIND,
+    GossipUpdate,
+    Ping,
+    PingAck,
+    PingReq,
+    SwimState,
+)
+from repro.detect.stack.transport import (
+    HALT_ACK_BITS,
+    HALT_ACK_KIND,
+    TokenFrame,
+)
 
 __all__ = [
     "HEARTBEAT_KIND",
@@ -69,6 +87,10 @@ REGEN_KIND = "regen_request"     # appoint the winner to regenerate
 HEARTBEAT_BITS = 2 * WORD_BITS + 1   # (slot, epoch, holding)
 ELECT_BITS = 2 * WORD_BITS       # (epoch, slot)
 
+#: Kinds whose arrival does not reset the idle-round counter (pure
+#: liveness traffic must not keep a dead run from quiescing).
+_HEARTBEAT_ONLY = frozenset({HEARTBEAT_KIND})
+
 
 @dataclass(frozen=True, slots=True)
 class FailureDetectorConfig:
@@ -91,6 +113,19 @@ class FailureDetectorConfig:
         consecutive idle ticks before a monitor stops ticking and falls
         back to a blocking receive — the quiescence bound that lets
         never-true-predicate runs end in kernel deadlock as before.
+    ``membership``
+        which layer-2 implementation runs: ``"heartbeat"`` (all-to-all
+        beacons, O(N²) liveness traffic) or ``"gossip"`` (SWIM-style
+        randomized probing with epidemic dissemination, O(N); see
+        :mod:`repro.detect.stack.gossip`).
+    ``gossip_fanout``
+        gossip mode only: how many helpers an indirect probe asks, and
+        how many peers election/halt announcements are pushed to per
+        round.
+    ``gossip_interval``
+        gossip mode only: the probe-tick period (defaults to
+        ``heartbeat_interval``).  In gossip mode ``suspicion_after`` is
+        reused as the suspect→confirm refutation window.
     """
 
     heartbeat_interval: float = 4.0
@@ -98,6 +133,9 @@ class FailureDetectorConfig:
     grace: float = 30.0
     election_window: float = 10.0
     max_idle_rounds: int = 60
+    membership: str = "heartbeat"
+    gossip_fanout: int = 3
+    gossip_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -116,6 +154,26 @@ class FailureDetectorConfig:
             )
         if self.max_idle_rounds < 1:
             raise ConfigurationError("max_idle_rounds must be >= 1")
+        if self.membership not in ("heartbeat", "gossip"):
+            raise ConfigurationError(
+                "membership must be 'heartbeat' or 'gossip', "
+                f"got {self.membership!r}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigurationError(
+                f"gossip_fanout must be >= 1, got {self.gossip_fanout}"
+            )
+        if self.gossip_interval is not None and self.gossip_interval <= 0:
+            raise ConfigurationError(
+                f"gossip_interval must be > 0, got {self.gossip_interval}"
+            )
+
+    @property
+    def tick_interval(self) -> float:
+        """The idle-tick period for the selected membership style."""
+        if self.membership == "gossip" and self.gossip_interval is not None:
+            return self.gossip_interval
+        return self.heartbeat_interval
 
 
 @dataclass(frozen=True, slots=True)
@@ -232,6 +290,7 @@ class FailureDetectorMixin:
         self._fd_last_heard: dict[int, float] = {}
         self._fd_idle_rounds = 0
         self._fd_regen_epoch = 0
+        self._swim: SwimState | None = None
         self.elections = 0
         self.takeovers = 0
 
@@ -280,31 +339,53 @@ class FailureDetectorMixin:
         if self._fd is None or self._fd_idle_rounds >= self._fd.max_idle_rounds:
             msg = yield self.receive(description=description)
             return msg
+        passive = (
+            GOSSIP_KINDS if self._fd.membership == "gossip"
+            else _HEARTBEAT_ONLY
+        )
         msg = yield self.receive_timeout(
-            timeout=self._fd.heartbeat_interval, description=description
+            timeout=self._fd.tick_interval, description=description
         )
         if msg is not None:
-            if msg.kind != HEARTBEAT_KIND:
+            if msg.kind not in passive:
                 self._fd_idle_rounds = 0
             return msg
         yield from self._fd_tick()
         return None
 
-    def _fd_tick(self):
-        """One idle tick: heartbeat the peers, maybe start an election."""
-        assert self._fd is not None
-        self._fd_idle_rounds += 1
-        peers = self._fd_peers()
-        holding = bool(self._held) or any(
+    def _fd_holding(self) -> bool:
+        """Whether a token is demonstrably here (held or mid-transfer)."""
+        return bool(self._held) or any(
             kind == TOKEN_KIND
             for (_d, kind, _f, _b) in self._pending_out.values()
         )
-        beat = Heartbeat(self._fd_slot(), self._epoch, holding)
-        yield [
-            self.send(name, beat, kind=HEARTBEAT_KIND,
-                      size_bits=HEARTBEAT_BITS)
-            for _slot, name in sorted(peers.items())
-        ]
+
+    def _fd_alive_slots(self, now: float) -> set[int]:
+        """Slots this monitor considers live (including itself)."""
+        assert self._fd is not None
+        if self._fd.membership == "gossip":
+            return self._swim_state().alive_slots()
+        return {self._fd_slot()} | {
+            slot
+            for slot, heard in self._fd_last_heard.items()
+            if now - heard <= self._fd.suspicion_after
+        }
+
+    def _fd_tick(self):
+        """One idle tick: beacon or probe the peers, maybe elect."""
+        assert self._fd is not None
+        self._fd_idle_rounds += 1
+        holding = self._fd_holding()
+        if self._fd.membership == "gossip":
+            yield from self._swim_tick(holding)
+        else:
+            peers = self._fd_peers()
+            beat = Heartbeat(self._fd_slot(), self._epoch, holding)
+            yield [
+                self.send(name, beat, kind=HEARTBEAT_KIND,
+                          size_bits=HEARTBEAT_BITS)
+                for _slot, name in sorted(peers.items())
+            ]
         now = self.now
         if not self._fd_can_take_over:
             return
@@ -312,14 +393,114 @@ class FailureDetectorMixin:
             return
         if holding:
             return  # the token is demonstrably here; nothing to take over
-        alive = {self._fd_slot()} | {
-            slot
-            for slot, heard in self._fd_last_heard.items()
-            if now - heard <= self._fd.suspicion_after
-        }
+        alive = self._fd_alive_slots(now)
         if self._fd_slot() != min(alive):
             return  # a lower unsuspected slot is responsible for takeover
         yield from self._fd_run_election()
+
+    # ------------------------------------------------------------------
+    # Gossip (SWIM) membership
+    # ------------------------------------------------------------------
+    def _swim_state(self) -> SwimState:
+        """The persisted SWIM state machine (created on first use)."""
+        assert self._fd is not None
+        if self._swim is None:
+            self._swim = SwimState(
+                self._fd_slot(),
+                self._fd_peers(),
+                fanout=self._fd.gossip_fanout,
+                seed=derive_seed(0, self.name),
+            )
+        return self._swim
+
+    def _swim_tick(self, holding: bool):
+        """One gossip tick: advance the probe state machine by one step.
+
+        Direct ping -> (on timeout) k-way indirect ping-req -> (on
+        timeout) suspect; overdue suspects are confirmed after the
+        refutation window.  Cost per tick is O(1) messages regardless
+        of the monitor-group size.
+        """
+        assert self._fd is not None
+        swim = self._swim_state()
+        now = self.now
+        interval = self._fd.tick_interval
+        peers = self._fd_peers()
+        if swim.probe_target is not None and swim.probe_due(now):
+            if swim.probe_stage == "direct":
+                helpers = swim.escalate(now, interval, self._fd.gossip_fanout)
+                if helpers:
+                    req = PingReq(
+                        swim.probe_seq, swim.slot, swim.incarnation,
+                        swim.probe_target, swim.piggyback(PIGGYBACK_LIMIT),
+                    )
+                    yield [
+                        self.send(peers[h], req, kind=PING_REQ_KIND,
+                                  size_bits=req.size_bits())
+                        for h in helpers
+                    ]
+                else:
+                    swim.fail_probe(now)
+            else:
+                swim.fail_probe(now)
+        if swim.probe_target is None:
+            target = swim.next_target()
+            if target is not None and target in peers:
+                seq = swim.begin_probe(target, now, interval)
+                ping = Ping(
+                    seq, swim.slot, swim.incarnation, swim.slot,
+                    holding, swim.piggyback(PIGGYBACK_LIMIT),
+                )
+                yield self.send(peers[target], ping, kind=PING_KIND,
+                                size_bits=ping.size_bits())
+        swim.promote_due(now, self._fd.suspicion_after)
+
+    def _swim_note_peer(self, slot: int, incarnation: int,
+                        holding: bool) -> None:
+        """First-hand contact with ``slot``: implicit alive + activity."""
+        swim = self._swim_state()
+        swim.apply(GossipUpdate(slot, ALIVE, incarnation), self.now)
+        self._fd_last_heard[slot] = self.now
+        if holding:
+            self._token_activity = self.now
+
+    def _swim_ingest(self, updates):
+        """Fold piggybacked gossip in; react to fresh announcements.
+
+        A fresh *elect* announcement is answered exactly like a direct
+        ``elect`` message (halt re-delivery for finished runs, epoch
+        adoption + ``elect_ok`` otherwise); a fresh *halt* announcement
+        terminates this monitor and acks the halt's originator.
+        Returns ``"halt"`` when the caller must terminate.
+        """
+        swim = self._swim_state()
+        peers = self._fd_peers()
+        code = "handled"
+        for event in swim.ingest(updates, self.now):
+            tag = event[0]
+            if tag == "elect":
+                _, epoch, slot = event
+                origin = peers.get(slot)
+                if origin is None or slot == swim.slot:
+                    continue
+                if self._fd_finished():
+                    yield self.send(origin, None, kind=HALT_KIND,
+                                    size_bits=1)
+                elif epoch > self._epoch:
+                    self._adopt_epoch(epoch)
+                    self._drop_stale_held()
+                    reply = self._fd_state(epoch)
+                    yield self.send(origin, reply, kind=ELECT_OK_KIND,
+                                    size_bits=reply.size_bits())
+            elif tag == "halt":
+                _, _epoch, slot = event
+                origin = peers.get(slot)
+                self.halted = True
+                if origin is not None:
+                    yield self.send(origin, None, kind=HALT_ACK_KIND,
+                                    size_bits=HALT_ACK_BITS)
+                code = "halt"
+        return code
 
     # ------------------------------------------------------------------
     # Election
@@ -353,11 +534,38 @@ class FailureDetectorMixin:
         self.elections += 1
         my_slot = self._fd_slot()
         peers = self._fd_peers()
-        proposal = Elect(epoch, my_slot)
-        yield [
-            self.send(name, proposal, kind=ELECT_KIND, size_bits=ELECT_BITS)
-            for _slot, name in sorted(peers.items())
-        ]
+        if self._fd.membership == "gossip":
+            # No broadcast: announce the election through the gossip
+            # channel and push it to ``fanout`` peers immediately; the
+            # epidemic spread recruits the rest, each respondent
+            # replying elect_ok straight to this initiator.
+            swim = self._swim_state()
+            swim.announce("elect", epoch, my_slot)
+            targets = sorted(
+                (s for s in swim.alive_slots()
+                 if s != my_slot and s in peers),
+                key=lambda s: derive_seed(swim.seed, f"elect:{epoch}:{s}"),
+            )[: self._fd.gossip_fanout]
+            sends = []
+            for slot in targets:
+                seq = swim.new_seq()
+                ping = Ping(
+                    seq, my_slot, swim.incarnation, my_slot,
+                    False, swim.piggyback(PIGGYBACK_LIMIT),
+                )
+                sends.append(self.send(
+                    peers[slot], ping, kind=PING_KIND,
+                    size_bits=ping.size_bits(),
+                ))
+            if sends:
+                yield sends
+        else:
+            proposal = Elect(epoch, my_slot)
+            yield [
+                self.send(name, proposal, kind=ELECT_KIND,
+                          size_bits=ELECT_BITS)
+                for _slot, name in sorted(peers.items())
+            ]
         deadline = self.now + self._fd.election_window
         replies: dict[int, ElectOk] = {my_slot: self._fd_state(epoch)}
         while self.now < deadline:
@@ -472,4 +680,178 @@ class FailureDetectorMixin:
                     request.epoch, request.frames, request.red_slots
                 )
             return "handled"
+        if msg.kind == PING_KIND:
+            if msg.corrupted:
+                return "handled"  # the prober times out and escalates
+            ping: Ping = msg.payload
+            code = yield from self._swim_ingest(ping.updates)
+            if code == "halt":
+                return code
+            self._swim_note_peer(ping.slot, ping.incarnation, ping.holding)
+            swim = self._swim_state()
+            dest = self._fd_peers().get(ping.reply_to)
+            if dest is not None:
+                ack = PingAck(
+                    ping.seq, swim.slot, swim.incarnation,
+                    self._fd_holding(), swim.piggyback(PIGGYBACK_LIMIT),
+                )
+                yield self.send(dest, ack, kind=PING_ACK_KIND,
+                                size_bits=ack.size_bits())
+            return "handled"
+        if msg.kind == PING_ACK_KIND:
+            if msg.corrupted:
+                return "handled"
+            ack_in: PingAck = msg.payload
+            code = yield from self._swim_ingest(ack_in.updates)
+            if code == "halt":
+                return code
+            self._swim_note_peer(ack_in.slot, ack_in.incarnation,
+                                 ack_in.holding)
+            self._swim_state().on_ack(ack_in.slot, ack_in.seq)
+            return "handled"
+        if msg.kind == PING_REQ_KIND:
+            if msg.corrupted:
+                return "handled"
+            req: PingReq = msg.payload
+            code = yield from self._swim_ingest(req.updates)
+            if code == "halt":
+                return code
+            self._swim_note_peer(req.slot, req.incarnation, False)
+            swim = self._swim_state()
+            dest = self._fd_peers().get(req.target)
+            if dest is not None:
+                # Stateless relay: the target acks straight back to the
+                # requester (``reply_to``), so no helper bookkeeping.
+                relay = Ping(
+                    req.seq, swim.slot, swim.incarnation, req.slot,
+                    False, swim.piggyback(PIGGYBACK_LIMIT),
+                )
+                yield self.send(dest, relay, kind=PING_KIND,
+                                size_bits=relay.size_bits())
+            return "handled"
         return "unhandled"
+
+    # ------------------------------------------------------------------
+    # Gossip piggybacking on token traffic (transport hooks)
+    # ------------------------------------------------------------------
+    def _stamp_frame(self, frame: TokenFrame, bits: int):
+        """Piggyback pending membership updates on an outgoing token.
+
+        Announcements never ride frames — frame ingestion happens in a
+        non-yielding hook, so it could not send the replies an election
+        or halt announcement demands.
+        """
+        if self._fd is None or self._fd.membership != "gossip":
+            return frame, bits
+        updates = self._swim_state().piggyback(
+            PIGGYBACK_LIMIT, membership_only=True
+        )
+        if not updates:
+            return frame, bits
+        stamped = TokenFrame(
+            hop=frame.hop, body=frame.body, gid=frame.gid,
+            epoch=frame.epoch, gossip=updates,
+        )
+        return stamped, bits + sum(u.size_bits() for u in updates)
+
+    def _ingest_frame(self, frame: TokenFrame) -> None:
+        """Fold membership gossip off an arriving token frame.
+
+        Runs before dedup, so even a duplicate frame's piggyback is
+        used; ingestion is idempotent (precedence is a total order).
+        """
+        if self._fd is None or self._fd.membership != "gossip":
+            return
+        gossip = getattr(frame, "gossip", ())
+        if gossip:
+            # Membership-only payloads yield no actionable events.
+            self._swim_state().ingest(gossip, self.now)
+
+    # ------------------------------------------------------------------
+    # Gossip-disseminated reliable halt
+    # ------------------------------------------------------------------
+    def _reliable_halt(self, targets):
+        """Reliable halt without an all-to-all broadcast.
+
+        The halt is announced through the gossip channel: the first
+        rounds push it (as ping piggyback) to ``fanout`` monitor peers,
+        whose dispatch acks the originator and re-gossips, so a large
+        group halts in O(log N) epidemic rounds with O(N) total acks.
+        Feeders don't gossip and are always halted directly.  Later
+        rounds fall back to direct ``halt`` for whoever hasn't acked,
+        preserving the bounded-retry ``halt_incomplete`` contract.
+        """
+        if self._fd is None or self._fd.membership != "gossip":
+            yield from super()._reliable_halt(targets)
+            return
+        swim = self._swim_state()
+        swim.announce("halt", self._epoch, swim.slot)
+        if self._halting_targets is None:
+            self._halting_targets = {t for t in targets if t != self.name}
+        pending = self._halting_targets
+        peers = self._fd_peers()
+        slot_by_name = {name: slot for slot, name in peers.items()}
+        attempt = 0
+        while pending:
+            use_gossip = attempt < 2
+            ping_slots = []
+            sends = []
+            for t in sorted(pending):
+                slot = slot_by_name.get(t)
+                if (
+                    use_gossip and slot is not None
+                    and len(ping_slots) < self._fd.gossip_fanout
+                ):
+                    ping_slots.append(slot)
+                else:
+                    sends.append(self.send(t, None, kind=HALT_KIND,
+                                           size_bits=1))
+            for slot in ping_slots:
+                seq = swim.new_seq()
+                ping = Ping(
+                    seq, swim.slot, swim.incarnation, swim.slot,
+                    False, swim.piggyback(PIGGYBACK_LIMIT),
+                )
+                sends.append(self.send(
+                    peers[slot], ping, kind=PING_KIND,
+                    size_bits=ping.size_bits(),
+                ))
+            if sends:
+                yield sends
+            timeout = self._retry.timeout(attempt)
+            while pending:
+                msg = yield self.receive_timeout(
+                    timeout=timeout,
+                    description=f"{self.name} halting {len(pending)} peers",
+                )
+                if msg is None:
+                    break
+                if msg.corrupted:
+                    continue
+                if msg.kind == HALT_ACK_KIND:
+                    pending.discard(msg.src)
+                    continue
+                if msg.kind == HALT_KIND:
+                    yield self.send(msg.src, None, kind=HALT_ACK_KIND,
+                                    size_bits=HALT_ACK_BITS)
+                    pending.discard(msg.src)
+                    continue
+                yield from self._dispatch(msg)
+            attempt += 1
+            if attempt > self._retry.max_attempts:
+                self.halt_incomplete = True
+                return
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def restart(self):
+        """Rejoin the gossip group with a fresh incarnation, refuting
+        any suspicion accrued while this monitor was down."""
+        if (
+            self._fd is not None
+            and self._fd.membership == "gossip"
+            and self._swim is not None
+        ):
+            self._swim.rejoin()
+        return super().restart()

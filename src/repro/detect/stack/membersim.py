@@ -1,0 +1,154 @@
+"""Membership-only hosts for scaling the failure-detector benchmarks.
+
+The exactness suites exercise the membership layer at the paper's scale
+(a handful of monitors).  This module isolates the layer so its traffic
+can be measured at *large* monitor-group sizes without dragging a whole
+detection protocol along: a :class:`MembershipHost` runs the failure
+detector (heartbeat or SWIM gossip, per
+:class:`~repro.detect.stack.membership.FailureDetectorConfig`) over the
+reliable transport and nothing else — no token, no candidates, no
+elections (``_fd_can_take_over = False``).
+
+:func:`run_membership_trial` spins up ``n`` hosts, crash-stops one of
+them, and reports each survivor's *detection time* — the first instant
+the victim left its alive set — alongside the run's liveness bytes.
+``benchmarks/membership_scale.py`` sweeps this over group sizes to
+record the O(N) vs O(N²) traffic separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.detect.stack.membership import (
+    FailureDetectorConfig,
+    FailureDetectorMixin,
+)
+from repro.detect.stack.transport import ReliableEndpoint
+from repro.simulation.actors import Actor
+from repro.simulation.faults import CrashEvent, FaultPlan
+from repro.simulation.kernel import Kernel
+
+__all__ = ["MembershipHost", "MembershipTrial", "run_membership_trial"]
+
+
+class MembershipHost(FailureDetectorMixin, ReliableEndpoint, Actor):
+    """An actor that runs only the membership layer, for ``duration``.
+
+    Every peer starts presumed-alive (the heartbeat path pre-seeds
+    ``_fd_last_heard`` so both modes begin from the same belief), and
+    the host records the first time each peer slot drops out of its
+    alive set in ``suspected_at``.
+    """
+
+    _fd_can_take_over = False
+
+    def __init__(
+        self,
+        name: str,
+        slot: int,
+        peers: dict[int, str],
+        config: FailureDetectorConfig,
+        duration: float,
+    ) -> None:
+        super().__init__(name)
+        self._init_reliability(None)
+        self._init_failure_detector(config)
+        self._slot = slot
+        self._peers = dict(peers)
+        self._duration = duration
+        self.suspected_at: dict[int, float] = {}
+        for peer_slot in self._peers:
+            self._fd_last_heard[peer_slot] = 0.0
+
+    # -- membership-layer host hooks -----------------------------------
+    def _fd_slot(self) -> int:
+        return self._slot
+
+    def _fd_peers(self) -> dict[int, str]:
+        return self._peers
+
+    # -- run loop ------------------------------------------------------
+    def _note_suspicions(self) -> None:
+        alive = self._fd_alive_slots(self.now)
+        for peer_slot in self._peers:
+            if peer_slot not in alive and peer_slot not in self.suspected_at:
+                self.suspected_at[peer_slot] = self.now
+
+    def run(self):
+        while self.now < self._duration:
+            msg = yield from self._fd_receive(f"{self.name} membership idle")
+            if msg is not None:
+                code = yield from self._dispatch_common(msg)
+                if code == "unhandled":
+                    yield from self._dispatch_fd(msg)
+            self._note_suspicions()
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipTrial:
+    """One membership-layer run's measurements."""
+
+    n: int
+    membership: str
+    liveness_bytes: int
+    detection_times: tuple[float, ...]
+    crash_at: float
+
+    @property
+    def max_detection_latency(self) -> float:
+        """Worst survivor's time-to-suspicion for the crashed member."""
+        if not self.detection_times:
+            return float("inf")
+        return max(self.detection_times) - self.crash_at
+
+    @property
+    def all_detected(self) -> bool:
+        return len(self.detection_times) == self.n - 1
+
+
+def run_membership_trial(
+    n: int,
+    config: FailureDetectorConfig,
+    *,
+    duration: float = 40.0,
+    crash_at: float = 10.0,
+    seed: int = 0,
+) -> MembershipTrial:
+    """Run ``n`` membership hosts, crash-stop member 1, measure.
+
+    Returns the survivors' per-host detection times for the victim and
+    the whole run's liveness bytes (heartbeats + pings/acks/ping-reqs,
+    including piggybacked membership entries).
+    """
+    if n < 2:
+        raise ValueError("membership trial needs n >= 2")
+    # The detector must keep ticking for the whole trial — there is no
+    # protocol traffic to fall back on, so disable the idle cutoff.
+    config = replace(config, max_idle_rounds=10**9)
+    names = {slot: f"member-{slot}" for slot in range(n)}
+    victim_slot = 1
+    plan = FaultPlan(crashes=(CrashEvent(names[victim_slot], crash_at),))
+    kernel = Kernel(seed=seed, faults=plan, max_steps=50_000_000)
+    hosts = []
+    for slot, name in names.items():
+        peers = {s: p for s, p in names.items() if s != slot}
+        host = MembershipHost(name, slot, peers, config, duration)
+        kernel.add_actor(host)
+        hosts.append(host)
+    kernel.run(until=duration * 2)
+    detection_times = tuple(
+        sorted(
+            host.suspected_at[victim_slot]
+            for host in hosts
+            if host._slot != victim_slot
+            and victim_slot in host.suspected_at
+        )
+    )
+    return MembershipTrial(
+        n=n,
+        membership=config.membership,
+        liveness_bytes=kernel.metrics.liveness_bytes(),
+        detection_times=detection_times,
+        crash_at=crash_at,
+    )

@@ -111,17 +111,22 @@ class TokenFrame:
     ``hop`` increases by one on every forward of the same logical token;
     ``gid`` distinguishes independent tokens (the multi-token algorithm
     runs one hop sequence per group).  ``epoch`` is bumped by takeover
-    elections (see :mod:`repro.detect.failuredetect`): receivers order
+    elections (see :mod:`repro.detect.stack.membership`): receivers order
     frames lexicographically by ``(epoch, hop)``, so a token regenerated
     in a later epoch supersedes every copy of its predecessor and stale
     frames from a deposed epoch are ack-and-discarded on receipt.
     ``(gid, epoch, hop)`` is the frame's identity for dedup and acks.
+
+    ``gossip`` is an opaque piggyback payload stamped at transmission
+    time by the membership layer (empty outside gossip mode); it is not
+    part of the frame's identity and is not forwarded with the token.
     """
 
     hop: int
     body: object
     gid: int = 0
     epoch: int = 0
+    gossip: tuple = ()
 
     @property
     def key(self) -> tuple[int, int, int]:
@@ -736,6 +741,23 @@ class ReliableEndpoint:
     def _on_token_accepted(self, frame: TokenFrame) -> None:
         """Called once per *new* accepted frame, before processing."""
 
+    def _stamp_frame(
+        self, frame: TokenFrame, bits: int
+    ) -> tuple[TokenFrame, int]:
+        """Hook: decorate an outgoing token frame at transmission time.
+
+        The membership layer overrides this to piggyback gossip on
+        token traffic.  Must preserve ``frame.key`` (acks and dedup
+        match on it) and return the possibly-adjusted accounting size.
+        """
+        return frame, bits
+
+    def _ingest_frame(self, frame: TokenFrame) -> None:
+        """Hook: observe an arriving token frame before dedup.
+
+        Called for every arrival including duplicates, so overrides
+        must be idempotent.  Plain method — no yields."""
+
     def _fd_receive(self, description: str):
         """Receive one message; the failure-detector mixin overrides this
         to heartbeat while idle (may return ``None`` after an idle tick).
@@ -801,6 +823,7 @@ class ReliableEndpoint:
         if msg.corrupted:
             return  # the previous holder will retransmit
         frame: TokenFrame = msg.payload
+        self._ingest_frame(frame)
         if frame.order <= self._seen_hops.get(frame.gid, (0, 0)):
             # Duplicate (or retransmission of an already-accepted hop):
             # re-ack so the sender stops, then discard.
@@ -918,6 +941,8 @@ class ReliableEndpoint:
         while self._pending_out:
             for key in sorted(self._pending_out):
                 dest, kind, frame, bits = self._pending_out[key]
+                if kind == TOKEN_KIND:
+                    frame, bits = self._stamp_frame(frame, bits)
                 self._retry.on_send(key, self.now)
                 yield self.send(dest, frame, kind=kind, size_bits=bits)
             timeout = self._retry.timeout(attempt)

@@ -55,6 +55,9 @@ from repro.detect.stack import (
     ELECT_KIND,
     ELECT_OK_KIND,
     HEARTBEAT_KIND,
+    PING_ACK_KIND,
+    PING_KIND,
+    PING_REQ_KIND,
     REGEN_KIND,
 )
 from repro.obs.spans import Span, Trace
@@ -79,6 +82,9 @@ _KIND_NAMES = {
     POLL_RESPONSE_KIND: "poll_response",
     HALT_KIND: "halt",
     HEARTBEAT_KIND: "heartbeat",
+    PING_KIND: "ping",
+    PING_ACK_KIND: "ping_ack",
+    PING_REQ_KIND: "ping_req",
     ELECT_KIND: "elect",
     ELECT_OK_KIND: "elect_ok",
     REGEN_KIND: "regen_request",

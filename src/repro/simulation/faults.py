@@ -19,7 +19,7 @@ Design points:
 * **Marking, not mangling** — "corruption" sets
   :attr:`~repro.simulation.effects.Message.corrupted`; this models a
   checksum that lets the *receiver* detect and discard garbage, which is
-  exactly what the hardened protocols (``repro.detect.reliability``) do.
+  exactly what the hardened protocols (``repro.detect.stack``) do.
   Unhardened protocols see the flag and nothing else.
 
 Crash semantics: at ``at`` the actor's coroutine is destroyed and its
@@ -38,7 +38,14 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 
-__all__ = ["FaultRule", "CrashEvent", "PartitionEvent", "FaultPlan", "MATCH_ANY"]
+__all__ = [
+    "FaultRule",
+    "CrashEvent",
+    "PartitionEvent",
+    "ChurnEvent",
+    "FaultPlan",
+    "MATCH_ANY",
+]
 
 #: Wildcard accepted by :meth:`FaultPlan.parse` and rule fields.
 MATCH_ANY = "*"
@@ -105,6 +112,63 @@ class CrashEvent:
                 f"restart_at must be after the crash "
                 f"({self.restart_at} <= {self.at})"
             )
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """A scheduled stream of monitor leave/join cycles (membership churn).
+
+    Starting at ``start``, the named actors crash round-robin — one
+    every ``period`` seconds — and each restarts ``downtime`` seconds
+    after it went down; ``rounds`` repeats the whole rotation.  A churn
+    event is sugar over :class:`CrashEvent`: :meth:`crashes` expands it
+    deterministically, so the kernel, metrics and describe/parse paths
+    all see ordinary crash/restart lifecycle events.
+    """
+
+    actors: tuple[str, ...]
+    start: float
+    period: float
+    downtime: float
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actors", tuple(self.actors))
+        if not self.actors or any(not a for a in self.actors):
+            raise ConfigurationError("churn needs non-empty actor names")
+        if self.start < 0:
+            raise ConfigurationError(
+                f"churn start must be >= 0, got {self.start}"
+            )
+        if self.period <= 0:
+            raise ConfigurationError(
+                f"churn period must be > 0, got {self.period}"
+            )
+        if self.downtime <= 0:
+            raise ConfigurationError(
+                f"churn downtime must be > 0, got {self.downtime}"
+            )
+        if self.rounds < 1:
+            raise ConfigurationError(
+                f"churn rounds must be >= 1, got {self.rounds}"
+            )
+
+    def crashes(self) -> tuple[CrashEvent, ...]:
+        """The round-robin crash/restart expansion of this churn."""
+        events = []
+        for r in range(self.rounds):
+            for i, actor in enumerate(self.actors):
+                at = self.start + (r * len(self.actors) + i) * self.period
+                events.append(CrashEvent(actor, at, at + self.downtime))
+        return tuple(events)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        names = "+".join(self.actors)
+        text = f"churn:{names}@{self.start:g}x{self.period:g}~{self.downtime:g}"
+        if self.rounds != 1:
+            text += f"*{self.rounds}"
+        return text
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,11 +245,20 @@ class FaultPlan:
     rules: tuple[FaultRule, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
     partitions: tuple[PartitionEvent, ...] = ()
+    churns: tuple[ChurnEvent, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "churns", tuple(self.churns))
+
+    def all_crashes(self) -> tuple[CrashEvent, ...]:
+        """Explicit crashes plus every churn's expansion (kernel view)."""
+        expanded = list(self.crashes)
+        for churn in self.churns:
+            expanded.extend(churn.crashes())
+        return tuple(expanded)
 
     # ------------------------------------------------------------------
     # Kernel interface
@@ -226,6 +299,7 @@ class FaultPlan:
             rules=self.rules + other.rules,
             crashes=self.crashes + other.crashes,
             partitions=self.partitions + other.partitions,
+            churns=self.churns + other.churns,
         )
 
     @property
@@ -247,6 +321,8 @@ class FaultPlan:
             crash:<actor>:<at>[:<restart_at>]   e.g. crash:mon-1:4:9
             partition:<at>:<heal_at>:<g1>|<g2>|...
                                      e.g. partition:4:20:mon-0+app-0|mon-1
+            churn:<a1+a2+...>:<start>:<period>:<downtime>[:<rounds>]
+                                     e.g. churn:mon-1+mon-2:5:12:6:2
 
         ``<kind>`` may be ``*`` for all message kinds.  Repeated
         drop/dup/corrupt clauses for the same kind merge into one rule.
@@ -258,6 +334,7 @@ class FaultPlan:
         order: list[str | None] = []
         crashes: list[CrashEvent] = []
         partitions: list[PartitionEvent] = []
+        churns: list[ChurnEvent] = []
         for raw in spec.split(","):
             clause = raw.strip()
             if not clause:
@@ -287,6 +364,31 @@ class FaultPlan:
                     for side in parts[3].split("|")
                 )
                 partitions.append(PartitionEvent(at, groups, heal))
+                continue
+            if op == "churn":
+                if len(parts) not in (5, 6):
+                    raise ConfigurationError(
+                        f"bad churn clause {clause!r}; expected "
+                        f"churn:<a1+a2+...>:<start>:<period>:<downtime>"
+                        f"[:<rounds>]"
+                    )
+                actors = tuple(
+                    name.strip()
+                    for name in parts[1].split("+")
+                    if name.strip()
+                )
+                try:
+                    start = float(parts[2])
+                    period = float(parts[3])
+                    downtime = float(parts[4])
+                    rounds = int(parts[5]) if len(parts) == 6 else 1
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad churn numbers in {clause!r}"
+                    ) from None
+                churns.append(
+                    ChurnEvent(actors, start, period, downtime, rounds)
+                )
                 continue
             if op == "crash":
                 if len(parts) not in (3, 4):
@@ -332,6 +434,7 @@ class FaultPlan:
             rules=rules,
             crashes=tuple(crashes),
             partitions=tuple(partitions),
+            churns=tuple(churns),
         )
 
     def describe(self) -> str:
@@ -356,4 +459,6 @@ class FaultPlan:
             bits.append(f"crash:{c.actor}{when}")
         for p in self.partitions:
             bits.append(p.describe())
+        for ch in self.churns:
+            bits.append(ch.describe())
         return " ".join(bits) if bits else "(no faults)"

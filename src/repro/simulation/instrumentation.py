@@ -19,7 +19,18 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import SimulationError
 
-__all__ = ["ActorMetrics", "ChannelFaultStats", "FaultSummary", "MetricsBoard"]
+__all__ = [
+    "LIVENESS_KINDS",
+    "ActorMetrics",
+    "ChannelFaultStats",
+    "FaultSummary",
+    "MetricsBoard",
+]
+
+#: Message kinds that exist only to keep the failure detector alive —
+#: heartbeat broadcasts and the SWIM probe traffic.  Named by string so
+#: the simulation layer never imports from ``repro.detect`` (layering).
+LIVENESS_KINDS = frozenset({"heartbeat", "ping", "ping_ack", "ping_req"})
 
 
 @dataclass
@@ -49,6 +60,7 @@ class FaultSummary:
     crashes: int = 0
     restarts: int = 0
     partitions: int = 0
+    liveness_bytes: int = 0
 
     @property
     def total_message_faults(self) -> int:
@@ -69,6 +81,7 @@ class FaultSummary:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "partitions": self.partitions,
+            "liveness_bytes": self.liveness_bytes,
             "total_message_faults": self.total_message_faults,
         }
 
@@ -86,6 +99,7 @@ class ActorMetrics:
     buffered_bits: int = 0
     buffered_bits_high_water: int = 0
     sent_by_kind: dict[str, int] = field(default_factory=dict)
+    sent_bits_by_kind: dict[str, int] = field(default_factory=dict)
     received_by_kind: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -94,6 +108,9 @@ class ActorMetrics:
         self.messages_sent += 1
         self.bits_sent += size_bits
         self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        self.sent_bits_by_kind[kind] = (
+            self.sent_bits_by_kind.get(kind, 0) + size_bits
+        )
 
     def charge_receive(self, kind: str, size_bits: int) -> None:
         """Record a consumed message (called by the kernel)."""
@@ -203,6 +220,7 @@ class MetricsBoard:
             crashes=sum(self._crashes.values()),
             restarts=sum(self._restarts.values()),
             partitions=self._partitions,
+            liveness_bytes=self.liveness_bytes(),
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +273,23 @@ class MetricsBoard:
         """Total messages of one kind sent across all actors."""
         return sum(m.sent_by_kind.get(kind, 0) for m in self._actors.values())
 
+    def bits_of_kind(self, kind: str) -> int:
+        """Total bits of one message kind sent across all actors."""
+        return sum(
+            m.sent_bits_by_kind.get(kind, 0) for m in self._actors.values()
+        )
+
+    def liveness_bytes(self) -> int:
+        """Bytes spent purely on failure-detection traffic.
+
+        Sums the :data:`LIVENESS_KINDS` message kinds — heartbeats plus
+        SWIM pings/acks/ping-reqs (piggybacked membership entries ride
+        inside those sizes).  This is the quantity the membership-scale
+        benchmark compares across detector modes.
+        """
+        bits = sum(self.bits_of_kind(kind) for kind in LIVENESS_KINDS)
+        return bits // 8
+
     # ------------------------------------------------------------------
     # Telemetry snapshot
     # ------------------------------------------------------------------
@@ -274,6 +309,7 @@ class MetricsBoard:
                 "work_units": m.work_units,
                 "space_high_water_bits": m.buffered_bits_high_water,
                 "sent_by_kind": dict(m.sent_by_kind),
+                "sent_bits_by_kind": dict(m.sent_bits_by_kind),
                 "received_by_kind": dict(m.received_by_kind),
             }
             for name, m in sorted(self._actors.items())
@@ -285,6 +321,7 @@ class MetricsBoard:
                 "work": self.total_work(),
                 "max_work_per_actor": self.max_work_per_actor(),
                 "max_space_bits_per_actor": self.max_space_per_actor(),
+                "liveness_bytes": self.liveness_bytes(),
             },
             "actors": actors,
         }

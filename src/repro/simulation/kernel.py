@@ -140,7 +140,7 @@ class Kernel:
         self._fault_rng = spawn_rng(seed, "faults") if faults is not None else None
         self._live_partitions: list[PartitionEvent] = []
         if faults is not None:
-            for crash in faults.crashes:
+            for crash in faults.all_crashes():
                 self._schedule(crash.at, "crash", crash)
             for partition in faults.partitions:
                 self._schedule(partition.at, "partition_start", partition)
@@ -210,6 +210,25 @@ class Kernel:
         self._states[actor.name] = state
         actor.attach(self.metrics.register(actor.name), lambda: self._time)
         self._schedule(self._time, "start", actor.name)
+
+    def spawn_at(self, at: float, actor: Actor) -> None:
+        """Register an actor that joins the simulation at time ``at``.
+
+        Like :meth:`add_actor`, but the start event is scheduled in the
+        future — the kernel-level *join* primitive membership-churn
+        experiments build on.  Messages sent to the actor before its
+        start time simply wait in its mailbox.
+        """
+        if at < self._time:
+            raise SimulationError(
+                f"spawn_at({at}) is in the past (now={self._time})"
+            )
+        if actor.name in self._states:
+            raise SimulationError(f"duplicate actor name {actor.name!r}")
+        state = _ActorState(actor)
+        self._states[actor.name] = state
+        actor.attach(self.metrics.register(actor.name), lambda: self._time)
+        self._schedule(at, "start", actor.name)
 
     def actor(self, name: str) -> Actor:
         """Look up a registered actor by name."""

@@ -51,6 +51,8 @@ class SweepCell:
     seed: int = 0
     faults: str | None = None
     self_heal: bool = False
+    membership: str = "heartbeat"
+    gossip_fanout: int = 3
 
     def __post_init__(self) -> None:
         require(
@@ -77,6 +79,18 @@ class SweepCell:
                 f"detector {self.detector!r} is not fault-capable; "
                 f"self_heal requires one of {sorted(FAULT_CAPABLE)}",
             )
+        require(
+            self.membership in ("heartbeat", "gossip"),
+            f"membership must be 'heartbeat' or 'gossip', "
+            f"got {self.membership!r}",
+        )
+        require(self.gossip_fanout >= 1, "gossip_fanout must be >= 1")
+        if self.membership != "heartbeat":
+            require(
+                self.self_heal,
+                "membership='gossip' requires self_heal (the failure "
+                "detector is the layer being selected)",
+            )
 
     @property
     def group(self) -> str:
@@ -84,10 +98,15 @@ class SweepCell:
         width = "all" if self.pred_width is None else str(self.pred_width)
         faults = self.faults if self.faults else "none"
         heal = "/heal" if self.self_heal else ""
+        gossip = (
+            f"/gossip{self.gossip_fanout}"
+            if self.membership != "heartbeat"
+            else ""
+        )
         return (
             f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
             f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
-            f"/w{width}/f{faults}{heal}"
+            f"/w{width}/f{faults}{heal}{gossip}"
         )
 
     @property
@@ -134,6 +153,8 @@ class SweepCell:
             "seed": self.seed,
             "faults": self.faults,
             "self_heal": self.self_heal,
+            "membership": self.membership,
+            "gossip_fanout": self.gossip_fanout,
         }
 
 
@@ -168,6 +189,8 @@ class SweepMatrix:
     plant_final_cut: bool = True
     internal_rate: float = 0.5
     self_heal: bool = False
+    membership: tuple[str, ...] = ("heartbeat",)
+    gossip_fanouts: tuple[int, ...] = (3,)
 
     def __post_init__(self) -> None:
         require(bool(self.name), "matrix name must be non-empty")
@@ -180,6 +203,8 @@ class SweepMatrix:
             "pred_widths",
             "seeds",
             "faults",
+            "membership",
+            "gossip_fanouts",
         ):
             object.__setattr__(
                 self,
@@ -191,10 +216,47 @@ class SweepMatrix:
             not unknown,
             f"unknown detectors {unknown}; available: {sorted(DETECTORS)}",
         )
+        bad_membership = sorted(
+            set(self.membership) - {"heartbeat", "gossip"}
+        )
+        require(
+            not bad_membership,
+            f"unknown membership modes {bad_membership}; "
+            f"expected 'heartbeat' and/or 'gossip'",
+        )
+        require(
+            all(f >= 1 for f in self.gossip_fanouts),
+            "gossip_fanouts entries must be >= 1",
+        )
+        require(
+            "gossip" not in self.membership or self.self_heal,
+            "membership axis includes 'gossip' but self_heal is false; "
+            "gossip cells need the failure detector enabled",
+        )
         require(
             self.num_cells <= MAX_CELLS,
             f"matrix expands to {self.num_cells} cells; limit is {MAX_CELLS}",
         )
+
+    def _membership_variants(
+        self, detector: str
+    ) -> tuple[tuple[str, int], ...]:
+        """The ``(membership, fanout)`` pairs one detector expands over.
+
+        The fanout axis only multiplies gossip cells; heartbeat mode has
+        no fanout so it contributes a single variant.  Detectors without
+        a hardened variant run fault-free reference code and stay on the
+        (inert) heartbeat default.
+        """
+        if detector not in FAULT_CAPABLE:
+            return (("heartbeat", 3),)
+        variants: list[tuple[str, int]] = []
+        for mode in self.membership:
+            if mode == "gossip":
+                variants.extend(("gossip", f) for f in self.gossip_fanouts)
+            else:
+                variants.append(("heartbeat", 3))
+        return tuple(variants)
 
     @property
     def num_cells(self) -> int:
@@ -210,6 +272,7 @@ class SweepMatrix:
                 * len(self.pred_widths)
                 * len(self.seeds)
                 * fault_variants
+                * len(self._membership_variants(detector))
             )
         return count
 
@@ -227,14 +290,16 @@ class SweepMatrix:
                 self.densities,
                 self.pred_widths,
                 fault_specs,
+                self._membership_variants(detector),
                 self.seeds,
             )
-            for n, sends, pattern, density, width, spec, seed in points:
+            for n, sends, pattern, density, width, spec, mem, seed in points:
                 if width is not None and width > n:
                     raise ConfigurationError(
                         f"pred_width {width} exceeds processes {n} "
                         f"in matrix {self.name!r}"
                     )
+                membership, fanout = mem
                 out.append(
                     SweepCell(
                         detector=detector,
@@ -248,6 +313,8 @@ class SweepMatrix:
                         seed=seed,
                         faults=spec,
                         self_heal=self.self_heal and detector in FAULT_CAPABLE,
+                        membership=membership,
+                        gossip_fanout=fanout,
                     )
                 )
         return out
@@ -267,6 +334,8 @@ class SweepMatrix:
             "plant_final_cut": self.plant_final_cut,
             "internal_rate": self.internal_rate,
             "self_heal": self.self_heal,
+            "membership": list(self.membership),
+            "gossip_fanouts": list(self.gossip_fanouts),
         }
 
     @classmethod
@@ -289,6 +358,8 @@ class SweepMatrix:
             "plant_final_cut",
             "internal_rate",
             "self_heal",
+            "membership",
+            "gossip_fanouts",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -307,7 +378,15 @@ class SweepMatrix:
             "processes": tuple(data["processes"]),
             "sends": tuple(data["sends"]),
         }
-        for key in ("patterns", "densities", "pred_widths", "seeds", "faults"):
+        for key in (
+            "patterns",
+            "densities",
+            "pred_widths",
+            "seeds",
+            "faults",
+            "membership",
+            "gossip_fanouts",
+        ):
             if key in data:
                 kwargs[key] = tuple(data[key])
         for key in ("plant_final_cut", "internal_rate", "self_heal"):

@@ -78,14 +78,19 @@ def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
     if cell.faults is not None:
         options["faults"] = FaultPlan.parse(cell.faults)
     if cell.self_heal and cell.faults is not None:
-        options["failure_detector"] = FailureDetectorConfig()
+        options["failure_detector"] = FailureDetectorConfig(
+            membership=cell.membership,
+            gossip_fanout=cell.gossip_fanout,
+        )
     report = run_detector(cell.detector, computation, wcp, **options)
     stats = cache.stats()
+    faults = getattr(getattr(report, "sim", None), "faults", None)
     return {
         "id": cell.cell_id,
         "group": cell.group,
         "cell": cell.to_dict(),
         "units": paper_units(report),
+        "liveness_bytes": faults.liveness_bytes if faults is not None else 0,
         "wall_s": time.perf_counter() - started,
         "cache_hit": stats["hits"] > 0,
         "cache_corrupt": stats["corrupt"] > 0,

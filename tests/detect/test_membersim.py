@@ -1,0 +1,60 @@
+"""Membership-scale harness: liveness traffic shape at small sizes.
+
+The committed benchmark (``benchmarks/results/membership_scale.json``)
+records the full {8, 32, 128} sweep; this fast test pins the *shape* on
+sizes small enough for tier-1: heartbeat liveness bytes grow
+super-linearly in the group size, gossip bytes grow ~linearly, and both
+modes detect a crash-stop within their documented bounds.
+"""
+
+from repro.detect.stack import FailureDetectorConfig
+from repro.detect.stack.membersim import run_membership_trial
+
+DURATION = 30.0
+CRASH_AT = 8.0
+
+
+def _trial(mode, n):
+    config = FailureDetectorConfig(membership=mode)
+    return run_membership_trial(
+        n, config, duration=DURATION, crash_at=CRASH_AT
+    )
+
+
+class TestTrafficShape:
+    def test_heartbeat_bytes_grow_quadratically(self):
+        small, large = _trial("heartbeat", 4), _trial("heartbeat", 12)
+        ratio = large.liveness_bytes / small.liveness_bytes
+        # N tripled: O(N^2) traffic should grow ~9x; leave slack for
+        # constant terms but rule out linear growth.
+        assert ratio > 4.5, ratio
+
+    def test_gossip_bytes_grow_linearly(self):
+        small, large = _trial("gossip", 4), _trial("gossip", 12)
+        ratio = large.liveness_bytes / small.liveness_bytes
+        # N tripled: O(N) traffic grows ~3x; rule out quadratic growth.
+        assert ratio < 4.5, ratio
+
+    def test_gossip_cheaper_at_scale(self):
+        assert (
+            _trial("gossip", 12).liveness_bytes
+            < _trial("heartbeat", 12).liveness_bytes
+        )
+
+
+class TestDetection:
+    def test_both_modes_detect_crash_stop(self):
+        # Gossip needs a few probe rounds (round-robin at small N) plus
+        # dissemination before the last survivor suspects the victim.
+        for mode in ("heartbeat", "gossip"):
+            config = FailureDetectorConfig(membership=mode)
+            trial = run_membership_trial(
+                6, config, duration=60.0, crash_at=CRASH_AT
+            )
+            assert trial.all_detected, mode
+            assert trial.max_detection_latency < 60.0 - CRASH_AT, mode
+
+    def test_gossip_counts_ping_traffic_only(self):
+        trial = _trial("gossip", 4)
+        assert trial.liveness_bytes > 0
+        assert trial.membership == "gossip"

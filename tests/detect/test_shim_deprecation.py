@@ -1,0 +1,46 @@
+"""The pre-stack module paths still work but warn on import.
+
+``repro.detect.reliability`` and ``repro.detect.failuredetect`` became
+thin re-export shims when the layered stack landed; they now emit a
+``DeprecationWarning`` at import time while keeping every old name
+importable.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = ("repro.detect.reliability", "repro.detect.failuredetect")
+
+
+def _fresh_import(module_name):
+    sys.modules.pop(module_name, None)
+    return importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", SHIMS)
+def test_import_emits_deprecation_warning(module_name):
+    with pytest.warns(DeprecationWarning, match="repro.detect.stack"):
+        _fresh_import(module_name)
+
+
+def test_reliability_reexports_intact():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = _fresh_import("repro.detect.reliability")
+    from repro.detect.stack import transport
+
+    for name in ("ReliableEndpoint", "TokenFrame", "RetryPolicy"):
+        assert getattr(shim, name) is getattr(transport, name)
+
+
+def test_failuredetect_reexports_intact():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = _fresh_import("repro.detect.failuredetect")
+    from repro.detect.stack import membership
+
+    for name in ("FailureDetectorMixin", "FailureDetectorConfig"):
+        assert getattr(shim, name) is getattr(membership, name)

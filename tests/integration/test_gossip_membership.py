@@ -1,0 +1,150 @@
+"""Integration: gossip (SWIM) membership under faults.
+
+The membership knob must be behavior-preserving where it matters: with
+``FailureDetectorConfig(membership="gossip")`` every hardened detector
+still reports exactly the fault-free reference verdict and first cut
+under message loss + crash, partition + heal, and monitor churn.  The
+SWIM layer only changes *how* liveness is learned (randomized probes +
+piggybacked gossip instead of all-to-all heartbeats), never what the
+detection protocol concludes.
+"""
+
+import pytest
+
+from repro.detect import run_detector
+from repro.detect.stack import FailureDetectorConfig
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import (
+    ChurnEvent,
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
+from repro.trace import random_computation
+
+HARDENED = ("token_vc", "token_vc_multi", "direct_dep", "direct_dep_parallel")
+
+GOSSIP = FailureDetectorConfig(membership="gossip")
+
+LOSSY = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.2),),
+    crashes=(CrashEvent("mon-1", 4.0, 9.0),),
+)
+
+PARTITIONED = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.15),),
+    crashes=(CrashEvent("mon-1", 6.0, 60.0),),
+    partitions=(
+        PartitionEvent(10.0, (frozenset({"mon-0", "app-0"}),), 25.0),
+    ),
+)
+
+#: Rolling monitor churn: mon-1 and mon-2 alternate going down for 5s
+#: every 10s, twice each, on top of token loss.
+CHURN = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.1),),
+    churns=(ChurnEvent(("mon-1", "mon-2"), 4.0, 10.0, 5.0, rounds=2),),
+)
+
+
+def _case(seed):
+    comp = random_computation(
+        3, 4, seed=seed, predicate_density=0.3,
+        plant_final_cut=(seed % 2 == 0),
+    )
+    return comp, WeakConjunctivePredicate.of_flags(range(3))
+
+
+def _assert_agrees(name, comp, wcp, seed, plan, ref):
+    rep = run_detector(
+        name, comp, wcp, seed=seed, faults=plan,
+        hardened=True, failure_detector=GOSSIP,
+    )
+    assert rep.detected == ref.detected, f"{name} verdict"
+    assert rep.cut == ref.cut, f"{name} cut"
+    if not rep.detected:
+        assert rep.outcome == "not_detected", name
+
+
+class TestGossipLossAndCrashAgreement:
+    """50 seeded workloads x 4 hardened detectors, gossip membership."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, LOSSY, ref)
+
+
+class TestGossipPartitionHealAgreement:
+    """Partition + long crash + loss: gossip-mode self-healing still
+    yields exactly the fault-free verdict and first cut."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, PARTITIONED, ref)
+
+    def test_gossip_traffic_flows_and_is_counted(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=PARTITIONED,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        metrics = rep.metrics
+        assert metrics.messages_of_kind("ping") > 0
+        assert metrics.messages_of_kind("ping_ack") > 0
+        assert metrics.messages_of_kind("heartbeat") == 0
+        assert rep.sim.faults.liveness_bytes > 0
+
+    def test_takeovers_still_fire_via_gossip(self):
+        takeovers = 0
+        for seed in range(10):
+            comp, wcp = _case(seed)
+            ref = run_detector("reference", comp, wcp)
+            rep = run_detector(
+                "token_vc", comp, wcp, seed=seed, faults=PARTITIONED,
+                hardened=True, failure_detector=GOSSIP,
+            )
+            takeovers += rep.extras["takeovers"]
+            assert rep.detected == ref.detected
+            assert rep.cut == ref.cut
+        assert takeovers > 0
+
+
+class TestGossipChurnAgreement:
+    """Rolling monitor churn: repeated crash/restart cycles with
+    incarnation-numbered rejoin must not perturb the verdict."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, CHURN, ref)
+
+    def test_churn_counts_crashes_and_restarts(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=CHURN,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        summary = rep.sim.faults
+        assert summary.crashes >= 2
+        assert summary.restarts >= 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_heartbeat_mode_survives_churn_too(self, seed):
+        """The churn fault is membership-agnostic; the heartbeat
+        detector handles it with the same exactness."""
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=seed, faults=CHURN,
+            hardened=True, failure_detector=FailureDetectorConfig(),
+        )
+        assert (rep.detected, rep.cut) == (ref.detected, ref.cut)

@@ -1,0 +1,156 @@
+"""Property-based tests for the SWIM membership state machine.
+
+:class:`~repro.detect.stack.gossip.SwimState` is pure state — no actor
+plumbing — so Hypothesis can drive it with arbitrary interleavings of
+gossip updates, probe outcomes and clock advances.  The laws under test
+are the ones the exactness suite leans on:
+
+* **Incarnation refutation** — an ``alive`` entry with a strictly
+  higher incarnation always overrides ``suspect``/``confirm`` at a
+  lower one, and ties resolve toward the worse status (SWIM's
+  precedence order), regardless of arrival order.
+* **Suspicion window** — a suspect is only confirmed after the full
+  refutation window has elapsed, never early.
+* **Piggyback buffer** — at most one entry per member is buffered (the
+  highest-precedence one), each entry is retransmitted a bounded
+  number of times, and the least-sent entries go out first.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detect.stack.gossip import (
+    ALIVE,
+    CONFIRMED,
+    SUSPECT,
+    GossipUpdate,
+    SwimState,
+)
+
+_SLOTS = (0, 1, 2, 3, 4)
+_statuses = st.sampled_from((ALIVE, SUSPECT, CONFIRMED))
+_incarnations = st.integers(min_value=0, max_value=4)
+
+
+def _state(**kw):
+    return SwimState(0, _SLOTS, seed=7, **kw)
+
+
+_updates = st.builds(
+    GossipUpdate,
+    slot=st.sampled_from(_SLOTS[1:]),
+    status=_statuses,
+    incarnation=_incarnations,
+)
+
+
+@st.composite
+def update_streams(draw):
+    return draw(st.lists(_updates, min_size=0, max_size=30))
+
+
+@given(stream=update_streams())
+def test_highest_precedence_update_wins_any_order(stream):
+    """The table converges to the max-precedence update per slot, no
+    matter what order the stream arrives in — gossip is a CRDT join."""
+    state = _state()
+    for update in stream:
+        state.apply(update, now=0.0)
+    for slot in _SLOTS[1:]:
+        relevant = [u for u in stream if u.slot == slot]
+        if not relevant:
+            assert state.status(slot) == ALIVE
+            continue
+        best = max(u.precedence for u in relevant)
+        expected = max(best, GossipUpdate(slot, ALIVE, 0).precedence)
+        entry = state.table[slot]
+        assert entry.precedence == expected
+
+
+@given(
+    suspect_inc=_incarnations,
+    alive_inc=_incarnations,
+    alive_first=st.booleans(),
+)
+def test_incarnation_refutation(suspect_inc, alive_inc, alive_first):
+    """``alive@i`` refutes ``suspect@j`` iff ``i > j``; order of
+    arrival never matters."""
+    state = _state()
+    updates = [
+        GossipUpdate(1, SUSPECT, suspect_inc),
+        GossipUpdate(1, ALIVE, alive_inc),
+    ]
+    if alive_first:
+        updates.reverse()
+    for update in updates:
+        state.apply(update, now=0.0)
+    expected = ALIVE if alive_inc > suspect_inc else SUSPECT
+    assert state.status(1) == expected
+
+
+@given(
+    window=st.floats(min_value=0.5, max_value=10.0),
+    elapsed=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_confirm_only_after_full_window(window, elapsed):
+    """``promote_due`` confirms a suspect iff the refutation window has
+    fully elapsed since suspicion began."""
+    state = _state()
+    state.apply(GossipUpdate(1, SUSPECT, 0), now=1.0)
+    assert state.status(1) == SUSPECT
+    now = 1.0 + elapsed
+    state.promote_due(now, window)
+    if now - 1.0 >= window:  # float-exact form of ``elapsed >= window``
+        assert state.status(1) == CONFIRMED
+    else:
+        assert state.status(1) == SUSPECT
+
+
+@given(stream=update_streams(), limit=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_piggyback_dedup_and_bounded_retransmission(stream, limit):
+    """One buffered entry per member; every drained batch is unique per
+    member; nothing is sent more than ``retransmit_budget`` times."""
+    state = _state()
+    for update in stream:
+        state.ingest([update], now=0.0)
+    sent_counts: dict[int, int] = {}
+    max_drains = state.retransmit_budget * len(_SLOTS) + 5
+    for _ in range(max_drains):
+        batch = state.piggyback(limit)
+        assert len(batch) <= limit
+        slots = [entry.slot for entry in batch]
+        assert len(slots) == len(set(slots)), "duplicate member in batch"
+        for entry in batch:
+            sent_counts[entry.slot] = sent_counts.get(entry.slot, 0) + 1
+    assert not state.piggyback(limit)  # budget exhausts the buffer
+    for slot, count in sent_counts.items():
+        assert count <= state.retransmit_budget, slot
+
+
+@given(stream=update_streams())
+@settings(max_examples=60)
+def test_piggyback_prefers_least_sent(stream):
+    """Entries already gossiped ``k`` times never pre-empt entries
+    gossiped fewer than ``k`` times in the same drain."""
+    state = _state()
+    for update in stream:
+        state.ingest([update], now=0.0)
+    times_sent: dict[int, int] = {}
+    for _ in range(3):
+        before = dict(times_sent)
+        batch = state.piggyback(2)
+        if not batch:
+            break
+        chosen = {entry.slot for entry in batch}
+        floor = min(before.get(s, 0) for s in chosen)
+        skipped = [
+            s
+            for s, cell in ((s, before.get(s, 0)) for s in _SLOTS[1:])
+            if s not in chosen and cell < floor and s in state.table
+        ]
+        # A member skipped despite a lower send count must simply not
+        # be buffered any more (already at budget or never buffered).
+        for slot in skipped:
+            assert ("member", slot) not in state._buffer
+        for entry in batch:
+            times_sent[entry.slot] = before.get(entry.slot, 0) + 1

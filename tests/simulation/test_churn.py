@@ -1,0 +1,114 @@
+"""Churn faults: rolling crash/restart schedules, and late actor spawn.
+
+:class:`ChurnEvent` is declarative sugar over the kernel's proven
+crash/restart machinery — it expands round-robin into
+:class:`CrashEvent` instances via :meth:`FaultPlan.all_crashes`.  The
+kernel's ``spawn_at`` complements it for workloads where actors join
+the simulation after t=0.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.simulation import Actor, Kernel
+from repro.simulation.faults import ChurnEvent, CrashEvent, FaultPlan
+
+
+class TestChurnEvent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnEvent((), 1.0, 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(("a",), -1.0, 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(("a",), 1.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(("a",), 1.0, 2.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            ChurnEvent(("a",), 1.0, 2.0, 1.0, rounds=0)
+
+    def test_round_robin_expansion(self):
+        churn = ChurnEvent(("a", "b"), 4.0, 10.0, 5.0, rounds=2)
+        crashes = churn.crashes()
+        assert crashes == (
+            CrashEvent("a", 4.0, 9.0),
+            CrashEvent("b", 14.0, 19.0),
+            CrashEvent("a", 24.0, 29.0),
+            CrashEvent("b", 34.0, 39.0),
+        )
+
+    def test_single_actor_single_round(self):
+        churn = ChurnEvent(("m",), 1.0, 3.0, 2.0)
+        assert churn.crashes() == (CrashEvent("m", 1.0, 3.0),)
+
+    def test_describe(self):
+        churn = ChurnEvent(("a", "b"), 4.0, 10.0, 5.0, rounds=2)
+        assert churn.describe() == "churn:a+b@4x10~5*2"
+        assert ChurnEvent(("m",), 1.0, 3.0, 2.0).describe() == (
+            "churn:m@1x3~2"
+        )
+
+
+class TestFaultPlanChurn:
+    def test_all_crashes_merges_explicit_and_churn(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent("x", 1.0, 2.0),),
+            churns=(ChurnEvent(("a",), 5.0, 4.0, 2.0, rounds=2),),
+        )
+        assert plan.all_crashes() == (
+            CrashEvent("x", 1.0, 2.0),
+            CrashEvent("a", 5.0, 7.0),
+            CrashEvent("a", 9.0, 11.0),
+        )
+
+    def test_parse_churn_spec(self):
+        plan = FaultPlan.parse("churn:mon-1+mon-2:4:10:5:2")
+        assert plan.churns == (
+            ChurnEvent(("mon-1", "mon-2"), 4.0, 10.0, 5.0, rounds=2),
+        )
+        # rounds defaults to 1 with the 5-part form
+        plan = FaultPlan.parse("churn:mon-1:4:10:5")
+        assert plan.churns[0].rounds == 1
+
+    def test_parse_rejects_malformed_churn(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("churn:mon-1:4:10")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("churn:mon-1:4:10:5:2:9")
+
+    def test_describe_and_merge_round_trip(self):
+        plan = FaultPlan.parse("drop:token:0.1,churn:a+b:4:10:5:2")
+        assert "churn:a+b@4x10~5*2" in plan.describe()
+        merged = plan.merge(FaultPlan.parse("churn:c:1:2:1"))
+        assert len(merged.churns) == 2
+
+
+class _Beacon(Actor):
+    """Sends one message to a peer at every run entry."""
+
+    def __init__(self, name, peer=None):
+        super().__init__(name)
+        self.started_at = None
+
+    def run(self):
+        self.started_at = self.now
+        return
+        yield  # pragma: no cover - generator marker
+
+
+class TestSpawnAt:
+    def test_actor_starts_at_requested_time(self):
+        kernel = Kernel()
+        late = _Beacon("late")
+        kernel.spawn_at(5.0, late)
+        kernel.run()
+        assert late.started_at == 5.0
+
+    def test_rejects_past_and_duplicate(self):
+        kernel = Kernel()
+        kernel.add_actor(_Beacon("a"))
+        with pytest.raises(SimulationError):
+            kernel.spawn_at(1.0, _Beacon("a"))
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.spawn_at(-1.0, _Beacon("b"))

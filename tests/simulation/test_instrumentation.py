@@ -120,9 +120,11 @@ class TestMetricsBoard:
             "work": 3,
             "max_work_per_actor": 3,
             "max_space_bits_per_actor": 32,
+            "liveness_bytes": 0,
         }
         actor = snap["actors"]["mon-0"]
         assert actor["sent_by_kind"] == {"token": 1}
+        assert actor["sent_bits_by_kind"] == {"token": 64}
         assert actor["received_by_kind"] == {"candidate": 1}
         assert actor["space_high_water_bits"] == 32
         # No fault data recorded -> no fault keys in the snapshot.

@@ -1,0 +1,101 @@
+"""Sweep-matrix membership axes: gossip cells, fanouts, round-trips."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sweep.matrix import SweepCell, SweepMatrix
+
+
+def _matrix(**kw):
+    base = dict(
+        name="t",
+        detectors=("token_vc",),
+        processes=(3,),
+        sends=(4,),
+        faults=("drop:token:0.1",),
+        self_heal=True,
+    )
+    base.update(kw)
+    return SweepMatrix(**base)
+
+
+class TestCellMembership:
+    def test_defaults_leave_ids_unchanged(self):
+        cell = SweepCell("token_vc", 3, 4)
+        assert cell.membership == "heartbeat"
+        assert "/gossip" not in cell.cell_id
+
+    def test_gossip_suffixes_the_group(self):
+        cell = SweepCell(
+            "token_vc", 3, 4, faults="drop:token:0.1",
+            self_heal=True, membership="gossip", gossip_fanout=2,
+        )
+        assert cell.group.endswith("/heal/gossip2")
+
+    def test_gossip_requires_self_heal(self):
+        with pytest.raises(ConfigurationError):
+            SweepCell("token_vc", 3, 4, membership="gossip")
+
+    def test_rejects_unknown_membership(self):
+        with pytest.raises(ConfigurationError):
+            SweepCell("token_vc", 3, 4, membership="telepathy")
+
+    def test_to_dict_carries_the_knobs(self):
+        cell = SweepCell(
+            "token_vc", 3, 4, faults="drop:token:0.1",
+            self_heal=True, membership="gossip", gossip_fanout=5,
+        )
+        data = cell.to_dict()
+        assert data["membership"] == "gossip"
+        assert data["gossip_fanout"] == 5
+
+
+class TestMatrixMembershipAxis:
+    def test_default_axis_adds_no_cells(self):
+        plain = _matrix()
+        assert plain.num_cells == len(plain.cells()) == 1
+        assert plain.cells()[0].membership == "heartbeat"
+
+    def test_gossip_axis_multiplies_by_fanouts(self):
+        matrix = _matrix(
+            membership=("heartbeat", "gossip"), gossip_fanouts=(2, 4)
+        )
+        cells = matrix.cells()
+        assert matrix.num_cells == len(cells) == 3
+        gossip = [c for c in cells if c.membership == "gossip"]
+        assert sorted(c.gossip_fanout for c in gossip) == [2, 4]
+        assert all(c.self_heal for c in gossip)
+
+    def test_fault_incapable_detectors_skip_gossip(self):
+        matrix = _matrix(
+            detectors=("token_vc", "reference"),
+            membership=("heartbeat", "gossip"),
+        )
+        for cell in matrix.cells():
+            if cell.detector == "reference":
+                assert cell.membership == "heartbeat"
+
+    def test_gossip_axis_requires_self_heal(self):
+        with pytest.raises(ConfigurationError):
+            _matrix(self_heal=False, membership=("gossip",))
+
+    def test_round_trip(self):
+        matrix = _matrix(
+            membership=("heartbeat", "gossip"), gossip_fanouts=(3, 6)
+        )
+        again = SweepMatrix.from_dict(matrix.to_dict())
+        assert again == matrix
+        assert [c.cell_id for c in again.cells()] == [
+            c.cell_id for c in matrix.cells()
+        ]
+
+    def test_old_documents_still_load(self):
+        doc = {
+            "name": "legacy",
+            "detectors": ["token_vc"],
+            "processes": [3],
+            "sends": [4],
+        }
+        matrix = SweepMatrix.from_dict(doc)
+        assert matrix.membership == ("heartbeat",)
+        assert matrix.num_cells == 1

@@ -143,6 +143,24 @@ class TestDetectJson:
             main(["detect", str(trace_file), "--faults", "partition:2::mon-0",
                   "--self-heal", "--no-hardened"])
 
+    def test_gossip_membership_runs_swim(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--faults", "drop:token:0.1,churn:mon-1:4:8:4",
+                     "--self-heal", "--membership", "gossip",
+                     "--gossip-fanout", "2", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code in (0, 1, 2)
+        totals = doc["metrics"]["totals"]
+        assert totals["liveness_bytes"] > 0
+        sent = doc["metrics"]["actors"]["mon-0"]["sent_by_kind"]
+        assert sent.get("ping", 0) > 0
+        assert sent.get("heartbeat", 0) == 0
+
+    def test_gossip_membership_requires_self_heal(self, trace_file):
+        with pytest.raises(SystemExit, match="--membership gossip needs"):
+            main(["detect", str(trace_file), "--faults", "drop:token:0.1",
+                  "--membership", "gossip"])
+
     def test_dead_feeder_names_unobservable_conjuncts(self, trace_file,
                                                       capsys):
         code = main(["detect", str(trace_file), "--detector", "token_vc",

@@ -40,6 +40,7 @@ FORBIDDEN_PREFIXES = (
     "repro.detect.failuredetect",
     "repro.detect.stack.transport",
     "repro.detect.stack.membership",
+    "repro.detect.stack.gossip",
     "repro.detect.stack.compose",
 )
 
