@@ -64,6 +64,63 @@ def bench_e14_detection_time_overhead(benchmark, emit):
     )
 
 
+def bench_e14_invariant_monitor_overhead(benchmark):
+    """The invariant monitors must be passive and near-free.
+
+    Passive: attaching ``check_invariants=True`` changes no observable
+    of the run — same verdict, same first cut, same simulated
+    detection time, same paper-unit message/bit totals.  Near-free:
+    the wall-clock cost of checking every sent message online stays
+    within 5% of the unmonitored run at zero faults (with a generous
+    absolute backstop so a noisy scheduler tick cannot flake a run
+    whose baseline is microseconds).
+    """
+    import time
+
+    def measure():
+        rows = []
+        for n, m in SIZES:
+            for seed in SEEDS:
+                comp = random_computation(
+                    n, m, seed=seed, predicate_density=0.3,
+                    plant_final_cut=True,
+                )
+                wcp = WeakConjunctivePredicate.of_flags(tuple(range(n)))
+                t0 = time.perf_counter()
+                plain = run_detector(
+                    "token_vc", comp, wcp, seed=seed, hardened=True,
+                )
+                t1 = time.perf_counter()
+                watched = run_detector(
+                    "token_vc", comp, wcp, seed=seed, hardened=True,
+                    check_invariants=True,
+                )
+                t2 = time.perf_counter()
+                assert watched.extras["invariant_violations"] == 0
+                assert watched.detected == plain.detected
+                assert watched.cut == plain.cut
+                assert watched.detection_time == plain.detection_time
+                p_tot = plain.metrics.snapshot()["totals"]
+                w_tot = watched.metrics.snapshot()["totals"]
+                assert w_tot["messages"] == p_tot["messages"]
+                assert w_tot["bits"] == p_tot["bits"]
+                rows.append((t1 - t0, t2 - t1))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    plain_s = sum(r[0] for r in rows)
+    watched_s = sum(r[1] for r in rows)
+    ratio = watched_s / plain_s
+    print(f"\nE14 monitored/plain wall ratio: {ratio:.3f} "
+          f"({watched_s:.3f}s vs {plain_s:.3f}s)")
+    # 5% relative budget, with an absolute backstop: tiny baselines
+    # amplify scheduler noise into huge ratios.
+    assert ratio <= 1.05 or watched_s - plain_s <= 0.25, (
+        f"invariant monitors cost {(ratio - 1) * 100:.1f}% wall time "
+        "at zero faults (budget: 5% or 250ms absolute)"
+    )
+
+
 def bench_e14_adaptive_vs_fixed_retry(benchmark):
     """Adaptive retransmission must be free when nothing is lost.
 

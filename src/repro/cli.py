@@ -123,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
              "(JSONL; online detectors only; render with 'repro report')",
     )
     det.add_argument(
+        "--invariants", action="store_true",
+        help="attach the streaming protocol-invariant monitors (token "
+             "conservation, vc monotonicity, candidate ordering, "
+             "election safety, SWIM lifecycle) to the run; violations "
+             "are reported and folded into the extras (online "
+             "detectors only)",
+    )
+    det.add_argument(
+        "--flight-recorder", type=pathlib.Path, default=None,
+        metavar="FILE",
+        help="keep an always-on ring buffer of the last K message "
+             "events per actor and dump it to FILE (trace JSONL) only "
+             "if the run crashes, degrades or violates an invariant",
+    )
+    det.add_argument(
         "--verbose", action="store_true",
         help="print a one-line per-run summary to stderr",
     )
@@ -164,6 +179,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="a .jsonl span trace written by detect --trace-out")
     rep.add_argument("--width", type=int, default=72,
                      help="timeline width in columns (default 72)")
+
+    ver = sub.add_parser(
+        "verify-trace",
+        help="replay a recorded span trace (detect --trace-out or a "
+             "flight-recorder dump) through the protocol invariant "
+             "monitors offline",
+    )
+    ver.add_argument("trace", type=pathlib.Path,
+                     help="a .jsonl span trace to verify")
+    ver.add_argument("--refutation-window", type=float, default=None,
+                     metavar="S",
+                     help="enable the SWIM suspect->confirm timing check "
+                          "with this refutation window in simulated "
+                          "seconds (the failure detector's "
+                          "suspicion_after; default: timing check off)")
+    ver.add_argument("--probe-interval", type=float, default=4.0,
+                     metavar="S",
+                     help="probe period used as emission slack by the "
+                          "timing check (default 4.0)")
+    ver.add_argument("--json", action="store_true",
+                     help="print the violation records as JSON")
 
     imp = sub.add_parser(
         "import-log",
@@ -214,6 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--gossip-fanouts", default="3",
                      help="comma-separated SWIM fanouts, ranges allowed; "
                           "multiplies gossip cells only (default: 3)")
+    swp.add_argument("--check-invariants", action="store_true",
+                     help="run every online cell under the streaming "
+                          "protocol-invariant monitors; violation counts "
+                          "fold into the per-cell paper units")
+    swp.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                     help="record full span traces for the N lowest "
+                          "seeds of every group (deterministic sample; "
+                          "default 0 = off)")
+    swp.add_argument("--trace-dir", type=pathlib.Path, default=None,
+                     metavar="DIR",
+                     help="directory for --trace-sample traces "
+                          "(default: sweep-traces)")
+    swp.add_argument("--flight-dir", type=pathlib.Path, default=None,
+                     metavar="DIR",
+                     help="arm a flight recorder on every online cell "
+                          "and dump ring-buffer JSONL here for cells "
+                          "that error, degrade or violate an invariant")
     swp.add_argument("--workers", type=int, default=1,
                      help="worker processes (default 1 = run inline)")
     swp.add_argument("--cache-dir", type=pathlib.Path, default=None,
@@ -313,6 +366,21 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
         tracer = SpanTracer()
         options["observers"] = [tracer]
+    recorder = None
+    if args.invariants or args.flight_recorder is not None:
+        if offline:
+            raise SystemExit(
+                "error: --invariants and --flight-recorder observe a "
+                "protocol simulation; they require an online detector, "
+                f"not {args.detector!r}"
+            )
+    if args.invariants:
+        options["check_invariants"] = True
+    if args.flight_recorder is not None:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder()
+        options.setdefault("observers", []).append(recorder)
     if args.self_heal and args.faults is None:
         raise SystemExit("error: --self-heal requires --faults")
     if args.faults is not None:
@@ -366,6 +434,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"error: detector {args.detector!r} failed: {exc}",
             file=sys.stderr,
         )
+        if recorder is not None and len(recorder):
+            recorder.dump(
+                args.flight_recorder,
+                detector=args.detector,
+                outcome="error",
+                error=str(exc),
+            )
+            print(
+                f"flight recorder dumped: {args.flight_recorder}",
+                file=sys.stderr,
+            )
         return 3
     cut_dict = None
     if report.cut is not None:
@@ -394,6 +473,22 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         dump_jsonl(trace, args.trace_out)
         if not args.json:
             print(f"trace:     {args.trace_out} ({len(trace)} spans)")
+    flight_file = None
+    if recorder is not None:
+        violations = int(report.extras.get("invariant_violations", 0) or 0)
+        crashes = 0
+        if report.sim is not None and report.sim.faults is not None:
+            crashes = report.sim.faults.crashes
+        if report.degraded or violations or crashes:
+            flight_file = recorder.dump(
+                args.flight_recorder,
+                detector=report.detector,
+                outcome=report.outcome,
+                invariant_violations=violations,
+                crashes=crashes,
+            )
+            if not args.json:
+                print(f"flight:    {flight_file} ({len(recorder)} events)")
     if args.json:
         import json
 
@@ -415,6 +510,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 doc["faults"] = report.sim.faults.as_dict()
         if args.trace_out is not None:
             doc["trace_file"] = str(args.trace_out)
+        if flight_file is not None:
+            doc["flight_file"] = str(flight_file)
         print(json.dumps(doc, indent=2, default=str))
     else:
         print(f"detector:  {report.detector}")
@@ -437,7 +534,15 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 f"partitions={f.partitions}"
             )
         for key, value in sorted(report.extras.items()):
+            if key in ("invariant_violation_details", "invariant_summary"):
+                continue
             print(f"{key}: {value}")
+        for detail in report.extras.get("invariant_violation_details", ()):
+            print(
+                f"  violation: t={detail['time']:g} "
+                f"{detail['invariant']} {detail['actor']}: "
+                f"{detail['detail']}"
+            )
     if report.detected:
         return 0
     return 2 if report.degraded else 1
@@ -455,6 +560,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {exc}")
     print(render_report(trace, width=args.width))
     return 0
+
+
+def _cmd_verify_trace(args: argparse.Namespace) -> int:
+    from repro.common.errors import ObservabilityError
+    from repro.obs import load_jsonl, replay_trace
+
+    if not args.trace.exists():
+        raise SystemExit(f"error: no such trace file: {args.trace}")
+    try:
+        trace = load_jsonl(args.trace)
+    except ObservabilityError as exc:
+        raise SystemExit(f"error: {exc}")
+    options: dict = {"probe_interval": args.probe_interval}
+    if args.refutation_window is not None:
+        options["refutation_window"] = args.refutation_window
+    violations = replay_trace(trace, **options)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "trace": str(args.trace),
+                    "spans": len(trace),
+                    "truncated": bool(trace.meta.get("truncated")),
+                    "violations": [v.as_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        if trace.meta.get("truncated"):
+            print("note: trace file was crash-truncated (torn final line)")
+        if trace.meta.get("flight_recorder"):
+            print(
+                "note: flight-recorder dump (windowed; continuity "
+                "checks relaxed)"
+            )
+        for violation in violations:
+            print(violation.describe())
+        label = "violation" if len(violations) == 1 else "violations"
+        print(
+            f"{args.trace}: {len(trace)} spans, "
+            f"{len(violations)} invariant {label}"
+        )
+    return 1 if violations else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -621,11 +772,11 @@ def _cache_root(args: argparse.Namespace) -> pathlib.Path:
     return args.cache_dir if args.cache_dir is not None else default_cache_root()
 
 
-def _run_sweep_or_exit(matrix, cache_root, workers: int):
+def _run_sweep_or_exit(matrix, cache_root, workers: int, **extra):
     """Run a sweep; report worker failures and return (result, exit_code)."""
     from repro.sweep import run_sweep
 
-    result = run_sweep(matrix, cache_root, workers=workers)
+    result = run_sweep(matrix, cache_root, workers=workers, **extra)
     for error in result.errors:
         print(
             f"error: sweep cell {error['id']} failed: {error['error']}",
@@ -639,8 +790,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
+    if args.trace_sample < 0:
+        raise SystemExit("error: --trace-sample must be >= 0")
     matrix = _sweep_matrix_from_args(args)
-    result, code = _run_sweep_or_exit(matrix, _cache_root(args), args.workers)
+    if args.check_invariants:
+        import dataclasses
+
+        matrix = dataclasses.replace(matrix, check_invariants=True)
+    trace_dir = args.trace_dir
+    if args.trace_sample > 0 and trace_dir is None:
+        trace_dir = pathlib.Path("sweep-traces")
+    result, code = _run_sweep_or_exit(
+        matrix,
+        _cache_root(args),
+        args.workers,
+        trace_dir=trace_dir,
+        trace_sample=args.trace_sample,
+        flight_dir=args.flight_dir,
+    )
+    traced = [r for r in result.records if "trace_file" in r]
+    if traced and not args.quiet:
+        print(f"recorded {len(traced)} cell traces under {trace_dir}")
+    dumped = [r for r in result.records if "flight_file" in r]
+    if dumped:
+        for record in dumped:
+            print(
+                f"flight dump: {record['flight_file']}",
+                file=sys.stderr,
+            )
     if not args.quiet:
         print(render_table(result.headers, result.rows, result.experiment))
         for note in result.notes:
@@ -719,6 +896,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "show": _cmd_show,
         "definitely": _cmd_definitely,
         "report": _cmd_report,
+        "verify-trace": _cmd_verify_trace,
         "import-log": _cmd_import_log,
         "sweep": _cmd_sweep,
         "bench-check": _cmd_bench_check,

@@ -144,12 +144,21 @@ def run_detector(
     :class:`~repro.detect.stack.FailureDetectorConfig` enabling
     heartbeat failure detection with token takeover).
 
+    ``check_invariants=True`` (online detectors only) attaches a
+    streaming :class:`~repro.obs.invariants.InvariantMonitor` to the
+    run's observers and folds the result into ``report.extras``:
+    ``invariant_violations`` (a count, so sweeps compare it exactly)
+    plus ``invariant_summary`` / ``invariant_violation_details`` when
+    anything fired.  The monitor is passive — outcomes and paper units
+    are unchanged by its presence.
+
     ``verbose=True`` (accepted by every detector, offline included)
     prints a one-line outcome/cost summary to stderr after the run, so
     scripts and examples can show progress without scraping report
     internals.
     """
     verbose = bool(options.pop("verbose", False))
+    check_invariants = bool(options.pop("check_invariants", False))
     try:
         fn = DETECTORS[name]
     except KeyError:
@@ -160,6 +169,26 @@ def run_detector(
         raise ConfigurationError(
             f"offline detector {name!r} takes no options, got {sorted(options)}"
         )
+    monitor = None
+    if check_invariants:
+        if name in _OFFLINE:
+            raise ConfigurationError(
+                f"offline detector {name!r} has no live message stream; "
+                f"check_invariants requires one of {sorted(_ONLINE)}"
+            )
+        # Imported lazily: repro.obs imports repro.detect.base, so a
+        # module-level import here would be circular.
+        from repro.obs.invariants import InvariantMonitor
+
+        fd = options.get("failure_detector")
+        monitor = InvariantMonitor(
+            refutation_window=getattr(fd, "suspicion_after", None),
+            probe_interval=getattr(fd, "heartbeat_interval", 4.0),
+            partition_grace=getattr(fd, "grace", 30.0),
+        )
+        observers = list(options.get("observers") or ())  # type: ignore[call-overload]
+        observers.append(monitor)
+        options["observers"] = observers
     if name not in FAULT_CAPABLE:
         bad = sorted(
             k
@@ -172,6 +201,13 @@ def run_detector(
                 f"require one of {sorted(FAULT_CAPABLE)}"
             )
     report = fn(computation, wcp, **options)
+    if monitor is not None:
+        report.extras["invariant_violations"] = len(monitor.violations)
+        if monitor.violations:
+            report.extras["invariant_summary"] = monitor.summary()
+            report.extras["invariant_violation_details"] = [
+                v.as_dict() for v in monitor.violations[:20]
+            ]
     if verbose:
         print(_summary_line(name, report), file=sys.stderr)
     return report

@@ -12,6 +12,10 @@ quantities *observable* on live runs:
   candidate queueing, poll round-trips, halts) and overlays injected
   faults and crash epochs on the same timeline;
 * :mod:`repro.obs.export` — the OTel-flavored JSONL trace format;
+* :mod:`repro.obs.invariants` — runtime verification: streaming
+  protocol-invariant monitors (:class:`InvariantMonitor`) over the same
+  observer hook, the always-on crash :class:`FlightRecorder`, and
+  offline trace replay (``repro verify-trace``);
 * :mod:`repro.obs.report` — ASCII run reports (``repro report``);
 * :mod:`repro.obs.profiling` — wall-clock counters for kernel hot paths;
 * :mod:`repro.obs.benchjson` — the structured benchmark-result schema.
@@ -40,6 +44,14 @@ from repro.obs.export import (
     load_jsonl,
     loads_jsonl,
 )
+from repro.obs.invariants import (
+    INVARIANT_FAMILIES,
+    FlightRecorder,
+    InvariantMonitor,
+    InvariantViolation,
+    message_facts,
+    replay_trace,
+)
 from repro.obs.profiling import HotPathProfiler, profiled
 from repro.obs.report import render_report, render_timeline
 from repro.obs.spans import Span, TokenHop, Trace
@@ -55,6 +67,12 @@ __all__ = [
     "iter_spans",
     "load_jsonl",
     "loads_jsonl",
+    "INVARIANT_FAMILIES",
+    "FlightRecorder",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "message_facts",
+    "replay_trace",
     "render_report",
     "render_timeline",
     "HotPathProfiler",

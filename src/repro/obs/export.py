@@ -13,7 +13,12 @@ form::
 
 Readers tolerate a missing header and ignore unknown record types, so
 the format can grow (e.g. profiler sections) without breaking old
-consumers.
+consumers.  A *torn final line* — the signature of a writer that died
+mid-record (crash dumps, killed sweeps) — is tolerated too: the partial
+record is discarded and the parsed trace carries ``truncated: True`` in
+its meta so tooling can surface the data loss.  Garbage anywhere before
+the final line still raises, since that indicates corruption rather
+than truncation.
 """
 
 from __future__ import annotations
@@ -61,17 +66,30 @@ def dump_jsonl(trace: Trace, path: str | pathlib.Path) -> pathlib.Path:
 
 
 def loads_jsonl(text: str, validate: bool = True) -> Trace:
-    """Parse a JSONL trace; optionally validate structural invariants."""
+    """Parse a JSONL trace; optionally validate structural invariants.
+
+    A torn final line (crash-truncated file) sets ``truncated: True``
+    in the trace meta instead of raising; see the module docstring.
+    """
     meta: dict[str, Any] = {}
     trace_id: str | None = None
     spans: list[Span] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if lineno == last_content:
+                # The writer died mid-record; keep everything before it.
+                meta["truncated"] = True
+                break
             raise ObservabilityError(
                 f"line {lineno}: not valid JSON: {exc}"
             ) from exc

@@ -5,13 +5,17 @@
 * a **per-actor timeline** — one lane per actor over simulated time,
   with token arrivals (``T``), elimination rounds (``=``), candidate
   consumptions (``c``), poll round-trips (``~``), halts (``H``), crash
-  epochs (``X``/``x``/``R``), injected faults (``!``) and takeover
-  election proposals (``E``) overlaid; network partition epochs paint
-  ``#`` on a synthetic ``net`` lane;
+  epochs (``X``/``x``/``R``), injected faults (``!``), takeover
+  election proposals (``E``), SWIM probe traffic (``p``/``a``/``q``)
+  and suspect/confirm membership verdicts (``s``/``C``) overlaid;
+  network partition epochs paint ``#`` on a synthetic ``net`` lane;
 * the **token itinerary** — who held which token when and why it moved;
 * a **work/space breakdown** in the paper's units (messages, bits, work
   units, buffered-bit high-water marks) from the run header's metrics
   snapshot;
+* a **gossip / liveness** section — probe counts, first suspect /
+  confirm announcements per member and the liveness-bytes total (with a
+  by-kind breakdown when the metrics snapshot carries one);
 * a **fault overlay** summary and the run's **critical path**.
 
 The renderer needs nothing but the trace, so ``repro report run.jsonl``
@@ -28,14 +32,19 @@ __all__ = ["render_report", "render_timeline"]
 _LEGEND = [
     ("=", "token visit (elimination round)"),
     ("~", "poll round-trip"),
+    ("p", "SWIM probe (a = ack, q = ping-req)"),
     ("c", "candidate consumed"),
     ("H", "halt delivered"),
     ("T", "token arrival"),
     ("!", "injected fault (drop / loss)"),
     ("E", "takeover election proposal"),
     ("x", "crashed (X = crash, R = restart)"),
+    ("s", "suspected (C = confirmed failed)"),
     ("#", "network partition epoch (net lane)"),
 ]
+
+#: Gossip probe span names and their timeline mark characters.
+_PROBE_MARKS = {"ping": "p", "ping_ack": "a", "ping_req": "q"}
 
 
 def _lane_order(actor: str) -> tuple[int, int | str, str]:
@@ -46,6 +55,24 @@ def _lane_order(actor: str) -> tuple[int, int | str, str]:
             key: int | str = int(suffix) if suffix.isdigit() else suffix
             return (rank, key, actor)
     return (2, actor, actor)
+
+
+def _membership_events(trace: Trace, status: str) -> list[tuple[float, int]]:
+    """First emission time of each ``status`` verdict, per (slot, inc).
+
+    Gossip piggybacks the same update on many probes; only the earliest
+    carrier matters for the timeline and the report section.
+    """
+    first: dict[tuple[object, object], float] = {}
+    for span in trace.spans:
+        for update in span.attrs.get("updates") or ():
+            slot, got, inc = update[0], update[1], update[2]
+            if got != status:
+                continue
+            key = (slot, inc)
+            if key not in first or span.start < first[key]:
+                first[key] = span.start
+    return sorted((t, int(slot)) for (slot, _inc), t in first.items())
 
 
 def render_timeline(trace: Trace, width: int = 72) -> str:
@@ -86,6 +113,12 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
             paint(span.actor, col(span.start), col(end_of(span)), "~")
         elif span.name == "partition":
             paint(span.actor, col(span.start), col(end_of(span)), "#")
+    # Probe traffic is frequent background noise, so it paints early and
+    # loses to every protocol-level mark.
+    for span in trace.spans:
+        probe = _PROBE_MARKS.get(span.name)
+        if probe is not None:
+            mark(span.actor, span.start, probe)
     for span in trace.spans:
         if span.name == "candidate" and span.attrs.get("terminal") == "consumed":
             mark(span.actor, span.start, "c")  # emission, on the app lane
@@ -103,8 +136,8 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
     for span in trace.spans:
         if span.name == "elect":
             mark(span.actor, span.start, "E")
-    # Crash epochs last: losses at the crash instant are implied by the
-    # X itself, so the boundary marks stay visible.
+    # Crash epochs: losses at the crash instant are implied by the X
+    # itself, so the boundary marks stay visible.
     for span in trace.spans:
         if span.name == "crash":
             c0, c1 = col(span.start), col(end_of(span))
@@ -112,6 +145,13 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
             mark(span.actor, span.start, "X")
             if span.attrs.get("restarted"):
                 mark(span.actor, end_of(span), "R")
+    # Membership verdicts last, marking the *subject* monitor's lane at
+    # the first emission carrying the update.  They land mid-crash-epoch
+    # by construction, so they must overwrite the ``x`` band — the mark
+    # shows *when the cluster noticed*; confirms overwrite suspects.
+    for status, char in (("suspect", "s"), ("confirm", "C")):
+        for time, slot in _membership_events(trace, status):
+            mark(f"mon-{slot}", time, char)
 
     name_w = max((len(a) for a in actors), default=5)
     lines = [
@@ -214,6 +254,36 @@ def _fault_lines(trace: Trace) -> list[str]:
     return lines
 
 
+def _gossip_lines(trace: Trace) -> list[str]:
+    """The gossip / liveness section: probes, verdicts, liveness bytes."""
+    counts = {name: 0 for name in _PROBE_MARKS}
+    for span in trace.spans:
+        if span.name in counts:
+            counts[span.name] += 1
+    lines: list[str] = []
+    if any(counts.values()):
+        lines.append(
+            "probes: " + " ".join(f"{k}={v}" for k, v in counts.items())
+        )
+    for status, label in (("suspect", "suspect"), ("confirm", "confirm")):
+        for time, slot in _membership_events(trace, status):
+            lines.append(f"t={time:g}  {label:<8} mon-{slot}")
+    totals = (trace.meta.get("metrics") or {}).get("totals", {})
+    liveness = totals.get("liveness_bytes")
+    if liveness:
+        line = f"liveness bytes: {liveness}"
+        by_kind = totals.get("liveness_by_kind") or {}
+        if by_kind:
+            parts = (
+                f"{kind}={entry.get('bits', 0) // 8}B"
+                f"/{entry.get('messages', 0)}msg"
+                for kind, entry in by_kind.items()
+            )
+            line += " (" + " ".join(parts) + ")"
+        lines.append(line)
+    return lines
+
+
 def _critical_path_lines(trace: Trace, limit: int = 14) -> list[str]:
     chain = trace.critical_path()
     if not chain:
@@ -240,6 +310,9 @@ def render_report(trace: Trace, width: int = 72) -> str:
         ("work/space breakdown (paper units)",
          _breakdown_table(trace).splitlines()),
     ]
+    gossip_lines = _gossip_lines(trace)
+    if gossip_lines:
+        sections.append(("gossip / liveness", gossip_lines))
     fault_lines = _fault_lines(trace)
     if fault_lines:
         sections.append(("fault overlay", fault_lines))

@@ -44,22 +44,8 @@ import uuid
 from collections import deque
 from typing import Any
 
-from repro.detect.base import (
-    HALT_KIND,
-    POLL_KIND,
-    POLL_RESPONSE_KIND,
-    RED,
-    TOKEN_KIND,
-)
-from repro.detect.stack import (
-    ELECT_KIND,
-    ELECT_OK_KIND,
-    HEARTBEAT_KIND,
-    PING_ACK_KIND,
-    PING_KIND,
-    PING_REQ_KIND,
-    REGEN_KIND,
-)
+from repro.detect.base import HALT_KIND, POLL_KIND, POLL_RESPONSE_KIND, RED, TOKEN_KIND
+from repro.obs.invariants import KIND_SPAN_NAMES, message_facts
 from repro.obs.spans import Span, Trace
 from repro.simulation.observers import (
     ActorEvent,
@@ -74,21 +60,9 @@ from repro.simulation.replay import CANDIDATE_KIND
 __all__ = ["SpanTracer"]
 
 #: Message kinds that get first-class span names; anything else becomes
-#: ``msg:<kind>``.
-_KIND_NAMES = {
-    TOKEN_KIND: "token_hop",
-    CANDIDATE_KIND: "candidate",
-    POLL_KIND: "poll",
-    POLL_RESPONSE_KIND: "poll_response",
-    HALT_KIND: "halt",
-    HEARTBEAT_KIND: "heartbeat",
-    PING_KIND: "ping",
-    PING_ACK_KIND: "ping_ack",
-    PING_REQ_KIND: "ping_req",
-    ELECT_KIND: "elect",
-    ELECT_OK_KIND: "elect_ok",
-    REGEN_KIND: "regen_request",
-}
+#: ``msg:<kind>``.  Shared with the invariant monitors and the flight
+#: recorder so every span producer agrees on naming.
+_KIND_NAMES = KIND_SPAN_NAMES
 
 
 def _token_attrs(payload: object) -> dict[str, Any]:
@@ -103,6 +77,7 @@ def _token_attrs(payload: object) -> dict[str, Any]:
     if hasattr(body, "hop") and hasattr(body, "body"):  # TokenFrame
         attrs["hop"] = body.hop
         attrs["gid"] = getattr(body, "gid", 0)
+        attrs["epoch"] = getattr(body, "epoch", 0)
         body = body.body
     if hasattr(body, "group") and hasattr(body, "token"):  # GroupToken
         attrs.setdefault("gid", body.group)
@@ -191,6 +166,10 @@ class SpanTracer:
             **extra,
         }
         parent: Span | None = self._root
+        # Stamp the invariant-relevant facts (frame epochs, candidate
+        # seq/vc, election epochs, gossip updates) onto the span so
+        # `repro verify-trace` can replay the monitors offline.
+        attrs.update(message_facts(msg.kind, msg.payload))
         if msg.kind == TOKEN_KIND:
             attrs.update(_token_attrs(msg.payload))
             if not msg.src.startswith("mon-"):

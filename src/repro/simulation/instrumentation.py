@@ -325,6 +325,16 @@ class MetricsBoard:
             },
             "actors": actors,
         }
+        by_kind = {
+            kind: {
+                "messages": self.messages_of_kind(kind),
+                "bits": self.bits_of_kind(kind),
+            }
+            for kind in sorted(LIVENESS_KINDS)
+            if self.messages_of_kind(kind)
+        }
+        if by_kind:
+            snap["totals"]["liveness_by_kind"] = by_kind
         if self._channel_faults or self._crashes or self._restarts:
             snap["channel_faults"] = {
                 f"{src}->{dest}": {

@@ -23,7 +23,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import require
-from repro.detect.runner import DETECTORS, FAULT_CAPABLE
+from repro.detect.runner import DETECTORS, FAULT_CAPABLE, online_detectors
 from repro.trace.generators import FLAG_VAR, WorkloadSpec
 
 __all__ = ["SweepCell", "SweepMatrix", "load_matrix"]
@@ -53,6 +53,7 @@ class SweepCell:
     self_heal: bool = False
     membership: str = "heartbeat"
     gossip_fanout: int = 3
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         require(
@@ -85,6 +86,13 @@ class SweepCell:
             f"got {self.membership!r}",
         )
         require(self.gossip_fanout >= 1, "gossip_fanout must be >= 1")
+        if self.check_invariants:
+            require(
+                self.detector in online_detectors(),
+                f"detector {self.detector!r} is offline (no live message "
+                f"stream); check_invariants requires one of "
+                f"{sorted(online_detectors())}",
+            )
         if self.membership != "heartbeat":
             require(
                 self.self_heal,
@@ -103,10 +111,11 @@ class SweepCell:
             if self.membership != "heartbeat"
             else ""
         )
+        inv = "/inv" if self.check_invariants else ""
         return (
             f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
             f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
-            f"/w{width}/f{faults}{heal}{gossip}"
+            f"/w{width}/f{faults}{heal}{gossip}{inv}"
         )
 
     @property
@@ -155,6 +164,7 @@ class SweepCell:
             "self_heal": self.self_heal,
             "membership": self.membership,
             "gossip_fanout": self.gossip_fanout,
+            "check_invariants": self.check_invariants,
         }
 
 
@@ -191,6 +201,7 @@ class SweepMatrix:
     self_heal: bool = False
     membership: tuple[str, ...] = ("heartbeat",)
     gossip_fanouts: tuple[int, ...] = (3,)
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         require(bool(self.name), "matrix name must be non-empty")
@@ -315,6 +326,10 @@ class SweepMatrix:
                         self_heal=self.self_heal and detector in FAULT_CAPABLE,
                         membership=membership,
                         gossip_fanout=fanout,
+                        check_invariants=(
+                            self.check_invariants
+                            and detector in online_detectors()
+                        ),
                     )
                 )
         return out
@@ -336,6 +351,7 @@ class SweepMatrix:
             "self_heal": self.self_heal,
             "membership": list(self.membership),
             "gossip_fanouts": list(self.gossip_fanouts),
+            "check_invariants": self.check_invariants,
         }
 
     @classmethod
@@ -360,6 +376,7 @@ class SweepMatrix:
             "self_heal",
             "membership",
             "gossip_fanouts",
+            "check_invariants",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -389,7 +406,12 @@ class SweepMatrix:
         ):
             if key in data:
                 kwargs[key] = tuple(data[key])
-        for key in ("plant_final_cut", "internal_rate", "self_heal"):
+        for key in (
+            "plant_final_cut",
+            "internal_rate",
+            "self_heal",
+            "check_invariants",
+        ):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)

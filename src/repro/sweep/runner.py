@@ -59,7 +59,18 @@ def p95(values: list[float]) -> float:
     return ordered[min(len(ordered) - 1, rank - 1)]
 
 
-def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
+def _safe_cell_name(cell_id: str) -> str:
+    """A cell id flattened into a filesystem-safe file stem."""
+    return cell_id.replace("/", "_").replace(":", "-").replace("*", "any")
+
+
+def run_cell(
+    cell: SweepCell,
+    cache_root: str | pathlib.Path,
+    trace_dir: str | pathlib.Path | None = None,
+    flight_dir: str | pathlib.Path | None = None,
+    sample_seeds: tuple[int, ...] = (),
+) -> dict[str, Any]:
     """Execute one cell and return its result record.
 
     The record carries the cell identity, the exact paper-unit metrics
@@ -67,13 +78,22 @@ def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
     cache outcome for this cell's workload.  Raises whatever the
     generator or detector raises — fan-out wraps this in
     :func:`_run_cell_safe`.
+
+    ``trace_dir`` + ``sample_seeds`` record a full span trace (JSONL)
+    for the deterministic sample of cells whose seed is in
+    ``sample_seeds``; ``flight_dir`` arms a
+    :class:`~repro.obs.invariants.FlightRecorder` on every online cell
+    and dumps its ring to disk only when the cell errors, degrades, or
+    violates an invariant.  Both paths add the written filename to the
+    record (``trace_file`` / ``flight_file``).
     """
     started = time.perf_counter()
     cache = WorkloadCache(cache_root)
     computation = cache.get_or_generate(cell.workload_spec())
     wcp = WeakConjunctivePredicate.of_flags(cell.predicate_pids(), var=cell.flag_var)
     options: dict[str, Any] = {}
-    if cell.detector not in offline_detectors():
+    online = cell.detector not in offline_detectors()
+    if online:
         options["seed"] = cell.seed
     if cell.faults is not None:
         options["faults"] = FaultPlan.parse(cell.faults)
@@ -82,10 +102,32 @@ def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
             membership=cell.membership,
             gossip_fanout=cell.gossip_fanout,
         )
-    report = run_detector(cell.detector, computation, wcp, **options)
+    if cell.check_invariants:
+        options["check_invariants"] = True
+    tracer = None
+    recorder = None
+    observers: list[Any] = []
+    if online and trace_dir is not None and cell.seed in sample_seeds:
+        from repro.obs.tracer import SpanTracer
+
+        tracer = SpanTracer()
+        observers.append(tracer)
+    if online and flight_dir is not None:
+        from repro.obs.invariants import FlightRecorder
+
+        recorder = FlightRecorder()
+        observers.append(recorder)
+    if observers:
+        options["observers"] = observers
+    try:
+        report = run_detector(cell.detector, computation, wcp, **options)
+    except Exception:
+        if recorder is not None:
+            _dump_flight(recorder, flight_dir, cell, outcome="error")
+        raise
     stats = cache.stats()
     faults = getattr(getattr(report, "sim", None), "faults", None)
-    return {
+    record = {
         "id": cell.cell_id,
         "group": cell.group,
         "cell": cell.to_dict(),
@@ -95,12 +137,65 @@ def run_cell(cell: SweepCell, cache_root: str | pathlib.Path) -> dict[str, Any]:
         "cache_hit": stats["hits"] > 0,
         "cache_corrupt": stats["corrupt"] > 0,
     }
+    if tracer is not None:
+        from repro.obs.export import dump_jsonl
+
+        sim = getattr(report, "sim", None)
+        trace = tracer.finish(
+            sim.time if sim is not None else None,
+            cell=cell.cell_id,
+            detector=report.detector,
+            outcome=report.outcome,
+            seed=cell.seed,
+        )
+        path = pathlib.Path(trace_dir) / f"{_safe_cell_name(cell.cell_id)}.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record["trace_file"] = str(dump_jsonl(trace, path))
+    violations = int(report.extras.get("invariant_violations", 0) or 0)
+    if recorder is not None and (report.degraded or violations):
+        record["flight_file"] = str(
+            _dump_flight(
+                recorder,
+                flight_dir,
+                cell,
+                outcome=report.outcome,
+                invariant_violations=violations,
+            )
+        )
+    return record
 
 
-def _run_cell_safe(cell: SweepCell, cache_root: str) -> dict[str, Any]:
+def _dump_flight(
+    recorder: Any,
+    flight_dir: str | pathlib.Path | None,
+    cell: SweepCell,
+    **meta: Any,
+) -> pathlib.Path:
+    assert flight_dir is not None
+    path = (
+        pathlib.Path(flight_dir)
+        / f"{_safe_cell_name(cell.cell_id)}.flight.jsonl"
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return recorder.dump(path, cell=cell.cell_id, **meta)
+
+
+def _run_cell_safe(
+    cell: SweepCell,
+    cache_root: str,
+    trace_dir: str | None = None,
+    flight_dir: str | None = None,
+    sample_seeds: tuple[int, ...] = (),
+) -> dict[str, Any]:
     """``run_cell`` that degrades exceptions into error records."""
     try:
-        return run_cell(cell, cache_root)
+        return run_cell(
+            cell,
+            cache_root,
+            trace_dir=trace_dir,
+            flight_dir=flight_dir,
+            sample_seeds=sample_seeds,
+        )
     except Exception as exc:  # noqa: BLE001 - worker boundary
         return {
             "id": cell.cell_id,
@@ -270,6 +365,9 @@ def run_sweep(
     cache_root: str | pathlib.Path,
     workers: int = 1,
     on_result: Callable[[Mapping[str, Any]], None] | None = None,
+    trace_dir: str | pathlib.Path | None = None,
+    trace_sample: int = 0,
+    flight_dir: str | pathlib.Path | None = None,
 ) -> SweepResult:
     """Run every cell of ``matrix``; fan out over ``workers`` processes.
 
@@ -277,27 +375,38 @@ def run_sweep(
     progress reporting, not transformation.  Cells that raise are
     collected as error records on the result; see
     :attr:`SweepResult.ok`.
+
+    ``trace_dir`` + ``trace_sample=N`` record full span traces for the N
+    lowest seeds of every group (a deterministic sample, so reruns
+    overwrite the same files); ``flight_dir`` arms a flight recorder on
+    every online cell, dumping ring-buffer JSONL only for cells that
+    error, degrade or violate a protocol invariant.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if trace_sample < 0:
+        raise ValueError(f"trace_sample must be >= 0, got {trace_sample}")
+    sample_seeds: tuple[int, ...] = ()
+    if trace_dir is not None and trace_sample > 0:
+        sample_seeds = tuple(sorted(matrix.seeds)[:trace_sample])
     cells = matrix.cells()
     records: list[dict[str, Any]] = []
     errors: list[dict[str, Any]] = []
     cache_stats = {"hits": 0, "misses": 0, "corrupt": 0}
     started = time.perf_counter()
+    task = partial(
+        _run_cell_safe,
+        cache_root=str(cache_root),
+        trace_dir=None if trace_dir is None else str(trace_dir),
+        flight_dir=None if flight_dir is None else str(flight_dir),
+        sample_seeds=sample_seeds,
+    )
     if workers == 1:
         for cell in cells:
-            _fold(
-                _run_cell_safe(cell, str(cache_root)),
-                records,
-                errors,
-                cache_stats,
-                on_result,
-            )
+            _fold(task(cell), records, errors, cache_stats, on_result)
     else:
         ctx = _pool_context()
         with ctx.Pool(processes=workers) as pool:
-            task = partial(_run_cell_safe, cache_root=str(cache_root))
             for record in pool.imap_unordered(task, cells, chunksize=1):
                 _fold(record, records, errors, cache_stats, on_result)
     records.sort(key=lambda record: record["id"])

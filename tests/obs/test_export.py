@@ -69,8 +69,11 @@ class TestLoads:
         assert len(loads_jsonl(text)) == 2
 
     def test_bad_json_raises_with_lineno(self):
+        # A bad line that is *not* the final one can't be crash
+        # truncation, so it still raises with its line number.
+        good = dumps_jsonl(small_trace()).strip().splitlines()[0]
         with pytest.raises(ObservabilityError, match="line 1"):
-            loads_jsonl("this is not json")
+            loads_jsonl("this is not json\n" + good)
 
     def test_non_object_line_rejected(self):
         with pytest.raises(ObservabilityError, match="expected an object"):
@@ -86,6 +89,46 @@ class TestLoads:
         with pytest.raises(ObservabilityError, match="unknown parent"):
             loads_jsonl(text)
         assert len(loads_jsonl(text, validate=False)) == 1
+
+
+class TestCrashTruncation:
+    """A crash mid-write tears the final line; loading must survive it."""
+
+    def test_torn_final_line_sets_truncated_flag(self):
+        text = dumps_jsonl(small_trace())
+        torn = text.rstrip("\n")[:-15]  # cut mid way through the last span
+        back = loads_jsonl(torn)
+        assert back.meta["truncated"] is True
+        assert len(back) == 1
+        assert back.spans[0].name == "run"
+
+    def test_intact_trace_has_no_truncated_flag(self):
+        back = loads_jsonl(dumps_jsonl(small_trace()))
+        assert "truncated" not in back.meta
+
+    def test_mid_file_garbage_still_raises(self):
+        lines = dumps_jsonl(small_trace()).strip().splitlines()
+        lines.insert(1, '{"type": "span", "torn...')
+        with pytest.raises(ObservabilityError, match="line 2"):
+            loads_jsonl("\n".join(lines))
+
+    def test_only_a_torn_line_is_still_empty(self):
+        with pytest.raises(ObservabilityError, match="empty trace"):
+            loads_jsonl('{"type": "run", "trace_id"')
+
+    def test_torn_file_on_disk(self, tmp_path):
+        path = dump_jsonl(small_trace(), tmp_path / "crash.jsonl")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])
+        back = load_jsonl(path)
+        assert back.meta["truncated"] is True
+        assert len(back) == 1
+
+    def test_duplicate_span_rejected(self):
+        lines = dumps_jsonl(small_trace()).strip().splitlines()
+        lines.append(lines[-1])  # replay the final span record verbatim
+        with pytest.raises(ObservabilityError, match="duplicate span_id"):
+            loads_jsonl("\n".join(lines))
 
 
 class TestFiles:

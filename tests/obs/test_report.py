@@ -134,6 +134,50 @@ class TestReport:
         report = render_report(traced(n=3, m=4, faults=forever, hardened=True))
         assert "partition mon-2 (never healed)" in report
 
+    def test_gossip_probe_marks_and_section(self):
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
+                                             restart_at=60.0),))
+        trace = traced(n=3, m=4, faults=plan, hardened=True,
+                       failure_detector=FailureDetectorConfig(
+                           membership="gossip"))
+        timeline = render_timeline(trace)
+        mon_lanes = [ln for ln in timeline.splitlines()
+                     if ln.startswith("mon-")]
+        assert any("p" in ln for ln in mon_lanes)  # ping sends
+        report = render_report(trace)
+        assert "--- gossip / liveness ---" in report
+        assert "probes: ping=" in report
+        assert "liveness bytes:" in report
+        assert "ping_ack=" in report  # by-kind breakdown
+
+    def test_suspect_and_confirm_marks_on_subject_lane(self):
+        # A long crash: the survivors must suspect, then confirm, mon-1.
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
+                                             restart_at=60.0),))
+        trace = traced(n=3, m=4, faults=plan, hardened=True,
+                       failure_detector=FailureDetectorConfig(
+                           membership="gossip"))
+        mon1 = next(ln for ln in render_timeline(trace).splitlines()
+                    if ln.startswith("mon-1"))
+        assert "s" in mon1  # suspected, visible over the crash band
+        assert "C" in mon1  # confirmed failed
+        report = render_report(trace)
+        assert "suspect  mon-1" in report
+        assert "confirm  mon-1" in report
+
+    def test_no_gossip_section_without_liveness_traffic(self):
+        assert "--- gossip / liveness ---" not in render_report(traced())
+
+    def test_heartbeat_mode_shows_liveness_bytes_only(self):
+        plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
+                                             restart_at=12.0),))
+        report = render_report(traced(
+            n=3, m=4, faults=plan, hardened=True,
+            failure_detector=FailureDetectorConfig(),
+        ))
+        assert "liveness bytes:" in report
+        assert "probes:" not in report
+
     def test_metrics_free_trace_degrades_gracefully(self):
         tracer = SpanTracer()
         run_detector(

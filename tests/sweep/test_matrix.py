@@ -50,6 +50,19 @@ class TestSweepCell:
             SweepCell(detector="reference", num_processes=4,
                       sends_per_process=4, faults="drop:token:0.5")
 
+    def test_invariants_require_online_detector(self):
+        with pytest.raises(ConfigurationError, match="check_invariants"):
+            SweepCell(detector="reference", num_processes=4,
+                      sends_per_process=4, check_invariants=True)
+
+    def test_invariants_suffix_the_group(self):
+        plain = SweepCell(detector="token_vc", num_processes=4,
+                          sends_per_process=8)
+        checked = SweepCell(detector="token_vc", num_processes=4,
+                            sends_per_process=8, check_invariants=True)
+        assert checked.group == plain.group + "/inv"
+        assert "/inv" not in plain.group  # old baselines unchanged
+
 
 class TestSweepMatrix:
     def test_expansion_is_full_cross_product(self):
@@ -104,6 +117,20 @@ class TestSweepMatrix:
     def test_duplicate_axis_entries_rejected(self):
         with pytest.raises(ConfigurationError, match="duplicate"):
             small_matrix(seeds=(1, 1))
+
+    def test_check_invariants_only_arms_online_cells(self):
+        matrix = small_matrix(
+            detectors=("token_vc", "reference"), check_invariants=True
+        )
+        by_detector = {c.detector: c for c in matrix.cells()}
+        assert by_detector["token_vc"].check_invariants is True
+        assert by_detector["reference"].check_invariants is False
+
+    def test_check_invariants_round_trips(self):
+        matrix = small_matrix(check_invariants=True)
+        clone = SweepMatrix.from_dict(matrix.to_dict())
+        assert clone == matrix
+        assert clone.check_invariants is True
 
     def test_load_matrix_file(self, tmp_path):
         path = tmp_path / "m.json"

@@ -118,6 +118,77 @@ class TestAggregation:
         assert units["comparisons"] > 0
 
 
+class TestInvariantSweeps:
+    def test_units_carry_zero_violations(self, tmp_path):
+        result = run_sweep(
+            matrix(detectors=("token_vc",), check_invariants=True),
+            tmp_path, workers=1,
+        )
+        assert result.ok
+        for record in result.records:
+            assert record["group"].endswith("/inv")
+            assert record["units"]["invariant_violations"] == 0
+
+    def test_faulty_cells_stay_violation_free(self, tmp_path):
+        result = run_sweep(
+            matrix(detectors=("token_vc",), faults=("drop:token:0.2",),
+                   check_invariants=True),
+            tmp_path, workers=1,
+        )
+        assert result.ok
+        assert all(r["units"]["invariant_violations"] == 0
+                   for r in result.records)
+
+    def test_trace_sampling_records_lowest_seeds(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        result = run_sweep(
+            matrix(detectors=("token_vc",)), tmp_path / "cache", workers=1,
+            trace_dir=tmp_path / "traces", trace_sample=2,
+        )
+        assert result.ok
+        sampled = [r for r in result.records if "trace_file" in r]
+        assert len(sampled) == 2
+        assert sorted(r["cell"]["seed"] for r in sampled) == [0, 1]
+        for record in sampled:
+            trace = load_jsonl(record["trace_file"])
+            assert trace.meta["cell"] == record["id"]
+            assert len(trace) > 0
+
+    def test_trace_sample_must_be_non_negative(self, tmp_path):
+        with pytest.raises(ValueError, match="trace_sample"):
+            run_sweep(matrix(), tmp_path, workers=1,
+                      trace_dir=tmp_path, trace_sample=-1)
+
+    def test_no_flight_dump_on_healthy_cells(self, tmp_path):
+        flight_dir = tmp_path / "flights"
+        result = run_sweep(
+            matrix(detectors=("token_vc",)), tmp_path / "cache", workers=1,
+            flight_dir=flight_dir,
+        )
+        assert result.ok
+        assert not list(flight_dir.glob("*")) if flight_dir.exists() else True
+        assert all("flight_file" not in r for r in result.records)
+
+    def test_flight_dump_on_degraded_cell(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        # Crash the sole token holder forever with no self-healing: the
+        # detection must degrade, which triggers the flight dump.
+        result = run_sweep(
+            matrix(detectors=("token_vc",), seeds=(0,),
+                   faults=("crash:mon-0:2",)),
+            tmp_path / "cache", workers=1, flight_dir=tmp_path / "flights",
+        )
+        assert result.ok
+        [record] = result.records
+        assert record["units"]["outcome"] == "degraded"
+        flight = load_jsonl(record["flight_file"])
+        assert flight.meta["flight_recorder"] is True
+        assert flight.meta["outcome"] == "degraded"
+        assert flight.meta["cell"] == record["id"]
+
+
 class TestWorkerFailure:
     @pytest.fixture
     def crashy(self, monkeypatch):

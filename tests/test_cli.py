@@ -255,10 +255,128 @@ class TestReport:
             main(["report", str(tmp_path / "nope.jsonl")])
 
     def test_garbage_file(self, tmp_path):
+        # Two garbage lines: a lone bad line would read as a torn
+        # (crash-truncated) file, which loads as empty instead.
         bad = tmp_path / "bad.jsonl"
-        bad.write_text("not json at all\n")
+        bad.write_text("not json at all\nstill not json\n")
         with pytest.raises(SystemExit, match="not valid JSON"):
             main(["report", str(bad)])
+
+
+class TestInvariantsCli:
+    def test_detect_with_invariants_clean(self, trace_file, capsys):
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--invariants", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["extras"]["invariant_violations"] == 0
+
+    def test_invariants_need_online_detector(self, trace_file):
+        with pytest.raises(SystemExit, match="require an online detector"):
+            main(["detect", str(trace_file), "--detector", "reference",
+                  "--invariants"])
+
+    def test_flight_recorder_dumps_on_crashy_run(self, trace_file, tmp_path,
+                                                 capsys):
+        from repro.obs import load_jsonl
+
+        flight = tmp_path / "crash.flight.jsonl"
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--faults", "crash:mon-1:6:12", "--seed", "3",
+                     "--flight-recorder", str(flight)])
+        out = capsys.readouterr().out
+        assert code in (0, 1, 2)
+        assert flight.exists()
+        assert "flight:" in out
+        dump = load_jsonl(flight)
+        assert dump.meta["flight_recorder"] is True
+        assert dump.meta["crashes"] == 1
+
+    def test_flight_recorder_silent_on_clean_run(self, trace_file, tmp_path,
+                                                 capsys):
+        flight = tmp_path / "clean.flight.jsonl"
+        code = main(["detect", str(trace_file), "--detector", "token_vc",
+                     "--flight-recorder", str(flight)])
+        assert code == 0
+        assert not flight.exists()
+        assert "flight:" not in capsys.readouterr().out
+
+
+class TestVerifyTrace:
+    def recorded(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        # A faulty run forces the hardened path, whose spans carry the
+        # framed-token epochs the mutation tests flip.
+        main(["detect", str(trace_file), "--detector", "token_vc",
+              "--faults", "drop:token:0.1", "--seed", "3",
+              "--trace-out", str(out)])
+        capsys.readouterr()
+        return out
+
+    def mutate_epoch(self, path):
+        """Flip the epoch of the last token frame span in a JSONL trace."""
+        lines = path.read_text().splitlines()
+        for index in range(len(lines) - 1, -1, -1):
+            record = json.loads(lines[index])
+            if record.get("name") == "token_hop" and \
+                    record.get("attrs", {}).get("frame"):
+                record["attrs"]["epoch"] = \
+                    int(record["attrs"].get("epoch", 0)) + 7
+                lines[index] = json.dumps(record)
+                break
+        else:
+            raise AssertionError("no token frame span in trace")
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_clean_trace_exits_zero(self, trace_file, tmp_path, capsys):
+        out = self.recorded(trace_file, tmp_path, capsys)
+        code = main(["verify-trace", str(out)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "0 invariant violations" in text
+
+    def test_mutated_trace_exits_one(self, trace_file, tmp_path, capsys):
+        out = self.recorded(trace_file, tmp_path, capsys)
+        self.mutate_epoch(out)
+        code = main(["verify-trace", str(out)])
+        text = capsys.readouterr().out
+        assert code == 1
+        assert "election_safety" in text
+        assert "forged or flipped" in text
+
+    def test_json_output(self, trace_file, tmp_path, capsys):
+        out = self.recorded(trace_file, tmp_path, capsys)
+        self.mutate_epoch(out)
+        code = main(["verify-trace", str(out), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["truncated"] is False
+        assert doc["violations"][0]["invariant"] == "election_safety"
+
+    def test_torn_trace_noted(self, trace_file, tmp_path, capsys):
+        out = self.recorded(trace_file, tmp_path, capsys)
+        raw = out.read_bytes()
+        out.write_bytes(raw[: len(raw) - 15])
+        code = main(["verify-trace", str(out)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "crash-truncated" in text
+
+    def test_flight_dump_verifies_with_window_note(self, trace_file,
+                                                   tmp_path, capsys):
+        flight = tmp_path / "crash.flight.jsonl"
+        main(["detect", str(trace_file), "--detector", "token_vc",
+              "--faults", "crash:mon-1:6:12", "--seed", "3",
+              "--flight-recorder", str(flight)])
+        capsys.readouterr()
+        code = main(["verify-trace", str(flight)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "windowed" in text
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["verify-trace", str(tmp_path / "nope.jsonl")])
 
 
 class TestStats:
@@ -399,6 +517,28 @@ class TestSweepCommand:
     def test_bad_axis_value_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="bad value"):
             main(["sweep", "--processes", "four"])
+
+    def test_check_invariants_and_trace_sample(self, tmp_path, capsys):
+        out_file = tmp_path / "agg.json"
+        code = main(self.ARGS + [
+            "--cache-dir", str(tmp_path / "c"), "--check-invariants",
+            "--trace-sample", "1", "--trace-dir", str(tmp_path / "traces"),
+            "--flight-dir", str(tmp_path / "flights"),
+            "--out", str(out_file),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded 1 cell traces" in out
+        assert "/inv" in out  # group suffix visible in the table
+        doc = json.loads(out_file.read_text())
+        for cell in doc["sweep"]["cells"]:
+            assert cell["units"]["invariant_violations"] == 0
+        assert len(list((tmp_path / "traces").glob("*.jsonl"))) == 1
+
+    def test_negative_trace_sample_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-sample"):
+            main(self.ARGS + ["--cache-dir", str(tmp_path / "c"),
+                              "--trace-sample", "-1"])
 
     def test_unknown_detector_rejected(self):
         with pytest.raises(SystemExit, match="unknown detector"):
