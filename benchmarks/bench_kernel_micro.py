@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Kernel microbenchmark: event throughput of the list vs packed clock path.
+
+Measures, for a handful of large-cell shapes, how fast
+:class:`repro.trace.intervals.IntervalAnalysis` sweeps a computation —
+the hot loop every online detector pays before a single token moves:
+
+* ``events_per_sec`` — total events swept per second of wall time
+  (min over ``--reps`` fresh constructions, bypassing the per-backend
+  analysis cache);
+* ``allocs_per_event`` — Python heap blocks allocated per event during
+  one construction (``sys.getallocatedblocks`` delta), the quantity the
+  packed backend exists to crush;
+* ``events`` / ``intervals`` — deterministic counted quantities used
+  for exact baseline comparison.
+
+The packed backend must beat the list backend by ``--min-speedup``
+(default 3x) on at least one measured shape, and never regress below
+the 2x sanity floor on any shape.  Shapes are chosen where the packed
+win is structural (many processes or long chains), not incidental:
+the O(E) wake-list sweep plus in-place ``array('q')`` merges removes
+both the heap-based topological sort and per-event tuple churn.
+
+The committed baseline lives at
+``benchmarks/baselines/micro/kernel_micro.json`` (a ``repro-bench/1``
+document; the ``micro/`` subdir keeps it out of the sweep-replay glob).
+CI runs ``--check`` against it: counted quantities must match exactly,
+wall-dependent columns are informational, and the speedup gate is
+re-measured fresh on the runner.  Re-record with ``--update`` after an
+intentional workload change.
+
+Usage::
+
+    python benchmarks/bench_kernel_micro.py                  # measure + gate
+    python benchmarks/bench_kernel_micro.py --check benchmarks/baselines/micro/kernel_micro.json
+    python benchmarks/bench_kernel_micro.py --update
+"""
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+from types import SimpleNamespace
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.clocks.vector import CLOCK_BACKENDS  # noqa: E402
+from repro.obs.benchjson import (  # noqa: E402
+    load_benchmark_json,
+    structured_result,
+)
+from repro.trace.generators import random_computation  # noqa: E402
+from repro.trace.intervals import IntervalAnalysis  # noqa: E402
+
+#: (num_processes, sends_per_process) — wide, square-ish, and deep cells.
+DEFAULT_SHAPES = ((128, 32), (256, 16), (8, 1024))
+SEED = 3
+DEFAULT_REPS = 5
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent
+    / "baselines"
+    / "micro"
+    / "kernel_micro.json"
+)
+
+HEADERS = [
+    "backend",
+    "n",
+    "m",
+    "events",
+    "intervals",
+    "wall_s",
+    "events_per_sec",
+    "allocs_per_event",
+]
+#: columns compared exactly against the baseline (wall-independent).
+COUNTED = ("backend", "n", "m", "events", "intervals")
+
+
+def measure_shape(n: int, m: int, reps: int) -> list[dict]:
+    """One row per backend for an ``n x m`` random computation."""
+    comp = random_computation(n, m, seed=SEED, predicate_density=0.0)
+    events = comp.total_events()
+    rows = []
+    for backend in CLOCK_BACKENDS:
+        walls = []
+        for _ in range(reps):
+            gc.collect()
+            start = time.perf_counter()
+            analysis = IntervalAnalysis(comp, clock_backend=backend)
+            walls.append(time.perf_counter() - start)
+        intervals = sum(analysis.num_intervals(p) for p in range(n))
+        gc.collect()
+        blocks_before = sys.getallocatedblocks()
+        analysis = IntervalAnalysis(comp, clock_backend=backend)
+        blocks_after = sys.getallocatedblocks()
+        del analysis
+        wall = min(walls)
+        rows.append(
+            {
+                "backend": backend,
+                "n": n,
+                "m": m,
+                "events": events,
+                "intervals": intervals,
+                "wall_s": round(wall, 6),
+                "events_per_sec": round(events / wall, 1),
+                "allocs_per_event": round(
+                    (blocks_after - blocks_before) / events, 3
+                ),
+            }
+        )
+    return rows
+
+
+def speedups(rows: list[dict]) -> dict[tuple[int, int], float]:
+    """Per-shape list-wall / packed-wall ratio."""
+    walls: dict[tuple[int, int], dict[str, float]] = {}
+    for row in rows:
+        walls.setdefault((row["n"], row["m"]), {})[row["backend"]] = row[
+            "wall_s"
+        ]
+    return {
+        shape: by_backend["list"] / by_backend["packed"]
+        for shape, by_backend in walls.items()
+        if "list" in by_backend and "packed" in by_backend
+    }
+
+
+def run(shapes, reps: int, min_speedup: float, floor: float) -> dict:
+    rows: list[dict] = []
+    for n, m in shapes:
+        shape_rows = measure_shape(n, m, reps)
+        rows.extend(shape_rows)
+        for row in shape_rows:
+            print(
+                f"n={row['n']:4d} m={row['m']:5d} {row['backend']:6s} "
+                f"wall={row['wall_s']:8.4f}s "
+                f"events/s={row['events_per_sec']:11.1f} "
+                f"allocs/event={row['allocs_per_event']:7.3f}"
+            )
+    ratios = speedups(rows)
+    for (n, m), ratio in ratios.items():
+        print(f"n={n:4d} m={m:5d} packed speedup: {ratio:.2f}x")
+    best = max(ratios.values())
+    worst = min(ratios.values())
+    notes = [
+        f"best packed speedup {best:.2f}x (gate: >= {min_speedup:.1f}x)",
+        f"worst packed speedup {worst:.2f}x (floor: >= {floor:.1f}x)",
+        "wall-dependent columns are informational; counted columns "
+        "(events, intervals) are compared exactly against the baseline",
+    ]
+    assert best >= min_speedup, (
+        f"packed backend best speedup {best:.2f}x is below the "
+        f"{min_speedup:.1f}x gate"
+    )
+    assert worst >= floor, (
+        f"packed backend worst speedup {worst:.2f}x is below the "
+        f"{floor:.1f}x sanity floor"
+    )
+    result = SimpleNamespace(
+        experiment="kernel-micro: interval-sweep throughput, list vs packed",
+        headers=HEADERS,
+        rows=[[row[h] for h in HEADERS] for row in rows],
+        fits={},
+        notes=notes,
+    )
+    return structured_result(
+        result,
+        params={
+            "shapes": [list(s) for s in shapes],
+            "seed": SEED,
+            "reps": reps,
+            "min_speedup": min_speedup,
+            "floor": floor,
+        },
+        wall_time_s=sum(row["wall_s"] for row in rows),
+    )
+
+
+def check_against(doc: dict, baseline_path: pathlib.Path) -> None:
+    """Counted quantities must match the committed baseline exactly."""
+    baseline = load_benchmark_json(baseline_path)
+    idx = {name: HEADERS.index(name) for name in COUNTED}
+
+    def counted(payload: dict) -> list[tuple]:
+        headers = payload["headers"]
+        pick = [headers.index(name) for name in COUNTED]
+        return sorted(tuple(row[i] for i in pick) for row in payload["rows"])
+
+    expected = counted(baseline)
+    actual = [
+        tuple(row[idx[name]] for name in COUNTED)
+        for row in sorted(doc["rows"], key=lambda r: (r[1], r[2], r[0]))
+    ]
+    actual.sort()
+    if expected != actual:
+        missing = [row for row in expected if row not in actual]
+        extra = [row for row in actual if row not in expected]
+        raise SystemExit(
+            f"counted quantities diverge from {baseline_path}:\n"
+            f"  baseline-only: {missing}\n  fresh-only:    {extra}"
+        )
+    print(f"counted quantities match {baseline_path} ({len(expected)} rows)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shapes",
+        default=";".join(f"{n},{m}" for n, m in DEFAULT_SHAPES),
+        help="semicolon-separated n,m pairs",
+    )
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--floor", type=float, default=2.0)
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare counted quantities against a committed baseline",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help=f"re-record the default baseline at {DEFAULT_BASELINE}",
+    )
+    args = parser.parse_args()
+    shapes = tuple(
+        tuple(int(v) for v in pair.split(","))
+        for pair in args.shapes.split(";")
+    )
+    doc = run(shapes, args.reps, args.min_speedup, args.floor)
+    if args.check is not None:
+        check_against(doc, args.check)
+    out = args.out
+    if args.update:
+        out = DEFAULT_BASELINE
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
              "dissemination fanout (default 3)",
     )
     det.add_argument(
+        "--clock-backend", choices=("list", "packed"), default="list",
+        help="vector-clock representation for snapshot extraction "
+             "(online detectors only): validated immutable clocks "
+             "(list, default) or the array('q') fast path (packed); "
+             "verdicts and paper units are identical either way",
+    )
+    det.add_argument(
         "--json", action="store_true",
         help="print the verdict, metrics totals and fault summary as "
              "JSON (machine-readable; suppresses the human output)",
@@ -254,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run every online cell under the streaming "
                           "protocol-invariant monitors; violation counts "
                           "fold into the per-cell paper units")
+    swp.add_argument("--clock-backends", default="list",
+                     help="comma-separated vector-clock backends (list "
+                          "and/or packed); multiplies online cells only "
+                          "(default: list)")
     swp.add_argument("--trace-sample", type=int, default=0, metavar="N",
                      help="record full span traces for the N lowest "
                           "seeds of every group (deterministic sample; "
@@ -355,6 +366,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     wcp = WeakConjunctivePredicate.of_flags(pids, var=args.var)
     offline = args.detector in offline_detectors()
     options = {} if offline else {"seed": args.seed}
+    if args.clock_backend != "list":
+        if offline:
+            raise SystemExit(
+                "error: --clock-backend selects the snapshot-extraction "
+                "representation of a protocol simulation; it requires "
+                f"an online detector, not {args.detector!r}"
+            )
+        options["clock_backend"] = args.clock_backend
     tracer = None
     if args.trace_out is not None:
         if offline:
@@ -760,6 +779,9 @@ def _sweep_matrix_from_args(args: argparse.Namespace):
             membership=_parse_axis(args.membership, "membership", str),
             gossip_fanouts=_parse_axis(
                 args.gossip_fanouts, "gossip-fanouts", int
+            ),
+            clock_backends=_parse_axis(
+                args.clock_backends, "clock-backends", str
             ),
         )
     except ConfigurationError as exc:

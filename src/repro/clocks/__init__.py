@@ -2,10 +2,20 @@
 
 from repro.clocks.dependence import Dependence, DependenceList
 from repro.clocks.lamport import IntervalCounter, LamportClock
-from repro.clocks.vector import VectorClock
+from repro.clocks.vector import (
+    CLOCK_BACKENDS,
+    PackedVectorClock,
+    VectorClock,
+    clock_class,
+    require_clock_backend,
+)
 
 __all__ = [
+    "CLOCK_BACKENDS",
     "VectorClock",
+    "PackedVectorClock",
+    "clock_class",
+    "require_clock_backend",
     "IntervalCounter",
     "LamportClock",
     "Dependence",

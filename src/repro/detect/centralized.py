@@ -128,19 +128,23 @@ def detect(
     channel_model: ChannelModel | None = None,
     spacing: float = 1.0,
     observers: list | None = None,
+    clock_backend: str = "list",
 ) -> DetectionReport:
-    """Run the centralized checker on a recorded computation."""
+    """Run the centralized checker on a recorded computation.
+
+    ``clock_backend`` behaves as in :func:`repro.detect.token_vc.detect`.
+    """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
     n = wcp.n
     kernel = Kernel(channel_model=channel_model, seed=seed, observers=observers)
     checker = CheckerActor(n)
     kernel.add_actor(checker)
-    streams = vc_snapshots(computation, wcp.predicate_map())
+    streams = vc_snapshots(computation, wcp.predicate_map(), clock_backend)
     for slot, pid in enumerate(pids):
         items = [
             FeedItem(
-                payload=(slot, tuple(snap.vector[p] for p in pids)),
+                payload=(slot, snap.vector.project(pids)),
                 size_bits=n * WORD_BITS,
                 time=snap.time,
             )

@@ -461,13 +461,14 @@ def detect(
     hardened: bool | None = None,
     retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
     failure_detector: FailureDetectorConfig | None = None,
+    clock_backend: str = "list",
 ) -> DetectionReport:
     """Run the §4 algorithm on a recorded computation.
 
     Every one of the ``N`` processes gets a feeder and a monitor; the
     detected full cut is projected onto the WCP's pids for the report.
-    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` behave
-    as in :func:`repro.detect.token_vc.detect`.
+    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` /
+    ``clock_backend`` behave as in :func:`repro.detect.token_vc.detect`.
     """
     wcp.check_against(computation.num_processes)
     big_n = computation.num_processes
@@ -483,7 +484,7 @@ def detect(
     )
     for mon in monitors:
         kernel.add_actor(mon)
-    streams = dd_snapshots(computation, wcp.predicate_map())
+    streams = dd_snapshots(computation, wcp.predicate_map(), clock_backend)
     feeders = []
     for pid in range(big_n):
         items = [

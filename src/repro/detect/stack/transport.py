@@ -38,6 +38,16 @@ any fault schedule with eventual delivery the bound is never reached
 (each retry succeeds independently with the channel's delivery
 probability), and without eventual delivery it converts a livelock into
 a reported ``degraded`` outcome.
+
+Allocation discipline: every wire record here (:class:`Sequenced`,
+:class:`TokenFrame`, :class:`Tagged`) is a frozen, slotted dataclass,
+and the :class:`ReliableFeeder` packs its whole stream into one
+``(frame, kind, size_bits, time)`` tuple list at construction — first
+transmission and every retransmission walk that packed list by index,
+so the steady-state hot path allocates nothing per frame.  Candidate
+payloads arrive already projected to plain int tuples (see
+``VectorClock.project``), interned per width, which is what keeps
+n >= 256 sweeps inside CI wall budgets.
 """
 
 from __future__ import annotations
@@ -558,7 +568,12 @@ class ReliableFeeder(Actor):
                 if attempt > self._retry.max_attempts:
                     self.gave_up = True
                     break
-                for frame, kind, bits, _ in self._frames[self._acked:]:
+                # Index loop, not a slice: retransmission fires on every
+                # timeout and the unacked suffix can be the whole stream,
+                # so slicing would copy O(m) tuples per attempt.
+                frames = self._frames
+                for i in range(self._acked, final_seq):
+                    frame, kind, bits, _ = frames[i]
                     self._retry.on_send(frame.seq, self.now)
                     yield self.send(self._monitor, frame, kind=kind, size_bits=bits)
                 continue

@@ -368,6 +368,7 @@ def detect(
     hardened: bool | None = None,
     retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
     failure_detector: FailureDetectorConfig | None = None,
+    clock_backend: str = "list",
 ) -> DetectionReport:
     """Run the §3 algorithm on a recorded computation.
 
@@ -385,6 +386,10 @@ def detect(
     defaults to the RTT-adaptive policy; ``failure_detector`` enables
     heartbeat failure detection with token takeover (self-healing
     against *permanent* monitor death — see ``docs/faults.md``).
+    ``clock_backend`` selects the vector-clock representation used to
+    extract snapshot streams (``"list"`` or ``"packed"``); verdicts and
+    paper units are bit-identical either way, ``"packed"`` is just
+    faster on large cells.
     """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
@@ -411,12 +416,12 @@ def detect(
         ]
     for mon in monitors:
         kernel.add_actor(mon)
-    streams = vc_snapshots(computation, wcp.predicate_map())
+    streams = vc_snapshots(computation, wcp.predicate_map(), clock_backend)
     feeders = []
     for pid in pids:
         items = [
             FeedItem(
-                payload=tuple(snap.vector[p] for p in pids),
+                payload=snap.vector.project(pids),
                 size_bits=n * WORD_BITS,
                 time=snap.time,
             )

@@ -494,11 +494,12 @@ def detect(
     hardened: bool | None = None,
     retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
     failure_detector: FailureDetectorConfig | None = None,
+    clock_backend: str = "list",
 ) -> DetectionReport:
     """Run the §3.5 multi-token algorithm with ``groups`` tokens.
 
-    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` behave
-    as in :func:`repro.detect.token_vc.detect`.
+    ``faults`` / ``hardened`` / ``retry`` / ``failure_detector`` /
+    ``clock_backend`` behave as in :func:`repro.detect.token_vc.detect`.
     """
     wcp.check_against(computation.num_processes)
     pids = wcp.pids
@@ -532,12 +533,12 @@ def detect(
     for mon in monitors:
         kernel.add_actor(mon)
     kernel.add_actor(leader)
-    streams = vc_snapshots(computation, wcp.predicate_map())
+    streams = vc_snapshots(computation, wcp.predicate_map(), clock_backend)
     feeders = []
     for pid in pids:
         items = [
             FeedItem(
-                payload=tuple(snap.vector[p] for p in pids),
+                payload=snap.vector.project(pids),
                 size_bits=n * WORD_BITS,
                 time=snap.time,
             )

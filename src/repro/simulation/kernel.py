@@ -33,6 +33,14 @@ from repro.simulation.effects import Message, Receive, Send, Sleep, Work
 from repro.simulation.faults import CrashEvent, FaultPlan, PartitionEvent
 from repro.simulation.instrumentation import FaultSummary, MetricsBoard
 from repro.simulation.network import ChannelModel, FixedLatency
+from repro.simulation.observers import (
+    ActorEvent,
+    ActorPhase,
+    MessageEvent,
+    MessagePhase,
+    PartitionNotice,
+    PartitionPhase,
+)
 
 __all__ = ["Kernel", "SimulationResult"]
 
@@ -46,7 +54,7 @@ class _Status(Enum):
     CRASHED = "crashed"
 
 
-@dataclass
+@dataclass(slots=True)
 class _ActorState:
     actor: Actor
     gen: Generator | None = None
@@ -163,8 +171,6 @@ class Kernel:
     def _notify(self, phase, message: Message) -> None:
         if not self._observers:
             return
-        from repro.simulation.observers import MessageEvent
-
         event = MessageEvent(self._time, phase, message)
         for observer in self._observers:
             observer(event)
@@ -178,8 +184,6 @@ class Kernel:
         """
         if not self._observers:
             return
-        from repro.simulation.observers import ActorEvent, ActorPhase
-
         event = ActorEvent(self._time, ActorPhase(phase_name), name)
         for observer in self._observers:
             handler = getattr(observer, "on_actor_event", None)
@@ -192,8 +196,6 @@ class Kernel:
         """Report a partition start/heal to observers that opt in."""
         if not self._observers:
             return
-        from repro.simulation.observers import PartitionNotice, PartitionPhase
-
         event = PartitionNotice(
             self._time, PartitionPhase(phase_name), partition.groups
         )
@@ -251,8 +253,11 @@ class Kernel:
         May be called repeatedly; each call continues from the previous
         state (useful after adding more actors).
         """
-        while self._queue:
-            if self._queue[0][0] > (until if until is not None else float("inf")):
+        queue = self._queue
+        pop = heapq.heappop
+        horizon = until if until is not None else float("inf")
+        while queue:
+            if queue[0][0] > horizon:
                 break
             self._steps += 1
             if self._steps > self._max_steps:
@@ -260,21 +265,40 @@ class Kernel:
                     f"exceeded max_steps={self._max_steps}; "
                     f"likely livelock in a protocol"
                 )
-            time, _seq, action, payload = heapq.heappop(self._queue)
+            time, _seq, action, payload = pop(queue)
             self._time = time
             _prof_t0 = (
                 self._profiler.start() if self._profiler is not None else 0.0
             )
-            if action == "start":
-                self._start(str(payload))
+            if action == "deliver":
+                # Delivers dominate every protocol run; dispatch them
+                # first and, off the profiler path, drain all remaining
+                # same-timestamp delivers in one dispatch.  New events
+                # scheduled by a delivery always carry a higher seq than
+                # anything queued, so draining in heap order preserves
+                # the (time, seq) total order exactly.
+                self._deliver(payload)  # type: ignore[arg-type]
+                if self._profiler is None:
+                    while (
+                        queue
+                        and queue[0][0] == time
+                        and queue[0][2] == "deliver"
+                    ):
+                        self._steps += 1
+                        if self._steps > self._max_steps:
+                            raise SimulationError(
+                                f"exceeded max_steps={self._max_steps}; "
+                                f"likely livelock in a protocol"
+                            )
+                        self._deliver(pop(queue)[3])  # type: ignore[arg-type]
             elif action == "resume":
                 name, value, incarnation = payload  # type: ignore[misc]
                 state = self._states[name]
                 if state.incarnation != incarnation:
                     continue  # scheduled before a crash; the wakeup died with it
                 self._advance(state, value)
-            elif action == "deliver":
-                self._deliver(payload)  # type: ignore[arg-type]
+            elif action == "start":
+                self._start(str(payload))
             elif action == "timeout":
                 name, epoch = payload  # type: ignore[misc]
                 state = self._states[name]
@@ -376,8 +400,6 @@ class Kernel:
     def _notify_fault(self, message: Message, lost: bool) -> None:
         if not self._observers:
             return
-        from repro.simulation.observers import MessagePhase
-
         phase = MessagePhase.LOST if lost else MessagePhase.DROPPED
         self._notify(phase, message)
 
@@ -399,8 +421,6 @@ class Kernel:
         state.mailbox.append(message)
         state.actor.metrics.adjust_space(message.size_bits)  # type: ignore[union-attr]
         if self._observers:
-            from repro.simulation.observers import MessagePhase
-
             self._notify(MessagePhase.DELIVERED, message)
         if state.status is _Status.BLOCKED:
             assert state.pending_receive is not None
@@ -505,8 +525,6 @@ class Kernel:
             delivered_at=delivery,
         )
         if self._observers:
-            from repro.simulation.observers import MessagePhase
-
             self._notify(MessagePhase.SENT, message)
         self._schedule(delivery, "deliver", message)
 
@@ -586,8 +604,6 @@ class Kernel:
                 corrupted=corrupted,
             )
             if first and self._observers:
-                from repro.simulation.observers import MessagePhase
-
                 self._notify(MessagePhase.SENT, message)
             first = False
             self._schedule(delivery, "deliver", message)
@@ -603,8 +619,6 @@ class Kernel:
                 metrics.charge_receive(msg.kind, msg.size_bits)
                 metrics.adjust_space(-msg.size_bits)
                 if self._observers:
-                    from repro.simulation.observers import MessagePhase
-
                     self._notify(MessagePhase.CONSUMED, msg)
                 return msg
         return None
@@ -613,12 +627,12 @@ class Kernel:
     def _schedule(self, time: float, action: str, payload: object) -> None:
         if self._profiler is not None:
             t0 = self._profiler.start()
-            heapq.heappush(
-                self._queue, (time, self._next_seq(), action, payload)
-            )
+            self._seq = seq = self._seq + 1
+            heapq.heappush(self._queue, (time, seq, action, payload))
             self._profiler.stop("kernel.schedule", t0)
             return
-        heapq.heappush(self._queue, (time, self._next_seq(), action, payload))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (time, seq, action, payload))
 
     def _next_seq(self) -> int:
         self._seq += 1

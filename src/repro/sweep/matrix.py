@@ -21,6 +21,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.clocks.vector import CLOCK_BACKENDS
 from repro.common.errors import ConfigurationError
 from repro.common.validation import require
 from repro.detect.runner import DETECTORS, FAULT_CAPABLE, online_detectors
@@ -30,6 +31,24 @@ __all__ = ["SweepCell", "SweepMatrix", "load_matrix"]
 
 #: Hard ceiling on matrix expansion, a guard against typo'd axes.
 MAX_CELLS = 100_000
+
+#: Cell-description keys an ``exclude`` entry may constrain (the axis
+#: projections of :meth:`SweepCell.to_dict`).
+EXCLUDE_KEYS = frozenset(
+    {
+        "detector",
+        "processes",
+        "sends",
+        "pattern",
+        "density",
+        "pred_width",
+        "seed",
+        "faults",
+        "membership",
+        "gossip_fanout",
+        "clock_backend",
+    }
+)
 
 
 def _fmt_density(density: float) -> str:
@@ -54,6 +73,7 @@ class SweepCell:
     membership: str = "heartbeat"
     gossip_fanout: int = 3
     check_invariants: bool = False
+    clock_backend: str = "list"
 
     def __post_init__(self) -> None:
         require(
@@ -99,6 +119,18 @@ class SweepCell:
                 "membership='gossip' requires self_heal (the failure "
                 "detector is the layer being selected)",
             )
+        require(
+            self.clock_backend in CLOCK_BACKENDS,
+            f"clock_backend must be one of {CLOCK_BACKENDS}, "
+            f"got {self.clock_backend!r}",
+        )
+        if self.clock_backend != "list":
+            require(
+                self.detector in online_detectors(),
+                f"detector {self.detector!r} is offline (analysis-only); "
+                f"clock_backend={self.clock_backend!r} requires one of "
+                f"{sorted(online_detectors())}",
+            )
 
     @property
     def group(self) -> str:
@@ -112,10 +144,13 @@ class SweepCell:
             else ""
         )
         inv = "/inv" if self.check_invariants else ""
+        # The default list backend contributes no suffix, so committed
+        # baseline group names predate the knob and replay unchanged.
+        packed = "/packed" if self.clock_backend == "packed" else ""
         return (
             f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
             f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
-            f"/w{width}/f{faults}{heal}{gossip}{inv}"
+            f"/w{width}/f{faults}{heal}{gossip}{inv}{packed}"
         )
 
     @property
@@ -165,6 +200,7 @@ class SweepCell:
             "membership": self.membership,
             "gossip_fanout": self.gossip_fanout,
             "check_invariants": self.check_invariants,
+            "clock_backend": self.clock_backend,
         }
 
 
@@ -202,9 +238,26 @@ class SweepMatrix:
     membership: tuple[str, ...] = ("heartbeat",)
     gossip_fanouts: tuple[int, ...] = (3,)
     check_invariants: bool = False
+    clock_backends: tuple[str, ...] = ("list",)
+    exclude: tuple[Mapping[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         require(bool(self.name), "matrix name must be non-empty")
+        entries = []
+        for entry in self.exclude:
+            require(
+                isinstance(entry, Mapping) and len(entry) > 0,
+                "exclude entries must be non-empty objects of "
+                "axis-name -> value",
+            )
+            unknown_keys = sorted(set(entry) - EXCLUDE_KEYS)
+            require(
+                not unknown_keys,
+                f"exclude entry has unknown keys {unknown_keys}; "
+                f"expected a subset of {sorted(EXCLUDE_KEYS)}",
+            )
+            entries.append(dict(entry))
+        object.__setattr__(self, "exclude", tuple(entries))
         for axis_name in (
             "detectors",
             "processes",
@@ -216,6 +269,7 @@ class SweepMatrix:
             "faults",
             "membership",
             "gossip_fanouts",
+            "clock_backends",
         ):
             object.__setattr__(
                 self,
@@ -244,9 +298,16 @@ class SweepMatrix:
             "membership axis includes 'gossip' but self_heal is false; "
             "gossip cells need the failure detector enabled",
         )
+        bad_backends = sorted(set(self.clock_backends) - set(CLOCK_BACKENDS))
         require(
-            self.num_cells <= MAX_CELLS,
-            f"matrix expands to {self.num_cells} cells; limit is {MAX_CELLS}",
+            not bad_backends,
+            f"unknown clock backends {bad_backends}; "
+            f"expected a subset of {CLOCK_BACKENDS}",
+        )
+        require(
+            self._raw_num_cells <= MAX_CELLS,
+            f"matrix expands to {self._raw_num_cells} cells before "
+            f"exclusions; limit is {MAX_CELLS}",
         )
 
     def _membership_variants(
@@ -269,9 +330,38 @@ class SweepMatrix:
                 variants.append(("heartbeat", 3))
         return tuple(variants)
 
+    def _backend_variants(self, detector: str) -> tuple[str, ...]:
+        """The clock backends one detector expands over.
+
+        Offline detectors analyze the trace directly (no snapshot
+        extraction), so the backend axis collapses to the list default
+        for them — mirroring how fault specs only pair with
+        fault-capable detectors.
+        """
+        if detector not in online_detectors():
+            return ("list",)
+        return self.clock_backends
+
+    def _excluded(self, cell: SweepCell) -> bool:
+        """Whether an ``exclude`` entry matches every named cell field."""
+        if not self.exclude:
+            return False
+        desc = cell.to_dict()
+        return any(
+            all(desc[key] == value for key, value in entry.items())
+            for entry in self.exclude
+        )
+
     @property
     def num_cells(self) -> int:
         """The number of cells ``cells()`` will expand to."""
+        if self.exclude:
+            return len(self.cells())
+        return self._raw_num_cells
+
+    @property
+    def _raw_num_cells(self) -> int:
+        """The cross-product size before ``exclude`` filtering."""
         count = 0
         for detector in self.detectors:
             fault_variants = len(self.faults) if detector in FAULT_CAPABLE else 1
@@ -284,6 +374,7 @@ class SweepMatrix:
                 * len(self.seeds)
                 * fault_variants
                 * len(self._membership_variants(detector))
+                * len(self._backend_variants(detector))
             )
         return count
 
@@ -302,36 +393,40 @@ class SweepMatrix:
                 self.pred_widths,
                 fault_specs,
                 self._membership_variants(detector),
+                self._backend_variants(detector),
                 self.seeds,
             )
-            for n, sends, pattern, density, width, spec, mem, seed in points:
+            for n, sends, pattern, density, width, spec, mem, backend, seed in (
+                points
+            ):
                 if width is not None and width > n:
                     raise ConfigurationError(
                         f"pred_width {width} exceeds processes {n} "
                         f"in matrix {self.name!r}"
                     )
                 membership, fanout = mem
-                out.append(
-                    SweepCell(
-                        detector=detector,
-                        num_processes=n,
-                        sends_per_process=sends,
-                        pattern=pattern,
-                        predicate_density=density,
-                        pred_width=width,
-                        plant_final_cut=self.plant_final_cut,
-                        internal_rate=self.internal_rate,
-                        seed=seed,
-                        faults=spec,
-                        self_heal=self.self_heal and detector in FAULT_CAPABLE,
-                        membership=membership,
-                        gossip_fanout=fanout,
-                        check_invariants=(
-                            self.check_invariants
-                            and detector in online_detectors()
-                        ),
-                    )
+                cell = SweepCell(
+                    detector=detector,
+                    num_processes=n,
+                    sends_per_process=sends,
+                    pattern=pattern,
+                    predicate_density=density,
+                    pred_width=width,
+                    plant_final_cut=self.plant_final_cut,
+                    internal_rate=self.internal_rate,
+                    seed=seed,
+                    faults=spec,
+                    self_heal=self.self_heal and detector in FAULT_CAPABLE,
+                    membership=membership,
+                    gossip_fanout=fanout,
+                    check_invariants=(
+                        self.check_invariants
+                        and detector in online_detectors()
+                    ),
+                    clock_backend=backend,
                 )
+                if not self._excluded(cell):
+                    out.append(cell)
         return out
 
     def to_dict(self) -> dict[str, Any]:
@@ -352,6 +447,8 @@ class SweepMatrix:
             "membership": list(self.membership),
             "gossip_fanouts": list(self.gossip_fanouts),
             "check_invariants": self.check_invariants,
+            "clock_backends": list(self.clock_backends),
+            "exclude": [dict(entry) for entry in self.exclude],
         }
 
     @classmethod
@@ -377,6 +474,8 @@ class SweepMatrix:
             "membership",
             "gossip_fanouts",
             "check_invariants",
+            "clock_backends",
+            "exclude",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -403,6 +502,8 @@ class SweepMatrix:
             "faults",
             "membership",
             "gossip_fanouts",
+            "clock_backends",
+            "exclude",
         ):
             if key in data:
                 kwargs[key] = tuple(data[key])

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.clocks.dependence import Dependence
-from repro.clocks.vector import VectorClock
+from repro.clocks.vector import PackedVectorClock, VectorClock
 from repro.common.types import Pid
 from repro.trace.computation import Computation
 
@@ -52,11 +52,13 @@ class VCSnapshot:
     ``vector`` is full width (``N``); detectors over a predicate subset
     project it.  ``state_index`` is the local state at which the snapshot
     was emitted (used for replay timing), ``time`` its optional timestamp.
+    The vector's concrete class follows the ``clock_backend`` the stream
+    was extracted with; both expose identical values and projections.
     """
 
     pid: Pid
     interval: int
-    vector: VectorClock
+    vector: VectorClock | PackedVectorClock
     state_index: int
     time: float | None = None
 
@@ -87,7 +89,7 @@ class GCPSnapshot:
 
     pid: Pid
     interval: int
-    vector: VectorClock
+    vector: VectorClock | PackedVectorClock
     sends: Mapping[Pid, int]
     recvs: Mapping[Pid, int]
     state_index: int
@@ -102,6 +104,7 @@ def emission_points(
     computation: Computation,
     pid: Pid,
     predicate: LocalStatePredicate,
+    clock_backend: str = "list",
 ) -> list[tuple[int, int]]:
     """Snapshot emission points for ``pid``: ``(interval, state_index)``.
 
@@ -109,8 +112,12 @@ def emission_points(
     state, at the first such state — exactly Fig. 2's ``firstflag``
     behaviour (the flag is set by every send/receive, i.e. at every
     interval boundary, and cleared on the first true evaluation).
+
+    ``clock_backend`` only picks which cached analysis to reuse — the
+    emission points themselves are backend-independent — so callers that
+    extract packed snapshot streams never build the list analysis too.
     """
-    analysis = computation.analysis()
+    analysis = computation.analysis(clock_backend)
     states = computation.local_states(pid)
     points: list[tuple[int, int]] = []
     last_emitted_interval = 0
@@ -128,9 +135,15 @@ def true_intervals(
     computation: Computation,
     pid: Pid,
     predicate: LocalStatePredicate,
+    clock_backend: str = "list",
 ) -> list[int]:
     """The intervals of ``pid`` in which ``predicate`` holds somewhere."""
-    return [interval for interval, _ in emission_points(computation, pid, predicate)]
+    return [
+        interval
+        for interval, _ in emission_points(
+            computation, pid, predicate, clock_backend
+        )
+    ]
 
 
 def _event_time(computation: Computation, pid: Pid, state_index: int) -> float | None:
@@ -143,16 +156,19 @@ def _event_time(computation: Computation, pid: Pid, state_index: int) -> float |
 def vc_snapshots(
     computation: Computation,
     predicates: Mapping[Pid, LocalStatePredicate],
+    clock_backend: str = "list",
 ) -> dict[Pid, list[VCSnapshot]]:
     """Vector-clock snapshot streams for every predicate process.
 
     Returns a FIFO-ordered list per pid in ``predicates``.
     """
-    analysis = computation.analysis()
+    analysis = computation.analysis(clock_backend)
     streams: dict[Pid, list[VCSnapshot]] = {}
     for pid, predicate in predicates.items():
         stream: list[VCSnapshot] = []
-        for interval, state_index in emission_points(computation, pid, predicate):
+        for interval, state_index in emission_points(
+            computation, pid, predicate, clock_backend
+        ):
             stream.append(
                 VCSnapshot(
                     pid=pid,
@@ -170,6 +186,7 @@ def gcp_snapshots(
     computation: Computation,
     predicates: Mapping[Pid, LocalStatePredicate],
     channels: Sequence[tuple[Pid, Pid]],
+    clock_backend: str = "list",
 ) -> dict[Pid, list[GCPSnapshot]]:
     """Snapshot streams carrying channel counters for GCP detection.
 
@@ -178,7 +195,7 @@ def gcp_snapshots(
     its cumulative send counters for channels it sources and receive
     counters for channels it terminates.
     """
-    analysis = computation.analysis()
+    analysis = computation.analysis(clock_backend)
     from repro.trace.events import EventKind
 
     out_channels: dict[Pid, list[Pid]] = {}
@@ -205,7 +222,9 @@ def gcp_snapshots(
                 for interval in range(opened, max_interval + 1):
                     recv_counts[event.peer][interval] += 1
         stream: list[GCPSnapshot] = []
-        for interval, state_index in emission_points(computation, pid, predicate):
+        for interval, state_index in emission_points(
+            computation, pid, predicate, clock_backend
+        ):
             stream.append(
                 GCPSnapshot(
                     pid=pid,
@@ -224,6 +243,7 @@ def gcp_snapshots(
 def dd_snapshots(
     computation: Computation,
     predicates: Mapping[Pid, LocalStatePredicate],
+    clock_backend: str = "list",
 ) -> dict[Pid, list[DDSnapshot]]:
     """Direct-dependence snapshot streams for **all** ``N`` processes.
 
@@ -236,13 +256,15 @@ def dd_snapshots(
     previous snapshot's emission state, in receive order.
     """
     streams: dict[Pid, list[DDSnapshot]] = {}
-    analysis = computation.analysis()
+    analysis = computation.analysis(clock_backend)
     for pid in range(computation.num_processes):
         predicate = predicates.get(pid, _always_true)
         deps = analysis.receive_dependences(pid)  # (recv_event_index, dep)
         stream: list[DDSnapshot] = []
         dep_pos = 0
-        for interval, state_index in emission_points(computation, pid, predicate):
+        for interval, state_index in emission_points(
+            computation, pid, predicate, clock_backend
+        ):
             flushed: list[Dependence] = []
             # A receive at event index r produces local state r+1; its
             # dependence is visible to snapshots emitted at state > r,

@@ -1,0 +1,149 @@
+"""Integration: packed clock backend is bit-identical to the list backend.
+
+``clock_backend="packed"`` is a pure representation change — an
+``array('q')`` causal analysis instead of tuples of boxed ints.  Under
+every fault regime we ship (message loss + crash, partition + heal,
+rolling monitor churn) each hardened detector must produce the **same
+verdict, the same first cut and byte-identical paper units** on both
+backends; with the streaming invariant monitors attached, the same
+invariant verdicts too.  Any divergence means the packed sweep computed
+a different causal structure, which is a correctness bug, not a perf
+trade-off.
+"""
+
+import json
+
+import pytest
+
+from repro.detect import run_detector
+from repro.detect.runner import paper_units
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import (
+    ChurnEvent,
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    PartitionEvent,
+)
+from repro.trace import random_computation
+
+HARDENED = ("token_vc", "token_vc_multi", "direct_dep", "direct_dep_parallel")
+
+LOSSY = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.2),),
+    crashes=(CrashEvent("mon-1", 4.0, 9.0),),
+)
+
+PARTITIONED = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.15),),
+    crashes=(CrashEvent("mon-1", 6.0, 60.0),),
+    partitions=(
+        PartitionEvent(10.0, (frozenset({"mon-0", "app-0"}),), 25.0),
+    ),
+)
+
+CHURN = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.1),),
+    churns=(ChurnEvent(("mon-1", "mon-2"), 4.0, 10.0, 5.0, rounds=2),),
+)
+
+
+def _case(seed):
+    comp = random_computation(
+        3, 4, seed=seed, predicate_density=0.3,
+        plant_final_cut=(seed % 2 == 0),
+    )
+    return comp, WeakConjunctivePredicate.of_flags(range(3))
+
+
+def _units_bytes(rep) -> bytes:
+    return json.dumps(paper_units(rep), sort_keys=True).encode()
+
+
+def _assert_backends_identical(name, comp, wcp, seed, plan, **options):
+    reps = {
+        backend: run_detector(
+            name, comp, wcp, seed=seed, faults=plan, hardened=True,
+            clock_backend=backend, **options,
+        )
+        for backend in ("list", "packed")
+    }
+    listed, packed = reps["list"], reps["packed"]
+    assert packed.detected == listed.detected, f"{name} s{seed} verdict"
+    assert packed.cut == listed.cut, f"{name} s{seed} cut"
+    assert packed.outcome == listed.outcome, f"{name} s{seed} outcome"
+    assert _units_bytes(packed) == _units_bytes(listed), (
+        f"{name} s{seed} paper units diverge:\n"
+        f"  list:   {paper_units(listed)}\n"
+        f"  packed: {paper_units(packed)}"
+    )
+    return listed, packed
+
+
+class TestLossCrashParity:
+    """50 seeded workloads x 4 hardened detectors under loss + crash."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_backends_agree(self, seed):
+        comp, wcp = _case(seed)
+        for name in HARDENED:
+            _assert_backends_identical(name, comp, wcp, seed, LOSSY)
+
+
+class TestPartitionHealParity:
+    """Partition + long crash + loss: takeover elections and healing
+    must not expose any backend-dependent behavior."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_backends_agree(self, seed):
+        comp, wcp = _case(seed)
+        for name in HARDENED:
+            _assert_backends_identical(name, comp, wcp, seed, PARTITIONED)
+
+
+class TestChurnParity:
+    """Rolling monitor churn: crash/restart cycles on both backends."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_backends_agree(self, seed):
+        comp, wcp = _case(seed)
+        for name in HARDENED:
+            _assert_backends_identical(name, comp, wcp, seed, CHURN)
+
+
+class TestInvariantMonitorParity:
+    """The runtime-verification verdicts are backend-invariant too."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("name", ("token_vc", "direct_dep"))
+    def test_invariant_results_agree(self, name, seed):
+        comp, wcp = _case(seed)
+        listed, packed = _assert_backends_identical(
+            name, comp, wcp, seed, LOSSY, check_invariants=True,
+        )
+        assert (
+            packed.extras["invariant_violations"]
+            == listed.extras["invariant_violations"]
+            == 0
+        )
+        assert (
+            packed.extras.get("invariant_summary")
+            == listed.extras.get("invariant_summary")
+        )
+
+
+class TestBackendAgainstReference:
+    """Packed runs still match the fault-free reference verdict —
+    parity with the list backend composes with the exactness suites."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_packed_matches_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            rep = run_detector(
+                name, comp, wcp, seed=seed, faults=LOSSY, hardened=True,
+                clock_backend="packed",
+            )
+            assert rep.detected == ref.detected, f"{name} verdict"
+            assert rep.cut == ref.cut, f"{name} cut"

@@ -151,3 +151,90 @@ class TestSweepMatrix:
         path.write_text("{nope")
         with pytest.raises(ConfigurationError, match="not JSON"):
             load_matrix(path)
+
+
+class TestClockBackendAxis:
+    def test_packed_suffixes_the_group(self):
+        plain = SweepCell(detector="token_vc", num_processes=4,
+                          sends_per_process=8)
+        packed = SweepCell(detector="token_vc", num_processes=4,
+                           sends_per_process=8, clock_backend="packed")
+        assert packed.group == plain.group + "/packed"
+        assert "/packed" not in plain.group  # old baselines unchanged
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="clock_backend"):
+            SweepCell(detector="token_vc", num_processes=4,
+                      sends_per_process=4, clock_backend="numpy")
+        with pytest.raises(ConfigurationError, match="clock backends"):
+            small_matrix(clock_backends=("numpy",))
+
+    def test_packed_requires_online_detector(self):
+        with pytest.raises(ConfigurationError, match="offline"):
+            SweepCell(detector="reference", num_processes=4,
+                      sends_per_process=4, clock_backend="packed")
+
+    def test_backend_axis_multiplies_online_cells_only(self):
+        matrix = small_matrix(
+            detectors=("token_vc", "reference"),
+            clock_backends=("list", "packed"),
+            seeds=(0,),
+        )
+        by_detector = {}
+        for cell in matrix.cells():
+            by_detector.setdefault(cell.detector, []).append(
+                cell.clock_backend
+            )
+        assert sorted(by_detector["token_vc"]) == ["list", "packed"]
+        assert by_detector["reference"] == ["list"]
+        assert matrix.num_cells == 3 * len(matrix.seeds)
+
+    def test_backend_axis_round_trips(self):
+        matrix = small_matrix(clock_backends=("list", "packed"))
+        clone = SweepMatrix.from_dict(matrix.to_dict())
+        assert clone == matrix
+        assert clone.clock_backends == ("list", "packed")
+
+
+class TestExclude:
+    def test_excluded_corner_is_dropped(self):
+        matrix = small_matrix(
+            processes=(4, 6), sends=(6, 8), seeds=(0,),
+            exclude=({"processes": 6, "sends": 8},),
+        )
+        cells = matrix.cells()
+        assert matrix.num_cells == len(cells) == 3
+        assert not any(
+            c.num_processes == 6 and c.sends_per_process == 8 for c in cells
+        )
+
+    def test_partial_match_excludes_across_other_axes(self):
+        matrix = small_matrix(
+            processes=(4, 6), sends=(6,), seeds=(0, 1),
+            exclude=({"processes": 6},),
+        )
+        assert all(c.num_processes == 4 for c in matrix.cells())
+        assert matrix.num_cells == 2
+
+    def test_unknown_exclude_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            small_matrix(exclude=({"bogus": 1},))
+
+    def test_empty_exclude_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            small_matrix(exclude=({},))
+
+    def test_exclude_round_trips(self):
+        matrix = small_matrix(
+            processes=(4, 6), exclude=({"processes": 6},)
+        )
+        clone = SweepMatrix.from_dict(matrix.to_dict())
+        assert clone == matrix
+        assert clone.num_cells == matrix.num_cells
+
+    def test_no_exclude_key_defaults_to_empty(self):
+        matrix = SweepMatrix.from_dict(
+            {"name": "x", "detectors": ["token_vc"], "processes": [4],
+             "sends": [4]}
+        )
+        assert matrix.exclude == ()
