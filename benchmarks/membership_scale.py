@@ -18,19 +18,36 @@ The committed snapshot lives at
 
     python benchmarks/membership_scale.py --out benchmarks/results/membership_scale.json
 
-Usage: ``python benchmarks/membership_scale.py [--sizes 8,32,128] [--out FILE]``
+With ``--elastic`` the script instead runs the scale-out scenario:
+each group *starts* at a quarter of its size and grows to full size by
+live joins (:func:`repro.detect.stack.membersim.run_elastic_trial`).
+The claim under test is that elasticity is cheap — every joiner pays a
+fixed number of dedicated handshake messages (join / welcome /
+state-sync), the welcome snapshot is the only size-dependent byte cost
+(O(n_start) membership entries), and the epidemic introduction adds
+*zero* dedicated dissemination messages.  The output carries an honest
+``environment`` block (real ``cpu_count``, measured wall seconds) so a
+recorded snapshot can never masquerade as a different machine's.
+
+Usage: ``python benchmarks/membership_scale.py [--sizes 8,32,128]
+[--elastic] [--out FILE]``
 """
 
 import argparse
 import json
 import math
+import os
 import pathlib
 import sys
+import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.detect.stack import FailureDetectorConfig  # noqa: E402
-from repro.detect.stack.membersim import run_membership_trial  # noqa: E402
+from repro.detect.stack.membersim import (  # noqa: E402
+    run_elastic_trial,
+    run_membership_trial,
+)
 
 DEFAULT_SIZES = (8, 32, 128)
 DURATION = 60.0
@@ -116,13 +133,86 @@ def run(sizes) -> dict:
     }
 
 
+def run_elastic(sizes) -> dict:
+    """The scale-out scenario: grow each group from n//4 to n by joins."""
+    config = FailureDetectorConfig(membership="gossip")
+    rows = []
+    started = time.perf_counter()
+    for n in sizes:
+        trial = run_elastic_trial(n, config, duration=DURATION)
+        row = {
+            "n": n,
+            "n_start": trial.n_start,
+            "joiners": trial.joiners,
+            "joined": trial.joined,
+            "synced": trial.synced,
+            "handshake_bytes": trial.handshake_bytes,
+            "handshake_messages": trial.handshake_messages,
+            "messages_per_joiner": trial.handshake_messages / trial.joiners,
+            "bytes_per_joiner": round(
+                trial.handshake_bytes / trial.joiners, 1
+            ),
+            "liveness_bytes": trial.liveness_bytes,
+        }
+        rows.append(row)
+        print(
+            f"n={n:4d} start={trial.n_start:3d} joiners={trial.joiners:3d} "
+            f"joined={trial.joined:3d} "
+            f"msgs/joiner={row['messages_per_joiner']:.1f} "
+            f"bytes/joiner={row['bytes_per_joiner']:8.1f} "
+            f"liveness_bytes={trial.liveness_bytes:9d}"
+        )
+        assert trial.all_joined, (
+            f"n={n}: {trial.joined}/{trial.joiners} joined, "
+            f"{trial.synced} synced"
+        )
+    wall_s = time.perf_counter() - started
+    # The elasticity claims: the dedicated message count per joiner is a
+    # constant of the protocol (the handshake), and the only
+    # size-dependent byte cost is the welcome snapshot, which grows with
+    # the *seed group* — sub-linearly in the final group size.
+    per_joiner = {row["messages_per_joiner"] for row in rows}
+    assert len(per_joiner) == 1, (
+        f"handshake messages per joiner should be constant, got {per_joiner}"
+    )
+    if len(rows) >= 2:
+        rows_by_n = sorted(rows, key=lambda r: r["n"])
+        lo, hi = rows_by_n[0], rows_by_n[-1]
+        byte_growth = hi["bytes_per_joiner"] / lo["bytes_per_joiner"]
+        seed_growth = hi["n_start"] / lo["n_start"]
+        print(
+            f"N x{hi['n'] / lo['n']:.0f}: handshake bytes/joiner "
+            f"x{byte_growth:.1f} (welcome snapshot x{seed_growth:.0f})"
+        )
+        assert byte_growth <= 1.5 * seed_growth, (
+            "per-joiner handshake bytes should track the welcome "
+            "snapshot, not the full group"
+        )
+    return {
+        "schema": "repro-membership-elastic/1",
+        "duration": DURATION,
+        "config": {
+            "gossip_fanout": config.gossip_fanout,
+            "suspicion_after": config.suspicion_after,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count() or 1,
+            "wall_s": round(wall_s, 3),
+        },
+        "rows": rows,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)))
+    parser.add_argument("--elastic", action="store_true",
+                        help="run the scale-out (live join) scenario "
+                             "instead of the crash-detection one")
     parser.add_argument("--out", type=pathlib.Path, default=None)
     args = parser.parse_args()
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    doc = run(sizes)
+    doc = run_elastic(sizes) if args.elastic else run(sizes)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

@@ -113,6 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
              "dissemination fanout (default 3)",
     )
     det.add_argument(
+        "--gossip-interval", type=float, default=None, metavar="S",
+        help="with --membership gossip, seconds between SWIM probe "
+             "rounds (default: the config default)",
+    )
+    det.add_argument(
+        "--gossip-timeout", type=float, default=None, metavar="S",
+        help="with --membership gossip, the per-stage probe deadline "
+             "before suspicion escalates (default: one probe interval)",
+    )
+    det.add_argument(
         "--clock-backend", choices=("list", "packed"), default="list",
         help="vector-clock representation for snapshot extraction "
              "(online detectors only): validated immutable clocks "
@@ -257,6 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--gossip-fanouts", default="3",
                      help="comma-separated SWIM fanouts, ranges allowed; "
                           "multiplies gossip cells only (default: 3)")
+    swp.add_argument("--gossip-intervals", default="none",
+                     help="comma-separated SWIM probe intervals in seconds "
+                          "('none' = config default); multiplies gossip "
+                          "cells only (default: none)")
+    swp.add_argument("--gossip-timeouts", default="none",
+                     help="comma-separated SWIM probe deadlines in seconds "
+                          "('none' = one probe interval); multiplies "
+                          "gossip cells only (default: none)")
     swp.add_argument("--check-invariants", action="store_true",
                      help="run every online cell under the streaming "
                           "protocol-invariant monitors; violation counts "
@@ -427,10 +445,16 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 )
             from repro.detect.stack import FailureDetectorConfig
 
+            fd_options = {}
+            if args.gossip_interval is not None:
+                fd_options["gossip_interval"] = args.gossip_interval
+            if args.gossip_timeout is not None:
+                fd_options["gossip_timeout"] = args.gossip_timeout
             try:
                 options["failure_detector"] = FailureDetectorConfig(
                     membership=args.membership,
                     gossip_fanout=args.gossip_fanout,
+                    **fd_options,
                 )
             except ConfigurationError as exc:
                 raise SystemExit(f"error: {exc}")
@@ -726,6 +750,13 @@ def _cmd_import_log(args: argparse.Namespace) -> int:
     return 0
 
 
+def _float_or_none(text: str) -> float | None:
+    """Axis value cast: ``none`` selects the config default."""
+    if text.lower() == "none":
+        return None
+    return float(text)
+
+
 def _parse_axis(text: str, name: str, convert):
     """Parse a comma-separated axis; int axes accept ``a..b`` ranges."""
     values: list = []
@@ -779,6 +810,12 @@ def _sweep_matrix_from_args(args: argparse.Namespace):
             membership=_parse_axis(args.membership, "membership", str),
             gossip_fanouts=_parse_axis(
                 args.gossip_fanouts, "gossip-fanouts", int
+            ),
+            gossip_intervals=_parse_axis(
+                args.gossip_intervals, "gossip-intervals", _float_or_none
+            ),
+            gossip_timeouts=_parse_axis(
+                args.gossip_timeouts, "gossip-timeouts", _float_or_none
             ),
             clock_backends=_parse_axis(
                 args.clock_backends, "clock-backends", str

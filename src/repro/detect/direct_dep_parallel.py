@@ -62,6 +62,7 @@ from repro.detect.stack import (
     TokenInjector,
     harden,
     register_glue,
+    spawn_joiners,
 )
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
@@ -388,6 +389,10 @@ def detect(
         kernel.add_actor(injector)
     else:
         kernel.add_actor(TokenInjector(monitor_name(0), None, TOKEN_BITS))
+    joiners = spawn_joiners(
+        kernel, faults, [monitor_name(pid) for pid in range(big_n)],
+        hardened=use_hardened, config=failure_detector, retry=retry,
+    )
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)
@@ -419,6 +424,10 @@ def detect(
         extras["takeovers"] = sum(
             getattr(m, "takeovers", 0) for m in monitors
         )
+        if joiners:
+            extras["joiners"] = len(joiners)
+            extras["joined"] = sum(1 for j in joiners if j.joined)
+            extras["synced"] = sum(1 for j in joiners if j.synced)
     if winner is not None:
         full = Cut(
             tuple(range(big_n)), tuple(monitors[p].G for p in range(big_n))

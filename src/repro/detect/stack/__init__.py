@@ -31,12 +31,20 @@ from repro.detect.stack.compose import (
 )
 from repro.detect.stack.gossip import (
     GOSSIP_KINDS,
+    JOIN_ACK_KIND,
+    JOIN_KIND,
+    JOIN_KINDS,
     PING_ACK_KIND,
     PING_KIND,
     PING_REQ_KIND,
+    STATE_SYNC_KIND,
     GossipUpdate,
+    Join,
+    JoinWelcome,
+    StateSync,
     SwimState,
 )
+from repro.detect.stack.join import StandbyMonitor, spawn_joiners
 from repro.detect.stack.membership import (
     ELECT_KIND,
     ELECT_OK_KIND,
@@ -47,9 +55,11 @@ from repro.detect.stack.membership import (
 )
 from repro.detect.stack.transport import (
     CAND_ACK_KIND,
+    FEED_JOIN_KIND,
     HALT_ACK_KIND,
     TOKEN_ACK_KIND,
     AdaptiveRetryPolicy,
+    FeedJoin,
     AdaptiveSchedule,
     CandidateInbox,
     ReliableEndpoint,
@@ -71,11 +81,21 @@ __all__ = [
     "register_glue",
     # gossip
     "GOSSIP_KINDS",
+    "JOIN_KINDS",
     "PING_KIND",
     "PING_ACK_KIND",
     "PING_REQ_KIND",
+    "JOIN_KIND",
+    "JOIN_ACK_KIND",
+    "STATE_SYNC_KIND",
     "GossipUpdate",
+    "Join",
+    "JoinWelcome",
+    "StateSync",
     "SwimState",
+    # join
+    "StandbyMonitor",
+    "spawn_joiners",
     # membership
     "HEARTBEAT_KIND",
     "ELECT_KIND",
@@ -87,6 +107,8 @@ __all__ = [
     "CAND_ACK_KIND",
     "TOKEN_ACK_KIND",
     "HALT_ACK_KIND",
+    "FEED_JOIN_KIND",
+    "FeedJoin",
     "Sequenced",
     "TokenFrame",
     "Tagged",

@@ -50,7 +50,11 @@ __all__ = [
     "PING_KIND",
     "PING_ACK_KIND",
     "PING_REQ_KIND",
+    "JOIN_KIND",
+    "JOIN_ACK_KIND",
+    "STATE_SYNC_KIND",
     "GOSSIP_KINDS",
+    "JOIN_KINDS",
     "ALIVE",
     "SUSPECT",
     "CONFIRMED",
@@ -59,6 +63,9 @@ __all__ = [
     "Ping",
     "PingAck",
     "PingReq",
+    "Join",
+    "JoinWelcome",
+    "StateSync",
     "SwimState",
     "PIGGYBACK_LIMIT",
     "entries_bits",
@@ -69,7 +76,13 @@ PING_KIND = "ping"            # direct liveness probe
 PING_ACK_KIND = "ping_ack"    # probe answer (direct or relayed)
 PING_REQ_KIND = "ping_req"    # indirect-probe request to a helper
 
+# Message kinds introduced by the elastic-join handshake.
+JOIN_KIND = "join"            # joiner -> seed contact: admit me
+JOIN_ACK_KIND = "join_ack"    # seed -> joiner: membership snapshot + epoch
+STATE_SYNC_KIND = "state_sync"  # seed -> joiner: anti-entropy bootstrap
+
 GOSSIP_KINDS = frozenset({PING_KIND, PING_ACK_KIND, PING_REQ_KIND})
+JOIN_KINDS = frozenset({JOIN_KIND, JOIN_ACK_KIND, STATE_SYNC_KIND})
 
 # Member lifecycle states, in precedence order at equal incarnation.
 ALIVE = "alive"
@@ -86,14 +99,24 @@ _ENTRY_BITS = 2 * WORD_BITS + 2  # (slot-or-epoch, incarnation, 2-bit tag)
 
 @dataclass(frozen=True, slots=True)
 class GossipUpdate:
-    """One membership assertion: ``slot`` is ``status`` at ``incarnation``."""
+    """One membership assertion: ``slot`` is ``status`` at ``incarnation``.
+
+    ``name`` is carried only for members introduced at runtime (elastic
+    join): a receiver that has never heard of ``slot`` can admit it from
+    the update alone, which makes join dissemination converge no matter
+    the order updates arrive in.  Static members never need it, so
+    updates about them stay exactly as small as before.
+    """
 
     slot: int
     status: str
     incarnation: int
+    name: str | None = None
 
     def size_bits(self) -> int:
-        return _ENTRY_BITS
+        if self.name is None:
+            return _ENTRY_BITS
+        return _ENTRY_BITS + 8 * len(self.name)
 
     @property
     def key(self) -> tuple:
@@ -183,6 +206,69 @@ class PingReq:
         return 4 * WORD_BITS + entries_bits(self.updates)
 
 
+@dataclass(frozen=True, slots=True)
+class Join:
+    """The handshake request a brand-new monitor sends its seed contact.
+
+    ``slot`` is the joiner's own (globally fresh) slot number, chosen by
+    the harness so it cannot collide with any existing member; ``name``
+    is its actor name, which the seed disseminates so everyone can route
+    to it.
+    """
+
+    slot: int
+    name: str
+    incarnation: int = 0
+
+    def size_bits(self) -> int:
+        return 2 * WORD_BITS + 8 * len(self.name)
+
+
+@dataclass(frozen=True, slots=True)
+class JoinWelcome:
+    """The seed contact's reply: a full membership snapshot.
+
+    ``members`` lists ``(slot, name, incarnation, status)`` for every
+    member the seed currently knows (itself and the joiner included);
+    ``epoch`` is the takeover-election epoch at the seed, so the joiner
+    answers election rounds at the right number from its first message.
+    """
+
+    members: tuple
+    epoch: int
+
+    def size_bits(self) -> int:
+        return WORD_BITS + sum(
+            _ENTRY_BITS + 8 * len(name) for _, name, _, _ in self.members
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StateSync:
+    """Anti-entropy bootstrap shipped to a joiner after its welcome.
+
+    ``frames`` are the seed's persisted token frames (opaque to this
+    layer — the transport owns their shape); ``baselines`` are
+    ``(stream_name, acked_seq)`` pairs giving the seed's cumulative
+    candidate-ack position per feeder stream, so the joiner subscribes
+    at the correct sequence numbers instead of demanding history the
+    feeders may have retired.  ``frame_bits`` is the accounting size of
+    ``frames``, computed by the sender because this layer cannot size
+    transport payloads.
+    """
+
+    frames: tuple = ()
+    baselines: tuple = ()
+    frame_bits: int = 0
+
+    def size_bits(self) -> int:
+        return (
+            WORD_BITS
+            + sum(WORD_BITS + 8 * len(stream) for stream, _ in self.baselines)
+            + self.frame_bits
+        )
+
+
 @dataclass
 class _Buffered:
     """One piggyback-buffer cell: the entry plus its send count."""
@@ -206,16 +292,30 @@ class SwimState:
     down.
     """
 
-    def __init__(self, slot: int, peers, *, fanout: int = 3, seed: int = 0):
+    def __init__(
+        self,
+        slot: int,
+        peers,
+        *,
+        fanout: int = 3,
+        seed: int = 0,
+        names: dict[int, str] | None = None,
+    ):
         self.slot = slot
         self.peers: tuple[int, ...] = tuple(sorted(set(peers) - {slot}))
         self.fanout = max(1, int(fanout))
         self.seed = seed
         self.incarnation = 0
+        #: Actor names for members introduced at runtime (elastic join);
+        #: static members are routable without one, so updates about
+        #: them never pay the name bytes.
+        self.names: dict[int, str] = dict(names) if names else {}
         self.table: dict[int, GossipUpdate] = {
-            s: GossipUpdate(s, ALIVE, 0) for s in self.peers
+            s: GossipUpdate(s, ALIVE, 0, self.names.get(s))
+            for s in self.peers
         }
-        self.table[slot] = GossipUpdate(slot, ALIVE, 0)
+        self.table[slot] = GossipUpdate(slot, ALIVE, 0, self.names.get(slot))
+        self._introduced: list[tuple[int, str]] = []
         #: Retransmissions before a buffered entry is retired — ≈ the
         #: epidemic round count needed to reach everyone w.h.p.
         self.retransmit_budget = max(6, 2 * self.fanout)
@@ -250,7 +350,22 @@ class SwimState:
     def _apply(self, update: GossipUpdate, now: float, *, buffer: bool) -> bool:
         current = self.table.get(update.slot)
         if current is None:
-            return False  # unknown member (defensive: foreign slot)
+            if update.name is None or update.slot == self.slot:
+                return False  # unknown member (defensive: foreign slot)
+            # A named update about a slot we have never heard of is a
+            # runtime introduction: admit the member and keep gossiping
+            # the update so the introduction spreads epidemically.
+            self.peers = tuple(sorted((*self.peers, update.slot)))
+            self.names[update.slot] = update.name
+            self.table[update.slot] = update
+            if update.status == SUSPECT:
+                self._suspect_since.setdefault(update.slot, now)
+            if buffer:
+                self._admit(update)
+            self._introduced.append((update.slot, update.name))
+            return True
+        if update.name is not None:
+            self.names.setdefault(update.slot, update.name)
         if update.precedence <= current.precedence:
             return False
         self.table[update.slot] = update
@@ -376,7 +491,9 @@ class SwimState:
         if current.status != ALIVE:
             return None
         self._apply(
-            GossipUpdate(target, SUSPECT, current.incarnation),
+            GossipUpdate(
+                target, SUSPECT, current.incarnation, self.names.get(target)
+            ),
             now, buffer=True,
         )
         return target
@@ -402,7 +519,9 @@ class SwimState:
                 continue
             update = self.table[slot]
             self._apply(
-                GossipUpdate(slot, CONFIRMED, update.incarnation),
+                GossipUpdate(
+                    slot, CONFIRMED, update.incarnation, self.names.get(slot)
+                ),
                 now, buffer=True,
             )
             confirmed.append(slot)
@@ -415,9 +534,47 @@ class SwimState:
         """Come back after a crash: a fresh incarnation refutes any
         suspicion (or confirmation) accrued while down."""
         self.incarnation += 1
-        me = GossipUpdate(self.slot, ALIVE, self.incarnation)
+        me = GossipUpdate(
+            self.slot, ALIVE, self.incarnation, self.names.get(self.slot)
+        )
         self.table[self.slot] = me
         self._admit(me)
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_member(
+        self, slot: int, name: str, *, incarnation: int = 0,
+        announce: bool = True,
+    ) -> bool:
+        """Admit a genuinely new, named member (elastic join).
+
+        Called by the seed contact when a ``join`` arrives, and by the
+        joiner itself when folding in its welcome snapshot.  With
+        ``announce`` the introduction enters the piggyback buffer, so it
+        reaches every other member at O(1) dedicated bytes — no
+        broadcast round.  Returns False when the slot is already known
+        (a retransmitted join), which keeps the handshake idempotent.
+        """
+        if slot == self.slot or slot in self.table:
+            if name:
+                self.names.setdefault(slot, name)
+            return False
+        update = GossipUpdate(slot, ALIVE, incarnation, name)
+        self.peers = tuple(sorted((*self.peers, slot)))
+        self.names[slot] = name
+        self.table[slot] = update
+        if announce:
+            self._admit(update)
+        return True
+
+    def drain_introductions(self) -> list[tuple[int, str]]:
+        """Members introduced via gossip since the last drain, as
+        ``(slot, name)`` pairs — the actor mixin registers routes for
+        them."""
+        drained = self._introduced
+        self._introduced = []
+        return drained
 
     def announce(self, kind: str, epoch: int, slot: int) -> bool:
         """Originate (or relay) an announcement; True if it was fresh."""
@@ -440,8 +597,10 @@ class SwimState:
         Events: ``("refuted", incarnation)`` — this member was suspected
         and bumped its incarnation; ``("elect", epoch, slot)`` /
         ``("halt", epoch, slot)`` — a fresh announcement needing an
-        actor-level response.  Winning membership updates are re-admitted
-        to the buffer, which is what makes dissemination epidemic.
+        actor-level response; ``("joined", slot, name)`` — a named
+        update introduced a member this monitor had never heard of.
+        Winning membership updates are re-admitted to the buffer, which
+        is what makes dissemination epidemic.
         """
         events: list[tuple] = []
         for entry in entries:
@@ -455,10 +614,15 @@ class SwimState:
                     and entry.incarnation >= self.incarnation
                 ):
                     self.incarnation = entry.incarnation + 1
-                    me = GossipUpdate(self.slot, ALIVE, self.incarnation)
+                    me = GossipUpdate(
+                        self.slot, ALIVE, self.incarnation,
+                        self.names.get(self.slot),
+                    )
                     self.table[self.slot] = me
                     self._admit(me)
                     events.append(("refuted", self.incarnation))
                 continue
             self._apply(entry, now, buffer=True)
+        for slot, name in self.drain_introductions():
+            events.append(("joined", slot, name))
         return events

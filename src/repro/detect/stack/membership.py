@@ -46,19 +46,27 @@ from repro.detect.base import HALT_KIND, TOKEN_KIND
 from repro.detect.stack.gossip import (
     ALIVE,
     GOSSIP_KINDS,
+    JOIN_ACK_KIND,
+    JOIN_KIND,
     PIGGYBACK_LIMIT,
     PING_ACK_KIND,
     PING_KIND,
     PING_REQ_KIND,
+    STATE_SYNC_KIND,
     GossipUpdate,
+    Join,
+    JoinWelcome,
     Ping,
     PingAck,
     PingReq,
+    StateSync,
     SwimState,
 )
 from repro.detect.stack.transport import (
+    FEED_JOIN_KIND,
     HALT_ACK_BITS,
     HALT_ACK_KIND,
+    FeedJoin,
     TokenFrame,
 )
 
@@ -126,6 +134,11 @@ class FailureDetectorConfig:
         gossip mode only: the probe-tick period (defaults to
         ``heartbeat_interval``).  In gossip mode ``suspicion_after`` is
         reused as the suspect→confirm refutation window.
+    ``gossip_timeout``
+        gossip mode only: how long a direct (and then indirect) probe
+        waits before escalating/suspecting (defaults to the tick
+        interval).  Shorter timeouts detect faster but false-suspect
+        more under loss; both effects are refutation-safe.
     """
 
     heartbeat_interval: float = 4.0
@@ -136,6 +149,7 @@ class FailureDetectorConfig:
     membership: str = "heartbeat"
     gossip_fanout: int = 3
     gossip_interval: float | None = None
+    gossip_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -167,6 +181,10 @@ class FailureDetectorConfig:
             raise ConfigurationError(
                 f"gossip_interval must be > 0, got {self.gossip_interval}"
             )
+        if self.gossip_timeout is not None and self.gossip_timeout <= 0:
+            raise ConfigurationError(
+                f"gossip_timeout must be > 0, got {self.gossip_timeout}"
+            )
 
     @property
     def tick_interval(self) -> float:
@@ -174,6 +192,13 @@ class FailureDetectorConfig:
         if self.membership == "gossip" and self.gossip_interval is not None:
             return self.gossip_interval
         return self.heartbeat_interval
+
+    @property
+    def probe_timeout(self) -> float:
+        """The gossip probe deadline (per stage, direct or indirect)."""
+        if self.membership == "gossip" and self.gossip_timeout is not None:
+            return self.gossip_timeout
+        return self.tick_interval
 
 
 @dataclass(frozen=True, slots=True)
@@ -291,6 +316,10 @@ class FailureDetectorMixin:
         self._fd_idle_rounds = 0
         self._fd_regen_epoch = 0
         self._swim: SwimState | None = None
+        #: Members learned at runtime (elastic join), ``{slot: name}`` —
+        #: merged with the host's static ``_fd_peers`` everywhere the
+        #: detector routes by slot.
+        self._fd_extra_peers: dict[int, str] = {}
         self.elections = 0
         self.takeovers = 0
 
@@ -299,6 +328,18 @@ class FailureDetectorMixin:
     # ------------------------------------------------------------------
     def _fd_is_red(self) -> bool:
         return True
+
+    def _fd_names(self) -> dict[int, str]:
+        """Names to pre-seed the SWIM state with (elastic members only;
+        static members are routable without carrying a name)."""
+        return {}
+
+    def _fd_all_peers(self) -> dict[int, str]:
+        """The host's static peers plus every runtime-joined member."""
+        peers = self._fd_peers()
+        if self._fd_extra_peers:
+            peers = {**peers, **self._fd_extra_peers}
+        return peers
 
     def _fd_finished(self) -> bool:
         """Whether the protocol has locally concluded.
@@ -379,7 +420,7 @@ class FailureDetectorMixin:
         if self._fd.membership == "gossip":
             yield from self._swim_tick(holding)
         else:
-            peers = self._fd_peers()
+            peers = self._fd_all_peers()
             beat = Heartbeat(self._fd_slot(), self._epoch, holding)
             yield [
                 self.send(name, beat, kind=HEARTBEAT_KIND,
@@ -407,9 +448,10 @@ class FailureDetectorMixin:
         if self._swim is None:
             self._swim = SwimState(
                 self._fd_slot(),
-                self._fd_peers(),
+                self._fd_all_peers(),
                 fanout=self._fd.gossip_fanout,
                 seed=derive_seed(0, self.name),
+                names={**self._fd_extra_peers, **self._fd_names()},
             )
         return self._swim
 
@@ -424,11 +466,11 @@ class FailureDetectorMixin:
         assert self._fd is not None
         swim = self._swim_state()
         now = self.now
-        interval = self._fd.tick_interval
-        peers = self._fd_peers()
+        timeout = self._fd.probe_timeout
+        peers = self._fd_all_peers()
         if swim.probe_target is not None and swim.probe_due(now):
             if swim.probe_stage == "direct":
-                helpers = swim.escalate(now, interval, self._fd.gossip_fanout)
+                helpers = swim.escalate(now, timeout, self._fd.gossip_fanout)
                 if helpers:
                     req = PingReq(
                         swim.probe_seq, swim.slot, swim.incarnation,
@@ -446,7 +488,7 @@ class FailureDetectorMixin:
         if swim.probe_target is None:
             target = swim.next_target()
             if target is not None and target in peers:
-                seq = swim.begin_probe(target, now, interval)
+                seq = swim.begin_probe(target, now, timeout)
                 ping = Ping(
                     seq, swim.slot, swim.incarnation, swim.slot,
                     holding, swim.piggyback(PIGGYBACK_LIMIT),
@@ -474,10 +516,15 @@ class FailureDetectorMixin:
         Returns ``"halt"`` when the caller must terminate.
         """
         swim = self._swim_state()
-        peers = self._fd_peers()
         code = "handled"
         for event in swim.ingest(updates, self.now):
             tag = event[0]
+            if tag == "joined":
+                _, slot, name = event
+                self._fd_extra_peers[slot] = name
+                self._fd_last_heard.setdefault(slot, self.now)
+                continue
+            peers = self._fd_all_peers()
             if tag == "elect":
                 _, epoch, slot = event
                 origin = peers.get(slot)
@@ -533,7 +580,7 @@ class FailureDetectorMixin:
         self._drop_stale_held()
         self.elections += 1
         my_slot = self._fd_slot()
-        peers = self._fd_peers()
+        peers = self._fd_all_peers()
         if self._fd.membership == "gossip":
             # No broadcast: announce the election through the gossip
             # channel and push it to ``fanout`` peers immediately; the
@@ -689,7 +736,11 @@ class FailureDetectorMixin:
                 return code
             self._swim_note_peer(ping.slot, ping.incarnation, ping.holding)
             swim = self._swim_state()
-            dest = self._fd_peers().get(ping.reply_to)
+            dest = self._fd_all_peers().get(ping.reply_to)
+            if dest is None and ping.reply_to == ping.slot:
+                # A direct probe from a joiner this monitor has not been
+                # introduced to yet: the sender is still routable.
+                dest = msg.src
             if dest is not None:
                 ack = PingAck(
                     ping.seq, swim.slot, swim.incarnation,
@@ -718,7 +769,7 @@ class FailureDetectorMixin:
                 return code
             self._swim_note_peer(req.slot, req.incarnation, False)
             swim = self._swim_state()
-            dest = self._fd_peers().get(req.target)
+            dest = self._fd_all_peers().get(req.target)
             if dest is not None:
                 # Stateless relay: the target acks straight back to the
                 # requester (``reply_to``), so no helper bookkeeping.
@@ -728,6 +779,59 @@ class FailureDetectorMixin:
                 )
                 yield self.send(dest, relay, kind=PING_KIND,
                                 size_bits=relay.size_bits())
+            return "handled"
+        if msg.kind == JOIN_KIND:
+            if msg.corrupted:
+                return "handled"  # the joiner retransmits
+            if self._fd.membership != "gossip":
+                return "handled"  # elastic join is gossip-only
+            join: Join = msg.payload
+            swim = self._swim_state()
+            fresh = swim.add_member(
+                join.slot, join.name, incarnation=join.incarnation
+            )
+            self._fd_extra_peers[join.slot] = join.name
+            self._fd_last_heard[join.slot] = self.now
+            # Welcome: the full membership snapshot plus the current
+            # election epoch, so the joiner is correct from message one.
+            # Re-sent on every retransmitted join (the previous welcome
+            # may have been lost); membership admission is idempotent.
+            peers = self._fd_all_peers()
+            me = swim.table[swim.slot]
+            members = [(swim.slot, self.name, me.incarnation, me.status)]
+            for slot in sorted(peers):
+                entry = swim.table.get(slot)
+                if entry is None or slot == swim.slot:
+                    continue
+                members.append(
+                    (slot, peers[slot], entry.incarnation, entry.status)
+                )
+            welcome = JoinWelcome(tuple(members), self._epoch)
+            yield self.send(msg.src, welcome, kind=JOIN_ACK_KIND,
+                            size_bits=welcome.size_bits())
+            # Anti-entropy: this monitor's persisted token frames and its
+            # candidate-ack baseline, so the joiner's inbox starts at the
+            # right sequence number instead of demanding retired history.
+            frames = tuple(
+                f for f in (
+                    self._best_frame(gid) for gid in sorted(self._last_frames)
+                )
+                if f is not None
+            )
+            stream = self._app_src
+            baselines = ((stream, self._inbox.ack),) if stream else ()
+            sync = StateSync(
+                frames=frames, baselines=baselines,
+                frame_bits=sum(_frame_bits(f) for f in frames),
+            )
+            yield self.send(msg.src, sync, kind=STATE_SYNC_KIND,
+                            size_bits=sync.size_bits())
+            if stream:
+                # Subscribe the joiner to this monitor's feeder stream
+                # from the baseline on (idempotent at the feeder).
+                feed = FeedJoin(join.name, self._inbox.ack)
+                yield self.send(stream, feed, kind=FEED_JOIN_KIND,
+                                size_bits=feed.size_bits())
             return "handled"
         return "unhandled"
 
@@ -764,8 +868,15 @@ class FailureDetectorMixin:
             return
         gossip = getattr(frame, "gossip", ())
         if gossip:
-            # Membership-only payloads yield no actionable events.
-            self._swim_state().ingest(gossip, self.now)
+            # This hook cannot yield, so announcement events are left to
+            # the direct protocol messages that carry them; joiner
+            # introductions must be registered here though, or a later
+            # probe escalation picks a slot the transport cannot name.
+            for event in self._swim_state().ingest(gossip, self.now):
+                if event[0] == "joined":
+                    _, slot, name = event
+                    self._fd_extra_peers[slot] = name
+                    self._fd_last_heard.setdefault(slot, self.now)
 
     # ------------------------------------------------------------------
     # Gossip-disseminated reliable halt
@@ -787,9 +898,12 @@ class FailureDetectorMixin:
         swim = self._swim_state()
         swim.announce("halt", self._epoch, swim.slot)
         if self._halting_targets is None:
-            self._halting_targets = {t for t in targets if t != self.name}
+            # Runtime-joined members halt too — they are full gossip
+            # members even though no host enumerated them up front.
+            everybody = set(targets) | set(self._fd_extra_peers.values())
+            self._halting_targets = {t for t in everybody if t != self.name}
         pending = self._halting_targets
-        peers = self._fd_peers()
+        peers = self._fd_all_peers()
         slot_by_name = {name: slot for slot, name in peers.items()}
         attempt = 0
         while pending:

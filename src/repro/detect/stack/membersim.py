@@ -12,24 +12,42 @@ elections (``_fd_can_take_over = False``).
 :func:`run_membership_trial` spins up ``n`` hosts, crash-stops one of
 them, and reports each survivor's *detection time* — the first instant
 the victim left its alive set — alongside the run's liveness bytes.
-``benchmarks/membership_scale.py`` sweeps this over group sizes to
-record the O(N) vs O(N²) traffic separation.
+:func:`run_elastic_trial` instead *grows* a gossip group from ``n//4``
+hosts to ``n`` via live :class:`~repro.detect.stack.join.StandbyMonitor`
+joins and reports the dedicated handshake traffic separately, isolating
+what scale-out itself costs.  ``benchmarks/membership_scale.py`` sweeps
+both over group sizes to record the O(N) vs O(N²) traffic separation
+and the per-joiner handshake cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.detect.stack.gossip import (
+    JOIN_ACK_KIND,
+    JOIN_KIND,
+    STATE_SYNC_KIND,
+)
+from repro.detect.stack.join import StandbyMonitor
 from repro.detect.stack.membership import (
     FailureDetectorConfig,
     FailureDetectorMixin,
 )
-from repro.detect.stack.transport import ReliableEndpoint
+from repro.detect.stack.transport import FEED_JOIN_KIND, ReliableEndpoint
 from repro.simulation.actors import Actor
 from repro.simulation.faults import CrashEvent, FaultPlan
 from repro.simulation.kernel import Kernel
 
-__all__ = ["MembershipHost", "MembershipTrial", "run_membership_trial"]
+__all__ = [
+    "ElasticTrial",
+    "MembershipHost",
+    "MembershipTrial",
+    "run_elastic_trial",
+    "run_membership_trial",
+]
+
+_HANDSHAKE_KINDS = (JOIN_KIND, JOIN_ACK_KIND, STATE_SYNC_KIND, FEED_JOIN_KIND)
 
 
 class MembershipHost(FailureDetectorMixin, ReliableEndpoint, Actor):
@@ -151,4 +169,91 @@ def run_membership_trial(
         liveness_bytes=kernel.metrics.liveness_bytes(),
         detection_times=detection_times,
         crash_at=crash_at,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ElasticTrial:
+    """One scale-out run's measurements: a group grown from
+    ``n_start`` to ``n`` members by live joins."""
+
+    n: int
+    n_start: int
+    joined: int
+    synced: int
+    liveness_bytes: int
+    handshake_bytes: int
+    handshake_messages: int
+
+    @property
+    def joiners(self) -> int:
+        return self.n - self.n_start
+
+    @property
+    def all_joined(self) -> bool:
+        return self.joined == self.joiners and self.synced == self.joiners
+
+
+def run_elastic_trial(
+    n: int,
+    config: FailureDetectorConfig,
+    *,
+    duration: float = 60.0,
+    join_at: float = 10.0,
+    seed: int = 0,
+) -> ElasticTrial:
+    """Grow a gossip group from ``n // 4`` members to ``n`` by live joins.
+
+    ``n - n_start`` standby monitors join from ``join_at`` on —
+    staggered evenly across a window that closes by mid-run, so the
+    handshakes overlap without being simultaneous and every joiner
+    still has half the trial to integrate — with seed contacts spread
+    round-robin over the static members.
+    Reports the dedicated join-handshake traffic separately from the
+    steady-state liveness bytes: the handshake is the *only* dedicated
+    cost of a join — the introduction itself disseminates as O(1)
+    piggybacked bytes on probes already in flight, so the per-joiner
+    dedicated byte count is dominated by one welcome snapshot
+    (O(n_start) entries) regardless of how large the group grows.
+    """
+    if config.membership != "gossip":
+        raise ValueError("elastic trials require gossip membership")
+    n_start = max(2, n // 4)
+    if n <= n_start:
+        raise ValueError(f"elastic trial needs n > {n_start}, got {n}")
+    config = replace(config, max_idle_rounds=10**9)
+    names = {slot: f"member-{slot}" for slot in range(n_start)}
+    kernel = Kernel(seed=seed, max_steps=50_000_000)
+    for slot, name in names.items():
+        peers = {s: p for s, p in names.items() if s != slot}
+        kernel.add_actor(MembershipHost(name, slot, peers, config, duration))
+    if duration / 2 <= join_at:
+        raise ValueError(
+            f"join_at {join_at} must fall in the first half of the "
+            f"{duration}s trial"
+        )
+    joiners: list[StandbyMonitor] = []
+    stagger = (duration / 2 - join_at) / (n - n_start)
+    for index in range(n - n_start):
+        contact_slot = index % n_start
+        joiner = StandbyMonitor(
+            f"member-{n_start + index}", n_start + index,
+            names[contact_slot], contact_slot, config=config,
+        )
+        kernel.spawn_new(join_at + index * stagger, joiner)
+        joiners.append(joiner)
+    kernel.run(until=duration)
+    metrics = kernel.metrics
+    return ElasticTrial(
+        n=n,
+        n_start=n_start,
+        joined=sum(1 for j in joiners if j.joined),
+        synced=sum(1 for j in joiners if j.synced),
+        liveness_bytes=metrics.liveness_bytes(),
+        handshake_bytes=sum(
+            metrics.bits_of_kind(kind) for kind in _HANDSHAKE_KINDS
+        ) // 8,
+        handshake_messages=sum(
+            metrics.messages_of_kind(kind) for kind in _HANDSHAKE_KINDS
+        ),
     )

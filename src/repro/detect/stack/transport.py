@@ -67,6 +67,8 @@ __all__ = [
     "CAND_ACK_KIND",
     "TOKEN_ACK_KIND",
     "HALT_ACK_KIND",
+    "FEED_JOIN_KIND",
+    "FeedJoin",
     "Sequenced",
     "TokenFrame",
     "Tagged",
@@ -85,10 +87,28 @@ __all__ = [
 CAND_ACK_KIND = "cand_ack"    # cumulative app-stream ack, monitor -> feeder
 TOKEN_ACK_KIND = "token_ack"  # per-hop token transfer ack
 HALT_ACK_KIND = "halt_ack"    # termination ack, peer -> declaring monitor
+FEED_JOIN_KIND = "feed_join"  # subscribe a joiner, monitor -> feeder
 
 ACK_BITS = WORD_BITS
 TOKEN_ACK_BITS = 3 * WORD_BITS  # (gid, epoch, hop)
 HALT_ACK_BITS = 1
+
+
+@dataclass(frozen=True, slots=True)
+class FeedJoin:
+    """Monitor -> feeder control: open a second stream to ``subscriber``.
+
+    Sent by a monitor whose elastic-join handshake admitted a new
+    member; the feeder starts the subscriber's cumulative-ack cursor at
+    ``baseline`` (the monitor's own ack at handshake time), so the
+    joiner receives exactly the suffix it synced its inbox to expect.
+    """
+
+    subscriber: str
+    baseline: int
+
+    def size_bits(self) -> int:
+        return WORD_BITS + 8 * len(self.subscriber)
 
 
 def _unit_draw(seed: int, label: str) -> float:
@@ -483,6 +503,39 @@ class CandidateInbox:
         """Whether the stream is complete *and* fully consumed."""
         return self.complete and not self._queue
 
+    def fast_forward(self, seq: int) -> int:
+        """Adopt a mid-stream baseline: seqs ``<= seq`` count as received.
+
+        Used by an elastic joiner bootstrapping from a peer's anti-
+        entropy state sync: the peer already consumed (and acked) the
+        prefix, so the joiner's stream starts at ``seq + 1``.  Frames
+        that raced ahead of the sync are kept if they extend the
+        baseline and dropped if it swallowed them; returns the buffered
+        bits released by dropped frames so the caller can settle its
+        space gauge.
+        """
+        if seq <= self._received_upto:
+            return 0
+        self._received_upto = seq
+        released = 0
+        for stale in [s for s in self._pending if s <= seq]:
+            item, bits = self._pending.pop(stale)
+            if item.final:
+                self.final_seq = item.seq
+            else:
+                released += bits
+        while True:
+            entry = self._pending.pop(self._received_upto + 1, None)
+            if entry is None:
+                break
+            self._received_upto += 1
+            got, bits = entry
+            if got.final:
+                self.final_seq = got.seq
+            else:
+                self._queue.append((got.payload, bits))
+        return released
+
 
 class ReliableFeeder(Actor):
     """Crash/loss-tolerant replacement for ``SnapshotFeeder``.
@@ -530,7 +583,11 @@ class ReliableFeeder(Actor):
         )
         self._spacing = spacing
         self._acked = 0          # persisted: highest cumulative ack seen
+        #: Elastic-join subscribers: ``{name: highest cumulative ack}``,
+        #: each started at the baseline its ``feed_join`` carried.
+        self._subscribers: dict[str, int] = {}
         self.gave_up = False
+        self.subscriber_gave_up = False
         self.halted = False
 
     def run(self):
@@ -554,34 +611,121 @@ class ReliableFeeder(Actor):
                 continue
             self._retry.on_send(frame.seq, self.now)
             yield self.send(self._monitor, frame, kind=kind, size_bits=bits)
-        # Phase 2: await the cumulative ack, retransmitting the suffix.
+        # Phase 2: await the cumulative acks, retransmitting suffixes.
+        if (yield from self._await_acks()) == "halted":
+            return
+        # Phase 3: stream delivered (or given up) — wait to be halted so
+        # late retransmission requests never hit a finished actor.  A
+        # joiner subscribing after delivery drops back into phase 2 so
+        # its suffix is served with the same retransmission guarantees.
+        while True:
+            msg = yield self.receive(
+                HALT_KIND, FEED_JOIN_KIND,
+                description=f"{self.name} awaiting halt",
+            )
+            if msg.corrupted:
+                continue
+            if msg.kind == FEED_JOIN_KIND:
+                self._admit_subscriber(msg.payload)
+                yield from self._send_suffix(
+                    msg.payload.subscriber,
+                    self._subscribers[msg.payload.subscriber],
+                )
+                if (yield from self._await_acks()) == "halted":
+                    return
+                continue
+            yield from self._acknowledge_halt(msg.src)
+            return
+
+    def _admit_subscriber(self, feed: FeedJoin) -> None:
+        """Register an elastic-join subscriber (idempotent: a
+        retransmitted ``feed_join`` never rewinds the ack cursor)."""
+        if feed.subscriber not in self._subscribers:
+            self._subscribers[feed.subscriber] = feed.baseline
+
+    def _delivered(self) -> bool:
+        """Whether the primary monitor and every subscriber acked it all."""
+        final_seq = len(self._frames)
+        return self._acked >= final_seq and all(
+            acked >= final_seq for acked in self._subscribers.values()
+        )
+
+    def _send_suffix(self, dest: str, acked: int, *, karn: bool = False):
+        """(Re)send every frame past ``acked`` to ``dest``.
+
+        Index loop, not a slice: retransmission fires on every timeout
+        and the unacked suffix can be the whole stream, so slicing would
+        copy O(m) tuples per attempt.  Only primary-monitor sends feed
+        the Karn ledger — subscriber acks are per-subscriber cumulative
+        and must not taint the RTT samples.
+        """
+        frames = self._frames
+        for i in range(acked, len(frames)):
+            frame, kind, bits, _ = frames[i]
+            if karn:
+                self._retry.on_send(frame.seq, self.now)
+            yield self.send(dest, frame, kind=kind, size_bits=bits)
+
+    def _await_acks(self):
+        """Retransmit unacked suffixes until everything is delivered.
+
+        Returns ``"halted"`` when a halt arrived (already acknowledged,
+        the caller just exits) and ``"done"`` otherwise — delivered, or
+        the retry budget burned out (``gave_up``).
+        """
+        final_seq = len(self._frames)
         attempt = 0
-        while self._acked < final_seq:
+        while (
+            not self.gave_up
+            and not self.subscriber_gave_up
+            and not self._delivered()
+        ):
             msg = yield self.receive_timeout(
                 CAND_ACK_KIND,
                 HALT_KIND,
+                FEED_JOIN_KIND,
                 timeout=self._retry.timeout(attempt),
                 description=f"{self.name} awaiting ack > {self._acked}",
             )
             if msg is None:
                 attempt += 1
                 if attempt > self._retry.max_attempts:
-                    self.gave_up = True
+                    if self._acked < final_seq:
+                        self.gave_up = True
+                    else:
+                        # Only a subscriber is unreachable; the primary
+                        # stream was delivered, so the run's verdict is
+                        # unaffected — record it separately.
+                        self.subscriber_gave_up = True
                     break
-                # Index loop, not a slice: retransmission fires on every
-                # timeout and the unacked suffix can be the whole stream,
-                # so slicing would copy O(m) tuples per attempt.
-                frames = self._frames
-                for i in range(self._acked, final_seq):
-                    frame, kind, bits, _ = frames[i]
-                    self._retry.on_send(frame.seq, self.now)
-                    yield self.send(self._monitor, frame, kind=kind, size_bits=bits)
+                if self._acked < final_seq:
+                    yield from self._send_suffix(
+                        self._monitor, self._acked, karn=True
+                    )
+                for sub in sorted(self._subscribers):
+                    if self._subscribers[sub] < final_seq:
+                        yield from self._send_suffix(
+                            sub, self._subscribers[sub]
+                        )
                 continue
             if msg.corrupted:
                 continue
             if msg.kind == HALT_KIND:
                 yield from self._acknowledge_halt(msg.src)
-                return
+                return "halted"
+            if msg.kind == FEED_JOIN_KIND:
+                self._admit_subscriber(msg.payload)
+                yield from self._send_suffix(
+                    msg.payload.subscriber,
+                    self._subscribers[msg.payload.subscriber],
+                )
+                attempt = 0
+                continue
+            if msg.src in self._subscribers:
+                if msg.payload > self._subscribers[msg.src]:
+                    self._subscribers[msg.src] = msg.payload
+                    attempt = 0
+                continue
             if msg.payload > self._acked:
                 # The cumulative ack covers every seq up to it; sample
                 # round-trips for the newly covered, never-re-sent seqs.
@@ -589,16 +733,7 @@ class ReliableFeeder(Actor):
                     self._retry.on_ack(seq, self.now)
                 self._acked = msg.payload
                 attempt = 0
-        # Phase 3: stream delivered (or given up) — wait to be halted so
-        # late retransmission requests never hit a finished actor.
-        while True:
-            msg = yield self.receive(
-                HALT_KIND, description=f"{self.name} awaiting halt"
-            )
-            if msg.corrupted:
-                continue
-            yield from self._acknowledge_halt(msg.src)
-            return
+        return "done"
 
     def _acknowledge_halt(self, halter: str):
         """Ack the halt, then linger briefly to re-ack retransmissions.
@@ -735,6 +870,7 @@ class ReliableEndpoint:
             tuple[int, int, int], tuple[str, str, TokenFrame, int]
         ] = {}
         self._last_frames: dict[int, TokenFrame] = {}
+        self._app_src: str | None = None
         self._epoch = 0
         self._token_activity = 0.0
         self._halting_targets: set[str] | None = None
@@ -818,6 +954,7 @@ class ReliableEndpoint:
         """Ingest a sequenced app message; ack duplicates and completion."""
         if msg.corrupted:
             return  # undetectable garbage: the feeder will retransmit
+        self._app_src = msg.src  # remembered for elastic-join state sync
         item: Sequenced = msg.payload
         fresh = self._inbox.accept(item, msg.size_bits)
         if fresh and not item.final:

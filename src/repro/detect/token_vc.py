@@ -55,6 +55,7 @@ from repro.detect.stack import (
     TokenInjector,
     harden,
     register_glue,
+    spawn_joiners,
 )
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
@@ -448,6 +449,10 @@ def detect(
     else:
         token = VCToken.initial(n)
         kernel.add_actor(TokenInjector(names[0], token, token.size_bits()))
+    joiners = spawn_joiners(
+        kernel, faults, names,
+        hardened=use_hardened, config=failure_detector, retry=retry,
+    )
     sim = kernel.run()
 
     winner = next((m for m in monitors if m.detected), None)
@@ -477,6 +482,10 @@ def detect(
         )
         extras["elections"] = sum(m.elections for m in monitors)
         extras["takeovers"] = sum(m.takeovers for m in monitors)
+    if joiners:
+        extras["joiners"] = len(joiners)
+        extras["joined"] = sum(1 for j in joiners if j.joined)
+        extras["synced"] = sum(1 for j in joiners if j.synced)
     if winner is not None:
         assert winner.detected_cut is not None
         return DetectionReport(

@@ -48,6 +48,7 @@ from repro.detect.stack import (
     TokenFrame,
     harden,
     register_glue,
+    spawn_joiners,
 )
 from repro.detect.token_vc import VCToken
 from repro.predicates.conjunctive import WeakConjunctivePredicate
@@ -552,6 +553,10 @@ def detect(
             feeder = SnapshotFeeder(app_name(pid), monitor_name(pid), items, spacing)
         feeders.append(feeder)
         kernel.add_actor(feeder)
+    joiners = spawn_joiners(
+        kernel, faults, names,
+        hardened=use_hardened, config=failure_detector, retry=retry,
+    )
     sim = kernel.run()
 
     aborted = any(m.aborted for m in monitors)
@@ -582,6 +587,10 @@ def detect(
         extras["takeovers"] = sum(
             getattr(a, "takeovers", 0) for a in (leader, *monitors)
         )
+        if joiners:
+            extras["joiners"] = len(joiners)
+            extras["joined"] = sum(1 for j in joiners if j.joined)
+            extras["synced"] = sum(1 for j in joiners if j.synced)
     if leader.detected:
         assert leader.detected_cut is not None
         return DetectionReport(

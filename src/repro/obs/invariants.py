@@ -4,7 +4,7 @@ The hardened detector stack (transport / membership / compose, SWIM
 gossip, takeover elections) is itself a distributed protocol.  This
 module turns the kernel observer hook into a *runtime-verification
 layer*: :class:`InvariantMonitor` subscribes to the live message stream
-and checks five invariant families online, with bounded memory:
+and checks six invariant families online, with bounded memory:
 
 ``token_conservation``
     At most one live token per color (``gid``): every ``(gid, epoch,
@@ -31,6 +31,15 @@ and checks five invariant families online, with bounded memory:
     refutation window, confirmations are preceded by a suspicion, and
     per-sender update precedence ``(incarnation, status rank)`` never
     decreases.
+
+``membership_join``
+    Elastic joins follow the handshake: a joiner stays out of the frame
+    and candidate paths until its ``join`` is acked, its advertised
+    incarnation starts at 0, and a confirm for a just-joined member
+    inside the refutation window of its welcome is premature.  Observed
+    ``state_sync`` / ``feed_join`` messages teach the candidate-order
+    checker each joiner stream's mid-sequence baseline, so a subscribed
+    stream legitimately opening at ``baseline + 1`` is not a gap.
 
 Violations become structured :class:`InvariantViolation` records (never
 exceptions — the monitor is a passive observer) that callers fold into
@@ -69,11 +78,15 @@ from repro.detect.base import (
 from repro.detect.stack import (
     ELECT_KIND,
     ELECT_OK_KIND,
+    FEED_JOIN_KIND,
     HEARTBEAT_KIND,
+    JOIN_ACK_KIND,
+    JOIN_KIND,
     PING_ACK_KIND,
     PING_KIND,
     PING_REQ_KIND,
     REGEN_KIND,
+    STATE_SYNC_KIND,
 )
 from repro.obs.export import dump_jsonl
 from repro.obs.spans import Span, Trace
@@ -96,13 +109,15 @@ __all__ = [
     "replay_trace",
 ]
 
-#: The five invariant families this module enforces (ISSUE 7 tentpole).
+#: The invariant families this module enforces (ISSUE 7 tentpole, plus
+#: the elastic-membership lifecycle from the live-join work).
 INVARIANT_FAMILIES = (
     "token_conservation",
     "vc_monotonicity",
     "candidate_order",
     "election_safety",
     "swim_lifecycle",
+    "membership_join",
 )
 
 #: Message kinds -> first-class span names.  The tracer renders with
@@ -122,6 +137,10 @@ KIND_SPAN_NAMES = {
     ELECT_KIND: "elect",
     ELECT_OK_KIND: "elect_ok",
     REGEN_KIND: "regen_request",
+    JOIN_KIND: "join",
+    JOIN_ACK_KIND: "join_welcome",
+    STATE_SYNC_KIND: "state_sync",
+    FEED_JOIN_KIND: "feed_join",
 }
 
 _SPAN_NAME_KINDS = {name: kind for kind, name in KIND_SPAN_NAMES.items()}
@@ -135,9 +154,16 @@ _GOSSIP_KINDS = frozenset({PING_KIND, PING_ACK_KIND, PING_REQ_KIND})
 
 _CANDIDATE_KINDS = frozenset({CANDIDATE_KIND, END_OF_TRACE_KIND})
 
+_JOIN_KINDS = frozenset(
+    {JOIN_KIND, JOIN_ACK_KIND, STATE_SYNC_KIND, FEED_JOIN_KIND}
+)
+
 #: Kinds the monitor inspects at all — everything else early-outs.
 _INTERESTING_KINDS = (
-    frozenset({TOKEN_KIND, ELECT_KIND}) | _GOSSIP_KINDS | _CANDIDATE_KINDS
+    frozenset({TOKEN_KIND, ELECT_KIND})
+    | _GOSSIP_KINDS
+    | _CANDIDATE_KINDS
+    | _JOIN_KINDS
 )
 
 
@@ -233,6 +259,20 @@ def message_facts(kind: str, payload: object) -> dict[str, Any]:
             facts["slot"] = slot
     elif kind in _GOSSIP_KINDS:
         _fold_entries(getattr(payload, "updates", ()) or (), facts)
+    elif kind == JOIN_KIND:
+        facts["slot"] = getattr(payload, "slot", None)
+        facts["incarnation"] = getattr(payload, "incarnation", 0)
+    elif kind == JOIN_ACK_KIND:
+        facts["epoch"] = getattr(payload, "epoch", 0)
+        facts["members"] = len(getattr(payload, "members", ()) or ())
+    elif kind == STATE_SYNC_KIND:
+        facts["baselines"] = [
+            [str(stream), int(ack)]
+            for stream, ack in getattr(payload, "baselines", ()) or ()
+        ]
+    elif kind == FEED_JOIN_KIND:
+        facts["subscriber"] = getattr(payload, "subscriber", None)
+        facts["baseline"] = getattr(payload, "baseline", 0)
     return facts
 
 
@@ -341,6 +381,14 @@ class InvariantMonitor:
         self._swim_prec: _Bounded = _Bounded(max_tracked * 4)
         self._suspect_first: _Bounded = _Bounded(max_tracked * 4)
         self._confirm_first: _Bounded = _Bounded(max_tracked * 4)
+        # --- elastic joins --------------------------------------------
+        #: joiner actor -> (slot, welcomed) — created at the first JOIN.
+        self._join_state: dict[str, tuple[Any, bool]] = {}
+        #: joiner slot -> welcome time (arms the premature-confirm check).
+        self._join_welcomed: dict[Any, float] = {}
+        #: (feeder, subscriber) -> candidate baseline taught by observed
+        #: state_sync / feed_join anti-entropy traffic.
+        self._stream_baselines: dict[tuple[str, str], int] = {}
         # --- partition suppression ----------------------------------
         self._live_partitions = 0
         self._suppress_until = float("-inf")
@@ -384,15 +432,19 @@ class InvariantMonitor:
     ) -> None:
         """Check one sent message given its extracted fact dict."""
         if kind == TOKEN_KIND:
+            self._check_unwelcome(time, src, dest, "frame")
             self._check_token(time, src, dest, facts)
             if "updates" in facts or "announcements" in facts:
                 self._check_swim(time, src, facts)
         elif kind in _CANDIDATE_KINDS:
+            self._check_unwelcome(time, src, dest, "candidate")
             self._check_candidate(time, src, dest, facts)
         elif kind == ELECT_KIND:
             self._check_elect(time, src, facts.get("epoch"))
         elif kind in _GOSSIP_KINDS:
             self._check_swim(time, src, facts)
+        elif kind in _JOIN_KINDS:
+            self._check_join(time, kind, src, dest, facts)
 
     # ------------------------------------------------------------------
     def _report(
@@ -522,6 +574,12 @@ class InvariantMonitor:
         stream = self._streams.get((src, dest))
         if stream is None:
             stream = self._streams[(src, dest)] = _Stream()
+            # A subscribed joiner stream opens mid-sequence at the
+            # anti-entropy baseline; observed state_sync / feed_join
+            # traffic taught us that baseline, so it is not a gap.
+            baseline = self._stream_baselines.get((src, dest))
+            if baseline:
+                stream.max_seen = baseline
         fingerprint = (vc, final)
         if seq <= stream.max_seen:
             # Retransmission: must be byte-for-byte the original.
@@ -616,6 +674,69 @@ class InvariantMonitor:
         self._elect_epochs[src] = epoch
 
     # ------------------------------------------------------------------
+    # (f) elastic-membership join lifecycle
+    # ------------------------------------------------------------------
+    def _check_unwelcome(
+        self, time: float, src: str, dest: str, path: str
+    ) -> None:
+        """A joiner must stay out of the frame/candidate paths until its
+        join is acked (only actors whose JOIN we observed are checked,
+        so windowed recordings that missed the handshake stay quiet)."""
+        for actor in (src, dest):
+            state = self._join_state.get(actor)
+            if state is not None and not state[1]:
+                self._report(
+                    "membership_join",
+                    time,
+                    src,
+                    f"{actor} appeared on the {path} path "
+                    f"({src}->{dest}) before its join was acked",
+                    key=(actor, path),
+                )
+
+    def _check_join(
+        self,
+        time: float,
+        kind: str,
+        src: str,
+        dest: str,
+        facts: dict[str, Any],
+    ) -> None:
+        if kind == JOIN_KIND:
+            slot = facts.get("slot")
+            incarnation = int(facts.get("incarnation", 0) or 0)
+            if incarnation != 0:
+                self._report(
+                    "membership_join",
+                    time,
+                    src,
+                    f"{src} advertised incarnation {incarnation} in its "
+                    f"join — a joiner's incarnation starts at 0",
+                    key=(src, slot),
+                )
+            self._join_state.setdefault(src, (slot, False))
+        elif kind == JOIN_ACK_KIND:
+            state = self._join_state.get(dest)
+            slot = state[0] if state is not None else None
+            self._join_state[dest] = (slot, True)
+            if slot is not None:
+                self._join_welcomed.setdefault(slot, time)
+        elif kind == STATE_SYNC_KIND:
+            for stream, ack in facts.get("baselines", ()):
+                key = (str(stream), dest)
+                self._stream_baselines[key] = max(
+                    self._stream_baselines.get(key, 0), int(ack)
+                )
+        elif kind == FEED_JOIN_KIND:
+            subscriber = facts.get("subscriber")
+            if subscriber is not None:
+                key = (dest, str(subscriber))
+                self._stream_baselines[key] = max(
+                    self._stream_baselines.get(key, 0),
+                    int(facts.get("baseline", 0) or 0),
+                )
+
+    # ------------------------------------------------------------------
     # (e) SWIM lifecycle legality
     # ------------------------------------------------------------------
     def _check_swim(
@@ -674,6 +795,27 @@ class InvariantMonitor:
                             f"slot {slot} confirmed {time - since:g} "
                             f"after first suspicion; refutation window "
                             f"is {self.refutation_window:g}",
+                            key=(slot, incarnation),
+                        )
+                # A just-joined member gets a full refutation window
+                # from its welcome, whatever earlier suspicion gossip
+                # claims — stale pre-join suspicion must not justify a
+                # quick confirm of the newcomer.
+                welcomed = self._join_welcomed.get(slot)
+                if (
+                    welcomed is not None
+                    and self.refutation_window is not None
+                ):
+                    floor = self.refutation_window - self.probe_interval
+                    if time - welcomed < floor - 1e-9:
+                        self._report(
+                            "membership_join",
+                            time,
+                            sender,
+                            f"just-joined slot {slot} confirmed dead "
+                            f"{time - welcomed:g} after its welcome; "
+                            f"refutation window is "
+                            f"{self.refutation_window:g}",
                             key=(slot, incarnation),
                         )
         for entry in facts.get("announcements", ()):

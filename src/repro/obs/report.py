@@ -6,14 +6,16 @@
   with token arrivals (``T``), elimination rounds (``=``), candidate
   consumptions (``c``), poll round-trips (``~``), halts (``H``), crash
   epochs (``X``/``x``/``R``), injected faults (``!``), takeover
-  election proposals (``E``), SWIM probe traffic (``p``/``a``/``q``)
-  and suspect/confirm membership verdicts (``s``/``C``) overlaid;
+  election proposals (``E``), SWIM probe traffic (``p``/``a``/``q``),
+  live joins and departures (``J``/``L``) and suspect/confirm
+  membership verdicts (``s``/``C``) overlaid;
   network partition epochs paint ``#`` on a synthetic ``net`` lane;
 * the **token itinerary** — who held which token when and why it moved;
 * a **work/space breakdown** in the paper's units (messages, bits, work
   units, buffered-bit high-water marks) from the run header's metrics
   snapshot;
-* a **gossip / liveness** section — probe counts, first suspect /
+* a **gossip / liveness** section — probe counts, join-handshake
+  message counts, joined/left lifecycle events, first suspect /
   confirm announcements per member and the liveness-bytes total (with a
   by-kind breakdown when the metrics snapshot carries one);
 * a **fault overlay** summary and the run's **critical path**.
@@ -39,6 +41,7 @@ _LEGEND = [
     ("!", "injected fault (drop / loss)"),
     ("E", "takeover election proposal"),
     ("x", "crashed (X = crash, R = restart)"),
+    ("J", "joined live (L = left for good)"),
     ("s", "suspected (C = confirmed failed)"),
     ("#", "network partition epoch (net lane)"),
 ]
@@ -145,6 +148,14 @@ def render_timeline(trace: Trace, width: int = 72) -> str:
             mark(span.actor, span.start, "X")
             if span.attrs.get("restarted"):
                 mark(span.actor, end_of(span), "R")
+    # Elastic-membership lifecycle shares the crash band's priority: a
+    # joiner's lane is all dots until its J, so the mark anchors where
+    # the lane becomes meaningful; L closes it the same way.
+    for span in trace.spans:
+        if span.name == "joined":
+            mark(span.actor, span.start, "J")
+        elif span.name == "left":
+            mark(span.actor, span.start, "L")
     # Membership verdicts last, marking the *subject* monitor's lane at
     # the first emission carrying the update.  They land mid-crash-epoch
     # by construction, so they must overwrite the ``x`` band — the mark
@@ -265,6 +276,19 @@ def _gossip_lines(trace: Trace) -> list[str]:
         lines.append(
             "probes: " + " ".join(f"{k}={v}" for k, v in counts.items())
         )
+    handshake = {name: 0 for name in
+                 ("join", "join_welcome", "state_sync", "feed_join")}
+    for span in trace.spans:
+        if span.name in handshake:
+            handshake[span.name] += 1
+    if any(handshake.values()):
+        lines.append(
+            "join handshake: "
+            + " ".join(f"{k}={v}" for k, v in handshake.items())
+        )
+    for span in sorted(trace.spans, key=lambda s: s.start):
+        if span.name in ("joined", "left"):
+            lines.append(f"t={span.start:g}  {span.name:<8} {span.actor}")
     for status, label in (("suspect", "suspect"), ("confirm", "confirm")):
         for time, slot in _membership_events(trace, status):
             lines.append(f"t={time:g}  {label:<8} mon-{slot}")

@@ -303,6 +303,18 @@ class SpanTracer:
             if span is not None:
                 span.attrs["restarted"] = True
                 span.close(event.time)
+        elif event.phase is ActorPhase.JOINED:
+            span = self._new_span(
+                "joined", actor=event.actor, start=event.time,
+                parent=self._root,
+            )
+            span.close(event.time)
+        elif event.phase is ActorPhase.LEFT:
+            span = self._new_span(
+                "left", actor=event.actor, start=event.time,
+                parent=self._root,
+            )
+            span.close(event.time)
 
     # ------------------------------------------------------------------
     # Network partitions (fault overlay)

@@ -43,6 +43,8 @@ __all__ = [
     "CrashEvent",
     "PartitionEvent",
     "ChurnEvent",
+    "JoinEvent",
+    "LeaveEvent",
     "FaultPlan",
     "MATCH_ANY",
 ]
@@ -172,6 +174,71 @@ class ChurnEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class JoinEvent:
+    """One genuinely *new* actor joining the run at a scheduled time.
+
+    Unlike a :class:`CrashEvent` restart (a known member coming back),
+    a join introduces an actor the run did not start with.  The harness
+    (e.g. ``repro.detect``) constructs the joining actor and registers
+    it via :meth:`~repro.simulation.kernel.Kernel.spawn_new`; the kernel
+    reports the start as an ``ActorEvent`` with phase ``joined``.
+
+    ``seed_contact`` names the existing member the joiner bootstraps
+    from (its first handshake target); ``None`` lets the harness pick a
+    default (conventionally the lowest-slot monitor).
+    """
+
+    actor: str
+    at: float
+    seed_contact: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.actor:
+            raise ConfigurationError("join event needs an actor name")
+        if self.at < 0:
+            raise ConfigurationError(f"join time must be >= 0, got {self.at}")
+        if self.seed_contact == self.actor:
+            raise ConfigurationError(
+                f"join seed contact must differ from the joiner "
+                f"({self.actor!r})"
+            )
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        text = f"join:{self.actor}@{self.at:g}"
+        if self.seed_contact is not None:
+            text += f"<{self.seed_contact}"
+        return text
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveEvent:
+    """One scheduled graceful, permanent departure of a named actor.
+
+    At ``at`` the actor's coroutine is destroyed and its mailbox
+    emptied, like a crash-stop — but the kernel reports it as an
+    ``ActorEvent`` with phase ``left`` and it is not counted as a
+    crash.  Survivors learn of the departure through their failure
+    detector exactly as they would for a silent death.
+    """
+
+    actor: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if not self.actor:
+            raise ConfigurationError("leave event needs an actor name")
+        if self.at < 0:
+            raise ConfigurationError(
+                f"leave time must be >= 0, got {self.at}"
+            )
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (used by the CLI)."""
+        return f"leave:{self.actor}@{self.at:g}"
+
+
+@dataclass(frozen=True, slots=True)
 class PartitionEvent:
     """A time-windowed network partition of the actor population.
 
@@ -246,12 +313,21 @@ class FaultPlan:
     crashes: tuple[CrashEvent, ...] = ()
     partitions: tuple[PartitionEvent, ...] = ()
     churns: tuple[ChurnEvent, ...] = ()
+    joins: tuple[JoinEvent, ...] = ()
+    leaves: tuple[LeaveEvent, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "churns", tuple(self.churns))
+        object.__setattr__(self, "joins", tuple(self.joins))
+        object.__setattr__(self, "leaves", tuple(self.leaves))
+        joined = [j.actor for j in self.joins]
+        if len(set(joined)) != len(joined):
+            raise ConfigurationError(
+                f"duplicate join actors in plan: {joined}"
+            )
 
     def all_crashes(self) -> tuple[CrashEvent, ...]:
         """Explicit crashes plus every churn's expansion (kernel view)."""
@@ -300,6 +376,8 @@ class FaultPlan:
             crashes=self.crashes + other.crashes,
             partitions=self.partitions + other.partitions,
             churns=self.churns + other.churns,
+            joins=self.joins + other.joins,
+            leaves=self.leaves + other.leaves,
         )
 
     @property
@@ -323,6 +401,8 @@ class FaultPlan:
                                      e.g. partition:4:20:mon-0+app-0|mon-1
             churn:<a1+a2+...>:<start>:<period>:<downtime>[:<rounds>]
                                      e.g. churn:mon-1+mon-2:5:12:6:2
+            join:<actor>:<at>[:<seed_contact>]   e.g. join:mon-3:8:mon-0
+            leave:<actor>:<at>       e.g. leave:mon-3:30
 
         ``<kind>`` may be ``*`` for all message kinds.  Repeated
         drop/dup/corrupt clauses for the same kind merge into one rule.
@@ -335,6 +415,8 @@ class FaultPlan:
         crashes: list[CrashEvent] = []
         partitions: list[PartitionEvent] = []
         churns: list[ChurnEvent] = []
+        joins: list[JoinEvent] = []
+        leaves: list[LeaveEvent] = []
         for raw in spec.split(","):
             clause = raw.strip()
             if not clause:
@@ -390,6 +472,35 @@ class FaultPlan:
                     ChurnEvent(actors, start, period, downtime, rounds)
                 )
                 continue
+            if op == "join":
+                if len(parts) not in (3, 4):
+                    raise ConfigurationError(
+                        f"bad join clause {clause!r}; expected "
+                        f"join:<actor>:<at>[:<seed_contact>]"
+                    )
+                try:
+                    at = float(parts[2])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad join time in {clause!r}"
+                    ) from None
+                contact = parts[3].strip() if len(parts) == 4 else None
+                joins.append(JoinEvent(parts[1].strip(), at, contact or None))
+                continue
+            if op == "leave":
+                if len(parts) != 3:
+                    raise ConfigurationError(
+                        f"bad leave clause {clause!r}; expected "
+                        f"leave:<actor>:<at>"
+                    )
+                try:
+                    at = float(parts[2])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"bad leave time in {clause!r}"
+                    ) from None
+                leaves.append(LeaveEvent(parts[1].strip(), at))
+                continue
             if op == "crash":
                 if len(parts) not in (3, 4):
                     raise ConfigurationError(
@@ -408,7 +519,7 @@ class FaultPlan:
             if op not in ("drop", "dup", "corrupt"):
                 raise ConfigurationError(
                     f"unknown fault clause {clause!r}; expected "
-                    f"drop/dup/corrupt/crash"
+                    f"drop/dup/corrupt/crash/partition/churn/join/leave"
                 )
             if len(parts) != 3:
                 raise ConfigurationError(
@@ -435,6 +546,8 @@ class FaultPlan:
             crashes=tuple(crashes),
             partitions=tuple(partitions),
             churns=tuple(churns),
+            joins=tuple(joins),
+            leaves=tuple(leaves),
         )
 
     def describe(self) -> str:
@@ -461,4 +574,8 @@ class FaultPlan:
             bits.append(p.describe())
         for ch in self.churns:
             bits.append(ch.describe())
+        for j in self.joins:
+            bits.append(j.describe())
+        for lv in self.leaves:
+            bits.append(lv.describe())
         return " ".join(bits) if bits else "(no faults)"

@@ -28,9 +28,22 @@ __all__ = [
 ]
 
 #: Message kinds that exist only to keep the failure detector alive —
-#: heartbeat broadcasts and the SWIM probe traffic.  Named by string so
-#: the simulation layer never imports from ``repro.detect`` (layering).
-LIVENESS_KINDS = frozenset({"heartbeat", "ping", "ping_ack", "ping_req"})
+#: heartbeat broadcasts, the SWIM probe traffic, and the elastic-join
+#: handshake (join / welcome / anti-entropy state sync).  Named by
+#: string so the simulation layer never imports from ``repro.detect``
+#: (layering).
+LIVENESS_KINDS = frozenset(
+    {
+        "heartbeat",
+        "ping",
+        "ping_ack",
+        "ping_req",
+        "join",
+        "join_ack",
+        "state_sync",
+        "feed_join",
+    }
+)
 
 
 @dataclass
@@ -60,6 +73,8 @@ class FaultSummary:
     crashes: int = 0
     restarts: int = 0
     partitions: int = 0
+    joins: int = 0
+    leaves: int = 0
     liveness_bytes: int = 0
 
     @property
@@ -81,6 +96,8 @@ class FaultSummary:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "partitions": self.partitions,
+            "joins": self.joins,
+            "leaves": self.leaves,
             "liveness_bytes": self.liveness_bytes,
             "total_message_faults": self.total_message_faults,
         }
@@ -148,6 +165,8 @@ class MetricsBoard:
         self._crashes: dict[str, int] = {}
         self._restarts: dict[str, int] = {}
         self._partitions: int = 0
+        self._joins: int = 0
+        self._leaves: int = 0
 
     def register(self, name: str) -> ActorMetrics:
         """Create (or return) the metrics record for ``name``."""
@@ -193,6 +212,14 @@ class MetricsBoard:
         """Count one partition window becoming live."""
         self._partitions += 1
 
+    def record_join(self) -> None:
+        """Count one live join (a genuinely new member starting)."""
+        self._joins += 1
+
+    def record_leave(self) -> None:
+        """Count one graceful permanent departure."""
+        self._leaves += 1
+
     def channel_faults(self) -> dict[tuple[str, str], ChannelFaultStats]:
         """Per-channel fault counters, keyed by ``(src, dest)``."""
         return dict(self._channel_faults)
@@ -220,6 +247,8 @@ class MetricsBoard:
             crashes=sum(self._crashes.values()),
             restarts=sum(self._restarts.values()),
             partitions=self._partitions,
+            joins=self._joins,
+            leaves=self._leaves,
             liveness_bytes=self.liveness_bytes(),
         )
 

@@ -30,7 +30,12 @@ from repro.common.errors import SimulationError
 from repro.common.rng import spawn_rng
 from repro.simulation.actors import Actor
 from repro.simulation.effects import Message, Receive, Send, Sleep, Work
-from repro.simulation.faults import CrashEvent, FaultPlan, PartitionEvent
+from repro.simulation.faults import (
+    CrashEvent,
+    FaultPlan,
+    LeaveEvent,
+    PartitionEvent,
+)
 from repro.simulation.instrumentation import FaultSummary, MetricsBoard
 from repro.simulation.network import ChannelModel, FixedLatency
 from repro.simulation.observers import (
@@ -52,6 +57,7 @@ class _Status(Enum):
     SLEEPING = "sleeping"
     FINISHED = "finished"
     CRASHED = "crashed"
+    LEFT = "left"
 
 
 @dataclass(slots=True)
@@ -68,6 +74,9 @@ class _ActorState:
     # work scheduled before the crash) be recognized and ignored after
     # the actor has restarted.
     incarnation: int = 0
+    # True for actors registered via spawn_new — genuinely new members
+    # whose start is reported to observers as a "joined" lifecycle event.
+    joiner: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -156,6 +165,11 @@ class Kernel:
                     self._schedule(
                         partition.heal_at, "partition_heal", partition
                     )
+            for leave in faults.leaves:
+                self._schedule(leave.at, "leave", leave)
+            # Joins are realized by the harness constructing the joining
+            # actor and registering it via spawn_new; the kernel itself
+            # only needs the leave side of the elastic lifecycle.
 
     # ------------------------------------------------------------------
     # Setup
@@ -231,6 +245,21 @@ class Kernel:
         self._states[actor.name] = state
         actor.attach(self.metrics.register(actor.name), lambda: self._time)
         self._schedule(at, "start", actor.name)
+
+    def spawn_new(self, at: float, actor: Actor) -> None:
+        """Register a *genuinely new* member joining the run at ``at``.
+
+        Like :meth:`spawn_at`, but the actor's start is reported to
+        observers as an :class:`~repro.simulation.observers.ActorEvent`
+        with phase ``joined`` — the kernel-level primitive behind
+        :class:`~repro.simulation.faults.JoinEvent` scale-out faults.
+        ``spawn_at`` models a *known* member whose start is merely
+        delayed (churn restarts); ``spawn_new`` models elastic growth of
+        the membership itself.  Messages sent to the joiner before its
+        start time wait in its mailbox, exactly as for ``spawn_at``.
+        """
+        self.spawn_at(at, actor)
+        self._states[actor.name].joiner = True
 
     def actor(self, name: str) -> Actor:
         """Look up a registered actor by name."""
@@ -309,6 +338,8 @@ class Kernel:
                 self._crash(payload)  # type: ignore[arg-type]
             elif action == "restart":
                 self._restart(str(payload))
+            elif action == "leave":
+                self._leave(payload)  # type: ignore[arg-type]
             elif action == "partition_start":
                 self._live_partitions.append(payload)  # type: ignore[arg-type]
                 self.metrics.record_partition()
@@ -347,10 +378,13 @@ class Kernel:
     # ------------------------------------------------------------------
     def _start(self, name: str) -> None:
         state = self._states[name]
-        if state.status is _Status.CRASHED:
-            return  # crashed before its start event fired
+        if state.status in (_Status.CRASHED, _Status.LEFT):
+            return  # crashed/left before its start event fired
         if state.status is not _Status.NEW:  # pragma: no cover - defensive
             raise SimulationError(f"actor {name} started twice")
+        if state.joiner:
+            self.metrics.record_join()
+            self._notify_actor("joined", name)
         state.gen = state.actor.run()
         if not isinstance(state.gen, Generator):
             raise SimulationError(
@@ -364,12 +398,34 @@ class Kernel:
             raise SimulationError(
                 f"fault plan crashes unknown actor {crash.actor!r}"
             )
-        if state.status in (_Status.FINISHED, _Status.CRASHED):
+        if state.status in (_Status.FINISHED, _Status.CRASHED, _Status.LEFT):
             return  # nothing left to kill
+        self._notify_actor("crashed", crash.actor)
+        self._stop_actor(state, _Status.CRASHED)
+        self.metrics.record_crash(crash.actor)
+        if crash.restart_at is not None:
+            self._schedule(crash.restart_at, "restart", crash.actor)
+
+    def _leave(self, leave: LeaveEvent) -> None:
+        """A graceful permanent departure — crash-stop mechanics, but
+        reported as a ``left`` lifecycle event and not counted as a
+        crash."""
+        state = self._states.get(leave.actor)
+        if state is None:
+            raise SimulationError(
+                f"fault plan removes unknown actor {leave.actor!r}"
+            )
+        if state.status in (_Status.FINISHED, _Status.CRASHED, _Status.LEFT):
+            return  # already gone
+        self.metrics.record_leave()
+        self._notify_actor("left", leave.actor)
+        self._stop_actor(state, _Status.LEFT)
+
+    def _stop_actor(self, state: _ActorState, status: _Status) -> None:
+        """Destroy an actor's coroutine and mailbox (crash/leave core)."""
         if state.gen is not None:
             state.gen.close()
             state.gen = None
-        self._notify_actor("crashed", crash.actor)
         for msg in state.mailbox:  # mailbox loss
             state.actor.metrics.adjust_space(-msg.size_bits)  # type: ignore[union-attr]
             self.metrics.record_channel_fault(msg.src, msg.dest, "lost_to_crash")
@@ -378,10 +434,7 @@ class Kernel:
         state.pending_receive = None
         state.block_epoch += 1
         state.incarnation += 1
-        state.status = _Status.CRASHED
-        self.metrics.record_crash(crash.actor)
-        if crash.restart_at is not None:
-            self._schedule(crash.restart_at, "restart", crash.actor)
+        state.status = status
 
     def _restart(self, name: str) -> None:
         state = self._states[name]
@@ -410,7 +463,10 @@ class Kernel:
                 f"message {message.kind!r} addressed to unknown actor "
                 f"{message.dest!r}"
             )
-        if self._faults is not None and state.status is _Status.CRASHED:
+        if self._faults is not None and state.status in (
+            _Status.CRASHED,
+            _Status.LEFT,
+        ):
             # The destination is down: the message is lost with its mailbox.
             self.metrics.record_channel_fault(
                 message.src, message.dest, "lost_to_crash"

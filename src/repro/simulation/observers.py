@@ -60,6 +60,8 @@ class ActorPhase(enum.Enum):
 
     CRASHED = "crashed"
     RESTARTED = "restarted"
+    JOINED = "joined"
+    LEFT = "left"
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,7 +96,7 @@ class PartitionNotice:
 
 @dataclass(frozen=True, slots=True)
 class ActorEvent:
-    """One observed actor lifecycle step (crash or restart).
+    """One observed actor lifecycle step (crash, restart, join or leave).
 
     Delivered only to observers that define an ``on_actor_event``
     method, so plain message observers need not know about it.

@@ -46,6 +46,8 @@ EXCLUDE_KEYS = frozenset(
         "faults",
         "membership",
         "gossip_fanout",
+        "gossip_interval",
+        "gossip_timeout",
         "clock_backend",
     }
 )
@@ -72,6 +74,8 @@ class SweepCell:
     self_heal: bool = False
     membership: str = "heartbeat"
     gossip_fanout: int = 3
+    gossip_interval: float | None = None
+    gossip_timeout: float | None = None
     check_invariants: bool = False
     clock_backend: str = "list"
 
@@ -106,6 +110,16 @@ class SweepCell:
             f"got {self.membership!r}",
         )
         require(self.gossip_fanout >= 1, "gossip_fanout must be >= 1")
+        for knob, value in (
+            ("gossip_interval", self.gossip_interval),
+            ("gossip_timeout", self.gossip_timeout),
+        ):
+            if value is not None:
+                require(value > 0, f"{knob} must be > 0, got {value}")
+                require(
+                    self.membership == "gossip",
+                    f"{knob} only applies to membership='gossip'",
+                )
         if self.check_invariants:
             require(
                 self.detector in online_detectors(),
@@ -143,6 +157,12 @@ class SweepCell:
             if self.membership != "heartbeat"
             else ""
         )
+        # Default (None) timing knobs contribute no suffix, so committed
+        # baseline group names predate the axes and replay unchanged.
+        if self.gossip_interval is not None:
+            gossip += f"/gi{self.gossip_interval:g}"
+        if self.gossip_timeout is not None:
+            gossip += f"/gt{self.gossip_timeout:g}"
         inv = "/inv" if self.check_invariants else ""
         # The default list backend contributes no suffix, so committed
         # baseline group names predate the knob and replay unchanged.
@@ -199,6 +219,8 @@ class SweepCell:
             "self_heal": self.self_heal,
             "membership": self.membership,
             "gossip_fanout": self.gossip_fanout,
+            "gossip_interval": self.gossip_interval,
+            "gossip_timeout": self.gossip_timeout,
             "check_invariants": self.check_invariants,
             "clock_backend": self.clock_backend,
         }
@@ -237,6 +259,8 @@ class SweepMatrix:
     self_heal: bool = False
     membership: tuple[str, ...] = ("heartbeat",)
     gossip_fanouts: tuple[int, ...] = (3,)
+    gossip_intervals: tuple[float | None, ...] = (None,)
+    gossip_timeouts: tuple[float | None, ...] = (None,)
     check_invariants: bool = False
     clock_backends: tuple[str, ...] = ("list",)
     exclude: tuple[Mapping[str, Any], ...] = ()
@@ -269,6 +293,8 @@ class SweepMatrix:
             "faults",
             "membership",
             "gossip_fanouts",
+            "gossip_intervals",
+            "gossip_timeouts",
             "clock_backends",
         ):
             object.__setattr__(
@@ -293,6 +319,18 @@ class SweepMatrix:
             all(f >= 1 for f in self.gossip_fanouts),
             "gossip_fanouts entries must be >= 1",
         )
+        for axis_name in ("gossip_intervals", "gossip_timeouts"):
+            require(
+                all(v is None or v > 0 for v in getattr(self, axis_name)),
+                f"{axis_name} entries must be positive (or null for the "
+                f"config default)",
+            )
+            require(
+                getattr(self, axis_name) == (None,)
+                or "gossip" in self.membership,
+                f"{axis_name} axis is set but the membership axis has no "
+                f"'gossip' entry to apply it to",
+            )
         require(
             "gossip" not in self.membership or self.self_heal,
             "membership axis includes 'gossip' but self_heal is false; "
@@ -312,22 +350,29 @@ class SweepMatrix:
 
     def _membership_variants(
         self, detector: str
-    ) -> tuple[tuple[str, int], ...]:
-        """The ``(membership, fanout)`` pairs one detector expands over.
+    ) -> tuple[tuple[str, int, float | None, float | None], ...]:
+        """The ``(membership, fanout, interval, timeout)`` variants one
+        detector expands over.
 
-        The fanout axis only multiplies gossip cells; heartbeat mode has
-        no fanout so it contributes a single variant.  Detectors without
-        a hardened variant run fault-free reference code and stay on the
-        (inert) heartbeat default.
+        The fanout/interval/timeout axes only multiply gossip cells;
+        heartbeat mode has none of those knobs so it contributes a
+        single variant.  Detectors without a hardened variant run
+        fault-free reference code and stay on the (inert) heartbeat
+        default.
         """
         if detector not in FAULT_CAPABLE:
-            return (("heartbeat", 3),)
-        variants: list[tuple[str, int]] = []
+            return (("heartbeat", 3, None, None),)
+        variants: list[tuple[str, int, float | None, float | None]] = []
         for mode in self.membership:
             if mode == "gossip":
-                variants.extend(("gossip", f) for f in self.gossip_fanouts)
+                variants.extend(
+                    ("gossip", f, gi, gt)
+                    for f in self.gossip_fanouts
+                    for gi in self.gossip_intervals
+                    for gt in self.gossip_timeouts
+                )
             else:
-                variants.append(("heartbeat", 3))
+                variants.append(("heartbeat", 3, None, None))
         return tuple(variants)
 
     def _backend_variants(self, detector: str) -> tuple[str, ...]:
@@ -404,7 +449,7 @@ class SweepMatrix:
                         f"pred_width {width} exceeds processes {n} "
                         f"in matrix {self.name!r}"
                     )
-                membership, fanout = mem
+                membership, fanout, interval, timeout = mem
                 cell = SweepCell(
                     detector=detector,
                     num_processes=n,
@@ -419,6 +464,8 @@ class SweepMatrix:
                     self_heal=self.self_heal and detector in FAULT_CAPABLE,
                     membership=membership,
                     gossip_fanout=fanout,
+                    gossip_interval=interval,
+                    gossip_timeout=timeout,
                     check_invariants=(
                         self.check_invariants
                         and detector in online_detectors()
@@ -446,6 +493,8 @@ class SweepMatrix:
             "self_heal": self.self_heal,
             "membership": list(self.membership),
             "gossip_fanouts": list(self.gossip_fanouts),
+            "gossip_intervals": list(self.gossip_intervals),
+            "gossip_timeouts": list(self.gossip_timeouts),
             "check_invariants": self.check_invariants,
             "clock_backends": list(self.clock_backends),
             "exclude": [dict(entry) for entry in self.exclude],
@@ -473,6 +522,8 @@ class SweepMatrix:
             "self_heal",
             "membership",
             "gossip_fanouts",
+            "gossip_intervals",
+            "gossip_timeouts",
             "check_invariants",
             "clock_backends",
             "exclude",
@@ -502,6 +553,8 @@ class SweepMatrix:
             "faults",
             "membership",
             "gossip_fanouts",
+            "gossip_intervals",
+            "gossip_timeouts",
             "clock_backends",
             "exclude",
         ):

@@ -100,9 +100,15 @@ def run_cell(
     if cell.faults is not None:
         options["faults"] = FaultPlan.parse(cell.faults)
     if cell.self_heal and cell.faults is not None:
+        fd_options: dict[str, Any] = {}
+        if cell.gossip_interval is not None:
+            fd_options["gossip_interval"] = cell.gossip_interval
+        if cell.gossip_timeout is not None:
+            fd_options["gossip_timeout"] = cell.gossip_timeout
         options["failure_detector"] = FailureDetectorConfig(
             membership=cell.membership,
             gossip_fanout=cell.gossip_fanout,
+            **fd_options,
         )
     if cell.check_invariants:
         options["check_invariants"] = True

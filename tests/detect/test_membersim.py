@@ -58,3 +58,42 @@ class TestDetection:
         trial = _trial("gossip", 4)
         assert trial.liveness_bytes > 0
         assert trial.membership == "gossip"
+
+
+class TestElasticTrial:
+    """Scale-out shape at tier-1 sizes; the committed snapshot
+    (``benchmarks/results/membership_elastic.json``) records the full
+    sweep."""
+
+    def test_group_grows_to_full_size(self):
+        from repro.detect.stack.membersim import run_elastic_trial
+
+        trial = run_elastic_trial(
+            8, FailureDetectorConfig(membership="gossip"), duration=40.0
+        )
+        assert trial.n_start == 2
+        assert trial.joiners == 6
+        assert trial.all_joined
+        assert trial.liveness_bytes > 0
+
+    def test_handshake_messages_per_joiner_are_constant(self):
+        from repro.detect.stack.membersim import run_elastic_trial
+
+        config = FailureDetectorConfig(membership="gossip")
+        small = run_elastic_trial(8, config, duration=40.0)
+        large = run_elastic_trial(16, config, duration=40.0)
+        assert small.all_joined and large.all_joined
+        # The dedicated join cost is the handshake itself — a protocol
+        # constant per joiner; dissemination rides existing piggyback.
+        assert (
+            small.handshake_messages / small.joiners
+            == large.handshake_messages / large.joiners
+        )
+
+    def test_heartbeat_mode_is_rejected(self):
+        import pytest
+
+        from repro.detect.stack.membersim import run_elastic_trial
+
+        with pytest.raises(ValueError):
+            run_elastic_trial(8, FailureDetectorConfig())

@@ -1,0 +1,170 @@
+"""Integration: live joins are exactness-preserving.
+
+Elastic membership's contract mirrors the gossip-membership one: a
+:class:`~repro.simulation.faults.JoinEvent` changes *who is listening*
+(a standby monitor bootstraps via the join handshake and anti-entropy
+state sync), never what the detection protocol concludes.  Every
+hardened detector must report exactly the fault-free reference verdict
+and first cut while joiners arrive under message loss + crash, during
+a partition that heals, and racing rolling churn.
+"""
+
+import pytest
+
+from repro.detect import run_detector
+from repro.detect.stack import FailureDetectorConfig
+from repro.predicates import WeakConjunctivePredicate
+from repro.simulation.faults import (
+    ChurnEvent,
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    JoinEvent,
+    LeaveEvent,
+    PartitionEvent,
+)
+from repro.trace import random_computation
+
+HARDENED = ("token_vc", "token_vc_multi", "direct_dep", "direct_dep_parallel")
+
+GOSSIP = FailureDetectorConfig(membership="gossip")
+
+#: A join under token loss while a static member is crashed: the
+#: joiner's default seed contact (mon-0) is alive throughout.
+JOIN_LOSSY = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.2),),
+    crashes=(CrashEvent("mon-1", 4.0, 9.0),),
+    joins=(JoinEvent("mon-7", 5.0),),
+)
+
+#: A join landing *during* a partition that later heals.  The seed
+#: contact is pinned to mon-2, which stays in the majority component,
+#: so the handshake does not depend on the isolated mon-0.
+JOIN_PARTITIONED = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.15),),
+    crashes=(CrashEvent("mon-1", 6.0, 60.0),),
+    partitions=(
+        PartitionEvent(10.0, (frozenset({"mon-0", "app-0"}),), 25.0),
+    ),
+    joins=(JoinEvent("mon-7", 12.0, seed_contact="mon-2"),),
+)
+
+#: Two concurrent joins racing rolling churn, one of which later
+#: departs gracefully: scale-out and scale-in in the same run.
+JOIN_CHURN = FaultPlan(
+    rules=(FaultRule(kind="token", drop=0.1),),
+    churns=(ChurnEvent(("mon-1", "mon-2"), 4.0, 10.0, 5.0, rounds=2),),
+    joins=(JoinEvent("mon-7", 5.0), JoinEvent("mon-8", 7.0)),
+    leaves=(LeaveEvent("mon-8", 30.0),),
+)
+
+
+def _case(seed):
+    comp = random_computation(
+        3, 4, seed=seed, predicate_density=0.3,
+        plant_final_cut=(seed % 2 == 0),
+    )
+    return comp, WeakConjunctivePredicate.of_flags(range(3))
+
+
+def _assert_agrees(name, comp, wcp, seed, plan, ref):
+    rep = run_detector(
+        name, comp, wcp, seed=seed, faults=plan,
+        hardened=True, failure_detector=GOSSIP,
+    )
+    assert rep.detected == ref.detected, f"{name} verdict"
+    assert rep.cut == ref.cut, f"{name} cut"
+    if not rep.detected:
+        assert rep.outcome == "not_detected", name
+    # A joiner that managed to join must also have finished its state
+    # sync — a welcome without anti-entropy would be a silent gap.
+    if rep.extras.get("joiners"):
+        assert rep.extras["synced"] == rep.extras["joined"], name
+
+
+class TestJoinUnderLossAndCrash:
+    """50 seeded workloads x 4 hardened detectors, one live join."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, JOIN_LOSSY, ref)
+
+    def test_joiner_completes_handshake_and_sync(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=JOIN_LOSSY,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        assert rep.extras["joiners"] == 1
+        assert rep.extras["joined"] == 1
+        assert rep.extras["synced"] == 1
+
+    def test_join_traffic_is_counted_as_liveness_bytes(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=JOIN_LOSSY,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        metrics = rep.metrics
+        assert metrics.messages_of_kind("join") > 0
+        assert metrics.messages_of_kind("join_ack") > 0
+        assert metrics.messages_of_kind("state_sync") > 0
+        assert rep.sim.faults.liveness_bytes > 0
+
+
+class TestJoinDuringPartitionHeal:
+    """The joiner bootstraps from the majority side of a partition."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, JOIN_PARTITIONED, ref)
+
+    def test_join_summary_reported(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=JOIN_PARTITIONED,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        assert rep.sim.faults.joins == 1
+
+
+class TestConcurrentJoinsRacingChurn:
+    """Two joins + a graceful leave on top of rolling churn."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_agrees_with_reference(self, seed):
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        for name in HARDENED:
+            _assert_agrees(name, comp, wcp, seed, JOIN_CHURN, ref)
+
+    def test_both_joiners_arrive(self):
+        comp, wcp = _case(2)
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=2, faults=JOIN_CHURN,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        assert rep.extras["joiners"] == 2
+        assert rep.extras["joined"] == 2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_detector_agnostic_under_explicit_contact(self, seed):
+        """Pinning the seed contact must not change the verdict."""
+        comp, wcp = _case(seed)
+        ref = run_detector("reference", comp, wcp)
+        pinned = FaultPlan(
+            rules=JOIN_CHURN.rules,
+            churns=JOIN_CHURN.churns,
+            joins=(JoinEvent("mon-7", 5.0, seed_contact="mon-0"),),
+        )
+        rep = run_detector(
+            "token_vc", comp, wcp, seed=seed, faults=pinned,
+            hardened=True, failure_detector=GOSSIP,
+        )
+        assert (rep.detected, rep.cut) == (ref.detected, ref.cut)

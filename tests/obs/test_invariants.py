@@ -14,9 +14,18 @@ from repro.detect import run_detector
 from repro.detect.base import TOKEN_KIND
 from repro.detect.stack import (
     ELECT_KIND,
+    FEED_JOIN_KIND,
+    JOIN_ACK_KIND,
+    JOIN_KIND,
     PING_KIND,
+    STATE_SYNC_KIND,
+    FailureDetectorConfig,
+    FeedJoin,
     GossipUpdate,
+    Join,
+    JoinWelcome,
     Sequenced,
+    StateSync,
     TokenFrame,
 )
 from repro.detect.stack.gossip import Announcement, Ping
@@ -380,6 +389,123 @@ class TestBoundsAndSummary:
         violation = mon.violations[0]
         assert violation.as_dict()["invariant"] == "candidate_order"
         assert "candidate_order" in violation.describe()
+
+
+class TestMembershipJoin:
+    """The elastic-join lifecycle family (live-join tentpole)."""
+
+    def handshake(self, mon, at=10.0, joiner="mon-7", contact="mon-0",
+                  baseline=5):
+        mon.ingest(at, JOIN_KIND, joiner, contact, Join(3, joiner))
+        mon.ingest(
+            at + 0.5, JOIN_ACK_KIND, contact, joiner,
+            JoinWelcome(members=((0, contact, 0, "alive"),), epoch=0),
+        )
+        mon.ingest(
+            at + 0.5, STATE_SYNC_KIND, contact, joiner,
+            StateSync(baselines=(("app-0", baseline),)),
+        )
+        mon.ingest(
+            at + 0.5, FEED_JOIN_KIND, contact, "app-0",
+            FeedJoin(joiner, baseline),
+        )
+
+    def test_clean_handshake_is_quiet(self):
+        mon = InvariantMonitor()
+        self.handshake(mon, baseline=5)
+        mon.ingest(12.0, CANDIDATE_KIND, "app-0", "mon-7",
+                   Sequenced(6, (1, 2, 3)))
+        mon.ingest(13.0, CANDIDATE_KIND, "app-0", "mon-7",
+                   Sequenced(7, (2, 2, 3)))
+        assert mon.violations == []
+
+    def test_candidate_before_ack_fires(self):
+        mon = InvariantMonitor()
+        mon.ingest(10.0, JOIN_KIND, "mon-7", "mon-0", Join(3, "mon-7"))
+        mon.ingest(10.5, CANDIDATE_KIND, "app-0", "mon-7",
+                   Sequenced(1, (1, 2, 3)))
+        assert families(mon) == ["membership_join"]
+        assert "before its join was acked" in mon.violations[0].detail
+
+    def test_frame_before_ack_fires(self):
+        mon = InvariantMonitor()
+        mon.ingest(10.0, JOIN_KIND, "mon-7", "mon-0", Join(3, "mon-7"))
+        mon.ingest(10.5, TOKEN_KIND, "mon-7", "mon-1", frame(1))
+        assert families(mon) == ["membership_join"]
+
+    def test_nonzero_join_incarnation_fires(self):
+        mon = InvariantMonitor()
+        mon.ingest(10.0, JOIN_KIND, "mon-7", "mon-0",
+                   Join(3, "mon-7", incarnation=2))
+        assert families(mon) == ["membership_join"]
+        assert "starts at 0" in mon.violations[0].detail
+
+    def test_early_confirm_after_join_fires_exactly_this_family(self):
+        # Stale pre-join suspicion must not justify a quick confirm of
+        # the newcomer: the swim timing check is satisfied (13 >= 12)
+        # but the joiner's own window is not (4 < 12).
+        mon = InvariantMonitor(refutation_window=16.0, probe_interval=4.0)
+        gossip(mon, 1.0, "mon-0", 3, "suspect", 0)
+        self.handshake(mon, at=10.0)
+        gossip(mon, 14.0, "mon-2", 3, "confirm", 0)
+        assert families(mon) == ["membership_join"]
+        assert "after its welcome" in mon.violations[0].detail
+
+    def test_patient_confirm_after_join_is_clean(self):
+        mon = InvariantMonitor(refutation_window=16.0, probe_interval=4.0)
+        self.handshake(mon, at=10.0)
+        gossip(mon, 11.0, "mon-0", 3, "suspect", 0)
+        gossip(mon, 24.0, "mon-2", 3, "confirm", 0)
+        assert mon.violations == []
+
+    def test_unsynced_mid_stream_open_is_still_a_gap(self):
+        # The baseline relaxation is earned by an observed state_sync /
+        # feed_join — a stream that simply opens mid-sequence without
+        # one is a real candidate gap.
+        mon = InvariantMonitor()
+        mon.ingest(12.0, CANDIDATE_KIND, "app-0", "mon-7",
+                   Sequenced(6, (1, 2, 3)))
+        assert families(mon) == ["candidate_order"]
+
+    def join_trace(self, seed=1):
+        # The join lands early in a longer run (m=8, t=4) so the
+        # feeder's anti-entropy suffix to the joiner is non-empty and
+        # candidate traffic to it actually appears in the trace.
+        plan = FaultPlan_join()
+        return traced_run(
+            seed=seed, m=8, faults=plan, hardened=True,
+            failure_detector=FailureDetectorConfig(membership="gossip"),
+        )
+
+    def test_live_join_run_replays_clean(self):
+        report, trace = self.join_trace()
+        assert report.extras["joined"] == 1
+        assert replay_trace(trace) == []
+
+    def test_mutation_strip_welcome_fires_exactly_this_family(self):
+        _, trace = self.join_trace()
+        welcomes = [s for s in trace.spans if s.name == "join_welcome"]
+        assert welcomes
+        for span in welcomes:
+            trace.spans.remove(span)
+        violations = replay_trace(trace)
+        assert violations
+        assert {v.invariant for v in violations} == {"membership_join"}
+
+    def test_mutation_flip_join_incarnation_fires(self):
+        _, trace = self.join_trace()
+        joins = [s for s in trace.spans if s.name == "join"]
+        assert joins
+        joins[0].attrs["incarnation"] = 3
+        violations = replay_trace(trace)
+        assert {v.invariant for v in violations} == {"membership_join"}
+        assert any("starts at 0" in v.detail for v in violations)
+
+
+def FaultPlan_join():
+    from repro.simulation.faults import FaultPlan
+
+    return FaultPlan.parse("drop:token:0.1,join:mon-7:4:mon-0")
 
 
 def traced_run(detector="token_vc", n=3, m=4, **options):

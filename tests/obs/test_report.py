@@ -168,6 +168,31 @@ class TestReport:
     def test_no_gossip_section_without_liveness_traffic(self):
         assert "--- gossip / liveness ---" not in render_report(traced())
 
+    def test_join_marks_and_handshake_section(self):
+        # A live join early in a longer run: the joiner's lane gets a J,
+        # and the gossip section itemises the handshake and the event.
+        plan = FaultPlan.parse("join:mon-9:4:mon-0")
+        trace = traced(n=3, m=8, faults=plan, hardened=True,
+                       failure_detector=FailureDetectorConfig(
+                           membership="gossip"))
+        joiner = next(ln for ln in render_timeline(trace).splitlines()
+                      if ln.startswith("mon-9"))
+        assert "J" in joiner
+        report = render_report(trace)
+        assert "join handshake: join=1 join_welcome=1" in report
+        assert "joined   mon-9" in report
+        assert "join=" in report.split("liveness bytes:")[1]
+
+    def test_leave_marks_on_departing_lane(self):
+        plan = FaultPlan.parse("join:mon-9:4:mon-0,leave:mon-9:30")
+        trace = traced(n=3, m=8, faults=plan, hardened=True,
+                       failure_detector=FailureDetectorConfig(
+                           membership="gossip"))
+        joiner = next(ln for ln in render_timeline(trace).splitlines()
+                      if ln.startswith("mon-9"))
+        assert "J" in joiner and "L" in joiner
+        assert "left     mon-9" in render_report(trace)
+
     def test_heartbeat_mode_shows_liveness_bytes_only(self):
         plan = FaultPlan(crashes=(CrashEvent("mon-1", at=6.0,
                                              restart_at=12.0),))

@@ -154,3 +154,93 @@ def test_piggyback_prefers_least_sent(stream):
             assert ("member", slot) not in state._buffer
         for entry in batch:
             times_sent[entry.slot] = before.get(entry.slot, 0) + 1
+
+
+# ----------------------------------------------------------------------
+# Elastic membership: runtime introductions
+# ----------------------------------------------------------------------
+
+#: A slot the five-member state was *not* constructed with: every named
+#: update about it is a runtime introduction (elastic join).
+_JOIN_SLOT = 9
+_JOIN_NAME = "mon-9"
+
+_join_updates = st.builds(
+    GossipUpdate,
+    slot=st.just(_JOIN_SLOT),
+    status=_statuses,
+    incarnation=_incarnations,
+    name=st.just(_JOIN_NAME),
+)
+
+
+@st.composite
+def mixed_streams(draw):
+    """Static-member updates and join introductions, arbitrarily
+    interleaved — then shuffled, so arrival order carries no signal."""
+    base = draw(st.lists(st.one_of(_updates, _join_updates),
+                         min_size=0, max_size=30))
+    return draw(st.permutations(base))
+
+
+@given(stream=mixed_streams())
+def test_named_introduction_converges_any_order(stream):
+    """A joiner introduced by gossip converges like any other member:
+    the table ends at the max-precedence update about it, the peer set
+    stays sorted, and the name binds exactly once — whatever the
+    interleaving."""
+    state = _state()
+    for update in stream:
+        state.apply(update, now=0.0)
+    named = [u for u in stream if u.slot == _JOIN_SLOT]
+    if not named:
+        assert _JOIN_SLOT not in state.table
+        return
+    assert state.names[_JOIN_SLOT] == _JOIN_NAME
+    assert state.peers.count(_JOIN_SLOT) == 1
+    assert state.peers == tuple(sorted(state.peers))
+    assert state.table[_JOIN_SLOT].precedence == max(
+        u.precedence for u in named
+    )
+    assert state.drain_introductions() == [(_JOIN_SLOT, _JOIN_NAME)]
+
+
+@given(stream=mixed_streams(), chunk=st.integers(min_value=1, max_value=5))
+def test_joined_event_fires_exactly_once(stream, chunk):
+    """However the stream is chunked into piggyback batches, a member
+    is introduced at most once — retransmissions are absorbed."""
+    state = _state()
+    events = []
+    for i in range(0, len(stream), chunk):
+        events.extend(state.ingest(stream[i:i + chunk], now=0.0))
+    joined = [e for e in events if e[0] == "joined"]
+    expected = 1 if any(u.slot == _JOIN_SLOT for u in stream) else 0
+    assert len(joined) == expected
+    if joined:
+        assert joined[0] == ("joined", _JOIN_SLOT, _JOIN_NAME)
+
+
+@given(inc=_incarnations, repeats=st.integers(min_value=1, max_value=4))
+def test_add_member_is_idempotent_under_retransmission(inc, repeats):
+    """The seed-contact handshake path: only the first ``add_member``
+    admits; retransmitted joins are rejected without duplicating the
+    peer entry, and the handshake path never queues a ``joined`` event
+    (the caller already knows)."""
+    state = _state()
+    assert state.add_member(_JOIN_SLOT, _JOIN_NAME, incarnation=inc)
+    for _ in range(repeats):
+        assert not state.add_member(_JOIN_SLOT, _JOIN_NAME, incarnation=inc)
+    assert state.peers.count(_JOIN_SLOT) == 1
+    assert state.names[_JOIN_SLOT] == _JOIN_NAME
+    assert state.drain_introductions() == []
+
+
+@given(slot=st.sampled_from(_SLOTS), status=_statuses, inc=_incarnations)
+def test_static_members_pay_no_name_bytes(slot, status, inc):
+    """Updates about construction-time members carry no name, so a run
+    with no joins is byte-identical to one recorded before elastic
+    membership existed; the name premium is exactly its UTF-8 bytes."""
+    anonymous = GossipUpdate(slot, status, inc)
+    named = GossipUpdate(slot, status, inc, _JOIN_NAME)
+    assert anonymous.size_bits() < named.size_bits()
+    assert named.size_bits() - anonymous.size_bits() == 8 * len(_JOIN_NAME)
