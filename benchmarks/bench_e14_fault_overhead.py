@@ -10,7 +10,7 @@ fault-free workloads the hardened single-token protocol must
 """
 
 from repro.analysis import run_e14_fault_overhead
-from repro.detect.reliability import AdaptiveRetryPolicy, RetryPolicy
+from repro.detect.stack import AdaptiveRetryPolicy, RetryPolicy
 from repro.detect.runner import run_detector
 from repro.predicates import WeakConjunctivePredicate
 from repro.trace.generators import random_computation

@@ -21,6 +21,17 @@ win is structural (many processes or long chains), not incidental:
 the O(E) wake-list sweep plus in-place ``array('q')`` merges removes
 both the heap-based topological sort and per-event tuple churn.
 
+A second section measures the kernel's *envelope interning*: a token
+ring drives one message per hop through the live kernel with the
+``Message`` constructor instrumented, once with the intern pool active
+and once disabled.  For the ``intern-*`` rows the columns are reused:
+``events`` is ``messages_delivered`` and ``intervals`` counts envelope
+constructions — both deterministic, so the baseline pins them exactly.
+The gate requires interning to eliminate at least 99% of envelope
+constructions (``--max-intern-fraction``).  Wall time for these rows is
+measured in a separate uninstrumented run so the counting wrapper's
+overhead never flatters the pool.
+
 The committed baseline lives at
 ``benchmarks/baselines/micro/kernel_micro.json`` (a ``repro-bench/1``
 document; the ``micro/`` subdir keeps it out of the sweep-replay glob).
@@ -51,11 +62,17 @@ from repro.obs.benchjson import (  # noqa: E402
     load_benchmark_json,
     structured_result,
 )
+from repro.simulation import kernel as kernel_mod  # noqa: E402
+from repro.simulation.actors import Actor  # noqa: E402
+from repro.simulation.effects import Message  # noqa: E402
+from repro.simulation.kernel import Kernel  # noqa: E402
 from repro.trace.generators import random_computation  # noqa: E402
 from repro.trace.intervals import IntervalAnalysis  # noqa: E402
 
 #: (num_processes, sends_per_process) — wide, square-ish, and deep cells.
 DEFAULT_SHAPES = ((128, 32), (256, 16), (8, 1024))
+#: (actors, hops) for the envelope-interning token ring.
+RING_SHAPE = (16, 20000)
 SEED = 3
 DEFAULT_REPS = 5
 DEFAULT_BASELINE = (
@@ -115,6 +132,75 @@ def measure_shape(n: int, m: int, reps: int) -> list[dict]:
     return rows
 
 
+class _RingActor(Actor):
+    """Forward a hop counter around a ring; one live message at a time."""
+
+    def __init__(self, idx: int, count: int, hops: int) -> None:
+        super().__init__(f"ring-{idx}")
+        self._next = f"ring-{(idx + 1) % count}"
+        self._hops = hops
+        self._initiator = idx == 0
+
+    def run(self):
+        if self._initiator:
+            yield self.send(self._next, 0, kind="tok", size_bits=64)
+        while True:
+            msg = yield self.receive("tok")
+            hop = msg.payload + 1
+            if hop >= self._hops:
+                return
+            yield self.send(self._next, hop, kind="tok", size_bits=64)
+
+
+def _ring_kernel(intern: bool, actors: int, hops: int) -> Kernel:
+    kernel = Kernel(seed=0)
+    if not intern:
+        kernel._intern = False
+    for i in range(actors):
+        kernel.add_actor(_RingActor(i, actors, hops))
+    return kernel
+
+
+def measure_interning(reps: int) -> list[dict]:
+    """One row per intern mode: envelope constructions + wall time."""
+    actors, hops = RING_SHAPE
+    rows = []
+    for intern in (True, False):
+        # Counted pass: instrument the kernel's Message binding.
+        constructions = [0]
+
+        def counting(*args, **kwargs):
+            constructions[0] += 1
+            return Message(*args, **kwargs)
+
+        kernel_mod.Message = counting
+        try:
+            delivered = _ring_kernel(intern, actors, hops).run().messages_delivered
+        finally:
+            kernel_mod.Message = Message
+        # Wall pass: uninstrumented, min over reps.
+        walls = []
+        for _ in range(reps):
+            gc.collect()
+            start = time.perf_counter()
+            _ring_kernel(intern, actors, hops).run()
+            walls.append(time.perf_counter() - start)
+        wall = min(walls)
+        rows.append(
+            {
+                "backend": "intern-on" if intern else "intern-off",
+                "n": actors,
+                "m": hops,
+                "events": delivered,
+                "intervals": constructions[0],
+                "wall_s": round(wall, 6),
+                "events_per_sec": round(delivered / wall, 1),
+                "allocs_per_event": round(constructions[0] / delivered, 3),
+            }
+        )
+    return rows
+
+
 def speedups(rows: list[dict]) -> dict[tuple[int, int], float]:
     """Per-shape list-wall / packed-wall ratio."""
     walls: dict[tuple[int, int], dict[str, float]] = {}
@@ -129,7 +215,10 @@ def speedups(rows: list[dict]) -> dict[tuple[int, int], float]:
     }
 
 
-def run(shapes, reps: int, min_speedup: float, floor: float) -> dict:
+def run(
+    shapes, reps: int, min_speedup: float, floor: float,
+    max_intern_fraction: float,
+) -> dict:
     rows: list[dict] = []
     for n, m in shapes:
         shape_rows = measure_shape(n, m, reps)
@@ -141,6 +230,29 @@ def run(shapes, reps: int, min_speedup: float, floor: float) -> dict:
                 f"events/s={row['events_per_sec']:11.1f} "
                 f"allocs/event={row['allocs_per_event']:7.3f}"
             )
+    intern_rows = measure_interning(reps)
+    rows.extend(intern_rows)
+    by_mode = {row["backend"]: row for row in intern_rows}
+    on, off = by_mode["intern-on"], by_mode["intern-off"]
+    for row in intern_rows:
+        print(
+            f"ring {row['backend']:10s} delivered={row['events']:6d} "
+            f"constructions={row['intervals']:6d} wall={row['wall_s']:.4f}s "
+            f"msgs/s={row['events_per_sec']:10.1f}"
+        )
+    fraction = on["intervals"] / off["intervals"]
+    print(
+        f"envelope interning keeps {on['intervals']} of {off['intervals']} "
+        f"constructions ({fraction:.4%}; gate: <= {max_intern_fraction:.0%})"
+    )
+    assert off["intervals"] == off["events"], (
+        "with interning off, every delivered message must be a fresh "
+        f"construction ({off['intervals']} != {off['events']})"
+    )
+    assert fraction <= max_intern_fraction, (
+        f"interning leaves {fraction:.2%} of envelope constructions; "
+        f"gate is <= {max_intern_fraction:.0%}"
+    )
     ratios = speedups(rows)
     for (n, m), ratio in ratios.items():
         print(f"n={n:4d} m={m:5d} packed speedup: {ratio:.2f}x")
@@ -151,6 +263,9 @@ def run(shapes, reps: int, min_speedup: float, floor: float) -> dict:
         f"worst packed speedup {worst:.2f}x (floor: >= {floor:.1f}x)",
         "wall-dependent columns are informational; counted columns "
         "(events, intervals) are compared exactly against the baseline",
+        "intern-* rows: events = messages delivered on the token ring, "
+        "intervals = Message constructions (deterministic; the pool must "
+        f"keep the on/off ratio <= {max_intern_fraction:.0%})",
     ]
     assert best >= min_speedup, (
         f"packed backend best speedup {best:.2f}x is below the "
@@ -171,10 +286,12 @@ def run(shapes, reps: int, min_speedup: float, floor: float) -> dict:
         result,
         params={
             "shapes": [list(s) for s in shapes],
+            "ring_shape": list(RING_SHAPE),
             "seed": SEED,
             "reps": reps,
             "min_speedup": min_speedup,
             "floor": floor,
+            "max_intern_fraction": max_intern_fraction,
         },
         wall_time_s=sum(row["wall_s"] for row in rows),
     )
@@ -216,6 +333,7 @@ def main() -> int:
     parser.add_argument("--reps", type=int, default=DEFAULT_REPS)
     parser.add_argument("--min-speedup", type=float, default=3.0)
     parser.add_argument("--floor", type=float, default=2.0)
+    parser.add_argument("--max-intern-fraction", type=float, default=0.01)
     parser.add_argument("--out", type=pathlib.Path, default=None)
     parser.add_argument(
         "--check",
@@ -234,7 +352,10 @@ def main() -> int:
         tuple(int(v) for v in pair.split(","))
         for pair in args.shapes.split(";")
     )
-    doc = run(shapes, args.reps, args.min_speedup, args.floor)
+    doc = run(
+        shapes, args.reps, args.min_speedup, args.floor,
+        args.max_intern_fraction,
+    )
     if args.check is not None:
         check_against(doc, args.check)
     out = args.out

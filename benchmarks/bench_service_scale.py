@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Service scaling: marginal cost per predicate under token multiplexing.
+
+Runs the multi-predicate detection service
+(:func:`repro.detect.runner.run_service`, ``token_vc`` multiplexed) over
+one fixed workload at P ∈ {1, 4, 16, 64, 256} registered predicates and
+measures, per P:
+
+* counted wire traffic — ``wire_bits`` (every message any service
+  actor sends: candidate streams, their acks, tokens, done
+  notifications, halts), token hops and comparison work —
+  deterministic quantities compared **exactly** against the committed
+  baseline;
+* ``bits_per_pred`` — total wire bits divided by P, the service's
+  amortised cost curve;
+* ``preds_per_sec`` — wall-clock predicates resolved per second
+  (informational; wall-dependent columns are never baseline-compared).
+
+The claim under test is that the shared causality layer makes
+predicates cheap at the margin: every predicate after the first reuses
+the same hardened candidate streams (the dominant cost — each
+candidate carries a vector timestamp), so only the per-predicate token
+(2·|pids| words a hop) and its acks are new traffic.  The CI gate::
+
+    bits_per_pred(P=64) <= --max-marginal (default 0.25) x wire_bits(P=1)
+
+i.e. at 64 predicates the per-predicate cost has dropped to a quarter
+of the single-predicate service, measured in counted bits, not wall
+time.  Predicates rotate a width-``PRED_WIDTH`` pid set across the
+``N`` processes; at P > N the rotations repeat under distinct ids
+(distinct tokens, shared streams), matching how a real service hosts
+many similar predicates.
+
+The committed baseline lives at
+``benchmarks/baselines/service/service_scale.json`` (a ``repro-bench/1``
+document; the ``service/`` subdir keeps it out of the sweep-replay
+glob).  The output carries an honest ``environment`` block (real
+``cpu_count``, measured wall seconds) so a recorded snapshot can never
+masquerade as a different machine's.
+
+Usage::
+
+    python benchmarks/bench_service_scale.py                 # measure + gate
+    python benchmarks/bench_service_scale.py --check benchmarks/baselines/service/service_scale.json
+    python benchmarks/bench_service_scale.py --update
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from types import SimpleNamespace
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.detect.runner import run_service  # noqa: E402
+from repro.detect.service import service_units  # noqa: E402
+from repro.obs.benchjson import (  # noqa: E402
+    load_benchmark_json,
+    structured_result,
+)
+from repro.predicates import WeakConjunctivePredicate  # noqa: E402
+from repro.trace.generators import random_computation  # noqa: E402
+
+DEFAULT_COUNTS = (1, 4, 16, 64, 256)
+NUM_PROCESSES = 24
+SENDS = 32
+PRED_WIDTH = 8
+DENSITY = 0.5
+SEED = 7
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent
+    / "baselines"
+    / "service"
+    / "service_scale.json"
+)
+
+HEADERS = [
+    "P",
+    "detected",
+    "aborted",
+    "wire_bits",
+    "mon_bits",
+    "token_hops",
+    "candidates_fed",
+    "total_work",
+    "bits_per_pred",
+    "wall_s",
+    "preds_per_sec",
+]
+#: columns compared exactly against the baseline (wall-independent).
+COUNTED = (
+    "P",
+    "detected",
+    "aborted",
+    "wire_bits",
+    "mon_bits",
+    "token_hops",
+    "candidates_fed",
+    "total_work",
+)
+
+
+def service_entries(count: int) -> list[tuple[str, WeakConjunctivePredicate]]:
+    """``count`` width-``PRED_WIDTH`` predicates rotated over the ring."""
+    base = tuple(range(PRED_WIDTH))
+    entries = []
+    for k in range(count):
+        pids = tuple(
+            sorted({(pid + k) % NUM_PROCESSES for pid in base})
+        )
+        entries.append((f"q{k}", WeakConjunctivePredicate.of_flags(pids)))
+    return entries
+
+
+def measure(count: int, computation) -> dict:
+    """One multiplexed service run at ``count`` registered predicates."""
+    started = time.perf_counter()
+    report = run_service(
+        "token_vc", computation, service_entries(count), seed=SEED
+    )
+    wall = time.perf_counter() - started
+    units = service_units(report)
+    wire_bits = report.metrics.total_bits("")
+    return {
+        "P": count,
+        "detected": units["detected_count"],
+        "aborted": units["aborted_count"],
+        "wire_bits": wire_bits,
+        "mon_bits": units["mon_bits"],
+        "token_hops": units["token_hops"],
+        "candidates_fed": units["candidates_fed"],
+        "total_work": units["total_work"],
+        "bits_per_pred": round(wire_bits / count, 1),
+        "wall_s": round(wall, 4),
+        "preds_per_sec": round(count / wall, 1),
+    }
+
+
+def run(counts, max_marginal: float) -> dict:
+    computation = random_computation(
+        NUM_PROCESSES,
+        SENDS,
+        seed=SEED,
+        predicate_density=DENSITY,
+        plant_final_cut=True,
+    )
+    started = time.perf_counter()
+    rows = []
+    for count in counts:
+        row = measure(count, computation)
+        rows.append(row)
+        print(
+            f"P={row['P']:4d} detected={row['detected']:4d} "
+            f"wire_bits={row['wire_bits']:9d} "
+            f"bits/pred={row['bits_per_pred']:9.1f} "
+            f"hops={row['token_hops']:5d} "
+            f"preds/s={row['preds_per_sec']:8.1f}"
+        )
+        assert row["detected"] == row["P"], (
+            f"P={row['P']}: {row['detected']} detected; the planted final "
+            f"cut satisfies every rotation, so all must detect"
+        )
+    wall_s = time.perf_counter() - started
+    by_count = {row["P"]: row for row in rows}
+    notes = [
+        "wall-dependent columns are informational; counted columns are "
+        "compared exactly against the baseline",
+    ]
+    gate_ok = True
+    if 1 in by_count and 64 in by_count:
+        single = by_count[1]["wire_bits"]
+        marginal = by_count[64]["wire_bits"] / 64
+        ratio = marginal / single
+        notes.append(
+            f"marginal cost at P=64: {marginal:.1f} bits/pred = "
+            f"{ratio:.3f}x the P=1 service (gate: <= {max_marginal:g}x)"
+        )
+        print(notes[-1])
+        gate_ok = ratio <= max_marginal
+        assert gate_ok, (
+            f"marginal bits per predicate at P=64 ({marginal:.1f}) exceed "
+            f"{max_marginal:g}x the single-predicate service ({single})"
+        )
+    result = SimpleNamespace(
+        experiment="service-scale: marginal cost per multiplexed predicate",
+        headers=HEADERS,
+        rows=[[row[h] for h in HEADERS] for row in rows],
+        fits={},
+        notes=notes,
+    )
+    doc = structured_result(
+        result,
+        params={
+            "counts": list(counts),
+            "processes": NUM_PROCESSES,
+            "sends": SENDS,
+            "pred_width": PRED_WIDTH,
+            "density": DENSITY,
+            "seed": SEED,
+            "max_marginal": max_marginal,
+        },
+        wall_time_s=wall_s,
+    )
+    doc["environment"] = {
+        "cpu_count": os.cpu_count() or 1,
+        "wall_s": round(wall_s, 3),
+    }
+    return doc
+
+
+def check_against(doc: dict, baseline_path: pathlib.Path) -> None:
+    """Counted quantities must match the committed baseline exactly."""
+    baseline = load_benchmark_json(baseline_path)
+    idx = {name: HEADERS.index(name) for name in COUNTED}
+
+    def counted(payload: dict) -> list[tuple]:
+        headers = payload["headers"]
+        pick = [headers.index(name) for name in COUNTED]
+        return sorted(tuple(row[i] for i in pick) for row in payload["rows"])
+
+    expected = counted(baseline)
+    actual = sorted(
+        tuple(row[idx[name]] for name in COUNTED) for row in doc["rows"]
+    )
+    if expected != actual:
+        missing = [row for row in expected if row not in actual]
+        extra = [row for row in actual if row not in expected]
+        raise SystemExit(
+            f"counted quantities diverge from {baseline_path}:\n"
+            f"  baseline-only: {missing}\n  fresh-only:    {extra}"
+        )
+    print(f"counted quantities match {baseline_path} ({len(expected)} rows)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--counts",
+        default=",".join(map(str, DEFAULT_COUNTS)),
+        help="comma-separated predicate counts",
+    )
+    parser.add_argument(
+        "--max-marginal",
+        type=float,
+        default=0.25,
+        help="gate: bits/pred at P=64 as a fraction of the P=1 service",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare counted quantities against a committed baseline",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help=f"re-record the default baseline at {DEFAULT_BASELINE}",
+    )
+    args = parser.parse_args()
+    counts = tuple(int(v) for v in args.counts.split(","))
+    doc = run(counts, args.max_marginal)
+    if args.check is not None:
+        check_against(doc, args.check)
+    out = args.out
+    if args.update:
+        out = DEFAULT_BASELINE
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -158,6 +158,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print a one-line per-run summary to stderr",
     )
+    det.add_argument(
+        "--predicates-file", type=pathlib.Path, default=None, metavar="FILE",
+        help="run the multi-predicate service instead of a single WCP: "
+             "FILE is a JSON list of {id, pids[, var]} entries (see "
+             "'repro service', which this delegates to)",
+    )
+
+    svc = sub.add_parser(
+        "service",
+        help="run the multi-predicate detection service on a trace file",
+    )
+    svc.add_argument("trace", type=pathlib.Path)
+    svc.add_argument(
+        "--predicates-file", type=pathlib.Path, required=True, metavar="FILE",
+        help="JSON list of registered predicates: "
+             '[{"id": "p0", "pids": [0,1,2], "var": "flag"}, ...]',
+    )
+    svc.add_argument("--detector", default="token_vc",
+                     help="detector family; token_vc runs the multiplexed "
+                          "service, others run one amortized pass per "
+                          "predicate over the shared causality analysis")
+    svc.add_argument("--seed", type=int, default=0)
+    svc.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults (multiplexed/fault-capable detectors only); "
+             "same SPEC grammar as 'repro detect --faults'",
+    )
+    svc.add_argument(
+        "--clock-backend", choices=("list", "packed"), default="list",
+        help="vector-clock representation for the shared snapshot "
+             "extraction (verdicts identical either way)",
+    )
+    svc.add_argument(
+        "--trace-out", type=pathlib.Path, default=None, metavar="FILE",
+        help="record a causal span trace of the multiplexed run to FILE "
+             "(JSONL; render with 'repro report' for per-predicate rows)",
+    )
+    svc.add_argument(
+        "--json", action="store_true",
+        help="print per-predicate verdicts and service metrics as JSON",
+    )
+    svc.add_argument(
+        "--verbose", action="store_true",
+        help="print a one-line per-predicate summary to stderr",
+    )
 
     stats = sub.add_parser("stats", help="summarize a trace file")
     stats.add_argument("trace", type=pathlib.Path)
@@ -283,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated vector-clock backends (list "
                           "and/or packed); multiplies online cells only "
                           "(default: list)")
+    swp.add_argument("--n-predicates", default="1",
+                     help="comma-separated predicate counts, ranges "
+                          "allowed; multiplies multiplexed-detector cells "
+                          "only — each P > 1 cell runs P derived predicates "
+                          "over one shared service (default: 1)")
     swp.add_argument("--trace-sample", type=int, default=0, metavar="N",
                      help="record full span traces for the N lowest "
                           "seeds of every group (deterministic sample; "
@@ -371,9 +421,170 @@ def _load_trace(path: pathlib.Path):
         raise SystemExit(f"error: cannot load trace {path}: {exc}")
 
 
+def _load_predicates_file(path: pathlib.Path, num_processes: int):
+    """Parse a service predicates file into ``(pred_id, wcp)`` entries.
+
+    The file is a JSON list of ``{"id": ..., "pids": [...]}`` objects;
+    an optional ``"var"`` picks the boolean flag variable (default
+    ``flag``, the workload generators' convention).
+    """
+    import json
+
+    if not path.exists():
+        raise SystemExit(f"error: no such predicates file: {path}")
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: bad JSON in {path}: {exc}")
+    if not isinstance(doc, list) or not doc:
+        raise SystemExit(
+            f"error: {path} must hold a non-empty JSON list of predicates"
+        )
+    entries = []
+    for i, item in enumerate(doc):
+        if not isinstance(item, dict) or "pids" not in item:
+            raise SystemExit(
+                f"error: {path}[{i}] must be an object with a 'pids' list"
+            )
+        pred_id = str(item.get("id", f"p{i}"))
+        try:
+            pids = tuple(sorted({int(p) for p in item["pids"]}))
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"error: {path}[{i}]: 'pids' must be a list of ints"
+            )
+        if not pids:
+            raise SystemExit(f"error: {path}[{i}]: 'pids' is empty")
+        bad = [p for p in pids if p >= num_processes or p < 0]
+        if bad:
+            raise SystemExit(
+                f"error: {path}[{i}] names processes {bad} but the trace "
+                f"has {num_processes}"
+            )
+        var = str(item.get("var", "flag"))
+        entries.append(
+            (pred_id, WeakConjunctivePredicate.of_flags(pids, var=var))
+        )
+    return entries
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.common.errors import ConfigurationError, ReproError
+    from repro.detect.runner import DETECTORS, run_service
+
+    if args.detector not in DETECTORS:
+        raise SystemExit(
+            f"error: unknown detector {args.detector!r}; "
+            f"choose from {sorted(DETECTORS)}"
+        )
+    comp = _load_trace(args.trace)
+    entries = _load_predicates_file(args.predicates_file, comp.num_processes)
+    options: dict = {"seed": args.seed}
+    if args.clock_backend != "list":
+        options["clock_backend"] = args.clock_backend
+    if args.faults is not None:
+        from repro.simulation.faults import FaultPlan
+
+        try:
+            options["faults"] = FaultPlan.parse(args.faults)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        options["observers"] = [tracer]
+    try:
+        report = run_service(
+            args.detector, comp, entries, verbose=args.verbose, **options
+        )
+    except ReproError as exc:
+        print(
+            f"error: service run ({args.detector!r}) failed: {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    from repro.detect.service import service_trace_meta
+
+    # No wall_seconds: CLI output is contractually deterministic, so the
+    # wall-derived predicates/sec headline lives in bench_service_scale
+    # (where wall columns are informational), not here.
+    meta = service_trace_meta(report)
+    if tracer is not None:
+        from repro.obs import dump_jsonl
+
+        trace_meta = dict(meta)
+        trace_meta["detector"] = report.detector
+        if report.metrics is not None:
+            trace_meta["metrics"] = report.metrics.snapshot()
+        if report.sim is not None and report.sim.faults is not None:
+            trace_meta["faults"] = report.sim.faults.as_dict()
+        trace = tracer.finish(
+            report.sim.time if report.sim is not None else None, **trace_meta
+        )
+        dump_jsonl(trace, args.trace_out)
+        if not args.json:
+            print(f"trace:     {args.trace_out} ({len(trace)} spans)")
+    if args.json:
+        doc = {
+            "detector": report.detector,
+            "multiplexed": report.multiplexed,
+            "n_predicates": report.n_predicates,
+            "predicates": meta["predicates"],
+            "service": meta["service"],
+            "extras": dict(report.extras),
+        }
+        if report.metrics is not None:
+            doc["metrics"] = report.metrics.snapshot()
+        print(json.dumps(doc, indent=2, default=str))
+    else:
+        print(f"detector:     {report.detector} "
+              f"({'multiplexed' if report.multiplexed else 'amortized'})")
+        print(f"predicates:   {report.n_predicates}")
+        for row in meta["predicates"]:
+            cut = row["cut"]
+            line = f"  {row['pred_id']}: {row['outcome']}"
+            if cut is not None:
+                line += f" cut={tuple(cut)}"
+            if row["detection_time"] is not None:
+                line += f" t={row['detection_time']:g}"
+            print(line)
+        service = meta["service"]
+        if service.get("predicates_per_sec") is not None:
+            print(f"predicates/sec: {service['predicates_per_sec']:.1f}")
+        if service.get("marginal_bits_per_predicate") is not None:
+            print(
+                "marginal bits/predicate: "
+                f"{service['marginal_bits_per_predicate']:.0f} "
+                f"(shared stream: {service.get('shared_stream_bits')})"
+            )
+    if any(o.degraded for o in report.outcomes.values()):
+        return 2
+    return 0
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.detect.runner import DETECTORS, offline_detectors, run_detector
 
+    if args.predicates_file is not None:
+        # Multi-predicate runs route through the service; flags that
+        # only make sense for a single-predicate run are rejected.
+        for flag, present in (
+            ("--pids", args.pids is not None),
+            ("--self-heal", args.self_heal),
+            ("--no-hardened", args.no_hardened),
+            ("--invariants", args.invariants),
+            ("--flight-recorder", args.flight_recorder is not None),
+        ):
+            if present:
+                raise SystemExit(
+                    f"error: {flag} does not apply to --predicates-file "
+                    f"runs; use 'repro service' options"
+                )
+        return _cmd_service(args)
     if args.detector not in DETECTORS:
         raise SystemExit(
             f"error: unknown detector {args.detector!r}; "
@@ -820,6 +1031,9 @@ def _sweep_matrix_from_args(args: argparse.Namespace):
             clock_backends=_parse_axis(
                 args.clock_backends, "clock-backends", str
             ),
+            n_predicates=_parse_axis(
+                args.n_predicates, "n-predicates", int
+            ),
         )
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}")
@@ -950,6 +1164,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "detect": _cmd_detect,
+        "service": _cmd_service,
         "stats": _cmd_stats,
         "experiments": _cmd_experiments,
         "show": _cmd_show,

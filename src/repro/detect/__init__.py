@@ -23,6 +23,7 @@ __all__ = [
     "monitor_name",
     "app_name",
     "run_detector",
+    "run_service",
     "DETECTORS",
     "FAULT_CAPABLE",
     "harden",
@@ -35,6 +36,7 @@ def __getattr__(name: str):
     # `import repro.detect` cheap and avoids import cycles.
     if name in (
         "run_detector",
+        "run_service",
         "DETECTORS",
         "FAULT_CAPABLE",
         "offline_detectors",

@@ -28,6 +28,7 @@ __all__ = [
     "APP_PREFIX",
     "monitor_name",
     "app_name",
+    "outcome_label",
     "partial_cut_extras",
 ]
 
@@ -55,6 +56,22 @@ def monitor_name(pid: int) -> str:
 def app_name(pid: int) -> str:
     """The canonical actor name of process ``pid``'s snapshot feeder."""
     return f"{APP_PREFIX}{pid}"
+
+
+def outcome_label(detected: bool, degraded: bool) -> str:
+    """The three-way verdict label shared by every report shape.
+
+    ``detected`` wins; otherwise ``degraded`` distinguishes "ended
+    without a verdict under faults" from a definitive ``not_detected``.
+    Single-predicate :class:`DetectionReport` and the service's
+    per-predicate outcomes both classify through here, so sweep
+    baselines and report rows agree on the vocabulary.
+    """
+    if detected:
+        return "detected"
+    if degraded:
+        return "degraded"
+    return "not_detected"
 
 
 def partial_cut_extras(
@@ -142,8 +159,4 @@ class DetectionReport:
     @property
     def outcome(self) -> str:
         """Three-way verdict: ``detected`` / ``not_detected`` / ``degraded``."""
-        if self.detected:
-            return "detected"
-        if self.degraded:
-            return "degraded"
-        return "not_detected"
+        return outcome_label(self.detected, self.degraded)

@@ -84,6 +84,7 @@ __all__ = [
     "DirectDepMonitor",
     "DirectDepGlue",
     "HardenedDirectDepMonitor",
+    "dd_feed_items",
     "detect",
 ]
 
@@ -110,6 +111,29 @@ class PollResponse:
 def snapshot_bits(snapshot: DDSnapshot) -> int:
     """Accounting size of a §4.1 local snapshot: clock + dependence pairs."""
     return (1 + 2 * len(snapshot.deps)) * WORD_BITS
+
+
+def dd_feed_items(
+    computation: Computation,
+    predicates,
+    clock_backend: str = "list",
+) -> dict[int, list[FeedItem]]:
+    """The §4.1 snapshot streams as feeder-ready items, one per process.
+
+    Extracted from :func:`detect` (mirroring
+    :func:`repro.detect.token_vc.candidate_feed_items`) so multi-
+    predicate callers can evaluate several predicates against one
+    interval stream; all ``N`` processes participate (§4's requirement),
+    with the constant-true predicate where none is registered.
+    """
+    streams = dd_snapshots(computation, dict(predicates), clock_backend)
+    return {
+        pid: [
+            FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
+            for snap in stream
+        ]
+        for pid, stream in streams.items()
+    }
 
 
 class DirectDepMonitor(Actor):
@@ -485,13 +509,10 @@ def detect(
     )
     for mon in monitors:
         kernel.add_actor(mon)
-    streams = dd_snapshots(computation, wcp.predicate_map(), clock_backend)
+    items_by_pid = dd_feed_items(computation, wcp.predicate_map(), clock_backend)
     feeders = []
     for pid in range(big_n):
-        items = [
-            FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
-            for snap in streams[pid]
-        ]
+        items = items_by_pid[pid]
         if use_hardened:
             feeder = ReliableFeeder(
                 app_name(pid), monitor_name(pid), items, spacing, retry

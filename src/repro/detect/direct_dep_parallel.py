@@ -50,7 +50,7 @@ from repro.detect.direct_dep import (
     DirectDepGlue,
     Poll,
     PollResponse,
-    snapshot_bits,
+    dd_feed_items,
 )
 from repro.detect.stack import (
     AdaptiveRetryPolicy,
@@ -71,12 +71,11 @@ from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
     CANDIDATE_KIND,
     END_OF_TRACE_KIND,
-    FeedItem,
     SnapshotFeeder,
 )
 from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
-from repro.trace.snapshots import DDSnapshot, dd_snapshots
+from repro.trace.snapshots import DDSnapshot
 
 if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
     from repro.simulation.faults import FaultPlan
@@ -363,13 +362,10 @@ def detect(
     ]
     for mon in monitors:
         kernel.add_actor(mon)
-    streams = dd_snapshots(computation, wcp.predicate_map(), clock_backend)
+    items_by_pid = dd_feed_items(computation, wcp.predicate_map(), clock_backend)
     feeders = []
     for pid in range(big_n):
-        items = [
-            FeedItem(payload=snap, size_bits=snapshot_bits(snap), time=snap.time)
-            for snap in streams[pid]
-        ]
+        items = items_by_pid[pid]
         if use_hardened:
             feeder = ReliableFeeder(
                 app_name(pid), monitor_name(pid), items, spacing, retry

@@ -29,6 +29,7 @@ __all__ = [
     "DETECTORS",
     "FAULT_CAPABLE",
     "run_detector",
+    "run_service",
     "offline_detectors",
     "online_detectors",
     "paper_units",
@@ -212,4 +213,61 @@ def run_detector(
             ]
     if verbose:
         print(_summary_line(name, report), file=sys.stderr)
+    return report
+
+
+def run_service(
+    name: str,
+    computation: Computation,
+    registry_or_predicates,
+    **options: object,
+):
+    """Run the multi-predicate detection service; returns a
+    :class:`~repro.detect.service.ServiceReport` with one
+    :class:`~repro.detect.service.PredicateOutcome` per registered
+    predicate.
+
+    ``registry_or_predicates`` is a
+    :class:`~repro.detect.service.PredicateRegistry`, or any iterable of
+    ``(pred_id, wcp)`` pairs / mapping from which one is built.  For
+    detectors with a multiplexed service implementation (currently
+    ``token_vc``) the run shares one hardened candidate stream per app
+    process and multiplexes per-predicate token frames over it;
+    every other detector runs one independent pass per predicate over
+    the same computation's cached causality analysis.  Either way, each
+    predicate's verdict and first cut are identical to an independent
+    ``run_detector`` run.
+
+    ``verbose=True`` prints one summary line per predicate to stderr.
+    """
+    # Imported lazily: the service dispatcher calls back into
+    # run_detector for the amortized path.
+    from repro.detect.service import PredicateRegistry, SharedCausalityDispatcher
+
+    verbose = bool(options.pop("verbose", False))
+    if isinstance(registry_or_predicates, PredicateRegistry):
+        registry = registry_or_predicates
+    else:
+        registry = PredicateRegistry()
+        entries = (
+            registry_or_predicates.items()
+            if hasattr(registry_or_predicates, "items")
+            else registry_or_predicates
+        )
+        for pred_id, wcp in entries:
+            registry.register(pred_id, wcp)
+    if name not in DETECTORS:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; available: {sorted(DETECTORS)}"
+        )
+    dispatcher = SharedCausalityDispatcher(
+        registry, computation, detector=name, **options
+    )
+    report = dispatcher.run()
+    if verbose:
+        for pred_id, out in report.outcomes.items():
+            line = f"[repro] service {name} {pred_id}: {out.outcome}"
+            if out.cut is not None:
+                line += f" cut={tuple(out.cut.intervals)}"
+            print(line, file=sys.stderr)
     return report

@@ -1,0 +1,40 @@
+"""The multi-predicate detection service (the slicer/detector split).
+
+The paper's detectors each own an entire computation: one WCP, one set
+of app->monitor streams, one causality layer.  The service amortizes all
+of that across many registered predicates:
+
+* :class:`~repro.detect.service.registry.PredicateRegistry` — register /
+  deregister conjunctive predicates by id, each mapping app processes to
+  local predicates;
+* :class:`~repro.detect.service.dispatcher.SharedCausalityDispatcher` —
+  runs ONE hardened feeder stream per app process (vector-clock state
+  extracted once, candidates projected to the union of registered pids)
+  and fans candidate intervals out to exactly the predicates whose
+  local-predicate set matches, with one per-predicate §3 token machine
+  multiplexed over the shared transport (frames tagged with ``pred_id``,
+  see :class:`repro.detect.stack.TokenFrame`).
+
+Exactness contract: every registered predicate's verdict and first cut
+are byte-identical to an independent single-predicate run — Theorem 3.2
+makes the first consistent cut a function of (computation, predicate)
+alone, so multiplexing changes message timing but never the verdict.
+"""
+
+from repro.detect.service.dispatcher import (
+    PredicateOutcome,
+    ServiceReport,
+    SharedCausalityDispatcher,
+    service_trace_meta,
+    service_units,
+)
+from repro.detect.service.registry import PredicateRegistry
+
+__all__ = [
+    "PredicateRegistry",
+    "PredicateOutcome",
+    "ServiceReport",
+    "SharedCausalityDispatcher",
+    "service_trace_meta",
+    "service_units",
+]

@@ -70,6 +70,7 @@ from repro.detect.stack.transport import (
     Tagged,
     TokenFrame,
     TokenInjector,
+    token_ack_bits,
 )
 
 __all__ = [
@@ -120,4 +121,5 @@ __all__ = [
     "ReliableInjector",
     "ReliableEndpoint",
     "TokenInjector",
+    "token_ack_bits",
 ]

@@ -25,6 +25,12 @@ retransmissions, and otherwise block on the failure-detector receive.
 All of its state lives in persisted actor attributes, so a crash/restart
 re-enters ``run`` and resumes from wherever the persisted state says the
 protocol was.
+
+The same loop hosts multiplexed glues: the multi-predicate service's
+:class:`~repro.detect.service.dispatcher.ServiceGlue` demuxes each held
+frame on its ``pred_id`` tag to a per-predicate machine, so N registered
+predicates share one endpoint, one run loop, and one candidate stream —
+``_handle_frame``/``_resolve_frame`` never assumed one token per host.
 """
 
 from __future__ import annotations

@@ -81,6 +81,7 @@ __all__ = [
     "ReliableEndpoint",
     "TokenInjector",
     "retry_schedule",
+    "token_ack_bits",
 ]
 
 # Message kinds introduced by the reliability layer.
@@ -92,6 +93,14 @@ FEED_JOIN_KIND = "feed_join"  # subscribe a joiner, monitor -> feeder
 ACK_BITS = WORD_BITS
 TOKEN_ACK_BITS = 3 * WORD_BITS  # (gid, epoch, hop)
 HALT_ACK_BITS = 1
+
+
+def token_ack_bits(frame: "TokenFrame") -> int:
+    """Accounting size of the ack for ``frame``: one word per identity
+    component.  Default frames keep the historical ``TOKEN_ACK_BITS``
+    (3 words); service-multiplexed frames carry a ``pred_id`` word too.
+    """
+    return WORD_BITS * len(frame.key)
 
 
 @dataclass(frozen=True, slots=True)
@@ -150,6 +159,14 @@ class TokenFrame:
     ``gossip`` is an opaque piggyback payload stamped at transmission
     time by the membership layer (empty outside gossip mode); it is not
     part of the frame's identity and is not forwarded with the token.
+
+    ``pred_id`` tags frames belonging to a registered predicate of the
+    multi-predicate service (:mod:`repro.detect.service`): the service
+    multiplexes one token machine per predicate over the same
+    ``Sequenced`` streams, and the demux routes on this tag.  The
+    default ``pred_id == 0`` (single-predicate runs) keeps the identity
+    a 3-tuple, so every pre-service frame, ack and dedup key is
+    byte-identical to before the tag existed.
     """
 
     hop: int
@@ -157,10 +174,13 @@ class TokenFrame:
     gid: int = 0
     epoch: int = 0
     gossip: tuple = ()
+    pred_id: int = 0
 
     @property
-    def key(self) -> tuple[int, int, int]:
-        """The frame identity carried by acks."""
+    def key(self) -> tuple[int, ...]:
+        """The frame identity carried by acks (3- or 4-tuple)."""
+        if self.pred_id:
+            return (self.pred_id, self.gid, self.epoch, self.hop)
         return (self.gid, self.epoch, self.hop)
 
     @property
@@ -801,12 +821,13 @@ class ReliableInjector(Actor):
         frame: TokenFrame,
         size_bits: int,
         retry: RetryPolicy | AdaptiveRetryPolicy | None = None,
+        name: str = "token-injector",
     ) -> None:
-        super().__init__("token-injector")
+        super().__init__(name)
         self._dest = dest
         self._frame = frame
         self._size_bits = size_bits
-        self._retry = retry_schedule(retry, "token-injector")
+        self._retry = retry_schedule(retry, name)
         self._acked = False
         self.gave_up = False
 
@@ -864,12 +885,12 @@ class ReliableEndpoint:
     ) -> None:
         self._retry = retry_schedule(retry, self.name)
         self._inbox = CandidateInbox()
-        self._seen_hops: dict[int, tuple[int, int]] = {}
+        self._seen_hops: dict[object, tuple[int, int]] = {}
         self._held: deque[TokenFrame] = deque()
         self._pending_out: dict[
-            tuple[int, int, int], tuple[str, str, TokenFrame, int]
+            tuple[int, ...], tuple[str, str, TokenFrame, int]
         ] = {}
-        self._last_frames: dict[int, TokenFrame] = {}
+        self._last_frames: dict[object, TokenFrame] = {}
         self._app_src: str | None = None
         self._epoch = 0
         self._token_activity = 0.0
@@ -881,6 +902,16 @@ class ReliableEndpoint:
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
+    @staticmethod
+    def _dedup_gid(frame: TokenFrame):
+        """Per-stream dedup/regeneration key.
+
+        Historically just ``gid``; service-multiplexed frames get a
+        ``(pred_id, gid)`` composite so each registered predicate's hop
+        sequence is ordered independently of every other predicate's.
+        """
+        return (frame.pred_id, frame.gid) if frame.pred_id else frame.gid
+
     def _snapshot_frame(self, frame: TokenFrame) -> TokenFrame:
         """Deep-enough copy of an accepted frame.
 
@@ -976,27 +1007,28 @@ class ReliableEndpoint:
             return  # the previous holder will retransmit
         frame: TokenFrame = msg.payload
         self._ingest_frame(frame)
-        if frame.order <= self._seen_hops.get(frame.gid, (0, 0)):
+        gid = self._dedup_gid(frame)
+        if frame.order <= self._seen_hops.get(gid, (0, 0)):
             # Duplicate (or retransmission of an already-accepted hop):
             # re-ack so the sender stops, then discard.
             yield self.send(msg.src, frame.key, kind=TOKEN_ACK_KIND,
-                            size_bits=TOKEN_ACK_BITS)
+                            size_bits=token_ack_bits(frame))
             return
         if frame.epoch < self._epoch:
             # Stale token from before a takeover: ack-and-discard, the
             # regenerated token supersedes it.
             yield self.send(msg.src, frame.key, kind=TOKEN_ACK_KIND,
-                            size_bits=TOKEN_ACK_BITS)
+                            size_bits=token_ack_bits(frame))
             return
-        self._seen_hops[frame.gid] = frame.order
-        self._last_frames[frame.gid] = frame
+        self._seen_hops[gid] = frame.order
+        self._last_frames[gid] = frame
         self._token_activity = self.now
         if frame.epoch > self._epoch:
             self._adopt_epoch(frame.epoch)
         self._held.append(self._snapshot_frame(frame))
         self._on_token_accepted(frame)
         yield self.send(msg.src, frame.key, kind=TOKEN_ACK_KIND,
-                        size_bits=TOKEN_ACK_BITS)
+                        size_bits=token_ack_bits(frame))
 
     # ------------------------------------------------------------------
     # Candidate consumption
@@ -1080,7 +1112,7 @@ class ReliableEndpoint:
         """Queue ``frame`` for reliable delivery to ``dest``."""
         self._pending_out[frame.key] = (dest, kind, frame, size_bits)
         if kind == TOKEN_KIND:
-            self._last_frames[frame.gid] = frame
+            self._last_frames[self._dedup_gid(frame)] = frame
 
     def _drive_transfers(self):
         """Retransmit pending frames until all acked.

@@ -74,7 +74,44 @@ from repro.trace.snapshots import vc_snapshots
 if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
     from repro.simulation.faults import FaultPlan
 
-__all__ = ["VCToken", "TokenVCMonitor", "HardenedTokenVCMonitor", "detect"]
+__all__ = [
+    "VCToken",
+    "TokenVCMonitor",
+    "HardenedTokenVCMonitor",
+    "candidate_feed_items",
+    "detect",
+]
+
+
+def candidate_feed_items(
+    computation: Computation,
+    predicates,
+    pids: tuple[int, ...],
+    clock_backend: str = "list",
+) -> dict[int, list[FeedItem]]:
+    """The Fig. 2 candidate streams as feeder-ready items, one per pid.
+
+    ``predicates`` maps each emitting pid to its local predicate;
+    ``pids`` is the projection target (the WCP's pids for a
+    single-predicate run, the registered union for the multi-predicate
+    service).  Extracted from :func:`detect` so N predicates can be
+    evaluated against one interval stream: the emission points depend
+    only on ``(computation, pid, clause)``, so every consumer of the
+    same clause sees the identical stream.
+    """
+    streams = vc_snapshots(computation, dict(predicates), clock_backend)
+    width = len(pids)
+    return {
+        pid: [
+            FeedItem(
+                payload=snap.vector.project(pids),
+                size_bits=width * WORD_BITS,
+                time=snap.time,
+            )
+            for snap in stream
+        ]
+        for pid, stream in streams.items()
+    }
 
 
 @dataclass
@@ -417,17 +454,12 @@ def detect(
         ]
     for mon in monitors:
         kernel.add_actor(mon)
-    streams = vc_snapshots(computation, wcp.predicate_map(), clock_backend)
+    items_by_pid = candidate_feed_items(
+        computation, wcp.predicate_map(), pids, clock_backend
+    )
     feeders = []
     for pid in pids:
-        items = [
-            FeedItem(
-                payload=snap.vector.project(pids),
-                size_bits=n * WORD_BITS,
-                time=snap.time,
-            )
-            for snap in streams[pid]
-        ]
+        items = items_by_pid[pid]
         if use_hardened:
             feeder = ReliableFeeder(
                 app_name(pid), monitor_name(pid), items, spacing, retry

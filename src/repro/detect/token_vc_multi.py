@@ -50,7 +50,7 @@ from repro.detect.stack import (
     register_glue,
     spawn_joiners,
 )
-from repro.detect.token_vc import VCToken
+from repro.detect.token_vc import VCToken, candidate_feed_items
 from repro.predicates.conjunctive import WeakConjunctivePredicate
 from repro.simulation.actors import Actor
 from repro.simulation.kernel import Kernel
@@ -58,12 +58,10 @@ from repro.simulation.network import ChannelModel
 from repro.simulation.replay import (
     CANDIDATE_KIND,
     END_OF_TRACE_KIND,
-    FeedItem,
     SnapshotFeeder,
 )
 from repro.trace.computation import Computation
 from repro.trace.cuts import Cut
-from repro.trace.snapshots import vc_snapshots
 
 if TYPE_CHECKING:  # annotation-only: cores stay decoupled from the fault layer
     from repro.simulation.faults import FaultPlan
@@ -534,17 +532,12 @@ def detect(
     for mon in monitors:
         kernel.add_actor(mon)
     kernel.add_actor(leader)
-    streams = vc_snapshots(computation, wcp.predicate_map(), clock_backend)
+    items_by_pid = candidate_feed_items(
+        computation, wcp.predicate_map(), pids, clock_backend
+    )
     feeders = []
     for pid in pids:
-        items = [
-            FeedItem(
-                payload=snap.vector.project(pids),
-                size_bits=n * WORD_BITS,
-                time=snap.time,
-            )
-            for snap in streams[pid]
-        ]
+        items = items_by_pid[pid]
         if use_hardened:
             feeder = ReliableFeeder(
                 app_name(pid), monitor_name(pid), items, spacing, retry

@@ -180,11 +180,52 @@ def _format_meta(trace: Trace) -> list[str]:
     lines = [f"trace {trace.trace_id}: {len(trace.spans)} spans"]
     summary = []
     for key in ("detector", "predicate", "outcome", "cut", "detection_time",
-                "seed"):
+                "seed", "n_predicates"):
         if meta.get(key) is not None:
             summary.append(f"{key}={meta[key]}")
     if summary:
         lines.append("  ".join(summary))
+    return lines
+
+
+def _predicate_lines(trace: Trace) -> list[str]:
+    """Per-predicate rows of a multi-predicate service run.
+
+    Rendered when the trace header carries ``predicates`` (a list of
+    per-predicate outcome dicts written by ``repro service`` /
+    ``run_service``); the ``service`` meta dict contributes the
+    amortization headline — predicates/sec sustained and the marginal
+    bits each extra predicate cost on top of the shared stream.
+    """
+    preds = trace.meta.get("predicates")
+    if not preds:
+        return []
+    from repro.analysis.tables import render_table
+
+    headers = ["predicate", "outcome", "cut", "t_detect"]
+    rows = []
+    for p in preds:
+        cut = p.get("cut")
+        t = p.get("detection_time")
+        rows.append([
+            p.get("pred_id", "?"),
+            p.get("outcome", "?"),
+            "-" if cut is None else str(tuple(cut)),
+            "-" if t is None else f"{t:g}",
+        ])
+    lines = render_table(headers, rows).splitlines()
+    service = trace.meta.get("service") or {}
+    parts = []
+    if service.get("predicates_per_sec") is not None:
+        parts.append(f"predicates/sec={service['predicates_per_sec']:.1f}")
+    if service.get("marginal_bits_per_predicate") is not None:
+        parts.append(
+            f"marginal bits/predicate={service['marginal_bits_per_predicate']:.0f}"
+        )
+    if service.get("shared_stream_bits") is not None:
+        parts.append(f"shared stream bits={service['shared_stream_bits']}")
+    if parts:
+        lines.append("service: " + " ".join(parts))
     return lines
 
 
@@ -334,6 +375,9 @@ def render_report(trace: Trace, width: int = 72) -> str:
         ("work/space breakdown (paper units)",
          _breakdown_table(trace).splitlines()),
     ]
+    pred_lines = _predicate_lines(trace)
+    if pred_lines:
+        sections.insert(1, ("per-predicate outcomes", pred_lines))
     gossip_lines = _gossip_lines(trace)
     if gossip_lines:
         sections.append(("gossip / liveness", gossip_lines))

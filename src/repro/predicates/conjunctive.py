@@ -79,6 +79,18 @@ class WeakConjunctivePredicate:
         """A pid -> predicate dictionary (a fresh copy)."""
         return dict(self._clauses)
 
+    def bindings(self) -> tuple[tuple[Pid, str], ...]:
+        """The registry-facing spec: ``(pid, clause_name)`` per slot.
+
+        Clause *names* are the service's sharing contract — two WCPs may
+        share one candidate stream for a pid exactly when they bind a
+        same-named local predicate to it (see
+        :class:`repro.detect.service.PredicateRegistry`).  This is the
+        hashable identity a registry compares, logs, and serializes; the
+        callables themselves stay private to the slot machinery.
+        """
+        return tuple((pid, self._clauses[pid].name) for pid in self._pids)
+
     def items(self) -> Iterator[tuple[Pid, LocalPredicate]]:
         """Iterate ``(pid, clause)`` in slot order."""
         return iter((pid, self._clauses[pid]) for pid in self._pids)

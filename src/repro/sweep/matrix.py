@@ -25,6 +25,7 @@ from repro.clocks.vector import CLOCK_BACKENDS
 from repro.common.errors import ConfigurationError
 from repro.common.validation import require
 from repro.detect.runner import DETECTORS, FAULT_CAPABLE, online_detectors
+from repro.detect.service.dispatcher import MUX_DETECTORS
 from repro.trace.generators import FLAG_VAR, WorkloadSpec
 
 __all__ = ["SweepCell", "SweepMatrix", "load_matrix"]
@@ -49,6 +50,7 @@ EXCLUDE_KEYS = frozenset(
         "gossip_interval",
         "gossip_timeout",
         "clock_backend",
+        "n_predicates",
     }
 )
 
@@ -78,6 +80,7 @@ class SweepCell:
     gossip_timeout: float | None = None
     check_invariants: bool = False
     clock_backend: str = "list"
+    n_predicates: int = 1
 
     def __post_init__(self) -> None:
         require(
@@ -145,6 +148,34 @@ class SweepCell:
                 f"clock_backend={self.clock_backend!r} requires one of "
                 f"{sorted(online_detectors())}",
             )
+        require(self.n_predicates >= 1, "n_predicates must be >= 1")
+        if self.n_predicates > 1:
+            require(
+                self.detector in online_detectors(),
+                f"detector {self.detector!r} is offline (analysis-only); "
+                f"n_predicates > 1 requires one of "
+                f"{sorted(online_detectors())}",
+            )
+            require(
+                not self.check_invariants,
+                "check_invariants is not wired through the service "
+                "dispatcher yet; run it at n_predicates=1",
+            )
+            require(
+                not self.self_heal,
+                "the multiplexed service runs without a failure detector "
+                "(epoch 0 end-to-end); self_heal requires n_predicates=1",
+            )
+            if self.faults is not None:
+                # Amortized (non-multiplexed) service runs launch one
+                # independent detection per predicate, whose monitor set
+                # may not contain the actors a fault plan names.
+                require(
+                    self.detector in MUX_DETECTORS,
+                    f"faults with n_predicates > 1 require a multiplexed "
+                    f"detector ({sorted(MUX_DETECTORS)}); "
+                    f"{self.detector!r} runs amortized per-predicate",
+                )
 
     @property
     def group(self) -> str:
@@ -167,10 +198,13 @@ class SweepCell:
         # The default list backend contributes no suffix, so committed
         # baseline group names predate the knob and replay unchanged.
         packed = "/packed" if self.clock_backend == "packed" else ""
+        # The single-predicate default contributes no suffix, so every
+        # baseline committed before the service axis replays unchanged.
+        preds = f"/p{self.n_predicates}" if self.n_predicates > 1 else ""
         return (
             f"{self.detector}/n{self.num_processes}/m{self.sends_per_process}"
             f"/{self.pattern}/d{_fmt_density(self.predicate_density)}"
-            f"/w{width}/f{faults}{heal}{gossip}{inv}{packed}"
+            f"/w{width}/f{faults}{heal}{gossip}{inv}{packed}{preds}"
         )
 
     @property
@@ -203,6 +237,24 @@ class SweepCell:
         """The variable the generated workload uses for predicate truth."""
         return FLAG_VAR
 
+    def service_predicates(self) -> tuple[tuple[str, tuple[int, ...]], ...]:
+        """The ``(pred_id, pids)`` entries a service cell registers.
+
+        Predicate ``k`` rotates the base pid set by ``k`` (mod ``N``), so
+        the registered predicates overlap but are not identical — the
+        shape that exercises both the shared candidate stream and
+        per-predicate token routing.  Deterministic in the cell alone,
+        so replaying a baseline reconstructs the exact registry.
+        """
+        base = self.predicate_pids()
+        return tuple(
+            (
+                f"q{k}",
+                tuple(sorted({(pid + k) % self.num_processes for pid in base})),
+            )
+            for k in range(self.n_predicates)
+        )
+
     def to_dict(self) -> dict[str, Any]:
         """A JSON-ready description (embedded in aggregate records)."""
         return {
@@ -223,6 +275,7 @@ class SweepCell:
             "gossip_timeout": self.gossip_timeout,
             "check_invariants": self.check_invariants,
             "clock_backend": self.clock_backend,
+            "n_predicates": self.n_predicates,
         }
 
 
@@ -263,6 +316,7 @@ class SweepMatrix:
     gossip_timeouts: tuple[float | None, ...] = (None,)
     check_invariants: bool = False
     clock_backends: tuple[str, ...] = ("list",)
+    n_predicates: tuple[int, ...] = (1,)
     exclude: tuple[Mapping[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -296,6 +350,7 @@ class SweepMatrix:
             "gossip_intervals",
             "gossip_timeouts",
             "clock_backends",
+            "n_predicates",
         ):
             object.__setattr__(
                 self,
@@ -343,6 +398,10 @@ class SweepMatrix:
             f"expected a subset of {CLOCK_BACKENDS}",
         )
         require(
+            all(p >= 1 for p in self.n_predicates),
+            "n_predicates entries must be >= 1",
+        )
+        require(
             self._raw_num_cells <= MAX_CELLS,
             f"matrix expands to {self._raw_num_cells} cells before "
             f"exclusions; limit is {MAX_CELLS}",
@@ -387,6 +446,20 @@ class SweepMatrix:
             return ("list",)
         return self.clock_backends
 
+    def _predicate_variants(self, detector: str) -> tuple[int, ...]:
+        """The predicate counts one detector expands over.
+
+        Only multiplexed detectors share a service run across
+        predicates, so the axis multiplies those alone; other detectors
+        contribute their ordinary single-predicate cells.  (Amortized
+        multi-predicate runs remain reachable through
+        :func:`repro.detect.runner.run_service` and the scale benchmark
+        — the sweep axis measures the shared-stream path.)
+        """
+        if detector not in MUX_DETECTORS:
+            return (1,)
+        return self.n_predicates
+
     def _excluded(self, cell: SweepCell) -> bool:
         """Whether an ``exclude`` entry matches every named cell field."""
         if not self.exclude:
@@ -420,6 +493,7 @@ class SweepMatrix:
                 * fault_variants
                 * len(self._membership_variants(detector))
                 * len(self._backend_variants(detector))
+                * len(self._predicate_variants(detector))
             )
         return count
 
@@ -439,11 +513,21 @@ class SweepMatrix:
                 fault_specs,
                 self._membership_variants(detector),
                 self._backend_variants(detector),
+                self._predicate_variants(detector),
                 self.seeds,
             )
-            for n, sends, pattern, density, width, spec, mem, backend, seed in (
-                points
-            ):
+            for (
+                n,
+                sends,
+                pattern,
+                density,
+                width,
+                spec,
+                mem,
+                backend,
+                preds,
+                seed,
+            ) in points:
                 if width is not None and width > n:
                     raise ConfigurationError(
                         f"pred_width {width} exceeds processes {n} "
@@ -471,6 +555,7 @@ class SweepMatrix:
                         and detector in online_detectors()
                     ),
                     clock_backend=backend,
+                    n_predicates=preds,
                 )
                 if not self._excluded(cell):
                     out.append(cell)
@@ -497,6 +582,7 @@ class SweepMatrix:
             "gossip_timeouts": list(self.gossip_timeouts),
             "check_invariants": self.check_invariants,
             "clock_backends": list(self.clock_backends),
+            "n_predicates": list(self.n_predicates),
             "exclude": [dict(entry) for entry in self.exclude],
         }
 
@@ -526,6 +612,7 @@ class SweepMatrix:
             "gossip_timeouts",
             "check_invariants",
             "clock_backends",
+            "n_predicates",
             "exclude",
         }
         unknown = sorted(set(data) - known)
@@ -556,6 +643,7 @@ class SweepMatrix:
             "gossip_intervals",
             "gossip_timeouts",
             "clock_backends",
+            "n_predicates",
             "exclude",
         ):
             if key in data:

@@ -27,7 +27,9 @@ from repro.detect.runner import (
     offline_detectors,
     paper_units,
     run_detector,
+    run_service,
 )
+from repro.detect.service import service_units
 from repro.obs.benchjson import structured_result
 from repro.predicates import WeakConjunctivePredicate
 from repro.detect.stack import FailureDetectorConfig
@@ -90,6 +92,7 @@ def run_cell(
     started = time.perf_counter()
     cache = WorkloadCache(cache_root)
     computation = cache.get_or_generate(cell.workload_spec())
+    service = cell.n_predicates > 1
     wcp = WeakConjunctivePredicate.of_flags(cell.predicate_pids(), var=cell.flag_var)
     options: dict[str, Any] = {}
     online = cell.detector not in offline_detectors()
@@ -128,7 +131,17 @@ def run_cell(
     if observers:
         options["observers"] = observers
     try:
-        report = run_detector(cell.detector, computation, wcp, **options)
+        if service:
+            # A service cell runs every derived predicate over one
+            # shared causality layer; its exact per-predicate verdicts
+            # land in the units as ``outcome:<pred_id>`` entries.
+            entries = [
+                (pred_id, WeakConjunctivePredicate.of_flags(pids, var=cell.flag_var))
+                for pred_id, pids in cell.service_predicates()
+            ]
+            report = run_service(cell.detector, computation, entries, **options)
+        else:
+            report = run_detector(cell.detector, computation, wcp, **options)
     except Exception:
         if recorder is not None:
             _dump_flight(recorder, flight_dir, cell, outcome="error")
@@ -139,7 +152,7 @@ def run_cell(
         "id": cell.cell_id,
         "group": cell.group,
         "cell": cell.to_dict(),
-        "units": paper_units(report),
+        "units": service_units(report) if service else paper_units(report),
         "liveness_bytes": faults.liveness_bytes if faults is not None else 0,
         "wall_s": time.perf_counter() - started,
         "cache_hit": stats["hits"] > 0,
@@ -153,7 +166,7 @@ def run_cell(
             sim.time if sim is not None else None,
             cell=cell.cell_id,
             detector=report.detector,
-            outcome=report.outcome,
+            outcome=report.summary if service else report.outcome,
             seed=cell.seed,
         )
         path = pathlib.Path(trace_dir) / f"{_safe_cell_name(cell.cell_id)}.jsonl"
@@ -166,7 +179,7 @@ def run_cell(
                 recorder,
                 flight_dir,
                 cell,
-                outcome=report.outcome,
+                outcome=report.summary if service else report.outcome,
                 invariant_violations=violations,
             )
         )

@@ -10,16 +10,15 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import WORD_BITS
-from repro.detect.failuredetect import (
+from repro.detect.stack import FailureDetectorConfig, TokenFrame
+from repro.detect.stack.membership import (
     ELECT_BITS,
     HEARTBEAT_BITS,
     ElectOk,
-    FailureDetectorConfig,
     Heartbeat,
     RegenRequest,
     best_frames,
 )
-from repro.detect.reliability import TokenFrame
 
 
 class TestConfigValidation:

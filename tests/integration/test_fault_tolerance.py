@@ -10,7 +10,7 @@ reference.  Detection is delayed, never wrong.
 import pytest
 
 from repro.detect import run_detector
-from repro.detect.failuredetect import FailureDetectorConfig
+from repro.detect.stack import FailureDetectorConfig
 from repro.simulation.faults import (
     CrashEvent,
     FaultPlan,
@@ -209,7 +209,7 @@ class TestOutcomes:
         """With 100% token drop no protocol can succeed; the bounded
         retry policy must give up — and report the run as degraded
         (inconclusive) — instead of livelocking."""
-        from repro.detect.reliability import RetryPolicy
+        from repro.detect.stack import RetryPolicy
 
         plan = FaultPlan(rules=(FaultRule(kind="token", drop=1.0),))
         comp, wcp = _case(0)

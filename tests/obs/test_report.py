@@ -1,7 +1,7 @@
 """Tests for the ASCII run-report renderer."""
 
 from repro.detect import run_detector
-from repro.detect.failuredetect import FailureDetectorConfig
+from repro.detect.stack import FailureDetectorConfig
 from repro.obs import SpanTracer, render_report, render_timeline
 from repro.predicates import WeakConjunctivePredicate
 from repro.simulation.faults import (

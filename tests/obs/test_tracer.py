@@ -6,7 +6,7 @@ check the synthesized spans against the reports' own accounting
 """
 
 from repro.detect import run_detector
-from repro.detect.failuredetect import FailureDetectorConfig
+from repro.detect.stack import FailureDetectorConfig
 from repro.obs import SpanTracer
 from repro.predicates import WeakConjunctivePredicate
 from repro.simulation.faults import (

@@ -14,7 +14,7 @@ traffic it sees:
 
 from hypothesis import given, settings, strategies as st
 
-from repro.detect.reliability import AdaptiveRetryPolicy
+from repro.detect.stack import AdaptiveRetryPolicy
 
 rtts = st.floats(min_value=0.01, max_value=20.0,
                  allow_nan=False, allow_infinity=False)

@@ -35,7 +35,7 @@ def test_checker_flags_a_planted_violation():
     tree = ast.parse(
         "from typing import TYPE_CHECKING\n"
         "from repro.detect.stack.transport import TokenFrame\n"
-        "import repro.detect.failuredetect\n"
+        "import repro.detect.stack.membership\n"
         "from repro.detect.stack import harden\n"
         "if TYPE_CHECKING:\n"
         "    from repro.simulation.faults import FaultPlan\n"
@@ -44,7 +44,7 @@ def test_checker_flags_a_planted_violation():
     visitor.visit(tree)
     assert [m for _, m in visitor.violations] == [
         "repro.detect.stack.transport",
-        "repro.detect.failuredetect",
+        "repro.detect.stack.membership",
     ]
 
 

@@ -10,13 +10,15 @@ core module must not import:
 * ``repro.simulation.faults``      — fault plans are a kernel concern;
   cores receive them opaquely (``if TYPE_CHECKING:`` imports are fine,
   they vanish at runtime);
-* ``repro.detect.reliability`` / ``repro.detect.failuredetect`` — the
-  back-compat shims, kept only for external callers;
 * ``repro.detect.stack.transport`` / ``.membership`` / ``.compose`` —
   layer internals; the facade re-exports everything a core may touch.
 
-Exempt: the stack package itself (layers import each other), the two
-shims, and ``__init__``/``runner`` (the registry is glue, not a core).
+The multi-predicate service package (``detect/service/``) is scanned
+too: its registry is subject to the same rule, while ``dispatcher`` is
+stack glue by design (it composes a :class:`StackGlue`) and is exempt
+alongside ``__init__``/``runner``.  The old ``reliability`` /
+``failuredetect`` back-compat shims are gone; importing them is now an
+``ImportError``, not a layering question.
 
 Exit status 1 with a per-violation report, 0 when clean.  Run directly
 or via ``tests/test_layering.py`` (tier-1) and the CI lint job.
@@ -31,13 +33,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DETECT = REPO / "src" / "repro" / "detect"
 
-#: Modules whose *job* is to violate the rule (shims / registry glue).
-EXEMPT = {"reliability", "failuredetect", "runner", "__init__"}
+#: Modules whose *job* is to violate the rule (registry / stack glue).
+EXEMPT = {"runner", "dispatcher", "__init__"}
 
 FORBIDDEN_PREFIXES = (
     "repro.simulation.faults",
-    "repro.detect.reliability",
-    "repro.detect.failuredetect",
     "repro.detect.stack.transport",
     "repro.detect.stack.membership",
     "repro.detect.stack.gossip",
@@ -93,9 +93,8 @@ def check_file(path: Path) -> list[str]:
 
 
 def core_modules() -> list[Path]:
-    return sorted(
-        p for p in DETECT.glob("*.py") if p.stem not in EXEMPT
-    )
+    candidates = list(DETECT.glob("*.py")) + list(DETECT.glob("service/*.py"))
+    return sorted(p for p in candidates if p.stem not in EXEMPT)
 
 
 def main() -> int:
